@@ -1,0 +1,58 @@
+"""Extension-family rows: approximate QFT, GHZ and Bell-chain verification.
+
+These are not tables of the paper — they exercise the controlled-phase gate
+extension (cs/csdg/ct/ctdg) and the entangled-state preparations built on the
+paper's running example (Fig. 1).  The shape to check mirrors Table 2: the
+verification holds on every size, the output TAs stay small (linear for GHZ /
+Bell chains, single-state for QFT-zero) and Hybrid is not slower than
+Composition.
+"""
+
+import pytest
+
+from repro.benchgen import (
+    adder_benchmark,
+    bell_chain_benchmark,
+    ghz_benchmark,
+    qft_roundtrip_benchmark,
+    qft_zero_benchmark,
+)
+from repro.core import AnalysisMode
+
+from conftest import run_verification_row
+
+GHZ_SIZES = [4, 8, 12]
+BELL_CHAIN_SIZES = [2, 4, 6]
+QFT_ZERO_SIZES = [3, 4, 5]
+QFT_ROUNDTRIP_SIZES = [3, 4]
+ADDER_SIZES = [2, 3]
+
+
+@pytest.mark.parametrize("size", GHZ_SIZES)
+def test_ghz_hybrid(benchmark, size):
+    run_verification_row(benchmark, ghz_benchmark(size), AnalysisMode.HYBRID)
+
+
+@pytest.mark.parametrize("size", BELL_CHAIN_SIZES)
+def test_bell_chain_hybrid(benchmark, size):
+    run_verification_row(benchmark, bell_chain_benchmark(size), AnalysisMode.HYBRID)
+
+
+@pytest.mark.parametrize("size", QFT_ZERO_SIZES)
+def test_qft_zero_hybrid(benchmark, size):
+    run_verification_row(benchmark, qft_zero_benchmark(size), AnalysisMode.HYBRID)
+
+
+@pytest.mark.parametrize("size", QFT_ZERO_SIZES[:2])
+def test_qft_zero_composition(benchmark, size):
+    run_verification_row(benchmark, qft_zero_benchmark(size), AnalysisMode.COMPOSITION)
+
+
+@pytest.mark.parametrize("size", QFT_ROUNDTRIP_SIZES)
+def test_qft_roundtrip_hybrid(benchmark, size):
+    run_verification_row(benchmark, qft_roundtrip_benchmark(size), AnalysisMode.HYBRID)
+
+
+@pytest.mark.parametrize("size", ADDER_SIZES)
+def test_adder_hybrid(benchmark, size):
+    run_verification_row(benchmark, adder_benchmark(size), AnalysisMode.HYBRID)

@@ -1,0 +1,47 @@
+"""Fig. 1 (overview example): the Bell-state triple and its TA encodings.
+
+Not an evaluation table, but the paper's running example: { |00> } EPR { Bell }.
+The benchmark measures the end-to-end verification (both engine modes) and the
+sizes of the pre/post TAs shown in Fig. 1a / 1b.
+"""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.core import AnalysisMode, bell_postcondition, verify_triple, zero_state_precondition
+
+
+def _epr() -> Circuit:
+    return Circuit(2, name="epr").add("h", 0).add("cx", 0, 1)
+
+
+@pytest.mark.parametrize("mode", [AnalysisMode.HYBRID, AnalysisMode.COMPOSITION])
+def test_bell_verification(benchmark, mode):
+    precondition = zero_state_precondition(2)
+    postcondition = bell_postcondition()
+    result = benchmark.pedantic(
+        verify_triple, args=(precondition, _epr(), postcondition), kwargs={"mode": mode},
+        rounds=3, iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "mode": mode,
+            "pre_ta": precondition.size_summary(),
+            "post_ta": postcondition.size_summary(),
+            "output_ta": result.output.size_summary(),
+        }
+    )
+    print(f"\n[Fig.1 Bell | {mode}] pre={precondition.size_summary()} "
+          f"post={postcondition.size_summary()} output={result.output.size_summary()}")
+    assert result.holds
+
+
+def test_bell_bug_witness(benchmark):
+    """The diagnosis path of the overview: a buggy EPR circuit yields a witness."""
+    buggy = Circuit(2, name="epr_buggy").add("h", 0)
+    result = benchmark.pedantic(
+        verify_triple, args=(zero_state_precondition(2), buggy, bell_postcondition()),
+        rounds=3, iterations=1,
+    )
+    assert not result.holds
+    assert result.witness is not None

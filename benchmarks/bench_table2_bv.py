@@ -1,0 +1,47 @@
+"""Table 2 / BV rows: verification of Bernstein-Vazirani against pre/post-conditions.
+
+Paper setting: n = 95..99 (96..100 qubits), AutoQ-Hybrid ~6s, AutoQ-Composition
+~7s, SliQSim ~0.0s (single input), Feynman ~0.5s.  Scaled-down sizes are used
+here (pure-Python substrate); the shape to check is that every verification
+holds, that Hybrid is faster than Composition, and that the TA sizes stay
+linear in n.
+"""
+
+import pytest
+
+from repro.baselines import PathSumChecker
+from repro.benchgen import bv_benchmark
+from repro.core import AnalysisMode
+
+from conftest import run_simulator_sweep_row, run_verification_row
+
+HYBRID_SIZES = [8, 16, 24, 32]
+COMPOSITION_SIZES = [8, 16]
+
+
+@pytest.mark.parametrize("size", HYBRID_SIZES)
+def test_bv_hybrid(benchmark, size):
+    run_verification_row(benchmark, bv_benchmark(size), AnalysisMode.HYBRID)
+
+
+@pytest.mark.parametrize("size", COMPOSITION_SIZES)
+def test_bv_composition(benchmark, size):
+    run_verification_row(benchmark, bv_benchmark(size), AnalysisMode.COMPOSITION)
+
+
+@pytest.mark.parametrize("size", [8, 16])
+def test_bv_simulator_baseline(benchmark, size):
+    run_simulator_sweep_row(benchmark, bv_benchmark(size))
+
+
+@pytest.mark.parametrize("size", [8, 16])
+def test_bv_pathsum_self_equivalence(benchmark, size):
+    """The Feynman column of Table 2: equivalence of the circuit with itself."""
+    bench = bv_benchmark(size)
+    result = benchmark.pedantic(
+        PathSumChecker().check_equivalence, args=(bench.circuit, bench.circuit.copy()),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update({"benchmark": bench.name, "pathsum": result.verdict})
+    print(f"\n[{bench.name} | pathsum self-equivalence] verdict={result.verdict}")
+    assert result.verdict == "equal"

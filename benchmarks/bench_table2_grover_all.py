@@ -1,0 +1,34 @@
+"""Table 2 / Grover-All rows: Grover's search over all 2^n oracles at once.
+
+Paper setting: n = 6..10 (18..30 qubits); this family (together with
+MCToffoli) is where the exponential factor hits the simulator baseline — it
+has to run once per oracle — while the TA analysis covers the whole set in a
+single symbolic run.  Scaled-down sizes; the shape to check is that the
+TA-based verification holds and that the simulator-sweep cost grows ~2^n while
+the TA analysis grows much more slowly.
+"""
+
+import pytest
+
+from repro.benchgen import grover_all_benchmark
+from repro.core import AnalysisMode
+
+from conftest import run_simulator_sweep_row, run_verification_row
+
+HYBRID_SIZES = [2, 3, 4]
+COMPOSITION_SIZES = [2]
+
+
+@pytest.mark.parametrize("size", HYBRID_SIZES)
+def test_grover_all_hybrid(benchmark, size):
+    run_verification_row(benchmark, grover_all_benchmark(size), AnalysisMode.HYBRID)
+
+
+@pytest.mark.parametrize("size", COMPOSITION_SIZES)
+def test_grover_all_composition(benchmark, size):
+    run_verification_row(benchmark, grover_all_benchmark(size), AnalysisMode.COMPOSITION)
+
+
+@pytest.mark.parametrize("size", [2, 3])
+def test_grover_all_simulator_baseline(benchmark, size):
+    run_simulator_sweep_row(benchmark, grover_all_benchmark(size))

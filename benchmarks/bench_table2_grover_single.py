@@ -1,0 +1,33 @@
+"""Table 2 / Grover-Sing rows: Grover's search with a single hidden string.
+
+Paper setting: n = 12..20 (24..40 qubits, up to 141,527 gates); AutoQ-Hybrid
+verifies n=20 in ~11 min while SliQSim and Feynman time out.  Scaled-down
+sizes are used here; the shape to check is that verification holds for every
+size, Hybrid beats Composition, and the analysis cost grows with the number of
+Grover iterations (gates) rather than with 2^n.
+"""
+
+import pytest
+
+from repro.benchgen import grover_single_benchmark
+from repro.core import AnalysisMode
+
+from conftest import run_simulator_sweep_row, run_verification_row
+
+HYBRID_SIZES = [3, 4, 5]
+COMPOSITION_SIZES = [2, 3]
+
+
+@pytest.mark.parametrize("size", HYBRID_SIZES)
+def test_grover_single_hybrid(benchmark, size):
+    run_verification_row(benchmark, grover_single_benchmark(size), AnalysisMode.HYBRID)
+
+
+@pytest.mark.parametrize("size", COMPOSITION_SIZES)
+def test_grover_single_composition(benchmark, size):
+    run_verification_row(benchmark, grover_single_benchmark(size), AnalysisMode.COMPOSITION)
+
+
+@pytest.mark.parametrize("size", [3, 4])
+def test_grover_single_simulator_baseline(benchmark, size):
+    run_simulator_sweep_row(benchmark, grover_single_benchmark(size))

@@ -1,0 +1,49 @@
+"""Table 2 / MCToffoli rows: multi-controlled Toffoli over all classical inputs.
+
+Paper setting: n = 8..16 (16..32 qubits, 2n-1 gates); AutoQ-Hybrid finishes in
+fractions of a second because every gate stays in the permutation-based
+fragment, while AutoQ-Composition and SliQSim blow up with 2^n.  The shape to
+check: Hybrid is near-instant and scales to the largest sizes, Composition is
+markedly slower, the simulator sweep grows ~2^(n+1).
+"""
+
+import pytest
+
+from repro.baselines import PathSumChecker
+from repro.benchgen import mctoffoli_benchmark
+from repro.core import AnalysisMode
+
+from conftest import run_simulator_sweep_row, run_verification_row
+
+HYBRID_SIZES = [4, 8, 12, 16]
+COMPOSITION_SIZES = [3, 4]
+
+
+@pytest.mark.parametrize("size", HYBRID_SIZES)
+def test_mctoffoli_hybrid(benchmark, size):
+    row = run_verification_row(benchmark, mctoffoli_benchmark(size), AnalysisMode.HYBRID)
+    assert row["verdict"] == "holds"
+
+
+@pytest.mark.parametrize("size", COMPOSITION_SIZES)
+def test_mctoffoli_composition(benchmark, size):
+    run_verification_row(benchmark, mctoffoli_benchmark(size), AnalysisMode.COMPOSITION)
+
+
+@pytest.mark.parametrize("size", [4, 6])
+def test_mctoffoli_simulator_baseline(benchmark, size):
+    run_simulator_sweep_row(benchmark, mctoffoli_benchmark(size))
+
+
+@pytest.mark.parametrize("size", [4, 8])
+def test_mctoffoli_pathsum_self_equivalence(benchmark, size):
+    """The Feynman column: MCToffoli circuits are purely classical, so the
+    path-sum checker resolves them instantly."""
+    bench = mctoffoli_benchmark(size)
+    result = benchmark.pedantic(
+        PathSumChecker().check_equivalence, args=(bench.circuit, bench.circuit.copy()),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update({"benchmark": bench.name, "pathsum": result.verdict})
+    print(f"\n[{bench.name} | pathsum self-equivalence] verdict={result.verdict}")
+    assert result.verdict == "equal"

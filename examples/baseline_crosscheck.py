@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Cross-check the TA-based bug hunter against every baseline checker.
+
+Table 3 of the paper compares AutoQ against an equivalence checker based on
+path sums (Feynman) and one based on decision diagrams + stimuli (QCEC).  This
+example reproduces that comparison in miniature on two injected bugs:
+
+* a *Clifford* bug (an extra CZ) — visible to the stabilizer tableau, the
+  path-sum reducer, the TA-based check and random stimuli;
+* a *phase-only* bug on a non-Clifford, measurement-free reversible circuit
+  (T replaced by Tdg) — the stabilizer baseline must give up, and random
+  basis stimuli cannot see it because every basis input produces a basis
+  output that differs only by a global phase; the path-sum reducer and the
+  TA-based output-set check still find it (the pattern behind the QCEC false
+  "equivalent" verdicts in Table 3).
+
+Run with:  python examples/baseline_crosscheck.py
+"""
+
+from repro.baselines import (
+    PathSumChecker,
+    RandomStimuliChecker,
+    StabilizerChecker,
+    check_unitary_equivalence,
+)
+from repro.benchgen import ghz_circuit
+from repro.circuits import Circuit
+from repro.core import check_circuit_equivalence
+from repro.ta import all_basis_states_ta
+
+
+def report(name: str, reference: Circuit, candidate: Circuit) -> None:
+    print(f"\n=== {name} ===")
+    print(f"reference: {reference.num_gates} gates, candidate: {candidate.num_gates} gates")
+
+    outcome = check_circuit_equivalence(
+        reference, candidate, all_basis_states_ta(reference.num_qubits)
+    )
+    print(f"TA output-set check:  {'DIFFERENT' if outcome.non_equivalent else 'same outputs'}"
+          + (f"  witness: {outcome.witness}" if outcome.non_equivalent else ""))
+
+    pathsum = PathSumChecker().check_equivalence(reference, candidate)
+    print(f"path-sum (Feynman):   {pathsum.verdict}")
+
+    stabilizer = StabilizerChecker().check_equivalence(reference, candidate)
+    print(f"stabilizer (CHP):     {stabilizer.verdict.value}  ({stabilizer.reason})")
+
+    stimuli = RandomStimuliChecker(num_stimuli=8, seed=1).check_equivalence(reference, candidate)
+    print(f"random stimuli:       {stimuli.verdict}")
+
+    unitary = check_unitary_equivalence(reference, candidate)
+    print(f"brute-force unitary:  {'equal' if unitary.equivalent else 'not equal'} (ground truth)")
+
+
+def main() -> None:
+    # --- Clifford bug: an extra CZ slipped into a GHZ-preparation circuit ----
+    ghz = ghz_circuit(4)
+    clifford_bug = ghz.copy(name="ghz_buggy").add("cz", 1, 3)
+    report("Clifford bug: extra CZ in GHZ preparation", ghz, clifford_bug)
+
+    # --- phase-only bug in a reversible (Hadamard-free) circuit --------------
+    # Every basis input is mapped to a basis output, so a wrong T phase shows
+    # up only as a global phase of that output and basis stimuli cannot see it.
+    reference = (
+        Circuit(3, name="phase_ref")
+        .add("cx", 0, 1)
+        .add("ccx", 0, 1, 2)
+        .add("t", 2)
+        .add("cx", 1, 2)
+        .add("t", 0)
+    )
+    buggy_gates = [
+        gate if not (gate.kind == "t" and gate.qubits == (2,)) else gate.dagger()
+        for gate in reference
+    ]
+    candidate = Circuit(3, buggy_gates, name="phase_buggy")
+    report("Phase-only bug: T replaced by Tdg in a reversible circuit", reference, candidate)
+
+    print("\nSummary: the TA-based output-set check catches both bugs; the stabilizer")
+    print("baseline only handles the Clifford fragment, and basis stimuli miss the")
+    print("phase-only difference - the same failure pattern Table 3 shows for the")
+    print("stimuli-based checker on csum_mux_9 and friends.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Diagnose circuit outputs with TA-level analysis queries and measurement.
+
+The verification problem of the paper compares the output automaton against a
+post-condition automaton.  Many lighter questions can be answered directly on
+the output automaton itself; this example runs the GHZ-preparation circuit
+over a *set* of inputs and asks:
+
+* which amplitudes can appear at a given basis position,
+* which basis positions can be populated at all (the support),
+* whether a measurement outcome is certain for every reachable output,
+* what the post-measurement state set looks like (the TA-level restriction),
+* the exact measurement probabilities of a single simulated run.
+
+Run with:  python examples/measurement_queries.py
+"""
+
+from repro.benchgen import ghz_circuit
+from repro.core import (
+    amplitudes_at_basis,
+    constant_output,
+    measurement_probability_bounds,
+    outcome_is_certain,
+    possible_support,
+    post_measurement_automaton,
+    run_circuit,
+    zero_state_precondition,
+)
+from repro.simulator import simulate_circuit
+from repro.simulator.measurement import collapse, measurement_probability, outcome_distribution
+from repro.states import QuantumState
+from repro.ta import basis_product_ta
+
+
+def main() -> None:
+    num_qubits = 4
+    circuit = ghz_circuit(num_qubits)
+    print(f"circuit: {circuit.summary()}")
+
+    # --- run over the single |0...0> input -------------------------------
+    single = run_circuit(circuit, zero_state_precondition(num_qubits)).output
+    print(f"\noutput TA over {{|0...0>}}: {single.size_summary()}")
+    print(f"constant output: {constant_output(single)}")
+    print(f"amplitudes at |0000>: {sorted(map(str, amplitudes_at_basis(single, '0000')))}")
+    print(f"amplitudes at |0001>: {sorted(map(str, amplitudes_at_basis(single, '0001')))}")
+    print(f"support: {sorted(possible_support(single))}")
+    print(f"measuring qubit 0 gives 0 with certainty: {outcome_is_certain(single, 0, 0)}")
+    print(f"probability bounds of qubit 0 == 0: {measurement_probability_bounds(single, 0, 0)}")
+
+    # --- TA-level measurement: collapse the whole set at once ------------
+    collapsed = post_measurement_automaton(single, 0, 1)
+    print(f"\nafter observing qubit 0 = 1 (un-normalised) TA: {collapsed.size_summary()}")
+    print(f"now qubit {num_qubits - 1} = 1 is certain: "
+          f"{outcome_is_certain(collapsed, num_qubits - 1, 1)}")
+
+    # --- run over a *set* of inputs: first qubit free, rest |0> ----------
+    inputs = basis_product_ta(num_qubits, [(0, 1)] + [(0,)] * (num_qubits - 1))
+    many = run_circuit(circuit, inputs).output
+    print(f"\noutput TA over 2 inputs: {many.size_summary()}")
+    print(f"constant over those inputs: {constant_output(many) is not None}")
+    print(f"amplitudes at |1111>: {sorted(map(str, amplitudes_at_basis(many, '1111')))}")
+    low, high = measurement_probability_bounds(many, num_qubits - 1, 1)
+    print(f"probability that the last qubit reads 1: between {low:.2f} and {high:.2f}")
+
+    # --- exact single-state measurement (Section 2.1 semantics) ----------
+    state = simulate_circuit(circuit)
+    print(f"\nsimulated output state: {state}")
+    print(f"P[qubit 0 = 0] = {measurement_probability(state, 0, 0):.3f}")
+    post = collapse(state, 0, 0)
+    print(f"post-measurement state (renormalised): {post}")
+    print(f"full outcome distribution: { {''.join(map(str, b)): p for b, p in outcome_distribution(state).items()} }")
+
+
+if __name__ == "__main__":
+    main()

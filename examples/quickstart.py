@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: verify the Bell-state preparation circuit from the paper's overview.
+
+This is the running example of the paper (Fig. 1): the EPR circuit should turn
+the basis state |00> into the maximally entangled Bell state
+(|00> + |11>)/sqrt(2).  We express that as the Hoare-style triple
+
+    { |00> }   H(q0); CNOT(q0, q1)   { (|00> + |11>)/sqrt(2) }
+
+encode the pre- and post-condition as tree automata, run the circuit over the
+pre-condition TA, and check language equivalence against the post-condition.
+We then inject a bug and show how the framework produces a witness state.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    Circuit,
+    bell_postcondition,
+    check_circuit_equivalence,
+    simulate_circuit,
+    verify_triple,
+    zero_state_precondition,
+)
+from repro.ta import basis_state_ta
+
+
+def main() -> None:
+    # 1. Build the EPR circuit (Fig. 1c of the paper).
+    epr = Circuit(2, name="epr")
+    epr.add("h", 0)
+    epr.add("cx", 0, 1)
+    print(f"circuit under verification: {epr.summary()}")
+
+    # 2. Build the specification: pre-condition {|00>}, post-condition {Bell}.
+    precondition = zero_state_precondition(2)
+    postcondition = bell_postcondition()
+    print(f"pre-condition TA:  {precondition.size_summary()} (states/transitions)")
+    print(f"post-condition TA: {postcondition.size_summary()}")
+
+    # 3. Verify the triple {P} C {Q}.
+    result = verify_triple(precondition, epr, postcondition)
+    print(f"\n{{P}} C {{Q}} verdict: {'HOLDS' if result.holds else 'VIOLATED'}")
+    print(f"output TA: {result.output.size_summary()}, "
+          f"analysis {result.statistics.analysis_seconds:.3f}s, "
+          f"comparison {result.comparison_seconds:.3f}s")
+
+    # 4. Cross-check with the exact simulator (SliQSim-style baseline).
+    simulated = simulate_circuit(epr)
+    print(f"simulator output: {simulated}")
+    print(f"output TA accepts the simulated state: {result.output.accepts(simulated)}")
+
+    # 5. Inject a bug (an extra Z gate) and watch the framework catch it.
+    buggy = epr.copy(name="epr_buggy").add("z", 1)
+    broken = verify_triple(precondition, buggy, postcondition)
+    print(f"\nbuggy circuit verdict: {'HOLDS' if broken.holds else 'VIOLATED'}")
+    print(f"witness ({broken.witness_kind}): {broken.witness}")
+
+    # 6. The same bug found by circuit non-equivalence checking (Section 7.2).
+    outcome = check_circuit_equivalence(epr, buggy, basis_state_ta(2, "00"))
+    print(f"\nnon-equivalence check: different outputs = {outcome.non_equivalent}")
+    print(f"distinguishing output state: {outcome.witness}")
+
+
+if __name__ == "__main__":
+    main()

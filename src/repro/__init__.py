@@ -1,0 +1,105 @@
+"""repro — an automata-based framework for verification and bug hunting in quantum circuits.
+
+This package reproduces the system described in "An Automata-Based Framework
+for Verification and Bug Hunting in Quantum Circuits" (PLDI 2023, the AutoQ
+tool): sets of quantum states are represented by tree automata with exact
+algebraic amplitudes, quantum gates become automata transformers, and
+``{P} C {Q}`` triples are decided by language equivalence / inclusion.
+
+Quickstart::
+
+    from repro import (
+        Circuit, verify_triple, zero_state_precondition, bell_postcondition,
+    )
+
+    epr = Circuit(2).add("h", 0).add("cx", 0, 1)
+    result = verify_triple(zero_state_precondition(2), epr, bell_postcondition())
+    assert result.holds
+"""
+
+from .algebraic import OMEGA, ONE, SQRT2_INV, ZERO, AlgebraicNumber
+from .circuits import (
+    Circuit,
+    Gate,
+    inject_random_gate,
+    parse_qasm,
+    random_circuit,
+    to_qasm,
+)
+from .core import (
+    AnalysisMode,
+    BugHuntResult,
+    CircuitEngine,
+    IncrementalBugHunter,
+    NonEquivalenceResult,
+    VerificationResult,
+    apply_gate_to_state,
+    basis_state_precondition,
+    bell_postcondition,
+    check_circuit_equivalence,
+    classical_product_condition,
+    run_circuit,
+    states_condition,
+    verify_triple,
+    zero_state_precondition,
+)
+from .simulator import StateVectorSimulator, simulate_circuit
+from .states import QuantumState
+from .ta import (
+    TreeAutomaton,
+    all_basis_states_ta,
+    basis_product_ta,
+    basis_state_ta,
+    check_equivalence,
+    check_inclusion,
+    from_quantum_state,
+    from_quantum_states,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # algebraic amplitudes
+    "AlgebraicNumber",
+    "ZERO",
+    "ONE",
+    "OMEGA",
+    "SQRT2_INV",
+    # circuits
+    "Circuit",
+    "Gate",
+    "parse_qasm",
+    "to_qasm",
+    "random_circuit",
+    "inject_random_gate",
+    # states and simulation
+    "QuantumState",
+    "StateVectorSimulator",
+    "simulate_circuit",
+    # tree automata
+    "TreeAutomaton",
+    "basis_state_ta",
+    "all_basis_states_ta",
+    "basis_product_ta",
+    "from_quantum_state",
+    "from_quantum_states",
+    "check_inclusion",
+    "check_equivalence",
+    # core analysis
+    "AnalysisMode",
+    "CircuitEngine",
+    "run_circuit",
+    "verify_triple",
+    "VerificationResult",
+    "check_circuit_equivalence",
+    "NonEquivalenceResult",
+    "IncrementalBugHunter",
+    "BugHuntResult",
+    "apply_gate_to_state",
+    "zero_state_precondition",
+    "basis_state_precondition",
+    "classical_product_condition",
+    "states_condition",
+    "bell_postcondition",
+]

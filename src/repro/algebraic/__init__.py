@@ -1,0 +1,29 @@
+"""Exact algebraic amplitude arithmetic (Section 2.1 of the paper)."""
+
+from .omega import OMEGA, ONE, SQRT2_INV, ZERO, AlgebraicNumber
+from .matrices import (
+    GATE_MATRICES,
+    gate_matrix,
+    identity_matrix,
+    is_unitary,
+    kron,
+    matmul,
+    matrix_to_complex,
+    matvec,
+)
+
+__all__ = [
+    "AlgebraicNumber",
+    "ZERO",
+    "ONE",
+    "OMEGA",
+    "SQRT2_INV",
+    "GATE_MATRICES",
+    "gate_matrix",
+    "identity_matrix",
+    "is_unitary",
+    "kron",
+    "matmul",
+    "matrix_to_complex",
+    "matvec",
+]

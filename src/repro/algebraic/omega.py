@@ -1,0 +1,243 @@
+"""Exact algebraic representation of amplitudes used by the framework.
+
+The paper (Section 2.1, Eq. (3)) represents every amplitude as
+
+    (1/sqrt(2))**k * (a + b*w + c*w**2 + d*w**3),     w = e^{i*pi/4},
+
+with ``a, b, c, d, k`` integers.  The tuple ``(a, b, c, d, k)`` is a precise,
+floating-point-free encoding that is closed under every gate in Table 1 of the
+paper (the Clifford+T universal set and more).
+
+This module provides :class:`AlgebraicNumber`, an immutable value type with the
+ring operations needed by the tree-automaton transformers and by the exact
+simulator (addition, subtraction, multiplication, multiplication by ``w`` and
+``1/sqrt(2)``), together with conversion to Python ``complex`` and a canonical
+form so that equal amplitudes compare equal.
+
+Key identities used throughout:
+
+* ``w**4 == -1`` so multiplication by ``w`` is a signed circular shift of
+  ``(a, b, c, d)``.
+* ``sqrt(2) == w - w**3``, hence ``(1/sqrt(2)) == (w - w**3) / 2`` and a value
+  with even coefficients can always trade a factor of 2 against ``k``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Iterator, Tuple
+
+__all__ = ["AlgebraicNumber", "ZERO", "ONE", "OMEGA", "SQRT2_INV"]
+
+_OMEGA_COMPLEX = cmath.exp(1j * math.pi / 4)
+
+
+class AlgebraicNumber:
+    """An element of Z[w, 1/sqrt(2)] written as ``(1/sqrt(2))^k (a + bw + cw^2 + dw^3)``.
+
+    Instances are immutable and hashable.  Two instances are equal iff they
+    denote the same complex number; a canonical form (see :meth:`canonical`)
+    guarantees this even when the raw tuples differ (e.g. ``(2,0,0,0,2)`` and
+    ``(1,0,0,0,0)`` both denote 1).
+    """
+
+    __slots__ = ("a", "b", "c", "d", "k")
+
+    def __init__(self, a: int = 0, b: int = 0, c: int = 0, d: int = 0, k: int = 0):
+        a, b, c, d, k = int(a), int(b), int(c), int(d), int(k)
+        # Canonicalise so that equal values always produce identical tuples:
+        # * the zero value is stored as (0, 0, 0, 0, 0);
+        # * k is made non-negative by multiplying the numerator by sqrt(2);
+        # * k is minimal: while the numerator is divisible by sqrt(2) = w - w^3
+        #   (which holds iff a = c and b = d modulo 2) and k > 0, divide it out.
+        if a == 0 and b == 0 and c == 0 and d == 0:
+            k = 0
+        else:
+            while k < 0:
+                # multiply numerator by sqrt(2) = w - w^3
+                a, b, c, d = _mul_tuple((a, b, c, d), (0, 1, 0, -1))
+                k += 1
+            while k > 0 and (a - c) % 2 == 0 and (b - d) % 2 == 0:
+                # divide numerator by sqrt(2): x / sqrt(2) = x * (w - w^3) / 2
+                a, b, c, d = (b - d) // 2, (a + c) // 2, (b + d) // 2, (c - a) // 2
+                k -= 1
+        self.a = a
+        self.b = b
+        self.c = c
+        self.d = d
+        self.k = k
+
+    # ------------------------------------------------------------------ basics
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        """Return the raw ``(a, b, c, d, k)`` tuple in canonical form."""
+        return (self.a, self.b, self.c, self.d, self.k)
+
+    def canonical(self) -> "AlgebraicNumber":
+        """Return ``self`` (instances are always stored canonically)."""
+        return self
+
+    def is_zero(self) -> bool:
+        """True iff the value denotes the complex number 0."""
+        return self.a == 0 and self.b == 0 and self.c == 0 and self.d == 0
+
+    def __bool__(self) -> bool:
+        return not self.is_zero()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AlgebraicNumber):
+            return NotImplemented
+        if self.k == other.k:
+            return self.as_tuple() == other.as_tuple()
+        # Same value can only have different k if one is not fully reduced;
+        # compare after lifting to a common k.
+        k = max(self.k, other.k)
+        return self._lift(k) == other._lift(k)
+
+    def _lift(self, k: int) -> Tuple[int, int, int, int, int]:
+        """Return coefficients rescaled so that the exponent equals ``k >= self.k``."""
+        a, b, c, d = self.a, self.b, self.c, self.d
+        delta = k - self.k
+        if delta < 0:
+            raise ValueError("cannot lift to a smaller exponent")
+        for _ in range(delta):
+            a, b, c, d = _mul_tuple((a, b, c, d), (0, 1, 0, -1))  # * sqrt(2)
+        return (a, b, c, d, k)
+
+    def __repr__(self) -> str:
+        return f"AlgebraicNumber(a={self.a}, b={self.b}, c={self.c}, d={self.d}, k={self.k})"
+
+    def __str__(self) -> str:
+        if self.is_zero():
+            return "0"
+        terms = []
+        for coeff, name in ((self.a, ""), (self.b, "w"), (self.c, "w^2"), (self.d, "w^3")):
+            if coeff == 0:
+                continue
+            if name:
+                terms.append(f"{coeff}*{name}" if abs(coeff) != 1 else ("-" + name if coeff < 0 else name))
+            else:
+                terms.append(str(coeff))
+        body = " + ".join(terms).replace("+ -", "- ")
+        if self.k:
+            return f"(1/sqrt2)^{self.k} * ({body})"
+        return body
+
+    # ------------------------------------------------------------- arithmetic
+    def __add__(self, other: "AlgebraicNumber") -> "AlgebraicNumber":
+        if not isinstance(other, AlgebraicNumber):
+            return NotImplemented
+        k = max(self.k, other.k)
+        a1, b1, c1, d1, _ = self._lift(k)
+        a2, b2, c2, d2, _ = other._lift(k)
+        return AlgebraicNumber(a1 + a2, b1 + b2, c1 + c2, d1 + d2, k)
+
+    def __sub__(self, other: "AlgebraicNumber") -> "AlgebraicNumber":
+        if not isinstance(other, AlgebraicNumber):
+            return NotImplemented
+        return self + (-other)
+
+    def __neg__(self) -> "AlgebraicNumber":
+        return AlgebraicNumber(-self.a, -self.b, -self.c, -self.d, self.k)
+
+    def __mul__(self, other: "AlgebraicNumber") -> "AlgebraicNumber":
+        if isinstance(other, int):
+            return AlgebraicNumber(self.a * other, self.b * other, self.c * other, self.d * other, self.k)
+        if not isinstance(other, AlgebraicNumber):
+            return NotImplemented
+        a, b, c, d = _mul_tuple((self.a, self.b, self.c, self.d), (other.a, other.b, other.c, other.d))
+        return AlgebraicNumber(a, b, c, d, self.k + other.k)
+
+    __rmul__ = __mul__
+
+    def times_omega(self, power: int = 1) -> "AlgebraicNumber":
+        """Multiply by ``w**power`` (signed circular shift, Section 2.1)."""
+        a, b, c, d = self.a, self.b, self.c, self.d
+        power %= 8
+        for _ in range(power):
+            a, b, c, d = -d, a, b, c
+        return AlgebraicNumber(a, b, c, d, self.k)
+
+    def times_sqrt2_inv(self, times: int = 1) -> "AlgebraicNumber":
+        """Multiply by ``(1/sqrt(2))**times`` (increment the exponent ``k``)."""
+        if times < 0:
+            raise ValueError("times must be non-negative")
+        if self.is_zero():
+            return ZERO
+        return AlgebraicNumber(self.a, self.b, self.c, self.d, self.k + times)
+
+    def conjugate(self) -> "AlgebraicNumber":
+        """Complex conjugate: w -> w^7 = -w^3, w^2 -> -w^2 ... i.e. conj(w^j)=w^{-j}."""
+        # conj(a + bw + cw^2 + dw^3) = a + b*conj(w) + c*conj(w^2) + d*conj(w^3)
+        #                            = a - d*w - c*w^2 - b*w^3  (since conj(w)=w^{-1}=-w^3)
+        return AlgebraicNumber(self.a, -self.d, -self.c, -self.b, self.k)
+
+    def abs_squared(self) -> "AlgebraicNumber":
+        """Return |self|^2 as an algebraic number (always real)."""
+        return self * self.conjugate()
+
+    # ------------------------------------------------------------ conversions
+    def to_complex(self) -> complex:
+        """Convert to a floating point ``complex`` (for display / cross-checks)."""
+        value = (
+            self.a
+            + self.b * _OMEGA_COMPLEX
+            + self.c * _OMEGA_COMPLEX ** 2
+            + self.d * _OMEGA_COMPLEX ** 3
+        )
+        return value / (math.sqrt(2) ** self.k)
+
+    def to_float(self) -> float:
+        """Convert a real-valued amplitude to ``float`` (raises if imaginary)."""
+        z = self.to_complex()
+        if abs(z.imag) > 1e-9:
+            raise ValueError(f"{self!r} is not real")
+        return z.real
+
+    @classmethod
+    def from_int(cls, value: int) -> "AlgebraicNumber":
+        """Embed an integer into the ring."""
+        return cls(value, 0, 0, 0, 0)
+
+    @classmethod
+    def omega_power(cls, power: int) -> "AlgebraicNumber":
+        """Return ``w**power``."""
+        return ONE.times_omega(power)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.as_tuple())
+
+
+def _mul_tuple(x: Tuple[int, int, int, int], y: Tuple[int, int, int, int]) -> Tuple[int, int, int, int]:
+    """Multiply two elements of Z[w] given by coefficient 4-tuples (w^4 = -1)."""
+    a1, b1, c1, d1 = x
+    a2, b2, c2, d2 = y
+    # (a1 + b1 w + c1 w^2 + d1 w^3)(a2 + b2 w + c2 w^2 + d2 w^3), reduce w^4 = -1.
+    prod = [0] * 7
+    coeffs1 = (a1, b1, c1, d1)
+    coeffs2 = (a2, b2, c2, d2)
+    for i, ci in enumerate(coeffs1):
+        if ci == 0:
+            continue
+        for j, cj in enumerate(coeffs2):
+            if cj == 0:
+                continue
+            prod[i + j] += ci * cj
+    a = prod[0] - prod[4]
+    b = prod[1] - prod[5]
+    c = prod[2] - prod[6]
+    d = prod[3]
+    return (a, b, c, d)
+
+
+#: The additive identity ``0``.
+ZERO = AlgebraicNumber(0, 0, 0, 0, 0)
+#: The multiplicative identity ``1``.
+ONE = AlgebraicNumber(1, 0, 0, 0, 0)
+#: The eighth root of unity ``w = e^{i pi/4}``.
+OMEGA = AlgebraicNumber(0, 1, 0, 0, 0)
+#: ``1/sqrt(2)``.
+SQRT2_INV = AlgebraicNumber(1, 0, 0, 0, 1)

@@ -1,0 +1,40 @@
+"""Baseline equivalence checkers the paper compares against (substitutes).
+
+* :mod:`repro.baselines.pathsum` — path-sum / phase-polynomial checking (Feynman),
+* :mod:`repro.baselines.stimuli` — random stimuli (the stimuli part of QCEC),
+* :mod:`repro.baselines.stabilizer` — CHP tableau simulation of the Clifford fragment,
+* :mod:`repro.baselines.unitary` — brute-force unitary comparison (ground truth for tiny circuits).
+"""
+
+from .pathsum import PathSum, PathSumChecker, PathSumResult, PathSumVerdict
+from .stabilizer import (
+    CliffordTableau,
+    StabilizerChecker,
+    StabilizerResult,
+    StabilizerState,
+    StabilizerVerdict,
+    is_clifford_circuit,
+    is_clifford_gate,
+)
+from .stimuli import RandomStimuliChecker, StimuliResult, StimuliVerdict
+from .unitary import UnitaryResult, check_unitary_equivalence, unitaries_equal_up_to_phase
+
+__all__ = [
+    "PathSum",
+    "PathSumChecker",
+    "PathSumResult",
+    "PathSumVerdict",
+    "CliffordTableau",
+    "StabilizerChecker",
+    "StabilizerResult",
+    "StabilizerState",
+    "StabilizerVerdict",
+    "is_clifford_circuit",
+    "is_clifford_gate",
+    "RandomStimuliChecker",
+    "StimuliResult",
+    "StimuliVerdict",
+    "UnitaryResult",
+    "check_unitary_equivalence",
+    "unitaries_equal_up_to_phase",
+]

@@ -1,0 +1,409 @@
+"""Stabilizer (CHP-tableau) simulation of Clifford circuits.
+
+QCEC, one of the equivalence checkers the paper compares against, combines
+decision diagrams with cheap structural checks; for the Clifford fragment of
+the gate set, the textbook cheap check is Aaronson–Gottesman tableau
+simulation [CHP, Phys. Rev. A 70, 052328].  This module provides that
+substrate as an additional baseline:
+
+* :class:`CliffordTableau` tracks the conjugation action of a Clifford circuit
+  on the Pauli generators ``X_i`` and ``Z_i`` (a ``2n x 2n`` binary matrix plus
+  sign bits).  Two Clifford circuits implement the same unitary (up to global
+  phase) iff their tableaus are identical, which gives a polynomial-time
+  equivalence check for the Clifford fragment.
+* :class:`StabilizerState` tracks the stabilizer group of ``U |0...0>`` and
+  offers a canonical form, so states produced by different Clifford circuits
+  can be compared exactly.
+* :class:`StabilizerChecker` wraps both into the same
+  ``check_equivalence(first, second)`` interface as the other baselines and
+  reports ``INCONCLUSIVE`` as soon as a non-Clifford gate appears.
+
+Everything is exact binary arithmetic — no floating point is involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+
+__all__ = [
+    "CLIFFORD_GATES",
+    "is_clifford_gate",
+    "is_clifford_circuit",
+    "CliffordTableau",
+    "StabilizerState",
+    "StabilizerVerdict",
+    "StabilizerResult",
+    "StabilizerChecker",
+]
+
+#: Gate kinds the tableau simulation supports (every Clifford gate of the library).
+CLIFFORD_GATES = frozenset(
+    {"x", "y", "z", "h", "s", "sdg", "rx", "ry", "cx", "cz", "swap"}
+)
+
+#: Decomposition of every supported gate into the tableau primitives h / s / cx.
+#: Global phases are irrelevant for the conjugation action and are dropped.
+_PRIMITIVE_SEQUENCES = {
+    "h": (("h", 0),),
+    "s": (("s", 0),),
+    "sdg": (("s", 0), ("s", 0), ("s", 0)),
+    "z": (("s", 0), ("s", 0)),
+    "x": (("h", 0), ("s", 0), ("s", 0), ("h", 0)),
+    "y": (("s", 0), ("h", 0), ("s", 0), ("s", 0), ("h", 0), ("s", 0), ("s", 0), ("s", 0)),
+    "rx": (("h", 0), ("s", 0), ("h", 0)),
+    "ry": (("s", 0), ("s", 0), ("h", 0)),
+    "cx": (("cx", 0, 1),),
+    "cz": (("h", 1), ("cx", 0, 1), ("h", 1)),
+    "swap": (("cx", 0, 1), ("cx", 1, 0), ("cx", 0, 1)),
+}
+
+
+def is_clifford_gate(gate: Gate) -> bool:
+    """True iff the tableau simulation can handle this gate."""
+    return gate.kind in CLIFFORD_GATES
+
+
+def is_clifford_circuit(circuit: Circuit) -> bool:
+    """True iff every gate of the circuit is Clifford."""
+    return all(is_clifford_gate(gate) for gate in circuit)
+
+
+class _PauliRows:
+    """A list of Pauli operators stored as bit rows ``(x, z, r)``.
+
+    ``x`` and ``z`` are integers used as bit vectors over the qubits and ``r``
+    is the sign bit (0 for ``+``, 1 for ``-``); the represented Pauli is
+    ``(-1)^r  prod_i X_i^{x_i} Z_i^{z_i}`` up to the usual ``i`` bookkeeping of
+    the Aaronson–Gottesman rowsum, which is tracked exactly when rows are
+    multiplied.
+    """
+
+    __slots__ = ("num_qubits", "xs", "zs", "rs")
+
+    def __init__(self, num_qubits: int, rows: int):
+        self.num_qubits = num_qubits
+        self.xs: List[int] = [0] * rows
+        self.zs: List[int] = [0] * rows
+        self.rs: List[int] = [0] * rows
+
+    # ------------------------------------------------------------- gate action
+    def apply_h(self, qubit: int) -> None:
+        mask = 1 << qubit
+        for i in range(len(self.xs)):
+            x_bit = self.xs[i] & mask
+            z_bit = self.zs[i] & mask
+            if x_bit and z_bit:
+                self.rs[i] ^= 1
+            # swap the x and z bits of this qubit
+            if bool(x_bit) != bool(z_bit):
+                self.xs[i] ^= mask
+                self.zs[i] ^= mask
+
+    def apply_s(self, qubit: int) -> None:
+        mask = 1 << qubit
+        for i in range(len(self.xs)):
+            x_bit = self.xs[i] & mask
+            z_bit = self.zs[i] & mask
+            if x_bit and z_bit:
+                self.rs[i] ^= 1
+            if x_bit:
+                self.zs[i] ^= mask
+
+    def apply_cx(self, control: int, target: int) -> None:
+        cmask = 1 << control
+        tmask = 1 << target
+        for i in range(len(self.xs)):
+            x_c = bool(self.xs[i] & cmask)
+            x_t = bool(self.xs[i] & tmask)
+            z_c = bool(self.zs[i] & cmask)
+            z_t = bool(self.zs[i] & tmask)
+            if x_c and z_t and (x_t == z_c):
+                self.rs[i] ^= 1
+            if x_c:
+                self.xs[i] ^= tmask
+            if z_t:
+                self.zs[i] ^= cmask
+
+    def apply_gate(self, gate: Gate) -> None:
+        if gate.kind not in _PRIMITIVE_SEQUENCES:
+            raise ValueError(f"gate {gate.kind!r} is not Clifford")
+        for primitive in _PRIMITIVE_SEQUENCES[gate.kind]:
+            if primitive[0] == "h":
+                self.apply_h(gate.qubits[primitive[1]])
+            elif primitive[0] == "s":
+                self.apply_s(gate.qubits[primitive[1]])
+            else:
+                self.apply_cx(gate.qubits[primitive[1]], gate.qubits[primitive[2]])
+
+    # ----------------------------------------------------------------- algebra
+    def _phase_exponent(self, row: int, other_x: int, other_z: int) -> int:
+        """Exponent of ``i`` (mod 4) produced by multiplying ``row``'s Pauli by the other Pauli."""
+        exponent = 0
+        for qubit in range(self.num_qubits):
+            mask = 1 << qubit
+            x1 = 1 if self.xs[row] & mask else 0
+            z1 = 1 if self.zs[row] & mask else 0
+            x2 = 1 if other_x & mask else 0
+            z2 = 1 if other_z & mask else 0
+            # the g() function of Aaronson-Gottesman
+            if x1 == 1 and z1 == 0:
+                exponent += z2 * (2 * x2 - 1)
+            elif x1 == 0 and z1 == 1:
+                exponent += x2 * (1 - 2 * z2)
+            elif x1 == 1 and z1 == 1:
+                exponent += z2 - x2
+        return exponent % 4
+
+    def multiply_into(self, target_row: int, source_row: int) -> None:
+        """Replace the target row's Pauli by (source Pauli) * (target Pauli)."""
+        exponent = (
+            2 * self.rs[target_row]
+            + 2 * self.rs[source_row]
+            + self._phase_exponent(source_row, self.xs[target_row], self.zs[target_row])
+        ) % 4
+        if exponent not in (0, 2):
+            raise AssertionError("stabilizer rows multiplied to an imaginary phase")
+        self.rs[target_row] = 1 if exponent == 2 else 0
+        self.xs[target_row] ^= self.xs[source_row]
+        self.zs[target_row] ^= self.zs[source_row]
+
+    def row_key(self, row: int) -> Tuple[int, int, int]:
+        return (self.xs[row], self.zs[row], self.rs[row])
+
+
+class CliffordTableau:
+    """The conjugation action of a Clifford circuit on the Pauli generators.
+
+    Row ``i`` stores the image of ``X_i`` and row ``n + i`` the image of
+    ``Z_i`` under ``P -> U P U^\\dagger``.  Because a Clifford unitary is
+    determined by this action up to a global phase, comparing tableaus decides
+    circuit equivalence up to global phase.
+    """
+
+    def __init__(self, num_qubits: int):
+        if num_qubits <= 0:
+            raise ValueError("a tableau needs at least one qubit")
+        self.num_qubits = num_qubits
+        self._rows = _PauliRows(num_qubits, 2 * num_qubits)
+        for qubit in range(num_qubits):
+            self._rows.xs[qubit] = 1 << qubit            # X_i -> X_i
+            self._rows.zs[num_qubits + qubit] = 1 << qubit  # Z_i -> Z_i
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def from_circuit(cls, circuit: Circuit) -> "CliffordTableau":
+        """Simulate a whole Clifford circuit; raises ``ValueError`` on non-Clifford gates."""
+        tableau = cls(circuit.num_qubits)
+        for gate in circuit.decomposed():
+            tableau.apply_gate(gate)
+        return tableau
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply one Clifford gate to the tableau."""
+        self._rows.apply_gate(gate)
+
+    # ------------------------------------------------------------------ views
+    def image_of_x(self, qubit: int) -> Tuple[int, int, int]:
+        """The image of ``X_qubit`` as ``(x_bits, z_bits, sign)``."""
+        return self._rows.row_key(qubit)
+
+    def image_of_z(self, qubit: int) -> Tuple[int, int, int]:
+        """The image of ``Z_qubit`` as ``(x_bits, z_bits, sign)``."""
+        return self._rows.row_key(self.num_qubits + qubit)
+
+    def signature(self) -> Tuple[Tuple[int, int, int], ...]:
+        """A hashable value determining the Clifford unitary up to global phase."""
+        return tuple(self._rows.row_key(row) for row in range(2 * self.num_qubits))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CliffordTableau):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash((self.num_qubits, self.signature()))
+
+    def __repr__(self) -> str:
+        return f"CliffordTableau(num_qubits={self.num_qubits})"
+
+
+class StabilizerState:
+    """The stabilizer group of ``U |0...0>`` for a Clifford circuit ``U``."""
+
+    def __init__(self, num_qubits: int):
+        self.num_qubits = num_qubits
+        self._rows = _PauliRows(num_qubits, num_qubits)
+        for qubit in range(num_qubits):
+            self._rows.zs[qubit] = 1 << qubit  # stabilized by Z_i
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit, initial_bits: Optional[Sequence[int]] = None) -> "StabilizerState":
+        """The stabilizer state reached from ``|initial_bits>`` (default all zero)."""
+        state = cls(circuit.num_qubits)
+        if initial_bits is not None:
+            if len(initial_bits) != circuit.num_qubits:
+                raise ValueError("initial_bits width does not match the circuit")
+            for qubit, bit in enumerate(initial_bits):
+                if bit:
+                    state._rows.rs[qubit] ^= 1  # stabilized by -Z_i
+        for gate in circuit.decomposed():
+            if not is_clifford_gate(gate):
+                raise ValueError(f"gate {gate.kind!r} is not Clifford")
+            state._rows.apply_gate(gate)
+        return state
+
+    # ------------------------------------------------------------- canonical form
+    def canonical_generators(self) -> Tuple[Tuple[int, int, int], ...]:
+        """Row-reduced stabilizer generators (a canonical form of the state).
+
+        Two stabilizer states are equal iff their canonical generator lists are
+        identical.  The reduction is Gaussian elimination over GF(2) with exact
+        sign tracking: first eliminate on X bits (qubit by qubit), then on the
+        remaining Z bits.
+        """
+        rows = _PauliRows(self.num_qubits, self.num_qubits)
+        rows.xs = list(self._rows.xs)
+        rows.zs = list(self._rows.zs)
+        rows.rs = list(self._rows.rs)
+        row_count = self.num_qubits
+        pivot = 0
+        # eliminate X bits
+        for qubit in range(self.num_qubits):
+            mask = 1 << qubit
+            pivot_row = next(
+                (row for row in range(pivot, row_count) if rows.xs[row] & mask), None
+            )
+            if pivot_row is None:
+                continue
+            _swap_rows(rows, pivot, pivot_row)
+            for row in range(row_count):
+                if row != pivot and rows.xs[row] & mask:
+                    rows.multiply_into(row, pivot)
+            pivot += 1
+        # eliminate Z bits among the X-free rows
+        for qubit in range(self.num_qubits):
+            mask = 1 << qubit
+            pivot_row = next(
+                (
+                    row
+                    for row in range(pivot, row_count)
+                    if rows.zs[row] & mask and not rows.xs[row]
+                ),
+                None,
+            )
+            if pivot_row is None:
+                continue
+            _swap_rows(rows, pivot, pivot_row)
+            for row in range(row_count):
+                if row != pivot and not rows.xs[row] and rows.zs[row] & mask:
+                    rows.multiply_into(row, pivot)
+            pivot += 1
+        return tuple(sorted(rows.row_key(row) for row in range(row_count)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StabilizerState):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self.canonical_generators() == other.canonical_generators()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_qubits, self.canonical_generators()))
+
+    def expectation_of_z(self, qubit: int) -> Optional[int]:
+        """Expectation value of ``Z_qubit`` when it is determined (+1/-1), else ``None``.
+
+        The outcome of measuring ``qubit`` in the computational basis is
+        deterministic iff ``Z_qubit`` (up to sign) lies in the stabilizer
+        group; this is decided by reducing ``Z_qubit`` against the X-free
+        canonical generators with exact sign tracking.
+        """
+        generators = [row for row in self.canonical_generators() if row[0] == 0]
+        scratch = _PauliRows(self.num_qubits, len(generators) + 1)
+        for index, (x_bits, z_bits, sign) in enumerate(generators):
+            scratch.xs[index], scratch.zs[index], scratch.rs[index] = x_bits, z_bits, sign
+        target = len(generators)
+        scratch.zs[target] = 1 << qubit
+        for index in range(len(generators)):
+            if scratch.zs[target] & scratch.zs[index] & -scratch.zs[index]:
+                # the generator's lowest set bit is present in the target: eliminate it
+                scratch.multiply_into(target, index)
+        if scratch.xs[target] == 0 and scratch.zs[target] == 0:
+            return -1 if scratch.rs[target] else 1
+        return None
+
+    def __repr__(self) -> str:
+        return f"StabilizerState(num_qubits={self.num_qubits})"
+
+
+def _swap_rows(rows: _PauliRows, first: int, second: int) -> None:
+    if first == second:
+        return
+    rows.xs[first], rows.xs[second] = rows.xs[second], rows.xs[first]
+    rows.zs[first], rows.zs[second] = rows.zs[second], rows.zs[first]
+    rows.rs[first], rows.rs[second] = rows.rs[second], rows.rs[first]
+
+
+# ------------------------------------------------------------------ equivalence checking
+class StabilizerVerdict(str, Enum):
+    """Outcome of the Clifford-fragment equivalence check."""
+
+    EQUAL = "equal"
+    NOT_EQUAL = "not_equal"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class StabilizerResult:
+    """Result of :meth:`StabilizerChecker.check_equivalence`."""
+
+    verdict: StabilizerVerdict
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.verdict == StabilizerVerdict.EQUAL
+
+
+class StabilizerChecker:
+    """Equivalence checker for the Clifford fragment via tableau comparison."""
+
+    def check_equivalence(self, first: Circuit, second: Circuit) -> StabilizerResult:
+        """Compare two circuits; ``INCONCLUSIVE`` when either is not Clifford."""
+        if first.num_qubits != second.num_qubits:
+            return StabilizerResult(
+                StabilizerVerdict.NOT_EQUAL, "circuits act on a different number of qubits"
+            )
+        first = first.decomposed()
+        second = second.decomposed()
+        for circuit in (first, second):
+            offending = [gate.kind for gate in circuit if not is_clifford_gate(gate)]
+            if offending:
+                return StabilizerResult(
+                    StabilizerVerdict.INCONCLUSIVE,
+                    f"non-Clifford gates present: {sorted(set(offending))}",
+                )
+        if CliffordTableau.from_circuit(first) == CliffordTableau.from_circuit(second):
+            return StabilizerResult(StabilizerVerdict.EQUAL, "identical Clifford tableaus")
+        return StabilizerResult(StabilizerVerdict.NOT_EQUAL, "Clifford tableaus differ")
+
+    def check_states(
+        self, first: Circuit, second: Circuit, initial_bits: Optional[Iterable[int]] = None
+    ) -> StabilizerResult:
+        """Compare only the states the circuits produce from one basis input."""
+        bits = tuple(initial_bits) if initial_bits is not None else None
+        for circuit in (first.decomposed(), second.decomposed()):
+            if not is_clifford_circuit(circuit):
+                return StabilizerResult(
+                    StabilizerVerdict.INCONCLUSIVE, "non-Clifford gates present"
+                )
+        left = StabilizerState.from_circuit(first, bits)
+        right = StabilizerState.from_circuit(second, bits)
+        if left == right:
+            return StabilizerResult(StabilizerVerdict.EQUAL, "identical stabilizer states")
+        return StabilizerResult(StabilizerVerdict.NOT_EQUAL, "stabilizer states differ")

@@ -1,0 +1,87 @@
+"""Benchmark circuit generators for the paper's data sets (Section 7)."""
+
+from .bv import bv_benchmark, bv_circuit, default_hidden_string
+from .common import VerificationBenchmark, append_multi_controlled_x, append_multi_controlled_z
+from .feynman_suite import (
+    carry_lookahead_adder,
+    csum_mux,
+    feynman_suite,
+    gf2_multiplier,
+    ham_coder,
+    mod_adder,
+)
+from .grover import (
+    default_iterations,
+    grover_all_benchmark,
+    grover_all_circuit,
+    grover_single_benchmark,
+    grover_single_circuit,
+)
+from .arithmetic import adder_benchmark, classical_addition, cuccaro_adder
+from .mctoffoli import mctoffoli_benchmark, mctoffoli_circuit, mctoffoli_layout
+from .qft import (
+    inverse_qft_circuit,
+    qft_circuit,
+    qft_roundtrip_benchmark,
+    qft_zero_benchmark,
+    uniform_superposition_state,
+)
+from .stateprep import (
+    bell_chain_benchmark,
+    bell_chain_circuit,
+    bell_chain_state,
+    ghz_benchmark,
+    ghz_circuit,
+    ghz_state,
+)
+from .revlib import (
+    controlled_increment,
+    hidden_weighted_bit_like,
+    parity_network,
+    revlib_suite,
+    ripple_carry_adder,
+    unstructured_reversible,
+)
+
+__all__ = [
+    "VerificationBenchmark",
+    "append_multi_controlled_x",
+    "append_multi_controlled_z",
+    "bv_circuit",
+    "bv_benchmark",
+    "default_hidden_string",
+    "grover_single_circuit",
+    "grover_single_benchmark",
+    "grover_all_circuit",
+    "grover_all_benchmark",
+    "default_iterations",
+    "mctoffoli_circuit",
+    "mctoffoli_benchmark",
+    "mctoffoli_layout",
+    "ripple_carry_adder",
+    "controlled_increment",
+    "parity_network",
+    "unstructured_reversible",
+    "hidden_weighted_bit_like",
+    "revlib_suite",
+    "gf2_multiplier",
+    "csum_mux",
+    "carry_lookahead_adder",
+    "mod_adder",
+    "ham_coder",
+    "feynman_suite",
+    "qft_circuit",
+    "inverse_qft_circuit",
+    "uniform_superposition_state",
+    "qft_zero_benchmark",
+    "qft_roundtrip_benchmark",
+    "ghz_circuit",
+    "ghz_state",
+    "ghz_benchmark",
+    "bell_chain_circuit",
+    "bell_chain_state",
+    "bell_chain_benchmark",
+    "cuccaro_adder",
+    "classical_addition",
+    "adder_benchmark",
+]

@@ -1,0 +1,136 @@
+"""Reversible arithmetic circuits verified against a classical reference model.
+
+The RevLib rows of Table 3 are dominated by adders (`add16_174`,
+`add32_183`, `add64_184`); this module provides the textbook in-place
+ripple-carry adder of Cuccaro, Draper, Kutin and Moulton (the construction
+RevLib's adders are based on) together with a *functional* verification
+triple: the pre-condition fixes one classical addend and lets the other range
+over all values, and the post-condition is the set of classically computed
+sums.  This is a different style of specification from the other families —
+the expected outputs come from an independent classical model rather than
+from the circuit's own semantics — and it exercises ``{P} C {Q}`` checking on
+genuinely classical reversible logic.
+
+Qubit layout for ``num_bits = n`` (most significant bit first within each
+register, matching the MSBF convention of the paper):
+
+====================  =======================================
+qubit 0               incoming carry (always ``|0>``)
+qubits 1 .. n         register ``a`` (one addend, left unchanged)
+qubits n+1 .. 2n      register ``b`` (replaced by ``a + b mod 2^n``)
+qubit 2n+1            carry-out ``z``
+====================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from ..circuits.circuit import Circuit
+from ..states import QuantumState, parse_bitstring
+from ..ta.construction import basis_product_ta
+from ..core.specs import states_condition
+from .common import VerificationBenchmark
+
+__all__ = [
+    "cuccaro_adder",
+    "classical_addition",
+    "adder_benchmark",
+]
+
+
+def _normalise_addend(addend: Union[int, str, Sequence[int]], num_bits: int) -> Tuple[int, ...]:
+    if isinstance(addend, str):
+        bits = parse_bitstring(addend)
+    elif isinstance(addend, int):
+        if addend < 0 or addend >= (1 << num_bits):
+            raise ValueError(f"addend {addend} out of range for {num_bits} bits")
+        bits = tuple((addend >> (num_bits - 1 - i)) & 1 for i in range(num_bits))
+    else:
+        bits = tuple(int(b) for b in addend)
+    if len(bits) != num_bits:
+        raise ValueError(f"addend has {len(bits)} bits, expected {num_bits}")
+    return bits
+
+
+def cuccaro_adder(num_bits: int) -> Circuit:
+    """The in-place Cuccaro ripple-carry adder ``|c=0, a, b, z=0> -> |0, a, a+b, carry>``.
+
+    Built from the MAJ / UMA blocks (each a pair of CNOTs and one Toffoli), so
+    the circuit stays inside the Table 1 gate set and is handled entirely by
+    the permutation-based encoding.
+    """
+    if num_bits < 1:
+        raise ValueError("the adder needs at least one bit per register")
+    carry_in = 0
+    a = [1 + i for i in range(num_bits)]            # a[0] = MSB ... a[n-1] = LSB
+    b = [1 + num_bits + i for i in range(num_bits)]
+    carry_out = 2 * num_bits + 1
+    circuit = Circuit(2 * num_bits + 2, name=f"cuccaro_adder_{num_bits}")
+
+    def maj(c: int, b_q: int, a_q: int) -> None:
+        circuit.add("cx", a_q, b_q)
+        circuit.add("cx", a_q, c)
+        circuit.add("ccx", c, b_q, a_q)
+
+    def uma(c: int, b_q: int, a_q: int) -> None:
+        circuit.add("ccx", c, b_q, a_q)
+        circuit.add("cx", a_q, c)
+        circuit.add("cx", c, b_q)
+
+    # ripple from the least significant bit (index n-1) upwards
+    chain: List[Tuple[int, int, int]] = []
+    previous_carry = carry_in
+    for index in range(num_bits - 1, -1, -1):
+        chain.append((previous_carry, b[index], a[index]))
+        previous_carry = a[index]
+    for block in chain:
+        maj(*block)
+    circuit.add("cx", a[0], carry_out)  # the carry ripples out of the MSB position
+    for block in reversed(chain):
+        uma(*block)
+    return circuit
+
+
+def classical_addition(addend_a: int, addend_b: int, num_bits: int) -> Tuple[int, int]:
+    """Reference model: ``(a + b) mod 2^n`` and the carry-out bit."""
+    total = addend_a + addend_b
+    return total % (1 << num_bits), 1 if total >= (1 << num_bits) else 0
+
+
+def adder_benchmark(num_bits: int, addend: Union[int, str, Sequence[int], None] = None) -> VerificationBenchmark:
+    """``{c=0, a=addend, b free, z=0} Cuccaro {c=0, a=addend, b=a+b, z=carry}``.
+
+    The post-condition is computed by the independent classical model
+    :func:`classical_addition`, so the triple fails whenever the circuit does
+    not actually add (e.g. after injecting a bug).  The default addend is the
+    alternating pattern ``1010...`` used by the paper's BV tables.
+    """
+    if addend is None:
+        addend = "".join("1" if i % 2 == 0 else "0" for i in range(num_bits))
+    a_bits = _normalise_addend(addend, num_bits)
+    a_value = int("".join(map(str, a_bits)), 2)
+    circuit = cuccaro_adder(num_bits)
+
+    allowed: List[Tuple[int, ...]] = [(0,)]                      # carry-in fixed to 0
+    allowed += [(bit,) for bit in a_bits]                        # register a fixed
+    allowed += [(0, 1)] * num_bits                               # register b free
+    allowed += [(0,)]                                            # carry-out fixed to 0
+    precondition = basis_product_ta(circuit.num_qubits, allowed)
+
+    outputs = []
+    for b_value in range(1 << num_bits):
+        sum_value, carry = classical_addition(a_value, b_value, num_bits)
+        bits = (0,) + a_bits + tuple(
+            (sum_value >> (num_bits - 1 - i)) & 1 for i in range(num_bits)
+        ) + (carry,)
+        outputs.append(QuantumState.basis_state(circuit.num_qubits, bits))
+    postcondition = states_condition(outputs)
+
+    return VerificationBenchmark(
+        name=f"Adder(n={num_bits})",
+        circuit=circuit,
+        precondition=precondition,
+        postcondition=postcondition,
+        description=f"Cuccaro ripple-carry adder adds a={a_value} to every b (classical reference model)",
+    )

@@ -1,0 +1,72 @@
+"""Bernstein-Vazirani circuits and their verification specs (the BV family).
+
+The BV algorithm recovers a hidden bit-string ``s`` with a single oracle query.
+The circuit follows Fig. 5 of the paper: Hadamards on all data qubits and on a
+bottom ancilla prepared in ``|1>``, one CNOT per 1-bit of ``s`` into the
+ancilla, Hadamards again, and (as the paper's implementation does) one extra
+Hadamard on the ancilla so that the final state is the basis state ``|s, 1>``.
+
+The verification triple (Appendix E): pre-condition ``{|0^{n+1}>}``,
+post-condition ``{|s 1>}``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..circuits.circuit import Circuit
+from ..core.specs import basis_state_precondition, zero_state_precondition
+from ..states import parse_bitstring
+from .common import VerificationBenchmark
+
+__all__ = ["bv_circuit", "bv_benchmark", "default_hidden_string"]
+
+
+def default_hidden_string(length: int) -> str:
+    """The alternating hidden string (``1010...``) used by the paper's tables."""
+    return "".join("1" if i % 2 == 0 else "0" for i in range(length))
+
+
+def _normalise_hidden(hidden: Union[str, Sequence[int]]) -> tuple:
+    if isinstance(hidden, str):
+        return parse_bitstring(hidden)
+    return tuple(int(b) for b in hidden)
+
+
+def bv_circuit(hidden: Union[str, Sequence[int]]) -> Circuit:
+    """Build the BV circuit for a hidden string of length ``n`` (``n+1`` qubits)."""
+    bits = _normalise_hidden(hidden)
+    length = len(bits)
+    num_qubits = length + 1
+    ancilla = length
+    circuit = Circuit(num_qubits, name=f"bv_{length}")
+    circuit.add("x", ancilla)
+    circuit.add("h", ancilla)
+    for qubit in range(length):
+        circuit.add("h", qubit)
+    for qubit, bit in enumerate(bits):
+        if bit:
+            circuit.add("cx", qubit, ancilla)
+    for qubit in range(length):
+        circuit.add("h", qubit)
+    circuit.add("h", ancilla)
+    return circuit
+
+
+def bv_benchmark(length: int, hidden: Optional[Union[str, Sequence[int]]] = None) -> VerificationBenchmark:
+    """Full verification benchmark for BV with a hidden string of the given length."""
+    if hidden is None:
+        hidden = default_hidden_string(length)
+    bits = _normalise_hidden(hidden)
+    if len(bits) != length:
+        raise ValueError("hidden string length does not match the requested size")
+    circuit = bv_circuit(bits)
+    precondition = zero_state_precondition(circuit.num_qubits)
+    postcondition = basis_state_precondition(circuit.num_qubits, bits + (1,))
+    return VerificationBenchmark(
+        name=f"BV(n={length})",
+        circuit=circuit,
+        precondition=precondition,
+        postcondition=postcondition,
+        description=f"Bernstein-Vazirani, hidden string {''.join(map(str, bits))}",
+    )

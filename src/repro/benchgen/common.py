@@ -1,0 +1,112 @@
+"""Shared helpers for the benchmark circuit generators.
+
+Provides the multi-controlled gate decompositions used by the Grover and
+MCToffoli families (ancilla-based AND-chains built from Toffoli gates, as in
+Fig. 6 of the paper) and the :class:`VerificationBenchmark` container that
+bundles a circuit with its pre- and post-condition automata (Appendix E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..circuits.circuit import Circuit
+from ..ta.automaton import TreeAutomaton
+
+__all__ = ["VerificationBenchmark", "append_multi_controlled_x", "append_multi_controlled_z"]
+
+
+@dataclass
+class VerificationBenchmark:
+    """A circuit together with the pre/post-condition TAs of its ``{P} C {Q}`` triple."""
+
+    name: str
+    circuit: Circuit
+    precondition: TreeAutomaton
+    postcondition: TreeAutomaton
+    #: free-form description of the specification (for reports and tables)
+    description: str = ""
+
+    @property
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    @property
+    def num_gates(self) -> int:
+        return self.circuit.num_gates
+
+
+def append_multi_controlled_x(
+    circuit: Circuit,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+) -> None:
+    """Append an ``len(controls)``-controlled X on ``target`` to ``circuit``.
+
+    Uses the AND-chain decomposition into Toffoli gates with ``len(controls)-1``
+    clean ancillas (computed and uncomputed), so only Table 1 gates appear.
+    For zero/one/two controls the gate degenerates to X / CX / CCX.
+    """
+    controls = list(controls)
+    if target in controls:
+        raise ValueError("target cannot also be a control")
+    if not controls:
+        circuit.add("x", target)
+        return
+    if len(controls) == 1:
+        circuit.add("cx", controls[0], target)
+        return
+    if len(controls) == 2:
+        circuit.add("ccx", controls[0], controls[1], target)
+        return
+    needed = len(controls) - 1
+    if len(ancillas) < needed:
+        raise ValueError(f"need {needed} ancillas for {len(controls)} controls, got {len(ancillas)}")
+    work = list(ancillas[:needed])
+    compute = []
+    compute.append(("ccx", controls[0], controls[1], work[0]))
+    for index in range(2, len(controls)):
+        compute.append(("ccx", controls[index], work[index - 2], work[index - 1]))
+    for kind, *qubits in compute:
+        circuit.add(kind, *qubits)
+    circuit.add("cx", work[-1], target)
+    for kind, *qubits in reversed(compute):
+        circuit.add(kind, *qubits)
+
+
+def append_multi_controlled_z(
+    circuit: Circuit,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+) -> None:
+    """Append an ``len(controls)``-controlled Z on ``target``.
+
+    Mirrors :func:`append_multi_controlled_x` but finishes the AND-chain with a
+    CZ (which the permutation-based encoding supports regardless of qubit
+    ordering, because CZ is symmetric).
+    """
+    controls = list(controls)
+    if target in controls:
+        raise ValueError("target cannot also be a control")
+    if not controls:
+        circuit.add("z", target)
+        return
+    if len(controls) == 1:
+        circuit.add("cz", controls[0], target)
+        return
+    needed = len(controls) - 1
+    if len(ancillas) < needed:
+        raise ValueError(f"need {needed} ancillas for {len(controls)} controls, got {len(ancillas)}")
+    work = list(ancillas[:needed])
+    compute = []
+    compute.append(("ccx", controls[0], controls[1], work[0]))
+    for index in range(2, len(controls)):
+        compute.append(("ccx", controls[index], work[index - 2], work[index - 1]))
+    for kind, *qubits in compute:
+        circuit.add(kind, *qubits)
+    circuit.add("cz", work[-1], target)
+    for kind, *qubits in reversed(compute):
+        circuit.add(kind, *qubits)

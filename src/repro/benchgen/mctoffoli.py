@@ -1,0 +1,79 @@
+"""Multi-controlled Toffoli benchmark circuits (the MCToffoli family).
+
+The circuit implements an ``n``-controlled NOT using the Toffoli AND-chain
+decomposition over ``n - 1`` clean work qubits (a variation of Nielsen and
+Chuang's construction, Fig. 6 of the paper): ``2n - 1`` gates over ``2n``
+qubits.
+
+Verification triple (Appendix E): the pre-condition contains every basis state
+where the control qubits and the target are free and the work qubits are zero;
+since the gate only permutes that set, the post-condition equals the
+pre-condition.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits.circuit import Circuit
+from ..core.specs import classical_product_condition
+from .common import VerificationBenchmark
+
+__all__ = ["mctoffoli_layout", "mctoffoli_circuit", "mctoffoli_benchmark"]
+
+
+def mctoffoli_layout(num_controls: int) -> dict:
+    """Qubit layout: controls and work qubits interleaved, target at the bottom.
+
+    The interleaving keeps every Toffoli's control indices below its target
+    index, so the whole circuit stays inside the permutation-based fragment
+    (which is why MCToffoli is essentially free for the Hybrid engine).
+    """
+    if num_controls < 2:
+        raise ValueError("MCToffoli needs at least two controls")
+    controls: List[int] = [0, 1]
+    work: List[int] = []
+    position = 2
+    for _ in range(num_controls - 2):
+        work.append(position)
+        controls.append(position + 1)
+        position += 2
+    work.append(position)
+    target = position + 1
+    return {"controls": controls, "work": work, "target": target, "num_qubits": target + 1}
+
+
+def mctoffoli_circuit(num_controls: int) -> Circuit:
+    """Build the ``num_controls``-controlled NOT over ``2 * num_controls`` qubits."""
+    layout = mctoffoli_layout(num_controls)
+    controls, work, target = layout["controls"], layout["work"], layout["target"]
+    circuit = Circuit(layout["num_qubits"], name=f"mctoffoli_{num_controls}")
+    compute = [("ccx", controls[0], controls[1], work[0])]
+    for index in range(2, num_controls):
+        compute.append(("ccx", controls[index], work[index - 2], work[index - 1]))
+    for kind, *qubits in compute:
+        circuit.add(kind, *qubits)
+    circuit.add("cx", work[-1], target)
+    for kind, *qubits in reversed(compute):
+        circuit.add(kind, *qubits)
+    return circuit
+
+
+def mctoffoli_benchmark(num_controls: int) -> VerificationBenchmark:
+    """Full verification benchmark: controls/target free, work qubits zero."""
+    layout = mctoffoli_layout(num_controls)
+    circuit = mctoffoli_circuit(num_controls)
+    allowed = []
+    for qubit in range(layout["num_qubits"]):
+        if qubit in layout["work"]:
+            allowed.append({0})
+        else:
+            allowed.append({0, 1})
+    condition = classical_product_condition(allowed)
+    return VerificationBenchmark(
+        name=f"MCToffoli(n={num_controls})",
+        circuit=circuit,
+        precondition=condition,
+        postcondition=condition,
+        description=f"{num_controls}-controlled NOT over {layout['num_qubits']} qubits",
+    )

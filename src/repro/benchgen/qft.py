@@ -1,0 +1,121 @@
+"""Approximate quantum Fourier transform circuits (an extension family).
+
+The paper's algebraic amplitude encoding supports phases that are multiples of
+``pi/4`` (powers of ``w = e^{i*pi/4}``), so the controlled rotations ``R_2``
+(phase ``pi/2``) and ``R_3`` (phase ``pi/4``) of the textbook QFT are exactly
+representable as the controlled-phase gates ``cs`` and ``ct``; higher
+rotations are dropped, which is the standard *approximate QFT* (AQFT) with
+approximation degree 3.  The paper notes (Section 4, "A note on expressivity")
+that finer rotations would have to be approximated via Solovay–Kitaev; this
+family exercises the native part.
+
+Two verification triples are provided:
+
+* ``qft_zero_benchmark`` — ``{|0^n>} AQFT {uniform superposition}``: on the
+  all-zero input no controlled phase ever fires, so the output is the exact
+  uniform superposition with amplitude ``(1/sqrt 2)^n`` everywhere.
+* ``qft_roundtrip_benchmark`` — ``{all basis states} AQFT ; AQFT† {all basis
+  states}``: the round trip is the identity, so the set of outputs equals the
+  set of inputs.  This stresses the controlled-phase transformers in both
+  directions (``cs``/``ct`` and ``csdg``/``ctdg``).
+"""
+
+from __future__ import annotations
+
+from ..algebraic import AlgebraicNumber
+from ..circuits.circuit import Circuit
+from ..core.specs import states_condition, zero_state_precondition
+from ..states import QuantumState
+from ..ta.construction import all_basis_states_ta
+from .common import VerificationBenchmark
+
+__all__ = [
+    "qft_circuit",
+    "inverse_qft_circuit",
+    "uniform_superposition_state",
+    "qft_zero_benchmark",
+    "qft_roundtrip_benchmark",
+]
+
+#: controlled-phase gate used for a rotation by ``pi / 2^(k-1)`` (distance ``k-1``)
+_CONTROLLED_ROTATIONS = {2: "cs", 3: "ct"}
+_INVERSE_ROTATIONS = {2: "csdg", 3: "ctdg"}
+
+
+def qft_circuit(num_qubits: int, approximation_degree: int = 3, include_swaps: bool = True) -> Circuit:
+    """The approximate QFT on ``num_qubits`` qubits.
+
+    ``approximation_degree`` bounds the order ``k`` of the controlled
+    rotations ``R_k`` that are kept; only ``k <= 3`` is representable with the
+    algebraic encoding, larger values are rejected.  With ``include_swaps``
+    the final qubit-reversal swaps are appended (as in the textbook circuit).
+    """
+    if num_qubits <= 0:
+        raise ValueError("the QFT needs at least one qubit")
+    if approximation_degree < 1 or approximation_degree > 3:
+        raise ValueError(
+            "approximation_degree must be between 1 and 3: the algebraic encoding "
+            "only represents phases that are multiples of pi/4"
+        )
+    circuit = Circuit(num_qubits, name=f"aqft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.add("h", target)
+        for distance in range(1, num_qubits - target):
+            order = distance + 1
+            if order > approximation_degree:
+                break
+            circuit.add(_CONTROLLED_ROTATIONS[order], target + distance, target)
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.add("swap", qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def inverse_qft_circuit(
+    num_qubits: int, approximation_degree: int = 3, include_swaps: bool = True
+) -> Circuit:
+    """The adjoint of :func:`qft_circuit` (gates reversed, phases conjugated)."""
+    forward = qft_circuit(num_qubits, approximation_degree, include_swaps)
+    inverse = Circuit(num_qubits, name=f"aqft_inv_{num_qubits}")
+    substitutions = {"cs": "csdg", "ct": "ctdg"}
+    for gate in reversed(list(forward)):
+        inverse.add(substitutions.get(gate.kind, gate.kind), *gate.qubits)
+    return inverse
+
+
+def uniform_superposition_state(num_qubits: int) -> QuantumState:
+    """The state with amplitude ``(1/sqrt 2)^n`` at every basis position."""
+    amplitude = AlgebraicNumber(1, 0, 0, 0, num_qubits)
+    state = QuantumState(num_qubits)
+    for index in range(1 << num_qubits):
+        state[index] = amplitude
+    return state
+
+
+def qft_zero_benchmark(num_qubits: int, approximation_degree: int = 3) -> VerificationBenchmark:
+    """``{|0^n>} AQFT {uniform superposition}`` verification triple."""
+    circuit = qft_circuit(num_qubits, approximation_degree)
+    postcondition = states_condition([uniform_superposition_state(num_qubits)])
+    return VerificationBenchmark(
+        name=f"QFT-Zero(n={num_qubits})",
+        circuit=circuit,
+        precondition=zero_state_precondition(num_qubits),
+        postcondition=postcondition,
+        description="approximate QFT maps |0..0> to the uniform superposition",
+    )
+
+
+def qft_roundtrip_benchmark(num_qubits: int, approximation_degree: int = 3) -> VerificationBenchmark:
+    """``{all basis states} AQFT ; AQFT† {all basis states}`` verification triple."""
+    roundtrip = qft_circuit(num_qubits, approximation_degree).concatenated(
+        inverse_qft_circuit(num_qubits, approximation_degree),
+        name=f"aqft_roundtrip_{num_qubits}",
+    )
+    basis = all_basis_states_ta(num_qubits)
+    return VerificationBenchmark(
+        name=f"QFT-Roundtrip(n={num_qubits})",
+        circuit=roundtrip,
+        precondition=basis,
+        postcondition=basis,
+        description="AQFT followed by its inverse preserves the set of all basis states",
+    )

@@ -1,0 +1,98 @@
+"""Entangled-state preparation circuits (GHZ chains and Bell-pair arrays).
+
+The overview of the paper (Fig. 1) uses the 2-qubit Bell-state preparation as
+its running example; these generators scale that example up and provide the
+matching verification triples:
+
+* ``ghz_benchmark`` — ``{|0^n>} H;CX-chain {(|0..0> + |1..1>)/sqrt 2}``,
+* ``bell_chain_benchmark`` — ``{|0^{2m}>} m independent EPR circuits
+  {tensor product of m Bell pairs}``.
+
+Both post-conditions are single exact states, so the whole family doubles as a
+regression test of the Hadamard (composition-based) transformer on growing
+qubit counts.
+"""
+
+from __future__ import annotations
+
+from ..algebraic import AlgebraicNumber
+from ..circuits.circuit import Circuit
+from ..core.specs import states_condition, zero_state_precondition
+from ..states import QuantumState
+from .common import VerificationBenchmark
+
+__all__ = [
+    "ghz_circuit",
+    "ghz_state",
+    "ghz_benchmark",
+    "bell_chain_circuit",
+    "bell_chain_state",
+    "bell_chain_benchmark",
+]
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """Hadamard on qubit 0 followed by a CNOT chain: prepares the ``n``-qubit GHZ state."""
+    if num_qubits < 2:
+        raise ValueError("a GHZ state needs at least two qubits")
+    circuit = Circuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.add("h", 0)
+    for qubit in range(num_qubits - 1):
+        circuit.add("cx", qubit, qubit + 1)
+    return circuit
+
+
+def ghz_state(num_qubits: int) -> QuantumState:
+    """The GHZ state ``(|0...0> + |1...1>) / sqrt 2`` with exact amplitudes."""
+    amplitude = AlgebraicNumber(1, 0, 0, 0, 1)
+    return QuantumState(
+        num_qubits, {(0,) * num_qubits: amplitude, (1,) * num_qubits: amplitude}
+    )
+
+
+def ghz_benchmark(num_qubits: int) -> VerificationBenchmark:
+    """``{|0^n>} GHZ-prep {GHZ_n}`` verification triple."""
+    return VerificationBenchmark(
+        name=f"GHZ(n={num_qubits})",
+        circuit=ghz_circuit(num_qubits),
+        precondition=zero_state_precondition(num_qubits),
+        postcondition=states_condition([ghz_state(num_qubits)]),
+        description="H + CNOT chain prepares the n-qubit GHZ state",
+    )
+
+
+def bell_chain_circuit(num_pairs: int) -> Circuit:
+    """``num_pairs`` disjoint EPR circuits on ``2 * num_pairs`` qubits."""
+    if num_pairs < 1:
+        raise ValueError("need at least one Bell pair")
+    circuit = Circuit(2 * num_pairs, name=f"bell_chain_{num_pairs}")
+    for pair in range(num_pairs):
+        first = 2 * pair
+        circuit.add("h", first)
+        circuit.add("cx", first, first + 1)
+    return circuit
+
+
+def bell_chain_state(num_pairs: int) -> QuantumState:
+    """The tensor product of ``num_pairs`` Bell pairs ``(|00> + |11>) / sqrt 2``."""
+    num_qubits = 2 * num_pairs
+    amplitude = AlgebraicNumber(1, 0, 0, 0, num_pairs)
+    state = QuantumState(num_qubits)
+    for pattern in range(1 << num_pairs):
+        bits = []
+        for pair in range(num_pairs):
+            bit = (pattern >> (num_pairs - 1 - pair)) & 1
+            bits.extend((bit, bit))
+        state[tuple(bits)] = amplitude
+    return state
+
+
+def bell_chain_benchmark(num_pairs: int) -> VerificationBenchmark:
+    """``{|0^{2m}>} Bell-chain {product of m Bell pairs}`` verification triple."""
+    return VerificationBenchmark(
+        name=f"BellChain(m={num_pairs})",
+        circuit=bell_chain_circuit(num_pairs),
+        precondition=zero_state_precondition(2 * num_pairs),
+        postcondition=states_condition([bell_chain_state(num_pairs)]),
+        description="m disjoint EPR circuits prepare m Bell pairs",
+    )

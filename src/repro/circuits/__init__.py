@@ -1,0 +1,45 @@
+"""Circuit intermediate representation, QASM I/O, random circuits and mutations."""
+
+from .circuit import Circuit
+from .gates import Gate, GATE_ARITY, PERMUTATION_GATES
+from .metrics import (
+    depth,
+    engine_cost_profile,
+    gate_histogram,
+    moments,
+    qubit_depths,
+    summarise,
+    t_count,
+    two_qubit_count,
+)
+from .mutations import inject_random_gate, remove_random_gate, swap_random_operands
+from .optimizer import OptimizationReport, PeepholeOptimizer
+from .qasm import QasmError, load_qasm_file, parse_qasm, save_qasm_file, to_qasm
+from .random_circuits import random_benchmark_suite, random_circuit
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GATE_ARITY",
+    "PERMUTATION_GATES",
+    "QasmError",
+    "parse_qasm",
+    "to_qasm",
+    "load_qasm_file",
+    "save_qasm_file",
+    "random_circuit",
+    "random_benchmark_suite",
+    "inject_random_gate",
+    "remove_random_gate",
+    "swap_random_operands",
+    "PeepholeOptimizer",
+    "OptimizationReport",
+    "gate_histogram",
+    "t_count",
+    "two_qubit_count",
+    "moments",
+    "depth",
+    "qubit_depths",
+    "engine_cost_profile",
+    "summarise",
+]

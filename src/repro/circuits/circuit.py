@@ -1,0 +1,143 @@
+"""Quantum circuit container.
+
+A :class:`Circuit` is an ordered list of :class:`~repro.circuits.gates.Gate`
+applications over a fixed number of qubits.  It is deliberately simple (no
+classical registers, no mid-circuit measurement) — exactly the fragment the
+paper's framework analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .gates import Gate
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An ordered sequence of gates over ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, gates: Optional[Iterable[Gate]] = None, name: str = "circuit"):
+        if num_qubits <= 0:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: List[Gate] = []
+        for gate in gates or ():
+            self.append(gate)
+
+    # ------------------------------------------------------------- mutation
+    def append(self, gate: Gate) -> "Circuit":
+        """Append a gate, validating that its qubits fit the register."""
+        if max(gate.qubits) >= self.num_qubits:
+            raise ValueError(
+                f"gate {gate} uses qubit {max(gate.qubits)} but the circuit has "
+                f"only {self.num_qubits} qubits"
+            )
+        self._gates.append(gate)
+        return self
+
+    def add(self, kind: str, *qubits: int) -> "Circuit":
+        """Convenience builder: ``circuit.add('cx', 0, 1)``."""
+        return self.append(Gate(kind, tuple(qubits)))
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        """Append every gate of ``gates`` in order."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def insert(self, position: int, gate: Gate) -> "Circuit":
+        """Insert a gate at an arbitrary position (used by bug injection)."""
+        if max(gate.qubits) >= self.num_qubits:
+            raise ValueError("gate does not fit the register")
+        self._gates.insert(position, gate)
+        return self
+
+    # --------------------------------------------------------------- queries
+    @property
+    def gates(self) -> Sequence[Gate]:
+        """The gate list (read-only view)."""
+        return tuple(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates in the circuit (``#G`` in the paper's tables)."""
+        return len(self._gates)
+
+    def count_kind(self, kind: str) -> int:
+        """Number of gates of a particular kind."""
+        kind = kind.lower()
+        return sum(1 for gate in self._gates if gate.kind == kind)
+
+    def used_qubits(self) -> frozenset:
+        """The set of qubits touched by at least one gate."""
+        return frozenset(q for gate in self._gates for q in gate.qubits)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Circuit(self.num_qubits, self._gates[index], name=self.name)
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and self._gates == other._gates
+
+    def __repr__(self) -> str:
+        return f"Circuit(name={self.name!r}, num_qubits={self.num_qubits}, num_gates={self.num_gates})"
+
+    # ----------------------------------------------------------- derivations
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Return a shallow copy (gates are immutable)."""
+        return Circuit(self.num_qubits, self._gates, name=name or self.name)
+
+    def inverse(self, name: Optional[str] = None) -> "Circuit":
+        """Return the adjoint circuit ``C†`` (gates reversed and daggered)."""
+        inverted = [gate.dagger() for gate in reversed(self._gates)]
+        return Circuit(self.num_qubits, inverted, name=name or f"{self.name}_dagger")
+
+    def concatenated(self, other: "Circuit", name: Optional[str] = None) -> "Circuit":
+        """Return ``self ; other`` (both circuits must have the same width)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("cannot concatenate circuits of different widths")
+        return Circuit(
+            self.num_qubits,
+            list(self._gates) + list(other.gates),
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    def without_gate(self, position: int, name: Optional[str] = None) -> "Circuit":
+        """Return a copy with the gate at ``position`` removed."""
+        gates = list(self._gates)
+        del gates[position]
+        return Circuit(self.num_qubits, gates, name=name or self.name)
+
+    def decomposed(self, name: Optional[str] = None) -> "Circuit":
+        """Expand ``swap``/``cswap`` into the Table 1 gate set (CX / CCX)."""
+        result = Circuit(self.num_qubits, name=name or self.name)
+        for gate in self._gates:
+            if gate.kind == "swap":
+                a, b = gate.qubits
+                result.add("cx", a, b)
+                result.add("cx", b, a)
+                result.add("cx", a, b)
+            elif gate.kind == "cswap":
+                c, a, b = gate.qubits
+                result.add("cx", b, a)
+                result.add("ccx", c, a, b)
+                result.add("cx", b, a)
+            else:
+                result.append(gate)
+        return result
+
+    def summary(self) -> str:
+        """One-line summary used by the benchmark harness tables."""
+        return f"{self.name}: {self.num_qubits} qubits, {self.num_gates} gates"

@@ -1,0 +1,134 @@
+"""Static circuit metrics: depth, moments, T-count, engine-cost estimates.
+
+Circuit tables in the paper report ``#q`` and ``#G``; when comparing circuits
+produced by optimizers (the Table 3 use case) a few more standard metrics are
+useful for reports and for sanity-checking the benchmark generators:
+
+* :func:`gate_histogram` — gate counts per kind,
+* :func:`t_count` / :func:`two_qubit_count` — the usual cost metrics of the
+  Clifford+T literature,
+* :func:`moments` / :func:`depth` — the greedy as-soon-as-possible layering
+  and the resulting circuit depth,
+* :func:`qubit_depths` — per-qubit critical path lengths (how many gates touch
+  each wire),
+* :func:`engine_cost_profile` — how many gates the Hybrid engine would route
+  through the permutation-based vs. the composition-based transformer,
+* :func:`summarise` — one dictionary with everything, used by the CLI.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = [
+    "gate_histogram",
+    "t_count",
+    "two_qubit_count",
+    "moments",
+    "depth",
+    "qubit_depths",
+    "engine_cost_profile",
+    "summarise",
+]
+
+
+def gate_histogram(circuit: Circuit) -> Dict[str, int]:
+    """Number of gates per kind, sorted by kind for stable reports."""
+    histogram = Counter(gate.kind for gate in circuit)
+    return dict(sorted(histogram.items()))
+
+
+def t_count(circuit: Circuit) -> int:
+    """Number of T-phase applications (``t``/``tdg`` plus controlled ``ct``/``ctdg``).
+
+    Toffoli gates are counted with the standard cost of 7 T gates each (their
+    textbook Clifford+T decomposition), so optimizer comparisons on reversible
+    circuits remain meaningful without actually decomposing them.
+    """
+    total = 0
+    for gate in circuit.decomposed():
+        if gate.kind in ("t", "tdg", "ct", "ctdg"):
+            total += 1
+        elif gate.kind == "ccx":
+            total += 7
+    return total
+
+
+def two_qubit_count(circuit: Circuit) -> int:
+    """Number of gates acting on two or more qubits (after swap/cswap decomposition)."""
+    return sum(1 for gate in circuit.decomposed() if len(gate.qubits) >= 2)
+
+
+def moments(circuit: Circuit) -> List[List[Gate]]:
+    """Greedy as-soon-as-possible layering into moments of disjoint gates.
+
+    Every gate is placed into the earliest layer after the last layer that
+    touches any of its qubits; gates within one moment act on disjoint qubits
+    and could execute in parallel.
+    """
+    layers: List[List[Gate]] = []
+    frontier: Dict[int, int] = {}  # qubit -> index of the first free layer
+    for gate in circuit:
+        earliest = max((frontier.get(qubit, 0) for qubit in gate.qubits), default=0)
+        while len(layers) <= earliest:
+            layers.append([])
+        layers[earliest].append(gate)
+        for qubit in gate.qubits:
+            frontier[qubit] = earliest + 1
+    return layers
+
+
+def depth(circuit: Circuit) -> int:
+    """Circuit depth: the number of moments of the greedy layering."""
+    return len(moments(circuit))
+
+
+def qubit_depths(circuit: Circuit) -> Dict[int, int]:
+    """Number of gates touching each qubit (the per-wire critical path)."""
+    depths = {qubit: 0 for qubit in range(circuit.num_qubits)}
+    for gate in circuit:
+        for qubit in gate.qubits:
+            depths[qubit] += 1
+    return depths
+
+
+def engine_cost_profile(circuit: Circuit) -> Dict[str, int]:
+    """How the Hybrid engine would dispatch the gates of this circuit.
+
+    Returns the number of gates handled by the permutation-based encoding and
+    the number that must fall back to the composition-based encoding (H,
+    Rx/Ry, and controlled gates whose control indices do not precede the
+    target).
+    """
+    # imported lazily: repro.core depends on repro.circuits, not the other way round
+    from ..core.permutation import supports_permutation
+
+    permutation = 0
+    composition = 0
+    for gate in circuit.decomposed():
+        if supports_permutation(gate):
+            permutation += 1
+        else:
+            composition += 1
+    return {"permutation": permutation, "composition": composition}
+
+
+def summarise(circuit: Circuit) -> Dict[str, object]:
+    """All metrics in one dictionary (used by ``autoq-repro stats`` and reports)."""
+    profile = engine_cost_profile(circuit)
+    return {
+        "name": circuit.name,
+        "qubits": circuit.num_qubits,
+        "gates": circuit.num_gates,
+        "gates_decomposed": circuit.decomposed().num_gates,
+        "depth": depth(circuit),
+        "t_count": t_count(circuit),
+        "two_qubit_count": two_qubit_count(circuit),
+        "histogram": gate_histogram(circuit),
+        "permutation_gates": profile["permutation"],
+        "composition_gates": profile["composition"],
+    }

@@ -1,0 +1,100 @@
+"""Bug injection for the bug-hunting experiments (Section 7.2).
+
+The paper creates buggy circuit copies by inserting *one additional randomly
+selected gate at a random location*.  This module reproduces that mutation and
+a couple of other classical mutation operators (gate removal, qubit swap) that
+are useful for widening the test surface.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from .circuit import Circuit
+from .gates import Gate
+from .random_circuits import DEFAULT_GATE_POOL
+
+__all__ = ["inject_random_gate", "remove_random_gate", "swap_random_operands", "MutationRecord"]
+
+
+class MutationRecord(Tuple[str, int, Gate]):
+    """A record ``(mutation_kind, position, gate)`` describing an injected bug."""
+
+    __slots__ = ()
+
+    @property
+    def kind(self) -> str:
+        return self[0]
+
+    @property
+    def position(self) -> int:
+        return self[1]
+
+    @property
+    def gate(self) -> Gate:
+        return self[2]
+
+    def __str__(self) -> str:
+        return f"{self.kind} at position {self.position}: {self.gate}"
+
+
+def inject_random_gate(
+    circuit: Circuit,
+    seed: Optional[int] = None,
+    gate_pool: Sequence[str] = DEFAULT_GATE_POOL,
+    name: Optional[str] = None,
+) -> Tuple[Circuit, MutationRecord]:
+    """Return a buggy copy with one random extra gate, plus the mutation record.
+
+    This is exactly the fault model of the paper's Table 3: "for each circuit,
+    we created a copy and injected an artificial bug (one additional randomly
+    selected gate at a random location)".
+    """
+    rng = random.Random(seed)
+    pool = list(gate_pool)
+    if circuit.num_qubits < 3:
+        pool = [kind for kind in pool if kind != "ccx"]
+    if circuit.num_qubits < 2:
+        pool = [kind for kind in pool if kind not in ("cx", "cz", "ccx")]
+    kind = rng.choice(pool)
+    arity = {"cx": 2, "cz": 2, "ccx": 3}.get(kind, 1)
+    qubits = tuple(rng.sample(range(circuit.num_qubits), arity))
+    position = rng.randrange(circuit.num_gates + 1)
+    gate = Gate(kind, qubits)
+    buggy = circuit.copy(name=name or f"{circuit.name}_buggy")
+    buggy.insert(position, gate)
+    return buggy, MutationRecord(("insert", position, gate))
+
+
+def remove_random_gate(
+    circuit: Circuit, seed: Optional[int] = None, name: Optional[str] = None
+) -> Tuple[Circuit, MutationRecord]:
+    """Return a copy with one random gate removed (a dual fault model)."""
+    if circuit.num_gates == 0:
+        raise ValueError("cannot remove a gate from an empty circuit")
+    rng = random.Random(seed)
+    position = rng.randrange(circuit.num_gates)
+    removed = circuit[position]
+    buggy = circuit.without_gate(position, name=name or f"{circuit.name}_dropped")
+    return buggy, MutationRecord(("remove", position, removed))
+
+
+def swap_random_operands(
+    circuit: Circuit, seed: Optional[int] = None, name: Optional[str] = None
+) -> Tuple[Circuit, MutationRecord]:
+    """Return a copy where one multi-qubit gate has two operands exchanged."""
+    rng = random.Random(seed)
+    candidates = [i for i, gate in enumerate(circuit) if len(gate.qubits) >= 2]
+    if not candidates:
+        raise ValueError("circuit has no multi-qubit gate to mutate")
+    position = rng.choice(candidates)
+    gate = circuit[position]
+    qubits = list(gate.qubits)
+    i, j = rng.sample(range(len(qubits)), 2)
+    qubits[i], qubits[j] = qubits[j], qubits[i]
+    mutated = Gate(gate.kind, tuple(qubits))
+    gates = list(circuit.gates)
+    gates[position] = mutated
+    buggy = Circuit(circuit.num_qubits, gates, name=name or f"{circuit.name}_swapped")
+    return buggy, MutationRecord(("swap-operands", position, mutated))

@@ -1,0 +1,136 @@
+"""A small peephole circuit optimizer (the "device under test" for Table 3's use case).
+
+The paper's bug-hunting experiments simulate the situation where an optimizer
+produced a slightly wrong circuit.  To make that scenario runnable end-to-end
+we ship a deliberately simple optimizer with the classic peephole rewrites:
+
+* cancellation of adjacent inverse pairs (``H H``, ``X X``, ``CX CX``,
+  ``S S†``, ``T T†``, ...), also across gates acting on disjoint qubits,
+* phase-gate fusion (``T T -> S``, ``S S -> Z``, ``Z Z -> identity``),
+* an optional **unsound** rewrite ("drop Z gates — they do not change the
+  measurement outcome") that models the kind of subtle miscompilation the
+  TA-based non-equivalence check is designed to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = ["OptimizationReport", "PeepholeOptimizer"]
+
+#: pairs of gate kinds that cancel when applied twice to the same qubits
+_SELF_INVERSE = {"x", "y", "z", "h", "cx", "cz", "ccx", "swap", "cswap"}
+#: adjacent phase-gate fusions: (first, second) -> replacement kind (None = identity)
+_FUSIONS: Dict[Tuple[str, str], Optional[str]] = {
+    ("t", "t"): "s",
+    ("tdg", "tdg"): "sdg",
+    ("s", "s"): "z",
+    ("sdg", "sdg"): "z",
+    ("s", "sdg"): None,
+    ("sdg", "s"): None,
+    ("t", "tdg"): None,
+    ("tdg", "t"): None,
+    ("s", "z"): "sdg",
+    ("z", "s"): "sdg",
+    ("sdg", "z"): "s",
+    ("z", "sdg"): "s",
+}
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer did to a circuit."""
+
+    original_gates: int = 0
+    optimized_gates: int = 0
+    passes: int = 0
+    cancellations: int = 0
+    fusions: int = 0
+    unsound_drops: int = 0
+
+    @property
+    def removed_gates(self) -> int:
+        return self.original_gates - self.optimized_gates
+
+
+class PeepholeOptimizer:
+    """Iterated peephole optimization over the Table 1 gate set."""
+
+    def __init__(self, enable_unsound_rewrites: bool = False, max_passes: int = 20):
+        self.enable_unsound_rewrites = enable_unsound_rewrites
+        self.max_passes = max_passes
+
+    # ------------------------------------------------------------------ API
+    def optimize(self, circuit: Circuit) -> Tuple[Circuit, OptimizationReport]:
+        """Return the optimized circuit and a report of the applied rewrites."""
+        report = OptimizationReport(original_gates=circuit.num_gates)
+        gates: List[Gate] = list(circuit.gates)
+        for _ in range(self.max_passes):
+            report.passes += 1
+            gates, changed = self._one_pass(gates, report)
+            if not changed:
+                break
+        if self.enable_unsound_rewrites:
+            kept = []
+            for gate in gates:
+                if gate.kind == "z":
+                    report.unsound_drops += 1
+                else:
+                    kept.append(gate)
+            gates = kept
+        report.optimized_gates = len(gates)
+        return Circuit(circuit.num_qubits, gates, name=f"{circuit.name}_opt"), report
+
+    # ------------------------------------------------------------- one pass
+    def _one_pass(self, gates: List[Gate], report: OptimizationReport) -> Tuple[List[Gate], bool]:
+        result: List[Gate] = []
+        changed = False
+        for gate in gates:
+            partner_index = self._find_partner(result, gate)
+            if partner_index is None:
+                result.append(gate)
+                continue
+            partner = result[partner_index]
+            rewrite = self._combine(partner, gate)
+            if rewrite == "cancel":
+                del result[partner_index]
+                report.cancellations += 1
+                changed = True
+            elif isinstance(rewrite, Gate):
+                result[partner_index] = rewrite
+                report.fusions += 1
+                changed = True
+            else:
+                result.append(gate)
+        return result, changed
+
+    def _find_partner(self, prefix: List[Gate], gate: Gate) -> Optional[int]:
+        """Find the most recent gate that ``gate`` can be combined with, provided
+        every gate in between acts on disjoint qubits (so they commute trivially)."""
+        touched = set(gate.qubits)
+        for index in range(len(prefix) - 1, -1, -1):
+            candidate = prefix[index]
+            if set(candidate.qubits) & touched:
+                if candidate.qubits == gate.qubits and self._combine(candidate, gate) is not None:
+                    return index
+                return None
+        return None
+
+    @staticmethod
+    def _combine(first: Gate, second: Gate):
+        """Return "cancel", a fused Gate, or None when no rewrite applies."""
+        if first.qubits != second.qubits:
+            return None
+        if first.kind == second.kind and first.kind in _SELF_INVERSE:
+            return "cancel"
+        fusion_key = (first.kind, second.kind)
+        if fusion_key in _FUSIONS:
+            replacement = _FUSIONS[fusion_key]
+            if replacement is None:
+                return "cancel"
+            return Gate(replacement, first.qubits)
+        return None

@@ -1,0 +1,156 @@
+"""A small OpenQASM 2.0 reader/writer for the supported gate set.
+
+The benchmark suites in the paper (RevLib, Feynman) are distributed as QASM /
+real files; our generators can dump and reload circuits in an OpenQASM 2.0
+subset so that examples and the CLI can exchange circuits with other tools.
+
+Supported statements::
+
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg <name>[<size>];
+    creg <name>[<size>];          // accepted and ignored
+    x q[0];  y q[1];  z q[2];  h q[3];  s q[0];  sdg q[0];  t q[0];  tdg q[0];
+    rx(pi/2) q[0];  ry(pi/2) q[0];
+    cx q[0], q[1];  cz q[0], q[1];  ccx q[0], q[1], q[2];
+    swap q[0], q[1];  cswap q[0], q[1], q[2];
+    barrier ...;                  // accepted and ignored
+    // comments
+
+Anything else raises :class:`QasmError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .circuit import Circuit
+from .gates import GATE_ARITY, Gate
+
+__all__ = ["QasmError", "parse_qasm", "to_qasm", "load_qasm_file", "save_qasm_file"]
+
+
+class QasmError(ValueError):
+    """Raised when a QASM program cannot be parsed or uses unsupported features."""
+
+
+_QREG_RE = re.compile(r"^qreg\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]$")
+_CREG_RE = re.compile(r"^creg\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]$")
+_REF_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]$")
+_GATE_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*(\(([^)]*)\))?\s+(.*)$")
+
+_ANGLE_ALIASES = {"pi/2", "pi / 2", "1.5707963267948966", "1.570796326794897"}
+
+
+def parse_qasm(text: str, name: str = "qasm_circuit") -> Circuit:
+    """Parse an OpenQASM 2.0 program into a :class:`Circuit`.
+
+    Multiple quantum registers are concatenated in declaration order.
+    """
+    statements = _split_statements(text)
+    registers: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+    total_qubits = 0
+    gates: List[Gate] = []
+    saw_header = False
+
+    for statement in statements:
+        if statement.startswith("OPENQASM"):
+            saw_header = True
+            continue
+        if statement.startswith("include"):
+            continue
+        if statement.startswith("barrier") or statement.startswith("creg"):
+            continue
+        if statement.startswith("measure") or statement.startswith("reset"):
+            raise QasmError(f"unsupported statement (no classical control): {statement!r}")
+        qreg_match = _QREG_RE.match(statement)
+        if qreg_match:
+            reg_name, size = qreg_match.group(1), int(qreg_match.group(2))
+            if reg_name in registers:
+                raise QasmError(f"register {reg_name!r} declared twice")
+            registers[reg_name] = (total_qubits, size)
+            total_qubits += size
+            continue
+        gate = _parse_gate_statement(statement, registers)
+        gates.append(gate)
+
+    if not saw_header:
+        raise QasmError("missing 'OPENQASM 2.0;' header")
+    if total_qubits == 0:
+        raise QasmError("no quantum register declared")
+    circuit = Circuit(total_qubits, name=name)
+    circuit.extend(gates)
+    return circuit
+
+
+def _split_statements(text: str) -> List[str]:
+    without_comments = re.sub(r"//[^\n]*", "", text)
+    statements = []
+    for raw in without_comments.split(";"):
+        statement = " ".join(raw.split())
+        if statement:
+            statements.append(statement)
+    return statements
+
+
+def _parse_gate_statement(statement: str, registers: Dict[str, Tuple[int, int]]) -> Gate:
+    match = _GATE_RE.match(statement)
+    if not match:
+        raise QasmError(f"cannot parse statement: {statement!r}")
+    kind = match.group(1).lower()
+    angle = match.group(3)
+    operand_text = match.group(4)
+    if kind not in GATE_ARITY:
+        raise QasmError(f"unsupported gate: {kind!r}")
+    if kind in ("rx", "ry"):
+        if angle is None or angle.strip().lower() not in _ANGLE_ALIASES:
+            raise QasmError(
+                f"only pi/2 rotations are supported by the algebraic encoding, got {kind}({angle})"
+            )
+    elif angle is not None:
+        raise QasmError(f"gate {kind!r} does not take parameters")
+    qubits = tuple(_resolve(ref.strip(), registers) for ref in operand_text.split(","))
+    return Gate(kind, qubits)
+
+
+def _resolve(reference: str, registers: Dict[str, Tuple[int, int]]) -> int:
+    match = _REF_RE.match(reference)
+    if not match:
+        raise QasmError(f"cannot parse qubit reference: {reference!r}")
+    reg_name, index = match.group(1), int(match.group(2))
+    if reg_name not in registers:
+        raise QasmError(f"unknown register {reg_name!r}")
+    offset, size = registers[reg_name]
+    if index >= size:
+        raise QasmError(f"qubit index {index} out of range for register {reg_name!r}[{size}]")
+    return offset + index
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        operands = ", ".join(f"q[{q}]" for q in gate.qubits)
+        if gate.kind in ("rx", "ry"):
+            lines.append(f"{gate.kind}(pi/2) {operands};")
+        else:
+            lines.append(f"{gate.kind} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+def load_qasm_file(path: str, name: str = "") -> Circuit:
+    """Load a circuit from a QASM file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_qasm(text, name=name or path)
+
+
+def save_qasm_file(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a QASM file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_qasm(circuit))

@@ -1,0 +1,78 @@
+"""Random circuit generation (the "Random" benchmark family of Section 7).
+
+Following the paper (which follows SliQSim's configuration), the ratio of
+``#qubits : #gates`` is fixed to ``1 : 3`` and both the gate kinds and the
+qubits they act on are picked uniformly at random.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = ["random_circuit", "random_benchmark_suite", "DEFAULT_GATE_POOL"]
+
+#: Gate kinds sampled by :func:`random_circuit`; the same set the paper's
+#: framework supports (Table 1, plus the S/T adjoints).
+DEFAULT_GATE_POOL: Sequence[str] = (
+    "x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "cx", "cz", "ccx",
+)
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: Optional[int] = None,
+    seed: Optional[int] = None,
+    gate_pool: Sequence[str] = DEFAULT_GATE_POOL,
+    name: Optional[str] = None,
+) -> Circuit:
+    """Generate a uniformly random circuit.
+
+    Args:
+        num_qubits: register width.
+        num_gates: number of gates; defaults to ``3 * num_qubits`` as in the paper.
+        seed: RNG seed for reproducibility.
+        gate_pool: gate kinds to sample from.
+        name: optional circuit name.
+    """
+    if num_qubits < 3 and any(kind == "ccx" for kind in gate_pool):
+        gate_pool = [kind for kind in gate_pool if kind != "ccx"]
+    if num_qubits < 2:
+        gate_pool = [kind for kind in gate_pool if kind not in ("cx", "cz", "ccx")]
+    if num_gates is None:
+        num_gates = 3 * num_qubits
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=name or f"random_{num_qubits}q_{num_gates}g")
+    for _ in range(num_gates):
+        kind = rng.choice(list(gate_pool))
+        arity = {"cx": 2, "cz": 2, "ccx": 3}.get(kind, 1)
+        qubits = rng.sample(range(num_qubits), arity)
+        circuit.append(Gate(kind, tuple(qubits)))
+    return circuit
+
+
+def random_benchmark_suite(
+    num_qubits: int,
+    count: int = 10,
+    seed: int = 2023,
+    gate_pool: Sequence[str] = DEFAULT_GATE_POOL,
+) -> list:
+    """Generate the paper's Random family: ``count`` circuits with 3n gates each.
+
+    Circuit names follow the paper's convention (``35a`` .. ``35j``).
+    """
+    suffixes = "abcdefghijklmnopqrstuvwxyz"
+    circuits = []
+    for index in range(count):
+        circuits.append(
+            random_circuit(
+                num_qubits,
+                seed=seed + index,
+                gate_pool=gate_pool,
+                name=f"{num_qubits}{suffixes[index % len(suffixes)]}",
+            )
+        )
+    return circuits

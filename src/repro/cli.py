@@ -1,0 +1,288 @@
+"""Command-line interface for the AutoQ reproduction.
+
+Subcommands::
+
+    autoq-repro verify --family bv --size 20          # run a Table 2 style verification
+    autoq-repro simulate circuit.qasm --input 0011    # exact simulation of one basis input
+    autoq-repro equivalence a.qasm b.qasm             # TA-based output-set comparison
+    autoq-repro bughunt a.qasm b.qasm                 # incremental bug hunt (Section 7.2)
+    autoq-repro bughunt a.qasm --inject-seed 5        # hunt against a freshly mutated copy
+    autoq-repro generate --family ghz --size 8 out.qasm   # dump a benchmark circuit as QASM
+    autoq-repro inject a.qasm buggy.qasm --seed 7     # write a mutated copy (one extra gate)
+    autoq-repro stats a.qasm                          # circuit summary and gate histogram
+    autoq-repro export-ta --family bv --size 6 --which post out.timbuk
+                                                      # dump a condition automaton (Timbuk)
+    autoq-repro baselines a.qasm b.qasm               # run every baseline checker on a pair
+
+All commands print a short human-readable report to stdout and exit with a
+non-zero status when a property is violated / a bug is found, so they can be
+scripted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .baselines import (
+    PathSumChecker,
+    RandomStimuliChecker,
+    StabilizerChecker,
+    check_unitary_equivalence,
+)
+from .benchgen import (
+    adder_benchmark,
+    bell_chain_benchmark,
+    bv_benchmark,
+    ghz_benchmark,
+    grover_all_benchmark,
+    grover_single_benchmark,
+    mctoffoli_benchmark,
+    qft_roundtrip_benchmark,
+    qft_zero_benchmark,
+)
+from .circuits import inject_random_gate, load_qasm_file, save_qasm_file
+from .circuits.metrics import summarise as circuit_summary
+from .core import AnalysisMode, IncrementalBugHunter, check_circuit_equivalence, verify_triple
+from .simulator import StateVectorSimulator
+from .states import QuantumState
+from .ta import all_basis_states_ta, basis_state_ta
+from .ta.timbuk import save_timbuk
+
+__all__ = ["main", "build_parser"]
+
+_FAMILIES = {
+    "bv": lambda size: bv_benchmark(size),
+    "grover-single": lambda size: grover_single_benchmark(size),
+    "grover-all": lambda size: grover_all_benchmark(size),
+    "mctoffoli": lambda size: mctoffoli_benchmark(size),
+    "ghz": lambda size: ghz_benchmark(size),
+    "bell-chain": lambda size: bell_chain_benchmark(size),
+    "qft-zero": lambda size: qft_zero_benchmark(size),
+    "qft-roundtrip": lambda size: qft_roundtrip_benchmark(size),
+    "adder": lambda size: adder_benchmark(size),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command-line parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="autoq-repro",
+        description="Automata-based verification and bug hunting for quantum circuits",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    verify = subparsers.add_parser("verify", help="verify a generated benchmark family")
+    verify.add_argument("--family", choices=sorted(_FAMILIES), required=True)
+    verify.add_argument("--size", type=int, required=True, help="family parameter n")
+    verify.add_argument("--mode", choices=AnalysisMode.ALL, default=AnalysisMode.HYBRID)
+
+    simulate = subparsers.add_parser("simulate", help="exact simulation of one basis input")
+    simulate.add_argument("circuit", help="OpenQASM 2.0 file")
+    simulate.add_argument("--input", default=None, help="basis input bits (default all zeros)")
+
+    equivalence = subparsers.add_parser(
+        "equivalence", help="compare the output-state sets of two circuits over all basis inputs"
+    )
+    equivalence.add_argument("first", help="OpenQASM 2.0 file")
+    equivalence.add_argument("second", help="OpenQASM 2.0 file")
+    equivalence.add_argument("--mode", choices=AnalysisMode.ALL, default=AnalysisMode.HYBRID)
+    equivalence.add_argument(
+        "--single-input", default=None, help="restrict the comparison to one basis input"
+    )
+
+    bughunt = subparsers.add_parser("bughunt", help="incremental bug hunt between two circuits")
+    bughunt.add_argument("first", help="OpenQASM 2.0 file (reference)")
+    bughunt.add_argument("second", nargs="?", default=None, help="OpenQASM 2.0 file (candidate)")
+    bughunt.add_argument("--inject-seed", type=int, default=None,
+                         help="mutate the reference instead of reading a second file")
+    bughunt.add_argument("--mode", choices=AnalysisMode.ALL, default=AnalysisMode.HYBRID)
+    bughunt.add_argument("--seed", type=int, default=0)
+    bughunt.add_argument("--max-iterations", type=int, default=None)
+
+    generate = subparsers.add_parser("generate", help="dump a benchmark circuit as OpenQASM 2.0")
+    generate.add_argument("--family", choices=sorted(_FAMILIES), required=True)
+    generate.add_argument("--size", type=int, required=True, help="family parameter n")
+    generate.add_argument("output", help="path of the QASM file to write")
+
+    inject = subparsers.add_parser("inject", help="write a copy with one random extra gate")
+    inject.add_argument("circuit", help="OpenQASM 2.0 file")
+    inject.add_argument("output", help="path of the mutated QASM file to write")
+    inject.add_argument("--seed", type=int, default=0)
+
+    stats = subparsers.add_parser("stats", help="print a circuit summary and gate histogram")
+    stats.add_argument("circuit", help="OpenQASM 2.0 file")
+
+    export_ta = subparsers.add_parser(
+        "export-ta", help="dump a benchmark pre- or post-condition automaton in Timbuk format"
+    )
+    export_ta.add_argument("--family", choices=sorted(_FAMILIES), required=True)
+    export_ta.add_argument("--size", type=int, required=True, help="family parameter n")
+    export_ta.add_argument("--which", choices=("pre", "post"), default="pre")
+    export_ta.add_argument("output", help="path of the Timbuk file to write")
+
+    baselines = subparsers.add_parser(
+        "baselines", help="run every baseline equivalence checker on a pair of circuits"
+    )
+    baselines.add_argument("first", help="OpenQASM 2.0 file")
+    baselines.add_argument("second", help="OpenQASM 2.0 file")
+    baselines.add_argument("--stimuli", type=int, default=16, help="number of random stimuli")
+    baselines.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_verify(args) -> int:
+    benchmark = _FAMILIES[args.family](args.size)
+    result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition, mode=args.mode)
+    print(f"benchmark: {benchmark.name} ({benchmark.description})")
+    print(f"circuit:   {benchmark.circuit.num_qubits} qubits, {benchmark.circuit.num_gates} gates")
+    print(f"pre  TA:   {benchmark.precondition.size_summary()}")
+    print(f"output TA: {result.output.size_summary()}")
+    print(f"analysis:  {result.statistics.analysis_seconds:.2f}s, "
+          f"comparison: {result.comparison_seconds:.2f}s")
+    print(f"verdict:   {'HOLDS' if result.holds else 'VIOLATED'}")
+    if result.witness is not None:
+        print(f"witness ({result.witness_kind}): {result.witness}")
+    return 0 if result.holds else 1
+
+
+def _command_simulate(args) -> int:
+    circuit = load_qasm_file(args.circuit)
+    if args.input is None:
+        initial = QuantumState.zero_state(circuit.num_qubits)
+    else:
+        initial = QuantumState.basis_state(circuit.num_qubits, args.input)
+    output = StateVectorSimulator().run(circuit, initial)
+    print(f"circuit: {circuit.num_qubits} qubits, {circuit.num_gates} gates")
+    for bits, amplitude in output.items():
+        print(f"  |{''.join(map(str, bits))}>  {amplitude}   ({amplitude.to_complex():.4f})")
+    return 0
+
+
+def _command_equivalence(args) -> int:
+    first = load_qasm_file(args.first)
+    second = load_qasm_file(args.second)
+    if args.single_input is not None:
+        inputs = basis_state_ta(first.num_qubits, args.single_input)
+    else:
+        inputs = all_basis_states_ta(first.num_qubits)
+    outcome = check_circuit_equivalence(first, second, inputs, mode=args.mode)
+    print(f"analysis: {outcome.analysis_seconds:.2f}s, comparison: {outcome.comparison_seconds:.2f}s")
+    if outcome.non_equivalent:
+        print(f"NOT EQUIVALENT ({outcome.witness_side}); witness: {outcome.witness}")
+        return 1
+    print("output sets coincide (circuits may be equivalent)")
+    return 0
+
+
+def _command_bughunt(args) -> int:
+    reference = load_qasm_file(args.first)
+    if args.second is not None:
+        candidate = load_qasm_file(args.second)
+        mutation = None
+    elif args.inject_seed is not None:
+        candidate, mutation = inject_random_gate(reference, seed=args.inject_seed)
+    else:
+        print("error: provide a second circuit or --inject-seed", file=sys.stderr)
+        return 2
+    hunter = IncrementalBugHunter(mode=args.mode, seed=args.seed, max_iterations=args.max_iterations)
+    result = hunter.hunt(reference, candidate)
+    if mutation is not None:
+        print(f"injected bug: {mutation}")
+    print(f"iterations: {result.iterations}, time: {result.total_seconds:.2f}s")
+    if result.bug_found:
+        print(f"BUG FOUND; witness ({result.witness_side}): {result.witness}")
+        return 1
+    print("no difference found within the iteration budget")
+    return 0
+
+
+def _command_generate(args) -> int:
+    benchmark = _FAMILIES[args.family](args.size)
+    save_qasm_file(benchmark.circuit, args.output)
+    print(f"wrote {benchmark.name}: {benchmark.circuit.num_qubits} qubits, "
+          f"{benchmark.circuit.num_gates} gates -> {args.output}")
+    return 0
+
+
+def _command_inject(args) -> int:
+    circuit = load_qasm_file(args.circuit)
+    mutated, mutation = inject_random_gate(circuit, seed=args.seed)
+    save_qasm_file(mutated, args.output)
+    print(f"injected bug: {mutation}")
+    print(f"wrote mutated circuit ({mutated.num_gates} gates) -> {args.output}")
+    return 0
+
+
+def _command_stats(args) -> int:
+    circuit = load_qasm_file(args.circuit)
+    summary = circuit_summary(circuit)
+    print(f"circuit:  {args.circuit}")
+    print(f"qubits:   {summary['qubits']}")
+    print(f"gates:    {summary['gates']}", end="")
+    if summary["gates_decomposed"] != summary["gates"]:
+        print(f"  ({summary['gates_decomposed']} after swap/cswap decomposition)")
+    else:
+        print()
+    print(f"depth:    {summary['depth']}")
+    print(f"T-count:  {summary['t_count']}   two-qubit gates: {summary['two_qubit_count']}")
+    for kind, count in summary["histogram"].items():
+        print(f"  {kind:<6} {count}")
+    print(f"gates handled by the permutation-based encoding:  {summary['permutation_gates']}")
+    print(f"gates needing the composition-based encoding:     {summary['composition_gates']}")
+    return 0
+
+
+def _command_export_ta(args) -> int:
+    benchmark = _FAMILIES[args.family](args.size)
+    automaton = benchmark.precondition if args.which == "pre" else benchmark.postcondition
+    save_timbuk(automaton, args.output, name=f"{args.family}_{args.size}_{args.which}")
+    print(f"wrote {args.which}-condition TA of {benchmark.name} "
+          f"({automaton.size_summary()}) -> {args.output}")
+    return 0
+
+
+def _command_baselines(args) -> int:
+    first = load_qasm_file(args.first)
+    second = load_qasm_file(args.second)
+    any_difference = False
+
+    pathsum = PathSumChecker().check_equivalence(first, second)
+    print(f"path-sum:    {pathsum.verdict}")
+    stabilizer = StabilizerChecker().check_equivalence(first, second)
+    print(f"stabilizer:  {stabilizer.verdict.value} ({stabilizer.reason})")
+    stimuli = RandomStimuliChecker(num_stimuli=args.stimuli, seed=args.seed).check_equivalence(
+        first, second
+    )
+    print(f"stimuli:     {stimuli.verdict}")
+    if max(first.num_qubits, second.num_qubits) <= 10:
+        unitary = check_unitary_equivalence(first, second)
+        print(f"unitary:     {'equal' if unitary.equivalent else 'not_equal'}")
+        any_difference |= not unitary.equivalent
+    any_difference |= pathsum.verdict == "not_equal"
+    any_difference |= stabilizer.verdict.value == "not_equal"
+    any_difference |= stimuli.verdict == "not_equal"
+    return 1 if any_difference else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``autoq-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "verify": _command_verify,
+        "simulate": _command_simulate,
+        "equivalence": _command_equivalence,
+        "bughunt": _command_bughunt,
+        "generate": _command_generate,
+        "inject": _command_inject,
+        "stats": _command_stats,
+        "export-ta": _command_export_ta,
+        "baselines": _command_baselines,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,329 @@
+"""Composition-based encoding of quantum gates on tree automata (Section 6).
+
+The composition-based approach supports *every* gate of Table 1 (in particular
+Hadamard and the pi/2 rotations, which are not basis-state permutations).  It
+interprets the gate's symbolic update formula term by term over a *tagged* TA:
+
+========================  =========================================================
+paper operation           function here
+========================  =========================================================
+``Tag`` (Algorithm 3)     :func:`repro.core.tagging.tag`
+``Res`` (Algorithm 4)     :func:`restrict`
+``Mult`` (Algorithm 5)    :func:`multiply`
+``s.copy`` (Algorithm 6)  :func:`subtree_copy`
+``f.swap`` (Algorithm 7)  :func:`forward_swap`
+``b.swap`` (Algorithm 8)  :func:`backward_swap`
+``Prj`` (Eq. 13)          :func:`projection`
+``Bin`` (Algorithm 9)     :func:`binary_operation`
+========================  =========================================================
+
+:func:`apply_composition_gate` chains them exactly as in Fig. 3: tag, build one
+TA per term, fold the terms with the binary operation, apply the global
+``1/sqrt(2)`` factor, untag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..algebraic import ONE, ZERO, AlgebraicNumber
+from ..circuits.gates import Gate
+from ..ta.automaton import (
+    InternalTransition,
+    Symbol,
+    TreeAutomaton,
+    make_symbol,
+    symbol_qubit,
+    symbol_tags,
+)
+from .formulas import UpdateFormula, formula_for
+from .tagging import tag, untag
+
+__all__ = [
+    "restrict",
+    "multiply",
+    "subtree_copy",
+    "forward_swap",
+    "backward_swap",
+    "projection",
+    "binary_operation",
+    "apply_composition_gate",
+]
+
+
+def restrict(automaton: TreeAutomaton, qubit: int, bit: int) -> TreeAutomaton:
+    """The restriction operation ``Res(A, x_qubit, bit)`` (Algorithm 4).
+
+    With ``bit == 1`` the result recognises ``B_{x_qubit} · T`` for every
+    ``T`` in the language (positions with the qubit equal to 0 are zeroed);
+    with ``bit == 0`` it recognises ``B_{x̄_qubit} · T``.  The construction is
+    tag-preserving.
+    """
+    offset = automaton.next_free_state()
+    internal: Dict[int, List[InternalTransition]] = {}
+    leaves: Dict[int, AlgebraicNumber] = {}
+    # primed copy with zeroed leaves (identical internal structure => same tags)
+    for parent, transitions in automaton.internal.items():
+        internal[parent + offset] = [
+            (symbol, left + offset, right + offset) for symbol, left, right in transitions
+        ]
+    for state in automaton.leaves:
+        leaves[state + offset] = ZERO
+    # original copy with x_qubit transitions redirecting the zeroed branch
+    for parent, transitions in automaton.internal.items():
+        rewritten = []
+        for symbol, left, right in transitions:
+            if symbol_qubit(symbol) == qubit:
+                if bit == 1:
+                    rewritten.append((symbol, left + offset, right))
+                else:
+                    rewritten.append((symbol, left, right + offset))
+            else:
+                rewritten.append((symbol, left, right))
+        internal[parent] = rewritten
+    leaves.update(automaton.leaves)
+    result = TreeAutomaton(automaton.num_qubits, automaton.roots, internal, leaves)
+    return result.remove_useless()
+
+
+def multiply(automaton: TreeAutomaton, scalar: AlgebraicNumber) -> TreeAutomaton:
+    """The multiplication operation ``Mult(A, v)`` (Algorithm 5), generalised to
+    an arbitrary algebraic scalar."""
+    return automaton.map_leaves(lambda amplitude: amplitude * scalar)
+
+
+def subtree_copy(automaton: TreeAutomaton, qubit: int, bit: int) -> TreeAutomaton:
+    """Subtree copying ``s.copy(A, x_qubit, bit)`` (Algorithm 6).
+
+    Only sound when the ``x_qubit`` transitions sit directly above the leaf
+    layer (Lemma 6.8); :func:`projection` takes care of moving them there.
+    """
+    internal: Dict[int, List[InternalTransition]] = {}
+    for parent, transitions in automaton.internal.items():
+        rewritten = []
+        for symbol, left, right in transitions:
+            if symbol_qubit(symbol) == qubit:
+                child = right if bit == 1 else left
+                rewritten.append((symbol, child, child))
+            else:
+                rewritten.append((symbol, left, right))
+        internal[parent] = rewritten
+    return TreeAutomaton(automaton.num_qubits, automaton.roots, internal, automaton.leaves)
+
+
+def forward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
+    """Forward variable-order swapping ``f.swap_qubit`` (Algorithm 7).
+
+    Pushes the (tagged) ``x_qubit`` transitions one layer down, replacing them
+    by merged-symbol transitions that remember both child tags so that
+    :func:`backward_swap` can restore the original order and tags.
+    """
+    internal: Dict[int, List[InternalTransition]] = {
+        parent: list(transitions) for parent, transitions in automaton.internal.items()
+    }
+    leaves = dict(automaton.leaves)
+    fresh_counter = automaton.next_free_state()
+    to_remove: List[Tuple[int, InternalTransition]] = []
+    to_add: Dict[int, List[InternalTransition]] = {}
+
+    for parent, transitions in automaton.internal.items():
+        for symbol, left, right in transitions:
+            if symbol_qubit(symbol) != qubit:
+                continue
+            parent_tags = symbol_tags(symbol)
+            left_transitions = automaton.internal.get(left, ())
+            right_transitions = automaton.internal.get(right, ())
+            if not left_transitions or not right_transitions:
+                raise ValueError("forward_swap applied at the leaf layer")
+            to_remove.append((parent, (symbol, left, right)))
+            for left_symbol, l00, l01 in left_transitions:
+                for right_symbol, r10, r11 in right_transitions:
+                    lower_qubit = symbol_qubit(left_symbol)
+                    if symbol_qubit(right_symbol) != lower_qubit:
+                        raise ValueError("children of a swapped transition disagree on their qubit")
+                    left_tag = symbol_tags(left_symbol)
+                    right_tag = symbol_tags(right_symbol)
+                    if len(left_tag) != 1 or len(right_tag) != 1:
+                        raise ValueError("forward_swap expects singly-tagged child transitions")
+                    merged_symbol = make_symbol(lower_qubit, (left_tag[0], right_tag[0]))
+                    new_left = fresh_counter
+                    new_right = fresh_counter + 1
+                    fresh_counter += 2
+                    to_add.setdefault(parent, []).append((merged_symbol, new_left, new_right))
+                    to_add.setdefault(new_left, []).append((make_symbol(qubit, parent_tags), l00, r10))
+                    to_add.setdefault(new_right, []).append((make_symbol(qubit, parent_tags), l01, r11))
+                    to_remove.append((left, (left_symbol, l00, l01)))
+                    to_remove.append((right, (right_symbol, r10, r11)))
+
+    for parent, transition in to_remove:
+        if transition in internal.get(parent, []):
+            internal[parent].remove(transition)
+    for parent, transitions in to_add.items():
+        internal.setdefault(parent, []).extend(transitions)
+    internal = {parent: transitions for parent, transitions in internal.items() if transitions}
+    return TreeAutomaton(automaton.num_qubits, automaton.roots, internal, leaves)
+
+
+def backward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
+    """Backward variable-order swapping ``b.swap_qubit`` (Algorithm 8).
+
+    Inverse of :func:`forward_swap`: pulls the ``x_qubit`` transitions one
+    layer up, restoring the original child symbols from the merged tags.
+    """
+    internal: Dict[int, List[InternalTransition]] = {
+        parent: list(transitions) for parent, transitions in automaton.internal.items()
+    }
+    leaves = dict(automaton.leaves)
+    fresh_counter = automaton.next_free_state()
+    to_remove: List[Tuple[int, InternalTransition]] = []
+    to_add: Dict[int, List[InternalTransition]] = {}
+
+    for parent, transitions in automaton.internal.items():
+        for symbol, left, right in transitions:
+            tags = symbol_tags(symbol)
+            if len(tags) != 2:
+                continue
+            lower_qubit = symbol_qubit(symbol)
+            left_transitions = [
+                t for t in automaton.internal.get(left, ()) if symbol_qubit(t[0]) == qubit
+            ]
+            right_transitions = [
+                t for t in automaton.internal.get(right, ()) if symbol_qubit(t[0]) == qubit
+            ]
+            if not left_transitions or not right_transitions:
+                continue
+            to_remove.append((parent, (symbol, left, right)))
+            for left_symbol, c00, c01 in left_transitions:
+                for right_symbol, c10, c11 in right_transitions:
+                    if symbol_tags(left_symbol) != symbol_tags(right_symbol):
+                        continue
+                    upper_tags = symbol_tags(left_symbol)
+                    new_left = fresh_counter
+                    new_right = fresh_counter + 1
+                    fresh_counter += 2
+                    to_add.setdefault(parent, []).append(
+                        (make_symbol(qubit, upper_tags), new_left, new_right)
+                    )
+                    to_add.setdefault(new_left, []).append(
+                        (make_symbol(lower_qubit, (tags[0],)), c00, c10)
+                    )
+                    to_add.setdefault(new_right, []).append(
+                        (make_symbol(lower_qubit, (tags[1],)), c01, c11)
+                    )
+                    to_remove.append((left, (left_symbol, c00, c01)))
+                    to_remove.append((right, (right_symbol, c10, c11)))
+
+    for parent, transition in to_remove:
+        if transition in internal.get(parent, []):
+            internal[parent].remove(transition)
+    for parent, transitions in to_add.items():
+        internal.setdefault(parent, []).extend(transitions)
+    internal = {parent: transitions for parent, transitions in internal.items() if transitions}
+    return TreeAutomaton(automaton.num_qubits, automaton.roots, internal, leaves)
+
+
+def projection(automaton: TreeAutomaton, qubit: int, bit: int) -> TreeAutomaton:
+    """The projection operation ``Prj(A, x_qubit, bit)`` (Eq. 13).
+
+    Computes the TA of ``T_{x_qubit}`` (``bit == 1``) or ``T_{x̄_qubit}``
+    (``bit == 0``) for every tree ``T`` of the (tagged) input: the qubit's
+    transitions are pushed down to the layer above the leaves with
+    :func:`forward_swap`, copied there with :func:`subtree_copy`, and the
+    variable order is restored with :func:`backward_swap`.
+    """
+    depth_moves = automaton.num_qubits - 1 - qubit
+    result = automaton
+    for _ in range(depth_moves):
+        # The intermediate reduction keeps the swapped automata small; it merges
+        # states with identical transition sets, which preserves the (tagged)
+        # language and therefore tag preservation (cf. the paper's remark that
+        # "TA minimization algorithms can help to significantly reduce the cost").
+        result = forward_swap(result, qubit).reduce()
+    result = subtree_copy(result, qubit, bit)
+    for _ in range(depth_moves):
+        result = backward_swap(result, qubit).reduce()
+    return result
+
+
+def binary_operation(
+    left: TreeAutomaton, right: TreeAutomaton, subtract: bool = False
+) -> TreeAutomaton:
+    """The binary operation ``Bin(A1, A2, ±)`` (Algorithm 9).
+
+    A product construction over matching (tagged) symbols; leaf amplitudes are
+    added (or subtracted).  Only pairs reachable from the root pairs are built.
+    """
+    if left.num_qubits != right.num_qubits:
+        raise ValueError("operands must have the same number of qubits")
+    right_by_state_symbol: Dict[Tuple[int, Symbol], List[Tuple[int, int]]] = {}
+    for parent, symbol, l_child, r_child in right.transitions():
+        right_by_state_symbol.setdefault((parent, symbol), []).append((l_child, r_child))
+
+    pair_ids: Dict[Tuple[int, int], int] = {}
+    internal: Dict[int, List[InternalTransition]] = {}
+    leaves: Dict[int, AlgebraicNumber] = {}
+
+    def pair_id(pair: Tuple[int, int]) -> int:
+        if pair not in pair_ids:
+            pair_ids[pair] = len(pair_ids)
+        return pair_ids[pair]
+
+    roots = set()
+    worklist: List[Tuple[int, int]] = []
+    seen = set()
+    for left_root in left.roots:
+        for right_root in right.roots:
+            pair = (left_root, right_root)
+            roots.add(pair_id(pair))
+            worklist.append(pair)
+            seen.add(pair)
+
+    while worklist:
+        left_state, right_state = worklist.pop()
+        current = pair_id((left_state, right_state))
+        if left_state in left.leaves and right_state in right.leaves:
+            left_amp = left.leaves[left_state]
+            right_amp = right.leaves[right_state]
+            leaves[current] = left_amp - right_amp if subtract else left_amp + right_amp
+            continue
+        transitions: List[InternalTransition] = []
+        for symbol, l_child, r_child in left.internal.get(left_state, ()):
+            for rl_child, rr_child in right_by_state_symbol.get((right_state, symbol), ()):
+                left_pair = (l_child, rl_child)
+                right_pair = (r_child, rr_child)
+                transitions.append((symbol, pair_id(left_pair), pair_id(right_pair)))
+                for pair in (left_pair, right_pair):
+                    if pair not in seen:
+                        seen.add(pair)
+                        worklist.append(pair)
+        if transitions:
+            internal[current] = transitions
+    result = TreeAutomaton(left.num_qubits, roots, internal, leaves)
+    return result.remove_useless()
+
+
+def apply_composition_gate(
+    automaton: TreeAutomaton, gate: Gate, formula: UpdateFormula = None
+) -> TreeAutomaton:
+    """Apply a gate with the composition-based approach (Section 6.2, Fig. 3)."""
+    if formula is None:
+        formula = formula_for(gate)
+    tagged = tag(automaton)
+    term_automata: List[TreeAutomaton] = []
+    for term in formula.terms:
+        term_automaton = tagged
+        if term.projection is not None:
+            proj_qubit, proj_bit = term.projection
+            term_automaton = projection(term_automaton, proj_qubit, proj_bit)
+        for res_qubit, res_bit in term.restrictions:
+            term_automaton = restrict(term_automaton, res_qubit, res_bit)
+        scalar = term.scalar if term.sign > 0 else -term.scalar
+        if scalar != ONE:
+            term_automaton = multiply(term_automaton, scalar)
+        term_automata.append(term_automaton)
+    combined = term_automata[0]
+    for term_automaton in term_automata[1:]:
+        combined = binary_operation(combined, term_automaton)
+    if formula.sqrt2_divisions:
+        combined = multiply(combined, AlgebraicNumber(1, 0, 0, 0, formula.sqrt2_divisions))
+    return untag(combined)

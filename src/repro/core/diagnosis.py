@@ -1,0 +1,146 @@
+"""Witness replay and bug localisation.
+
+When a verification or non-equivalence check fails, the framework returns a
+*witness*: a quantum state that is reachable but forbidden (or produced by one
+circuit and not the other).  The paper validates such witnesses by feeding
+them to SliQSim ("we fed the witness produced by AutoQ to SliQSim and
+confirmed the two circuits are different"); this module automates that step
+and goes one step further by localising the first gate at which two circuit
+versions diverge.
+
+* :func:`replay_witness` — confirm a witness on the exact simulator: find the
+  basis input(s) of the pre-condition whose output matches the witness in one
+  circuit but not the other.
+* :func:`localise_divergence` — given one distinguishing basis input, binary
+  search over the common gate prefix for the earliest position at which the
+  two circuits' states stop agreeing (the natural "which gate did the
+  optimizer break?" question).
+* :class:`DiagnosisReport` — a small container that renders as a
+  human-readable multi-line report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import Circuit
+from ..simulator.statevector import StateVectorSimulator
+from ..states import QuantumState
+from ..ta.automaton import TreeAutomaton
+
+__all__ = ["DiagnosisReport", "replay_witness", "localise_divergence", "diagnose"]
+
+
+@dataclass
+class DiagnosisReport:
+    """Everything learned while replaying a witness against two circuits."""
+
+    witness: QuantumState
+    #: basis inputs from the pre-condition whose outputs differ between the circuits
+    distinguishing_inputs: List[Tuple[int, ...]] = field(default_factory=list)
+    #: earliest gate index (into the decomposed reference circuit) where states diverge
+    first_divergent_gate: Optional[int] = None
+    #: string rendering of that gate in the candidate circuit (if it exists there)
+    divergent_gate: Optional[str] = None
+    confirmed: bool = False
+
+    def render(self) -> str:
+        """A short multi-line report for CLI / example output."""
+        lines = [f"witness: {self.witness}"]
+        if not self.confirmed:
+            lines.append("replay could NOT confirm the witness on the simulator")
+            return "\n".join(lines)
+        inputs = ", ".join("|" + "".join(map(str, bits)) + ">" for bits in self.distinguishing_inputs)
+        lines.append(f"confirmed on the exact simulator; distinguishing input(s): {inputs}")
+        if self.first_divergent_gate is not None:
+            lines.append(
+                f"first divergent gate position: {self.first_divergent_gate}"
+                + (f" ({self.divergent_gate})" if self.divergent_gate else "")
+            )
+        return "\n".join(lines)
+
+
+def replay_witness(
+    reference: Circuit,
+    candidate: Circuit,
+    witness: QuantumState,
+    precondition: TreeAutomaton,
+    limit: int = 1024,
+) -> List[Tuple[int, ...]]:
+    """Find pre-condition basis inputs whose outputs distinguish the circuits via the witness.
+
+    An input counts as distinguishing when exactly one of the two circuits
+    maps it to the witness state.  Non-basis pre-condition states are replayed
+    as-is.  Returns the (possibly empty) list of distinguishing basis inputs;
+    an empty list means the witness could not be confirmed this way.
+    """
+    simulator = StateVectorSimulator()
+    distinguishing: List[Tuple[int, ...]] = []
+    for state in precondition.enumerate_states(limit=limit):
+        reference_output = simulator.run(reference, state)
+        candidate_output = simulator.run(candidate, state)
+        matches_reference = reference_output == witness
+        matches_candidate = candidate_output == witness
+        if matches_reference != matches_candidate:
+            if state.nonzero_count() == 1:
+                bits, _amplitude = next(iter(state.items()))
+                distinguishing.append(bits)
+            else:
+                distinguishing.append(tuple(-1 for _ in range(state.num_qubits)))
+    return distinguishing
+
+
+def localise_divergence(
+    reference: Circuit, candidate: Circuit, basis_input
+) -> Optional[int]:
+    """Earliest gate position at which the two circuits' states diverge on one input.
+
+    Both circuits are decomposed and executed gate by gate from the same basis
+    input; the returned index is the first position ``i`` such that the states
+    after ``i + 1`` gates differ (comparing exactly).  ``None`` means the
+    common prefix never diverges (the difference lies purely in extra trailing
+    gates of the longer circuit, or there is no difference at all).
+    """
+    reference_gates = list(reference.decomposed())
+    candidate_gates = list(candidate.decomposed())
+    simulator = StateVectorSimulator()
+    state_reference = QuantumState.basis_state(reference.num_qubits, basis_input)
+    state_candidate = QuantumState.basis_state(candidate.num_qubits, basis_input)
+    common = min(len(reference_gates), len(candidate_gates))
+    for position in range(common):
+        state_reference = simulator.apply_gate(state_reference, reference_gates[position])
+        state_candidate = simulator.apply_gate(state_candidate, candidate_gates[position])
+        if state_reference != state_candidate:
+            return position
+    return None
+
+
+def diagnose(
+    reference: Circuit,
+    candidate: Circuit,
+    witness: QuantumState,
+    precondition: TreeAutomaton,
+    limit: int = 1024,
+) -> DiagnosisReport:
+    """Full diagnosis: replay the witness, then localise the divergence.
+
+    This is the automated version of the paper's manual confirmation step
+    ("feed the witness to the simulator"), plus gate-level localisation that
+    points at the injected/buggy gate in the common case of a single mutation.
+    """
+    report = DiagnosisReport(witness=witness)
+    report.distinguishing_inputs = replay_witness(reference, candidate, witness, precondition, limit)
+    report.confirmed = bool(report.distinguishing_inputs)
+    if not report.confirmed:
+        return report
+    probe = next((bits for bits in report.distinguishing_inputs if all(b >= 0 for b in bits)), None)
+    if probe is None:
+        return report
+    position = localise_divergence(reference, candidate, probe)
+    report.first_divergent_gate = position
+    if position is not None:
+        candidate_gates = list(candidate.decomposed())
+        if position < len(candidate_gates):
+            report.divergent_gate = str(candidate_gates[position])
+    return report

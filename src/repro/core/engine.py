@@ -1,0 +1,141 @@
+"""Circuit execution engine over tree automata.
+
+The engine runs a whole circuit over a pre-condition TA, producing the TA of
+all reachable output states.  It supports the two settings evaluated in the
+paper (Section 7):
+
+* ``hybrid`` — permutation-based encoding for the gates it supports, falling
+  back to the composition-based encoding for the others (H, Rx, Ry and
+  controlled gates whose control indices are not below the target),
+* ``composition`` — composition-based encoding for every gate,
+* ``permutation`` — permutation-based only (raises on unsupported gates);
+  mainly useful for tests and ablations.
+
+After each gate the engine optionally applies the lightweight reduction
+(:meth:`TreeAutomaton.reduce`), mirroring the paper's use of simulation-based
+reduction to keep the automata small.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+from ..ta.automaton import TreeAutomaton
+from .composition import apply_composition_gate
+from .permutation import PermutationUnsupported, apply_permutation_gate, supports_permutation
+
+__all__ = ["AnalysisMode", "EngineStatistics", "EngineResult", "CircuitEngine", "run_circuit"]
+
+
+class AnalysisMode:
+    """Symbolic names for the engine settings (the paper's Hybrid / Composition)."""
+
+    HYBRID = "hybrid"
+    COMPOSITION = "composition"
+    PERMUTATION = "permutation"
+
+    ALL = (HYBRID, COMPOSITION, PERMUTATION)
+
+
+@dataclass
+class EngineStatistics:
+    """Aggregate statistics of one circuit analysis."""
+
+    gates_total: int = 0
+    gates_permutation: int = 0
+    gates_composition: int = 0
+    max_states: int = 0
+    max_transitions: int = 0
+    analysis_seconds: float = 0.0
+    per_gate_seconds: List[float] = field(default_factory=list)
+
+    def record(self, automaton: TreeAutomaton, elapsed: float, used_permutation: bool) -> None:
+        self.gates_total += 1
+        if used_permutation:
+            self.gates_permutation += 1
+        else:
+            self.gates_composition += 1
+        self.max_states = max(self.max_states, automaton.num_states)
+        self.max_transitions = max(self.max_transitions, automaton.num_transitions)
+        self.per_gate_seconds.append(elapsed)
+        self.analysis_seconds += elapsed
+
+
+@dataclass
+class EngineResult:
+    """Result of running a circuit over a pre-condition TA."""
+
+    output: TreeAutomaton
+    statistics: EngineStatistics
+    mode: str
+
+
+class CircuitEngine:
+    """Applies circuits to tree automata using the paper's gate transformers."""
+
+    def __init__(self, mode: str = AnalysisMode.HYBRID, reduce_after_each_gate: bool = True):
+        if mode not in AnalysisMode.ALL:
+            raise ValueError(f"unknown analysis mode {mode!r}; expected one of {AnalysisMode.ALL}")
+        self.mode = mode
+        self.reduce_after_each_gate = reduce_after_each_gate
+
+    # ----------------------------------------------------------------- gates
+    def apply_gate(self, automaton: TreeAutomaton, gate: Gate) -> TreeAutomaton:
+        """Apply one gate, returning the (optionally reduced) successor TA."""
+        result, _used_permutation = self._apply_gate_raw(automaton, gate)
+        if self.reduce_after_each_gate:
+            result = result.reduce()
+        return result
+
+    def _apply_gate_raw(self, automaton: TreeAutomaton, gate: Gate):
+        if gate.kind in ("swap", "cswap"):
+            raise ValueError(
+                f"gate {gate.kind!r} must be decomposed first (use Circuit.decomposed())"
+            )
+        if self.mode == AnalysisMode.COMPOSITION:
+            return apply_composition_gate(automaton, gate), False
+        if self.mode == AnalysisMode.PERMUTATION:
+            return apply_permutation_gate(automaton, gate), True
+        # hybrid
+        if supports_permutation(gate):
+            try:
+                return apply_permutation_gate(automaton, gate), True
+            except PermutationUnsupported:
+                pass
+        return apply_composition_gate(automaton, gate), False
+
+    # --------------------------------------------------------------- circuits
+    def run(self, circuit: Circuit, precondition: TreeAutomaton) -> EngineResult:
+        """Run every gate of ``circuit`` over ``precondition`` and collect statistics."""
+        if precondition.num_qubits != circuit.num_qubits:
+            raise ValueError(
+                f"pre-condition has {precondition.num_qubits} qubits but the circuit has "
+                f"{circuit.num_qubits}"
+            )
+        statistics = EngineStatistics()
+        automaton = precondition
+        for gate in circuit.decomposed():
+            start = time.perf_counter()
+            automaton, used_permutation = self._apply_gate_raw(automaton, gate)
+            if self.reduce_after_each_gate:
+                automaton = automaton.reduce()
+            elapsed = time.perf_counter() - start
+            statistics.record(automaton, elapsed, used_permutation)
+        if not self.reduce_after_each_gate:
+            automaton = automaton.reduce()
+        return EngineResult(output=automaton, statistics=statistics, mode=self.mode)
+
+
+def run_circuit(
+    circuit: Circuit,
+    precondition: TreeAutomaton,
+    mode: str = AnalysisMode.HYBRID,
+    reduce_after_each_gate: bool = True,
+) -> EngineResult:
+    """Convenience wrapper: run ``circuit`` on ``precondition`` with a fresh engine."""
+    engine = CircuitEngine(mode=mode, reduce_after_each_gate=reduce_after_each_gate)
+    return engine.run(circuit, precondition)

@@ -1,0 +1,214 @@
+"""Symbolic update formulae for quantum gates (Table 1 of the paper).
+
+Every supported gate is described by a :class:`UpdateFormula`: a signed sum of
+:class:`Term` objects, optionally divided by ``sqrt(2)``.  A term is built from
+the primitive tree operations of Section 4:
+
+* **projection** ``T_{x_t}`` / ``T_{x̄_t}`` — fix the value of qubit ``t`` to
+  1 / 0 before looking up the amplitude,
+* **restriction** ``B_{x_t}·(...)`` / ``B_{x̄_t}·(...)`` — keep only the
+  positions where qubit ``t`` is 1 / 0 (zero elsewhere),
+* **scalar multiplication** by an algebraic constant,
+* the whole sum may carry a global ``1/sqrt(2)`` factor.
+
+The module provides the formulae themselves (:func:`formula_for`), a reference
+implementation that applies a formula to an explicit
+:class:`~repro.states.QuantumState` (:func:`apply_formula_to_state`), used both
+by tests validating Theorem 4.1 and by the composition-based TA encoding
+driver, which interprets the very same term structure over tree automata.
+
+The concrete signs/scalars follow the standard gate matrices of Appendix A
+(e.g. ``Y = [[0, -i], [i, 0]]``); they are cross-checked against the matrices
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..algebraic import ONE, AlgebraicNumber
+from ..circuits.gates import Gate
+from ..states import QuantumState
+
+__all__ = ["Term", "UpdateFormula", "formula_for", "apply_formula_to_state", "apply_gate_to_state"]
+
+_OMEGA = AlgebraicNumber(0, 1, 0, 0, 0)
+_OMEGA2 = AlgebraicNumber(0, 0, 1, 0, 0)
+_NEG_OMEGA2 = AlgebraicNumber(0, 0, -1, 0, 0)
+_OMEGA_DAG = _OMEGA.conjugate()
+
+
+@dataclass(frozen=True)
+class Term:
+    """One summand of an update formula.
+
+    Attributes:
+        sign: ``+1`` or ``-1``.
+        scalar: algebraic constant multiplying the term (default 1).
+        restrictions: tuple of ``(qubit, bit)``; ``B_{x_q}`` when ``bit == 1``
+            and ``B_{x̄_q}`` when ``bit == 0``.
+        projection: ``None`` for the plain ``T``; otherwise ``(qubit, bit)``
+            meaning ``T_{x_q}`` (``bit == 1``) or ``T_{x̄_q}`` (``bit == 0``).
+    """
+
+    sign: int = 1
+    scalar: AlgebraicNumber = ONE
+    restrictions: Tuple[Tuple[int, int], ...] = ()
+    projection: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.sign not in (1, -1):
+            raise ValueError("sign must be +1 or -1")
+
+
+@dataclass(frozen=True)
+class UpdateFormula:
+    """A full gate update: ``(sum of terms) / sqrt(2)^sqrt2_divisions``."""
+
+    gate_kind: str
+    terms: Tuple[Term, ...]
+    sqrt2_divisions: int = 0
+
+
+def formula_for(gate: Gate) -> UpdateFormula:
+    """Return the Table 1 update formula for a concrete gate application."""
+    kind = gate.kind
+    if kind in ("swap", "cswap"):
+        raise ValueError(f"{kind} must be decomposed before analysis (Circuit.decomposed())")
+    target = gate.target
+    if kind == "x":
+        terms = (
+            Term(restrictions=((target, 0),), projection=(target, 1)),
+            Term(restrictions=((target, 1),), projection=(target, 0)),
+        )
+        return UpdateFormula(kind, terms)
+    if kind == "y":
+        # Y = [[0, -w^2], [w^2, 0]]  (Appendix A)
+        terms = (
+            Term(scalar=_NEG_OMEGA2, restrictions=((target, 0),), projection=(target, 1)),
+            Term(scalar=_OMEGA2, restrictions=((target, 1),), projection=(target, 0)),
+        )
+        return UpdateFormula(kind, terms)
+    if kind == "z":
+        terms = (
+            Term(restrictions=((target, 0),)),
+            Term(sign=-1, restrictions=((target, 1),)),
+        )
+        return UpdateFormula(kind, terms)
+    if kind in ("s", "sdg", "t", "tdg"):
+        scalar = {"s": _OMEGA2, "sdg": _NEG_OMEGA2, "t": _OMEGA, "tdg": _OMEGA_DAG}[kind]
+        terms = (
+            Term(restrictions=((target, 0),)),
+            Term(scalar=scalar, restrictions=((target, 1),)),
+        )
+        return UpdateFormula(kind, terms)
+    if kind == "h":
+        terms = (
+            Term(projection=(target, 0)),
+            Term(restrictions=((target, 0),), projection=(target, 1)),
+            Term(sign=-1, restrictions=((target, 1),), projection=(target, 1)),
+        )
+        return UpdateFormula(kind, terms, sqrt2_divisions=1)
+    if kind == "rx":
+        # Rx(pi/2) = 1/sqrt2 [[1, -w^2], [-w^2, 1]]
+        terms = (
+            Term(),
+            Term(scalar=_NEG_OMEGA2, restrictions=((target, 0),), projection=(target, 1)),
+            Term(scalar=_NEG_OMEGA2, restrictions=((target, 1),), projection=(target, 0)),
+        )
+        return UpdateFormula(kind, terms, sqrt2_divisions=1)
+    if kind == "ry":
+        # Ry(pi/2) = 1/sqrt2 [[1, -1], [1, 1]]
+        terms = (
+            Term(projection=(target, 0)),
+            Term(restrictions=((target, 1),)),
+            Term(sign=-1, restrictions=((target, 0),), projection=(target, 1)),
+        )
+        return UpdateFormula(kind, terms, sqrt2_divisions=1)
+    if kind == "cx":
+        control = gate.qubits[0]
+        terms = (
+            Term(restrictions=((control, 0),)),
+            Term(restrictions=((control, 1), (target, 0)), projection=(target, 1)),
+            Term(restrictions=((control, 1), (target, 1)), projection=(target, 0)),
+        )
+        return UpdateFormula(kind, terms)
+    if kind == "cz":
+        control = gate.qubits[0]
+        terms = (
+            Term(restrictions=((control, 0),)),
+            Term(restrictions=((control, 1), (target, 0))),
+            Term(sign=-1, restrictions=((control, 1), (target, 1))),
+        )
+        return UpdateFormula(kind, terms)
+    if kind in ("cs", "csdg", "ct", "ctdg"):
+        # Controlled phase gates diag(1, 1, 1, phase): scale the |11> branch only.
+        control = gate.qubits[0]
+        phase = {"cs": _OMEGA2, "csdg": _NEG_OMEGA2, "ct": _OMEGA, "ctdg": _OMEGA_DAG}[kind]
+        terms = (
+            Term(restrictions=((control, 0),)),
+            Term(restrictions=((control, 1), (target, 0))),
+            Term(scalar=phase, restrictions=((control, 1), (target, 1))),
+        )
+        return UpdateFormula(kind, terms)
+    if kind == "ccx":
+        control_a, control_b = gate.qubits[0], gate.qubits[1]
+        terms = (
+            Term(restrictions=((control_a, 0),)),
+            Term(restrictions=((control_a, 1), (control_b, 0))),
+            Term(restrictions=((control_a, 1), (control_b, 1), (target, 0)), projection=(target, 1)),
+            Term(restrictions=((control_a, 1), (control_b, 1), (target, 1)), projection=(target, 0)),
+        )
+        return UpdateFormula(kind, terms)
+    raise ValueError(f"no update formula for gate kind {kind!r}")
+
+
+# --------------------------------------------------------------------------- reference semantics
+def _apply_term_to_state(term: Term, state: QuantumState) -> QuantumState:
+    """Evaluate a single term on an explicit quantum state."""
+    result = QuantumState(state.num_qubits)
+    # Output positions with a potentially non-zero value are the input support,
+    # closed under flipping the projected qubit (a projection on qubit q makes
+    # position `bits` read the input at `bits` with bit q overwritten).
+    candidates = set()
+    for bits, _amplitude in state.items():
+        candidates.add(bits)
+        if term.projection is not None:
+            qubit, _value = term.projection
+            flipped = list(bits)
+            flipped[qubit] ^= 1
+            candidates.add(tuple(flipped))
+    for bits in candidates:
+        if any(bits[qubit] != value for qubit, value in term.restrictions):
+            continue
+        if term.projection is None:
+            source = bits
+        else:
+            qubit, value = term.projection
+            source = list(bits)
+            source[qubit] = value
+            source = tuple(source)
+        amplitude = state[source]
+        if amplitude.is_zero():
+            continue
+        contribution = amplitude * term.scalar
+        if term.sign < 0:
+            contribution = -contribution
+        result[bits] = result[bits] + contribution
+    return result
+
+
+def apply_formula_to_state(formula: UpdateFormula, state: QuantumState) -> QuantumState:
+    """Apply an update formula to an explicit quantum state (reference semantics)."""
+    total = QuantumState(state.num_qubits)
+    for term in formula.terms:
+        total = total + _apply_term_to_state(term, state)
+    if formula.sqrt2_divisions:
+        total = total.scaled(AlgebraicNumber(1, 0, 0, 0, formula.sqrt2_divisions))
+    return total
+
+
+def apply_gate_to_state(gate: Gate, state: QuantumState) -> QuantumState:
+    """Apply a gate to an explicit state using its Table 1 update formula."""
+    return apply_formula_to_state(formula_for(gate), state)

@@ -1,0 +1,59 @@
+"""Helpers for building pre- and post-condition tree automata.
+
+These are thin, documented wrappers around :mod:`repro.ta.construction` that
+express the specification idioms used in the paper's experiments (Appendix E):
+single basis states, products of per-qubit classical constraints, explicit
+finite sets of quantum states, and the Bell-state example from Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..algebraic import AlgebraicNumber, SQRT2_INV
+from ..states import QuantumState
+from ..ta import TreeAutomaton, basis_product_ta, basis_state_ta, from_quantum_states
+
+__all__ = [
+    "zero_state_precondition",
+    "basis_state_precondition",
+    "classical_product_condition",
+    "states_condition",
+    "bell_pair_state",
+    "bell_postcondition",
+]
+
+
+def zero_state_precondition(num_qubits: int) -> TreeAutomaton:
+    """TA for the single input ``|0...0>`` (the pre-condition of BV and Grover-Single)."""
+    return basis_state_ta(num_qubits, (0,) * num_qubits)
+
+
+def basis_state_precondition(num_qubits: int, basis) -> TreeAutomaton:
+    """TA for a single, arbitrary computational basis state."""
+    return basis_state_ta(num_qubits, basis)
+
+
+def classical_product_condition(allowed: Sequence[Iterable[int]]) -> TreeAutomaton:
+    """TA for all basis states where qubit ``i`` takes a value in ``allowed[i]``.
+
+    This covers the pre-conditions of MCToffoli ("controls and target free,
+    work qubits zero") and Grover-All ("oracle qubits free, everything else
+    zero"), cf. Appendix E.
+    """
+    return basis_product_ta(len(allowed), allowed)
+
+
+def states_condition(states: Iterable[QuantumState]) -> TreeAutomaton:
+    """TA accepting exactly the given finite set of explicit quantum states."""
+    return from_quantum_states(states)
+
+
+def bell_pair_state() -> QuantumState:
+    """The Bell state ``(|00> + |11>)/sqrt(2)`` from the paper's overview example."""
+    return QuantumState(2, {(0, 0): SQRT2_INV, (1, 1): SQRT2_INV})
+
+
+def bell_postcondition() -> TreeAutomaton:
+    """Post-condition TA of Fig. 1b: the set containing only the Bell state."""
+    return states_condition([bell_pair_state()])

@@ -1,0 +1,28 @@
+"""Exact and dense quantum-circuit simulators (the SliQSim-style substrate)."""
+
+from .decision_diagram import (
+    DDManager,
+    DDState,
+    DecisionDiagramSimulator,
+    simulate_decision_diagram,
+)
+from .dense import apply_gate_dense, circuit_unitary, simulate_dense, state_fidelity
+from .measurement import collapse, measurement_probability, outcome_distribution
+from .statevector import StateVectorSimulator, simulate_basis_states, simulate_circuit
+
+__all__ = [
+    "StateVectorSimulator",
+    "simulate_circuit",
+    "simulate_basis_states",
+    "DDManager",
+    "DDState",
+    "DecisionDiagramSimulator",
+    "simulate_decision_diagram",
+    "apply_gate_dense",
+    "simulate_dense",
+    "circuit_unitary",
+    "state_fidelity",
+    "collapse",
+    "measurement_probability",
+    "outcome_distribution",
+]

@@ -1,0 +1,67 @@
+"""Computational-basis measurement on exact quantum states (Section 2.1).
+
+Implements the measurement semantics described in the paper's preliminaries:
+the probability that qubit ``j`` collapses to ``|0>``/``|1>`` and the
+post-measurement state with the surviving amplitudes re-normalised by
+``1/sqrt(prob)`` (only exact powers of ``1/sqrt(2)`` can be renormalised
+exactly; other probabilities leave the state un-normalised and callers can
+inspect :func:`measurement_probability` instead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..algebraic import AlgebraicNumber, ZERO
+from ..states import QuantumState
+
+__all__ = ["measurement_probability", "collapse", "outcome_distribution"]
+
+
+def measurement_probability(state: QuantumState, qubit: int, value: int) -> float:
+    """Probability (as a float) that measuring ``qubit`` yields ``value``."""
+    if value not in (0, 1):
+        raise ValueError("value must be 0 or 1")
+    total = ZERO
+    for bits, amplitude in state.items():
+        if bits[qubit] == value:
+            total = total + amplitude.abs_squared()
+    return total.to_float()
+
+
+def collapse(state: QuantumState, qubit: int, value: int) -> QuantumState:
+    """Post-measurement state after observing ``value`` on ``qubit``.
+
+    Amplitudes of the other outcome become zero; the remaining amplitudes are
+    re-normalised exactly when the outcome probability is a power of ``1/2``
+    (the common case for the circuits considered in the paper), and left
+    unnormalised otherwise.
+    """
+    survivors: Dict[Tuple[int, ...], AlgebraicNumber] = {
+        bits: amplitude for bits, amplitude in state.items() if bits[qubit] == value
+    }
+    if not survivors:
+        raise ValueError(f"outcome {value} on qubit {qubit} has probability zero")
+    collapsed = QuantumState(state.num_qubits, survivors)
+    probability = collapsed.norm_squared()
+    scale = _exact_inverse_sqrt(probability)
+    if scale is not None:
+        collapsed = collapsed.scaled(scale)
+    return collapsed
+
+
+def _exact_inverse_sqrt(probability: AlgebraicNumber) -> Optional[AlgebraicNumber]:
+    """Return ``1/sqrt(probability)`` when the probability is ``(1/2)^m``, else None."""
+    value = probability.to_complex()
+    if abs(value.imag) > 1e-12 or value.real <= 0:
+        return None
+    for exponent in range(64):
+        if abs(value.real - 0.5 ** exponent) < 1e-12:
+            # sqrt(2)^exponent, expressed through the (negative-k) normalisation
+            return AlgebraicNumber(1, 0, 0, 0, -exponent)
+    return None
+
+
+def outcome_distribution(state: QuantumState) -> Dict[Tuple[int, ...], float]:
+    """Full-basis measurement distribution as floats (for display and tests)."""
+    return {bits: amplitude.abs_squared().to_float() for bits, amplitude in state.items()}

@@ -1,0 +1,208 @@
+"""Explicit quantum states with exact algebraic amplitudes.
+
+A :class:`QuantumState` is the *function representation* used by the paper
+(Section 2.1): a mapping from computational-basis bitstrings ``{0,1}^n`` to
+algebraic amplitudes.  It is the common currency between the tree-automaton
+world (trees are exactly such functions), the exact simulator and the
+reference gate semantics used in tests.
+
+Basis states are indexed by tuples of bits ``(b_1, ..., b_n)`` where ``b_1``
+corresponds to qubit 0 (the root level of the tree encoding, the paper's
+``x_1``).  Helpers convert to/from integer indices using the most significant
+bit first (MSBF) convention of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .algebraic import ONE, ZERO, AlgebraicNumber
+
+__all__ = ["QuantumState", "bits_to_int", "int_to_bits", "parse_bitstring"]
+
+Bits = Tuple[int, ...]
+
+
+def bits_to_int(bits: Iterable[int]) -> int:
+    """Convert a bit tuple (MSBF) to its integer index."""
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (1 if bit else 0)
+    return value
+
+
+def int_to_bits(value: int, num_qubits: int) -> Bits:
+    """Convert an integer index to an MSBF bit tuple of width ``num_qubits``."""
+    if value < 0 or value >= (1 << num_qubits):
+        raise ValueError(f"index {value} out of range for {num_qubits} qubits")
+    return tuple((value >> (num_qubits - 1 - i)) & 1 for i in range(num_qubits))
+
+
+def parse_bitstring(text: str) -> Bits:
+    """Parse a string like ``"0101"`` into a bit tuple."""
+    if not text or any(ch not in "01" for ch in text):
+        raise ValueError(f"not a bitstring: {text!r}")
+    return tuple(int(ch) for ch in text)
+
+
+class QuantumState:
+    """A sparse, exact ``n``-qubit quantum state (or un-normalised vector)."""
+
+    __slots__ = ("num_qubits", "_amplitudes")
+
+    def __init__(self, num_qubits: int, amplitudes: Optional[Mapping[Bits, AlgebraicNumber]] = None):
+        if num_qubits <= 0:
+            raise ValueError("a quantum state needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self._amplitudes: Dict[Bits, AlgebraicNumber] = {}
+        if amplitudes:
+            for basis, amplitude in amplitudes.items():
+                self[basis] = amplitude
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def basis_state(cls, num_qubits: int, basis) -> "QuantumState":
+        """The computational basis state ``|basis>`` with amplitude 1."""
+        bits = cls._normalise_basis(basis, num_qubits)
+        return cls(num_qubits, {bits: ONE})
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "QuantumState":
+        """The all-zero basis state ``|0...0>``."""
+        return cls.basis_state(num_qubits, (0,) * num_qubits)
+
+    # ---------------------------------------------------------------- mapping
+    @staticmethod
+    def _normalise_basis(basis, num_qubits: int) -> Bits:
+        if isinstance(basis, str):
+            bits = parse_bitstring(basis)
+        elif isinstance(basis, int):
+            bits = int_to_bits(basis, num_qubits)
+        else:
+            bits = tuple(int(b) for b in basis)
+        if len(bits) != num_qubits:
+            raise ValueError(f"basis {basis!r} has wrong width (expected {num_qubits})")
+        if any(bit not in (0, 1) for bit in bits):
+            raise ValueError(f"basis {basis!r} contains non-binary values")
+        return bits
+
+    def __getitem__(self, basis) -> AlgebraicNumber:
+        bits = self._normalise_basis(basis, self.num_qubits)
+        return self._amplitudes.get(bits, ZERO)
+
+    def __setitem__(self, basis, amplitude: AlgebraicNumber) -> None:
+        bits = self._normalise_basis(basis, self.num_qubits)
+        if amplitude.is_zero():
+            self._amplitudes.pop(bits, None)
+        else:
+            self._amplitudes[bits] = amplitude
+
+    def items(self) -> Iterator[Tuple[Bits, AlgebraicNumber]]:
+        """Iterate over ``(bits, amplitude)`` pairs with non-zero amplitude."""
+        return iter(sorted(self._amplitudes.items()))
+
+    def nonzero_count(self) -> int:
+        """Number of basis states with a non-zero amplitude."""
+        return len(self._amplitudes)
+
+    def __len__(self) -> int:
+        return len(self._amplitudes)
+
+    def __bool__(self) -> bool:
+        return bool(self._amplitudes)
+
+    # --------------------------------------------------------------- algebra
+    def copy(self) -> "QuantumState":
+        """Return an independent copy."""
+        return QuantumState(self.num_qubits, dict(self._amplitudes))
+
+    def __add__(self, other: "QuantumState") -> "QuantumState":
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("cannot add states of different widths")
+        result = self.copy()
+        for bits, amplitude in other._amplitudes.items():
+            result[bits] = result[bits] + amplitude
+        return result
+
+    def __sub__(self, other: "QuantumState") -> "QuantumState":
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("cannot subtract states of different widths")
+        result = self.copy()
+        for bits, amplitude in other._amplitudes.items():
+            result[bits] = result[bits] - amplitude
+        return result
+
+    def scaled(self, scalar: AlgebraicNumber) -> "QuantumState":
+        """Return the state with every amplitude multiplied by ``scalar``."""
+        return QuantumState(
+            self.num_qubits,
+            {bits: amplitude * scalar for bits, amplitude in self._amplitudes.items()},
+        )
+
+    def norm_squared(self) -> AlgebraicNumber:
+        """Return ``sum |amplitude|^2`` as an exact algebraic number."""
+        total = ZERO
+        for amplitude in self._amplitudes.values():
+            total = total + amplitude.abs_squared()
+        return total
+
+    def is_normalised(self) -> bool:
+        """True iff the squared norm equals exactly 1."""
+        return self.norm_squared() == ONE
+
+    # ------------------------------------------------------------ comparisons
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumState):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and self._amplitudes == other._amplitudes
+
+    def __hash__(self) -> int:
+        return hash((self.num_qubits, frozenset(self._amplitudes.items())))
+
+    def equals_up_to_global_phase(self, other: "QuantumState") -> bool:
+        """True iff ``self == phase * other`` for some unit algebraic phase.
+
+        Only the eight phases ``w^0 .. w^7`` (and their combination with -1,
+        already included) are considered, which is all the gate set can produce
+        for basis-state inputs of Clifford+T circuits without 1/sqrt2 factors;
+        a fallback compares complex ratios numerically.
+        """
+        if self.num_qubits != other.num_qubits:
+            return False
+        if len(self._amplitudes) != len(other._amplitudes):
+            return False
+        if not self._amplitudes:
+            return True
+        for power in range(8):
+            phase = AlgebraicNumber.omega_power(power)
+            if all(self[bits] == amplitude * phase for bits, amplitude in other._amplitudes.items()):
+                return True
+        # numeric fallback for phases such as (1+i)/sqrt(2) combinations
+        ref_bits = next(iter(other._amplitudes))
+        denominator = other[ref_bits].to_complex()
+        numerator = self[ref_bits].to_complex()
+        if abs(denominator) < 1e-12:
+            return False
+        ratio = numerator / denominator
+        if abs(abs(ratio) - 1.0) > 1e-9:
+            return False
+        return all(
+            abs(self[bits].to_complex() - ratio * amplitude.to_complex()) < 1e-9
+            for bits, amplitude in other._amplitudes.items()
+        )
+
+    # --------------------------------------------------------------- exports
+    def to_vector(self):
+        """Return the dense ``2^n`` complex numpy vector (for cross-checking)."""
+        import numpy as np
+
+        vector = np.zeros(1 << self.num_qubits, dtype=complex)
+        for bits, amplitude in self._amplitudes.items():
+            vector[bits_to_int(bits)] = amplitude.to_complex()
+        return vector
+
+    def __repr__(self) -> str:
+        terms = ", ".join(
+            f"|{''.join(map(str, bits))}>: {amplitude}" for bits, amplitude in sorted(self._amplitudes.items())
+        )
+        return f"QuantumState({self.num_qubits}, {{{terms}}})"

@@ -1,0 +1,429 @@
+"""Tree automata over full binary trees encoding sets of quantum states.
+
+This module is the reproduction's stand-in for the VATA library used by the
+paper.  A :class:`TreeAutomaton` represents a finite set of ``n``-qubit quantum
+states: its language consists of full binary trees of height ``n`` whose
+internal nodes at depth ``i`` are labelled with the qubit symbol ``x_{i+1}``
+and whose leaves carry algebraic amplitudes (Section 3 of the paper).
+
+Representation
+--------------
+* States are non-negative integers.
+* An *internal transition* is ``parent -- (qubit, tags) --> (left, right)``.
+  ``tags`` is the (possibly empty) tuple of tag numbers introduced by the
+  composition-based gate encoding (Section 6); untagged automata always use
+  the empty tuple.
+* A *leaf transition* maps a leaf state to exactly one
+  :class:`~repro.algebraic.omega.AlgebraicNumber` amplitude (the paper's
+  convention that leaf transitions have dedicated parent states).
+* A state is either internal (has internal transitions) or a leaf state, never
+  both.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..algebraic import ZERO, AlgebraicNumber
+from ..states import QuantumState
+
+__all__ = [
+    "Symbol",
+    "InternalTransition",
+    "TreeAutomaton",
+    "make_symbol",
+    "symbol_qubit",
+    "symbol_tags",
+]
+
+#: An internal-node symbol: ``(qubit_index, tags)``.
+Symbol = Tuple[int, Tuple[int, ...]]
+#: ``(symbol, left_state, right_state)``.
+InternalTransition = Tuple[Symbol, int, int]
+
+
+def make_symbol(qubit: int, tags: Tuple[int, ...] = ()) -> Symbol:
+    """Build an internal symbol for ``qubit`` with optional composition tags."""
+    return (int(qubit), tuple(tags))
+
+
+def symbol_qubit(symbol: Symbol) -> int:
+    """The qubit (tree level) of an internal symbol."""
+    return symbol[0]
+
+
+def symbol_tags(symbol: Symbol) -> Tuple[int, ...]:
+    """The tag tuple of an internal symbol (empty when untagged)."""
+    return symbol[1]
+
+
+class TreeAutomaton:
+    """A (nondeterministic, finite) tree automaton encoding quantum-state sets."""
+
+    __slots__ = ("num_qubits", "roots", "internal", "leaves", "_max_state")
+
+    def __init__(
+        self,
+        num_qubits: int,
+        roots: Iterable[int],
+        internal: Dict[int, Iterable[InternalTransition]],
+        leaves: Dict[int, AlgebraicNumber],
+    ):
+        self.num_qubits = int(num_qubits)
+        self.roots = frozenset(int(r) for r in roots)
+        self.internal: Dict[int, Tuple[InternalTransition, ...]] = {
+            int(state): tuple(dict.fromkeys(transitions))
+            for state, transitions in internal.items()
+            if transitions
+        }
+        self.leaves: Dict[int, AlgebraicNumber] = dict(leaves)
+        self._max_state: Optional[int] = None
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def states(self) -> Set[int]:
+        """All states mentioned anywhere in the automaton."""
+        result: Set[int] = set(self.roots) | set(self.internal) | set(self.leaves)
+        for transitions in self.internal.values():
+            for _symbol, left, right in transitions:
+                result.add(left)
+                result.add(right)
+        return result
+
+    @property
+    def num_states(self) -> int:
+        """Number of states (the ``states`` column of the paper's tables)."""
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        """Number of transitions (the ``transitions`` column of the tables)."""
+        return sum(len(ts) for ts in self.internal.values()) + len(self.leaves)
+
+    def size_summary(self) -> str:
+        """Format sizes the way the paper's tables do: ``states (transitions)``."""
+        return f"{self.num_states} ({self.num_transitions})"
+
+    def transitions(self) -> Iterator[Tuple[int, Symbol, int, int]]:
+        """Iterate over all internal transitions as ``(parent, symbol, left, right)``."""
+        for parent, transitions in self.internal.items():
+            for symbol, left, right in transitions:
+                yield parent, symbol, left, right
+
+    def transitions_at(self, qubit: int) -> Iterator[Tuple[int, Symbol, int, int]]:
+        """Iterate over internal transitions whose symbol belongs to ``qubit``."""
+        for parent, symbol, left, right in self.transitions():
+            if symbol_qubit(symbol) == qubit:
+                yield parent, symbol, left, right
+
+    def next_free_state(self) -> int:
+        """Return an integer strictly greater than every existing state id."""
+        if self._max_state is None:
+            states = self.states
+            self._max_state = max(states) if states else -1
+        return self._max_state + 1
+
+    def is_tagged(self) -> bool:
+        """True iff any internal symbol carries composition tags."""
+        return any(symbol_tags(symbol) for _p, symbol, _l, _r in self.transitions())
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeAutomaton(num_qubits={self.num_qubits}, states={self.num_states}, "
+            f"transitions={self.num_transitions}, roots={sorted(self.roots)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality (same states, roots and transitions) — *not* language equality."""
+        if not isinstance(other, TreeAutomaton):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self.roots == other.roots
+            and {s: frozenset(t) for s, t in self.internal.items()}
+            == {s: frozenset(t) for s, t in other.internal.items()}
+            and self.leaves == other.leaves
+        )
+
+    # -------------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`ValueError` on violation.
+
+        * no state is both internal and leaf,
+        * all states reachable from a root at depth ``d`` carry symbols of
+          qubit ``d`` (the layering assumed by the gate transformers),
+        * leaf states appear exactly below the last qubit level.
+        """
+        overlap = set(self.internal) & set(self.leaves)
+        if overlap:
+            raise ValueError(f"states are both internal and leaf: {sorted(overlap)[:5]}")
+        depth_of: Dict[int, int] = {}
+        queue: List[Tuple[int, int]] = [(root, 0) for root in self.roots]
+        while queue:
+            state, depth = queue.pop()
+            if state in depth_of:
+                if depth_of[state] != depth:
+                    raise ValueError(f"state {state} appears at depths {depth_of[state]} and {depth}")
+                continue
+            depth_of[state] = depth
+            if state in self.leaves:
+                if depth != self.num_qubits:
+                    raise ValueError(f"leaf state {state} reachable at depth {depth} != {self.num_qubits}")
+                continue
+            for symbol, left, right in self.internal.get(state, ()):
+                if symbol_qubit(symbol) != depth:
+                    raise ValueError(
+                        f"state {state} at depth {depth} has a transition on qubit {symbol_qubit(symbol)}"
+                    )
+                queue.append((left, depth + 1))
+                queue.append((right, depth + 1))
+
+    # ---------------------------------------------------------------- algebra
+    def relabelled(self) -> "TreeAutomaton":
+        """Return an automaton with states renumbered ``0..m-1`` deterministically."""
+        ordered = sorted(self.states)
+        mapping = {old: new for new, old in enumerate(ordered)}
+        internal = {
+            mapping[parent]: tuple(
+                (symbol, mapping[left], mapping[right]) for symbol, left, right in transitions
+            )
+            for parent, transitions in self.internal.items()
+        }
+        leaves = {mapping[state]: amplitude for state, amplitude in self.leaves.items()}
+        roots = {mapping[root] for root in self.roots if root in mapping}
+        return TreeAutomaton(self.num_qubits, roots, internal, leaves)
+
+    def map_leaves(self, mapper) -> "TreeAutomaton":
+        """Return a copy whose leaf amplitudes are transformed by ``mapper``."""
+        leaves = {state: mapper(amplitude) for state, amplitude in self.leaves.items()}
+        return TreeAutomaton(self.num_qubits, self.roots, self.internal, leaves)
+
+    def remove_useless(self) -> "TreeAutomaton":
+        """Drop states that are not both reachable (top-down) and productive (bottom-up)."""
+        # productive = can generate at least one subtree
+        productive: Set[int] = set(self.leaves)
+        changed = True
+        while changed:
+            changed = False
+            for parent, transitions in self.internal.items():
+                if parent in productive:
+                    continue
+                for _symbol, left, right in transitions:
+                    if left in productive and right in productive:
+                        productive.add(parent)
+                        changed = True
+                        break
+        # reachable = reachable from a root through productive transitions
+        reachable: Set[int] = set()
+        stack = [root for root in self.roots if root in productive]
+        while stack:
+            state = stack.pop()
+            if state in reachable:
+                continue
+            reachable.add(state)
+            for _symbol, left, right in self.internal.get(state, ()):
+                if left in productive and right in productive:
+                    if left not in reachable:
+                        stack.append(left)
+                    if right not in reachable:
+                        stack.append(right)
+        keep = reachable & productive
+        internal = {
+            parent: tuple(
+                (symbol, left, right)
+                for symbol, left, right in transitions
+                if left in keep and right in keep
+            )
+            for parent, transitions in self.internal.items()
+            if parent in keep
+        }
+        internal = {parent: transitions for parent, transitions in internal.items() if transitions}
+        leaves = {state: amplitude for state, amplitude in self.leaves.items() if state in keep}
+        roots = {root for root in self.roots if root in keep}
+        return TreeAutomaton(self.num_qubits, roots, internal, leaves)
+
+    def reduce(self) -> "TreeAutomaton":
+        """Merge states with identical outgoing behaviour until a fixpoint.
+
+        This is the paper's "lightweight simulation-based reduction": two
+        states are merged when they have exactly the same successor transitions
+        (after previous merges), which is a congruence refinement computed
+        bottom-up.  Useless states are removed first and duplicates pruned.
+        """
+        automaton = self.remove_useless()
+        representative: Dict[int, int] = {state: state for state in automaton.states}
+
+        def resolve(state: int) -> int:
+            while representative[state] != state:
+                representative[state] = representative[representative[state]]
+                state = representative[state]
+            return state
+
+        changed = True
+        internal = automaton.internal
+        leaves = automaton.leaves
+        while changed:
+            changed = False
+            signature_to_state: Dict[object, int] = {}
+            for state in sorted(automaton.states):
+                state = resolve(state)
+                if state in leaves:
+                    signature = ("leaf", leaves[state])
+                else:
+                    signature = (
+                        "internal",
+                        frozenset(
+                            (symbol, resolve(left), resolve(right))
+                            for symbol, left, right in internal.get(state, ())
+                        ),
+                    )
+                previous = signature_to_state.get(signature)
+                if previous is None:
+                    signature_to_state[signature] = state
+                elif previous != state:
+                    representative[state] = previous
+                    changed = True
+        new_internal: Dict[int, List[InternalTransition]] = {}
+        for parent, transitions in internal.items():
+            rep_parent = resolve(parent)
+            bucket = new_internal.setdefault(rep_parent, [])
+            for symbol, left, right in transitions:
+                entry = (symbol, resolve(left), resolve(right))
+                if entry not in bucket:
+                    bucket.append(entry)
+        new_leaves = {resolve(state): amplitude for state, amplitude in leaves.items()}
+        new_roots = {resolve(root) for root in automaton.roots}
+        reduced = TreeAutomaton(self.num_qubits, new_roots, new_internal, new_leaves)
+        return reduced.remove_useless()
+
+    # -------------------------------------------------------------- language
+    def accepts(self, state: QuantumState) -> bool:
+        """Membership test: is the full-binary-tree encoding of ``state`` accepted?"""
+        if state.num_qubits != self.num_qubits:
+            return False
+        leaf_states_by_amplitude: Dict[AlgebraicNumber, Set[int]] = {}
+        for leaf_state, amplitude in self.leaves.items():
+            leaf_states_by_amplitude.setdefault(amplitude, set()).add(leaf_state)
+        transitions_by_qubit: Dict[int, List[Tuple[int, int, int]]] = {}
+        for parent, symbol, left, right in self.transitions():
+            transitions_by_qubit.setdefault(symbol_qubit(symbol), []).append((parent, left, right))
+
+        cache: Dict[Tuple[int, frozenset], frozenset] = {}
+
+        def reach(depth: int, submap: frozenset) -> frozenset:
+            """TA states that generate the subtree described by the sparse suffix map."""
+            key = (depth, submap)
+            if key in cache:
+                return cache[key]
+            if depth == self.num_qubits:
+                amplitude = ZERO
+                for _suffix, value in submap:
+                    amplitude = value
+                result = frozenset(leaf_states_by_amplitude.get(amplitude, frozenset()))
+            else:
+                left_items = frozenset(
+                    (suffix[1:], value) for suffix, value in submap if suffix[0] == 0
+                )
+                right_items = frozenset(
+                    (suffix[1:], value) for suffix, value in submap if suffix[0] == 1
+                )
+                left_states = reach(depth + 1, left_items)
+                right_states = reach(depth + 1, right_items)
+                states = set()
+                if left_states and right_states:
+                    for parent, left, right in transitions_by_qubit.get(depth, ()):
+                        if left in left_states and right in right_states:
+                            states.add(parent)
+                result = frozenset(states)
+            cache[key] = result
+            return result
+
+        initial = frozenset((bits, amplitude) for bits, amplitude in state.items())
+        return bool(reach(0, initial) & self.roots)
+
+    def enumerate_states(self, limit: Optional[int] = None) -> List[QuantumState]:
+        """Enumerate the language as explicit :class:`QuantumState` objects.
+
+        Subtrees are represented sparsely (suffix -> amplitude maps), so the
+        cost is proportional to the number and sparsity of accepted states,
+        not to ``2^n``.  ``limit`` bounds the number of returned states; a
+        :class:`ValueError` is raised when the language exceeds it.
+        """
+        cache: Dict[int, List[Dict[Tuple[int, ...], AlgebraicNumber]]] = {}
+
+        def expand(state: int, depth: int) -> List[Dict[Tuple[int, ...], AlgebraicNumber]]:
+            if state in cache:
+                return cache[state]
+            results: List[Dict[Tuple[int, ...], AlgebraicNumber]] = []
+            if state in self.leaves:
+                amplitude = self.leaves[state]
+                results.append({} if amplitude.is_zero() else {(): amplitude})
+            else:
+                for symbol, left, right in self.internal.get(state, ()):
+                    for left_map, right_map in itertools.product(
+                        expand(left, depth + 1), expand(right, depth + 1)
+                    ):
+                        merged: Dict[Tuple[int, ...], AlgebraicNumber] = {}
+                        for suffix, amplitude in left_map.items():
+                            merged[(0,) + suffix] = amplitude
+                        for suffix, amplitude in right_map.items():
+                            merged[(1,) + suffix] = amplitude
+                        if merged not in results:
+                            results.append(merged)
+                        if limit is not None and len(results) > limit:
+                            raise ValueError(f"language exceeds enumeration limit {limit}")
+            cache[state] = results
+            return results
+
+        seen: List[QuantumState] = []
+        for root in sorted(self.roots):
+            for amplitude_map in expand(root, 0):
+                candidate = QuantumState(self.num_qubits, amplitude_map)
+                if candidate not in seen:
+                    seen.append(candidate)
+                if limit is not None and len(seen) > limit:
+                    raise ValueError(f"language exceeds enumeration limit {limit}")
+        return seen
+
+    def is_empty(self) -> bool:
+        """True iff the language is empty."""
+        return not self.remove_useless().roots
+
+    # ------------------------------------------------------------- utilities
+    def untagged(self) -> "TreeAutomaton":
+        """Return a copy with all composition tags removed from internal symbols."""
+        internal = {
+            parent: tuple(
+                (make_symbol(symbol_qubit(symbol)), left, right)
+                for symbol, left, right in transitions
+            )
+            for parent, transitions in self.internal.items()
+        }
+        return TreeAutomaton(self.num_qubits, self.roots, internal, self.leaves)
+
+    def shifted(self, offset: int) -> "TreeAutomaton":
+        """Return a copy with every state id shifted by ``offset`` (for disjoint unions)."""
+        internal = {
+            parent + offset: tuple(
+                (symbol, left + offset, right + offset) for symbol, left, right in transitions
+            )
+            for parent, transitions in self.internal.items()
+        }
+        leaves = {state + offset: amplitude for state, amplitude in self.leaves.items()}
+        roots = {root + offset for root in self.roots}
+        return TreeAutomaton(self.num_qubits, roots, internal, leaves)
+
+    def union(self, other: "TreeAutomaton") -> "TreeAutomaton":
+        """Language union of two automata over the same number of qubits."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("cannot union automata of different widths")
+        offset = self.next_free_state()
+        shifted = other.shifted(offset)
+        internal = dict(self.internal)
+        for parent, transitions in shifted.internal.items():
+            internal[parent] = tuple(transitions)
+        leaves = dict(self.leaves)
+        leaves.update(shifted.leaves)
+        roots = set(self.roots) | set(shifted.roots)
+        return TreeAutomaton(self.num_qubits, roots, internal, leaves)

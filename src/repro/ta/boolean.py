@@ -1,0 +1,181 @@
+"""Boolean language operations on quantum-state tree automata.
+
+The pre- and post-conditions of the verification problem ``{P} C {Q}`` are
+*sets* of quantum states, so it is natural to combine them with set
+operations.  This module provides the classical tree-automata constructions,
+specialised to the layered full-binary-tree languages used by the framework:
+
+* :func:`intersection` — product construction (``L(A) ∩ L(B)``),
+* :func:`complement` — layered subset construction + completion against an
+  explicit universe of leaf amplitudes, then root complementation,
+* :func:`difference` — ``L(A) \\ L(B)`` via intersection with a complement,
+* :func:`union` is already available as :meth:`TreeAutomaton.union`.
+
+The *universe* of the complement is the set of all full binary trees of the
+automaton's height whose leaves are labelled with amplitudes from a given
+finite alphabet (by default the amplitudes appearing in the involved
+automata).  This matches how specifications are written in practice — the
+interesting alphabet is always finite and known — and keeps the operation
+decidable without symbolic leaf constraints.
+
+Complementation determinizes and can therefore blow up exponentially; it is
+meant for composing *condition* automata (which are small), not for the large
+intermediate automata produced inside circuit analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..algebraic import AlgebraicNumber
+from .automaton import InternalTransition, TreeAutomaton, make_symbol, symbol_qubit
+
+__all__ = ["intersection", "complement", "difference", "leaf_alphabet"]
+
+
+def leaf_alphabet(*automata: TreeAutomaton) -> Tuple[AlgebraicNumber, ...]:
+    """The sorted tuple of distinct leaf amplitudes appearing in the given automata."""
+    seen: Dict[AlgebraicNumber, None] = {}
+    for automaton in automata:
+        for amplitude in automaton.leaves.values():
+            seen.setdefault(amplitude, None)
+    return tuple(sorted(seen, key=lambda amplitude: amplitude.as_tuple()))
+
+
+def intersection(left: TreeAutomaton, right: TreeAutomaton) -> TreeAutomaton:
+    """Product automaton recognizing ``L(left) ∩ L(right)``."""
+    if left.num_qubits != right.num_qubits:
+        raise ValueError("cannot intersect automata of different widths")
+    left = left.remove_useless()
+    right = right.remove_useless()
+
+    pair_ids: Dict[Tuple[int, int], int] = {}
+
+    def pair_id(pair: Tuple[int, int]) -> int:
+        if pair not in pair_ids:
+            pair_ids[pair] = len(pair_ids)
+        return pair_ids[pair]
+
+    internal: Dict[int, List[InternalTransition]] = {}
+    leaves: Dict[int, AlgebraicNumber] = {}
+    roots = set()
+    stack: List[Tuple[int, int]] = []
+    visited = set()
+    for left_root in left.roots:
+        for right_root in right.roots:
+            roots.add(pair_id((left_root, right_root)))
+            stack.append((left_root, right_root))
+    while stack:
+        pair = stack.pop()
+        if pair in visited:
+            continue
+        visited.add(pair)
+        left_state, right_state = pair
+        if left_state in left.leaves or right_state in right.leaves:
+            left_amplitude = left.leaves.get(left_state)
+            right_amplitude = right.leaves.get(right_state)
+            if left_amplitude is not None and left_amplitude == right_amplitude:
+                leaves[pair_id(pair)] = left_amplitude
+            continue
+        bucket = internal.setdefault(pair_id(pair), [])
+        for symbol, l_left, l_right in left.internal.get(left_state, ()):
+            for other_symbol, r_left, r_right in right.internal.get(right_state, ()):
+                if symbol_qubit(symbol) != symbol_qubit(other_symbol):
+                    continue
+                child_left = (l_left, r_left)
+                child_right = (l_right, r_right)
+                bucket.append(
+                    (make_symbol(symbol_qubit(symbol)), pair_id(child_left), pair_id(child_right))
+                )
+                stack.append(child_left)
+                stack.append(child_right)
+    result = TreeAutomaton(left.num_qubits, roots, internal, leaves)
+    return result.remove_useless()
+
+
+def complement(
+    automaton: TreeAutomaton,
+    alphabet: Optional[Iterable[AlgebraicNumber]] = None,
+) -> TreeAutomaton:
+    """Automaton for the complement of ``L(automaton)`` within the leaf-alphabet universe.
+
+    The universe consists of all full binary trees of the automaton's height
+    whose leaves carry amplitudes from ``alphabet`` (default: the amplitudes
+    appearing in the automaton itself).  The construction is a complete,
+    layered subset construction — every tree of the universe reaches exactly
+    one macro-state per level — followed by complementing the set of root
+    macro-states.
+    """
+    symbols = leaf_alphabet(automaton) if alphabet is None else tuple(dict.fromkeys(alphabet))
+    if not symbols:
+        raise ValueError("the leaf alphabet of the complement universe must not be empty")
+    automaton = automaton.remove_useless()
+    num_qubits = automaton.num_qubits
+
+    macro_ids: Dict[Tuple[int, FrozenSet[int]], int] = {}
+
+    def macro_id(level: int, macro: FrozenSet[int]) -> int:
+        key = (level, macro)
+        if key not in macro_ids:
+            macro_ids[key] = len(macro_ids)
+        return macro_ids[key]
+
+    leaves: Dict[int, AlgebraicNumber] = {}
+    by_amplitude: Dict[AlgebraicNumber, FrozenSet[int]] = {}
+    for state, amplitude in automaton.leaves.items():
+        by_amplitude[amplitude] = by_amplitude.get(amplitude, frozenset()) | {state}
+    # one leaf state per alphabet symbol; distinct symbols must map to distinct
+    # leaf states even when their macro-state coincides (typically the empty set)
+    leaf_level_ids: List[Tuple[FrozenSet[int], int]] = []
+    for amplitude in symbols:
+        macro = by_amplitude.get(amplitude, frozenset())
+        identifier = macro_id(num_qubits, macro)
+        if identifier in leaves:
+            identifier = macro_id(num_qubits, frozenset({-1 - len(leaves)}) | macro)
+        leaves[identifier] = amplitude
+        leaf_level_ids.append((macro, identifier))
+
+    transitions_by_qubit: Dict[int, List[Tuple[int, int, int]]] = {}
+    for parent, symbol, left, right in automaton.transitions():
+        transitions_by_qubit.setdefault(symbol_qubit(symbol), []).append((parent, left, right))
+
+    internal: Dict[int, List[InternalTransition]] = {}
+    level_entries: List[Tuple[FrozenSet[int], int]] = leaf_level_ids
+    for qubit in range(num_qubits - 1, -1, -1):
+        level_transitions = transitions_by_qubit.get(qubit, [])
+        next_entries: Dict[int, FrozenSet[int]] = {}
+        for left_macro, left_id in level_entries:
+            for right_macro, right_id in level_entries:
+                parents = frozenset(
+                    parent
+                    for parent, left, right in level_transitions
+                    if left in left_macro and right in right_macro
+                )
+                parent_id = macro_id(qubit, parents)
+                next_entries[parent_id] = parents
+                internal.setdefault(parent_id, []).append(
+                    (make_symbol(qubit), left_id, right_id)
+                )
+        level_entries = [(macro, identifier) for identifier, macro in next_entries.items()]
+
+    roots = {
+        identifier for macro, identifier in level_entries if not (macro & automaton.roots)
+    }
+    result = TreeAutomaton(num_qubits, roots, internal, leaves)
+    return result.remove_useless()
+
+
+def difference(
+    left: TreeAutomaton,
+    right: TreeAutomaton,
+    alphabet: Optional[Sequence[AlgebraicNumber]] = None,
+) -> TreeAutomaton:
+    """Automaton for ``L(left) \\ L(right)``.
+
+    The complement universe defaults to the union of both automata's leaf
+    alphabets, which is sufficient because every tree of ``L(left)`` only uses
+    ``left``'s amplitudes.
+    """
+    if alphabet is None:
+        alphabet = leaf_alphabet(left, right)
+    return intersection(left, complement(right, alphabet))

@@ -1,0 +1,141 @@
+"""Builders for tree automata encoding common sets of quantum states.
+
+These cover the constructions used throughout the paper:
+
+* a single computational basis state (Fig. 1a),
+* the set of *all* basis states :math:`Q_n` (Example 3.1),
+* "product-form" sets where every qubit independently ranges over a set of
+  classical values (used for the pre-conditions of Grover-All and MCToffoli,
+  Appendix E),
+* an arbitrary finite set of explicit quantum states (used for
+  post-conditions such as the Bell state or the Grover output).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..algebraic import ONE, ZERO, AlgebraicNumber
+from ..states import QuantumState
+from .automaton import TreeAutomaton, make_symbol
+
+__all__ = [
+    "basis_state_ta",
+    "all_basis_states_ta",
+    "basis_product_ta",
+    "from_quantum_state",
+    "from_quantum_states",
+]
+
+
+def basis_state_ta(num_qubits: int, basis) -> TreeAutomaton:
+    """TA accepting exactly the basis state ``|basis>`` (amplitude 1)."""
+    state = QuantumState.basis_state(num_qubits, basis)
+    return from_quantum_state(state)
+
+
+def all_basis_states_ta(num_qubits: int) -> TreeAutomaton:
+    """The linear-sized TA :math:`A_n` of Example 3.1 accepting every basis state."""
+    return basis_product_ta(num_qubits, [(0, 1)] * num_qubits)
+
+
+def basis_product_ta(num_qubits: int, allowed: Sequence[Iterable[int]]) -> TreeAutomaton:
+    """TA accepting every basis state whose qubit ``i`` value lies in ``allowed[i]``.
+
+    The automaton follows the shape of Example 3.1: ``one`` states generate a
+    subtree with a single 1-leaf placed at any allowed position, ``zero``
+    states generate the all-zero subtree.  Its size is linear in ``num_qubits``.
+    """
+    if len(allowed) != num_qubits:
+        raise ValueError("allowed must have one entry per qubit")
+    allowed_sets: List[Set[int]] = []
+    for index, values in enumerate(allowed):
+        value_set = {int(v) for v in values}
+        if not value_set or not value_set.issubset({0, 1}):
+            raise ValueError(f"allowed[{index}] must be a non-empty subset of {{0, 1}}")
+        allowed_sets.append(value_set)
+
+    # State numbering: level i in 0..num_qubits; "one" state = 2*i, "zero" state = 2*i+1.
+    def one_state(level: int) -> int:
+        return 2 * level
+
+    def zero_state(level: int) -> int:
+        return 2 * level + 1
+
+    internal: Dict[int, List] = {}
+    for level in range(num_qubits):
+        symbol = make_symbol(level)
+        one_transitions = []
+        if 0 in allowed_sets[level]:
+            one_transitions.append((symbol, one_state(level + 1), zero_state(level + 1)))
+        if 1 in allowed_sets[level]:
+            one_transitions.append((symbol, zero_state(level + 1), one_state(level + 1)))
+        internal[one_state(level)] = one_transitions
+        internal[zero_state(level)] = [(symbol, zero_state(level + 1), zero_state(level + 1))]
+    leaves = {one_state(num_qubits): ONE, zero_state(num_qubits): ZERO}
+    automaton = TreeAutomaton(num_qubits, {one_state(0)}, internal, leaves)
+    return automaton.remove_useless()
+
+
+def from_quantum_state(state: QuantumState) -> TreeAutomaton:
+    """TA accepting exactly the given quantum state.
+
+    The construction hash-conses identical subtrees, so the automaton size is
+    ``O(num_qubits * nonzero_count)`` rather than ``O(2^n)``.
+    """
+    num_qubits = state.num_qubits
+    internal: Dict[int, List] = {}
+    leaves: Dict[int, AlgebraicNumber] = {}
+    node_cache: Dict[Tuple[int, frozenset], int] = {}
+    leaf_cache: Dict[AlgebraicNumber, int] = {}
+    counter = [0]
+
+    def fresh() -> int:
+        counter[0] += 1
+        return counter[0] - 1
+
+    def leaf_state(amplitude: AlgebraicNumber) -> int:
+        if amplitude not in leaf_cache:
+            state_id = fresh()
+            leaf_cache[amplitude] = state_id
+            leaves[state_id] = amplitude
+        return leaf_cache[amplitude]
+
+    def build(depth: int, submap: frozenset) -> int:
+        key = (depth, submap)
+        if key in node_cache:
+            return node_cache[key]
+        if depth == num_qubits:
+            amplitude = ZERO
+            for _suffix, value in submap:
+                amplitude = value
+            state_id = leaf_state(amplitude)
+        else:
+            left_items = frozenset((suffix[1:], value) for suffix, value in submap if suffix[0] == 0)
+            right_items = frozenset((suffix[1:], value) for suffix, value in submap if suffix[0] == 1)
+            left = build(depth + 1, left_items)
+            right = build(depth + 1, right_items)
+            state_id = fresh()
+            internal[state_id] = [(make_symbol(depth), left, right)]
+        node_cache[key] = state_id
+        return state_id
+
+    initial = frozenset((bits, amplitude) for bits, amplitude in state.items())
+    root = build(0, initial)
+    return TreeAutomaton(num_qubits, {root}, internal, leaves)
+
+
+def from_quantum_states(states: Iterable[QuantumState], reduce: bool = True) -> TreeAutomaton:
+    """TA accepting exactly the given finite set of quantum states."""
+    states = list(states)
+    if not states:
+        raise ValueError("cannot build an automaton for the empty set of states")
+    num_qubits = states[0].num_qubits
+    if any(s.num_qubits != num_qubits for s in states):
+        raise ValueError("all states must have the same number of qubits")
+    automaton: Optional[TreeAutomaton] = None
+    for state in states:
+        singleton = from_quantum_state(state)
+        automaton = singleton if automaton is None else automaton.union(singleton)
+    assert automaton is not None
+    return automaton.reduce() if reduce else automaton

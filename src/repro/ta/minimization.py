@@ -1,0 +1,55 @@
+"""Determinization-based language operations: counting cross-checks and equivalence.
+
+The antichain-based checker in :mod:`repro.ta.inclusion` is the primary
+decision procedure for language equivalence.  This module offers a second,
+fully independent route built on the bottom-up subset construction of
+:mod:`repro.ta.determinization`:
+
+* :func:`reduced_deterministic` — a deterministic automaton for the language
+  with duplicate / useless states removed (a compact normal form, though not
+  necessarily the Myhill–Nerode minimal automaton),
+* :func:`equivalent_via_counting` — decide ``L(A) = L(B)`` for the *finite*
+  languages used in this framework by exact counting:
+  ``|L(A)| = |L(B)| = |L(A) ∪ L(B)|``.
+
+The counting route is used in the test suite to cross-validate the antichain
+checker, and it is occasionally handy on its own (e.g. "how many distinct
+output states can this circuit produce over this input set?").
+"""
+
+from __future__ import annotations
+
+from .automaton import TreeAutomaton
+from .determinization import count_language, determinize
+
+__all__ = ["reduced_deterministic", "equivalent_via_counting", "included_via_counting"]
+
+
+def reduced_deterministic(automaton: TreeAutomaton) -> TreeAutomaton:
+    """Return a reduced bottom-up deterministic automaton for the same language."""
+    return determinize(automaton).reduce()
+
+
+def equivalent_via_counting(left: TreeAutomaton, right: TreeAutomaton) -> bool:
+    """Decide ``L(left) = L(right)`` by exact counting over the union automaton.
+
+    For finite languages (always the case here: full binary trees of a fixed
+    height over finitely many amplitudes), ``A = B`` iff ``|A| = |B|`` and
+    ``|A ∪ B| = |A|``.  Completely independent from the antichain-based
+    checker, hence useful as a cross-validation oracle.
+    """
+    if left.num_qubits != right.num_qubits:
+        return False
+    left_count = count_language(left)
+    right_count = count_language(right)
+    if left_count != right_count:
+        return False
+    union_count = count_language(left.union(right))
+    return union_count == left_count
+
+
+def included_via_counting(left: TreeAutomaton, right: TreeAutomaton) -> bool:
+    """Decide ``L(left) ⊆ L(right)`` by counting: ``|A ∪ B| = |B|``."""
+    if left.num_qubits != right.num_qubits:
+        raise ValueError("automata must have the same number of qubits")
+    return count_language(left.union(right)) == count_language(right)

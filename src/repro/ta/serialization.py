@@ -1,0 +1,86 @@
+"""Plain-text serialization of tree automata.
+
+The format is a small, line-oriented dialect inspired by the Timbuk format
+used by VATA, adapted to carry algebraic amplitudes on leaf transitions::
+
+    # comment
+    qubits 2
+    roots 0
+    leaf 3 0 0 0 0 0          # state 3 accepts the amplitude (0,0,0,0,0)
+    leaf 4 1 0 0 0 0
+    trans 0 x0 1 2            # state 0 -- x0 --> (state 1, state 2)
+    trans 1 x1 3 4
+
+It exists so that examples / the CLI can store pre- and post-conditions on
+disk and exchange them between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..algebraic import AlgebraicNumber
+from .automaton import TreeAutomaton, make_symbol, symbol_qubit, symbol_tags
+
+__all__ = ["dumps", "loads", "save", "load"]
+
+
+def dumps(automaton: TreeAutomaton) -> str:
+    """Serialize an (untagged) automaton to the text format."""
+    if automaton.is_tagged():
+        raise ValueError("only untagged automata can be serialized")
+    lines: List[str] = [f"qubits {automaton.num_qubits}"]
+    lines.append("roots " + " ".join(str(r) for r in sorted(automaton.roots)))
+    for state in sorted(automaton.leaves):
+        amplitude = automaton.leaves[state]
+        lines.append("leaf " + " ".join(str(v) for v in (state,) + amplitude.as_tuple()))
+    for parent in sorted(automaton.internal):
+        for symbol, left, right in automaton.internal[parent]:
+            lines.append(f"trans {parent} x{symbol_qubit(symbol)} {left} {right}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> TreeAutomaton:
+    """Parse an automaton from the text format produced by :func:`dumps`."""
+    num_qubits = None
+    roots: List[int] = []
+    leaves: Dict[int, AlgebraicNumber] = {}
+    internal: Dict[int, List] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        keyword = parts[0]
+        if keyword == "qubits":
+            num_qubits = int(parts[1])
+        elif keyword == "roots":
+            roots = [int(p) for p in parts[1:]]
+        elif keyword == "leaf":
+            state = int(parts[1])
+            a, b, c, d, k = (int(p) for p in parts[2:7])
+            leaves[state] = AlgebraicNumber(a, b, c, d, k)
+        elif keyword == "trans":
+            parent = int(parts[1])
+            if not parts[2].startswith("x"):
+                raise ValueError(f"bad symbol in line: {raw_line!r}")
+            qubit = int(parts[2][1:])
+            left, right = int(parts[3]), int(parts[4])
+            internal.setdefault(parent, []).append((make_symbol(qubit), left, right))
+        else:
+            raise ValueError(f"unknown keyword {keyword!r} in line {raw_line!r}")
+    if num_qubits is None:
+        raise ValueError("missing 'qubits' declaration")
+    return TreeAutomaton(num_qubits, roots, internal, leaves)
+
+
+def save(automaton: TreeAutomaton, path: str) -> None:
+    """Write an automaton to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(automaton))
+
+
+def load(path: str) -> TreeAutomaton:
+    """Read an automaton from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,217 @@
+"""Maximum downward simulation on quantum-state tree automata.
+
+The paper keeps the automata small with a *lightweight* reduction that only
+merges states with literally identical successor transitions (footnote 6 calls
+computing the full simulation relation future work).  This module provides the
+full version for comparison and ablation:
+
+* :func:`downward_simulation` computes the maximum downward-simulation
+  preorder ``q ⪯ r`` ("everything ``q`` can generate, ``r`` can generate
+  too") with the classical greatest-fixpoint refinement, specialised to the
+  layered, acyclic automata of this library so it runs level by level in one
+  bottom-up pass;
+* :func:`simulation_reduce` quotients the automaton by simulation
+  *equivalence* (``q ⪯ r`` and ``r ⪯ q``) and optionally drops transitions
+  that are dominated by another transition of the same parent — both
+  operations preserve the language exactly;
+* :func:`simulation_equivalence_classes` exposes the partition for inspection.
+
+The lightweight reduction of :meth:`TreeAutomaton.reduce` is never *wrong*,
+just weaker; ``simulation_reduce`` can only produce an automaton that is at
+most as large.  The ablation benchmark ``bench_ablations.py`` compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .automaton import InternalTransition, TreeAutomaton
+
+__all__ = [
+    "downward_simulation",
+    "simulation_equivalence_classes",
+    "simulation_reduce",
+]
+
+
+def _states_by_depth(automaton: TreeAutomaton) -> Dict[int, Set[int]]:
+    """Group reachable states by their depth (qubit level; leaves at ``num_qubits``)."""
+    depth_of: Dict[int, int] = {}
+    stack: List[Tuple[int, int]] = [(root, 0) for root in automaton.roots]
+    while stack:
+        state, depth = stack.pop()
+        if state in depth_of:
+            continue
+        depth_of[state] = depth
+        for _symbol, left, right in automaton.internal.get(state, ()):
+            stack.append((left, depth + 1))
+            stack.append((right, depth + 1))
+    by_depth: Dict[int, Set[int]] = {}
+    for state, depth in depth_of.items():
+        by_depth.setdefault(depth, set()).add(state)
+    return by_depth
+
+
+def downward_simulation(automaton: TreeAutomaton) -> FrozenSet[Tuple[int, int]]:
+    """Return the maximum downward simulation as a set of pairs ``(q, r)`` meaning ``q ⪯ r``.
+
+    Only pairs of *distinct* reachable states are reported (the relation is
+    reflexive by definition, listing ``(q, q)`` would be noise).  A leaf state
+    is simulated exactly by the leaf states carrying the same amplitude; an
+    internal state ``q`` is simulated by ``r`` iff every transition of ``q``
+    is matched by some transition of ``r`` whose children simulate ``q``'s
+    children component-wise.
+    """
+    automaton = automaton.remove_useless()
+    by_depth = _states_by_depth(automaton)
+    if not by_depth:
+        return frozenset()
+    max_depth = max(by_depth)
+
+    simulated_by: Dict[int, Set[int]] = {}
+
+    # leaves: same amplitude
+    for state in by_depth.get(max_depth, ()):  # leaf level (== num_qubits for non-empty TAs)
+        amplitude = automaton.leaves.get(state)
+        simulated_by[state] = {
+            other
+            for other in by_depth[max_depth]
+            if automaton.leaves.get(other) == amplitude
+        }
+
+    def transition_matched(
+        transition: InternalTransition, candidates: Tuple[InternalTransition, ...]
+    ) -> bool:
+        symbol, left, right = transition
+        for other_symbol, other_left, other_right in candidates:
+            if other_symbol != symbol:
+                continue
+            if other_left in simulated_by.get(left, ()) or other_left == left:
+                if other_right in simulated_by.get(right, ()) or other_right == right:
+                    return True
+        return False
+
+    # internal levels bottom-up; children live one level deeper, so their
+    # relation is already final when the parents are processed.
+    for depth in range(max_depth - 1, -1, -1):
+        states = sorted(by_depth.get(depth, ()))
+        for state in states:
+            transitions = automaton.internal.get(state, ())
+            simulators: Set[int] = set()
+            for candidate in states:
+                if candidate == state:
+                    continue
+                candidate_transitions = automaton.internal.get(candidate, ())
+                if all(
+                    transition_matched(transition, candidate_transitions)
+                    for transition in transitions
+                ):
+                    simulators.add(candidate)
+            simulated_by[state] = simulators
+
+    pairs = {
+        (state, simulator)
+        for state, simulators in simulated_by.items()
+        for simulator in simulators
+        if simulator != state
+    }
+    return frozenset(pairs)
+
+
+def simulation_equivalence_classes(automaton: TreeAutomaton) -> List[FrozenSet[int]]:
+    """Partition the reachable states into simulation-equivalence classes."""
+    automaton = automaton.remove_useless()
+    relation = downward_simulation(automaton)
+    pairs = set(relation)
+    classes: Dict[int, Set[int]] = {}
+    for state in sorted(automaton.states):
+        placed = False
+        for representative, members in classes.items():
+            if ((state, representative) in pairs and (representative, state) in pairs) or (
+                state == representative
+            ):
+                members.add(state)
+                placed = True
+                break
+        if not placed:
+            classes[state] = {state}
+    return [frozenset(members) for members in classes.values()]
+
+
+def simulation_reduce(automaton: TreeAutomaton, prune_transitions: bool = True) -> TreeAutomaton:
+    """Quotient by simulation equivalence and drop dominated transitions.
+
+    The reduction proceeds in two language-preserving steps:
+
+    1. merge every simulation-equivalence class into its smallest member;
+    2. (optional) on the quotient automaton, recompute the simulation and drop
+       every transition ``q -f-> (l, r)`` *dominated* by a sibling
+       ``q -f-> (l', r')`` with ``l ⪯ l'`` and ``r ⪯ r'``: any subtree the
+       dominated transition generates, the dominating one generates too.
+    """
+    automaton = automaton.remove_useless()
+    if not automaton.roots:
+        return automaton
+    quotient = _quotient_by_simulation_equivalence(automaton)
+    if not prune_transitions:
+        return quotient
+    return _prune_dominated_transitions(quotient)
+
+
+def _quotient_by_simulation_equivalence(automaton: TreeAutomaton) -> TreeAutomaton:
+    """Merge mutually-simulating states (smallest state id becomes the representative)."""
+    pairs = set(downward_simulation(automaton))
+    representative: Dict[int, int] = {}
+    for state in sorted(automaton.states):
+        representative[state] = state
+        for other in sorted(automaton.states):
+            if other >= state:
+                break
+            if (state, other) in pairs and (other, state) in pairs:
+                representative[state] = other
+                break
+
+    internal: Dict[int, List[InternalTransition]] = {}
+    for parent, transitions in automaton.internal.items():
+        bucket = internal.setdefault(representative[parent], [])
+        for symbol, left, right in transitions:
+            entry = (symbol, representative[left], representative[right])
+            if entry not in bucket:
+                bucket.append(entry)
+    leaves = {
+        representative[state]: amplitude
+        for state, amplitude in automaton.leaves.items()
+        if representative[state] == state
+    }
+    roots = {representative[root] for root in automaton.roots}
+    return TreeAutomaton(automaton.num_qubits, roots, internal, leaves).remove_useless()
+
+
+def _prune_dominated_transitions(automaton: TreeAutomaton) -> TreeAutomaton:
+    """Drop transitions dominated by a sibling transition of the same parent."""
+    pairs = set(downward_simulation(automaton))
+
+    def simulates(small: int, large: int) -> bool:
+        return small == large or (small, large) in pairs
+
+    internal: Dict[int, List[InternalTransition]] = {}
+    for parent, transitions in automaton.internal.items():
+        transitions = list(transitions)
+        kept: List[InternalTransition] = []
+        for index, (symbol, left, right) in enumerate(transitions):
+            dominated = False
+            for other_index, (other_symbol, other_left, other_right) in enumerate(transitions):
+                if index == other_index or other_symbol != symbol:
+                    continue
+                if not (simulates(left, other_left) and simulates(right, other_right)):
+                    continue
+                mutually = simulates(other_left, left) and simulates(other_right, right)
+                # strictly dominated, or a duplicate of an earlier equivalent transition
+                if not mutually or other_index < index:
+                    dominated = True
+                    break
+            if not dominated:
+                kept.append((symbol, left, right))
+        internal[parent] = kept
+    result = TreeAutomaton(automaton.num_qubits, automaton.roots, internal, automaton.leaves)
+    return result.remove_useless()

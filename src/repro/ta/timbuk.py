@@ -1,0 +1,161 @@
+"""Timbuk-style import/export of quantum-state tree automata.
+
+VATA (the TA library the paper builds on) and the AutoQ artifact exchange
+automata in the *Timbuk* text format.  This module reads and writes that
+format so condition automata produced by this library can be inspected with —
+or imported from — the original tool chain::
+
+    Ops x1:2 x2:2 [0,0,0,0,0]:0 [1,0,0,0,0]:0
+
+    Automaton bell_pre
+    States q0 q1 q2 q3 q4
+    Final States q0
+    Transitions
+    [1,0,0,0,0] -> q3
+    [0,0,0,0,0] -> q4
+    x2(q3, q4) -> q1
+    x2(q4, q4) -> q2
+    x1(q1, q2) -> q0
+
+Internal symbols are ``x1 .. xn`` (1-based, matching the paper's notation);
+leaf symbols are the algebraic five-tuples ``[a,b,c,d,k]`` written as nullary
+constants.  Transitions are written bottom-up (children on the left of the
+arrow), which is the Timbuk convention; the library's own compact format in
+:mod:`repro.ta.serialization` stays available for quick round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..algebraic import AlgebraicNumber
+from .automaton import TreeAutomaton, make_symbol, symbol_qubit
+
+__all__ = ["dumps_timbuk", "loads_timbuk", "save_timbuk", "load_timbuk"]
+
+_LEAF_SYMBOL_RE = re.compile(r"^\[(-?\d+),(-?\d+),(-?\d+),(-?\d+),(-?\d+)\]$")
+_INTERNAL_RULE_RE = re.compile(
+    r"^(?P<symbol>x\d+)\s*\(\s*(?P<left>\S+?)\s*,\s*(?P<right>\S+?)\s*\)\s*->\s*(?P<parent>\S+)$"
+)
+_LEAF_RULE_RE = re.compile(r"^(?P<symbol>\[[^\]]*\])\s*->\s*(?P<parent>\S+)$")
+
+
+def _leaf_symbol(amplitude: AlgebraicNumber) -> str:
+    return "[" + ",".join(str(v) for v in amplitude.as_tuple()) + "]"
+
+
+def _parse_leaf_symbol(text: str) -> AlgebraicNumber:
+    match = _LEAF_SYMBOL_RE.match(text)
+    if not match:
+        raise ValueError(f"not a leaf symbol: {text!r}")
+    return AlgebraicNumber(*(int(group) for group in match.groups()))
+
+
+def dumps_timbuk(automaton: TreeAutomaton, name: str = "aut") -> str:
+    """Serialize an untagged automaton to the Timbuk format."""
+    if automaton.is_tagged():
+        raise ValueError("only untagged automata can be exported to Timbuk")
+    state_names = {state: f"q{state}" for state in sorted(automaton.states)}
+    leaf_symbols = sorted(
+        {_leaf_symbol(amplitude) for amplitude in automaton.leaves.values()}
+    )
+    ops = [f"x{qubit + 1}:2" for qubit in range(automaton.num_qubits)]
+    ops += [f"{symbol}:0" for symbol in leaf_symbols]
+
+    lines = ["Ops " + " ".join(ops), "", f"Automaton {name}"]
+    lines.append("States " + " ".join(state_names[state] for state in sorted(automaton.states)))
+    lines.append(
+        "Final States " + " ".join(state_names[root] for root in sorted(automaton.roots))
+    )
+    lines.append("Transitions")
+    for state in sorted(automaton.leaves):
+        lines.append(f"{_leaf_symbol(automaton.leaves[state])} -> {state_names[state]}")
+    for parent in sorted(automaton.internal):
+        for symbol, left, right in automaton.internal[parent]:
+            lines.append(
+                f"x{symbol_qubit(symbol) + 1}({state_names[left]}, {state_names[right]})"
+                f" -> {state_names[parent]}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def loads_timbuk(text: str) -> TreeAutomaton:
+    """Parse an automaton from the Timbuk format.
+
+    The number of qubits is taken from the largest ``x<i>`` symbol declared in
+    the ``Ops`` section (or used in a transition).
+    """
+    state_ids: Dict[str, int] = {}
+
+    def state_id(name: str) -> int:
+        if name not in state_ids:
+            state_ids[name] = len(state_ids)
+        return state_ids[name]
+
+    num_qubits = 0
+    roots: List[int] = []
+    leaves: Dict[int, AlgebraicNumber] = {}
+    internal: Dict[int, List[Tuple]] = {}
+    in_transitions = False
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("%", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("Ops"):
+            for token in line[len("Ops"):].split():
+                symbol = token.rsplit(":", 1)[0]
+                if symbol.startswith("x") and symbol[1:].isdigit():
+                    num_qubits = max(num_qubits, int(symbol[1:]))
+            continue
+        if line.startswith("Automaton"):
+            continue
+        if line.startswith("Final States"):
+            roots = [state_id(name) for name in line[len("Final States"):].split()]
+            continue
+        if line.startswith("States"):
+            for name in line[len("States"):].split():
+                state_id(name)
+            continue
+        if line.startswith("Transitions"):
+            in_transitions = True
+            continue
+        if not in_transitions:
+            raise ValueError(f"unexpected line outside the Transitions section: {raw_line!r}")
+        internal_match = _INTERNAL_RULE_RE.match(line)
+        if internal_match:
+            qubit = int(internal_match.group("symbol")[1:]) - 1
+            num_qubits = max(num_qubits, qubit + 1)
+            parent = state_id(internal_match.group("parent"))
+            left = state_id(internal_match.group("left"))
+            right = state_id(internal_match.group("right"))
+            internal.setdefault(parent, []).append((make_symbol(qubit), left, right))
+            continue
+        leaf_match = _LEAF_RULE_RE.match(line)
+        if leaf_match:
+            parent = state_id(leaf_match.group("parent"))
+            amplitude = _parse_leaf_symbol(leaf_match.group("symbol"))
+            if parent in leaves and leaves[parent] != amplitude:
+                raise ValueError(
+                    f"leaf state {leaf_match.group('parent')!r} carries two different amplitudes"
+                )
+            leaves[parent] = amplitude
+            continue
+        raise ValueError(f"cannot parse transition: {raw_line!r}")
+
+    if num_qubits == 0:
+        raise ValueError("no qubit symbols (x1, x2, ...) found")
+    return TreeAutomaton(num_qubits, roots, internal, leaves)
+
+
+def save_timbuk(automaton: TreeAutomaton, path: str, name: str = "aut") -> None:
+    """Write an automaton to a Timbuk file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_timbuk(automaton, name=name))
+
+
+def load_timbuk(path: str) -> TreeAutomaton:
+    """Read an automaton from a Timbuk file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_timbuk(handle.read())

@@ -1,0 +1,107 @@
+"""Tests for the exact gate matrices (Appendix A of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.algebraic import (
+    GATE_MATRICES,
+    gate_matrix,
+    identity_matrix,
+    is_unitary,
+    kron,
+    matmul,
+    matrix_to_complex,
+    matvec,
+)
+from repro.algebraic.matrices import conjugate_transpose
+from repro.algebraic import ONE, ZERO
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("name", sorted(GATE_MATRICES))
+    def test_every_gate_matrix_is_unitary(self, name):
+        assert is_unitary(gate_matrix(name)), f"{name} is not unitary"
+
+    def test_lookup_is_case_insensitive(self):
+        assert gate_matrix("x") == gate_matrix("X")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gate_matrix("nonexistent")
+
+    def test_hadamard_matches_numpy(self):
+        h = matrix_to_complex(gate_matrix("H"))
+        expected = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+        assert np.allclose(h, expected)
+
+    def test_cnot_permutes_basis(self):
+        cx = matrix_to_complex(gate_matrix("CX"))
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        assert np.allclose(cx, expected)
+
+    def test_t_gate_phase(self):
+        t = matrix_to_complex(gate_matrix("T"))
+        assert t[1, 1] == pytest.approx(np.exp(1j * np.pi / 4))
+
+    def test_s_is_t_squared(self):
+        assert matmul(gate_matrix("T"), gate_matrix("T")) == gate_matrix("S")
+
+    def test_sdg_is_s_dagger(self):
+        assert conjugate_transpose(gate_matrix("S")) == gate_matrix("SDG")
+        assert conjugate_transpose(gate_matrix("T")) == gate_matrix("TDG")
+
+    def test_toffoli_flips_only_the_last_two_rows(self):
+        ccx = matrix_to_complex(gate_matrix("CCX"))
+        expected = np.eye(8, dtype=complex)
+        expected[[6, 7]] = expected[[7, 6]]
+        assert np.allclose(ccx, expected)
+
+    def test_fredkin_swaps_targets_when_control_set(self):
+        fredkin = matrix_to_complex(gate_matrix("FREDKIN"))
+        expected = np.eye(8, dtype=complex)
+        expected[[5, 6]] = expected[[6, 5]]
+        assert np.allclose(fredkin, expected)
+
+
+class TestMatrixAlgebra:
+    def test_identity_matrix(self):
+        identity = identity_matrix(4)
+        assert len(identity) == 4
+        assert identity[2][2] == ONE
+        assert identity[0][3] == ZERO
+
+    def test_matmul_with_identity(self):
+        x = gate_matrix("X")
+        assert matmul(x, identity_matrix(2)) == x
+        assert matmul(identity_matrix(2), x) == x
+
+    def test_matvec(self):
+        x = gate_matrix("X")
+        assert matvec(x, (ONE, ZERO)) == (ZERO, ONE)
+
+    def test_kron_dimensions_and_values(self):
+        product = kron(gate_matrix("X"), identity_matrix(2))
+        dense = matrix_to_complex(product)
+        expected = np.kron(np.array([[0, 1], [1, 0]]), np.eye(2))
+        assert dense.shape == (4, 4)
+        assert np.allclose(dense, expected)
+
+    def test_kron_matches_numpy_for_h_and_z(self):
+        product = matrix_to_complex(kron(gate_matrix("H"), gate_matrix("Z")))
+        expected = np.kron(
+            matrix_to_complex(gate_matrix("H")), matrix_to_complex(gate_matrix("Z"))
+        )
+        assert np.allclose(product, expected)
+
+    def test_x_squared_is_identity(self):
+        assert matmul(gate_matrix("X"), gate_matrix("X")) == identity_matrix(2)
+
+    def test_rx_ry_are_pi_over_2_rotations(self):
+        rx = matrix_to_complex(gate_matrix("RX"))
+        expected_rx = np.array([[1, -1j], [-1j, 1]], dtype=complex) / np.sqrt(2)
+        assert np.allclose(rx, expected_rx)
+        ry = matrix_to_complex(gate_matrix("RY"))
+        expected_ry = np.array([[1, -1], [1, 1]], dtype=complex) / np.sqrt(2)
+        assert np.allclose(ry, expected_ry)

@@ -1,0 +1,162 @@
+"""Unit and property tests for the algebraic amplitude ring (a, b, c, d, k)."""
+
+import cmath
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import OMEGA, ONE, SQRT2_INV, ZERO, AlgebraicNumber
+
+OMEGA_COMPLEX = cmath.exp(1j * math.pi / 4)
+
+
+def algebraic_numbers(max_coeff: int = 6, max_k: int = 6):
+    """Hypothesis strategy for algebraic numbers with small coefficients."""
+    coefficient = st.integers(min_value=-max_coeff, max_value=max_coeff)
+    return st.builds(
+        AlgebraicNumber,
+        coefficient,
+        coefficient,
+        coefficient,
+        coefficient,
+        st.integers(min_value=0, max_value=max_k),
+    )
+
+
+class TestConstruction:
+    def test_zero_is_canonical(self):
+        assert AlgebraicNumber(0, 0, 0, 0, 7) == ZERO
+        assert AlgebraicNumber(0, 0, 0, 0, 7).as_tuple() == (0, 0, 0, 0, 0)
+
+    def test_zero_truthiness(self):
+        assert not ZERO
+        assert ONE
+        assert ZERO.is_zero()
+        assert not ONE.is_zero()
+
+    def test_one_and_omega_values(self):
+        assert ONE.to_complex() == pytest.approx(1.0)
+        assert OMEGA.to_complex() == pytest.approx(OMEGA_COMPLEX)
+        assert SQRT2_INV.to_complex() == pytest.approx(1 / math.sqrt(2))
+
+    def test_negative_exponent_is_lifted(self):
+        sqrt2 = AlgebraicNumber(1, 0, 0, 0, -1)
+        assert sqrt2.to_complex() == pytest.approx(math.sqrt(2))
+        assert sqrt2.k >= 0
+
+    def test_canonical_form_reduces_exponent(self):
+        # 2 / 2 == 1, expressed as (2,0,0,0,2)
+        assert AlgebraicNumber(2, 0, 0, 0, 2) == ONE
+        assert AlgebraicNumber(2, 0, 0, 0, 2).as_tuple() == ONE.as_tuple()
+
+    def test_equal_values_have_equal_hash(self):
+        left = AlgebraicNumber(1, 0, 1, 0, 2)   # (1 + i)/2
+        right = AlgebraicNumber(0, 1, 0, 0, 1)  # w / sqrt(2) == (1 + i)/2
+        assert left.to_complex() == pytest.approx(right.to_complex())
+        assert left == right
+        assert hash(left) == hash(right)
+
+
+class TestArithmetic:
+    def test_omega_powers(self):
+        assert OMEGA * OMEGA * OMEGA * OMEGA == AlgebraicNumber(-1, 0, 0, 0, 0)
+        assert AlgebraicNumber.omega_power(8) == ONE
+        assert AlgebraicNumber.omega_power(2).to_complex() == pytest.approx(1j)
+
+    def test_times_omega_is_circular_shift(self):
+        value = AlgebraicNumber(1, 2, 3, 4, 5)
+        assert value.times_omega() == AlgebraicNumber(-4, 1, 2, 3, 5)
+        assert value.times_omega(8) == value
+
+    def test_times_sqrt2_inv(self):
+        assert ONE.times_sqrt2_inv(2).to_complex() == pytest.approx(0.5)
+        assert ZERO.times_sqrt2_inv(3) == ZERO
+
+    def test_addition_with_different_exponents(self):
+        half = SQRT2_INV * SQRT2_INV
+        assert half + half == ONE
+        assert SQRT2_INV + SQRT2_INV == AlgebraicNumber(1, 0, 0, 0, -1)  # sqrt(2)
+
+    def test_subtraction_and_negation(self):
+        assert ONE - ONE == ZERO
+        assert -(ONE - OMEGA) == OMEGA - ONE
+
+    def test_conjugate(self):
+        assert OMEGA.conjugate().to_complex() == pytest.approx(OMEGA_COMPLEX.conjugate())
+        assert ONE.conjugate() == ONE
+
+    def test_abs_squared_of_normalised_amplitude(self):
+        amplitude = SQRT2_INV
+        assert amplitude.abs_squared().to_complex() == pytest.approx(0.5)
+
+    def test_multiplication_by_int(self):
+        assert (ONE * 3).to_complex() == pytest.approx(3.0)
+        assert (3 * OMEGA).to_complex() == pytest.approx(3 * OMEGA_COMPLEX)
+
+    def test_to_float_rejects_imaginary(self):
+        with pytest.raises(ValueError):
+            OMEGA.to_float()
+        assert ONE.to_float() == pytest.approx(1.0)
+
+    def test_str_and_repr_do_not_crash(self):
+        for value in (ZERO, ONE, OMEGA, SQRT2_INV, AlgebraicNumber(-1, 2, 0, -3, 4)):
+            assert isinstance(str(value), str)
+            assert "AlgebraicNumber" in repr(value)
+
+
+class TestRingProperties:
+    @given(algebraic_numbers(), algebraic_numbers())
+    @settings(max_examples=100, deadline=None)
+    def test_addition_matches_complex(self, left, right):
+        assert (left + right).to_complex() == pytest.approx(
+            left.to_complex() + right.to_complex(), abs=1e-9
+        )
+
+    @given(algebraic_numbers(), algebraic_numbers())
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_matches_complex(self, left, right):
+        assert (left * right).to_complex() == pytest.approx(
+            left.to_complex() * right.to_complex(), abs=1e-9
+        )
+
+    @given(algebraic_numbers(), algebraic_numbers(), algebraic_numbers())
+    @settings(max_examples=60, deadline=None)
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(algebraic_numbers(), algebraic_numbers())
+    @settings(max_examples=60, deadline=None)
+    def test_commutativity(self, a, b):
+        assert a + b == b + a
+        assert a * b == b * a
+
+    @given(algebraic_numbers())
+    @settings(max_examples=100, deadline=None)
+    def test_additive_inverse(self, value):
+        assert value + (-value) == ZERO
+
+    @given(algebraic_numbers())
+    @settings(max_examples=100, deadline=None)
+    def test_canonical_form_is_stable(self, value):
+        rebuilt = AlgebraicNumber(*value.as_tuple())
+        assert rebuilt == value
+        assert rebuilt.as_tuple() == value.as_tuple()
+
+    @given(algebraic_numbers())
+    @settings(max_examples=100, deadline=None)
+    def test_conjugate_involution(self, value):
+        assert value.conjugate().conjugate() == value
+
+    @given(algebraic_numbers())
+    @settings(max_examples=100, deadline=None)
+    def test_abs_squared_is_real_and_non_negative(self, value):
+        squared = value.abs_squared().to_complex()
+        assert abs(squared.imag) < 1e-9
+        assert squared.real >= -1e-9
+
+    @given(algebraic_numbers())
+    @settings(max_examples=100, deadline=None)
+    def test_omega_multiplication_agrees_with_times_omega(self, value):
+        assert value * OMEGA == value.times_omega()

@@ -1,0 +1,282 @@
+"""Tests for the CHP-tableau stabilizer baseline.
+
+The tableau simulation is cross-checked against the exact state-vector
+simulator and the brute-force unitary comparison on the Clifford fragment:
+whenever the tableau declares two Clifford circuits (non-)equivalent, the
+ground-truth oracles must agree.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    CliffordTableau,
+    StabilizerChecker,
+    StabilizerState,
+    StabilizerVerdict,
+    check_unitary_equivalence,
+    is_clifford_circuit,
+    is_clifford_gate,
+)
+from repro.baselines.stabilizer import CLIFFORD_GATES
+from repro.circuits import Circuit, Gate
+from repro.simulator import StateVectorSimulator
+from repro.states import QuantumState
+
+_SINGLE = ("x", "y", "z", "h", "s", "sdg", "rx", "ry")
+_DOUBLE = ("cx", "cz", "swap")
+
+
+def _random_clifford_circuit(num_qubits: int, num_gates: int, seed: int) -> Circuit:
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"clifford_{seed}")
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < 0.4:
+            kind = rng.choice(_DOUBLE)
+            a, b = rng.sample(range(num_qubits), 2)
+            circuit.add(kind, a, b)
+        else:
+            circuit.add(rng.choice(_SINGLE), rng.randrange(num_qubits))
+    return circuit
+
+
+# --------------------------------------------------------------------------- classification
+def test_clifford_gate_classification():
+    assert is_clifford_gate(Gate("h", (0,)))
+    assert is_clifford_gate(Gate("cz", (0, 1)))
+    assert is_clifford_gate(Gate("swap", (0, 1)))
+    assert not is_clifford_gate(Gate("t", (0,)))
+    assert not is_clifford_gate(Gate("ccx", (0, 1, 2)))
+    assert not is_clifford_gate(Gate("cs", (0, 1)))
+
+
+def test_clifford_circuit_classification():
+    assert is_clifford_circuit(Circuit(2).add("h", 0).add("cx", 0, 1))
+    assert not is_clifford_circuit(Circuit(2).add("h", 0).add("t", 1))
+
+
+def test_clifford_gates_constant_matches_classifier():
+    for kind in CLIFFORD_GATES:
+        arity = {"cx": 2, "cz": 2, "swap": 2}.get(kind, 1)
+        assert is_clifford_gate(Gate(kind, tuple(range(arity))))
+
+
+# --------------------------------------------------------------------------- tableau identities
+def test_identity_tableau_fixed_points():
+    tableau = CliffordTableau(3)
+    for qubit in range(3):
+        assert tableau.image_of_x(qubit) == (1 << qubit, 0, 0)
+        assert tableau.image_of_z(qubit) == (0, 1 << qubit, 0)
+
+
+def test_hadamard_swaps_x_and_z():
+    tableau = CliffordTableau.from_circuit(Circuit(1).add("h", 0))
+    assert tableau.image_of_x(0) == (0, 1, 0)  # X -> Z
+    assert tableau.image_of_z(0) == (1, 0, 0)  # Z -> X
+
+
+def test_x_gate_flips_z_sign():
+    tableau = CliffordTableau.from_circuit(Circuit(1).add("x", 0))
+    assert tableau.image_of_z(0) == (0, 1, 1)  # Z -> -Z
+    assert tableau.image_of_x(0) == (1, 0, 0)  # X -> X
+
+
+def test_s_gate_maps_x_to_y():
+    tableau = CliffordTableau.from_circuit(Circuit(1).add("s", 0))
+    assert tableau.image_of_x(0) == (1, 1, 0)  # X -> Y (= XZ up to the tracked phase)
+    assert tableau.image_of_z(0) == (0, 1, 0)
+
+
+def test_cnot_propagates_x_and_z():
+    tableau = CliffordTableau.from_circuit(Circuit(2).add("cx", 0, 1))
+    assert tableau.image_of_x(0) == (0b11, 0, 0)  # X_c -> X_c X_t
+    assert tableau.image_of_x(1) == (0b10, 0, 0)  # X_t -> X_t
+    assert tableau.image_of_z(0) == (0, 0b01, 0)  # Z_c -> Z_c
+    assert tableau.image_of_z(1) == (0, 0b11, 0)  # Z_t -> Z_c Z_t
+
+
+@pytest.mark.parametrize(
+    "kind,inverse",
+    [("h", "h"), ("s", "sdg"), ("x", "x"), ("y", "y"), ("z", "z"), ("rx", None), ("ry", None)],
+)
+def test_single_qubit_gate_followed_by_inverse_is_identity(kind, inverse):
+    circuit = Circuit(1).add(kind, 0)
+    if inverse is None:
+        # rx/ry are order-4 rotations: four applications give the identity (up to phase)
+        for _ in range(3):
+            circuit.add(kind, 0)
+    else:
+        circuit.add(inverse, 0)
+    assert CliffordTableau.from_circuit(circuit) == CliffordTableau(1)
+
+
+def test_swap_decomposition_matches_native_swap():
+    native = CliffordTableau.from_circuit(Circuit(2).add("swap", 0, 1))
+    decomposed = CliffordTableau.from_circuit(
+        Circuit(2).add("cx", 0, 1).add("cx", 1, 0).add("cx", 0, 1)
+    )
+    assert native == decomposed
+
+
+def test_cz_is_symmetric():
+    assert CliffordTableau.from_circuit(Circuit(2).add("cz", 0, 1)) == CliffordTableau.from_circuit(
+        Circuit(2).add("cz", 1, 0)
+    )
+
+
+def test_tableau_rejects_non_clifford():
+    with pytest.raises(ValueError):
+        CliffordTableau.from_circuit(Circuit(1).add("t", 0))
+
+
+# --------------------------------------------------------------------------- stabilizer states
+def test_zero_state_stabilizers():
+    state = StabilizerState.from_circuit(Circuit(2))
+    assert state.canonical_generators() == ((0, 0b01, 0), (0, 0b10, 0))
+    assert state.expectation_of_z(0) == 1
+    assert state.expectation_of_z(1) == 1
+
+
+def test_x_flips_measurement_outcome():
+    state = StabilizerState.from_circuit(Circuit(2).add("x", 1))
+    assert state.expectation_of_z(0) == 1
+    assert state.expectation_of_z(1) == -1
+
+
+def test_plus_state_has_undetermined_outcome():
+    state = StabilizerState.from_circuit(Circuit(1).add("h", 0))
+    assert state.expectation_of_z(0) is None
+
+
+def test_ghz_state_outcomes_are_undetermined_but_correlated(ghz_circuit):
+    state = StabilizerState.from_circuit(ghz_circuit)
+    for qubit in range(3):
+        assert state.expectation_of_z(qubit) is None
+    # Z1 Z2 and Z2 Z3 are stabilizers: they appear in the canonical form
+    generators = state.canonical_generators()
+    z_only = [row for row in generators if row[0] == 0]
+    assert len(z_only) == 2
+
+
+def test_bell_state_equals_its_textbook_stabilizers(epr_circuit):
+    state = StabilizerState.from_circuit(epr_circuit)
+    # |Phi+> is stabilized by X1X2 and Z1Z2
+    assert (0, 0b11, 0) in state.canonical_generators()
+    assert (0b11, 0, 0) in state.canonical_generators()
+
+
+def test_initial_bits_change_the_state():
+    zero = StabilizerState.from_circuit(Circuit(1), initial_bits=(0,))
+    one = StabilizerState.from_circuit(Circuit(1), initial_bits=(1,))
+    assert zero != one
+    assert one.expectation_of_z(0) == -1
+
+
+def test_stabilizer_state_equality_is_semantic():
+    first = StabilizerState.from_circuit(Circuit(2).add("h", 0).add("cx", 0, 1))
+    second = StabilizerState.from_circuit(Circuit(2).add("h", 1).add("cx", 1, 0))
+    assert first == second  # both are the Bell state
+
+
+# --------------------------------------------------------------------------- checker
+def test_checker_proves_textbook_identities():
+    checker = StabilizerChecker()
+    assert checker.check_equivalence(
+        Circuit(1).add("h", 0).add("z", 0).add("h", 0), Circuit(1).add("x", 0)
+    ).verdict == StabilizerVerdict.EQUAL
+    assert checker.check_equivalence(
+        Circuit(2).add("cz", 0, 1),
+        Circuit(2).add("h", 1).add("cx", 0, 1).add("h", 1),
+    ).verdict == StabilizerVerdict.EQUAL
+
+
+def test_checker_detects_injected_bug():
+    checker = StabilizerChecker()
+    original = Circuit(3).add("h", 0).add("cx", 0, 1).add("cx", 1, 2)
+    buggy = original.copy().add("z", 2)
+    assert checker.check_equivalence(original, buggy).verdict == StabilizerVerdict.NOT_EQUAL
+
+
+def test_checker_inconclusive_on_t_gates():
+    checker = StabilizerChecker()
+    result = checker.check_equivalence(Circuit(1).add("t", 0), Circuit(1).add("t", 0))
+    assert result.verdict == StabilizerVerdict.INCONCLUSIVE
+    assert "non-Clifford" in result.reason
+
+
+def test_checker_width_mismatch():
+    checker = StabilizerChecker()
+    assert (
+        checker.check_equivalence(Circuit(1).add("h", 0), Circuit(2).add("h", 0)).verdict
+        == StabilizerVerdict.NOT_EQUAL
+    )
+
+
+def test_check_states_distinguishes_h_from_identity():
+    checker = StabilizerChecker()
+    result = checker.check_states(Circuit(1).add("h", 0), Circuit(1))
+    assert result.verdict == StabilizerVerdict.NOT_EQUAL
+
+
+def test_check_states_cannot_see_bug_behind_fixed_input():
+    # A bug on the |1> branch of a control is invisible to a single |0...0> run
+    checker = StabilizerChecker()
+    original = Circuit(2).add("cx", 0, 1)
+    buggy = Circuit(2).add("cx", 0, 1).add("cz", 0, 1)
+    assert checker.check_states(original, buggy).verdict == StabilizerVerdict.EQUAL
+    assert checker.check_equivalence(original, buggy).verdict == StabilizerVerdict.NOT_EQUAL
+
+
+# --------------------------------------------------------------------------- cross-checks
+@pytest.mark.parametrize("seed", range(8))
+def test_tableau_equivalence_matches_unitary_oracle(seed):
+    first = _random_clifford_circuit(3, 12, seed)
+    second = _random_clifford_circuit(3, 12, seed + 100)
+    verdict = StabilizerChecker().check_equivalence(first, second)
+    ground_truth = check_unitary_equivalence(first, second)
+    assert (verdict.verdict == StabilizerVerdict.EQUAL) == ground_truth.equivalent
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_tableau_declares_self_equivalence_after_recomposition(seed):
+    circuit = _random_clifford_circuit(4, 16, seed)
+    # appending a gate and its inverse must preserve the tableau
+    padded = circuit.copy()
+    padded.add("s", seed % 4).add("sdg", seed % 4).add("h", (seed + 1) % 4).add("h", (seed + 1) % 4)
+    assert StabilizerChecker().check_equivalence(circuit, padded).verdict == StabilizerVerdict.EQUAL
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_deterministic_outcomes_match_statevector(seed):
+    """Where the stabilizer formalism says an outcome is determined, the exact
+    simulator must assign the full probability mass to that outcome."""
+    circuit = _random_clifford_circuit(3, 10, seed)
+    state = StateVectorSimulator().run(circuit, QuantumState.zero_state(3))
+    stabilizer = StabilizerState.from_circuit(circuit)
+    for qubit in range(3):
+        expectation = stabilizer.expectation_of_z(qubit)
+        if expectation is None:
+            continue
+        wanted_bit = 0 if expectation == 1 else 1
+        for bits, amplitude in state.items():
+            if not amplitude.is_zero():
+                assert bits[qubit] == wanted_bit
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=4))
+def test_property_circuit_equals_itself_reordered_commuting_prefix(seed, num_qubits):
+    """Appending the inverse circuit always yields the identity tableau."""
+    circuit = _random_clifford_circuit(num_qubits, 3 * num_qubits, seed)
+    inverse_gates = []
+    for gate in reversed(list(circuit.decomposed())):
+        inverse_gates.append(gate.dagger() if gate.kind in ("s", "sdg") else gate)
+    roundtrip = Circuit(num_qubits, list(circuit.decomposed()) + inverse_gates)
+    if any(gate.kind in ("rx", "ry") for gate in circuit):
+        return  # rx/ry are not self-inverse; skip those samples
+    assert CliffordTableau.from_circuit(roundtrip) == CliffordTableau(num_qubits)

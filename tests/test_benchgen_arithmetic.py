@@ -1,0 +1,143 @@
+"""Tests for the Cuccaro adder family and its classical-reference verification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import adder_benchmark, classical_addition, cuccaro_adder
+from repro.circuits import Gate
+from repro.core import verify_triple
+from repro.simulator import StateVectorSimulator
+from repro.states import QuantumState
+
+
+def _adder_input(num_bits: int, a_value: int, b_value: int) -> QuantumState:
+    bits = (0,)
+    bits += tuple((a_value >> (num_bits - 1 - i)) & 1 for i in range(num_bits))
+    bits += tuple((b_value >> (num_bits - 1 - i)) & 1 for i in range(num_bits))
+    bits += (0,)
+    return QuantumState.basis_state(2 * num_bits + 2, bits)
+
+
+def _decode_output(state: QuantumState, num_bits: int):
+    (bits, amplitude), = list(state.items())
+    assert not amplitude.is_zero()
+    carry_in = bits[0]
+    a_value = int("".join(map(str, bits[1 : 1 + num_bits])), 2)
+    b_value = int("".join(map(str, bits[1 + num_bits : 1 + 2 * num_bits])), 2)
+    carry_out = bits[-1]
+    return carry_in, a_value, b_value, carry_out
+
+
+# --------------------------------------------------------------------------- classical model
+def test_classical_addition_reference():
+    assert classical_addition(3, 5, 4) == (8, 0)
+    assert classical_addition(12, 7, 4) == (3, 1)
+    assert classical_addition(15, 15, 4) == (14, 1)
+    assert classical_addition(0, 0, 4) == (0, 0)
+
+
+# --------------------------------------------------------------------------- circuit structure
+def test_adder_gate_inventory():
+    circuit = cuccaro_adder(4)
+    # n MAJ blocks + n UMA blocks, each with one Toffoli, plus the carry-out CNOT
+    assert circuit.count_kind("ccx") == 8
+    assert circuit.count_kind("cx") == 4 * 4 + 1
+    assert circuit.num_qubits == 10
+
+
+def test_adder_rejects_zero_bits():
+    with pytest.raises(ValueError):
+        cuccaro_adder(0)
+
+
+# --------------------------------------------------------------------------- functional correctness
+@pytest.mark.parametrize("num_bits", [1, 2, 3])
+def test_adder_adds_every_input_pair(num_bits, simulator):
+    circuit = cuccaro_adder(num_bits)
+    for a_value in range(1 << num_bits):
+        for b_value in range(1 << num_bits):
+            output = simulator.run(circuit, _adder_input(num_bits, a_value, b_value))
+            carry_in, a_out, b_out, carry_out = _decode_output(output, num_bits)
+            expected_sum, expected_carry = classical_addition(a_value, b_value, num_bits)
+            assert carry_in == 0
+            assert a_out == a_value          # the a register is restored
+            assert b_out == expected_sum     # the b register holds the sum
+            assert carry_out == expected_carry
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31))
+def test_property_five_bit_addition(a_value, b_value):
+    num_bits = 5
+    circuit = cuccaro_adder(num_bits)
+    output = StateVectorSimulator().run(circuit, _adder_input(num_bits, a_value, b_value))
+    _carry_in, a_out, b_out, carry_out = _decode_output(output, num_bits)
+    expected_sum, expected_carry = classical_addition(a_value, b_value, num_bits)
+    assert (a_out, b_out, carry_out) == (a_value, expected_sum, expected_carry)
+
+
+# --------------------------------------------------------------------------- verification triple
+@pytest.mark.parametrize("num_bits", [2, 3])
+def test_adder_benchmark_holds(num_bits):
+    benchmark = adder_benchmark(num_bits)
+    result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition)
+    assert result.holds
+
+
+def test_adder_benchmark_with_explicit_addend():
+    benchmark = adder_benchmark(3, addend=5)
+    result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition)
+    assert result.holds
+    assert "a=5" in benchmark.description
+
+
+def test_adder_benchmark_catches_corrupted_a_register():
+    benchmark = adder_benchmark(2)
+    buggy = benchmark.circuit.copy().add("x", 1)   # the a register must come out unchanged
+    result = verify_triple(benchmark.precondition, buggy, benchmark.postcondition)
+    assert not result.holds
+    assert result.witness is not None
+
+
+def test_adder_benchmark_catches_dirty_carry_in():
+    benchmark = adder_benchmark(2)
+    buggy = benchmark.circuit.copy().add("x", 0)   # the carry-in ancilla must return to |0>
+    result = verify_triple(benchmark.precondition, buggy, benchmark.postcondition)
+    assert not result.holds
+
+
+def test_adder_benchmark_catches_stray_hadamard():
+    benchmark = adder_benchmark(2)
+    buggy = benchmark.circuit.copy().add("h", 4)   # superposition outputs are never in the spec
+    result = verify_triple(benchmark.precondition, buggy, benchmark.postcondition)
+    assert not result.holds
+
+
+def test_set_invisible_bug_is_documented_limitation():
+    """Flipping the LSB of the sum permutes the expected output set onto itself,
+    so the set-based check cannot see it — the paper's own caveat ("there can
+    still be some bug that does not manifest in the set of output states")."""
+    benchmark = adder_benchmark(2)
+    buggy = benchmark.circuit.copy().add("x", 4)
+    result = verify_triple(benchmark.precondition, buggy, benchmark.postcondition)
+    assert result.holds
+    # a single fixed input still exposes it, as the incremental hunter would:
+    from repro.core import check_circuit_equivalence
+    from repro.ta import basis_state_ta
+
+    single = basis_state_ta(benchmark.circuit.num_qubits, (0, 1, 0, 0, 1, 0))
+    outcome = check_circuit_equivalence(benchmark.circuit, buggy, single)
+    assert outcome.non_equivalent
+
+
+def test_adder_benchmark_rejects_out_of_range_addend():
+    with pytest.raises(ValueError):
+        adder_benchmark(2, addend=7)
+
+
+def test_adder_benchmark_accepts_bitstring_addend():
+    benchmark = adder_benchmark(3, addend="110")
+    assert "a=6" in benchmark.description

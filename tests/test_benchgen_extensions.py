@@ -1,0 +1,193 @@
+"""Tests for the QFT and state-preparation benchmark families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import check_unitary_equivalence
+from repro.benchgen import (
+    bell_chain_benchmark,
+    bell_chain_circuit,
+    bell_chain_state,
+    ghz_benchmark,
+    ghz_circuit,
+    ghz_state,
+    inverse_qft_circuit,
+    qft_circuit,
+    qft_roundtrip_benchmark,
+    qft_zero_benchmark,
+    uniform_superposition_state,
+)
+from repro.core import AnalysisMode, verify_triple
+from repro.simulator import StateVectorSimulator
+from repro.states import QuantumState, int_to_bits
+
+
+# --------------------------------------------------------------------------- QFT circuits
+def test_qft_circuit_gate_inventory():
+    circuit = qft_circuit(4)
+    assert circuit.count_kind("h") == 4
+    assert circuit.count_kind("cs") == 3   # one per adjacent pair
+    assert circuit.count_kind("ct") == 2   # one per distance-2 pair
+    assert circuit.count_kind("swap") == 2
+
+
+def test_qft_approximation_degree_limits_rotations():
+    degree_two = qft_circuit(4, approximation_degree=2)
+    assert degree_two.count_kind("ct") == 0
+    assert degree_two.count_kind("cs") == 3
+    degree_one = qft_circuit(4, approximation_degree=1)
+    assert degree_one.count_kind("cs") == 0
+
+
+def test_qft_rejects_unrepresentable_degree():
+    with pytest.raises(ValueError):
+        qft_circuit(4, approximation_degree=4)
+    with pytest.raises(ValueError):
+        qft_circuit(0)
+
+
+def test_qft_of_zero_is_uniform_superposition(simulator):
+    for num_qubits in (1, 2, 3):
+        output = simulator.run(qft_circuit(num_qubits), QuantumState.zero_state(num_qubits))
+        assert output == uniform_superposition_state(num_qubits)
+
+
+def test_qft_on_three_qubits_matches_exact_dft(simulator):
+    """Up to 3 qubits the AQFT with degree 3 *is* the exact QFT: check one non-trivial column."""
+    import cmath
+    import math
+
+    num_qubits = 3
+    circuit = qft_circuit(num_qubits)
+    index = 5  # input |101>
+    output = simulator.run(circuit, QuantumState.basis_state(num_qubits, index))
+    dim = 1 << num_qubits
+    for position in range(dim):
+        expected = cmath.exp(2j * math.pi * index * position / dim) / math.sqrt(dim)
+        got = output[int_to_bits(position, num_qubits)].to_complex()
+        assert abs(got - expected) < 1e-9
+
+
+def test_inverse_qft_undoes_qft(simulator):
+    num_qubits = 3
+    roundtrip = qft_circuit(num_qubits).concatenated(inverse_qft_circuit(num_qubits))
+    for index in range(1 << num_qubits):
+        initial = QuantumState.basis_state(num_qubits, index)
+        assert simulator.run(roundtrip, initial) == initial
+
+
+def test_inverse_qft_is_the_adjoint_unitary():
+    result = check_unitary_equivalence(
+        inverse_qft_circuit(3),
+        Circuit_inverse_via_dagger(qft_circuit(3)),
+    )
+    assert result.equivalent
+
+
+def Circuit_inverse_via_dagger(circuit):
+    """Reference adjoint: reverse the gates and dagger each one."""
+    from repro.circuits import Circuit
+
+    inverse = Circuit(circuit.num_qubits, name=f"{circuit.name}_dagger")
+    for gate in reversed(list(circuit)):
+        inverse.append(gate.dagger())
+    return inverse
+
+
+# --------------------------------------------------------------------------- QFT benchmarks
+@pytest.mark.parametrize("mode", [AnalysisMode.HYBRID, AnalysisMode.COMPOSITION])
+def test_qft_zero_benchmark_holds(mode):
+    benchmark = qft_zero_benchmark(3)
+    result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition, mode=mode)
+    assert result.holds
+
+
+def test_qft_roundtrip_benchmark_holds():
+    benchmark = qft_roundtrip_benchmark(3)
+    result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition)
+    assert result.holds
+
+
+def test_qft_zero_benchmark_catches_injected_bug():
+    benchmark = qft_zero_benchmark(3)
+    buggy = benchmark.circuit.copy().add("z", 1)
+    result = verify_triple(benchmark.precondition, buggy, benchmark.postcondition)
+    assert not result.holds
+    assert result.witness is not None
+
+
+def test_qft_roundtrip_benchmark_catches_wrong_phase():
+    benchmark = qft_roundtrip_benchmark(3)
+    # replace one csdg by cs in the inverse half: the round trip is no longer the identity
+    gates = list(benchmark.circuit)
+    position = next(i for i, gate in enumerate(gates) if gate.kind == "csdg")
+    from repro.circuits import Circuit, Gate
+
+    gates[position] = Gate("cs", gates[position].qubits)
+    buggy = Circuit(benchmark.circuit.num_qubits, gates)
+    result = verify_triple(benchmark.precondition, buggy, benchmark.postcondition)
+    assert not result.holds
+
+
+# --------------------------------------------------------------------------- GHZ / Bell chain
+def test_ghz_circuit_structure():
+    circuit = ghz_circuit(5)
+    assert circuit.count_kind("h") == 1
+    assert circuit.count_kind("cx") == 4
+
+
+def test_ghz_state_is_normalised():
+    for num_qubits in (2, 3, 6):
+        assert ghz_state(num_qubits).is_normalised()
+
+
+def test_ghz_circuit_prepares_ghz_state(simulator):
+    for num_qubits in (2, 3, 4):
+        output = simulator.run(ghz_circuit(num_qubits), QuantumState.zero_state(num_qubits))
+        assert output == ghz_state(num_qubits)
+
+
+@pytest.mark.parametrize("num_qubits", [2, 3, 4, 5])
+def test_ghz_benchmark_holds(num_qubits):
+    benchmark = ghz_benchmark(num_qubits)
+    result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition)
+    assert result.holds
+
+
+def test_ghz_benchmark_catches_missing_cnot():
+    benchmark = ghz_benchmark(4)
+    truncated = benchmark.circuit.without_gate(benchmark.circuit.num_gates - 1)
+    result = verify_triple(benchmark.precondition, truncated, benchmark.postcondition)
+    assert not result.holds
+
+
+def test_ghz_rejects_single_qubit():
+    with pytest.raises(ValueError):
+        ghz_circuit(1)
+
+
+def test_bell_chain_state_matches_simulation(simulator):
+    for num_pairs in (1, 2, 3):
+        circuit = bell_chain_circuit(num_pairs)
+        output = simulator.run(circuit, QuantumState.zero_state(2 * num_pairs))
+        assert output == bell_chain_state(num_pairs)
+
+
+@pytest.mark.parametrize("num_pairs", [1, 2, 3])
+def test_bell_chain_benchmark_holds(num_pairs):
+    benchmark = bell_chain_benchmark(num_pairs)
+    result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition)
+    assert result.holds
+
+
+def test_bell_chain_rejects_zero_pairs():
+    with pytest.raises(ValueError):
+        bell_chain_circuit(0)
+
+
+def test_bell_chain_bug_detected():
+    benchmark = bell_chain_benchmark(2)
+    buggy = benchmark.circuit.copy().add("x", 0)
+    result = verify_triple(benchmark.precondition, buggy, benchmark.postcondition)
+    assert not result.holds

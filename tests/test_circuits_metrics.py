@@ -1,0 +1,124 @@
+"""Tests for the static circuit metrics (depth, moments, T-count, engine profile)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import ghz_circuit, grover_single_circuit, qft_circuit
+from repro.circuits import (
+    Circuit,
+    depth,
+    engine_cost_profile,
+    gate_histogram,
+    moments,
+    qubit_depths,
+    random_circuit,
+    summarise,
+    t_count,
+    two_qubit_count,
+)
+
+
+# --------------------------------------------------------------------------- histogram / counts
+def test_gate_histogram_counts_every_kind():
+    circuit = Circuit(3).add("h", 0).add("h", 1).add("cx", 0, 1).add("t", 2).add("t", 0)
+    assert gate_histogram(circuit) == {"cx": 1, "h": 2, "t": 2}
+
+
+def test_t_count_counts_t_tdg_and_controlled_phases():
+    circuit = Circuit(3).add("t", 0).add("tdg", 1).add("ct", 0, 1).add("ctdg", 1, 2).add("s", 0)
+    assert t_count(circuit) == 4
+
+
+def test_t_count_charges_seven_per_toffoli():
+    circuit = Circuit(3).add("ccx", 0, 1, 2).add("t", 0)
+    assert t_count(circuit) == 8
+
+
+def test_two_qubit_count_after_decomposition():
+    circuit = Circuit(3).add("swap", 0, 1).add("h", 2)
+    # swap decomposes into three CNOTs
+    assert two_qubit_count(circuit) == 3
+
+
+# --------------------------------------------------------------------------- moments / depth
+def test_parallel_gates_share_a_moment():
+    circuit = Circuit(4).add("h", 0).add("h", 1).add("h", 2).add("h", 3)
+    assert depth(circuit) == 1
+    assert len(moments(circuit)[0]) == 4
+
+
+def test_dependent_gates_stack_up():
+    circuit = Circuit(2).add("h", 0).add("cx", 0, 1).add("h", 1)
+    assert depth(circuit) == 3
+
+
+def test_moments_respect_qubit_conflicts():
+    circuit = Circuit(3).add("cx", 0, 1).add("cx", 1, 2).add("x", 0)
+    layers = moments(circuit)
+    assert [len(layer) for layer in layers] == [1, 2]
+    # the x on qubit 0 fits next to the second CNOT (disjoint qubits)
+    kinds_in_second = sorted(gate.kind for gate in layers[1])
+    assert kinds_in_second == ["cx", "x"]
+
+
+def test_depth_of_empty_circuit_is_zero():
+    assert depth(Circuit(3)) == 0
+    assert moments(Circuit(3)) == []
+
+
+def test_ghz_depth_is_linear():
+    assert depth(ghz_circuit(6)) == 6  # H then a strictly sequential CNOT chain
+
+
+def test_qubit_depths_count_touches():
+    circuit = Circuit(3).add("h", 0).add("cx", 0, 1).add("cx", 1, 2)
+    assert qubit_depths(circuit) == {0: 2, 1: 2, 2: 1}
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=3, max_value=6))
+def test_property_moments_partition_the_gates(seed, num_qubits):
+    circuit = random_circuit(num_qubits, seed=seed)
+    layers = moments(circuit)
+    assert sum(len(layer) for layer in layers) == circuit.num_gates
+    for layer in layers:
+        touched = [qubit for gate in layer for qubit in gate.qubits]
+        assert len(touched) == len(set(touched))  # gates in one moment are disjoint
+    assert depth(circuit) <= circuit.num_gates
+
+
+# --------------------------------------------------------------------------- engine profile
+def test_engine_profile_of_clifford_t_circuit():
+    circuit = Circuit(3).add("h", 0).add("cx", 0, 1).add("t", 2).add("ccx", 0, 1, 2)
+    profile = engine_cost_profile(circuit)
+    assert profile == {"permutation": 3, "composition": 1}  # only the Hadamard falls back
+
+
+def test_engine_profile_counts_misordered_controls_as_composition():
+    circuit = Circuit(2).add("cx", 1, 0)  # control above target: permutation encoding refuses
+    assert engine_cost_profile(circuit) == {"permutation": 0, "composition": 1}
+
+
+def test_engine_profile_of_grover_matches_statistics():
+    from repro.core import run_circuit, zero_state_precondition
+
+    circuit = grover_single_circuit(2, "10")
+    profile = engine_cost_profile(circuit)
+    result = run_circuit(circuit.decomposed(), zero_state_precondition(circuit.num_qubits))
+    assert result.statistics.gates_permutation == profile["permutation"]
+    assert result.statistics.gates_composition == profile["composition"]
+
+
+# --------------------------------------------------------------------------- summary
+def test_summarise_contains_all_fields():
+    summary = summarise(qft_circuit(4))
+    assert summary["qubits"] == 4
+    assert summary["gates"] == qft_circuit(4).num_gates
+    assert summary["gates_decomposed"] >= summary["gates"]
+    assert summary["depth"] >= 1
+    assert summary["t_count"] == 2          # the two ct gates
+    assert summary["histogram"]["h"] == 4
+    assert summary["permutation_gates"] + summary["composition_gates"] == summary["gates_decomposed"]

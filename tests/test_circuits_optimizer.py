@@ -1,0 +1,92 @@
+"""Tests for the peephole optimizer and its validation by the TA framework."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import check_unitary_equivalence
+from repro.circuits import Circuit, PeepholeOptimizer, random_circuit
+from repro.core import check_circuit_equivalence
+from repro.ta import all_basis_states_ta
+
+
+class TestRewrites:
+    def test_adjacent_self_inverse_cancellation(self):
+        circuit = Circuit(2).add("h", 0).add("h", 0).add("cx", 0, 1).add("cx", 0, 1)
+        optimized, report = PeepholeOptimizer().optimize(circuit)
+        assert optimized.num_gates == 0
+        assert report.cancellations == 2
+        assert report.removed_gates == 4
+
+    def test_cancellation_across_disjoint_gates(self):
+        circuit = Circuit(3).add("x", 0).add("h", 1).add("cx", 1, 2).add("x", 0)
+        optimized, _ = PeepholeOptimizer().optimize(circuit)
+        assert [g.kind for g in optimized] == ["h", "cx"]
+
+    def test_no_cancellation_across_overlapping_gates(self):
+        circuit = Circuit(2).add("x", 0).add("cx", 0, 1).add("x", 0)
+        optimized, _ = PeepholeOptimizer().optimize(circuit)
+        assert optimized.num_gates == 3
+
+    def test_phase_fusion(self):
+        circuit = Circuit(1).add("t", 0).add("t", 0)
+        optimized, report = PeepholeOptimizer().optimize(circuit)
+        assert [g.kind for g in optimized] == ["s"]
+        assert report.fusions == 1
+
+    def test_fusion_chains_to_identity(self):
+        circuit = Circuit(1).add("s", 0).add("s", 0).add("z", 0)
+        optimized, _ = PeepholeOptimizer().optimize(circuit)
+        assert optimized.num_gates == 0
+
+    def test_s_sdg_cancel(self):
+        circuit = Circuit(1).add("s", 0).add("sdg", 0)
+        optimized, _ = PeepholeOptimizer().optimize(circuit)
+        assert optimized.num_gates == 0
+
+    def test_report_counts(self):
+        circuit = Circuit(2).add("t", 0).add("t", 0).add("x", 1).add("x", 1)
+        optimized, report = PeepholeOptimizer().optimize(circuit)
+        assert report.original_gates == 4
+        assert report.optimized_gates == optimized.num_gates
+        assert report.passes >= 1
+
+    def test_reversed_cx_not_cancelled(self):
+        circuit = Circuit(2).add("cx", 0, 1).add("cx", 1, 0)
+        optimized, _ = PeepholeOptimizer().optimize(circuit)
+        assert optimized.num_gates == 2
+
+
+class TestSoundness:
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_sound_mode_preserves_the_unitary(self, seed):
+        circuit = random_circuit(3, num_gates=18, seed=seed)
+        optimized, _ = PeepholeOptimizer().optimize(circuit)
+        assert check_unitary_equivalence(circuit, optimized).equivalent
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_sound_mode_passes_ta_validation(self, seed):
+        circuit = random_circuit(3, num_gates=12, seed=seed)
+        optimized, _ = PeepholeOptimizer().optimize(circuit)
+        outcome = check_circuit_equivalence(circuit, optimized, all_basis_states_ta(3))
+        assert not outcome.non_equivalent
+
+    def test_unsound_mode_is_caught_by_the_framework(self):
+        from repro.ta import basis_state_ta
+
+        # HZH == X, so dropping the Z turns the circuit into the identity;
+        # over the single input |00> the output sets {|10>} vs {|00>} differ.
+        circuit = Circuit(2).add("h", 0).add("z", 0).add("h", 0)
+        optimized, report = PeepholeOptimizer(enable_unsound_rewrites=True).optimize(circuit)
+        assert report.unsound_drops == 1
+        outcome = check_circuit_equivalence(circuit, optimized, basis_state_ta(2, "00"))
+        assert outcome.non_equivalent
+        assert outcome.witness is not None
+
+    def test_unsound_mode_on_phase_free_circuit_is_harmless(self):
+        circuit = Circuit(2).add("x", 0).add("cx", 0, 1)
+        optimized, report = PeepholeOptimizer(enable_unsound_rewrites=True).optimize(circuit)
+        assert report.unsound_drops == 0
+        assert not check_circuit_equivalence(circuit, optimized, all_basis_states_ta(2)).non_equivalent

@@ -1,0 +1,177 @@
+"""Tests for the ``autoq-repro`` command-line interface."""
+
+import pytest
+
+from repro.circuits import Circuit, save_qasm_file, to_qasm
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def bell_qasm(tmp_path):
+    path = tmp_path / "bell.qasm"
+    save_qasm_file(Circuit(2).add("h", 0).add("cx", 0, 1), str(path))
+    return str(path)
+
+
+@pytest.fixture
+def buggy_bell_qasm(tmp_path):
+    path = tmp_path / "bell_buggy.qasm"
+    save_qasm_file(Circuit(2).add("h", 0).add("cx", 0, 1).add("z", 1), str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_arguments(self):
+        args = build_parser().parse_args(["verify", "--family", "bv", "--size", "5"])
+        assert args.family == "bv"
+        assert args.size == 5
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--family", "shor", "--size", "5"])
+
+
+class TestVerifyCommand:
+    def test_bv_verification_succeeds(self, capsys):
+        assert main(["verify", "--family", "bv", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "HOLDS" in out
+        assert "BV(n=4)" in out
+
+    def test_mctoffoli_verification_succeeds(self, capsys):
+        assert main(["verify", "--family", "mctoffoli", "--size", "3"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_grover_single_verification(self, capsys):
+        assert main(["verify", "--family", "grover-single", "--size", "2"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_simulate_default_input(self, bell_qasm, capsys):
+        assert main(["simulate", bell_qasm]) == 0
+        out = capsys.readouterr().out
+        assert "|00>" in out and "|11>" in out
+
+    def test_simulate_custom_input(self, bell_qasm, capsys):
+        assert main(["simulate", bell_qasm, "--input", "10"]) == 0
+        assert "|11>" in capsys.readouterr().out
+
+
+class TestEquivalenceCommand:
+    def test_equivalent_circuits(self, bell_qasm, capsys):
+        assert main(["equivalence", bell_qasm, bell_qasm]) == 0
+        assert "coincide" in capsys.readouterr().out
+
+    def test_non_equivalent_circuits(self, bell_qasm, buggy_bell_qasm, capsys):
+        assert main(["equivalence", bell_qasm, buggy_bell_qasm]) == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+    def test_single_input_restriction(self, bell_qasm, buggy_bell_qasm, capsys):
+        assert main(["equivalence", bell_qasm, buggy_bell_qasm, "--single-input", "00"]) == 1
+
+
+class TestBughuntCommand:
+    def test_hunt_between_two_files(self, bell_qasm, buggy_bell_qasm, capsys):
+        assert main(["bughunt", bell_qasm, buggy_bell_qasm]) == 1
+        out = capsys.readouterr().out
+        assert "BUG FOUND" in out
+
+    def test_hunt_with_injected_bug(self, bell_qasm, capsys):
+        exit_code = main(["bughunt", bell_qasm, "--inject-seed", "3"])
+        out = capsys.readouterr().out
+        assert "injected bug" in out
+        assert exit_code in (0, 1)
+
+    def test_hunt_without_candidate_is_an_error(self, bell_qasm, capsys):
+        assert main(["bughunt", bell_qasm]) == 2
+
+    def test_hunt_identical_circuits(self, bell_qasm, capsys):
+        assert main(["bughunt", bell_qasm, bell_qasm, "--max-iterations", "2"]) == 0
+        assert "no difference" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_generate_ghz_circuit(self, tmp_path, capsys):
+        output = tmp_path / "ghz.qasm"
+        assert main(["generate", "--family", "ghz", "--size", "5", str(output)]) == 0
+        assert "GHZ(n=5)" in capsys.readouterr().out
+        from repro.circuits import load_qasm_file
+
+        circuit = load_qasm_file(str(output))
+        assert circuit.num_qubits == 5
+        assert circuit.count_kind("cx") == 4
+
+    def test_generate_qft_circuit_round_trips_through_qasm(self, tmp_path):
+        output = tmp_path / "qft.qasm"
+        assert main(["generate", "--family", "qft-zero", "--size", "4", str(output)]) == 0
+        from repro.circuits import load_qasm_file
+
+        circuit = load_qasm_file(str(output))
+        assert circuit.count_kind("cs") == 3
+
+    def test_new_families_are_verifiable(self, capsys):
+        assert main(["verify", "--family", "ghz", "--size", "4"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+        assert main(["verify", "--family", "qft-zero", "--size", "3"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+
+class TestInjectCommand:
+    def test_inject_writes_a_mutated_copy(self, bell_qasm, tmp_path, capsys):
+        output = tmp_path / "buggy.qasm"
+        assert main(["inject", bell_qasm, str(output), "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "injected bug" in out
+        from repro.circuits import load_qasm_file
+
+        original = load_qasm_file(bell_qasm)
+        mutated = load_qasm_file(str(output))
+        assert mutated.num_gates == original.num_gates + 1
+
+
+class TestStatsCommand:
+    def test_stats_reports_histogram(self, bell_qasm, capsys):
+        assert main(["stats", bell_qasm]) == 0
+        out = capsys.readouterr().out
+        assert "qubits:   2" in out
+        assert "h" in out and "cx" in out
+        assert "composition-based encoding" in out
+
+
+class TestExportTaCommand:
+    def test_export_precondition_in_timbuk_format(self, tmp_path, capsys):
+        output = tmp_path / "pre.timbuk"
+        assert main(["export-ta", "--family", "bv", "--size", "4", str(output)]) == 0
+        assert "pre-condition" in capsys.readouterr().out
+        from repro.ta.timbuk import load_timbuk
+
+        automaton = load_timbuk(str(output))
+        assert automaton.num_qubits == 5  # n data qubits + 1 ancilla
+
+    def test_export_postcondition(self, tmp_path):
+        output = tmp_path / "post.timbuk"
+        assert main(["export-ta", "--family", "ghz", "--size", "3", "--which", "post", str(output)]) == 0
+        from repro.states import QuantumState
+        from repro.benchgen import ghz_state
+        from repro.ta.timbuk import load_timbuk
+
+        automaton = load_timbuk(str(output))
+        assert automaton.accepts(ghz_state(3))
+        assert not automaton.accepts(QuantumState.zero_state(3))
+
+
+class TestBaselinesCommand:
+    def test_baselines_agree_on_identical_circuits(self, bell_qasm, capsys):
+        assert main(["baselines", bell_qasm, bell_qasm]) == 0
+        out = capsys.readouterr().out
+        assert "path-sum" in out and "stabilizer" in out and "stimuli" in out
+
+    def test_baselines_detect_clifford_bug(self, bell_qasm, buggy_bell_qasm, capsys):
+        assert main(["baselines", bell_qasm, buggy_bell_qasm]) == 1
+        out = capsys.readouterr().out
+        assert "not_equal" in out

@@ -1,0 +1,245 @@
+"""Tests for the composition-based gate encoding (Section 6, Theorems 6.6 - 6.12)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import AlgebraicNumber, ONE, SQRT2_INV, ZERO
+from repro.circuits import Gate
+from repro.core.composition import (
+    apply_composition_gate,
+    backward_swap,
+    binary_operation,
+    forward_swap,
+    multiply,
+    projection,
+    restrict,
+    subtree_copy,
+)
+from repro.core.formulas import apply_gate_to_state
+from repro.core.tagging import tag, untag
+from repro.states import QuantumState
+from repro.ta import (
+    all_basis_states_ta,
+    basis_product_ta,
+    basis_state_ta,
+    check_equivalence,
+    from_quantum_state,
+    from_quantum_states,
+)
+
+ALL_GATE_KINDS = ["x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry"]
+
+
+def expected_automaton(automaton, gate):
+    states = automaton.enumerate_states(limit=64)
+    return from_quantum_states([apply_gate_to_state(gate, s) for s in states])
+
+
+def plus_state() -> QuantumState:
+    return QuantumState(2, {(0, 0): SQRT2_INV, (1, 0): SQRT2_INV})
+
+
+class TestTagging:
+    def test_tagging_assigns_unique_tags(self):
+        tagged = tag(all_basis_states_ta(3))
+        tags = [symbol[1] for _p, symbol, _l, _r in tagged.transitions()]
+        assert all(len(t) == 1 for t in tags)
+        assert len(set(tags)) == len(tags)
+
+    def test_tagging_twice_rejected(self):
+        tagged = tag(all_basis_states_ta(2))
+        with pytest.raises(ValueError):
+            tag(tagged)
+
+    def test_untag_restores_plain_symbols(self):
+        automaton = all_basis_states_ta(3)
+        assert check_equivalence(untag(tag(automaton)), automaton).equivalent
+
+    def test_tagging_preserves_language(self):
+        automaton = basis_product_ta(3, [{0, 1}, {1}, {0, 1}])
+        assert check_equivalence(untag(tag(automaton)), automaton).equivalent
+
+
+class TestRestriction:
+    """Theorem 6.6: Res zeroes the branch selected by the bit."""
+
+    def test_restrict_single_state(self):
+        automaton = tag(from_quantum_state(plus_state()))
+        kept_one = untag(restrict(automaton, 0, 1))
+        states = kept_one.enumerate_states()
+        assert len(states) == 1
+        assert states[0][(1, 0)] == SQRT2_INV and states[0][(0, 0)] == ZERO
+
+    def test_restrict_keeps_zero_branch(self):
+        automaton = tag(from_quantum_state(plus_state()))
+        kept_zero = untag(restrict(automaton, 0, 0))
+        states = kept_zero.enumerate_states()
+        assert states[0][(0, 0)] == SQRT2_INV and states[0][(1, 0)] == ZERO
+
+    def test_restrict_set_semantics(self):
+        # Theorem 6.6: L(Res(A, x_1, 1)) = { B_{x_1} . T | T in L(A) } — as a set,
+        # every basis state with the qubit at 0 collapses to the all-zero function.
+        automaton = tag(all_basis_states_ta(3))
+        restricted = untag(restrict(automaton, 1, 1))
+        results = restricted.enumerate_states()
+        assert len(results) == 5
+        assert QuantumState(3) in results  # the all-zero function
+        assert QuantumState.basis_state(3, "011") in results
+        assert QuantumState.basis_state(3, "001") not in results
+
+
+class TestMultiplication:
+    """Theorem 6.7: Mult scales every amplitude."""
+
+    def test_multiply_by_omega(self):
+        automaton = tag(basis_state_ta(2, "01"))
+        scaled = untag(multiply(automaton, AlgebraicNumber(0, 1, 0, 0, 0)))
+        states = scaled.enumerate_states()
+        assert states[0]["01"] == AlgebraicNumber(0, 1, 0, 0, 0)
+
+    def test_multiply_by_inverse_sqrt2(self):
+        automaton = tag(basis_state_ta(2, "11"))
+        scaled = untag(multiply(automaton, SQRT2_INV))
+        assert scaled.enumerate_states()[0]["11"] == SQRT2_INV
+
+
+class TestSwapsAndProjection:
+    def test_forward_then_backward_swap_is_identity_on_language(self):
+        automaton = tag(all_basis_states_ta(3))
+        swapped = forward_swap(automaton, 0)
+        restored = backward_swap(swapped, 0)
+        assert check_equivalence(untag(restored), untag(automaton)).equivalent
+
+    def test_forward_swap_at_leaf_layer_rejected(self):
+        automaton = tag(all_basis_states_ta(2))
+        with pytest.raises(ValueError):
+            forward_swap(automaton, 1)  # qubit 1 sits directly above the leaves
+
+    def test_subtree_copy_at_bottom_layer(self):
+        automaton = tag(from_quantum_state(QuantumState.basis_state(2, "01")))
+        copied = untag(subtree_copy(automaton, 1, 1))
+        states = copied.enumerate_states()
+        assert states[0][(0, 0)] == ONE and states[0][(0, 1)] == ONE
+
+    @pytest.mark.parametrize("qubit,bit", [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_projection_matches_tree_semantics(self, qubit, bit):
+        state = QuantumState(
+            3,
+            {
+                (0, 0, 1): ONE,
+                (1, 0, 1): AlgebraicNumber(0, 1, 0, 0, 0),
+                (1, 1, 0): SQRT2_INV,
+            },
+        )
+        automaton = tag(from_quantum_state(state))
+        projected = untag(projection(automaton, qubit, bit)).reduce()
+        expected = QuantumState(3)
+        import itertools
+
+        for bits in itertools.product((0, 1), repeat=3):
+            source = list(bits)
+            source[qubit] = bit
+            expected[bits] = state[tuple(source)]
+        assert check_equivalence(projected, from_quantum_state(expected)).equivalent
+
+    def test_projection_on_a_set_of_states(self):
+        automaton = tag(all_basis_states_ta(3))
+        projected = untag(projection(automaton, 0, 1)).reduce()
+        expected_states = []
+        import itertools
+
+        for index in range(8):
+            state = QuantumState.basis_state(3, index)
+            result = QuantumState(3)
+            for bits in itertools.product((0, 1), repeat=3):
+                source = (1,) + bits[1:]
+                result[bits] = state[source]
+            expected_states.append(result)
+        assert check_equivalence(projected, from_quantum_states(expected_states)).equivalent
+
+
+class TestBinaryOperation:
+    """Theorem 6.12: Bin combines only trees with equal tags."""
+
+    def test_sum_of_projections_reconstructs_x_gate(self):
+        # X(T) = B_{x̄} T_x + B_x T_x̄ on a single state
+        state = plus_state()
+        tagged = tag(from_quantum_state(state))
+        term1 = restrict(projection(tagged, 0, 1), 0, 0)
+        term2 = restrict(projection(tagged, 0, 0), 0, 1)
+        combined = untag(binary_operation(term1, term2))
+        expected = from_quantum_state(apply_gate_to_state(Gate("x", (0,)), state))
+        assert check_equivalence(combined, expected).equivalent
+
+    def test_subtraction(self):
+        automaton = tag(basis_state_ta(2, "00"))
+        difference = untag(binary_operation(automaton, automaton, subtract=True))
+        states = difference.enumerate_states()
+        assert len(states) == 1
+        assert states[0].nonzero_count() == 0
+
+    def test_tags_prevent_cross_pairing(self):
+        # two different basis states: Bin must pair each with itself, not cross-pair
+        automaton = tag(from_quantum_states(
+            [QuantumState.basis_state(2, "00"), QuantumState.basis_state(2, "11")], reduce=False
+        ))
+        doubled = untag(binary_operation(automaton, automaton))
+        two = AlgebraicNumber(2, 0, 0, 0, 0)
+        expected = from_quantum_states(
+            [
+                QuantumState(2, {(0, 0): two}),
+                QuantumState(2, {(1, 1): two}),
+            ]
+        )
+        assert check_equivalence(doubled, expected).equivalent
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            binary_operation(tag(basis_state_ta(2, "00")), tag(basis_state_ta(3, "000")))
+
+
+class TestFullGateApplication:
+    @pytest.mark.parametrize("kind", ALL_GATE_KINDS)
+    @pytest.mark.parametrize("target", [0, 1, 2])
+    def test_all_single_qubit_gates_on_basis_sets(self, kind, target):
+        automaton = all_basis_states_ta(3)
+        gate = Gate(kind, (target,))
+        result = apply_composition_gate(automaton, gate).reduce()
+        assert check_equivalence(result, expected_automaton(automaton, gate)).equivalent
+
+    @pytest.mark.parametrize("gate", [
+        Gate("cx", (0, 1)), Gate("cx", (1, 0)), Gate("cz", (1, 0)),
+        Gate("ccx", (0, 1, 2)), Gate("ccx", (2, 1, 0)),
+    ])
+    def test_controlled_gates_any_orientation(self, gate):
+        automaton = all_basis_states_ta(3)
+        result = apply_composition_gate(automaton, gate).reduce()
+        assert check_equivalence(result, expected_automaton(automaton, gate)).equivalent
+
+    def test_result_is_untagged(self):
+        automaton = all_basis_states_ta(2)
+        result = apply_composition_gate(automaton, Gate("h", (0,)))
+        assert not result.is_tagged()
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_composition_agrees_with_permutation_where_both_apply(self, seed):
+        import random
+
+        from repro.core.permutation import apply_permutation_gate, supports_permutation
+
+        rng = random.Random(seed)
+        num_qubits = rng.randint(2, 4)
+        allowed = [rng.choice([{0}, {1}, {0, 1}]) for _ in range(num_qubits)]
+        automaton = basis_product_ta(num_qubits, allowed)
+        kind = rng.choice(["x", "y", "z", "s", "t", "cx", "cz", "ccx"])
+        arity = {"cx": 2, "cz": 2, "ccx": 3}.get(kind, 1)
+        if arity > num_qubits:
+            kind, arity = "z", 1
+        qubits = tuple(sorted(rng.sample(range(num_qubits), arity)))
+        gate = Gate(kind, qubits)
+        assert supports_permutation(gate)
+        via_permutation = apply_permutation_gate(automaton, gate).reduce()
+        via_composition = apply_composition_gate(automaton, gate).reduce()
+        assert check_equivalence(via_permutation, via_composition).equivalent

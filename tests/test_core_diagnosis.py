@@ -1,0 +1,115 @@
+"""Tests for witness replay and divergence localisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Circuit, Gate, inject_random_gate
+from repro.core import (
+    check_circuit_equivalence,
+    diagnose,
+    localise_divergence,
+    replay_witness,
+    verify_triple,
+    zero_state_precondition,
+)
+from repro.core.specs import bell_postcondition
+from repro.states import QuantumState
+from repro.ta import all_basis_states_ta, basis_state_ta
+
+
+def _bell_pair():
+    reference = Circuit(2, name="epr").add("h", 0).add("cx", 0, 1)
+    buggy = reference.copy(name="epr_buggy").add("z", 1)
+    return reference, buggy
+
+
+# --------------------------------------------------------------------------- replay
+def test_replay_confirms_verification_witness():
+    reference, buggy = _bell_pair()
+    precondition = zero_state_precondition(2)
+    result = verify_triple(precondition, buggy, bell_postcondition())
+    assert not result.holds
+    inputs = replay_witness(reference, buggy, result.witness, precondition)
+    assert inputs == [(0, 0)]
+
+
+def test_replay_confirms_non_equivalence_witness():
+    reference, buggy = _bell_pair()
+    inputs_ta = all_basis_states_ta(2)
+    outcome = check_circuit_equivalence(reference, buggy, inputs_ta)
+    assert outcome.non_equivalent
+    inputs = replay_witness(reference, buggy, outcome.witness, inputs_ta)
+    assert inputs  # at least one distinguishing basis input
+    assert all(len(bits) == 2 for bits in inputs)
+
+
+def test_replay_returns_empty_for_unrelated_witness():
+    reference, buggy = _bell_pair()
+    unrelated = QuantumState.basis_state(2, "01")
+    assert replay_witness(reference, buggy, unrelated, zero_state_precondition(2)) == []
+
+
+# --------------------------------------------------------------------------- localisation
+def test_localise_divergence_points_at_injected_gate():
+    reference = Circuit(3).add("h", 0).add("cx", 0, 1).add("cx", 1, 2).add("t", 2)
+    gates = list(reference)
+    gates.insert(2, Gate("x", (1,)))  # bug injected at position 2
+    buggy = Circuit(3, gates, name="buggy")
+    assert localise_divergence(reference, buggy, (0, 0, 0)) == 2
+
+
+def test_localise_divergence_none_for_identical_prefix():
+    reference, buggy = _bell_pair()  # bug is an extra trailing gate
+    assert localise_divergence(reference, buggy, (0, 0)) is None
+
+
+def test_localise_divergence_on_replaced_gate():
+    reference = Circuit(2).add("x", 0).add("cx", 0, 1).add("s", 1)
+    gates = list(reference)
+    gates[2] = Gate("sdg", (1,))
+    buggy = Circuit(2, gates)
+    assert localise_divergence(reference, buggy, (0, 0)) == 2
+
+
+def test_localise_divergence_ignores_unaffected_inputs():
+    reference = Circuit(2).add("cx", 0, 1)
+    buggy = Circuit(2).add("cx", 0, 1).add("cz", 0, 1)
+    # from |00> the two circuits never diverge on the common prefix
+    assert localise_divergence(reference, buggy, (0, 0)) is None
+
+
+# --------------------------------------------------------------------------- full diagnosis
+def test_diagnose_renders_confirmed_report():
+    reference = Circuit(3).add("h", 0).add("cx", 0, 1).add("cx", 1, 2)
+    gates = list(reference)
+    gates.insert(1, Gate("y", (0,)))
+    buggy = Circuit(3, gates, name="buggy")
+    inputs_ta = basis_state_ta(3, "000")
+    outcome = check_circuit_equivalence(reference, buggy, inputs_ta)
+    assert outcome.non_equivalent
+    report = diagnose(reference, buggy, outcome.witness, inputs_ta)
+    assert report.confirmed
+    assert report.first_divergent_gate == 1
+    assert "y" in (report.divergent_gate or "")
+    rendered = report.render()
+    assert "confirmed" in rendered and "first divergent gate" in rendered
+
+
+def test_diagnose_unconfirmed_witness_renders_gracefully():
+    reference, buggy = _bell_pair()
+    report = diagnose(reference, buggy, QuantumState.basis_state(2, "10"), zero_state_precondition(2))
+    assert not report.confirmed
+    assert "NOT" in report.render()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_diagnose_random_injected_bugs(seed):
+    reference = Circuit(4, name="ref").add("h", 0).add("cx", 0, 1).add("ccx", 0, 1, 2).add("t", 3).add("cx", 2, 3)
+    buggy, mutation = inject_random_gate(reference, seed=seed)
+    inputs_ta = all_basis_states_ta(4)
+    outcome = check_circuit_equivalence(reference, buggy, inputs_ta)
+    if not outcome.non_equivalent:
+        pytest.skip("this mutation does not change the output set (e.g. a global phase)")
+    report = diagnose(reference, buggy, outcome.witness, inputs_ta)
+    assert report.confirmed

@@ -1,0 +1,124 @@
+"""Tests for the circuit execution engine (Hybrid / Composition / Permutation modes)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, Gate, random_circuit
+from repro.core.engine import AnalysisMode, CircuitEngine, run_circuit
+from repro.core.formulas import apply_gate_to_state
+from repro.simulator import StateVectorSimulator
+from repro.states import QuantumState
+from repro.ta import basis_product_ta, basis_state_ta, check_equivalence, from_quantum_state, from_quantum_states
+
+
+def reference_output(circuit, input_states):
+    simulator = StateVectorSimulator()
+    return from_quantum_states([simulator.run(circuit, state) for state in input_states])
+
+
+class TestEngineConfiguration:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitEngine(mode="turbo")
+
+    def test_width_mismatch_rejected(self):
+        engine = CircuitEngine()
+        with pytest.raises(ValueError):
+            engine.run(Circuit(3).add("h", 0), basis_state_ta(2, "00"))
+
+    def test_swap_must_be_decomposed_for_apply_gate(self):
+        engine = CircuitEngine()
+        with pytest.raises(ValueError):
+            engine.apply_gate(basis_state_ta(2, "00"), Gate("swap", (0, 1)))
+
+    def test_run_accepts_swap_via_decomposition(self):
+        circuit = Circuit(2).add("swap", 0, 1)
+        result = run_circuit(circuit, basis_state_ta(2, "01"))
+        assert result.output.accepts(QuantumState.basis_state(2, "10"))
+
+    def test_permutation_mode_rejects_hadamard(self):
+        from repro.core.permutation import PermutationUnsupported
+
+        engine = CircuitEngine(mode=AnalysisMode.PERMUTATION)
+        with pytest.raises(PermutationUnsupported):
+            engine.run(Circuit(2).add("h", 0), basis_state_ta(2, "00"))
+
+
+class TestStatistics:
+    def test_statistics_counts_gate_kinds(self):
+        circuit = Circuit(2).add("h", 0).add("cx", 0, 1).add("t", 1)
+        result = run_circuit(circuit, basis_state_ta(2, "00"), mode=AnalysisMode.HYBRID)
+        stats = result.statistics
+        assert stats.gates_total == 3
+        assert stats.gates_permutation == 2  # cx and t
+        assert stats.gates_composition == 1  # h
+        assert len(stats.per_gate_seconds) == 3
+        assert stats.max_states >= 1
+        assert stats.analysis_seconds >= 0
+
+    def test_composition_mode_uses_composition_for_everything(self):
+        circuit = Circuit(2).add("x", 0).add("cx", 0, 1)
+        result = run_circuit(circuit, basis_state_ta(2, "00"), mode=AnalysisMode.COMPOSITION)
+        assert result.statistics.gates_composition == 2
+        assert result.statistics.gates_permutation == 0
+
+    def test_mode_is_recorded(self):
+        result = run_circuit(Circuit(2).add("x", 0), basis_state_ta(2, "00"))
+        assert result.mode == AnalysisMode.HYBRID
+
+
+class TestEngineCorrectness:
+    def test_epr_circuit_produces_bell_state(self, epr_circuit, simulator):
+        result = run_circuit(epr_circuit, basis_state_ta(2, "00"))
+        expected = simulator.run(epr_circuit, QuantumState.zero_state(2))
+        assert result.output.accepts(expected)
+        assert len(result.output.enumerate_states()) == 1
+
+    def test_ghz_circuit(self, ghz_circuit, simulator):
+        result = run_circuit(ghz_circuit, basis_state_ta(3, "000"))
+        expected = simulator.run(ghz_circuit, QuantumState.zero_state(3))
+        assert check_equivalence(result.output, from_quantum_state(expected)).equivalent
+
+    def test_hybrid_falls_back_for_reversed_cnot(self, simulator):
+        circuit = Circuit(2).add("x", 1).add("cx", 1, 0)  # control below target
+        result = run_circuit(circuit, basis_state_ta(2, "00"))
+        expected = simulator.run(circuit, QuantumState.zero_state(2))
+        assert result.output.accepts(expected)
+        assert result.statistics.gates_composition >= 1
+
+    def test_no_reduction_option_gives_same_language(self):
+        circuit = random_circuit(3, num_gates=8, seed=5)
+        reduced = run_circuit(circuit, basis_state_ta(3, "000"), reduce_after_each_gate=True)
+        unreduced = run_circuit(circuit, basis_state_ta(3, "000"), reduce_after_each_gate=False)
+        assert check_equivalence(reduced.output, unreduced.output).equivalent
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=15, deadline=None)
+    def test_hybrid_matches_simulator_on_random_circuits(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        num_qubits = rng.randint(2, 4)
+        circuit = random_circuit(num_qubits, num_gates=10, seed=seed)
+        allowed = [rng.choice([{0}, {1}, {0, 1}]) for _ in range(num_qubits)]
+        inputs = basis_product_ta(num_qubits, allowed)
+        input_states = inputs.enumerate_states()
+        result = run_circuit(circuit, inputs, mode=AnalysisMode.HYBRID)
+        assert check_equivalence(result.output, reference_output(circuit, input_states)).equivalent
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=8, deadline=None)
+    def test_composition_matches_simulator_on_random_circuits(self, seed):
+        circuit = random_circuit(3, num_gates=8, seed=seed)
+        inputs = basis_state_ta(3, "000")
+        result = run_circuit(circuit, inputs, mode=AnalysisMode.COMPOSITION)
+        expected = reference_output(circuit, [QuantumState.zero_state(3)])
+        assert check_equivalence(result.output, expected).equivalent
+
+    def test_hybrid_and_composition_agree(self):
+        circuit = random_circuit(3, num_gates=12, seed=77)
+        inputs = basis_product_ta(3, [{0, 1}, {0}, {0, 1}])
+        hybrid = run_circuit(circuit, inputs, mode=AnalysisMode.HYBRID)
+        composition = run_circuit(circuit, inputs, mode=AnalysisMode.COMPOSITION)
+        assert check_equivalence(hybrid.output, composition.output).equivalent

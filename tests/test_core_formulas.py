@@ -1,0 +1,121 @@
+"""Tests validating the symbolic update formulae (Theorem 4.1 of the paper).
+
+The formulae of Table 1 are checked against the matrix semantics of Appendix A
+via the independent exact simulator, on basis states and on random
+superpositions.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE, AlgebraicNumber
+from repro.circuits import Gate, random_circuit
+from repro.core.formulas import apply_formula_to_state, apply_gate_to_state, formula_for
+from repro.simulator import StateVectorSimulator
+from repro.states import QuantumState
+
+SINGLE_QUBIT_KINDS = ["x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry"]
+
+
+def random_exact_state(num_qubits: int, seed: int) -> QuantumState:
+    """A deterministic pseudo-random exact state (not necessarily normalised)."""
+    import random
+
+    rng = random.Random(seed)
+    state = QuantumState(num_qubits)
+    for bits in itertools.product((0, 1), repeat=num_qubits):
+        if rng.random() < 0.6:
+            state[bits] = AlgebraicNumber(
+                rng.randint(-2, 2), rng.randint(-2, 2), rng.randint(-2, 2), rng.randint(-2, 2), rng.randint(0, 2)
+            )
+    if not state:
+        state[(0,) * num_qubits] = ONE
+    return state
+
+
+class TestFormulaStructure:
+    def test_every_supported_gate_has_a_formula(self):
+        for kind in SINGLE_QUBIT_KINDS:
+            formula = formula_for(Gate(kind, (0,)))
+            assert formula.gate_kind == kind
+            assert formula.terms
+        assert len(formula_for(Gate("cx", (0, 1))).terms) == 3
+        assert len(formula_for(Gate("ccx", (0, 1, 2))).terms) == 4
+
+    def test_h_and_rotations_divide_by_sqrt2(self):
+        for kind in ("h", "rx", "ry"):
+            assert formula_for(Gate(kind, (0,))).sqrt2_divisions == 1
+        assert formula_for(Gate("x", (0,))).sqrt2_divisions == 0
+
+    def test_swap_has_no_formula(self):
+        with pytest.raises(ValueError):
+            formula_for(Gate("swap", (0, 1)))
+
+    def test_term_sign_validation(self):
+        from repro.core.formulas import Term
+
+        with pytest.raises(ValueError):
+            Term(sign=2)
+
+
+class TestTheorem41SingleQubit:
+    """Formula semantics == matrix semantics on every 2-qubit basis state."""
+
+    @pytest.mark.parametrize("kind", SINGLE_QUBIT_KINDS)
+    @pytest.mark.parametrize("target", [0, 1])
+    def test_on_basis_states(self, kind, target, simulator):
+        gate = Gate(kind, (target,))
+        for index in range(4):
+            state = QuantumState.basis_state(2, index)
+            assert apply_gate_to_state(gate, state) == simulator.apply_gate(state, gate)
+
+    @pytest.mark.parametrize("kind", SINGLE_QUBIT_KINDS)
+    def test_on_random_superpositions(self, kind, simulator):
+        gate = Gate(kind, (1,))
+        for seed in range(5):
+            state = random_exact_state(3, seed)
+            assert apply_gate_to_state(gate, state) == simulator.apply_gate(state, gate)
+
+
+class TestTheorem41MultiQubit:
+    @pytest.mark.parametrize("kind,qubits", [
+        ("cx", (0, 1)), ("cx", (1, 0)), ("cx", (0, 2)),
+        ("cz", (0, 1)), ("cz", (2, 1)),
+        ("ccx", (0, 1, 2)), ("ccx", (2, 0, 1)),
+    ])
+    def test_on_all_basis_states(self, kind, qubits, simulator):
+        gate = Gate(kind, qubits)
+        for index in range(8):
+            state = QuantumState.basis_state(3, index)
+            assert apply_gate_to_state(gate, state) == simulator.apply_gate(state, gate)
+
+    @pytest.mark.parametrize("kind,qubits", [("cx", (1, 0)), ("cz", (0, 2)), ("ccx", (0, 2, 1))])
+    def test_on_random_superpositions(self, kind, qubits, simulator):
+        gate = Gate(kind, qubits)
+        for seed in range(5):
+            state = random_exact_state(3, seed + 50)
+            assert apply_gate_to_state(gate, state) == simulator.apply_gate(state, gate)
+
+
+class TestWholeCircuits:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_formula_execution_matches_simulator_on_random_circuits(self, seed):
+        simulator = StateVectorSimulator()
+        circuit = random_circuit(3, num_gates=10, seed=seed)
+        state = QuantumState.zero_state(3)
+        expected = simulator.run(circuit, state)
+        actual = state
+        for gate in circuit:
+            actual = apply_gate_to_state(gate, actual)
+        assert actual == expected
+
+    def test_unitarity_is_preserved(self, simulator):
+        circuit = random_circuit(3, num_gates=20, seed=9)
+        state = QuantumState.zero_state(3)
+        for gate in circuit:
+            state = apply_gate_to_state(gate, state)
+        assert state.norm_squared() == ONE

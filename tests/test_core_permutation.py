@@ -1,0 +1,128 @@
+"""Tests for the permutation-based gate encoding (Theorems 5.1 - 5.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Gate
+from repro.core.formulas import apply_gate_to_state
+from repro.core.permutation import (
+    PermutationUnsupported,
+    apply_permutation_gate,
+    supports_permutation,
+)
+from repro.states import QuantumState
+from repro.ta import (
+    all_basis_states_ta,
+    basis_product_ta,
+    basis_state_ta,
+    check_equivalence,
+    from_quantum_state,
+    from_quantum_states,
+)
+
+PERMUTATION_SINGLE = ["x", "y", "z", "s", "sdg", "t", "tdg"]
+
+
+def expected_automaton(automaton, gate):
+    """Reference result: apply the gate to every accepted tree explicitly."""
+    states = automaton.enumerate_states(limit=64)
+    return from_quantum_states([apply_gate_to_state(gate, s) for s in states])
+
+
+class TestSupportPredicate:
+    def test_single_qubit_gates_supported(self):
+        for kind in PERMUTATION_SINGLE:
+            assert supports_permutation(Gate(kind, (0,)))
+
+    def test_h_and_rotations_unsupported(self):
+        for kind in ("h", "rx", "ry"):
+            assert not supports_permutation(Gate(kind, (0,)))
+
+    def test_controlled_gates_require_control_below_target(self):
+        assert supports_permutation(Gate("cx", (0, 1)))
+        assert not supports_permutation(Gate("cx", (1, 0)))
+        assert supports_permutation(Gate("cz", (1, 0)))  # CZ is symmetric
+        assert supports_permutation(Gate("ccx", (0, 1, 2)))
+        assert not supports_permutation(Gate("ccx", (0, 2, 1)))
+
+    def test_apply_raises_on_unsupported(self):
+        automaton = basis_state_ta(2, "00")
+        with pytest.raises(PermutationUnsupported):
+            apply_permutation_gate(automaton, Gate("h", (0,)))
+        with pytest.raises(PermutationUnsupported):
+            apply_permutation_gate(automaton, Gate("cx", (1, 0)))
+        with pytest.raises(PermutationUnsupported):
+            apply_permutation_gate(automaton, Gate("ccx", (0, 2, 1)))
+
+
+class TestTheorem51And52SingleQubit:
+    @pytest.mark.parametrize("kind", PERMUTATION_SINGLE)
+    @pytest.mark.parametrize("target", [0, 1, 2])
+    def test_on_all_basis_states(self, kind, target):
+        automaton = all_basis_states_ta(3)
+        gate = Gate(kind, (target,))
+        result = apply_permutation_gate(automaton, gate)
+        assert check_equivalence(result, expected_automaton(automaton, gate)).equivalent
+
+    @pytest.mark.parametrize("kind", PERMUTATION_SINGLE)
+    def test_on_single_basis_state(self, kind):
+        automaton = basis_state_ta(3, "101")
+        gate = Gate(kind, (1,))
+        result = apply_permutation_gate(automaton, gate)
+        expected = from_quantum_state(apply_gate_to_state(gate, QuantumState.basis_state(3, "101")))
+        assert check_equivalence(result, expected).equivalent
+
+    def test_x_only_swaps_children(self):
+        automaton = basis_state_ta(2, "00")
+        result = apply_permutation_gate(automaton, Gate("x", (0,)))
+        assert result.num_states == automaton.num_states
+        assert result.accepts(QuantumState.basis_state(2, "10"))
+
+
+class TestTheorem53Controlled:
+    @pytest.mark.parametrize("gate", [
+        Gate("cx", (0, 1)), Gate("cx", (0, 2)), Gate("cx", (1, 2)),
+        Gate("cz", (0, 1)), Gate("cz", (1, 0)), Gate("cz", (2, 0)),
+        Gate("ccx", (0, 1, 2)), Gate("ccx", (1, 0, 2)),
+    ])
+    def test_on_all_basis_states(self, gate):
+        automaton = all_basis_states_ta(3)
+        result = apply_permutation_gate(automaton, gate)
+        assert check_equivalence(result, expected_automaton(automaton, gate)).equivalent
+
+    def test_on_product_form_sets(self):
+        automaton = basis_product_ta(4, [{0, 1}, {0}, {0, 1}, {1}])
+        for gate in (Gate("cx", (0, 3)), Gate("ccx", (0, 2, 3)), Gate("cz", (3, 0))):
+            result = apply_permutation_gate(automaton, gate)
+            assert check_equivalence(result, expected_automaton(automaton, gate)).equivalent
+
+    def test_on_superposition_states(self):
+        from repro.algebraic import SQRT2_INV
+
+        plus_minus = QuantumState(2, {(0, 0): SQRT2_INV, (1, 0): -SQRT2_INV})
+        automaton = from_quantum_state(plus_minus)
+        gate = Gate("cx", (0, 1))
+        result = apply_permutation_gate(automaton, gate)
+        expected = from_quantum_state(apply_gate_to_state(gate, plus_minus))
+        assert check_equivalence(result, expected).equivalent
+
+
+class TestRandomisedAgainstReference:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_random_permutation_gate_on_random_sets(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        num_qubits = rng.randint(2, 4)
+        allowed = [rng.choice([{0}, {1}, {0, 1}]) for _ in range(num_qubits)]
+        automaton = basis_product_ta(num_qubits, allowed)
+        kind = rng.choice(PERMUTATION_SINGLE + ["cx", "cz", "ccx"])
+        arity = {"cx": 2, "cz": 2, "ccx": 3}.get(kind, 1)
+        if arity > num_qubits:
+            kind, arity = "x", 1
+        qubits = sorted(rng.sample(range(num_qubits), arity))
+        gate = Gate(kind, tuple(qubits))
+        result = apply_permutation_gate(automaton, gate)
+        assert check_equivalence(result, expected_automaton(automaton, gate)).equivalent

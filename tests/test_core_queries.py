@@ -1,0 +1,221 @@
+"""Tests for the TA analysis queries (amplitudes, support, constants, measurement)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE, ZERO, AlgebraicNumber
+from repro.circuits import Circuit
+from repro.core import (
+    amplitudes_at_basis,
+    constant_output,
+    measurement_probability_bounds,
+    outcome_is_certain,
+    possible_support,
+    post_measurement_automaton,
+    run_circuit,
+    zero_state_precondition,
+)
+from repro.simulator import StateVectorSimulator
+from repro.simulator.measurement import collapse, measurement_probability
+from repro.states import QuantumState
+from repro.ta import (
+    all_basis_states_ta,
+    basis_state_ta,
+    check_equivalence,
+    from_quantum_state,
+    from_quantum_states,
+)
+
+HALF_SQRT = AlgebraicNumber(1, 0, 0, 0, 1)  # 1/sqrt(2)
+
+
+def _bell_output():
+    circuit = Circuit(2, name="epr").add("h", 0).add("cx", 0, 1)
+    return run_circuit(circuit, zero_state_precondition(2)).output
+
+
+# --------------------------------------------------------------------------- amplitudes_at_basis
+def test_amplitudes_at_basis_single_state():
+    automaton = basis_state_ta(3, "101")
+    assert amplitudes_at_basis(automaton, "101") == frozenset({ONE})
+    assert amplitudes_at_basis(automaton, "000") == frozenset({ZERO})
+
+
+def test_amplitudes_at_basis_over_all_basis_states():
+    automaton = all_basis_states_ta(2)
+    # at any position, some accepted state has amplitude 1 and another has 0
+    assert amplitudes_at_basis(automaton, "00") == frozenset({ZERO, ONE})
+    assert amplitudes_at_basis(automaton, "11") == frozenset({ZERO, ONE})
+
+
+def test_amplitudes_at_basis_of_bell_output():
+    output = _bell_output()
+    assert amplitudes_at_basis(output, "00") == frozenset({HALF_SQRT})
+    assert amplitudes_at_basis(output, "11") == frozenset({HALF_SQRT})
+    assert amplitudes_at_basis(output, "01") == frozenset({ZERO})
+
+
+def test_amplitudes_at_basis_accepts_integer_indices():
+    automaton = basis_state_ta(2, 2)
+    assert amplitudes_at_basis(automaton, 2) == frozenset({ONE})
+
+
+# --------------------------------------------------------------------------- possible_support
+def test_possible_support_single_basis_state():
+    automaton = basis_state_ta(3, "010")
+    assert possible_support(automaton) == frozenset({(0, 1, 0)})
+
+
+def test_possible_support_of_bell_output():
+    assert possible_support(_bell_output()) == frozenset({(0, 0), (1, 1)})
+
+
+def test_possible_support_union_over_language():
+    states = [QuantumState.basis_state(3, index) for index in (1, 4)]
+    automaton = from_quantum_states(states)
+    assert possible_support(automaton) == frozenset({(0, 0, 1), (1, 0, 0)})
+
+
+def test_possible_support_respects_limit():
+    with pytest.raises(ValueError):
+        possible_support(all_basis_states_ta(4), limit=3)
+
+
+# --------------------------------------------------------------------------- constant_output
+def test_constant_output_of_singleton_language():
+    state = QuantumState.basis_state(2, 3)
+    assert constant_output(from_quantum_state(state)) == state
+
+
+def test_constant_output_none_for_larger_language():
+    assert constant_output(all_basis_states_ta(2)) is None
+
+
+def test_bv_like_circuit_is_constant_over_single_input():
+    circuit = Circuit(2).add("x", 0).add("cx", 0, 1)
+    output = run_circuit(circuit, zero_state_precondition(2)).output
+    assert constant_output(output) == QuantumState.basis_state(2, "11")
+
+
+def test_cx_is_not_constant_over_all_basis_inputs():
+    circuit = Circuit(2).add("cx", 0, 1)
+    output = run_circuit(circuit, all_basis_states_ta(2)).output
+    assert constant_output(output) is None
+
+
+# --------------------------------------------------------------------------- outcome certainty
+def test_outcome_certain_for_basis_state():
+    automaton = basis_state_ta(3, "110")
+    assert outcome_is_certain(automaton, 0, 1)
+    assert outcome_is_certain(automaton, 1, 1)
+    assert outcome_is_certain(automaton, 2, 0)
+    assert not outcome_is_certain(automaton, 0, 0)
+
+
+def test_outcome_not_certain_after_hadamard():
+    circuit = Circuit(1).add("h", 0)
+    output = run_circuit(circuit, zero_state_precondition(1)).output
+    assert not outcome_is_certain(output, 0, 0)
+    assert not outcome_is_certain(output, 0, 1)
+
+
+def test_outcome_certain_on_ancilla_of_bell_circuit():
+    # |0> ancilla untouched by the circuit stays |0> with certainty
+    circuit = Circuit(3).add("h", 0).add("cx", 0, 1)
+    output = run_circuit(circuit, zero_state_precondition(3)).output
+    assert outcome_is_certain(output, 2, 0)
+    assert not outcome_is_certain(output, 0, 0)
+
+
+def test_outcome_certainty_rejects_bad_value():
+    with pytest.raises(ValueError):
+        outcome_is_certain(basis_state_ta(1, 0), 0, 2)
+
+
+def test_outcome_certainty_over_mixed_language():
+    states = [QuantumState.basis_state(2, "10"), QuantumState.basis_state(2, "11")]
+    automaton = from_quantum_states(states)
+    assert outcome_is_certain(automaton, 0, 1)      # first qubit is 1 in every state
+    assert not outcome_is_certain(automaton, 1, 0)  # second qubit varies
+
+
+# --------------------------------------------------------------------------- probability bounds
+def test_probability_bounds_of_bell_output():
+    low, high = measurement_probability_bounds(_bell_output(), 0, 0)
+    assert low == pytest.approx(0.5)
+    assert high == pytest.approx(0.5)
+
+
+def test_probability_bounds_over_all_basis_states():
+    low, high = measurement_probability_bounds(all_basis_states_ta(2), 0, 0)
+    assert low == pytest.approx(0.0)
+    assert high == pytest.approx(1.0)
+
+
+def test_probability_bounds_raise_on_empty_language():
+    from repro.ta.automaton import TreeAutomaton
+
+    with pytest.raises(ValueError):
+        measurement_probability_bounds(TreeAutomaton(1, set(), {}, {}), 0, 0)
+
+
+def test_probability_bounds_match_simulator(simulator):
+    circuit = Circuit(2).add("h", 0).add("t", 0).add("cx", 0, 1)
+    output = run_circuit(circuit, zero_state_precondition(2)).output
+    state = simulator.run(circuit, QuantumState.zero_state(2))
+    low, high = measurement_probability_bounds(output, 1, 1)
+    assert low == pytest.approx(measurement_probability(state, 1, 1))
+    assert high == pytest.approx(low)
+
+
+# --------------------------------------------------------------------------- post-measurement TA
+def test_post_measurement_of_bell_output_keeps_one_branch():
+    collapsed = post_measurement_automaton(_bell_output(), 0, 0)
+    expected = QuantumState(2, {(0, 0): HALF_SQRT})
+    assert check_equivalence(collapsed, from_quantum_state(expected)).equivalent
+
+
+def test_post_measurement_matches_unnormalised_collapse(simulator):
+    circuit = Circuit(2).add("h", 0).add("cx", 0, 1).add("t", 1)
+    output = run_circuit(circuit, zero_state_precondition(2)).output
+    collapsed_ta = post_measurement_automaton(output, 1, 1)
+    state = simulator.run(circuit, QuantumState.zero_state(2))
+    unnormalised = QuantumState(
+        2, {bits: amp for bits, amp in state.items() if bits[1] == 1}
+    )
+    assert check_equivalence(collapsed_ta, from_quantum_state(unnormalised)).equivalent
+
+
+def test_post_measurement_rejects_bad_outcome():
+    with pytest.raises(ValueError):
+        post_measurement_automaton(basis_state_ta(1, 0), 0, 5)
+
+
+def test_post_measurement_then_certainty():
+    collapsed = post_measurement_automaton(_bell_output(), 0, 1)
+    assert outcome_is_certain(collapsed, 1, 1)
+
+
+# --------------------------------------------------------------------------- property-based
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=2))
+def test_property_amplitude_query_matches_enumeration(index, qubit):
+    num_qubits = 3
+    states = [
+        QuantumState.basis_state(num_qubits, index),
+        QuantumState.basis_state(num_qubits, (index + 3) % 8),
+    ]
+    automaton = from_quantum_states(states)
+    for position in range(1 << num_qubits):
+        expected = frozenset(state[position] for state in states)
+        assert amplitudes_at_basis(automaton, position) == expected
+    # certainty agrees with a direct check over the enumerated states
+    for value in (0, 1):
+        brute = all(
+            all(bits[qubit] == value for bits, amp in state.items() if not amp.is_zero())
+            for state in states
+        )
+        assert outcome_is_certain(automaton, qubit, value) == brute

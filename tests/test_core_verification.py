@@ -1,0 +1,105 @@
+"""Tests for ``{P} C {Q}`` triple verification and witness diagnosis."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.core import (
+    AnalysisMode,
+    bell_postcondition,
+    basis_state_precondition,
+    classical_product_condition,
+    states_condition,
+    verify_triple,
+    zero_state_precondition,
+)
+from repro.core.specs import bell_pair_state
+from repro.simulator import StateVectorSimulator
+from repro.states import QuantumState
+from repro.ta import all_basis_states_ta, basis_state_ta
+
+
+class TestSpecHelpers:
+    def test_zero_state_precondition(self):
+        automaton = zero_state_precondition(3)
+        assert automaton.accepts(QuantumState.zero_state(3))
+        assert len(automaton.enumerate_states()) == 1
+
+    def test_basis_state_precondition(self):
+        automaton = basis_state_precondition(3, "101")
+        assert automaton.accepts(QuantumState.basis_state(3, "101"))
+
+    def test_classical_product_condition(self):
+        automaton = classical_product_condition([{0, 1}, {1}])
+        assert len(automaton.enumerate_states()) == 2
+
+    def test_states_condition(self):
+        automaton = states_condition([bell_pair_state()])
+        assert automaton.accepts(bell_pair_state())
+
+    def test_bell_pair_state_is_normalised(self):
+        assert bell_pair_state().is_normalised()
+
+
+class TestVerifyTriple:
+    def test_bell_triple_holds(self, epr_circuit):
+        result = verify_triple(zero_state_precondition(2), epr_circuit, bell_postcondition())
+        assert result.holds
+        assert result.witness is None
+        assert result.check == "equivalence"
+        assert bool(result)
+
+    def test_buggy_bell_circuit_is_caught(self):
+        buggy = Circuit(2).add("h", 0)  # missing the CNOT
+        result = verify_triple(zero_state_precondition(2), buggy, bell_postcondition())
+        assert not result.holds
+        assert result.witness is not None
+        assert result.witness_kind in ("reachable-but-forbidden", "unreachable-but-required")
+
+    def test_witness_is_validated_by_the_simulator(self, simulator):
+        buggy = Circuit(2).add("h", 0).add("cx", 0, 1).add("z", 1)
+        result = verify_triple(zero_state_precondition(2), buggy, bell_postcondition())
+        assert not result.holds
+        if result.witness_kind == "reachable-but-forbidden":
+            # the witness must really be the circuit's output on the precondition state
+            actual = simulator.run(buggy, QuantumState.zero_state(2))
+            assert result.witness == actual
+
+    def test_inclusion_only_mode(self, epr_circuit):
+        # outputs = {Bell}; Q = all basis states plus Bell -> inclusion holds, equality fails
+        permissive = bell_postcondition().union(all_basis_states_ta(2))
+        inclusion = verify_triple(
+            zero_state_precondition(2), epr_circuit, permissive, inclusion_only=True
+        )
+        assert inclusion.holds
+        assert inclusion.check == "inclusion"
+        equality = verify_triple(zero_state_precondition(2), epr_circuit, permissive)
+        assert not equality.holds
+        assert equality.witness_kind == "unreachable-but-required"
+
+    def test_composition_mode_agrees(self, epr_circuit):
+        result = verify_triple(
+            zero_state_precondition(2), epr_circuit, bell_postcondition(), mode=AnalysisMode.COMPOSITION
+        )
+        assert result.holds
+
+    def test_identity_circuit_on_basis_set(self):
+        circuit = Circuit(3).add("x", 0).add("x", 0)  # identity overall
+        condition = classical_product_condition([{0, 1}, {0}, {0, 1}])
+        result = verify_triple(condition, circuit, condition)
+        assert result.holds
+
+    def test_statistics_are_populated(self, epr_circuit):
+        result = verify_triple(zero_state_precondition(2), epr_circuit, bell_postcondition())
+        assert result.statistics.gates_total == 2
+        assert result.comparison_seconds >= 0
+        assert result.output.num_states > 0
+
+    def test_constant_detection_use_case(self):
+        # "finding constants": running X on every input of a free qubit maps the
+        # set {|0>,|1>} onto itself, but maps {|0>} to {|1>} only.
+        circuit = Circuit(1).add("x", 0)
+        free_input = classical_product_condition([{0, 1}])
+        assert verify_triple(free_input, circuit, free_input).holds
+        zero_only = basis_state_ta(1, "0")
+        result = verify_triple(zero_only, circuit, zero_only)
+        assert not result.holds

@@ -1,0 +1,149 @@
+"""End-to-end integration tests reproducing the paper's workflows in miniature.
+
+These tests exercise the whole pipeline — benchmark generation, the TA engine,
+equivalence checking, witness validation on the simulator, and the baselines —
+on laptop-sized instances of the experiments in Section 7.
+"""
+
+import pytest
+
+from repro.baselines import PathSumChecker, PathSumVerdict, RandomStimuliChecker, StimuliVerdict
+from repro.benchgen import (
+    bv_benchmark,
+    feynman_suite,
+    grover_all_benchmark,
+    grover_single_benchmark,
+    mctoffoli_benchmark,
+    revlib_suite,
+)
+from repro.circuits import inject_random_gate, random_circuit
+from repro.core import AnalysisMode, IncrementalBugHunter, check_circuit_equivalence, verify_triple
+from repro.simulator import StateVectorSimulator
+from repro.states import QuantumState
+from repro.ta import basis_state_ta, check_equivalence, from_quantum_states
+
+
+class TestTable2Workflow:
+    """Verification against pre/post-conditions (the Table 2 use case)."""
+
+    @pytest.mark.parametrize("size", [3, 6])
+    def test_bv_hybrid_and_composition(self, size):
+        benchmark = bv_benchmark(size)
+        for mode in (AnalysisMode.HYBRID, AnalysisMode.COMPOSITION):
+            result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition, mode=mode)
+            assert result.holds, f"{benchmark.name} failed in mode {mode}"
+
+    def test_grover_single_verification(self):
+        benchmark = grover_single_benchmark(3)
+        result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition)
+        assert result.holds
+        # the output TA represents exactly one quantum state
+        assert len(result.output.enumerate_states()) == 1
+
+    def test_grover_all_verification(self):
+        benchmark = grover_all_benchmark(2)
+        result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition)
+        assert result.holds
+        # one output state per oracle
+        assert len(result.output.enumerate_states()) == 4
+
+    def test_mctoffoli_verification(self):
+        benchmark = mctoffoli_benchmark(5)
+        result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition)
+        assert result.holds
+        # the permutation-based encoding should handle every gate (Hybrid = cheap)
+        assert result.statistics.gates_composition == 0
+
+    def test_output_ta_agrees_with_simulator_sweep(self):
+        """The TA output-set equals the set of per-basis-state simulator outputs."""
+        benchmark = mctoffoli_benchmark(3)
+        simulator = StateVectorSimulator()
+        expected = from_quantum_states(
+            [simulator.run(benchmark.circuit, state) for state in benchmark.precondition.enumerate_states()]
+        )
+        result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition)
+        assert check_equivalence(result.output, expected).equivalent
+
+    def test_injected_bug_breaks_the_triple_and_witness_validates(self):
+        benchmark = bv_benchmark(5)
+        buggy, _ = inject_random_gate(benchmark.circuit, seed=13)
+        result = verify_triple(benchmark.precondition, buggy, benchmark.postcondition)
+        if result.holds:
+            pytest.skip("this particular mutation happens to preserve the specification")
+        witness = result.witness
+        assert witness is not None
+        simulator = StateVectorSimulator()
+        reachable = simulator.run(buggy, QuantumState.zero_state(buggy.num_qubits))
+        if result.witness_kind == "reachable-but-forbidden":
+            assert witness == reachable
+            assert not benchmark.postcondition.accepts(witness)
+        else:
+            assert benchmark.postcondition.accepts(witness)
+
+
+class TestTable3Workflow:
+    """Bug finding by output-set comparison (the Table 3 use case)."""
+
+    def test_bug_hunting_on_feynman_style_circuits(self):
+        suite = feynman_suite()
+        name, circuit = sorted(suite.items())[0]
+        buggy, _ = inject_random_gate(circuit, seed=1)
+        hunter = IncrementalBugHunter(seed=0, max_iterations=circuit.num_qubits + 1)
+        result = hunter.hunt(circuit, buggy)
+        assert result.bug_found, f"bug not found in {name}"
+
+    def test_bug_hunting_on_revlib_style_circuits(self):
+        suite = revlib_suite()
+        circuit = suite[sorted(suite)[0]]
+        buggy, _ = inject_random_gate(circuit, seed=2)
+        result = IncrementalBugHunter(seed=0).hunt(circuit, buggy)
+        assert result.bug_found
+
+    def test_bug_hunting_on_random_circuits(self):
+        circuit = random_circuit(6, seed=100)
+        buggy, _ = inject_random_gate(circuit, seed=101)
+        result = IncrementalBugHunter(seed=0).hunt(circuit, buggy)
+        assert result.bug_found
+        # the witness distinguishes the two output sets
+        assert result.witness is not None
+
+    def test_autoq_catches_bug_missed_by_basis_stimuli(self):
+        """The qualitative claim of Table 3: exact set comparison catches phase bugs
+        that random basis-state stimuli cannot observe."""
+        from repro.circuits import Circuit
+
+        reference = Circuit(3)
+        buggy = Circuit(3).add("cz", 0, 1)
+        stimuli = RandomStimuliChecker(num_stimuli=8, seed=5)
+        assert stimuli.check_equivalence(reference, buggy).verdict == StimuliVerdict.PROBABLY_EQUAL
+        # AutoQ-style check over a superposition input: prepare H on the controls first
+        probe = Circuit(3).add("h", 0).add("h", 1)
+        outcome = check_circuit_equivalence(
+            probe.concatenated(reference), probe.concatenated(buggy), basis_state_ta(3, "000")
+        )
+        assert outcome.non_equivalent
+
+    def test_pathsum_and_autoq_agree_on_classical_bug(self):
+        suite = revlib_suite()
+        circuit = suite[sorted(suite)[1]]
+        buggy, _ = inject_random_gate(circuit, seed=3, gate_pool=("x", "cx", "ccx"))
+        pathsum_verdict = PathSumChecker().check_equivalence(circuit, buggy).verdict
+        hunt = IncrementalBugHunter(seed=0).hunt(circuit, buggy)
+        assert hunt.bug_found
+        assert pathsum_verdict in (PathSumVerdict.NOT_EQUAL, PathSumVerdict.INCONCLUSIVE)
+
+
+class TestCrossValidation:
+    """Engine vs. simulator vs. formulas on a grid of circuits (Theorem 4.1 at scale)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_full_stack_agreement(self, seed):
+        simulator = StateVectorSimulator()
+        circuit = random_circuit(4, num_gates=16, seed=seed)
+        inputs = basis_state_ta(4, "0000")
+        engine_output = check_circuit_equivalence(circuit, circuit.copy(), inputs)
+        assert not engine_output.non_equivalent
+        expected = from_quantum_states([simulator.run(circuit, QuantumState.zero_state(4))])
+        from repro.core import run_circuit
+
+        assert check_equivalence(run_circuit(circuit, inputs).output, expected).equivalent

@@ -1,0 +1,174 @@
+"""Cross-cutting property-based tests on the framework's key invariants.
+
+These complement the per-module tests with hypothesis-driven properties that
+tie several subsystems together: gate transformers versus simulator semantics,
+reduction/serialization round-trips, unitarity preservation, and soundness of
+the bug-hunting answers.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE
+from repro.circuits import Gate, random_circuit
+from repro.core import apply_gate_to_state, run_circuit
+from repro.core.composition import apply_composition_gate
+from repro.core.permutation import apply_permutation_gate, supports_permutation
+from repro.simulator import StateVectorSimulator
+from repro.states import QuantumState
+from repro.ta import (
+    basis_product_ta,
+    check_equivalence,
+    check_inclusion,
+    from_quantum_state,
+    from_quantum_states,
+    serialization,
+)
+
+GATE_POOL = ["x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "cx", "cz", "ccx"]
+
+
+def _random_gate(rng: random.Random, num_qubits: int) -> Gate:
+    kind = rng.choice(GATE_POOL)
+    arity = {"cx": 2, "cz": 2, "ccx": 3}.get(kind, 1)
+    if arity > num_qubits:
+        kind, arity = "x", 1
+    return Gate(kind, tuple(rng.sample(range(num_qubits), arity)))
+
+
+def _random_input_ta(rng: random.Random, num_qubits: int):
+    allowed = [rng.choice([{0}, {1}, {0, 1}]) for _ in range(num_qubits)]
+    return basis_product_ta(num_qubits, allowed)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_single_gate_transformers_match_pointwise_semantics(seed):
+    """For both encodings: L(U(A)) == { U(T) | T in L(A) } (Theorems 5.x / 6.x)."""
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 4)
+    automaton = _random_input_ta(rng, num_qubits)
+    gate = _random_gate(rng, num_qubits)
+    expected = from_quantum_states(
+        [apply_gate_to_state(gate, state) for state in automaton.enumerate_states()]
+    )
+    via_composition = apply_composition_gate(automaton, gate).reduce()
+    assert check_equivalence(via_composition, expected).equivalent
+    if supports_permutation(gate):
+        via_permutation = apply_permutation_gate(automaton, gate).reduce()
+        assert check_equivalence(via_permutation, expected).equivalent
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_circuit_engine_matches_simulator_on_sets(seed):
+    """Engine output language == pointwise simulator image of the input language."""
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 4)
+    circuit = random_circuit(num_qubits, num_gates=3 * num_qubits, seed=seed)
+    inputs = _random_input_ta(rng, num_qubits)
+    simulator = StateVectorSimulator()
+    expected = from_quantum_states(
+        [simulator.run(circuit, state) for state in inputs.enumerate_states()]
+    )
+    result = run_circuit(circuit, inputs)
+    assert check_equivalence(result.output, expected).equivalent
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_engine_preserves_normalisation(seed):
+    """Every state reachable through the TA engine stays exactly normalised."""
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 3)
+    circuit = random_circuit(num_qubits, num_gates=8, seed=seed)
+    inputs = _random_input_ta(rng, num_qubits)
+    result = run_circuit(circuit, inputs)
+    for state in result.output.enumerate_states():
+        assert state.norm_squared() == ONE
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_reduction_preserves_language(seed):
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 4)
+    states = [
+        QuantumState.basis_state(num_qubits, rng.randrange(2 ** num_qubits))
+        for _ in range(rng.randint(1, 6))
+    ]
+    automaton = from_quantum_states(states, reduce=False)
+    reduced = automaton.reduce()
+    assert reduced.num_states <= automaton.num_states
+    assert check_equivalence(automaton, reduced).equivalent
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_serialization_roundtrip_preserves_language(seed):
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 4)
+    automaton = _random_input_ta(rng, num_qubits)
+    loaded = serialization.loads(serialization.dumps(automaton))
+    assert check_equivalence(automaton, loaded).equivalent
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_inclusion_is_a_partial_order_on_samples(seed):
+    rng = random.Random(seed)
+    num_qubits = 3
+    universe = [QuantumState.basis_state(num_qubits, i) for i in range(8)]
+    subset = rng.sample(universe, rng.randint(1, 4))
+    superset = subset + rng.sample(universe, rng.randint(1, 4))
+    small = from_quantum_states(subset)
+    large = from_quantum_states(superset)
+    assert check_inclusion(small, large).holds
+    assert check_inclusion(small, small).holds
+    if not check_inclusion(large, small).holds:
+        witness = check_inclusion(large, small).counterexample
+        assert large.accepts(witness) and not small.accepts(witness)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_gate_application_then_inverse_is_identity(seed):
+    """Applying U then U^{-1} through the engine returns the original language."""
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 3)
+    automaton = _random_input_ta(rng, num_qubits)
+    kind = rng.choice(["x", "y", "z", "h", "s", "t", "cx", "cz", "ccx"])
+    arity = {"cx": 2, "cz": 2, "ccx": 3}.get(kind, 1)
+    if arity > num_qubits:
+        kind, arity = "z", 1
+    gate = Gate(kind, tuple(rng.sample(range(num_qubits), arity)))
+    inverse = gate.dagger()
+    forward = apply_composition_gate(automaton, gate).reduce()
+    roundtrip = apply_composition_gate(forward, inverse).reduce()
+    assert check_equivalence(roundtrip, automaton).equivalent
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_witness_from_singleton_input_reproduces_on_simulator(seed):
+    """Bug-hunting soundness: a reported witness really separates the two circuits."""
+    from repro.circuits import inject_random_gate
+    from repro.core import check_circuit_equivalence
+    from repro.ta import basis_state_ta
+
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 4)
+    reference = random_circuit(num_qubits, num_gates=10, seed=seed)
+    buggy, _ = inject_random_gate(reference, seed=seed + 1)
+    inputs = basis_state_ta(num_qubits, (0,) * num_qubits)
+    outcome = check_circuit_equivalence(reference, buggy, inputs)
+    simulator = StateVectorSimulator()
+    ref_out = simulator.run(reference, QuantumState.zero_state(num_qubits))
+    bug_out = simulator.run(buggy, QuantumState.zero_state(num_qubits))
+    if outcome.non_equivalent:
+        assert ref_out != bug_out
+        assert outcome.witness in (ref_out, bug_out)
+    else:
+        assert ref_out == bug_out

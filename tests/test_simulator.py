@@ -1,0 +1,142 @@
+"""Tests for the exact sparse simulator, the dense simulator and measurement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE, SQRT2_INV
+from repro.circuits import Circuit, Gate, random_circuit
+from repro.simulator import (
+    StateVectorSimulator,
+    circuit_unitary,
+    collapse,
+    measurement_probability,
+    outcome_distribution,
+    simulate_basis_states,
+    simulate_circuit,
+    simulate_dense,
+    state_fidelity,
+)
+from repro.states import QuantumState
+
+
+class TestStateVectorSimulator:
+    def test_x_gate(self, simulator):
+        state = simulator.apply_gate(QuantumState.zero_state(2), Gate("x", (1,)))
+        assert state == QuantumState.basis_state(2, "01")
+
+    def test_hadamard_creates_superposition(self, simulator):
+        state = simulator.apply_gate(QuantumState.zero_state(1), Gate("h", (0,)))
+        assert state[(0,)] == SQRT2_INV
+        assert state[(1,)] == SQRT2_INV
+
+    def test_bell_preparation(self, simulator, epr_circuit):
+        state = simulator.run(epr_circuit, QuantumState.zero_state(2))
+        assert state == QuantumState(2, {(0, 0): SQRT2_INV, (1, 1): SQRT2_INV})
+
+    def test_swap_gate(self, simulator):
+        state = simulator.apply_gate(QuantumState.basis_state(2, "10"), Gate("swap", (0, 1)))
+        assert state == QuantumState.basis_state(2, "01")
+
+    def test_cswap_gate(self, simulator):
+        swapped = simulator.apply_gate(QuantumState.basis_state(3, "110"), Gate("cswap", (0, 1, 2)))
+        assert swapped == QuantumState.basis_state(3, "101")
+        untouched = simulator.apply_gate(QuantumState.basis_state(3, "010"), Gate("cswap", (0, 1, 2)))
+        assert untouched == QuantumState.basis_state(3, "010")
+
+    def test_run_on_basis(self, simulator, epr_circuit):
+        # H|1> = (|0> - |1>)/sqrt2, then CNOT entangles: (|00> - |11>)/sqrt2
+        state = simulator.run_on_basis(epr_circuit, "10")
+        assert state[(0, 0)] == SQRT2_INV
+        assert state[(1, 1)] == -SQRT2_INV
+        assert state[(1, 0)].is_zero()
+
+    def test_width_mismatch_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.run(Circuit(2).add("x", 0), QuantumState.zero_state(3))
+
+    def test_simulate_circuit_defaults_to_zero_state(self, ghz_circuit):
+        state = simulate_circuit(ghz_circuit)
+        assert state[(0, 0, 0)] == SQRT2_INV
+        assert state[(1, 1, 1)] == SQRT2_INV
+
+    def test_simulate_basis_states(self, epr_circuit):
+        results = simulate_basis_states(epr_circuit, ["00", "01"])
+        assert len(results) == 2
+        assert results[0][0] == (0, 0)
+        assert results[0][1].nonzero_count() == 2
+
+    def test_normalisation_is_preserved(self, simulator):
+        circuit = random_circuit(4, num_gates=20, seed=8)
+        state = simulator.run(circuit, QuantumState.zero_state(4))
+        assert state.norm_squared() == ONE
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_sparse_and_dense_simulators_agree(self, seed):
+        circuit = random_circuit(3, num_gates=12, seed=seed)
+        sparse = simulate_circuit(circuit).to_vector()
+        dense = simulate_dense(circuit)
+        assert np.allclose(sparse, dense, atol=1e-9)
+
+
+class TestDenseSimulator:
+    def test_circuit_unitary_of_x(self):
+        unitary = circuit_unitary(Circuit(1).add("x", 0))
+        assert np.allclose(unitary, np.array([[0, 1], [1, 0]]))
+
+    def test_circuit_unitary_is_unitary(self):
+        circuit = random_circuit(3, num_gates=10, seed=2)
+        unitary = circuit_unitary(circuit)
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(8), atol=1e-9)
+
+    def test_circuit_unitary_size_limit(self):
+        with pytest.raises(ValueError):
+            circuit_unitary(Circuit(20).add("x", 0))
+
+    def test_state_fidelity(self):
+        plus = np.array([1, 1]) / np.sqrt(2)
+        minus = np.array([1, -1]) / np.sqrt(2)
+        assert state_fidelity(plus, plus) == pytest.approx(1.0)
+        assert state_fidelity(plus, minus) == pytest.approx(0.0)
+
+    def test_initial_state_argument(self, epr_circuit):
+        # |10> -> (|00> - |11>)/sqrt2
+        vector = simulate_dense(epr_circuit, QuantumState.basis_state(2, "10"))
+        assert abs(vector[0]) == pytest.approx(1 / np.sqrt(2))
+        assert abs(vector[3]) == pytest.approx(1 / np.sqrt(2))
+        assert abs(vector[2]) == pytest.approx(0.0)
+
+
+class TestMeasurement:
+    def test_probability_of_bell_state(self, simulator, epr_circuit):
+        bell = simulator.run(epr_circuit, QuantumState.zero_state(2))
+        assert measurement_probability(bell, 0, 0) == pytest.approx(0.5)
+        assert measurement_probability(bell, 0, 1) == pytest.approx(0.5)
+
+    def test_probability_value_validation(self):
+        with pytest.raises(ValueError):
+            measurement_probability(QuantumState.zero_state(1), 0, 2)
+
+    def test_collapse_renormalises_power_of_two_probabilities(self, simulator, epr_circuit):
+        bell = simulator.run(epr_circuit, QuantumState.zero_state(2))
+        collapsed = collapse(bell, 0, 0)
+        assert collapsed == QuantumState.basis_state(2, "00")
+        assert collapsed.is_normalised()
+
+    def test_collapse_impossible_outcome_rejected(self):
+        state = QuantumState.basis_state(2, "00")
+        with pytest.raises(ValueError):
+            collapse(state, 0, 1)
+
+    def test_collapse_entangled_three_qubits(self, simulator, ghz_circuit):
+        ghz = simulator.run(ghz_circuit, QuantumState.zero_state(3))
+        collapsed = collapse(ghz, 1, 1)
+        assert collapsed == QuantumState.basis_state(3, "111")
+
+    def test_outcome_distribution_sums_to_one(self, simulator, ghz_circuit):
+        ghz = simulator.run(ghz_circuit, QuantumState.zero_state(3))
+        distribution = outcome_distribution(ghz)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert set(distribution) == {(0, 0, 0), (1, 1, 1)}

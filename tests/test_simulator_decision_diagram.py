@@ -1,0 +1,153 @@
+"""Tests for the decision-diagram simulator (the SliQSim-style representation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE, ZERO, AlgebraicNumber
+from repro.benchgen import bv_circuit, ghz_circuit, qft_circuit
+from repro.circuits import Circuit, Gate, random_circuit
+from repro.simulator import (
+    DDManager,
+    DDState,
+    DecisionDiagramSimulator,
+    StateVectorSimulator,
+    simulate_circuit,
+    simulate_decision_diagram,
+)
+from repro.states import QuantumState, int_to_bits
+
+HALF_SQRT = AlgebraicNumber(1, 0, 0, 0, 1)
+
+
+# --------------------------------------------------------------------------- representation
+def test_basis_state_round_trip():
+    state = DDState.basis_state(3, "101")
+    assert state.amplitude("101") == ONE
+    assert state.amplitude("000") == ZERO
+    assert state.to_quantum_state() == QuantumState.basis_state(3, "101")
+
+
+def test_from_and_to_quantum_state_preserves_amplitudes():
+    original = QuantumState(2, {(0, 0): HALF_SQRT, (1, 1): -HALF_SQRT})
+    assert DDState.from_quantum_state(original).to_quantum_state() == original
+
+
+def test_zero_function_is_the_zero_edge():
+    state = DDState.from_quantum_state(QuantumState(2))
+    assert state.is_zero()
+    assert state.node_count() == 0
+
+
+def test_uniform_superposition_has_linear_node_count():
+    amplitude = AlgebraicNumber(1, 0, 0, 0, 6)
+    uniform = QuantumState(6)
+    for index in range(64):
+        uniform[index] = amplitude
+    diagram = DDState.from_quantum_state(uniform)
+    assert diagram.node_count() == 6          # one shared node per level
+    assert diagram.to_quantum_state() == uniform
+
+
+def test_ghz_state_node_count_is_linear():
+    output = DecisionDiagramSimulator().run_on_basis(ghz_circuit(8), (0,) * 8)
+    # two distinct branches per level plus shared zero sub-diagrams
+    assert output.node_count() <= 3 * 8
+    assert output.to_quantum_state() == simulate_circuit(ghz_circuit(8))
+
+
+def test_node_sharing_across_equal_subtrees():
+    manager = DDManager()
+    first = DDState.basis_state(4, "0000", manager)
+    second = DDState.basis_state(4, "1000", manager)
+    # everything below the first qubit is identical and must be shared
+    assert manager.live_nodes() < first.node_count() + second.node_count()
+
+
+def test_equality_is_semantic_not_structural():
+    left = DDState.from_quantum_state(QuantumState(2, {(0, 1): ONE}))
+    right = DDState.basis_state(2, "01", DDManager())
+    assert left == right
+
+
+# --------------------------------------------------------------------------- gate application
+@pytest.mark.parametrize(
+    "kind,qubits",
+    [
+        ("x", (0,)), ("y", (1,)), ("z", (2,)), ("h", (0,)), ("s", (1,)), ("t", (2,)),
+        ("sdg", (0,)), ("tdg", (1,)), ("rx", (2,)), ("ry", (0,)),
+        ("cx", (0, 2)), ("cx", (2, 0)), ("cz", (1, 2)), ("cs", (0, 1)), ("ct", (2, 1)),
+        ("ccx", (0, 1, 2)), ("ccx", (2, 1, 0)), ("swap", (0, 2)), ("cswap", (1, 0, 2)),
+    ],
+)
+def test_single_gate_matches_sparse_simulator(kind, qubits):
+    gate = Gate(kind, qubits)
+    simulator = DecisionDiagramSimulator()
+    sparse = StateVectorSimulator()
+    for index in (0, 3, 5, 7):
+        initial = QuantumState.basis_state(3, index)
+        expected = sparse.apply_gate(initial, gate)
+        got = simulator.apply_gate(DDState.from_quantum_state(initial, simulator.manager), gate)
+        assert got.to_quantum_state() == expected
+
+
+def test_superposition_input_gate_application():
+    simulator = DecisionDiagramSimulator()
+    sparse = StateVectorSimulator()
+    initial = QuantumState(2, {(0, 0): HALF_SQRT, (1, 0): HALF_SQRT})
+    gate = Gate("cx", (0, 1))
+    expected = sparse.apply_gate(initial, gate)
+    got = simulator.apply_gate(DDState.from_quantum_state(initial, simulator.manager), gate)
+    assert got.to_quantum_state() == expected
+
+
+@pytest.mark.parametrize("circuit_builder,num_qubits", [
+    (lambda: ghz_circuit(4), 4),
+    (lambda: bv_circuit("1011"), 5),
+    (lambda: qft_circuit(3), 3),
+])
+def test_full_circuits_match_sparse_simulator(circuit_builder, num_qubits):
+    circuit = circuit_builder()
+    expected = simulate_circuit(circuit)
+    got = simulate_decision_diagram(circuit)
+    assert got == expected
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_circuits_match_sparse_simulator(seed):
+    circuit = random_circuit(4, seed=seed)
+    for index in (0, 7, 11):
+        initial = QuantumState.basis_state(4, index)
+        expected = StateVectorSimulator().run(circuit, initial)
+        got = simulate_decision_diagram(circuit, initial)
+        assert got == expected
+
+
+def test_run_rejects_width_mismatch():
+    simulator = DecisionDiagramSimulator()
+    with pytest.raises(ValueError):
+        simulator.run(Circuit(3).add("h", 0), DDState.zero_state(2, simulator.manager))
+
+
+def test_width_mismatch_only_raised_for_run():
+    # apply_gate itself trusts the caller; run() is the validated entry point
+    simulator = DecisionDiagramSimulator()
+    state = simulator.run(Circuit(2).add("h", 0).add("cx", 0, 1), DDState.zero_state(2, simulator.manager))
+    assert state.to_quantum_state() == QuantumState(2, {(0, 0): HALF_SQRT, (1, 1): HALF_SQRT})
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_random_clifford_t_circuit_agrees_with_sparse(seed):
+    circuit = random_circuit(3, seed=seed)
+    expected = simulate_circuit(circuit)
+    assert simulate_decision_diagram(circuit) == expected
+
+
+def test_amplitude_query_after_circuit():
+    output = DecisionDiagramSimulator().run_on_basis(ghz_circuit(5), (0,) * 5)
+    assert output.amplitude((0,) * 5) == HALF_SQRT
+    assert output.amplitude((1,) * 5) == HALF_SQRT
+    assert output.amplitude((1, 0, 0, 0, 0)) == ZERO

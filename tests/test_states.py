@@ -1,0 +1,119 @@
+"""Tests for the explicit quantum-state representation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE, SQRT2_INV, ZERO, AlgebraicNumber
+from repro.states import QuantumState, bits_to_int, int_to_bits, parse_bitstring
+
+
+class TestBitHelpers:
+    def test_bits_to_int_msbf(self):
+        assert bits_to_int((1, 0, 1)) == 5
+        assert bits_to_int((0, 0, 0)) == 0
+
+    def test_int_to_bits_roundtrip(self):
+        for value in range(16):
+            assert bits_to_int(int_to_bits(value, 4)) == value
+
+    def test_int_to_bits_range_check(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_parse_bitstring(self):
+        assert parse_bitstring("0101") == (0, 1, 0, 1)
+        with pytest.raises(ValueError):
+            parse_bitstring("01a1")
+        with pytest.raises(ValueError):
+            parse_bitstring("")
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert bits_to_int(int_to_bits(value, 8)) == value
+
+
+class TestQuantumState:
+    def test_basis_state_constructors_agree(self):
+        assert QuantumState.basis_state(3, "010") == QuantumState.basis_state(3, 2)
+        assert QuantumState.basis_state(3, (0, 1, 0)) == QuantumState.basis_state(3, "010")
+
+    def test_zero_state(self):
+        state = QuantumState.zero_state(4)
+        assert state[(0, 0, 0, 0)] == ONE
+        assert state.nonzero_count() == 1
+
+    def test_setting_zero_amplitude_removes_entry(self):
+        state = QuantumState.zero_state(2)
+        state["00"] = ZERO
+        assert state.nonzero_count() == 0
+        assert not state
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            QuantumState.basis_state(3, "01")
+        with pytest.raises(ValueError):
+            QuantumState(0)
+
+    def test_indexing_with_invalid_basis(self):
+        state = QuantumState.zero_state(2)
+        with pytest.raises(ValueError):
+            state[(0, 2)]
+
+    def test_addition_and_subtraction(self):
+        left = QuantumState.basis_state(2, "00")
+        right = QuantumState.basis_state(2, "11")
+        total = left + right
+        assert total["00"] == ONE and total["11"] == ONE
+        assert (total - right) == left
+
+    def test_add_requires_same_width(self):
+        with pytest.raises(ValueError):
+            QuantumState.zero_state(2) + QuantumState.zero_state(3)
+
+    def test_scaling(self):
+        bell = QuantumState(2, {(0, 0): SQRT2_INV, (1, 1): SQRT2_INV})
+        doubled = bell.scaled(AlgebraicNumber(2, 0, 0, 0, 0))
+        assert doubled["00"].to_complex() == pytest.approx(2 / 2 ** 0.5)
+
+    def test_norm_and_normalisation(self):
+        bell = QuantumState(2, {(0, 0): SQRT2_INV, (1, 1): SQRT2_INV})
+        assert bell.norm_squared() == ONE
+        assert bell.is_normalised()
+        unnormalised = QuantumState(2, {(0, 0): ONE, (1, 1): ONE})
+        assert not unnormalised.is_normalised()
+
+    def test_equality_and_hash(self):
+        a = QuantumState(2, {(0, 1): ONE})
+        b = QuantumState.basis_state(2, "01")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != QuantumState.basis_state(2, "10")
+
+    def test_equals_up_to_global_phase(self):
+        bell = QuantumState(2, {(0, 0): SQRT2_INV, (1, 1): SQRT2_INV})
+        phased = bell.scaled(AlgebraicNumber.omega_power(3))
+        assert phased.equals_up_to_global_phase(bell)
+        assert not bell.equals_up_to_global_phase(QuantumState.basis_state(2, "00"))
+
+    def test_equals_up_to_global_phase_different_support(self):
+        a = QuantumState(2, {(0, 0): ONE})
+        b = QuantumState(2, {(0, 0): SQRT2_INV, (1, 1): SQRT2_INV})
+        assert not a.equals_up_to_global_phase(b)
+
+    def test_to_vector(self):
+        state = QuantumState.basis_state(2, "10")
+        vector = state.to_vector()
+        assert vector[2] == pytest.approx(1.0)
+        assert abs(vector).sum() == pytest.approx(1.0)
+
+    def test_copy_is_independent(self):
+        state = QuantumState.zero_state(2)
+        clone = state.copy()
+        clone["11"] = ONE
+        assert state["11"] == ZERO
+
+    def test_repr_contains_amplitudes(self):
+        state = QuantumState.basis_state(2, "01")
+        assert "|01>" in repr(state)

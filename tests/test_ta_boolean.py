@@ -1,0 +1,177 @@
+"""Tests for intersection, complement and difference of condition automata."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE, ZERO, AlgebraicNumber
+from repro.states import QuantumState
+from repro.ta import (
+    all_basis_states_ta,
+    basis_state_ta,
+    check_equivalence,
+    check_inclusion,
+    count_language,
+    from_quantum_states,
+)
+from repro.ta.boolean import complement, difference, intersection, leaf_alphabet
+
+BASIS_ALPHABET = (ZERO, ONE)
+
+
+def _basis_set_ta(num_qubits, indices):
+    states = [QuantumState.basis_state(num_qubits, index) for index in sorted(indices)]
+    return from_quantum_states(states)
+
+
+# --------------------------------------------------------------------------- alphabet helper
+def test_leaf_alphabet_collects_distinct_amplitudes():
+    automaton = all_basis_states_ta(2)
+    assert set(leaf_alphabet(automaton)) == {ZERO, ONE}
+
+
+def test_leaf_alphabet_over_multiple_automata():
+    half = AlgebraicNumber(1, 0, 0, 0, 2)
+    extra = from_quantum_states([QuantumState(1, {(0,): half, (1,): half})])
+    assert set(leaf_alphabet(all_basis_states_ta(1), extra)) == {ZERO, ONE, half}
+
+
+# --------------------------------------------------------------------------- intersection
+def test_intersection_of_overlapping_basis_sets():
+    left = _basis_set_ta(3, {0, 1, 2, 3})
+    right = _basis_set_ta(3, {2, 3, 4})
+    result = intersection(left, right)
+    expected = _basis_set_ta(3, {2, 3})
+    assert check_equivalence(result, expected).equivalent
+
+
+def test_intersection_with_disjoint_sets_is_empty():
+    left = _basis_set_ta(2, {0})
+    right = _basis_set_ta(2, {3})
+    assert intersection(left, right).is_empty()
+
+
+def test_intersection_with_universe_is_identity():
+    subset = _basis_set_ta(3, {1, 5})
+    universe = all_basis_states_ta(3)
+    assert check_equivalence(intersection(subset, universe), subset).equivalent
+
+
+def test_intersection_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        intersection(all_basis_states_ta(2), all_basis_states_ta(3))
+
+
+def test_intersection_count_matches_set_intersection():
+    left = _basis_set_ta(4, {0, 3, 7, 9, 12})
+    right = _basis_set_ta(4, {3, 9, 10, 15})
+    assert count_language(intersection(left, right)) == 2
+
+
+# --------------------------------------------------------------------------- complement
+def test_complement_of_single_basis_state_within_basis_universe():
+    automaton = basis_state_ta(2, 0)
+    result = complement(automaton, BASIS_ALPHABET)
+    # the universe contains all 2^(2^2) = 16 leaf labelings; removing one leaves 15
+    assert count_language(result) == 15
+    assert not result.accepts(QuantumState.basis_state(2, 0))
+    assert result.accepts(QuantumState.basis_state(2, 3))
+    # non-basis trees of the universe (e.g. the all-zero function) are included
+    assert result.accepts(QuantumState(2))
+
+
+def test_complement_of_all_basis_states():
+    automaton = all_basis_states_ta(2)
+    result = complement(automaton, BASIS_ALPHABET)
+    assert count_language(result) == 16 - 4
+    for index in range(4):
+        assert not result.accepts(QuantumState.basis_state(2, index))
+
+
+def test_double_complement_restores_language():
+    automaton = _basis_set_ta(2, {1, 2})
+    restored = complement(complement(automaton, BASIS_ALPHABET), BASIS_ALPHABET)
+    assert check_equivalence(automaton, restored).equivalent
+
+
+def test_complement_of_empty_language_is_whole_universe():
+    from repro.ta.automaton import TreeAutomaton
+
+    empty = TreeAutomaton(2, set(), {}, {})
+    result = complement(empty, BASIS_ALPHABET)
+    assert count_language(result) == 16
+
+
+def test_complement_requires_alphabet():
+    from repro.ta.automaton import TreeAutomaton
+
+    empty = TreeAutomaton(1, set(), {}, {})
+    with pytest.raises(ValueError):
+        complement(empty)
+
+
+def test_complement_respects_larger_alphabet():
+    half = AlgebraicNumber(1, 0, 0, 0, 2)
+    automaton = basis_state_ta(1, 0)
+    result = complement(automaton, (ZERO, ONE, half))
+    # universe has 3^2 = 9 trees, minus |0>
+    assert count_language(result) == 8
+    assert result.accepts(QuantumState(1, {(0,): half, (1,): half}))
+
+
+# --------------------------------------------------------------------------- difference
+def test_difference_of_basis_sets():
+    left = _basis_set_ta(3, {0, 1, 2, 3})
+    right = _basis_set_ta(3, {2, 3})
+    result = difference(left, right)
+    expected = _basis_set_ta(3, {0, 1})
+    assert check_equivalence(result, expected).equivalent
+
+
+def test_difference_is_empty_iff_inclusion_holds():
+    small = _basis_set_ta(3, {1, 2})
+    large = _basis_set_ta(3, {1, 2, 3})
+    assert difference(small, large).is_empty()
+    assert check_inclusion(small, large).holds
+    assert not difference(large, small).is_empty()
+    assert not check_inclusion(large, small).holds
+
+
+def test_difference_with_itself_is_empty():
+    automaton = all_basis_states_ta(3)
+    assert difference(automaton, automaton).is_empty()
+
+
+def test_de_morgan_on_basis_sets():
+    """complement(A ∪ B) == complement(A) ∩ complement(B) within the basis universe."""
+    left = _basis_set_ta(2, {0, 1})
+    right = _basis_set_ta(2, {1, 2})
+    lhs = complement(left.union(right), BASIS_ALPHABET)
+    rhs = intersection(complement(left, BASIS_ALPHABET), complement(right, BASIS_ALPHABET))
+    assert check_equivalence(lhs, rhs).equivalent
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=7), min_size=0, max_size=5),
+    st.sets(st.integers(min_value=0, max_value=7), min_size=0, max_size=5),
+)
+def test_property_boolean_algebra_on_basis_sets(left_indices, right_indices):
+    """Intersection / difference on basis-state TAs mirror Python set algebra."""
+    num_qubits = 3
+    if not left_indices or not right_indices:
+        return
+    left = _basis_set_ta(num_qubits, left_indices)
+    right = _basis_set_ta(num_qubits, right_indices)
+    expected_intersection = left_indices & right_indices
+    expected_difference = left_indices - right_indices
+    got_intersection = intersection(left, right)
+    got_difference = difference(left, right)
+    assert count_language(got_intersection) == len(expected_intersection)
+    assert count_language(got_difference) == len(expected_difference)
+    for index in expected_intersection:
+        assert got_intersection.accepts(QuantumState.basis_state(num_qubits, index))
+    for index in expected_difference:
+        assert got_difference.accepts(QuantumState.basis_state(num_qubits, index))

@@ -1,0 +1,135 @@
+"""Tests for determinization, language counting and counting-based equivalence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import SQRT2_INV
+from repro.states import QuantumState
+from repro.ta import (
+    all_basis_states_ta,
+    basis_product_ta,
+    basis_state_ta,
+    check_equivalence,
+    count_language,
+    determinize,
+    equivalent_via_counting,
+    from_quantum_state,
+    from_quantum_states,
+    included_via_counting,
+    is_deterministic,
+    reduced_deterministic,
+)
+
+
+class TestIsDeterministic:
+    def test_singleton_automata_are_deterministic(self):
+        assert is_deterministic(basis_state_ta(3, "010"))
+
+    def test_union_of_singletons_is_not_deterministic(self):
+        union = basis_state_ta(2, "00").union(basis_state_ta(2, "11"))
+        assert not is_deterministic(union)
+
+    def test_determinize_output_is_deterministic(self):
+        union = basis_state_ta(2, "00").union(basis_state_ta(2, "11"))
+        assert is_deterministic(determinize(union))
+
+
+class TestDeterminize:
+    def test_preserves_language_of_all_basis_states(self):
+        automaton = all_basis_states_ta(3)
+        det = determinize(automaton)
+        assert check_equivalence(automaton, det).equivalent
+
+    def test_preserves_language_of_superpositions(self):
+        bell = QuantumState(2, {(0, 0): SQRT2_INV, (1, 1): SQRT2_INV})
+        automaton = from_quantum_states([bell, QuantumState.basis_state(2, "01")])
+        det = determinize(automaton)
+        assert check_equivalence(automaton, det).equivalent
+
+    def test_empty_language(self):
+        from repro.ta import TreeAutomaton
+
+        empty = TreeAutomaton(2, set(), {}, {})
+        assert determinize(empty).is_empty()
+        assert count_language(empty) == 0
+
+    def test_reduced_deterministic_is_small_for_product_sets(self):
+        automaton = basis_product_ta(6, [{0, 1}] * 6)
+        det = reduced_deterministic(automaton)
+        assert is_deterministic(det)
+        assert det.num_states <= 3 * 6 + 3
+
+    @given(st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_determinize_preserves_arbitrary_basis_sets(self, indices):
+        automaton = from_quantum_states(
+            [QuantumState.basis_state(4, i) for i in indices], reduce=False
+        )
+        det = determinize(automaton)
+        assert is_deterministic(det)
+        assert check_equivalence(automaton, det).equivalent
+
+
+class TestCounting:
+    def test_count_single_state(self):
+        assert count_language(basis_state_ta(5, "10110")) == 1
+
+    def test_count_all_basis_states(self):
+        for num_qubits in (1, 2, 3, 6):
+            assert count_language(all_basis_states_ta(num_qubits)) == 2 ** num_qubits
+
+    def test_count_product_sets(self):
+        automaton = basis_product_ta(4, [{0, 1}, {0}, {0, 1}, {1}])
+        assert count_language(automaton) == 4
+
+    def test_count_handles_duplicate_representations(self):
+        duplicated = basis_state_ta(3, "000").union(basis_state_ta(3, "000"))
+        assert count_language(duplicated) == 1
+
+    @given(st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_count_matches_set_size(self, indices):
+        automaton = from_quantum_states(
+            [QuantumState.basis_state(5, i) for i in indices], reduce=False
+        )
+        assert count_language(automaton) == len(indices)
+
+
+class TestCountingEquivalence:
+    @given(st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=8),
+           st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_antichain_checker(self, left_indices, right_indices):
+        left = from_quantum_states([QuantumState.basis_state(3, i) for i in left_indices])
+        right = from_quantum_states([QuantumState.basis_state(3, i) for i in right_indices])
+        expected = check_equivalence(left, right).equivalent
+        assert equivalent_via_counting(left, right) == expected
+
+    @given(st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=6),
+           st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_inclusion_via_counting_matches_subset(self, left_indices, right_indices):
+        left = from_quantum_states([QuantumState.basis_state(3, i) for i in left_indices])
+        right = from_quantum_states([QuantumState.basis_state(3, i) for i in right_indices])
+        assert included_via_counting(left, right) == left_indices.issubset(right_indices)
+
+    def test_width_mismatch(self):
+        assert not equivalent_via_counting(basis_state_ta(2, "00"), basis_state_ta(3, "000"))
+        with pytest.raises(ValueError):
+            included_via_counting(basis_state_ta(2, "00"), basis_state_ta(3, "000"))
+
+    def test_cross_validation_on_engine_outputs(self):
+        """The two equivalence procedures agree on automata produced by the engine."""
+        from repro.circuits import random_circuit
+        from repro.core import run_circuit
+
+        rng = random.Random(99)
+        for seed in range(3):
+            circuit = random_circuit(3, num_gates=9, seed=seed)
+            inputs = basis_product_ta(3, [rng.choice([{0}, {1}, {0, 1}]) for _ in range(3)])
+            output = run_circuit(circuit, inputs).output
+            assert equivalent_via_counting(output, output)
+            assert count_language(output) >= 1

@@ -1,0 +1,112 @@
+"""Tests for TA language inclusion / equivalence checking and witnesses."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE, SQRT2_INV
+from repro.states import QuantumState
+from repro.ta import (
+    all_basis_states_ta,
+    basis_product_ta,
+    basis_state_ta,
+    check_equivalence,
+    check_inclusion,
+    from_quantum_state,
+    from_quantum_states,
+)
+
+
+class TestInclusion:
+    def test_singleton_included_in_all_basis_states(self):
+        single = basis_state_ta(3, "101")
+        universe = all_basis_states_ta(3)
+        assert check_inclusion(single, universe).holds
+        result = check_inclusion(universe, single)
+        assert not result.holds
+        assert result.counterexample is not None
+        assert universe.accepts(result.counterexample)
+        assert not single.accepts(result.counterexample)
+
+    def test_inclusion_requires_same_width(self):
+        with pytest.raises(ValueError):
+            check_inclusion(basis_state_ta(2, "00"), basis_state_ta(3, "000"))
+
+    def test_empty_language_is_included_in_everything(self):
+        empty = basis_state_ta(2, "00").remove_useless()
+        empty = empty.__class__(2, set(), {}, {})
+        assert check_inclusion(empty, basis_state_ta(2, "11")).holds
+
+    def test_amplitude_mismatch_is_detected(self):
+        bell = from_quantum_state(QuantumState(2, {(0, 0): SQRT2_INV, (1, 1): SQRT2_INV}))
+        unnormalised = from_quantum_state(QuantumState(2, {(0, 0): ONE, (1, 1): ONE}))
+        assert not check_inclusion(bell, unnormalised).holds
+        assert not check_inclusion(unnormalised, bell).holds
+
+    def test_product_form_inclusions(self):
+        smaller = basis_product_ta(4, [{0}, {0, 1}, {1}, {0}])
+        larger = basis_product_ta(4, [{0, 1}, {0, 1}, {1}, {0, 1}])
+        assert check_inclusion(smaller, larger).holds
+        assert not check_inclusion(larger, smaller).holds
+
+    def test_bool_conversion(self):
+        assert bool(check_inclusion(basis_state_ta(2, "00"), all_basis_states_ta(2)))
+        assert not bool(check_inclusion(all_basis_states_ta(2), basis_state_ta(2, "00")))
+
+
+class TestEquivalence:
+    def test_identical_automata_are_equivalent(self):
+        automaton = all_basis_states_ta(4)
+        assert check_equivalence(automaton, automaton).equivalent
+
+    def test_different_constructions_same_language(self):
+        explicit = from_quantum_states([QuantumState.basis_state(2, i) for i in range(4)])
+        structural = all_basis_states_ta(2)
+        assert check_equivalence(explicit, structural).equivalent
+
+    def test_witness_side_left_only(self):
+        bigger = from_quantum_states(
+            [QuantumState.basis_state(2, "00"), QuantumState.basis_state(2, "11")]
+        )
+        smaller = basis_state_ta(2, "00")
+        result = check_equivalence(bigger, smaller)
+        assert not result.equivalent
+        assert result.side == "left-only"
+        assert result.counterexample == QuantumState.basis_state(2, "11")
+
+    def test_witness_side_right_only(self):
+        smaller = basis_state_ta(2, "00")
+        bigger = from_quantum_states(
+            [QuantumState.basis_state(2, "00"), QuantumState.basis_state(2, "11")]
+        )
+        result = check_equivalence(smaller, bigger)
+        assert not result.equivalent
+        assert result.side == "right-only"
+
+    def test_equivalence_is_insensitive_to_reduction(self):
+        states = [QuantumState.basis_state(3, i) for i in (1, 2, 4)]
+        reduced = from_quantum_states(states, reduce=True)
+        unreduced = from_quantum_states(states, reduce=False)
+        assert check_equivalence(reduced, unreduced).equivalent
+
+    @given(st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=8),
+           st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_matches_set_equality(self, left_indices, right_indices):
+        left = from_quantum_states([QuantumState.basis_state(3, i) for i in left_indices])
+        right = from_quantum_states([QuantumState.basis_state(3, i) for i in right_indices])
+        result = check_equivalence(left, right)
+        assert result.equivalent == (left_indices == right_indices)
+        if not result.equivalent:
+            witness = result.counterexample
+            accepted_left = left.accepts(witness)
+            accepted_right = right.accepts(witness)
+            assert accepted_left != accepted_right
+
+    @given(st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=6),
+           st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_inclusion_matches_subset(self, left_indices, right_indices):
+        left = from_quantum_states([QuantumState.basis_state(4, i) for i in left_indices])
+        right = from_quantum_states([QuantumState.basis_state(4, i) for i in right_indices])
+        assert check_inclusion(left, right).holds == left_indices.issubset(right_indices)

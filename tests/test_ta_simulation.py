@@ -1,0 +1,184 @@
+"""Tests for the maximum downward simulation and simulation-based reduction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE, AlgebraicNumber
+from repro.circuits import Circuit
+from repro.core import run_circuit, zero_state_precondition
+from repro.states import QuantumState
+from repro.ta import (
+    all_basis_states_ta,
+    basis_state_ta,
+    check_equivalence,
+    count_language,
+    from_quantum_states,
+)
+from repro.ta.automaton import TreeAutomaton, make_symbol
+from repro.ta.simulation import (
+    downward_simulation,
+    simulation_equivalence_classes,
+    simulation_reduce,
+)
+
+HALF = AlgebraicNumber(1, 0, 0, 0, 2)  # 1/2
+
+
+def _random_basis_sets(num_qubits: int, count: int, seed: int):
+    rng = random.Random(seed)
+    population = list(range(1 << num_qubits))
+    chosen = rng.sample(population, min(count, len(population)))
+    return [QuantumState.basis_state(num_qubits, index) for index in chosen]
+
+
+# --------------------------------------------------------------------------- relation
+def test_identical_sibling_states_simulate_each_other():
+    # two states generating exactly the same subtree must be mutually related
+    automaton = TreeAutomaton(
+        1,
+        roots={0},
+        internal={0: [(make_symbol(0), 1, 2)], 3: [(make_symbol(0), 1, 1)]},
+        leaves={1: ONE, 2: ONE},
+    )
+    relation = downward_simulation(automaton)
+    assert (1, 2) in relation and (2, 1) in relation
+
+
+def test_leaves_with_different_amplitudes_are_unrelated():
+    automaton = TreeAutomaton(
+        1,
+        roots={0},
+        internal={0: [(make_symbol(0), 1, 2)]},
+        leaves={1: ONE, 2: HALF},
+    )
+    relation = downward_simulation(automaton)
+    assert (1, 2) not in relation and (2, 1) not in relation
+
+
+def test_strict_simulation_is_detected():
+    # state 1 generates only the all-zero pair, state 2 generates both pairs:
+    # 1 is simulated by 2 but not vice versa.
+    zero = AlgebraicNumber(0, 0, 0, 0, 0)
+    automaton = TreeAutomaton(
+        2,
+        roots={0},
+        internal={
+            0: [(make_symbol(0), 1, 2)],
+            1: [(make_symbol(1), 3, 3)],
+            2: [(make_symbol(1), 3, 3), (make_symbol(1), 4, 3)],
+        },
+        leaves={3: zero, 4: ONE},
+    )
+    relation = downward_simulation(automaton)
+    assert (1, 2) in relation
+    assert (2, 1) not in relation
+
+
+def test_simulation_of_all_basis_states_ta():
+    automaton = all_basis_states_ta(3)
+    relation = downward_simulation(automaton)
+    # the "all zeros below" states are simulated by the "one 1 below" states
+    # at the same level, never the other way around
+    for small, large in relation:
+        assert (large, small) not in relation or small == large
+
+
+# --------------------------------------------------------------------------- classes
+def test_equivalence_classes_partition_the_states():
+    automaton = all_basis_states_ta(3).reduce()
+    classes = simulation_equivalence_classes(automaton)
+    states = sorted(automaton.remove_useless().states)
+    flattened = sorted(state for block in classes for state in block)
+    assert flattened == states
+
+
+def test_duplicate_union_collapses_to_one_class_per_role():
+    single = basis_state_ta(2, 0)
+    duplicated = single.union(single.relabelled().shifted(100))
+    classes = simulation_equivalence_classes(duplicated)
+    # every state of the first copy is equivalent to its twin in the second copy
+    assert all(len(block) >= 2 for block in classes)
+
+
+# --------------------------------------------------------------------------- reduction
+@pytest.mark.parametrize("num_qubits,count,seed", [(2, 2, 1), (3, 4, 2), (3, 6, 3), (4, 5, 4)])
+def test_simulation_reduce_preserves_language(num_qubits, count, seed):
+    states = _random_basis_sets(num_qubits, count, seed)
+    automaton = from_quantum_states(states, reduce=False)
+    reduced = simulation_reduce(automaton)
+    assert check_equivalence(automaton, reduced).equivalent
+    assert count_language(reduced) == len(states)
+
+
+def test_simulation_reduce_never_larger_than_lightweight_reduce():
+    automaton = all_basis_states_ta(4).union(basis_state_ta(4, 5))
+    lightweight = automaton.reduce()
+    full = simulation_reduce(automaton)
+    assert full.num_states <= lightweight.num_states
+    assert full.num_transitions <= lightweight.num_transitions
+    assert check_equivalence(full, lightweight).equivalent
+
+
+def test_simulation_reduce_drops_dominated_duplicate_union():
+    single = basis_state_ta(3, 0)
+    doubled = single.union(single.relabelled().shifted(50))
+    reduced = simulation_reduce(doubled)
+    assert check_equivalence(single, reduced).equivalent
+    assert reduced.num_states <= single.num_states
+    assert reduced.num_transitions <= single.num_transitions
+
+
+def test_simulation_reduce_on_empty_automaton():
+    empty = TreeAutomaton(2, set(), {}, {})
+    reduced = simulation_reduce(empty)
+    assert reduced.is_empty()
+
+
+def test_simulation_reduce_without_pruning_still_preserves_language():
+    automaton = all_basis_states_ta(3)
+    reduced = simulation_reduce(automaton, prune_transitions=False)
+    assert check_equivalence(automaton, reduced).equivalent
+
+
+def test_simulation_reduce_after_circuit_analysis(epr_circuit):
+    result = run_circuit(epr_circuit, zero_state_precondition(2))
+    reduced = simulation_reduce(result.output)
+    assert check_equivalence(result.output, reduced).equivalent
+    assert reduced.num_states <= result.output.num_states
+
+
+def test_simulation_reduce_on_grover_like_superposition(ghz_circuit):
+    result = run_circuit(ghz_circuit, zero_state_precondition(3))
+    reduced = simulation_reduce(result.output)
+    assert check_equivalence(result.output, reduced).equivalent
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=6),
+)
+def test_property_reduction_preserves_count(num_qubits, indices):
+    indices = {index % (1 << num_qubits) for index in indices}
+    states = [QuantumState.basis_state(num_qubits, index) for index in sorted(indices)]
+    automaton = from_quantum_states(states, reduce=False)
+    reduced = simulation_reduce(automaton)
+    assert count_language(reduced) == len(states)
+    assert check_equivalence(automaton, reduced).equivalent
+
+
+def test_relation_is_transitive_on_sample():
+    automaton = all_basis_states_ta(3).union(basis_state_ta(3, 1))
+    relation = set(downward_simulation(automaton))
+    closure_violations = [
+        (a, b, c)
+        for (a, b) in relation
+        for (b2, c) in relation
+        if b == b2 and c != a and (a, c) not in relation
+    ]
+    assert not closure_violations

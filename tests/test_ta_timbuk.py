@@ -1,0 +1,154 @@
+"""Round-trip and format tests for the Timbuk import/export."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE, AlgebraicNumber
+from repro.circuits import Circuit
+from repro.core import run_circuit, zero_state_precondition
+from repro.states import QuantumState
+from repro.ta import all_basis_states_ta, basis_state_ta, check_equivalence, from_quantum_states
+from repro.ta.automaton import TreeAutomaton
+from repro.ta.timbuk import dumps_timbuk, load_timbuk, loads_timbuk, save_timbuk
+from repro.core.tagging import tag
+
+
+def test_dump_contains_expected_sections():
+    text = dumps_timbuk(basis_state_ta(2, 0), name="bell_pre")
+    assert text.startswith("Ops ")
+    assert "Automaton bell_pre" in text
+    assert "Final States" in text
+    assert "Transitions" in text
+    assert "x1(" in text and "x2(" in text
+    assert "[1,0,0,0,0]" in text and "[0,0,0,0,0]" in text
+
+
+def test_round_trip_basis_state():
+    automaton = basis_state_ta(3, 5)
+    restored = loads_timbuk(dumps_timbuk(automaton))
+    assert restored.num_qubits == 3
+    assert check_equivalence(automaton, restored).equivalent
+
+
+def test_round_trip_all_basis_states():
+    automaton = all_basis_states_ta(3)
+    restored = loads_timbuk(dumps_timbuk(automaton))
+    assert check_equivalence(automaton, restored).equivalent
+
+
+def test_round_trip_superposition_amplitudes():
+    half = AlgebraicNumber(1, 0, 0, 0, 2)
+    state = QuantumState(2, {(0, 0): half, (0, 1): half, (1, 0): half, (1, 1): half})
+    automaton = from_quantum_states([state])
+    restored = loads_timbuk(dumps_timbuk(automaton))
+    assert check_equivalence(automaton, restored).equivalent
+
+
+def test_round_trip_circuit_output(epr_circuit):
+    output = run_circuit(epr_circuit, zero_state_precondition(2)).output
+    restored = loads_timbuk(dumps_timbuk(output))
+    assert check_equivalence(output, restored).equivalent
+
+
+def test_file_round_trip(tmp_path):
+    automaton = all_basis_states_ta(2)
+    path = tmp_path / "pre.timbuk"
+    save_timbuk(automaton, str(path), name="pre")
+    restored = load_timbuk(str(path))
+    assert check_equivalence(automaton, restored).equivalent
+
+
+def test_parse_hand_written_bell_precondition():
+    text = """
+    Ops x1:2 x2:2 [0,0,0,0,0]:0 [1,0,0,0,0]:0
+
+    Automaton bell_pre
+    States q0 q1 q2 q3 q4
+    Final States q0
+    Transitions
+    [1,0,0,0,0] -> q3
+    [0,0,0,0,0] -> q4
+    x2(q3, q4) -> q1
+    x2(q4, q4) -> q2
+    x1(q1, q2) -> q0
+    """
+    automaton = loads_timbuk(text)
+    assert automaton.num_qubits == 2
+    assert automaton.accepts(QuantumState.basis_state(2, 0))
+    assert not automaton.accepts(QuantumState.basis_state(2, 1))
+
+
+def test_parse_tolerates_comments_and_blank_lines():
+    text = dumps_timbuk(basis_state_ta(1, 1))
+    commented = "% header comment\n" + text.replace("Transitions", "Transitions\n% rules below")
+    restored = loads_timbuk(commented)
+    assert check_equivalence(basis_state_ta(1, 1), restored).equivalent
+
+
+def test_rejects_tagged_automata():
+    tagged = tag(basis_state_ta(2, 0))
+    with pytest.raises(ValueError):
+        dumps_timbuk(tagged)
+
+
+def test_rejects_garbage_transition():
+    with pytest.raises(ValueError):
+        loads_timbuk("Ops x1:2\nAutomaton a\nStates q0\nFinal States q0\nTransitions\nfoo(q0) -> q0\n")
+
+
+def test_rejects_conflicting_leaf_amplitudes():
+    text = """
+    Ops x1:2 [0,0,0,0,0]:0 [1,0,0,0,0]:0
+    Automaton a
+    States q0 q1
+    Final States q0
+    Transitions
+    [1,0,0,0,0] -> q1
+    [0,0,0,0,0] -> q1
+    x1(q1, q1) -> q0
+    """
+    with pytest.raises(ValueError):
+        loads_timbuk(text)
+
+
+def test_rejects_missing_qubit_symbols():
+    with pytest.raises(ValueError):
+        loads_timbuk("Ops a:0\nAutomaton a\nStates q0\nFinal States q0\nTransitions\n")
+
+
+def test_num_qubits_inferred_from_transitions_when_ops_incomplete():
+    text = """
+    Ops
+    Automaton a
+    States q0 q1 q2
+    Final States q0
+    Transitions
+    [1,0,0,0,0] -> q2
+    x1(q1, q1) -> q0
+    x2(q2, q2) -> q1
+    """
+    assert loads_timbuk(text).num_qubits == 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=5),
+)
+def test_property_round_trip_preserves_language(num_qubits, indices):
+    states = [
+        QuantumState.basis_state(num_qubits, index % (1 << num_qubits)) for index in sorted(indices)
+    ]
+    automaton = from_quantum_states(states)
+    restored = loads_timbuk(dumps_timbuk(automaton))
+    assert check_equivalence(automaton, restored).equivalent
+
+
+def test_empty_language_round_trip():
+    empty = TreeAutomaton(2, set(), {}, {0: ONE})
+    text = dumps_timbuk(empty)
+    restored = loads_timbuk(text)
+    assert restored.is_empty()
