@@ -1,0 +1,69 @@
+"""Campaign engine throughput: serial vs. multi-worker bug hunting.
+
+The paper's bug-hunting evaluation (Table 3) sweeps hundreds of mutated
+circuit copies; this benchmark measures how fast the campaign runner gets
+through a 100-mutant Grover hunt with 1, 2 and 4 worker processes.  The cache
+is disabled so every job performs a real verification — the expected shape is
+near-linear scaling until the per-job cost is dwarfed by pool overhead.  On a
+single-CPU machine (the ``cpus`` column) the worker rows are expected to be
+flat: the pool can only timeslice one core.  A separate row measures the fully
+cached re-run, which should be orders of magnitude faster than any worker
+count.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import CampaignConfig, run_campaign
+
+MUTANTS = 100
+
+
+def _config(tmp_path, workers: int, cache_dir: str = "") -> CampaignConfig:
+    return CampaignConfig(
+        family="grover",
+        mutants=MUTANTS,
+        mutation_kinds=("insert", "remove", "swap-operands"),
+        workers=workers,
+        report_path=str(tmp_path / f"campaign_w{workers}.jsonl"),
+        cache_dir=cache_dir,
+    )
+
+
+def _run_row(benchmark, tmp_path, workers: int, cache_dir: str = ""):
+    summary = benchmark.pedantic(
+        run_campaign,
+        args=(_config(tmp_path, workers, cache_dir),),
+        rounds=1,
+        iterations=1,
+    )
+    row = {
+        "benchmark": f"campaign/{summary.benchmark}",
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "jobs": summary.jobs,
+        "violated": summary.violated,
+        "cache_hits": summary.cache_hits,
+        "wall_s": round(summary.wall_seconds, 3),
+        "analysis_s": round(summary.analysis_seconds, 3),
+        "jobs_per_s": round(summary.jobs / summary.wall_seconds, 1) if summary.wall_seconds else 0.0,
+    }
+    benchmark.extra_info.update(row)
+    print("  " + "  ".join(f"{key}={value}" for key, value in row.items()))
+    return summary
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_campaign_grover_100_mutants(benchmark, tmp_path, workers):
+    summary = _run_row(benchmark, tmp_path, workers)
+    assert summary.jobs == MUTANTS + 1
+    assert summary.errors == 0
+
+
+def test_campaign_grover_cached_rerun(benchmark, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    first = run_campaign(_config(tmp_path, workers=1, cache_dir=cache_dir))
+    assert first.cache_hits == 0
+    summary = _run_row(benchmark, tmp_path, workers=1, cache_dir=cache_dir)
+    assert summary.cache_hits == summary.jobs

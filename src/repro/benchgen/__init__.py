@@ -34,6 +34,14 @@ from .stateprep import (
     ghz_circuit,
     ghz_state,
 )
+from .families import (
+    DEFAULT_SIZES,
+    FAMILY_ALIASES,
+    FAMILY_BUILDERS,
+    build_family,
+    family_names,
+    resolve_family,
+)
 from .revlib import (
     controlled_increment,
     hidden_weighted_bit_like,
@@ -84,4 +92,10 @@ __all__ = [
     "cuccaro_adder",
     "classical_addition",
     "adder_benchmark",
+    "FAMILY_BUILDERS",
+    "FAMILY_ALIASES",
+    "DEFAULT_SIZES",
+    "family_names",
+    "resolve_family",
+    "build_family",
 ]

@@ -1,0 +1,91 @@
+"""Registry of verification benchmark families.
+
+Every family maps a single integer size parameter ``n`` to a
+:class:`~repro.benchgen.common.VerificationBenchmark`.  The registry is the
+single source of truth for the CLI (``verify``, ``generate``, ``export-ta``,
+``campaign``) and for the campaign runner, so new families become available to
+every front-end by adding one entry here.
+
+Aliases (e.g. ``grover`` for ``grover-single``) and per-family default sizes
+support the bug-hunting campaigns, which sweep many mutants of one family
+instance and therefore want a sensible size when the user does not pass one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .arithmetic import adder_benchmark
+from .bv import bv_benchmark
+from .common import VerificationBenchmark
+from .grover import grover_all_benchmark, grover_single_benchmark
+from .mctoffoli import mctoffoli_benchmark
+from .qft import qft_roundtrip_benchmark, qft_zero_benchmark
+from .stateprep import bell_chain_benchmark, ghz_benchmark
+
+__all__ = [
+    "FAMILY_BUILDERS",
+    "FAMILY_ALIASES",
+    "DEFAULT_SIZES",
+    "family_names",
+    "resolve_family",
+    "build_family",
+]
+
+#: canonical family name -> builder taking the size parameter ``n``
+FAMILY_BUILDERS: Dict[str, Callable[[int], VerificationBenchmark]] = {
+    "bv": bv_benchmark,
+    "grover-single": grover_single_benchmark,
+    "grover-all": grover_all_benchmark,
+    "mctoffoli": mctoffoli_benchmark,
+    "ghz": ghz_benchmark,
+    "bell-chain": bell_chain_benchmark,
+    "qft-zero": qft_zero_benchmark,
+    "qft-roundtrip": qft_roundtrip_benchmark,
+    "adder": adder_benchmark,
+}
+
+#: user-facing shorthands accepted everywhere a family name is expected
+FAMILY_ALIASES: Dict[str, str] = {
+    "grover": "grover-single",
+    "qft": "qft-zero",
+}
+
+#: default size parameter per canonical family (used when the CLI gets no
+#: ``--size``); chosen so that a single verification finishes in well under a
+#: second, which keeps 100-mutant campaigns interactive
+DEFAULT_SIZES: Dict[str, int] = {
+    "bv": 4,
+    "grover-single": 2,
+    "grover-all": 2,
+    "mctoffoli": 3,
+    "ghz": 4,
+    "bell-chain": 4,
+    "qft-zero": 3,
+    "qft-roundtrip": 3,
+    "adder": 2,
+}
+
+
+def family_names(include_aliases: bool = True) -> List[str]:
+    """Sorted names accepted by :func:`build_family`."""
+    names = set(FAMILY_BUILDERS)
+    if include_aliases:
+        names.update(FAMILY_ALIASES)
+    return sorted(names)
+
+
+def resolve_family(name: str) -> str:
+    """Map an alias to its canonical family name; ``ValueError`` on unknown names."""
+    canonical = FAMILY_ALIASES.get(name, name)
+    if canonical not in FAMILY_BUILDERS:
+        raise ValueError(f"unknown benchmark family {name!r}; known: {family_names()}")
+    return canonical
+
+
+def build_family(name: str, size: int = None) -> VerificationBenchmark:
+    """Build the benchmark for ``name`` (alias-aware) at ``size`` (or its default)."""
+    canonical = resolve_family(name)
+    if size is None:
+        size = DEFAULT_SIZES[canonical]
+    return FAMILY_BUILDERS[canonical](size)

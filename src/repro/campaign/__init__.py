@@ -1,0 +1,32 @@
+"""Parallel bug-hunting campaigns (the paper's Tables 2-3 workload at scale).
+
+A *campaign* sweeps a whole family of mutated circuits against one
+``{P} C {Q}`` specification: a benchmark family instance (from
+:mod:`repro.benchgen`) is mutated many times (via
+:mod:`repro.circuits.mutations`), every mutant is verified against the family's
+pre-/post-condition automata, and the structured verdicts are streamed into a
+JSON-lines report.  Jobs fan out over a :mod:`multiprocessing` worker pool and
+a persistent on-disk cache keyed by ``(circuit fingerprint, precondition
+fingerprint, mode)`` lets re-runs skip already-verified jobs.
+"""
+
+from .cache import ResultCache, default_cache_dir, fingerprint_automaton, fingerprint_circuit
+from .plan import CampaignJob, MutationPlan
+from .report import CampaignReportWriter, read_report, summarise_records
+from .runner import Campaign, CampaignConfig, CampaignSummary, run_campaign
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignSummary",
+    "run_campaign",
+    "CampaignJob",
+    "MutationPlan",
+    "ResultCache",
+    "default_cache_dir",
+    "fingerprint_circuit",
+    "fingerprint_automaton",
+    "CampaignReportWriter",
+    "read_report",
+    "summarise_records",
+]

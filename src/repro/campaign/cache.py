@@ -1,0 +1,125 @@
+"""Persistent result cache for verification campaigns.
+
+Cache entries are JSON files in a flat directory, one per key.  The key is the
+SHA-256 digest of ``(circuit fingerprint, precondition fingerprint, mode)`` —
+the triple that determines the verification outcome for a fixed family
+specification.  The post-condition fingerprint is stored inside each record
+and checked on lookup, so changing the expected outputs (while keeping the
+circuit and inputs) correctly invalidates the entry instead of replaying a
+stale verdict.
+
+Writes are atomic (temp file + ``os.replace``), which makes the cache safe to
+share between the campaign parent process and concurrent campaign runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from ..circuits.circuit import Circuit
+from ..circuits.qasm import to_qasm
+from ..ta import serialization
+from ..ta.automaton import TreeAutomaton
+
+__all__ = [
+    "fingerprint_circuit",
+    "fingerprint_qasm",
+    "fingerprint_automaton",
+    "default_cache_dir",
+    "ResultCache",
+]
+
+#: environment variable overriding the default cache directory
+CACHE_DIR_ENV = "AUTOQ_REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """The campaign cache directory: ``$AUTOQ_REPRO_CACHE_DIR`` or ``~/.cache/autoq-repro/campaign``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "autoq-repro", "campaign")
+
+
+def fingerprint_qasm(qasm: str) -> str:
+    """Digest of an already-serialized circuit (avoids re-serializing)."""
+    return hashlib.sha256(qasm.encode("utf-8")).hexdigest()
+
+
+def fingerprint_circuit(circuit: Circuit) -> str:
+    """Deterministic digest of a circuit's gate-level content (name-independent:
+    :func:`~repro.circuits.qasm.to_qasm` emits only the register and gates)."""
+    return fingerprint_qasm(to_qasm(circuit))
+
+
+def fingerprint_automaton(automaton: TreeAutomaton) -> str:
+    """Deterministic digest of an (untagged) automaton, up to state renaming."""
+    canonical = automaton.relabelled()
+    lines = sorted(serialization.dumps(canonical).splitlines())
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed map from campaign cache keys to JSON result records."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    @staticmethod
+    def key(circuit_fingerprint: str, precondition_fingerprint: str, mode: str) -> str:
+        """The cache key of a job: digest of the determining triple."""
+        material = f"{circuit_fingerprint}\n{precondition_fingerprint}\n{mode}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str, postcondition_fingerprint: Optional[str] = None) -> Optional[Dict]:
+        """Fetch a record; ``None`` on miss, corruption, or post-condition mismatch."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if (
+            postcondition_fingerprint is not None
+            and record.get("postcondition_fingerprint") != postcondition_fingerprint
+        ):
+            return None
+        return record
+
+    def put(self, key: str, record: Dict) -> None:
+        """Store a record atomically under ``key``."""
+        fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(temp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; return how many were removed."""
+        removed = 0
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,102 @@
+"""JSON-lines campaign reports.
+
+One line per verification job, flushed as soon as the verdict is known, so a
+running campaign can be tailed (``tail -f report.jsonl``) and a crashed one
+loses at most the in-flight jobs.  :func:`summarise_records` aggregates a
+report back into the campaign-level counters printed by the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["REPORT_FIELDS", "CampaignReportWriter", "read_report", "summarise_records"]
+
+#: the keys every report line carries (schema contract checked by the tests)
+REPORT_FIELDS = (
+    "job_id",
+    "benchmark",
+    "mode",
+    "mutation_kind",
+    "mutation",
+    "seed",
+    "num_qubits",
+    "num_gates",
+    "circuit_fingerprint",
+    "precondition_fingerprint",
+    "postcondition_fingerprint",
+    "verdict",  # "holds" | "violated" | "error"
+    "witness",
+    "witness_kind",
+    "error",
+    "statistics",
+    "comparison_seconds",
+    "elapsed_seconds",
+    "cached",
+    "deduplicated",  # verdict reused from an identical in-run mutant
+)
+
+
+class CampaignReportWriter:
+    """Streams result records to a JSONL file (context-manager)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+        self.lines_written = 0
+
+    def __enter__(self) -> "CampaignReportWriter":
+        self._handle = open(self.path, "w", encoding="utf-8")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def write(self, record: Dict) -> None:
+        """Append one record (missing schema fields are filled with ``None``)."""
+        if self._handle is None:
+            raise RuntimeError("report writer used outside its context manager")
+        full = {key: record.get(key) for key in REPORT_FIELDS}
+        self._handle.write(json.dumps(full, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.lines_written += 1
+
+
+def read_report(path: str) -> List[Dict]:
+    """Load every record of a JSONL report."""
+    records: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarise_records(records: Iterable[Dict], wall_seconds: Optional[float] = None) -> Dict:
+    """Aggregate report records into the campaign-level counters."""
+    records = list(records)
+    verdicts = [record.get("verdict") for record in records]
+    # only count analysis actually performed by this run: cached and
+    # deduplicated records carry another job's timings, which would make
+    # cheap re-runs (or colliding mutants) look heavy
+    analysis = 0.0
+    for record in records:
+        if record.get("cached") or record.get("deduplicated"):
+            continue
+        statistics = record.get("statistics") or {}
+        analysis += float(statistics.get("analysis_seconds") or 0.0)
+    summary = {
+        "jobs": len(records),
+        "holds": verdicts.count("holds"),
+        "violated": verdicts.count("violated"),
+        "errors": verdicts.count("error"),
+        "cache_hits": sum(1 for record in records if record.get("cached")),
+        "analysis_seconds": analysis,
+    }
+    if wall_seconds is not None:
+        summary["wall_seconds"] = wall_seconds
+    return summary

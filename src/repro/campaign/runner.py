@@ -1,0 +1,251 @@
+"""The campaign runner: fan verification jobs out over a worker pool.
+
+The parent process materialises the job list (see :mod:`repro.campaign.plan`),
+answers what it can from the persistent :class:`~repro.campaign.cache.ResultCache`,
+and ships the remaining jobs to a :mod:`multiprocessing` pool.  Results are
+streamed into the JSONL report in deterministic job order (the pool's ``imap``
+preserves input order while still working ahead), and every fresh verdict is
+written back to the cache so the next campaign over the same circuits is
+nearly free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..benchgen.families import build_family
+from ..circuits.qasm import parse_qasm
+from ..core.engine import AnalysisMode
+from ..core.verification import verify_triple
+from ..ta import serialization
+from .cache import ResultCache, default_cache_dir
+from .plan import CampaignJob, MutationPlan
+from .report import CampaignReportWriter, summarise_records
+
+__all__ = ["CampaignConfig", "CampaignSummary", "Campaign", "run_campaign", "execute_job"]
+
+
+def execute_job(job: CampaignJob) -> Dict:
+    """Run one verification job; always returns a report record (never raises).
+
+    Top-level (not a method) so worker pools can pickle it under every
+    multiprocessing start method.
+    """
+    start = time.perf_counter()
+    record: Dict = {
+        "job_id": job.job_id,
+        "benchmark": job.benchmark,
+        "mode": job.mode,
+        "mutation_kind": job.mutation_kind,
+        "mutation": job.mutation,
+        "seed": job.seed,
+        "num_qubits": job.num_qubits,
+        "num_gates": job.num_gates,
+        "circuit_fingerprint": job.circuit_fingerprint,
+        "precondition_fingerprint": job.precondition_fingerprint,
+        "postcondition_fingerprint": job.postcondition_fingerprint,
+        "witness": None,
+        "witness_kind": None,
+        "error": None,
+        "statistics": None,
+        "comparison_seconds": None,
+        "cached": False,
+    }
+    try:
+        circuit = parse_qasm(job.circuit_qasm)
+        precondition = serialization.loads(job.precondition_text)
+        postcondition = serialization.loads(job.postcondition_text)
+        result = verify_triple(precondition, circuit, postcondition, mode=job.mode)
+        record["verdict"] = "holds" if result.holds else "violated"
+        record["witness"] = None if result.witness is None else repr(result.witness)
+        record["witness_kind"] = result.witness_kind
+        record["statistics"] = result.statistics.to_dict()
+        record["comparison_seconds"] = result.comparison_seconds
+    except Exception as exc:  # noqa: BLE001 - a broken mutant must not kill the campaign
+        record["verdict"] = "error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    record["elapsed_seconds"] = time.perf_counter() - start
+    return record
+
+
+@dataclass
+class CampaignConfig:
+    """Everything needed to reproduce a campaign run."""
+
+    family: str
+    size: Optional[int] = None
+    mutants: int = 100
+    mutation_kinds: Sequence[str] = ("insert",)
+    mode: str = AnalysisMode.HYBRID
+    workers: int = 1
+    seed: int = 0
+    include_reference: bool = True
+    report_path: str = "campaign_report.jsonl"
+    #: ``None`` -> :func:`~repro.campaign.cache.default_cache_dir`; "" disables caching
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in AnalysisMode.ALL:
+            raise ValueError(f"unknown analysis mode {self.mode!r}; expected one of {AnalysisMode.ALL}")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+
+@dataclass
+class CampaignSummary:
+    """Campaign-level outcome (one row of the CLI summary table)."""
+
+    benchmark: str
+    mode: str
+    workers: int
+    jobs: int
+    holds: int
+    violated: int
+    errors: int
+    cache_hits: int
+    analysis_seconds: float
+    wall_seconds: float
+    report_path: str
+    #: the *unmutated* circuit failed its spec — every mutant verdict is suspect
+    reference_violated: bool = False
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+class Campaign:
+    """Builds and executes the job fleet described by a :class:`CampaignConfig`."""
+
+    def __init__(self, config: CampaignConfig):
+        self.config = config
+        self.benchmark = build_family(config.family, config.size)
+        self.plan = MutationPlan(
+            num_mutants=config.mutants,
+            kinds=tuple(config.mutation_kinds),
+            base_seed=config.seed,
+            include_reference=config.include_reference,
+        )
+
+    def build_jobs(self) -> List[CampaignJob]:
+        """The deterministic job list for this campaign."""
+        return self.plan.jobs(self.benchmark, self.config.mode)
+
+    def _open_cache(self) -> Optional[ResultCache]:
+        cache_dir = self.config.cache_dir
+        if cache_dir == "":
+            return None
+        return ResultCache(cache_dir or default_cache_dir())
+
+    def run(self) -> CampaignSummary:
+        """Execute every job, stream the JSONL report, and return the summary."""
+        config = self.config
+        start = time.perf_counter()
+        jobs = self.build_jobs()
+        cache = self._open_cache()
+
+        job_keys = {
+            job.job_id: ResultCache.key(
+                job.circuit_fingerprint, job.precondition_fingerprint, job.mode
+            )
+            for job in jobs
+        }
+        cached_records: Dict[str, Dict] = {}
+        misses: List[CampaignJob] = []
+        dispatched_keys = set()
+        for job in jobs:
+            record = None
+            if cache is not None:
+                record = cache.get(
+                    job_keys[job.job_id], postcondition_fingerprint=job.postcondition_fingerprint
+                )
+            if record is not None:
+                record = dict(record)
+                record["cached"] = True
+                cached_records[job.job_id] = self._restore_identity(record, job)
+            elif job_keys[job.job_id] not in dispatched_keys:
+                # mutation operators on small circuits collide often; verify
+                # each distinct (circuit, precondition, mode) key only once
+                dispatched_keys.add(job_keys[job.job_id])
+                misses.append(job)
+
+        records: List[Dict] = []
+        with CampaignReportWriter(config.report_path) as report:
+
+            def drain(results) -> None:
+                resolved: Dict[str, Dict] = {}
+                for job in jobs:
+                    key = job_keys[job.job_id]
+                    if job.job_id in cached_records:
+                        record = cached_records[job.job_id]
+                    elif key in resolved:
+                        record = self._restore_identity(dict(resolved[key]), job)
+                        record["deduplicated"] = True
+                    else:
+                        record = self._finish(cache, key, next(results))
+                        resolved[key] = record
+                    records.append(record)
+                    report.write(record)
+
+            if config.workers == 1 or len(misses) <= 1:
+                drain(map(execute_job, misses))
+            else:
+                context = self._pool_context()
+                with context.Pool(processes=min(config.workers, len(misses))) as pool:
+                    drain(pool.imap(execute_job, misses, chunksize=1))
+        wall = time.perf_counter() - start
+        summary = summarise_records(records)
+        reference_violated = any(
+            record["mutation_kind"] == "reference" and record["verdict"] != "holds"
+            for record in records
+        )
+        return CampaignSummary(
+            benchmark=self.benchmark.name,
+            mode=config.mode,
+            workers=config.workers,
+            jobs=summary["jobs"],
+            holds=summary["holds"],
+            violated=summary["violated"],
+            errors=summary["errors"],
+            cache_hits=summary["cache_hits"],
+            analysis_seconds=summary["analysis_seconds"],
+            wall_seconds=wall,
+            report_path=config.report_path,
+            reference_violated=reference_violated,
+        )
+
+    @staticmethod
+    def _pool_context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            return multiprocessing.get_context()
+
+    @staticmethod
+    def _restore_identity(record: Dict, job: CampaignJob) -> Dict:
+        """Overwrite a reused record's identity fields with this job's.
+
+        A cached or deduplicated verdict may come from a *different* job that
+        happened to produce the same circuit (e.g. another seed), so the
+        plan-specific fields must reflect the job being reported.
+        """
+        record["job_id"] = job.job_id
+        record["benchmark"] = job.benchmark
+        record["mutation_kind"] = job.mutation_kind
+        record["mutation"] = job.mutation
+        record["seed"] = job.seed
+        return record
+
+    @staticmethod
+    def _finish(cache: Optional[ResultCache], key: str, record: Dict) -> Dict:
+        """Cache a fresh verdict (errors are not cached, so they are retried)."""
+        if cache is not None and record.get("verdict") != "error":
+            cache.put(key, record)
+        return record
+
+
+def run_campaign(config: CampaignConfig) -> CampaignSummary:
+    """Convenience wrapper: build and run a campaign in one call."""
+    return Campaign(config).run()

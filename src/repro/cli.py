@@ -13,10 +13,18 @@ Subcommands::
     autoq-repro export-ta --family bv --size 6 --which post out.timbuk
                                                       # dump a condition automaton (Timbuk)
     autoq-repro baselines a.qasm b.qasm               # run every baseline checker on a pair
+    autoq-repro campaign --family grover --mutants 100 --workers 4
+                                                      # parallel bug-hunting campaign
 
 All commands print a short human-readable report to stdout and exit with a
 non-zero status when a property is violated / a bug is found, so they can be
-scripted.
+scripted.  The exception is ``campaign``, whose *purpose* is catching mutants:
+it exits 0 when the sweep completes (however many mutants were violated) and
+non-zero only when the sweep cannot be trusted — jobs crashed, the unmutated
+reference circuit itself violates the specification, or the configuration is
+invalid; read the violation counts from its JSONL report.  ``campaign`` streams one JSON line
+per verified mutant into that report file and caches verdicts on disk, so
+re-running the same campaign is nearly free.
 """
 
 from __future__ import annotations
@@ -31,17 +39,9 @@ from .baselines import (
     StabilizerChecker,
     check_unitary_equivalence,
 )
-from .benchgen import (
-    adder_benchmark,
-    bell_chain_benchmark,
-    bv_benchmark,
-    ghz_benchmark,
-    grover_all_benchmark,
-    grover_single_benchmark,
-    mctoffoli_benchmark,
-    qft_roundtrip_benchmark,
-    qft_zero_benchmark,
-)
+from .benchgen import build_family, family_names
+from .campaign import CampaignConfig, run_campaign
+from .campaign.plan import MUTATION_KINDS
 from .circuits import inject_random_gate, load_qasm_file, save_qasm_file
 from .circuits.metrics import summarise as circuit_summary
 from .core import AnalysisMode, IncrementalBugHunter, check_circuit_equivalence, verify_triple
@@ -51,18 +51,6 @@ from .ta import all_basis_states_ta, basis_state_ta
 from .ta.timbuk import save_timbuk
 
 __all__ = ["main", "build_parser"]
-
-_FAMILIES = {
-    "bv": lambda size: bv_benchmark(size),
-    "grover-single": lambda size: grover_single_benchmark(size),
-    "grover-all": lambda size: grover_all_benchmark(size),
-    "mctoffoli": lambda size: mctoffoli_benchmark(size),
-    "ghz": lambda size: ghz_benchmark(size),
-    "bell-chain": lambda size: bell_chain_benchmark(size),
-    "qft-zero": lambda size: qft_zero_benchmark(size),
-    "qft-roundtrip": lambda size: qft_roundtrip_benchmark(size),
-    "adder": lambda size: adder_benchmark(size),
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,7 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     verify = subparsers.add_parser("verify", help="verify a generated benchmark family")
-    verify.add_argument("--family", choices=sorted(_FAMILIES), required=True)
+    verify.add_argument("--family", choices=family_names(), required=True)
     verify.add_argument("--size", type=int, required=True, help="family parameter n")
     verify.add_argument("--mode", choices=AnalysisMode.ALL, default=AnalysisMode.HYBRID)
 
@@ -102,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     bughunt.add_argument("--max-iterations", type=int, default=None)
 
     generate = subparsers.add_parser("generate", help="dump a benchmark circuit as OpenQASM 2.0")
-    generate.add_argument("--family", choices=sorted(_FAMILIES), required=True)
+    generate.add_argument("--family", choices=family_names(), required=True)
     generate.add_argument("--size", type=int, required=True, help="family parameter n")
     generate.add_argument("output", help="path of the QASM file to write")
 
@@ -117,7 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     export_ta = subparsers.add_parser(
         "export-ta", help="dump a benchmark pre- or post-condition automaton in Timbuk format"
     )
-    export_ta.add_argument("--family", choices=sorted(_FAMILIES), required=True)
+    export_ta.add_argument("--family", choices=family_names(), required=True)
     export_ta.add_argument("--size", type=int, required=True, help="family parameter n")
     export_ta.add_argument("--which", choices=("pre", "post"), default="pre")
     export_ta.add_argument("output", help="path of the Timbuk file to write")
@@ -129,11 +117,36 @@ def build_parser() -> argparse.ArgumentParser:
     baselines.add_argument("second", help="OpenQASM 2.0 file")
     baselines.add_argument("--stimuli", type=int, default=16, help="number of random stimuli")
     baselines.add_argument("--seed", type=int, default=0)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="parallel bug-hunting campaign: verify many mutants of one benchmark family",
+    )
+    campaign.add_argument("--family", choices=family_names(), required=True)
+    campaign.add_argument("--size", type=int, default=None,
+                          help="family parameter n (default: a per-family campaign size)")
+    campaign.add_argument("--mutants", type=int, default=100,
+                          help="number of mutated circuit copies to verify")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes (1 = run everything in-process)")
+    campaign.add_argument("--mode", choices=AnalysisMode.ALL, default=AnalysisMode.HYBRID)
+    campaign.add_argument("--seed", type=int, default=0, help="base seed of the mutation plan")
+    campaign.add_argument("--mutations", default="insert",
+                          help=f"comma-separated mutation kinds from {MUTATION_KINDS}")
+    campaign.add_argument("--report", default="campaign_report.jsonl",
+                          help="JSONL report path (one line per job)")
+    campaign.add_argument("--cache-dir", default=None,
+                          help="result cache directory (default: $AUTOQ_REPRO_CACHE_DIR "
+                               "or ~/.cache/autoq-repro/campaign)")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="disable the persistent result cache for this run")
+    campaign.add_argument("--skip-reference", action="store_true",
+                          help="do not verify the unmutated reference circuit")
     return parser
 
 
 def _command_verify(args) -> int:
-    benchmark = _FAMILIES[args.family](args.size)
+    benchmark = build_family(args.family, args.size)
     result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition, mode=args.mode)
     print(f"benchmark: {benchmark.name} ({benchmark.description})")
     print(f"circuit:   {benchmark.circuit.num_qubits} qubits, {benchmark.circuit.num_gates} gates")
@@ -199,7 +212,7 @@ def _command_bughunt(args) -> int:
 
 
 def _command_generate(args) -> int:
-    benchmark = _FAMILIES[args.family](args.size)
+    benchmark = build_family(args.family, args.size)
     save_qasm_file(benchmark.circuit, args.output)
     print(f"wrote {benchmark.name}: {benchmark.circuit.num_qubits} qubits, "
           f"{benchmark.circuit.num_gates} gates -> {args.output}")
@@ -235,7 +248,7 @@ def _command_stats(args) -> int:
 
 
 def _command_export_ta(args) -> int:
-    benchmark = _FAMILIES[args.family](args.size)
+    benchmark = build_family(args.family, args.size)
     automaton = benchmark.precondition if args.which == "pre" else benchmark.postcondition
     save_timbuk(automaton, args.output, name=f"{args.family}_{args.size}_{args.which}")
     print(f"wrote {args.which}-condition TA of {benchmark.name} "
@@ -266,6 +279,43 @@ def _command_baselines(args) -> int:
     return 1 if any_difference else 0
 
 
+def _command_campaign(args) -> int:
+    kinds = tuple(kind.strip() for kind in args.mutations.split(",") if kind.strip())
+    try:
+        config = CampaignConfig(
+            family=args.family,
+            size=args.size,
+            mutants=args.mutants,
+            mutation_kinds=kinds,
+            mode=args.mode,
+            workers=args.workers,
+            seed=args.seed,
+            include_reference=not args.skip_reference,
+            report_path=args.report,
+            cache_dir="" if args.no_cache else args.cache_dir,
+        )
+        summary = run_campaign(config)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot write report or cache: {error}", file=sys.stderr)
+        return 2
+    print(f"campaign:  {summary.benchmark} ({summary.mode} mode, {summary.workers} worker(s))")
+    print(f"jobs:      {summary.jobs}  (holds: {summary.holds}, violated: {summary.violated}, "
+          f"errors: {summary.errors})")
+    print(f"cache:     {summary.cache_hits} hit(s)")
+    print(f"time:      {summary.wall_seconds:.2f}s wall, "
+          f"{summary.analysis_seconds:.2f}s cumulative analysis")
+    print(f"report:    {summary.report_path}")
+    if summary.reference_violated:
+        print("warning:   the UNMUTATED reference circuit violates the specification — "
+              "every mutant verdict above is suspect", file=sys.stderr)
+    # finding violated mutants is the campaign's purpose, but crashed jobs or a
+    # broken specification mean the sweep itself cannot be trusted
+    return 1 if summary.errors or summary.reference_violated else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``autoq-repro`` console script."""
     parser = build_parser()
@@ -280,6 +330,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stats": _command_stats,
         "export-ta": _command_export_ta,
         "baselines": _command_baselines,
+        "campaign": _command_campaign,
     }
     return handlers[args.command](args)
 

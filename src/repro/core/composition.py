@@ -32,6 +32,7 @@ from ..ta.automaton import (
     InternalTransition,
     Symbol,
     TreeAutomaton,
+    intern_transition,
     make_symbol,
     symbol_qubit,
     symbol_tags,
@@ -65,21 +66,23 @@ def restrict(automaton: TreeAutomaton, qubit: int, bit: int) -> TreeAutomaton:
     # primed copy with zeroed leaves (identical internal structure => same tags)
     for parent, transitions in automaton.internal.items():
         internal[parent + offset] = [
-            (symbol, left + offset, right + offset) for symbol, left, right in transitions
+            intern_transition(symbol, left + offset, right + offset)
+            for symbol, left, right in transitions
         ]
     for state in automaton.leaves:
         leaves[state + offset] = ZERO
     # original copy with x_qubit transitions redirecting the zeroed branch
     for parent, transitions in automaton.internal.items():
         rewritten = []
-        for symbol, left, right in transitions:
+        for entry in transitions:
+            symbol, left, right = entry
             if symbol_qubit(symbol) == qubit:
                 if bit == 1:
-                    rewritten.append((symbol, left + offset, right))
+                    rewritten.append(intern_transition(symbol, left + offset, right))
                 else:
-                    rewritten.append((symbol, left, right + offset))
+                    rewritten.append(intern_transition(symbol, left, right + offset))
             else:
-                rewritten.append((symbol, left, right))
+                rewritten.append(entry)
         internal[parent] = rewritten
     leaves.update(automaton.leaves)
     result = TreeAutomaton(automaton.num_qubits, automaton.roots, internal, leaves)
@@ -101,12 +104,13 @@ def subtree_copy(automaton: TreeAutomaton, qubit: int, bit: int) -> TreeAutomato
     internal: Dict[int, List[InternalTransition]] = {}
     for parent, transitions in automaton.internal.items():
         rewritten = []
-        for symbol, left, right in transitions:
+        for entry in transitions:
+            symbol, left, right = entry
             if symbol_qubit(symbol) == qubit:
                 child = right if bit == 1 else left
-                rewritten.append((symbol, child, child))
+                rewritten.append(intern_transition(symbol, child, child))
             else:
-                rewritten.append((symbol, left, right))
+                rewritten.append(entry)
         internal[parent] = rewritten
     return TreeAutomaton(automaton.num_qubits, automaton.roots, internal, automaton.leaves)
 
@@ -149,9 +153,15 @@ def forward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
                     new_left = fresh_counter
                     new_right = fresh_counter + 1
                     fresh_counter += 2
-                    to_add.setdefault(parent, []).append((merged_symbol, new_left, new_right))
-                    to_add.setdefault(new_left, []).append((make_symbol(qubit, parent_tags), l00, r10))
-                    to_add.setdefault(new_right, []).append((make_symbol(qubit, parent_tags), l01, r11))
+                    to_add.setdefault(parent, []).append(
+                        intern_transition(merged_symbol, new_left, new_right)
+                    )
+                    to_add.setdefault(new_left, []).append(
+                        intern_transition(make_symbol(qubit, parent_tags), l00, r10)
+                    )
+                    to_add.setdefault(new_right, []).append(
+                        intern_transition(make_symbol(qubit, parent_tags), l01, r11)
+                    )
                     to_remove.append((left, (left_symbol, l00, l01)))
                     to_remove.append((right, (right_symbol, r10, r11)))
 
@@ -202,13 +212,13 @@ def backward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
                     new_right = fresh_counter + 1
                     fresh_counter += 2
                     to_add.setdefault(parent, []).append(
-                        (make_symbol(qubit, upper_tags), new_left, new_right)
+                        intern_transition(make_symbol(qubit, upper_tags), new_left, new_right)
                     )
                     to_add.setdefault(new_left, []).append(
-                        (make_symbol(lower_qubit, (tags[0],)), c00, c10)
+                        intern_transition(make_symbol(lower_qubit, (tags[0],)), c00, c10)
                     )
                     to_add.setdefault(new_right, []).append(
-                        (make_symbol(lower_qubit, (tags[1],)), c01, c11)
+                        intern_transition(make_symbol(lower_qubit, (tags[1],)), c01, c11)
                     )
                     to_remove.append((left, (left_symbol, c00, c01)))
                     to_remove.append((right, (right_symbol, c10, c11)))
@@ -291,7 +301,9 @@ def binary_operation(
             for rl_child, rr_child in right_by_state_symbol.get((right_state, symbol), ()):
                 left_pair = (l_child, rl_child)
                 right_pair = (r_child, rr_child)
-                transitions.append((symbol, pair_id(left_pair), pair_id(right_pair)))
+                transitions.append(
+                    intern_transition(symbol, pair_id(left_pair), pair_id(right_pair))
+                )
                 for pair in (left_pair, right_pair):
                     if pair not in seen:
                         seen.add(pair)

@@ -18,6 +18,7 @@ reduction to keep the automata small.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -63,6 +64,52 @@ class EngineStatistics:
         self.max_transitions = max(self.max_transitions, automaton.num_transitions)
         self.per_gate_seconds.append(elapsed)
         self.analysis_seconds += elapsed
+
+    # -------------------------------------------------------- timing accessors
+    @property
+    def total_gate_seconds(self) -> float:
+        """Sum of the per-gate wall-clock times (== analysis time spent in gates)."""
+        return sum(self.per_gate_seconds)
+
+    @property
+    def mean_gate_seconds(self) -> float:
+        """Average per-gate time (0.0 for an empty circuit)."""
+        if not self.per_gate_seconds:
+            return 0.0
+        return self.total_gate_seconds / len(self.per_gate_seconds)
+
+    def percentile_gate_seconds(self, percentile: float) -> float:
+        """Per-gate time at the given percentile in ``[0, 100]`` (nearest-rank).
+
+        ``percentile_gate_seconds(50)`` is the median gate time and
+        ``percentile_gate_seconds(100)`` the slowest gate; 0.0 for an empty
+        circuit.  Raises :class:`ValueError` outside the ``[0, 100]`` range.
+        """
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+        if not self.per_gate_seconds:
+            return 0.0
+        ordered = sorted(self.per_gate_seconds)
+        # multiply before dividing: percentile/100*n overshoots exact-integer
+        # ranks by one ulp (e.g. 55/100*100 == 55.00000000000001)
+        rank = max(0, min(len(ordered) - 1, int(math.ceil(percentile * len(ordered) / 100.0)) - 1))
+        return ordered[rank]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary used by the campaign report (no raw sample list)."""
+        return {
+            "gates_total": self.gates_total,
+            "gates_permutation": self.gates_permutation,
+            "gates_composition": self.gates_composition,
+            "max_states": self.max_states,
+            "max_transitions": self.max_transitions,
+            "analysis_seconds": self.analysis_seconds,
+            "total_gate_seconds": self.total_gate_seconds,
+            "mean_gate_seconds": self.mean_gate_seconds,
+            "p50_gate_seconds": self.percentile_gate_seconds(50),
+            "p90_gate_seconds": self.percentile_gate_seconds(90),
+            "max_gate_seconds": self.percentile_gate_seconds(100),
+        }
 
 
 @dataclass

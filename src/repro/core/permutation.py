@@ -23,7 +23,7 @@ from typing import Dict, List, Tuple
 
 from ..algebraic import ONE, AlgebraicNumber
 from ..circuits.gates import Gate
-from ..ta.automaton import InternalTransition, TreeAutomaton, symbol_qubit
+from ..ta.automaton import InternalTransition, TreeAutomaton, intern_transition, symbol_qubit
 
 __all__ = ["PermutationUnsupported", "supports_permutation", "apply_permutation_gate"]
 
@@ -105,11 +105,12 @@ def _swap_children(automaton: TreeAutomaton, target: int) -> TreeAutomaton:
     internal: Dict[int, List[InternalTransition]] = {}
     for parent, transitions in automaton.internal.items():
         rewritten = []
-        for symbol, left, right in transitions:
+        for entry in transitions:
+            symbol, left, right = entry
             if symbol_qubit(symbol) == target:
-                rewritten.append((symbol, right, left))
+                rewritten.append(intern_transition(symbol, right, left))
             else:
-                rewritten.append((symbol, left, right))
+                rewritten.append(entry)
         internal[parent] = rewritten
     return TreeAutomaton(automaton.num_qubits, automaton.roots, internal, automaton.leaves)
 
@@ -125,18 +126,20 @@ def _scale_branches(
     # original part: leaves scaled by scalar0, x_target right children redirected
     for parent, transitions in automaton.internal.items():
         rewritten = []
-        for symbol, left, right in transitions:
+        for entry in transitions:
+            symbol, left, right = entry
             if symbol_qubit(symbol) == target:
-                rewritten.append((symbol, left, right + offset))
+                rewritten.append(intern_transition(symbol, left, right + offset))
             else:
-                rewritten.append((symbol, left, right))
+                rewritten.append(entry)
         internal[parent] = rewritten
     for state, amplitude in automaton.leaves.items():
         leaves[state] = amplitude * scalar0
     # primed copy: identical structure, leaves scaled by scalar1
     for parent, transitions in automaton.internal.items():
         internal[parent + offset] = [
-            (symbol, left + offset, right + offset) for symbol, left, right in transitions
+            intern_transition(symbol, left + offset, right + offset)
+            for symbol, left, right in transitions
         ]
     for state, amplitude in automaton.leaves.items():
         leaves[state + offset] = amplitude * scalar1
@@ -158,17 +161,19 @@ def _apply_controlled(automaton: TreeAutomaton, control: int, inner) -> TreeAuto
     # original part with x_control right children redirected into the primed inner copy
     for parent, transitions in automaton.internal.items():
         rewritten = []
-        for symbol, left, right in transitions:
+        for entry in transitions:
+            symbol, left, right = entry
             if symbol_qubit(symbol) == control:
-                rewritten.append((symbol, left, right + offset))
+                rewritten.append(intern_transition(symbol, left, right + offset))
             else:
-                rewritten.append((symbol, left, right))
+                rewritten.append(entry)
         internal[parent] = rewritten
     leaves.update(automaton.leaves)
     # primed copy of the inner-gate automaton
     for parent, transitions in inner_automaton.internal.items():
         internal[parent + offset] = [
-            (symbol, left + offset, right + offset) for symbol, left, right in transitions
+            intern_transition(symbol, left + offset, right + offset)
+            for symbol, left, right in transitions
         ]
     for state, amplitude in inner_automaton.leaves.items():
         leaves[state + offset] = amplitude

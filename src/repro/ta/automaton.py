@@ -23,7 +23,7 @@ Representation
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..algebraic import ZERO, AlgebraicNumber
 from ..states import QuantumState
@@ -35,6 +35,10 @@ __all__ = [
     "make_symbol",
     "symbol_qubit",
     "symbol_tags",
+    "intern_transition",
+    "intern_transitions",
+    "intern_table_sizes",
+    "clear_intern_tables",
 ]
 
 #: An internal-node symbol: ``(qubit_index, tags)``.
@@ -42,10 +46,57 @@ Symbol = Tuple[int, Tuple[int, ...]]
 #: ``(symbol, left_state, right_state)``.
 InternalTransition = Tuple[Symbol, int, int]
 
+# ----------------------------------------------------------------- hash-consing
+# The gate transformers create and destroy millions of short transition tuples
+# (the same ``(symbol, left, right)`` triple is typically rebuilt by every
+# restriction / swap / product step).  Interning them in per-process tables
+# makes structurally equal tuples share one object, so dict probing during
+# ``reduce()`` and the product constructions mostly hits identity comparisons
+# and repeated automata reuse their transition storage instead of re-tupling.
+_SYMBOL_TABLE: Dict[Symbol, Symbol] = {}
+_TRANSITION_TABLE: Dict[InternalTransition, InternalTransition] = {}
+#: safety valve: once a table reaches this size, new entries are no longer
+#: stored (existing ones keep being shared) — interning is an optimisation, so
+#: degrading it must never cost more than not interning, and wiping a hot
+#: million-entry table would.  ``clear_intern_tables()`` resets explicitly.
+_MAX_INTERNED = 1_000_000
+
 
 def make_symbol(qubit: int, tags: Tuple[int, ...] = ()) -> Symbol:
-    """Build an internal symbol for ``qubit`` with optional composition tags."""
-    return (int(qubit), tuple(tags))
+    """Build (and intern) an internal symbol for ``qubit`` with optional tags."""
+    table = _SYMBOL_TABLE
+    symbol = (int(qubit), tuple(tags))
+    if len(table) >= _MAX_INTERNED:
+        return table.get(symbol, symbol)
+    return table.setdefault(symbol, symbol)
+
+
+def intern_transition(symbol: Symbol, left: int, right: int) -> InternalTransition:
+    """Return the canonical shared tuple for the transition ``(symbol, left, right)``."""
+    table = _TRANSITION_TABLE
+    entry = (symbol, left, right)
+    if len(table) >= _MAX_INTERNED:
+        return table.get(entry, entry)
+    return table.setdefault(entry, entry)
+
+
+def intern_transitions(transitions: Iterable[InternalTransition]) -> Tuple[InternalTransition, ...]:
+    """Dedupe (order-preserving) and intern a transition iterable into a tuple."""
+    table = _TRANSITION_TABLE
+    if len(table) >= _MAX_INTERNED:
+        return tuple(dict.fromkeys(table.get(entry, entry) for entry in transitions))
+    return tuple(dict.fromkeys(table.setdefault(entry, entry) for entry in transitions))
+
+
+def intern_table_sizes() -> Tuple[int, int]:
+    """Current sizes of the (symbol, transition) intern tables, for diagnostics."""
+    return len(_SYMBOL_TABLE), len(_TRANSITION_TABLE)
+
+
+def clear_intern_tables() -> None:
+    """Drop the intern tables (existing automata keep working; sharing restarts)."""
+    _SYMBOL_TABLE.clear()
+    _TRANSITION_TABLE.clear()
 
 
 def symbol_qubit(symbol: Symbol) -> int:
@@ -61,7 +112,7 @@ def symbol_tags(symbol: Symbol) -> Tuple[int, ...]:
 class TreeAutomaton:
     """A (nondeterministic, finite) tree automaton encoding quantum-state sets."""
 
-    __slots__ = ("num_qubits", "roots", "internal", "leaves", "_max_state")
+    __slots__ = ("num_qubits", "roots", "internal", "leaves", "_max_state", "_states", "_num_transitions")
 
     def __init__(
         self,
@@ -73,23 +124,27 @@ class TreeAutomaton:
         self.num_qubits = int(num_qubits)
         self.roots = frozenset(int(r) for r in roots)
         self.internal: Dict[int, Tuple[InternalTransition, ...]] = {
-            int(state): tuple(dict.fromkeys(transitions))
+            int(state): intern_transitions(transitions)
             for state, transitions in internal.items()
             if transitions
         }
         self.leaves: Dict[int, AlgebraicNumber] = dict(leaves)
         self._max_state: Optional[int] = None
+        self._states: Optional[FrozenSet[int]] = None
+        self._num_transitions: Optional[int] = None
 
     # ----------------------------------------------------------------- basics
     @property
-    def states(self) -> Set[int]:
-        """All states mentioned anywhere in the automaton."""
-        result: Set[int] = set(self.roots) | set(self.internal) | set(self.leaves)
-        for transitions in self.internal.values():
-            for _symbol, left, right in transitions:
-                result.add(left)
-                result.add(right)
-        return result
+    def states(self) -> FrozenSet[int]:
+        """All states mentioned anywhere in the automaton (cached; do not mutate)."""
+        if self._states is None:
+            result: Set[int] = set(self.roots) | set(self.internal) | set(self.leaves)
+            for transitions in self.internal.values():
+                for _symbol, left, right in transitions:
+                    result.add(left)
+                    result.add(right)
+            self._states = frozenset(result)
+        return self._states
 
     @property
     def num_states(self) -> int:
@@ -99,7 +154,9 @@ class TreeAutomaton:
     @property
     def num_transitions(self) -> int:
         """Number of transitions (the ``transitions`` column of the tables)."""
-        return sum(len(ts) for ts in self.internal.values()) + len(self.leaves)
+        if self._num_transitions is None:
+            self._num_transitions = sum(len(ts) for ts in self.internal.values()) + len(self.leaves)
+        return self._num_transitions
 
     def size_summary(self) -> str:
         """Format sizes the way the paper's tables do: ``states (transitions)``."""
@@ -229,11 +286,14 @@ class TreeAutomaton:
                     if right not in reachable:
                         stack.append(right)
         keep = reachable & productive
+        if len(keep) == len(self.states):
+            # every state is useful, so no transition can be dropped either
+            return self
         internal = {
             parent: tuple(
-                (symbol, left, right)
-                for symbol, left, right in transitions
-                if left in keep and right in keep
+                entry
+                for entry in transitions
+                if entry[1] in keep and entry[2] in keep
             )
             for parent, transitions in self.internal.items()
             if parent in keep
@@ -261,12 +321,14 @@ class TreeAutomaton:
             return state
 
         changed = True
+        merged_any = False
         internal = automaton.internal
         leaves = automaton.leaves
+        ordered_states = sorted(automaton.states)
         while changed:
             changed = False
             signature_to_state: Dict[object, int] = {}
-            for state in sorted(automaton.states):
+            for state in ordered_states:
                 state = resolve(state)
                 if state in leaves:
                     signature = ("leaf", leaves[state])
@@ -274,7 +336,7 @@ class TreeAutomaton:
                     signature = (
                         "internal",
                         frozenset(
-                            (symbol, resolve(left), resolve(right))
+                            intern_transition(symbol, resolve(left), resolve(right))
                             for symbol, left, right in internal.get(state, ())
                         ),
                     )
@@ -284,14 +346,17 @@ class TreeAutomaton:
                 elif previous != state:
                     representative[state] = previous
                     changed = True
-        new_internal: Dict[int, List[InternalTransition]] = {}
+                    merged_any = True
+        if not merged_any:
+            # nothing merged: the useless-state-free automaton is already reduced,
+            # so reuse it (and its interned transition storage) as-is
+            return automaton
+        new_internal: Dict[int, Dict[InternalTransition, None]] = {}
         for parent, transitions in internal.items():
             rep_parent = resolve(parent)
-            bucket = new_internal.setdefault(rep_parent, [])
+            bucket = new_internal.setdefault(rep_parent, {})
             for symbol, left, right in transitions:
-                entry = (symbol, resolve(left), resolve(right))
-                if entry not in bucket:
-                    bucket.append(entry)
+                bucket[intern_transition(symbol, resolve(left), resolve(right))] = None
         new_leaves = {resolve(state): amplitude for state, amplitude in leaves.items()}
         new_roots = {resolve(root) for root in automaton.roots}
         reduced = TreeAutomaton(self.num_qubits, new_roots, new_internal, new_leaves)

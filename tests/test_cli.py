@@ -165,6 +165,87 @@ class TestExportTaCommand:
         assert not automaton.accepts(QuantumState.zero_state(3))
 
 
+class TestCampaignCommand:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "campaign",
+            "--family", "grover",
+            "--mutants", "5",
+            "--report", str(tmp_path / "report.jsonl"),
+            "--cache-dir", str(tmp_path / "cache"),
+            *extra,
+        ]
+
+    def test_campaign_produces_a_jsonl_report(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "Grover-Sing" in out
+        assert "jobs:      6" in out
+        import json
+
+        with open(tmp_path / "report.jsonl") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        assert len(records) == 6  # reference + 5 mutants
+        from repro.campaign.report import REPORT_FIELDS
+
+        for record in records:
+            assert set(record) == set(REPORT_FIELDS)
+            assert record["verdict"] in ("holds", "violated", "error")
+            assert record["statistics"]["gates_total"] > 0
+
+    def test_second_run_hits_the_cache(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "cache:     6 hit(s)" in out
+
+    def test_worker_count_flag_is_honoured(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path, "--workers", "2", "--no-cache")) == 0
+        out = capsys.readouterr().out
+        assert "2 worker(s)" in out
+        assert "jobs:      6" in out
+
+    def test_unknown_mutation_kind_is_an_error(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path, "--mutations", "teleport")) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_skip_reference_flag(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path, "--skip-reference", "--no-cache")) == 0
+        assert "jobs:      5" in capsys.readouterr().out
+
+    def test_job_errors_yield_nonzero_exit(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli_module
+        from repro.campaign.runner import CampaignSummary
+
+        def fake_run_campaign(config):
+            return CampaignSummary(
+                benchmark="Grover-Sing(n=2)", mode="hybrid", workers=1, jobs=6,
+                holds=0, violated=0, errors=6, cache_hits=0,
+                analysis_seconds=0.0, wall_seconds=0.0, report_path=config.report_path,
+            )
+
+        monkeypatch.setattr(cli_module, "run_campaign", fake_run_campaign)
+        assert main(self._argv(tmp_path)) == 1
+        assert "errors: 6" in capsys.readouterr().out
+
+    def test_violated_reference_yields_nonzero_exit(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli_module
+        from repro.campaign.runner import CampaignSummary
+
+        def fake_run_campaign(config):
+            return CampaignSummary(
+                benchmark="Grover-Sing(n=2)", mode="hybrid", workers=1, jobs=6,
+                holds=0, violated=6, errors=0, cache_hits=0,
+                analysis_seconds=0.0, wall_seconds=0.0, report_path=config.report_path,
+                reference_violated=True,
+            )
+
+        monkeypatch.setattr(cli_module, "run_campaign", fake_run_campaign)
+        assert main(self._argv(tmp_path)) == 1
+        assert "reference circuit violates" in capsys.readouterr().err
+
+
 class TestBaselinesCommand:
     def test_baselines_agree_on_identical_circuits(self, bell_qasm, capsys):
         assert main(["baselines", bell_qasm, bell_qasm]) == 0

@@ -67,6 +67,63 @@ class TestStatistics:
         result = run_circuit(Circuit(2).add("x", 0), basis_state_ta(2, "00"))
         assert result.mode == AnalysisMode.HYBRID
 
+    def test_timing_accessors(self):
+        from repro.core.engine import EngineStatistics
+
+        stats = EngineStatistics()
+        automaton = basis_state_ta(2, "00")
+        for elapsed in (0.4, 0.1, 0.3, 0.2):
+            stats.record(automaton, elapsed, used_permutation=True)
+        assert stats.total_gate_seconds == pytest.approx(1.0)
+        assert stats.mean_gate_seconds == pytest.approx(0.25)
+        assert stats.percentile_gate_seconds(0) == pytest.approx(0.1)
+        assert stats.percentile_gate_seconds(50) == pytest.approx(0.2)
+        assert stats.percentile_gate_seconds(90) == pytest.approx(0.4)
+        assert stats.percentile_gate_seconds(100) == pytest.approx(0.4)
+
+    def test_percentile_exact_integer_ranks_do_not_overshoot(self):
+        from repro.core.engine import EngineStatistics
+
+        stats = EngineStatistics()
+        automaton = basis_state_ta(2, "00")
+        for value in range(1, 101):  # samples 0.01 .. 1.00
+            stats.record(automaton, value / 100.0, used_permutation=True)
+        # 55/100.0*100 floats to 55.000...01; the rank math must not overshoot
+        for percentile in (7, 14, 28, 55, 56):
+            assert stats.percentile_gate_seconds(percentile) == pytest.approx(percentile / 100.0)
+
+    def test_timing_accessors_on_empty_statistics(self):
+        from repro.core.engine import EngineStatistics
+
+        stats = EngineStatistics()
+        assert stats.total_gate_seconds == 0.0
+        assert stats.mean_gate_seconds == 0.0
+        assert stats.percentile_gate_seconds(50) == 0.0
+
+    def test_percentile_range_is_validated(self):
+        from repro.core.engine import EngineStatistics
+
+        with pytest.raises(ValueError):
+            EngineStatistics().percentile_gate_seconds(101)
+        with pytest.raises(ValueError):
+            EngineStatistics().percentile_gate_seconds(-1)
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        circuit = Circuit(2).add("h", 0).add("cx", 0, 1)
+        result = run_circuit(circuit, basis_state_ta(2, "00"))
+        payload = result.statistics.to_dict()
+        assert payload["gates_total"] == 2
+        assert payload["gates_permutation"] == 1
+        assert payload["gates_composition"] == 1
+        assert payload["total_gate_seconds"] == pytest.approx(
+            result.statistics.analysis_seconds
+        )
+        assert payload["p50_gate_seconds"] <= payload["p90_gate_seconds"] <= payload["max_gate_seconds"]
+        assert "per_gate_seconds" not in payload
+        json.dumps(payload)  # must round-trip through JSON for the campaign report
+
 
 class TestEngineCorrectness:
     def test_epr_circuit_produces_bell_state(self, epr_circuit, simulator):

@@ -1,0 +1,155 @@
+"""Differential test harness: TA engine vs. statevector vs. path-sum baseline.
+
+Seeded random circuits (<= 6 qubits) are executed *gate by gate* through three
+independent semantics:
+
+* the tree-automaton engine in each :class:`~repro.core.engine.AnalysisMode`,
+* the exact sparse statevector simulator (matrix semantics, Appendix A),
+* an evaluator over the path-sum baseline's symbolic execution (summing the
+  phase-polynomial representation over all path-variable assignments).
+
+After every gate the TA language must be exactly the singleton set containing
+the simulator state, and the evaluated path sum must denote the same vector.
+Any divergence pinpoints the first gate where two semantics disagree.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.algebraic import AlgebraicNumber, ZERO
+from repro.baselines import PathSumChecker
+from repro.circuits import Circuit, Gate, random_circuit
+from repro.core.engine import AnalysisMode, CircuitEngine
+from repro.simulator import StateVectorSimulator
+from repro.states import QuantumState
+from repro.ta import basis_state_ta
+
+#: gates the permutation-based encoding supports with ascending operands
+_PERMUTATION_POOL = ("x", "y", "z", "s", "sdg", "t", "tdg", "cx", "cz", "ccx")
+
+
+def assert_states_close(left: QuantumState, right: QuantumState, tolerance: float = 1e-9) -> None:
+    """Assert two exact states denote (numerically) the same vector."""
+    assert left.num_qubits == right.num_qubits
+    keys = {bits for bits, _ in left.items()} | {bits for bits, _ in right.items()}
+    for bits in keys:
+        delta = abs(left[bits].to_complex() - right[bits].to_complex())
+        assert delta < tolerance, f"amplitudes differ at {bits}: {left[bits]} vs {right[bits]}"
+
+
+def _random_permutation_circuit(num_qubits: int, num_gates: int, seed: int) -> Circuit:
+    """A random circuit every gate of which the permutation encoding handles."""
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"perm_random_{seed}")
+    pool = [kind for kind in _PERMUTATION_POOL if num_qubits >= {"cx": 2, "cz": 2, "ccx": 3}.get(kind, 1)]
+    for _ in range(num_gates):
+        kind = rng.choice(pool)
+        arity = {"cx": 2, "cz": 2, "ccx": 3}.get(kind, 1)
+        qubits = tuple(sorted(rng.sample(range(num_qubits), arity)))
+        circuit.append(Gate(kind, qubits))
+    return circuit
+
+
+def _evaluate_bool(poly, environment) -> int:
+    """Evaluate a path-sum Boolean polynomial (XOR of ANDs) over 0/1 values."""
+    return sum(all(environment[v] for v in monomial) for monomial in poly.monomials) % 2
+
+
+def _evaluate_path_sum(path_sum, num_qubits: int, input_bits) -> QuantumState:
+    """Sum a symbolic path sum over all path-variable assignments (exact)."""
+    state = QuantumState(num_qubits)
+    normalisation = AlgebraicNumber(1, 0, 0, 0, path_sum.sqrt2_factors)
+    variables = list(path_sum.path_variables)
+    base = {f"x{i}": bit for i, bit in enumerate(input_bits)}
+    for assignment in itertools.product((0, 1), repeat=len(variables)):
+        environment = dict(base)
+        environment.update(zip(variables, assignment))
+        bits = tuple(_evaluate_bool(poly, environment) for poly in path_sum.outputs)
+        units = path_sum.global_phase
+        for monomial, coefficient in path_sum.phase.terms.items():
+            if all(environment[v] for v in monomial):
+                units += coefficient
+        amplitude = AlgebraicNumber.omega_power(units % 8) * normalisation
+        state[bits] = state[bits] + amplitude
+    return state
+
+
+def _prefix_path_sum_states(circuit: Circuit, input_bits):
+    """Path-sum-evaluated states after every gate of ``circuit``."""
+    checker = PathSumChecker()
+    states = []
+    for length in range(1, circuit.num_gates + 1):
+        path_sum = checker.symbolic_execution(circuit[:length])
+        states.append(_evaluate_path_sum(path_sum, circuit.num_qubits, input_bits))
+    return states
+
+
+def _drive(circuit: Circuit, input_bits, mode: str) -> None:
+    """Run all three semantics gate by gate and assert exact agreement."""
+    engine = CircuitEngine(mode=mode)
+    simulator = StateVectorSimulator()
+    automaton = basis_state_ta(circuit.num_qubits, input_bits)
+    state = QuantumState.basis_state(circuit.num_qubits, input_bits)
+    pathsum_states = _prefix_path_sum_states(circuit, input_bits)
+    for position, gate in enumerate(circuit.decomposed()):
+        automaton = engine.apply_gate(automaton, gate)
+        state = simulator.apply_gate(state, gate)
+        enumerated = automaton.enumerate_states(limit=4)
+        assert enumerated == [state], (
+            f"TA/{mode} diverged from the simulator after gate {position} ({gate}): "
+            f"{enumerated} != {state}"
+        )
+        assert_states_close(pathsum_states[position], state)
+
+
+def _seeded_inputs(seed: int, num_qubits: int):
+    rng = random.Random(seed * 7919 + 13)
+    return tuple(rng.randint(0, 1) for _ in range(num_qubits))
+
+
+class TestDifferentialHybrid:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_hybrid_agrees_with_both_baselines(self, seed):
+        rng = random.Random(seed)
+        num_qubits = rng.randint(2, 6)
+        circuit = random_circuit(num_qubits, num_gates=8, seed=seed)
+        _drive(circuit, _seeded_inputs(seed, num_qubits), AnalysisMode.HYBRID)
+
+
+class TestDifferentialComposition:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_composition_agrees_with_both_baselines(self, seed):
+        rng = random.Random(seed + 100)
+        num_qubits = rng.randint(2, 4)
+        circuit = random_circuit(num_qubits, num_gates=6, seed=seed + 100)
+        _drive(circuit, _seeded_inputs(seed, num_qubits), AnalysisMode.COMPOSITION)
+
+
+class TestDifferentialPermutation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_permutation_agrees_with_both_baselines(self, seed):
+        rng = random.Random(seed + 200)
+        num_qubits = rng.randint(2, 6)
+        circuit = _random_permutation_circuit(num_qubits, num_gates=10, seed=seed + 200)
+        _drive(circuit, _seeded_inputs(seed, num_qubits), AnalysisMode.PERMUTATION)
+
+
+class TestPathSumEvaluator:
+    """Sanity checks pinning the evaluator itself against closed-form states."""
+
+    def test_bell_state(self):
+        circuit = Circuit(2).add("h", 0).add("cx", 0, 1)
+        checker = PathSumChecker()
+        state = _evaluate_path_sum(checker.symbolic_execution(circuit), 2, (0, 0))
+        expected = StateVectorSimulator().run(circuit, QuantumState.zero_state(2))
+        assert_states_close(state, expected)
+
+    def test_interference_cancels(self):
+        # H H = identity: the |1> branch amplitudes must cancel exactly
+        circuit = Circuit(1).add("h", 0).add("h", 0)
+        checker = PathSumChecker()
+        state = _evaluate_path_sum(checker.symbolic_execution(circuit), 1, (0,))
+        assert_states_close(state, QuantumState.zero_state(1))
+        assert state[(1,)] == ZERO
