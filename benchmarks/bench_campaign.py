@@ -9,13 +9,18 @@ single-CPU machine (the ``cpus`` column) the worker rows are expected to be
 flat: the pool can only timeslice one core.  A separate row measures the fully
 cached re-run, which should be orders of magnitude faster than any worker
 count.
+
+The matrix rows measure the sweep scheduler on a multi-cell
+families × sizes × modes grid: the full sweep (manifest checkpoint per cell),
+and the resumed no-op, whose cost is exactly "read one manifest" and should be
+milliseconds regardless of sweep size.
 """
 
 import os
 
 import pytest
 
-from repro.campaign import CampaignConfig, run_campaign
+from repro.campaign import CampaignConfig, MatrixScheduler, MatrixSpec, run_campaign
 
 MUTANTS = 100
 
@@ -67,3 +72,59 @@ def test_campaign_grover_cached_rerun(benchmark, tmp_path):
     assert first.cache_hits == 0
     summary = _run_row(benchmark, tmp_path, workers=1, cache_dir=cache_dir)
     assert summary.cache_hits == summary.jobs
+
+
+MATRIX_MUTANTS = 10
+
+_MATRIX_MAPPING = {
+    "families": ["grover", "bv", "mctoffoli", "ghz"],
+    "sizes": {"grover": [2], "bv": "3-4", "mctoffoli": "2-3", "ghz": [3, 4]},
+    "modes": ["hybrid", "permutation"],
+    "mutants": MATRIX_MUTANTS,
+    "mutations": ["insert", "remove", "swap-operands"],
+}
+
+
+def _matrix_scheduler(tmp_path) -> MatrixScheduler:
+    return MatrixScheduler(
+        MatrixSpec.from_mapping(_MATRIX_MAPPING),
+        workers=1,
+        report_dir=str(tmp_path / "reports"),
+        manifest_dir=str(tmp_path / "manifests"),
+        cache_dir="",
+    )
+
+
+def _matrix_row(benchmark, result, label: str) -> None:
+    row = {
+        "benchmark": f"campaign-matrix/{label}",
+        "cells": len(result.rows),
+        "reused": result.reused_cells,
+        "jobs": result.totals["jobs"],
+        "violated": result.totals["violated"],
+        "wall_s": round(result.wall_seconds, 3),
+    }
+    benchmark.extra_info.update(row)
+    print("  " + "  ".join(f"{key}={value}" for key, value in row.items()))
+
+
+def test_campaign_matrix_sweep(benchmark, tmp_path):
+    """Full families x sizes x modes sweep with per-cell manifest checkpoints."""
+    result = benchmark.pedantic(
+        lambda: _matrix_scheduler(tmp_path).run(), rounds=1, iterations=1
+    )
+    _matrix_row(benchmark, result, "sweep")
+    assert result.totals["errors"] == 0
+    assert result.reused_cells == 0
+
+
+def test_campaign_matrix_resume_noop(benchmark, tmp_path):
+    """Resuming a completed sweep must only pay for reading the manifest."""
+    scheduler = _matrix_scheduler(tmp_path)
+    first = scheduler.run()
+    result = benchmark.pedantic(
+        lambda: _matrix_scheduler(tmp_path).run(resume=True), rounds=1, iterations=1
+    )
+    _matrix_row(benchmark, result, "resume-noop")
+    assert result.reused_cells == len(first.rows)
+    assert result.totals["jobs"] == first.totals["jobs"]

@@ -9,11 +9,18 @@ every front-end by adding one entry here.
 Aliases (e.g. ``grover`` for ``grover-single``) and per-family default sizes
 support the bug-hunting campaigns, which sweep many mutants of one family
 instance and therefore want a sensible size when the user does not pass one.
+
+Each family also carries a :class:`FamilyCapability` record — its valid size
+range, the analysis modes it supports, the default size sweep used by matrix
+campaigns, and a relative cost scale.  The campaign matrix scheduler
+(:mod:`repro.campaign.scheduler`) reads these to validate a sweep spec before
+any work starts and to order cells cheapest-first.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .arithmetic import adder_benchmark
 from .bv import bv_benchmark
@@ -27,9 +34,15 @@ __all__ = [
     "FAMILY_BUILDERS",
     "FAMILY_ALIASES",
     "DEFAULT_SIZES",
+    "FAMILY_CAPABILITIES",
+    "FamilyCapability",
     "family_names",
     "resolve_family",
     "build_family",
+    "family_capability",
+    "validate_family_size",
+    "validate_family_mode",
+    "default_campaign_sizes",
 ]
 
 #: canonical family name -> builder taking the size parameter ``n``
@@ -65,6 +78,79 @@ DEFAULT_SIZES: Dict[str, int] = {
     "qft-roundtrip": 3,
     "adder": 2,
 }
+
+
+@dataclass(frozen=True)
+class FamilyCapability:
+    """What a family can do: size range, analysis modes, and campaign defaults.
+
+    ``modes`` lists the engine modes whose gate support covers the family's
+    circuits — pure Toffoli families (``mctoffoli``, ``adder``) work under the
+    permutation-only encoding, while anything containing H/CZ/rotation gates
+    needs ``hybrid`` or ``composition``.  ``campaign_sizes`` is the default
+    size sweep a matrix campaign uses when the spec names the family without
+    sizes, and ``cost_scale`` is a relative per-verification weight used only
+    to order matrix cells cheapest-first (it never gates correctness).
+    """
+
+    min_size: int
+    max_size: Optional[int]
+    modes: Tuple[str, ...]
+    campaign_sizes: Tuple[int, ...]
+    cost_scale: float = 1.0
+
+
+_ALL_MODES = ("hybrid", "composition", "permutation")
+_SUPERPOSITION_MODES = ("hybrid", "composition")
+
+#: canonical family name -> capability record (size bounds are the builders'
+#: own ``ValueError`` limits; ``max_size=None`` means unbounded in principle)
+FAMILY_CAPABILITIES: Dict[str, FamilyCapability] = {
+    "bv": FamilyCapability(1, None, _SUPERPOSITION_MODES, (3, 4, 5)),
+    "grover-single": FamilyCapability(2, None, _SUPERPOSITION_MODES, (2,), cost_scale=4.0),
+    "grover-all": FamilyCapability(2, None, _SUPERPOSITION_MODES, (2,), cost_scale=4.0),
+    "mctoffoli": FamilyCapability(2, None, _ALL_MODES, (2, 3, 4)),
+    "ghz": FamilyCapability(2, None, _SUPERPOSITION_MODES, (3, 4, 5)),
+    "bell-chain": FamilyCapability(1, None, _SUPERPOSITION_MODES, (2, 3, 4)),
+    "qft-zero": FamilyCapability(1, None, _SUPERPOSITION_MODES, (2, 3), cost_scale=2.0),
+    "qft-roundtrip": FamilyCapability(1, None, _SUPERPOSITION_MODES, (2, 3), cost_scale=4.0),
+    "adder": FamilyCapability(1, None, _ALL_MODES, (1, 2, 3)),
+}
+
+
+def family_capability(name: str) -> FamilyCapability:
+    """The :class:`FamilyCapability` of ``name`` (alias-aware)."""
+    return FAMILY_CAPABILITIES[resolve_family(name)]
+
+
+def validate_family_size(name: str, size: int) -> int:
+    """Check ``size`` against the family's bounds; returns it unchanged."""
+    capability = family_capability(name)
+    if size < capability.min_size:
+        raise ValueError(
+            f"family {name!r} needs size >= {capability.min_size}, got {size}"
+        )
+    if capability.max_size is not None and size > capability.max_size:
+        raise ValueError(
+            f"family {name!r} supports sizes up to {capability.max_size}, got {size}"
+        )
+    return size
+
+
+def validate_family_mode(name: str, mode: str) -> str:
+    """Check that the family's circuits are analysable under ``mode``."""
+    capability = family_capability(name)
+    if mode not in capability.modes:
+        raise ValueError(
+            f"family {name!r} does not support mode {mode!r} "
+            f"(its circuits need one of {capability.modes})"
+        )
+    return mode
+
+
+def default_campaign_sizes(name: str) -> Tuple[int, ...]:
+    """The default size sweep a matrix campaign uses for ``name``."""
+    return family_capability(name).campaign_sizes
 
 
 def family_names(include_aliases: bool = True) -> List[str]:

@@ -8,12 +8,35 @@ pre-/post-condition automata, and the structured verdicts are streamed into a
 JSON-lines report.  Jobs fan out over a :mod:`multiprocessing` worker pool and
 a persistent on-disk cache keyed by ``(circuit fingerprint, precondition
 fingerprint, mode)`` lets re-runs skip already-verified jobs.
+
+A *matrix* campaign (:mod:`repro.campaign.scheduler`) lifts this one level up,
+to the shape of the paper's evaluation tables: a declarative
+:class:`MatrixSpec` (families × sizes × modes, from a TOML/JSON file or CLI
+flags) expands into one campaign per cell, cells are scheduled cheapest-first
+over a shared worker pool, and progress checkpoints into a resumable
+:class:`~repro.campaign.manifest.CampaignManifest` so ``campaign --resume
+<id>`` skips completed cells and re-queues interrupted ones.
 """
 
-from .cache import ResultCache, default_cache_dir, fingerprint_automaton, fingerprint_circuit
+from .cache import (
+    ResultCache,
+    atomic_write_json,
+    default_cache_dir,
+    fingerprint_automaton,
+    fingerprint_circuit,
+)
+from .manifest import CampaignManifest, ManifestError, default_manifest_dir
 from .plan import CampaignJob, MutationPlan
-from .report import CampaignReportWriter, read_report, summarise_records
+from .report import CampaignReportWriter, format_cell_table, read_report, summarise_records
 from .runner import Campaign, CampaignConfig, CampaignSummary, run_campaign
+from .scheduler import (
+    MatrixCell,
+    MatrixRunResult,
+    MatrixScheduler,
+    MatrixSpec,
+    estimate_cell_cost,
+    parse_sizes,
+)
 
 __all__ = [
     "Campaign",
@@ -26,7 +49,18 @@ __all__ = [
     "default_cache_dir",
     "fingerprint_circuit",
     "fingerprint_automaton",
+    "atomic_write_json",
     "CampaignReportWriter",
     "read_report",
     "summarise_records",
+    "format_cell_table",
+    "CampaignManifest",
+    "ManifestError",
+    "default_manifest_dir",
+    "MatrixCell",
+    "MatrixSpec",
+    "MatrixScheduler",
+    "MatrixRunResult",
+    "estimate_cell_cost",
+    "parse_sizes",
 ]

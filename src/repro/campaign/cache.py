@@ -30,6 +30,7 @@ __all__ = [
     "fingerprint_qasm",
     "fingerprint_automaton",
     "default_cache_dir",
+    "atomic_write_json",
     "ResultCache",
 ]
 
@@ -43,6 +44,28 @@ def default_cache_dir() -> str:
     if override:
         return override
     return os.path.join(os.path.expanduser("~"), ".cache", "autoq-repro", "campaign")
+
+
+def atomic_write_json(path: str, payload, indent: Optional[int] = None) -> None:
+    """Serialize ``payload`` to ``path`` via a temp file + ``os.replace``.
+
+    The write is atomic on POSIX, so concurrent readers (another campaign
+    process, a resumed sweep, ``tail``-style monitoring) never observe a
+    partially written file.  Used for both cache entries and campaign
+    manifests.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=indent)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 
 def fingerprint_qasm(qasm: str) -> str:
@@ -97,17 +120,7 @@ class ResultCache:
 
     def put(self, key: str, record: Dict) -> None:
         """Store a record atomically under ``key``."""
-        fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True)
-            os.replace(temp_path, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self._path(key), record)
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))

@@ -1,0 +1,201 @@
+"""Resumable campaign manifests: on-disk sweep state, one file per campaign.
+
+A matrix sweep (:mod:`repro.campaign.scheduler`) can run for hours, so its
+progress lives in a JSON manifest — ``<manifest_dir>/<campaign_id>.json`` —
+rewritten atomically (temp file + ``os.replace``) at every cell transition.
+Each cell of the sweep is tracked through three states:
+
+``pending``
+    not started yet;
+``running``
+    claimed by a scheduler — if the process dies here, the cell is considered
+    *interrupted* and is re-queued on resume;
+``done``
+    finished, with the cell's :class:`~repro.campaign.runner.CampaignSummary`
+    stored inline so a resumed sweep can roll it into the final totals without
+    re-verifying anything.
+
+The manifest also records the full sweep spec and its fingerprint;
+``campaign --resume <id>`` rebuilds the spec from the manifest alone, and a
+spec passed alongside ``--resume`` is checked against the stored fingerprint
+so a manifest is never resumed under a different sweep definition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from .cache import atomic_write_json
+
+__all__ = [
+    "CELL_PENDING",
+    "CELL_RUNNING",
+    "CELL_DONE",
+    "ManifestError",
+    "CampaignManifest",
+    "default_manifest_dir",
+]
+
+MANIFEST_VERSION = 1
+
+CELL_PENDING = "pending"
+CELL_RUNNING = "running"
+CELL_DONE = "done"
+
+#: environment variable overriding the default manifest directory
+MANIFEST_DIR_ENV = "AUTOQ_REPRO_MANIFEST_DIR"
+
+
+class ManifestError(ValueError):
+    """A manifest is missing, corrupt, or does not match the requested sweep."""
+
+
+def default_manifest_dir() -> str:
+    """The manifest directory: ``$AUTOQ_REPRO_MANIFEST_DIR`` or
+    ``~/.cache/autoq-repro/manifests`` (exactly as the CLI help documents)."""
+    override = os.environ.get(MANIFEST_DIR_ENV)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "autoq-repro", "manifests")
+
+
+class CampaignManifest:
+    """The on-disk progress record of one matrix campaign.
+
+    Construct through :meth:`create` (fresh sweep) or :meth:`load` (resume);
+    every mutation (:meth:`mark_running`, :meth:`mark_done`) persists the whole
+    manifest atomically before returning, so the file always reflects at least
+    as much progress as any in-memory view.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        campaign_id: str,
+        spec: Dict,
+        spec_fingerprint: str,
+        cells: Dict[str, Dict],
+    ):
+        self.path = path
+        self.campaign_id = campaign_id
+        self.spec = spec
+        self.spec_fingerprint = spec_fingerprint
+        self.cells = cells
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def path_for(directory: str, campaign_id: str) -> str:
+        """Where the manifest of ``campaign_id`` lives under ``directory``."""
+        return os.path.join(directory, f"{campaign_id}.json")
+
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        campaign_id: str,
+        spec: Dict,
+        spec_fingerprint: str,
+        cell_ids: List[str],
+    ) -> "CampaignManifest":
+        """Start a fresh manifest with every cell ``pending`` (overwrites any
+        previous sweep under the same id)."""
+        os.makedirs(directory, exist_ok=True)
+        cells = {cell_id: {"status": CELL_PENDING, "summary": None} for cell_id in cell_ids}
+        manifest = cls(cls.path_for(directory, campaign_id), campaign_id, spec,
+                       spec_fingerprint, cells)
+        manifest.save()
+        return manifest
+
+    @classmethod
+    def load(cls, directory: str, campaign_id: str) -> "CampaignManifest":
+        """Load an existing manifest; :class:`ManifestError` when absent/corrupt."""
+        path = cls.path_for(directory, campaign_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise ManifestError(
+                f"no manifest for campaign {campaign_id!r} in {directory!r}; "
+                "start it without --resume first"
+            ) from None
+        except (OSError, ValueError) as error:
+            raise ManifestError(f"cannot read manifest {path!r}: {error}") from error
+        for field in ("campaign_id", "spec", "spec_fingerprint", "cells"):
+            if field not in payload:
+                raise ManifestError(f"manifest {path!r} is missing the {field!r} field")
+        return cls(path, payload["campaign_id"], payload["spec"],
+                   payload["spec_fingerprint"], payload["cells"])
+
+    @classmethod
+    def exists(cls, directory: str, campaign_id: str) -> bool:
+        return os.path.exists(cls.path_for(directory, campaign_id))
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "campaign_id": self.campaign_id,
+            "spec": self.spec,
+            "spec_fingerprint": self.spec_fingerprint,
+            "cells": self.cells,
+        }
+
+    def save(self) -> None:
+        """Persist the manifest atomically."""
+        atomic_write_json(self.path, self.to_dict(), indent=2)
+
+    # -- cell state --------------------------------------------------------
+
+    def check_fingerprint(self, spec_fingerprint: str) -> None:
+        """Refuse to resume under a different sweep definition."""
+        if spec_fingerprint != self.spec_fingerprint:
+            raise ManifestError(
+                f"campaign {self.campaign_id!r} was started from a different sweep spec "
+                f"(manifest fingerprint {self.spec_fingerprint[:12]}…, "
+                f"requested {spec_fingerprint[:12]}…); drop --resume or pass the original spec"
+            )
+
+    def status(self, cell_id: str) -> str:
+        return self.cells[cell_id]["status"]
+
+    def summary(self, cell_id: str) -> Optional[Dict]:
+        """The stored :class:`CampaignSummary` dict of a ``done`` cell."""
+        return self.cells[cell_id].get("summary")
+
+    def cell_ids(self, status: Optional[str] = None) -> List[str]:
+        """Cell ids in manifest order, optionally filtered by status."""
+        return [cell_id for cell_id, cell in self.cells.items()
+                if status is None or cell["status"] == status]
+
+    def completed_cell_ids(self) -> List[str]:
+        return self.cell_ids(CELL_DONE)
+
+    def interrupted_cell_ids(self) -> List[str]:
+        """Cells a previous scheduler claimed but never finished."""
+        return self.cell_ids(CELL_RUNNING)
+
+    def remaining_cell_ids(self) -> List[str]:
+        """Everything that still needs work on resume: pending + interrupted."""
+        return [cell_id for cell_id, cell in self.cells.items()
+                if cell["status"] != CELL_DONE]
+
+    def mark_running(self, cell_id: str, report_path: Optional[str] = None) -> None:
+        cell = self.cells[cell_id]
+        cell["status"] = CELL_RUNNING
+        cell["summary"] = None
+        if report_path is not None:
+            cell["report_path"] = report_path
+        self.save()
+
+    def mark_done(self, cell_id: str, summary: Dict) -> None:
+        cell = self.cells[cell_id]
+        cell["status"] = CELL_DONE
+        cell["summary"] = summary
+        self.save()
+
+    def is_complete(self) -> bool:
+        return all(cell["status"] == CELL_DONE for cell in self.cells.values())

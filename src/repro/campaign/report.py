@@ -1,9 +1,11 @@
-"""JSON-lines campaign reports.
+"""JSON-lines campaign reports and sweep summary tables.
 
 One line per verification job, flushed as soon as the verdict is known, so a
 running campaign can be tailed (``tail -f report.jsonl``) and a crashed one
 loses at most the in-flight jobs.  :func:`summarise_records` aggregates a
-report back into the campaign-level counters printed by the CLI.
+report back into the campaign-level counters printed by the CLI, and
+:func:`format_cell_table` renders the per-cell roll-up a matrix sweep
+(:mod:`repro.campaign.scheduler`) prints when it finishes.
 """
 
 from __future__ import annotations
@@ -11,7 +13,13 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional
 
-__all__ = ["REPORT_FIELDS", "CampaignReportWriter", "read_report", "summarise_records"]
+__all__ = [
+    "REPORT_FIELDS",
+    "CampaignReportWriter",
+    "read_report",
+    "summarise_records",
+    "format_cell_table",
+]
 
 #: the keys every report line carries (schema contract checked by the tests)
 REPORT_FIELDS = (
@@ -26,7 +34,7 @@ REPORT_FIELDS = (
     "circuit_fingerprint",
     "precondition_fingerprint",
     "postcondition_fingerprint",
-    "verdict",  # "holds" | "violated" | "error"
+    "verdict",  # "holds" | "violated" | "unsupported" | "error"
     "witness",
     "witness_kind",
     "error",
@@ -93,6 +101,9 @@ def summarise_records(records: Iterable[Dict], wall_seconds: Optional[float] = N
         "jobs": len(records),
         "holds": verdicts.count("holds"),
         "violated": verdicts.count("violated"),
+        # mutants no encoding under this mode can express (permutation-only
+        # cells hit these) — distinct from crashes, which taint the sweep
+        "unsupported": verdicts.count("unsupported"),
         "errors": verdicts.count("error"),
         "cache_hits": sum(1 for record in records if record.get("cached")),
         "analysis_seconds": analysis,
@@ -100,3 +111,57 @@ def summarise_records(records: Iterable[Dict], wall_seconds: Optional[float] = N
     if wall_seconds is not None:
         summary["wall_seconds"] = wall_seconds
     return summary
+
+
+#: (header, row key, right-align?) columns of the matrix sweep table
+_CELL_COLUMNS = (
+    ("cell", "cell", False),
+    ("jobs", "jobs", True),
+    ("holds", "holds", True),
+    ("violated", "violated", True),
+    ("unsup", "unsupported", True),
+    ("errors", "errors", True),
+    ("cache", "cache_hits", True),
+    ("wall_s", "wall_seconds", True),
+    ("note", "note", False),
+)
+
+
+def format_cell_table(rows: Iterable[Dict], totals: Optional[Dict] = None) -> str:
+    """Render matrix sweep rows (see ``MatrixScheduler.run``) as an aligned
+    text table, with an optional ``total`` footer line.
+
+    Each row's ``note`` flags what a reader must not miss: ``resumed`` for
+    cells whose verdicts were reused from the manifest, ``REF-VIOLATED`` when
+    the unmutated reference circuit failed its own specification.
+    """
+    prepared: List[Dict] = []
+    for row in rows:
+        notes = []
+        if row.get("reused"):
+            notes.append("resumed")
+        if row.get("reference_violated"):
+            notes.append("REF-VIOLATED")
+        prepared.append({**row, "note": ",".join(notes)})
+    if totals is not None:
+        prepared.append({"cell": "total", "note": "", **totals})
+
+    def cell_text(row: Dict, key: str) -> str:
+        value = row.get(key, "")
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    widths = {
+        header: max(len(header), *(len(cell_text(row, key)) for row in prepared))
+        for header, key, _align in _CELL_COLUMNS
+    }
+    lines = ["  ".join(header.ljust(widths[header]) for header, _k, _a in _CELL_COLUMNS).rstrip()]
+    lines.append("  ".join("-" * widths[header] for header, _k, _a in _CELL_COLUMNS).rstrip())
+    for row in prepared:
+        parts = []
+        for header, key, right in _CELL_COLUMNS:
+            text = cell_text(row, key)
+            parts.append(text.rjust(widths[header]) if right else text.ljust(widths[header]))
+        lines.append("  ".join(parts).rstrip())
+    return "\n".join(lines)

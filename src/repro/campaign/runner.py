@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 from ..benchgen.families import build_family
 from ..circuits.qasm import parse_qasm
 from ..core.engine import AnalysisMode
+from ..core.permutation import PermutationUnsupported
 from ..core.verification import verify_triple
 from ..ta import serialization
 from .cache import ResultCache, default_cache_dir
@@ -64,6 +65,11 @@ def execute_job(job: CampaignJob) -> Dict:
         record["witness_kind"] = result.witness_kind
         record["statistics"] = result.statistics.to_dict()
         record["comparison_seconds"] = result.comparison_seconds
+    except PermutationUnsupported as exc:
+        # a mutation inserted a gate the permutation-only encoding cannot
+        # express — the mutant is unverifiable under this mode, not a crash
+        record["verdict"] = "unsupported"
+        record["error"] = f"{type(exc).__name__}: {exc}"
     except Exception as exc:  # noqa: BLE001 - a broken mutant must not kill the campaign
         record["verdict"] = "error"
         record["error"] = f"{type(exc).__name__}: {exc}"
@@ -109,6 +115,9 @@ class CampaignSummary:
     analysis_seconds: float
     wall_seconds: float
     report_path: str
+    #: mutants unverifiable under this mode (e.g. a non-permutation gate was
+    #: inserted into a permutation-mode campaign) — not counted as errors
+    unsupported: int = 0
     #: the *unmutated* circuit failed its spec — every mutant verdict is suspect
     reference_violated: bool = False
 
@@ -139,8 +148,14 @@ class Campaign:
             return None
         return ResultCache(cache_dir or default_cache_dir())
 
-    def run(self) -> CampaignSummary:
-        """Execute every job, stream the JSONL report, and return the summary."""
+    def run(self, pool=None) -> CampaignSummary:
+        """Execute every job, stream the JSONL report, and return the summary.
+
+        ``pool`` optionally supplies an already-running multiprocessing pool
+        (the matrix scheduler shares one across all sweep cells instead of
+        paying pool start-up per cell); when ``None``, the campaign creates
+        its own pool sized by ``config.workers``.
+        """
         config = self.config
         start = time.perf_counter()
         jobs = self.build_jobs()
@@ -189,16 +204,21 @@ class Campaign:
                     records.append(record)
                     report.write(record)
 
-            if config.workers == 1 or len(misses) <= 1:
+            if pool is not None and len(misses) > 1:
+                drain(pool.imap(execute_job, misses, chunksize=1))
+            elif config.workers == 1 or len(misses) <= 1:
                 drain(map(execute_job, misses))
             else:
                 context = self._pool_context()
-                with context.Pool(processes=min(config.workers, len(misses))) as pool:
-                    drain(pool.imap(execute_job, misses, chunksize=1))
+                with context.Pool(processes=min(config.workers, len(misses))) as own_pool:
+                    drain(own_pool.imap(execute_job, misses, chunksize=1))
         wall = time.perf_counter() - start
         summary = summarise_records(records)
+        # only an actual "violated" verdict taints the sweep: an errored
+        # reference is already counted in `errors`, and an "unsupported" one
+        # (wrong mode for the family) is not a specification violation
         reference_violated = any(
-            record["mutation_kind"] == "reference" and record["verdict"] != "holds"
+            record["mutation_kind"] == "reference" and record["verdict"] == "violated"
             for record in records
         )
         return CampaignSummary(
@@ -208,6 +228,7 @@ class Campaign:
             jobs=summary["jobs"],
             holds=summary["holds"],
             violated=summary["violated"],
+            unsupported=summary["unsupported"],
             errors=summary["errors"],
             cache_hits=summary["cache_hits"],
             analysis_seconds=summary["analysis_seconds"],

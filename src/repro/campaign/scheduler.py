@@ -1,0 +1,528 @@
+"""Campaign matrix scheduler: families × sizes × modes sweeps, resumable.
+
+This is the paper's Section 7 evaluation loop as infrastructure.  A
+:class:`MatrixSpec` describes a whole benchmark matrix — which families, at
+which sizes, under which engine modes, with what mutant budget — and expands
+into :class:`MatrixCell`\\ s, one bug-hunting campaign per combination.  The
+:class:`MatrixScheduler` then:
+
+* validates every cell against the family capability registry
+  (:mod:`repro.benchgen.families`) *before* any work starts;
+* orders cells **cheapest-first** (small sizes and cheap modes run early, so a
+  sweep produces signal quickly and an interrupted run has banked the most
+  cells possible);
+* runs each cell through the existing :class:`~repro.campaign.runner.Campaign`
+  machinery, sharing one multiprocessing pool across all cells;
+* checkpoints progress in a resumable
+  :class:`~repro.campaign.manifest.CampaignManifest` so
+  ``campaign --resume <id>`` skips completed cells and re-queues interrupted
+  ones.
+
+Specs load from TOML or JSON files (``MatrixSpec.from_file``) or from plain
+mappings assembled by CLI flags (``MatrixSpec.from_mapping``).  A minimal TOML
+spec::
+
+    families = ["grover", "bv"]
+    modes = ["hybrid", "composition"]
+    mutants = 25
+
+    [sizes]
+    bv = "3-5"        # inclusive range
+    grover = [2]      # explicit list; omitted families use their defaults
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..benchgen.families import (
+    default_campaign_sizes,
+    family_capability,
+    resolve_family,
+    validate_family_size,
+)
+from ..core.engine import AnalysisMode
+from .cache import atomic_write_json
+from .manifest import CampaignManifest, ManifestError, default_manifest_dir
+from .plan import MUTATION_KINDS
+from .runner import Campaign, CampaignConfig
+
+__all__ = [
+    "MatrixCell",
+    "MatrixSpec",
+    "MatrixRunResult",
+    "MatrixScheduler",
+    "estimate_cell_cost",
+    "parse_sizes",
+]
+
+#: relative per-verification weight of each engine mode (ordering heuristic
+#: only — composition-based gate application dominates hybrid, which dominates
+#: the pure permutation encoding)
+MODE_COST = {
+    AnalysisMode.PERMUTATION: 0.5,
+    AnalysisMode.HYBRID: 1.0,
+    AnalysisMode.COMPOSITION: 2.0,
+}
+
+_RANGE_PATTERN = re.compile(r"^\s*(\d+)\s*-\s*(\d+)\s*$")
+
+
+def parse_sizes(value: Union[int, str, Sequence]) -> Tuple[int, ...]:
+    """Expand a size field into a sorted tuple of ints.
+
+    Accepts a single int (``4``), a decimal string (``"4"``), an inclusive
+    range string (``"2-5"``), or a list mixing any of those.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"invalid size value {value!r}")
+    if isinstance(value, int):
+        return (value,)
+    if isinstance(value, str):
+        sizes: List[int] = []
+        for part in value.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            match = _RANGE_PATTERN.match(part)
+            if match:
+                low, high = int(match.group(1)), int(match.group(2))
+                if high < low:
+                    raise ValueError(f"size range {part!r} is empty (end < start)")
+                sizes.extend(range(low, high + 1))
+            elif part.isdigit():
+                sizes.append(int(part))
+            else:
+                raise ValueError(f"cannot parse size {part!r} (expected e.g. 4, 2-5, or 3,4)")
+        if not sizes:
+            raise ValueError(f"no sizes in {value!r}")
+        return tuple(sorted(set(sizes)))
+    if isinstance(value, Sequence):
+        sizes = []
+        for item in value:
+            sizes.extend(parse_sizes(item))
+        if not sizes:
+            raise ValueError("size list is empty")
+        return tuple(sorted(set(sizes)))
+    raise ValueError(f"invalid size value {value!r}")
+
+
+def _toml_module():
+    """``tomllib`` (3.11+) or the backport; a clean ``ValueError`` without either."""
+    try:
+        import tomllib
+
+        return tomllib
+    except ImportError:  # pragma: no cover - Python 3.10
+        try:
+            import tomli
+
+            return tomli
+        except ImportError:
+            raise ValueError(
+                "no TOML parser available (needs Python >= 3.11 or the 'tomli' "
+                "package); use a .json sweep spec instead"
+            ) from None
+
+
+def _as_name_tuple(value: Union[str, Sequence[str]], what: str) -> Tuple[str, ...]:
+    """Normalise a list-or-comma-string field into a tuple of names."""
+    if isinstance(value, str):
+        names = tuple(part.strip() for part in value.split(",") if part.strip())
+    elif isinstance(value, Sequence):
+        names = tuple(str(part).strip() for part in value)
+    else:
+        raise ValueError(f"invalid {what} value {value!r}")
+    if not names:
+        raise ValueError(f"at least one {what} is required")
+    return names
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One campaign of a sweep: a (family, size, mode) point with its budget."""
+
+    family: str  # canonical family name
+    size: int
+    mode: str
+    mutants: int
+
+    @property
+    def cell_id(self) -> str:
+        """Stable, filename-safe identifier (``grover-single-n2-hybrid``)."""
+        return f"{self.family}-n{self.size}-{self.mode}"
+
+
+def estimate_cell_cost(cell: MatrixCell) -> float:
+    """Relative cost of a cell, used only to order the sweep cheapest-first.
+
+    jobs × family cost scale × size² × mode weight — a coarse model of "bigger
+    circuits and heavier encodings take longer", deliberately cheap to compute
+    (no circuit is built during scheduling).
+    """
+    jobs = cell.mutants + 1
+    scale = family_capability(cell.family).cost_scale
+    return jobs * scale * float(cell.size**2) * MODE_COST.get(cell.mode, 1.0)
+
+
+#: keys accepted in a sweep spec mapping (anything else is a typo)
+_SPEC_KEYS = frozenset(
+    {"families", "sizes", "modes", "mutants", "mutations", "seed", "include_reference"}
+)
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Declarative description of a families × sizes × modes sweep."""
+
+    families: Tuple[str, ...]
+    sizes: Mapping[str, Tuple[int, ...]]  # canonical family -> sorted sizes
+    modes: Tuple[str, ...] = (AnalysisMode.HYBRID,)
+    mutants: int = 25
+    mutation_kinds: Tuple[str, ...] = ("insert",)
+    seed: int = 0
+    include_reference: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.families:
+            raise ValueError("a matrix spec needs at least one family")
+        if self.mutants < 0:
+            raise ValueError("mutants must be non-negative")
+        for mode in self.modes:
+            if mode not in AnalysisMode.ALL:
+                raise ValueError(
+                    f"unknown analysis mode {mode!r}; expected one of {AnalysisMode.ALL}"
+                )
+        for kind in self.mutation_kinds:
+            if kind not in MUTATION_KINDS:
+                raise ValueError(
+                    f"unknown mutation kind {kind!r}; expected one of {MUTATION_KINDS}"
+                )
+        for family in self.families:
+            for size in self.sizes.get(family, ()):
+                validate_family_size(family, size)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping) -> "MatrixSpec":
+        """Build a spec from a plain dict (parsed TOML/JSON or CLI flags).
+
+        The mapping may nest everything under a ``matrix`` table.  ``sizes``
+        is either one value applied to every family (int, ``"2-5"`` range
+        string, or list) or a per-family table; families without an entry use
+        their registry defaults (:func:`~repro.benchgen.families.default_campaign_sizes`).
+        """
+        if "matrix" in mapping and isinstance(mapping["matrix"], Mapping):
+            inner = dict(mapping["matrix"])
+            for key, value in mapping.items():
+                if key != "matrix":
+                    inner.setdefault(key, value)
+            mapping = inner
+        unknown = set(mapping) - _SPEC_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown spec keys {sorted(unknown)}; expected a subset of {sorted(_SPEC_KEYS)}"
+            )
+        if "families" not in mapping:
+            raise ValueError("a matrix spec needs a 'families' list")
+        families = tuple(resolve_family(name) for name in
+                         _as_name_tuple(mapping["families"], "family"))
+        if len(set(families)) != len(families):
+            raise ValueError("duplicate families in spec (after alias resolution)")
+
+        sizes_value = mapping.get("sizes")
+        sizes: Dict[str, Tuple[int, ...]] = {}
+        if sizes_value is None:
+            for family in families:
+                sizes[family] = default_campaign_sizes(family)
+        elif isinstance(sizes_value, Mapping):
+            for name, value in sizes_value.items():
+                canonical = resolve_family(name)
+                if canonical not in families:
+                    raise ValueError(f"sizes given for {name!r}, which is not in 'families'")
+                sizes[canonical] = parse_sizes(value)
+            for family in families:
+                sizes.setdefault(family, default_campaign_sizes(family))
+        else:
+            shared = parse_sizes(sizes_value)
+            for family in families:
+                sizes[family] = shared
+
+        modes = mapping.get("modes", (AnalysisMode.HYBRID,))
+        mutations = mapping.get("mutations", ("insert",))
+        return cls(
+            families=families,
+            sizes=sizes,
+            modes=_as_name_tuple(modes, "mode"),
+            mutants=int(mapping.get("mutants", 25)),
+            mutation_kinds=_as_name_tuple(mutations, "mutation kind"),
+            seed=int(mapping.get("seed", 0)),
+            include_reference=bool(mapping.get("include_reference", True)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "MatrixSpec":
+        """Load a spec from a ``.toml`` or ``.json`` file."""
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        if path.endswith(".json"):
+            mapping = json.loads(raw.decode("utf-8"))
+        else:
+            toml = _toml_module()
+            try:
+                mapping = toml.loads(raw.decode("utf-8"))
+            except toml.TOMLDecodeError as error:
+                raise ValueError(f"cannot parse sweep spec {path!r}: {error}") from error
+        if not isinstance(mapping, Mapping):
+            raise ValueError(f"sweep spec {path!r} must be a table/object at the top level")
+        return cls.from_mapping(mapping)
+
+    # -- identity ----------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Canonical JSON-serialisable form (stored in the manifest)."""
+        return {
+            "families": list(self.families),
+            "sizes": {family: list(self.sizes[family]) for family in self.families},
+            "modes": list(self.modes),
+            "mutants": self.mutants,
+            "mutations": list(self.mutation_kinds),
+            "seed": self.seed,
+            "include_reference": self.include_reference,
+        }
+
+    def fingerprint(self) -> str:
+        """Digest of the canonical spec — the resume-compatibility check."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def default_campaign_id(self) -> str:
+        """A short content-derived campaign id (``mx-<12 hex digits>``)."""
+        return f"mx-{self.fingerprint()[:12]}"
+
+    # -- expansion ---------------------------------------------------------
+
+    def cells(self) -> List[MatrixCell]:
+        """Expand into cells, silently dropping unsupported (family, mode)
+        combinations (see :meth:`skipped_combinations`); error if nothing is
+        left."""
+        cells = []
+        for family in self.families:
+            supported = family_capability(family).modes
+            for size in self.sizes[family]:
+                for mode in self.modes:
+                    if mode in supported:
+                        cells.append(MatrixCell(family, size, mode, self.mutants))
+        if not cells:
+            raise ValueError(
+                "the sweep is empty: no requested family supports any requested mode"
+            )
+        return cells
+
+    def skipped_combinations(self) -> List[Tuple[str, str]]:
+        """(family, mode) pairs the expansion dropped — surfaced in reports so
+        partial coverage is never silent."""
+        skipped = []
+        for family in self.families:
+            supported = family_capability(family).modes
+            for mode in self.modes:
+                if mode not in supported:
+                    skipped.append((family, mode))
+        return skipped
+
+
+@dataclass
+class MatrixRunResult:
+    """Everything a front-end needs after a sweep: per-cell rows + totals."""
+
+    campaign_id: str
+    manifest_path: str
+    summary_path: str
+    rows: List[Dict]  # one per cell, in spec order
+    totals: Dict
+    reused_cells: int  # completed cells skipped thanks to the manifest
+    skipped_combinations: List[Tuple[str, str]]
+    wall_seconds: float
+
+    @property
+    def trustworthy(self) -> bool:
+        """False when any cell errored or any reference circuit violated its
+        own specification (mirrors the single-campaign exit-code contract)."""
+        return not (
+            self.totals.get("errors", 0)
+            or any(row.get("reference_violated") for row in self.rows)
+        )
+
+
+class MatrixScheduler:
+    """Drives a :class:`MatrixSpec` to completion, checkpointing every cell."""
+
+    def __init__(
+        self,
+        spec: MatrixSpec,
+        workers: int = 1,
+        report_dir: str = "campaign_reports",
+        manifest_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        campaign_id: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.spec = spec
+        self.workers = workers
+        self.report_dir = report_dir
+        self.manifest_dir = manifest_dir or default_manifest_dir()
+        self.cache_dir = cache_dir
+        self.campaign_id = campaign_id or spec.default_campaign_id()
+
+    @classmethod
+    def resume(
+        cls,
+        campaign_id: str,
+        workers: int = 1,
+        report_dir: str = "campaign_reports",
+        manifest_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+    ) -> "MatrixScheduler":
+        """Rebuild a scheduler from a manifest alone (``campaign --resume <id>``)."""
+        manifest = CampaignManifest.load(manifest_dir or default_manifest_dir(), campaign_id)
+        spec = MatrixSpec.from_mapping(manifest.spec)
+        return cls(spec, workers=workers, report_dir=report_dir,
+                   manifest_dir=manifest_dir, cache_dir=cache_dir,
+                   campaign_id=campaign_id)
+
+    # -- internals ---------------------------------------------------------
+
+    def _cell_report_path(self, cell: MatrixCell) -> str:
+        return os.path.join(self.report_dir, self.campaign_id, f"{cell.cell_id}.jsonl")
+
+    def _cell_config(self, cell: MatrixCell) -> CampaignConfig:
+        return CampaignConfig(
+            family=cell.family,
+            size=cell.size,
+            mutants=cell.mutants,
+            mutation_kinds=self.spec.mutation_kinds,
+            mode=cell.mode,
+            workers=self.workers,
+            seed=self.spec.seed,
+            include_reference=self.spec.include_reference,
+            report_path=self._cell_report_path(cell),
+            cache_dir=self.cache_dir,
+        )
+
+    def _open_manifest(self, resume: bool) -> CampaignManifest:
+        cell_ids = [cell.cell_id for cell in self.spec.cells()]
+        if resume:
+            manifest = CampaignManifest.load(self.manifest_dir, self.campaign_id)
+            manifest.check_fingerprint(self.spec.fingerprint())
+            if sorted(manifest.cells) != sorted(cell_ids):  # pragma: no cover - fingerprint guards this
+                raise ManifestError(
+                    f"manifest {self.campaign_id!r} tracks a different cell set"
+                )
+            return manifest
+        return CampaignManifest.create(
+            self.manifest_dir, self.campaign_id, self.spec.to_dict(),
+            self.spec.fingerprint(), cell_ids,
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        resume: bool = False,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> MatrixRunResult:
+        """Run (or resume) the sweep; returns per-cell rows and totals.
+
+        On ``KeyboardInterrupt`` (or any crash) the manifest is left with the
+        current cell in ``running`` state, so the next ``run(resume=True)``
+        re-queues exactly that cell and skips everything already ``done``.
+        """
+        say = progress or (lambda message: None)
+        start = time.perf_counter()
+        cells = self.spec.cells()
+        by_id = {cell.cell_id: cell for cell in cells}
+        manifest = self._open_manifest(resume)
+
+        reused = set(manifest.completed_cell_ids())
+        interrupted = manifest.interrupted_cell_ids()
+        if reused:
+            say(f"resume: {len(reused)} of {len(cells)} cell(s) already done")
+        if interrupted:
+            say(f"resume: re-queueing interrupted cell(s): {', '.join(interrupted)}")
+
+        todo = [by_id[cell_id] for cell_id in manifest.remaining_cell_ids()]
+        todo.sort(key=estimate_cell_cost)
+
+        os.makedirs(os.path.join(self.report_dir, self.campaign_id), exist_ok=True)
+        pool = None
+        try:
+            if self.workers > 1 and todo:
+                context = Campaign._pool_context()
+                pool = context.Pool(processes=self.workers)
+            for position, cell in enumerate(todo, 1):
+                say(f"[{position}/{len(todo)}] {cell.cell_id} "
+                    f"({cell.mutants} mutant(s), est. cost {estimate_cell_cost(cell):.0f})")
+                manifest.mark_running(cell.cell_id, report_path=self._cell_report_path(cell))
+                summary = Campaign(self._cell_config(cell)).run(pool=pool)
+                manifest.mark_done(cell.cell_id, summary.to_dict())
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+        rows = []
+        for cell in cells:
+            summary = manifest.summary(cell.cell_id) or {}
+            rows.append({
+                "cell": cell.cell_id,
+                "family": cell.family,
+                "size": cell.size,
+                "mode": cell.mode,
+                "reused": cell.cell_id in reused,
+                "jobs": summary.get("jobs", 0),
+                "holds": summary.get("holds", 0),
+                "violated": summary.get("violated", 0),
+                "unsupported": summary.get("unsupported", 0),
+                "errors": summary.get("errors", 0),
+                "cache_hits": summary.get("cache_hits", 0),
+                "wall_seconds": summary.get("wall_seconds", 0.0),
+                "reference_violated": summary.get("reference_violated", False),
+                "report_path": summary.get("report_path"),
+            })
+        totals = {
+            key: sum(row[key] for row in rows)
+            for key in ("jobs", "holds", "violated", "unsupported", "errors", "cache_hits")
+        }
+        totals["wall_seconds"] = sum(row["wall_seconds"] for row in rows)
+        wall = time.perf_counter() - start
+
+        summary_path = os.path.join(self.report_dir, self.campaign_id, "summary.json")
+        result = MatrixRunResult(
+            campaign_id=self.campaign_id,
+            manifest_path=manifest.path,
+            summary_path=summary_path,
+            rows=rows,
+            totals=totals,
+            reused_cells=len(reused),
+            skipped_combinations=self.spec.skipped_combinations(),
+            wall_seconds=wall,
+        )
+        atomic_write_json(summary_path, {
+            "campaign_id": self.campaign_id,
+            "spec": self.spec.to_dict(),
+            "spec_fingerprint": self.spec.fingerprint(),
+            "cells": rows,
+            "totals": totals,
+            "reused_cells": result.reused_cells,
+            "skipped_combinations": [list(pair) for pair in result.skipped_combinations],
+            "wall_seconds": wall,
+        }, indent=2)
+        return result

@@ -15,6 +15,11 @@ Subcommands::
     autoq-repro baselines a.qasm b.qasm               # run every baseline checker on a pair
     autoq-repro campaign --family grover --mutants 100 --workers 4
                                                       # parallel bug-hunting campaign
+    autoq-repro campaign --matrix sweep.toml --workers 4
+                                                      # families x sizes x modes sweep
+    autoq-repro campaign --families grover,bv --sizes 2-4 --modes hybrid,composition
+                                                      # the same, from inline flags
+    autoq-repro campaign --resume mx-b123be7f30a4     # continue an interrupted sweep
 
 All commands print a short human-readable report to stdout and exit with a
 non-zero status when a property is violated / a bug is found, so they can be
@@ -25,6 +30,16 @@ reference circuit itself violates the specification, or the configuration is
 invalid; read the violation counts from its JSONL report.  ``campaign`` streams one JSON line
 per verified mutant into that report file and caches verdicts on disk, so
 re-running the same campaign is nearly free.
+
+``campaign`` has two shapes.  With ``--family`` it sweeps mutants of ONE
+family instance (the PR-1 workflow).  With ``--matrix <spec.toml>``, inline
+``--families``/``--sizes``/``--modes`` flags, or ``--resume <id>`` it runs a
+whole benchmark *matrix*: every (family, size, mode) cell becomes its own
+campaign, cells run cheapest-first over a shared worker pool, per-cell JSONL
+reports land under ``--report-dir``, and progress checkpoints into a resumable
+manifest (``--manifest-dir``) keyed by the campaign id printed at the start.
+Interrupt a sweep with Ctrl-C and ``campaign --resume <id>`` finishes it
+without re-verifying completed cells.
 """
 
 from __future__ import annotations
@@ -40,7 +55,14 @@ from .baselines import (
     check_unitary_equivalence,
 )
 from .benchgen import build_family, family_names
-from .campaign import CampaignConfig, run_campaign
+from .campaign import (
+    CampaignConfig,
+    ManifestError,
+    MatrixScheduler,
+    MatrixSpec,
+    format_cell_table,
+    run_campaign,
+)
 from .campaign.plan import MUTATION_KINDS
 from .circuits import inject_random_gate, load_qasm_file, save_qasm_file
 from .circuits.metrics import summarise as circuit_summary
@@ -120,21 +142,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = subparsers.add_parser(
         "campaign",
-        help="parallel bug-hunting campaign: verify many mutants of one benchmark family",
+        help="parallel bug-hunting campaign: sweep mutants of one family, or a whole "
+             "families x sizes x modes matrix (--matrix / --families / --resume)",
     )
-    campaign.add_argument("--family", choices=family_names(), required=True)
+    campaign.add_argument("--family", choices=family_names(), default=None,
+                          help="single-campaign mode: the one family to sweep")
     campaign.add_argument("--size", type=int, default=None,
                           help="family parameter n (default: a per-family campaign size)")
-    campaign.add_argument("--mutants", type=int, default=100,
-                          help="number of mutated circuit copies to verify")
+    campaign.add_argument("--mutants", type=int, default=None,
+                          help="mutated copies to verify, per family instance "
+                               "(default: 100, or 25 per matrix cell)")
     campaign.add_argument("--workers", type=int, default=1,
                           help="worker processes (1 = run everything in-process)")
-    campaign.add_argument("--mode", choices=AnalysisMode.ALL, default=AnalysisMode.HYBRID)
-    campaign.add_argument("--seed", type=int, default=0, help="base seed of the mutation plan")
-    campaign.add_argument("--mutations", default="insert",
-                          help=f"comma-separated mutation kinds from {MUTATION_KINDS}")
+    campaign.add_argument("--mode", choices=AnalysisMode.ALL, default=AnalysisMode.HYBRID,
+                          help="engine mode for single-campaign mode (matrix sweeps "
+                               "use --modes)")
+    campaign.add_argument("--seed", type=int, default=None,
+                          help="base seed of the mutation plan (default 0)")
+    campaign.add_argument("--mutations", default=None,
+                          help=f"comma-separated mutation kinds from {MUTATION_KINDS} "
+                               "(default: insert)")
     campaign.add_argument("--report", default="campaign_report.jsonl",
-                          help="JSONL report path (one line per job)")
+                          help="single-campaign JSONL report path (one line per job)")
     campaign.add_argument("--cache-dir", default=None,
                           help="result cache directory (default: $AUTOQ_REPRO_CACHE_DIR "
                                "or ~/.cache/autoq-repro/campaign)")
@@ -142,6 +171,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable the persistent result cache for this run")
     campaign.add_argument("--skip-reference", action="store_true",
                           help="do not verify the unmutated reference circuit")
+    campaign.add_argument("--matrix", metavar="SPEC", default=None,
+                          help="matrix mode: sweep spec file (TOML or JSON; see "
+                               "examples/matrix_sweep.toml)")
+    campaign.add_argument("--families", default=None,
+                          help="matrix mode: comma-separated families to sweep "
+                               "(overrides the spec file)")
+    campaign.add_argument("--sizes", default=None,
+                          help="matrix mode: sizes for every family, e.g. '3', '2-4' "
+                               "or '2,4' (per-family sizes: use a spec file)")
+    campaign.add_argument("--modes", default=None,
+                          help="matrix mode: comma-separated engine modes "
+                               f"from {AnalysisMode.ALL}")
+    campaign.add_argument("--resume", metavar="ID", default=None,
+                          help="resume the campaign with this id: completed cells are "
+                               "skipped, interrupted ones re-queued")
+    campaign.add_argument("--campaign-id", default=None,
+                          help="matrix mode: explicit campaign id (default: derived "
+                               "from the spec fingerprint)")
+    campaign.add_argument("--report-dir", default="campaign_reports",
+                          help="matrix mode: directory for per-cell JSONL reports and "
+                               "the summary.json roll-up")
+    campaign.add_argument("--manifest-dir", default=None,
+                          help="matrix mode: manifest directory (default: "
+                               "$AUTOQ_REPRO_MANIFEST_DIR or "
+                               "~/.cache/autoq-repro/manifests)")
     return parser
 
 
@@ -279,17 +333,100 @@ def _command_baselines(args) -> int:
     return 1 if any_difference else 0
 
 
+def _build_matrix_scheduler(args) -> MatrixScheduler:
+    """Assemble the matrix scheduler from a spec file, inline flags, and/or a
+    manifest to resume (flags override the file; a bare ``--resume`` rebuilds
+    the spec from the manifest alone)."""
+    cache_dir = "" if args.no_cache else args.cache_dir
+    common = dict(workers=args.workers, report_dir=args.report_dir,
+                  manifest_dir=args.manifest_dir, cache_dir=cache_dir)
+    overrides = {
+        "families": args.families,
+        "sizes": args.sizes,
+        "modes": args.modes,
+        "mutants": args.mutants,
+        "mutations": args.mutations,
+        "seed": args.seed,
+    }
+    overrides = {key: value for key, value in overrides.items() if value is not None}
+    if args.skip_reference:
+        overrides["include_reference"] = False
+
+    if args.matrix is None and "families" not in overrides:
+        # no spec source except the manifest: plain resume
+        if args.resume is None:
+            raise ValueError(
+                "campaign needs --family (single sweep), or --matrix/--families "
+                "(matrix sweep), or --resume <id>"
+            )
+        if overrides:
+            raise ValueError(
+                f"cannot change {sorted(overrides)} while resuming from a manifest "
+                "alone; pass the original --matrix spec if you must re-check it"
+            )
+        return MatrixScheduler.resume(args.resume, **common)
+
+    if args.campaign_id and args.resume and args.campaign_id != args.resume:
+        raise ValueError(
+            f"--campaign-id {args.campaign_id!r} conflicts with --resume "
+            f"{args.resume!r}; pass a single id"
+        )
+    mapping = MatrixSpec.from_file(args.matrix).to_dict() if args.matrix else {}
+    mapping.update(overrides)
+    spec = MatrixSpec.from_mapping(mapping)
+    campaign_id = args.campaign_id or args.resume
+    return MatrixScheduler(spec, campaign_id=campaign_id, **common)
+
+
+def _command_campaign_matrix(args) -> int:
+    try:
+        scheduler = _build_matrix_scheduler(args)
+        print(f"campaign:  {scheduler.campaign_id} "
+              f"({len(scheduler.spec.cells())} cell(s), {args.workers} worker(s))")
+        print(f"manifest:  {scheduler.manifest_dir}")
+        for family, mode in scheduler.spec.skipped_combinations():
+            print(f"warning:   skipping {family} x {mode} (unsupported mode)", file=sys.stderr)
+        result = scheduler.run(resume=args.resume is not None, progress=print)
+    except (ValueError, ManifestError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot write report, cache, or manifest: {error}", file=sys.stderr)
+        return 2
+    print(format_cell_table(result.rows, result.totals))
+    if result.reused_cells:
+        print(f"resumed:   {result.reused_cells} cell(s) reused from the manifest")
+    print(f"time:      {result.wall_seconds:.2f}s wall this run")
+    print(f"reports:   {result.summary_path}")
+    for row in result.rows:
+        if row["reference_violated"]:
+            print(f"warning:   {row['cell']}: the UNMUTATED reference circuit violates "
+                  "the specification — its mutant verdicts are suspect", file=sys.stderr)
+    return 0 if result.trustworthy else 1
+
+
 def _command_campaign(args) -> int:
-    kinds = tuple(kind.strip() for kind in args.mutations.split(",") if kind.strip())
+    if args.matrix or args.families or args.resume or args.sizes or args.modes:
+        if args.family is not None:
+            print("error: --family selects a single campaign; use --families for a "
+                  "matrix sweep", file=sys.stderr)
+            return 2
+        return _command_campaign_matrix(args)
+    if args.family is None:
+        print("error: campaign needs --family (single sweep), or --matrix/--families "
+              "(matrix sweep), or --resume <id>", file=sys.stderr)
+        return 2
+    mutations = args.mutations if args.mutations is not None else "insert"
+    kinds = tuple(kind.strip() for kind in mutations.split(",") if kind.strip())
     try:
         config = CampaignConfig(
             family=args.family,
             size=args.size,
-            mutants=args.mutants,
+            mutants=args.mutants if args.mutants is not None else 100,
             mutation_kinds=kinds,
             mode=args.mode,
             workers=args.workers,
-            seed=args.seed,
+            seed=args.seed if args.seed is not None else 0,
             include_reference=not args.skip_reference,
             report_path=args.report,
             cache_dir="" if args.no_cache else args.cache_dir,
@@ -302,8 +439,9 @@ def _command_campaign(args) -> int:
         print(f"error: cannot write report or cache: {error}", file=sys.stderr)
         return 2
     print(f"campaign:  {summary.benchmark} ({summary.mode} mode, {summary.workers} worker(s))")
+    unsupported = f", unsupported: {summary.unsupported}" if summary.unsupported else ""
     print(f"jobs:      {summary.jobs}  (holds: {summary.holds}, violated: {summary.violated}, "
-          f"errors: {summary.errors})")
+          f"errors: {summary.errors}{unsupported})")
     print(f"cache:     {summary.cache_hits} hit(s)")
     print(f"time:      {summary.wall_seconds:.2f}s wall, "
           f"{summary.analysis_seconds:.2f}s cumulative analysis")

@@ -224,6 +224,16 @@ class TestCampaignRunner:
         summary = run_campaign(_config(tmp_path, cache_dir="", mutants=0))
         assert not summary.reference_violated
 
+    def test_unsupported_reference_is_not_flagged_as_violated(self, tmp_path):
+        # GHZ's H gate has no permutation encoding: the reference verdict is
+        # "unsupported", which is neither an error nor a spec violation
+        summary = run_campaign(
+            _config(tmp_path, family="ghz", mode="permutation", mutants=0, cache_dir="")
+        )
+        assert summary.unsupported == 1
+        assert summary.errors == 0
+        assert not summary.reference_violated
+
     def test_unknown_family_raises_value_error(self, tmp_path):
         with pytest.raises(ValueError):
             Campaign(_config(tmp_path, family="grover2"))

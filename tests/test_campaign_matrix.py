@@ -1,0 +1,432 @@
+"""Tests for the campaign matrix scheduler and its resumable manifest."""
+
+import json
+import os
+
+import pytest
+
+from repro.benchgen.families import (
+    FAMILY_BUILDERS,
+    FAMILY_CAPABILITIES,
+    default_campaign_sizes,
+    family_capability,
+    validate_family_mode,
+    validate_family_size,
+)
+from repro.campaign import (
+    CampaignManifest,
+    ManifestError,
+    MatrixCell,
+    MatrixRunResult,
+    MatrixScheduler,
+    MatrixSpec,
+    estimate_cell_cost,
+    format_cell_table,
+    parse_sizes,
+    read_report,
+)
+from repro.campaign.manifest import CELL_DONE, CELL_PENDING, CELL_RUNNING
+
+
+class TestFamilyCapabilities:
+    def test_every_family_has_a_capability_record(self):
+        assert set(FAMILY_CAPABILITIES) == set(FAMILY_BUILDERS)
+
+    def test_default_campaign_sizes_are_valid(self):
+        for family in FAMILY_BUILDERS:
+            for size in default_campaign_sizes(family):
+                validate_family_size(family, size)
+
+    def test_capability_is_alias_aware(self):
+        assert family_capability("grover") is family_capability("grover-single")
+
+    def test_size_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            validate_family_size("grover", 1)
+
+    def test_unsupported_mode_rejected(self):
+        with pytest.raises(ValueError):
+            validate_family_mode("grover", "permutation")
+        assert validate_family_mode("mctoffoli", "permutation") == "permutation"
+
+    def test_default_sizes_finish_fast_enough_for_campaigns(self):
+        # every capability default must actually build (guards registry drift)
+        for family in FAMILY_BUILDERS:
+            capability = FAMILY_CAPABILITIES[family]
+            assert capability.min_size <= min(capability.campaign_sizes)
+
+
+class TestParseSizes:
+    def test_single_int(self):
+        assert parse_sizes(4) == (4,)
+
+    def test_range_string(self):
+        assert parse_sizes("2-5") == (2, 3, 4, 5)
+
+    def test_comma_list_string(self):
+        assert parse_sizes("5,3,3") == (3, 5)
+
+    def test_mixed_list(self):
+        assert parse_sizes([2, "4-5"]) == (2, 4, 5)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            parse_sizes("5-2")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_sizes("two")
+        with pytest.raises(ValueError):
+            parse_sizes(True)
+
+
+def _spec(**overrides) -> MatrixSpec:
+    mapping = dict(
+        families=["mctoffoli", "ghz"],
+        sizes={"mctoffoli": [2], "ghz": [3]},
+        modes=["hybrid"],
+        mutants=2,
+    )
+    mapping.update(overrides)
+    return MatrixSpec.from_mapping(mapping)
+
+
+class TestMatrixSpec:
+    def test_aliases_resolve(self):
+        spec = MatrixSpec.from_mapping({"families": "grover", "sizes": 2})
+        assert spec.families == ("grover-single",)
+
+    def test_default_sizes_from_registry(self):
+        spec = MatrixSpec.from_mapping({"families": ["ghz"]})
+        assert spec.sizes["ghz"] == default_campaign_sizes("ghz")
+
+    def test_shared_sizes_apply_to_every_family(self):
+        spec = MatrixSpec.from_mapping({"families": ["mctoffoli", "ghz"], "sizes": "2-3"})
+        assert spec.sizes["mctoffoli"] == spec.sizes["ghz"] == (2, 3)
+
+    def test_nested_matrix_table_accepted(self):
+        spec = MatrixSpec.from_mapping({"matrix": {"families": ["ghz"], "mutants": 7}})
+        assert spec.mutants == 7
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec keys"):
+            MatrixSpec.from_mapping({"families": ["ghz"], "mutantz": 3})
+
+    def test_sizes_for_unlisted_family_rejected(self):
+        with pytest.raises(ValueError, match="not in 'families'"):
+            MatrixSpec.from_mapping({"families": ["ghz"], "sizes": {"bv": 3}})
+
+    def test_out_of_range_size_rejected(self):
+        with pytest.raises(ValueError, match="needs size >="):
+            MatrixSpec.from_mapping({"families": ["grover"], "sizes": 1})
+
+    def test_unknown_mode_and_mutation_rejected(self):
+        with pytest.raises(ValueError, match="unknown analysis mode"):
+            _spec(modes=["turbo"])
+        with pytest.raises(ValueError, match="unknown mutation kind"):
+            _spec(mutations=["teleport"])
+
+    def test_cells_expand_in_spec_order(self):
+        spec = _spec(sizes={"mctoffoli": "2-3", "ghz": [3]})
+        assert [cell.cell_id for cell in spec.cells()] == [
+            "mctoffoli-n2-hybrid",
+            "mctoffoli-n3-hybrid",
+            "ghz-n3-hybrid",
+        ]
+
+    def test_unsupported_combinations_are_skipped_not_fatal(self):
+        spec = _spec(modes=["hybrid", "permutation"])
+        ids = [cell.cell_id for cell in spec.cells()]
+        assert "mctoffoli-n2-permutation" in ids
+        assert "ghz-n3-permutation" not in ids
+        assert ("ghz", "permutation") in spec.skipped_combinations()
+
+    def test_fully_unsupported_sweep_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            MatrixSpec.from_mapping(
+                {"families": ["ghz"], "modes": ["permutation"]}
+            ).cells()
+
+    def test_fingerprint_tracks_content(self):
+        assert _spec().fingerprint() == _spec().fingerprint()
+        assert _spec().fingerprint() != _spec(mutants=3).fingerprint()
+        assert _spec().default_campaign_id().startswith("mx-")
+
+    def test_round_trips_through_to_dict(self):
+        spec = _spec(mutations=["insert", "remove"], seed=9)
+        rebuilt = MatrixSpec.from_mapping(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_from_toml_file(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            'families = ["mctoffoli"]\nmodes = ["hybrid"]\nmutants = 3\n\n'
+            '[sizes]\nmctoffoli = "2-3"\n'
+        )
+        spec = MatrixSpec.from_file(str(path))
+        assert spec.sizes["mctoffoli"] == (2, 3)
+        assert spec.mutants == 3
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"families": ["ghz"], "sizes": [3, 4]}))
+        assert MatrixSpec.from_file(str(path)).sizes["ghz"] == (3, 4)
+
+    def test_bad_toml_is_a_value_error(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text("families = [unclosed")
+        with pytest.raises(ValueError):
+            MatrixSpec.from_file(str(path))
+
+    def test_example_spec_file_parses(self):
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        spec = MatrixSpec.from_file(os.path.join(repo_root, "examples", "matrix_sweep.toml"))
+        assert spec.cells()
+
+
+class TestCostOrdering:
+    def test_bigger_sizes_cost_more(self):
+        small = MatrixCell("ghz", 3, "hybrid", 5)
+        large = MatrixCell("ghz", 6, "hybrid", 5)
+        assert estimate_cell_cost(small) < estimate_cell_cost(large)
+
+    def test_composition_costs_more_than_permutation(self):
+        base = dict(family="mctoffoli", size=3, mutants=5)
+        assert estimate_cell_cost(MatrixCell(mode="permutation", **base)) < estimate_cell_cost(
+            MatrixCell(mode="composition", **base)
+        )
+
+
+class TestManifest:
+    def test_create_load_round_trip(self, tmp_path):
+        manifest = CampaignManifest.create(
+            str(tmp_path), "mx-test", {"families": ["ghz"]}, "fp", ["a", "b"]
+        )
+        loaded = CampaignManifest.load(str(tmp_path), "mx-test")
+        assert loaded.spec == {"families": ["ghz"]}
+        assert loaded.cell_ids() == ["a", "b"]
+        assert loaded.status("a") == CELL_PENDING
+        assert manifest.path == loaded.path
+
+    def test_transitions_persist(self, tmp_path):
+        manifest = CampaignManifest.create(str(tmp_path), "mx-test", {}, "fp", ["a", "b"])
+        manifest.mark_running("a", report_path="a.jsonl")
+        manifest.mark_done("a", {"jobs": 3})
+        manifest.mark_running("b")
+        loaded = CampaignManifest.load(str(tmp_path), "mx-test")
+        assert loaded.status("a") == CELL_DONE
+        assert loaded.summary("a") == {"jobs": 3}
+        assert loaded.status("b") == CELL_RUNNING
+        assert loaded.completed_cell_ids() == ["a"]
+        assert loaded.interrupted_cell_ids() == ["b"]
+        assert loaded.remaining_cell_ids() == ["b"]
+        assert not loaded.is_complete()
+
+    def test_missing_manifest_is_an_error(self, tmp_path):
+        with pytest.raises(ManifestError, match="no manifest"):
+            CampaignManifest.load(str(tmp_path), "mx-nope")
+
+    def test_corrupt_manifest_is_an_error(self, tmp_path):
+        path = CampaignManifest.path_for(str(tmp_path), "mx-bad")
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("{broken")
+        with pytest.raises(ManifestError, match="cannot read"):
+            CampaignManifest.load(str(tmp_path), "mx-bad")
+
+    def test_fingerprint_mismatch_is_an_error(self, tmp_path):
+        manifest = CampaignManifest.create(str(tmp_path), "mx-test", {}, "fp-one", ["a"])
+        manifest.check_fingerprint("fp-one")
+        with pytest.raises(ManifestError, match="different sweep spec"):
+            manifest.check_fingerprint("fp-two")
+
+    def test_default_manifest_dir_matches_its_documentation(self, monkeypatch):
+        from repro.campaign.manifest import MANIFEST_DIR_ENV, default_manifest_dir
+
+        monkeypatch.setenv(MANIFEST_DIR_ENV, "/tmp/custom-manifests")
+        assert default_manifest_dir() == "/tmp/custom-manifests"
+        monkeypatch.delenv(MANIFEST_DIR_ENV)
+        expected_suffix = os.path.join(".cache", "autoq-repro", "manifests")
+        assert default_manifest_dir().endswith(expected_suffix)
+
+
+def _scheduler(tmp_path, spec, **overrides) -> MatrixScheduler:
+    settings = dict(
+        workers=1,
+        report_dir=str(tmp_path / "reports"),
+        manifest_dir=str(tmp_path / "manifests"),
+        cache_dir="",  # isolate manifest semantics from the result cache
+    )
+    settings.update(overrides)
+    return MatrixScheduler(spec, **settings)
+
+
+class TestMatrixScheduler:
+    def test_end_to_end_sweep(self, tmp_path):
+        spec = _spec(sizes={"mctoffoli": "2-3", "ghz": [3]})
+        result = _scheduler(tmp_path, spec).run()
+        assert [row["cell"] for row in result.rows] == [c.cell_id for c in spec.cells()]
+        assert result.totals["jobs"] == sum(row["jobs"] for row in result.rows)
+        assert result.totals["jobs"] == 3 * (spec.mutants + 1)
+        assert result.reused_cells == 0
+        assert result.trustworthy
+        # per-cell JSONL reports exist and are well-formed
+        for row in result.rows:
+            records = read_report(row["report_path"])
+            assert len(records) == row["jobs"]
+        # the roll-up JSON mirrors the in-memory result
+        with open(result.summary_path) as handle:
+            rollup = json.load(handle)
+        assert rollup["totals"] == result.totals
+        assert rollup["campaign_id"] == result.campaign_id
+        # the manifest is complete
+        manifest = CampaignManifest.load(str(tmp_path / "manifests"), result.campaign_id)
+        assert manifest.is_complete()
+
+    def test_cells_run_cheapest_first(self, tmp_path):
+        spec = _spec(sizes={"mctoffoli": [2], "ghz": [5]})
+        seen = []
+        _scheduler(tmp_path, spec).run(progress=seen.append)
+        cell_lines = [line for line in seen if line.startswith("[")]
+        assert "mctoffoli-n2-hybrid" in cell_lines[0]
+        assert "ghz-n5-hybrid" in cell_lines[1]
+
+    def test_mid_cell_kill_then_resume_matches_uninterrupted_run(self, tmp_path, monkeypatch):
+        spec = _spec(sizes={"mctoffoli": "2-3", "ghz": [3]}, mutants=3)
+
+        # uninterrupted baseline, fully separate state directories
+        baseline = _scheduler(tmp_path / "baseline", spec).run()
+
+        # kill the sweep in the middle of its second cell: execute_job raises
+        # once the first cell (mutants+1 jobs) and one more job have run
+        import repro.campaign.runner as runner_module
+
+        real_execute = runner_module.execute_job
+        calls = {"count": 0}
+
+        def dying_execute(job):
+            calls["count"] += 1
+            if calls["count"] == spec.mutants + 2:
+                raise KeyboardInterrupt
+            return real_execute(job)
+
+        monkeypatch.setattr(runner_module, "execute_job", dying_execute)
+        scheduler = _scheduler(tmp_path / "resumed", spec)
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.run()
+        monkeypatch.setattr(runner_module, "execute_job", real_execute)
+
+        manifest = CampaignManifest.load(scheduler.manifest_dir, scheduler.campaign_id)
+        assert len(manifest.completed_cell_ids()) == 1
+        assert len(manifest.interrupted_cell_ids()) == 1
+
+        # resume: the done cell must not re-run a single job
+        calls["count"] = 0
+        counting = lambda job: (calls.__setitem__("count", calls["count"] + 1), real_execute(job))[1]
+        monkeypatch.setattr(runner_module, "execute_job", counting)
+        result = _scheduler(tmp_path / "resumed", spec,
+                            campaign_id=scheduler.campaign_id).run(resume=True)
+        assert result.reused_cells == 1
+        remaining_cells = len(spec.cells()) - 1
+        assert calls["count"] == remaining_cells * (spec.mutants + 1)
+
+        # the final summary equals the uninterrupted run's
+        def comparable(rows):
+            keys = ("cell", "jobs", "holds", "violated", "unsupported", "errors")
+            return [{key: row[key] for key in keys} for row in rows]
+
+        assert comparable(result.rows) == comparable(baseline.rows)
+        for key in ("jobs", "holds", "violated", "unsupported", "errors"):
+            assert result.totals[key] == baseline.totals[key]
+
+    def test_resume_without_manifest_is_an_error(self, tmp_path):
+        with pytest.raises(ManifestError):
+            MatrixScheduler.resume("mx-missing", manifest_dir=str(tmp_path / "manifests"))
+
+    def test_resume_with_changed_spec_is_an_error(self, tmp_path):
+        scheduler = _scheduler(tmp_path, _spec())
+        scheduler.run()
+        changed = _scheduler(tmp_path, _spec(mutants=9),
+                             campaign_id=scheduler.campaign_id)
+        with pytest.raises(ManifestError, match="different sweep spec"):
+            changed.run(resume=True)
+
+    def test_resume_rebuilds_spec_from_manifest(self, tmp_path):
+        scheduler = _scheduler(tmp_path, _spec())
+        first = scheduler.run()
+        resumed = MatrixScheduler.resume(
+            scheduler.campaign_id,
+            report_dir=str(tmp_path / "reports"),
+            manifest_dir=str(tmp_path / "manifests"),
+            cache_dir="",
+        )
+        assert resumed.spec == scheduler.spec
+        result = resumed.run(resume=True)
+        assert result.reused_cells == len(scheduler.spec.cells())
+        assert result.totals == first.totals
+
+    def test_fresh_run_overwrites_a_finished_manifest(self, tmp_path):
+        scheduler = _scheduler(tmp_path, _spec())
+        scheduler.run()
+        result = _scheduler(tmp_path, _spec()).run()  # same id, no resume
+        assert result.reused_cells == 0
+
+    def test_invalid_worker_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            _scheduler(tmp_path, _spec(), workers=0)
+
+    def test_workers_share_a_pool_across_cells(self, tmp_path):
+        spec = _spec(mutants=3)
+        result = _scheduler(tmp_path, spec, workers=2).run()
+        assert result.trustworthy
+        assert result.totals["jobs"] == 2 * (spec.mutants + 1)
+
+    def test_permutation_cells_count_unsupported_mutants(self, tmp_path):
+        # inserting e.g. an H gate into a permutation-mode mctoffoli campaign
+        # must surface as "unsupported", never as an error
+        spec = MatrixSpec.from_mapping({
+            "families": ["mctoffoli"], "sizes": [2], "modes": ["permutation"],
+            "mutants": 8,
+        })
+        result = _scheduler(tmp_path, spec).run()
+        assert result.totals["errors"] == 0
+        assert result.totals["unsupported"] > 0
+        assert result.trustworthy
+
+
+class TestFormatCellTable:
+    def test_table_contains_rows_and_totals(self):
+        rows = [{
+            "cell": "ghz-n3-hybrid", "jobs": 4, "holds": 2, "violated": 2,
+            "unsupported": 0, "errors": 0, "cache_hits": 1,
+            "wall_seconds": 0.25, "reused": True, "reference_violated": False,
+        }]
+        totals = {"jobs": 4, "holds": 2, "violated": 2, "unsupported": 0,
+                  "errors": 0, "cache_hits": 1, "wall_seconds": 0.25}
+        table = format_cell_table(rows, totals)
+        assert "ghz-n3-hybrid" in table
+        assert "resumed" in table
+        assert "total" in table
+        assert "0.25" in table
+
+    def test_reference_violation_is_flagged(self):
+        rows = [{"cell": "x", "jobs": 1, "holds": 0, "violated": 1, "unsupported": 0,
+                 "errors": 0, "cache_hits": 0, "wall_seconds": 0.0,
+                 "reused": False, "reference_violated": True}]
+        assert "REF-VIOLATED" in format_cell_table(rows)
+
+
+class TestMatrixRunResult:
+    def test_trustworthy_accounting(self):
+        base = dict(campaign_id="mx", manifest_path="m", summary_path="s",
+                    reused_cells=0, skipped_combinations=[], wall_seconds=0.0)
+        good = MatrixRunResult(rows=[{"reference_violated": False}],
+                               totals={"errors": 0}, **base)
+        assert good.trustworthy
+        errored = MatrixRunResult(rows=[{"reference_violated": False}],
+                                  totals={"errors": 1}, **base)
+        assert not errored.trustworthy
+        ref = MatrixRunResult(rows=[{"reference_violated": True}],
+                              totals={"errors": 0}, **base)
+        assert not ref.trustworthy

@@ -246,6 +246,89 @@ class TestCampaignCommand:
         assert "reference circuit violates" in capsys.readouterr().err
 
 
+class TestCampaignMatrixCommand:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "campaign",
+            "--report-dir", str(tmp_path / "reports"),
+            "--manifest-dir", str(tmp_path / "manifests"),
+            "--no-cache",
+            *extra,
+        ]
+
+    @pytest.fixture
+    def sweep_toml(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            'families = ["mctoffoli", "ghz"]\nmodes = ["hybrid"]\nmutants = 2\n\n'
+            '[sizes]\nmctoffoli = [2]\nghz = [3]\n'
+        )
+        return str(path)
+
+    def test_matrix_sweep_prints_cell_table(self, tmp_path, sweep_toml, capsys):
+        assert main(self._argv(tmp_path, "--matrix", sweep_toml)) == 0
+        out = capsys.readouterr().out
+        assert "mctoffoli-n2-hybrid" in out
+        assert "ghz-n3-hybrid" in out
+        assert "total" in out
+        assert "summary.json" in out
+
+    def test_resume_reuses_completed_cells(self, tmp_path, sweep_toml, capsys):
+        assert main(self._argv(tmp_path, "--matrix", sweep_toml)) == 0
+        out = capsys.readouterr().out
+        campaign_id = next(word for word in out.split() if word.startswith("mx-"))
+        assert main(self._argv(tmp_path, "--resume", campaign_id)) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s) reused from the manifest" in out
+        assert "resumed" in out
+
+    def test_inline_flags_build_a_sweep(self, tmp_path, capsys):
+        argv = self._argv(tmp_path, "--families", "mctoffoli", "--sizes", "2-3",
+                          "--modes", "hybrid,permutation", "--mutants", "2")
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "mctoffoli-n2-permutation" in out
+        assert "mctoffoli-n3-hybrid" in out
+
+    def test_unsupported_combination_warns_but_runs(self, tmp_path, capsys):
+        argv = self._argv(tmp_path, "--families", "mctoffoli,ghz", "--sizes", "2",
+                          "--modes", "permutation", "--mutants", "1")
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "skipping ghz x permutation" in captured.err
+        assert "mctoffoli-n2-permutation" in captured.out
+
+    def test_family_flag_conflicts_with_matrix_mode(self, tmp_path, sweep_toml, capsys):
+        argv = self._argv(tmp_path, "--matrix", sweep_toml, "--family", "ghz")
+        assert main(argv) == 2
+        assert "--families" in capsys.readouterr().err
+
+    def test_campaign_without_any_selection_is_an_error(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "needs --family" in capsys.readouterr().err
+
+    def test_resume_of_unknown_campaign_is_an_error(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path, "--resume", "mx-doesnotexist")) == 2
+        assert "no manifest" in capsys.readouterr().err
+
+    def test_resume_cannot_change_spec_fields(self, tmp_path, capsys):
+        argv = self._argv(tmp_path, "--resume", "mx-x", "--mutants", "9")
+        assert main(argv) == 2
+        assert "cannot change" in capsys.readouterr().err
+
+    def test_conflicting_resume_and_campaign_id_rejected(self, tmp_path, capsys):
+        argv = self._argv(tmp_path, "--families", "ghz", "--resume", "mx-a",
+                          "--campaign-id", "mx-b")
+        assert main(argv) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_bad_spec_file_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "sweep.toml"
+        path.write_text("families = [unclosed")
+        assert main(self._argv(tmp_path, "--matrix", str(path))) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestBaselinesCommand:
     def test_baselines_agree_on_identical_circuits(self, bell_qasm, capsys):
         assert main(["baselines", bell_qasm, bell_qasm]) == 0

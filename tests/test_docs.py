@@ -1,0 +1,49 @@
+"""Documentation-drift tests: run the docs lint inside tier-1.
+
+The same checks run as the CI ``docs`` job (``scripts/check_docs.py``); having
+them here means a PR that renames a CLI flag or deletes an example cannot pass
+the test suite while its documentation still shows the old world.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "scripts", "check_docs.py")
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location("check_docs", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_intra_repo_links_resolve(check_docs):
+    assert check_docs.check_links() == []
+
+
+def test_documented_cli_invocations_parse(check_docs):
+    assert check_docs.check_cli_invocations() == []
+
+
+def test_cli_docstring_matches_parser(check_docs):
+    assert check_docs.check_cli_docstring() == []
+
+
+def test_documented_example_files_exist(check_docs):
+    assert check_docs.check_example_files() == []
+
+
+def test_checker_detects_a_broken_link(check_docs, tmp_path, monkeypatch):
+    # guard the guard: a fabricated broken doc must actually fail
+    bad = tmp_path / "bad.md"
+    bad.write_text("[gone](does/not/exist.md)\n\n```sh\npython -m repro.cli frobnicate --x\n```\n")
+    monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+    problems = check_docs.check_links(paths=("bad.md",))
+    problems += check_docs.check_cli_invocations(paths=("bad.md",))
+    assert any("broken link" in problem for problem in problems)
+    assert any("unknown subcommand" in problem for problem in problems)
