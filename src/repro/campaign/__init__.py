@@ -25,7 +25,7 @@ from .cache import (
     fingerprint_automaton,
     fingerprint_circuit,
 )
-from .manifest import CampaignManifest, ManifestError, default_manifest_dir
+from .manifest import CampaignManifest, ManifestError, default_manifest_dir, list_campaign_ids
 from .plan import CampaignJob, MutationPlan
 from .report import CampaignReportWriter, format_cell_table, read_report, summarise_records
 from .runner import Campaign, CampaignConfig, CampaignSummary, run_campaign
@@ -57,6 +57,7 @@ __all__ = [
     "CampaignManifest",
     "ManifestError",
     "default_manifest_dir",
+    "list_campaign_ids",
     "MatrixCell",
     "MatrixSpec",
     "MatrixScheduler",

@@ -36,6 +36,7 @@ __all__ = [
     "ManifestError",
     "CampaignManifest",
     "default_manifest_dir",
+    "list_campaign_ids",
 ]
 
 MANIFEST_VERSION = 1
@@ -59,6 +60,15 @@ def default_manifest_dir() -> str:
     if override:
         return override
     return os.path.join(os.path.expanduser("~"), ".cache", "autoq-repro", "manifests")
+
+
+def list_campaign_ids(directory: str) -> List[str]:
+    """Campaign ids with a manifest under ``directory`` (sorted; [] when absent)."""
+    try:
+        names = os.listdir(directory)
+    except (FileNotFoundError, NotADirectoryError):
+        return []
+    return sorted(name[: -len(".json")] for name in names if name.endswith(".json"))
 
 
 class CampaignManifest:
@@ -199,3 +209,22 @@ class CampaignManifest:
 
     def is_complete(self) -> bool:
         return all(cell["status"] == CELL_DONE for cell in self.cells.values())
+
+    # -- aggregation (``campaign ls``) -------------------------------------
+
+    def verdict_totals(self) -> Dict[str, int]:
+        """Verdict counters summed over the stored summaries of ``done`` cells."""
+        totals = {"jobs": 0, "holds": 0, "violated": 0, "unsupported": 0, "errors": 0}
+        for cell in self.cells.values():
+            summary = cell.get("summary") or {}
+            for key in totals:
+                totals[key] += int(summary.get(key, 0) or 0)
+        return totals
+
+    def progress(self) -> Dict[str, int]:
+        """Cell counts by manifest status (``done`` / ``running`` / ``pending``)."""
+        counts = {CELL_DONE: 0, CELL_RUNNING: 0, CELL_PENDING: 0}
+        for cell in self.cells.values():
+            status = cell.get("status", CELL_PENDING)
+            counts[status] = counts.get(status, 0) + 1
+        return counts

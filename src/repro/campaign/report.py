@@ -92,11 +92,14 @@ def summarise_records(records: Iterable[Dict], wall_seconds: Optional[float] = N
     # deduplicated records carry another job's timings, which would make
     # cheap re-runs (or colliding mutants) look heavy
     analysis = 0.0
+    phase_totals: Dict[str, float] = {}
     for record in records:
         if record.get("cached") or record.get("deduplicated"):
             continue
         statistics = record.get("statistics") or {}
         analysis += float(statistics.get("analysis_seconds") or 0.0)
+        for phase, seconds in (statistics.get("phase_seconds") or {}).items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + float(seconds)
     summary = {
         "jobs": len(records),
         "holds": verdicts.count("holds"),
@@ -107,6 +110,7 @@ def summarise_records(records: Iterable[Dict], wall_seconds: Optional[float] = N
         "errors": verdicts.count("error"),
         "cache_hits": sum(1 for record in records if record.get("cached")),
         "analysis_seconds": analysis,
+        "phase_seconds": phase_totals,
     }
     if wall_seconds is not None:
         summary["wall_seconds"] = wall_seconds

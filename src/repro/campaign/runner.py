@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..benchgen.families import build_family
@@ -120,6 +120,9 @@ class CampaignSummary:
     unsupported: int = 0
     #: the *unmutated* circuit failed its spec — every mutant verdict is suspect
     reference_violated: bool = False
+    #: per-phase engine wall-clock summed over freshly verified jobs
+    #: (``tag``/``terms``/``bin``/``untag``/``permutation``/``reduce``)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -235,6 +238,7 @@ class Campaign:
             wall_seconds=wall,
             report_path=config.report_path,
             reference_violated=reference_violated,
+            phase_seconds=summary["phase_seconds"],
         )
 
     @staticmethod

@@ -496,6 +496,7 @@ class MatrixScheduler:
                 "wall_seconds": summary.get("wall_seconds", 0.0),
                 "reference_violated": summary.get("reference_violated", False),
                 "report_path": summary.get("report_path"),
+                "phase_seconds": summary.get("phase_seconds", {}),
             })
         totals = {
             key: sum(row[key] for row in rows)

@@ -20,6 +20,7 @@ Subcommands::
     autoq-repro campaign --families grover,bv --sizes 2-4 --modes hybrid,composition
                                                       # the same, from inline flags
     autoq-repro campaign --resume mx-b123be7f30a4     # continue an interrupted sweep
+    autoq-repro campaign ls                           # list campaigns in the manifest dir
 
 All commands print a short human-readable report to stdout and exit with a
 non-zero status when a property is violated / a bug is found, so they can be
@@ -39,7 +40,14 @@ campaign, cells run cheapest-first over a shared worker pool, per-cell JSONL
 reports land under ``--report-dir``, and progress checkpoints into a resumable
 manifest (``--manifest-dir``) keyed by the campaign id printed at the start.
 Interrupt a sweep with Ctrl-C and ``campaign --resume <id>`` finishes it
-without re-verifying completed cells.
+without re-verifying completed cells.  ``campaign ls`` lists every manifest in
+the manifest directory with its per-verdict cell counts and whether
+``--resume`` would pick up remaining work.
+
+``verify`` and ``campaign`` accept ``--profile``, which prints the per-phase
+engine breakdown (tag/terms/bin/untag for the composition pipeline, plus
+permutation and reduce time) after the run; campaign JSONL records always
+carry the same breakdown under ``statistics.phase_seconds``.
 """
 
 from __future__ import annotations
@@ -57,10 +65,13 @@ from .baselines import (
 from .benchgen import build_family, family_names
 from .campaign import (
     CampaignConfig,
+    CampaignManifest,
     ManifestError,
     MatrixScheduler,
     MatrixSpec,
+    default_manifest_dir,
     format_cell_table,
+    list_campaign_ids,
     run_campaign,
 )
 from .campaign.plan import MUTATION_KINDS
@@ -87,6 +98,8 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--family", choices=family_names(), required=True)
     verify.add_argument("--size", type=int, required=True, help="family parameter n")
     verify.add_argument("--mode", choices=AnalysisMode.ALL, default=AnalysisMode.HYBRID)
+    verify.add_argument("--profile", action="store_true",
+                        help="print the per-phase engine breakdown (tag/terms/bin/reduce)")
 
     simulate = subparsers.add_parser("simulate", help="exact simulation of one basis input")
     simulate.add_argument("circuit", help="OpenQASM 2.0 file")
@@ -143,8 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = subparsers.add_parser(
         "campaign",
         help="parallel bug-hunting campaign: sweep mutants of one family, or a whole "
-             "families x sizes x modes matrix (--matrix / --families / --resume)",
+             "families x sizes x modes matrix (--matrix / --families / --resume); "
+             "'campaign ls' lists the manifests",
     )
+    campaign.add_argument("action", nargs="?", choices=("ls",), default=None,
+                          help="'ls' lists every campaign manifest (cells by verdict, "
+                               "resumability) instead of running a sweep")
     campaign.add_argument("--family", choices=family_names(), default=None,
                           help="single-campaign mode: the one family to sweep")
     campaign.add_argument("--size", type=int, default=None,
@@ -196,7 +213,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="matrix mode: manifest directory (default: "
                                "$AUTOQ_REPRO_MANIFEST_DIR or "
                                "~/.cache/autoq-repro/manifests)")
+    campaign.add_argument("--profile", action="store_true",
+                          help="print the aggregated per-phase engine breakdown of the "
+                               "sweep (freshly verified jobs only)")
     return parser
+
+
+def _format_phases(phase_seconds) -> str:
+    """Render a per-phase timing dict as ``name=1.234s`` pairs, slowest first."""
+    if not phase_seconds:
+        return "(no per-phase timings recorded)"
+    ordered = sorted(phase_seconds.items(), key=lambda item: (-item[1], item[0]))
+    return "  ".join(f"{name}={seconds:.3f}s" for name, seconds in ordered)
 
 
 def _command_verify(args) -> int:
@@ -208,6 +236,8 @@ def _command_verify(args) -> int:
     print(f"output TA: {result.output.size_summary()}")
     print(f"analysis:  {result.statistics.analysis_seconds:.2f}s, "
           f"comparison: {result.comparison_seconds:.2f}s")
+    if args.profile:
+        print(f"phases:    {_format_phases(result.statistics.phase_seconds)}")
     print(f"verdict:   {'HOLDS' if result.holds else 'VIOLATED'}")
     if result.witness is not None:
         print(f"witness ({result.witness_kind}): {result.witness}")
@@ -396,6 +426,12 @@ def _command_campaign_matrix(args) -> int:
     print(format_cell_table(result.rows, result.totals))
     if result.reused_cells:
         print(f"resumed:   {result.reused_cells} cell(s) reused from the manifest")
+    if args.profile:
+        phase_totals: dict = {}
+        for row in result.rows:
+            for phase, seconds in (row.get("phase_seconds") or {}).items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+        print(f"phases:    {_format_phases(phase_totals)}")
     print(f"time:      {result.wall_seconds:.2f}s wall this run")
     print(f"reports:   {result.summary_path}")
     for row in result.rows:
@@ -405,7 +441,55 @@ def _command_campaign_matrix(args) -> int:
     return 0 if result.trustworthy else 1
 
 
+def _command_campaign_ls(args) -> int:
+    """``campaign ls``: list every manifest with cell counts by verdict."""
+    directory = args.manifest_dir or default_manifest_dir()
+    campaign_ids = list_campaign_ids(directory)
+    print(f"manifests: {directory}")
+    if not campaign_ids:
+        print("(no campaign manifests)")
+        return 0
+    header = (f"{'campaign':<24} {'cells':>9} {'jobs':>7} {'holds':>7} "
+              f"{'violated':>8} {'unsup':>6} {'errors':>6}  status")
+    print(header)
+    print("-" * len(header))
+    for campaign_id in campaign_ids:
+        try:
+            manifest = CampaignManifest.load(directory, campaign_id)
+        except ManifestError as error:
+            print(f"{campaign_id:<24} (unreadable: {error})", file=sys.stderr)
+            continue
+        progress = manifest.progress()
+        totals = manifest.verdict_totals()
+        done, total = progress["done"], len(manifest.cells)
+        if manifest.is_complete():
+            status = "complete"
+        else:
+            pieces = []
+            if progress["running"]:
+                pieces.append(f"{progress['running']} interrupted")
+            if progress["pending"]:
+                pieces.append(f"{progress['pending']} pending")
+            status = f"resumable ({', '.join(pieces)})"
+        print(f"{campaign_id:<24} {f'{done}/{total}':>9} {totals['jobs']:>7} "
+              f"{totals['holds']:>7} {totals['violated']:>8} {totals['unsupported']:>6} "
+              f"{totals['errors']:>6}  {status}")
+    return 0
+
+
 def _command_campaign(args) -> int:
+    if args.action == "ls":
+        conflicting = [flag for flag, value in (
+            ("--family", args.family), ("--families", args.families),
+            ("--matrix", args.matrix), ("--resume", args.resume),
+            ("--sizes", args.sizes), ("--modes", args.modes),
+            ("--mutants", args.mutants), ("--mutations", args.mutations),
+        ) if value is not None]
+        if conflicting:
+            print(f"error: campaign ls only lists manifests; drop {', '.join(conflicting)}",
+                  file=sys.stderr)
+            return 2
+        return _command_campaign_ls(args)
     if args.matrix or args.families or args.resume or args.sizes or args.modes:
         if args.family is not None:
             print("error: --family selects a single campaign; use --families for a "
@@ -445,6 +529,8 @@ def _command_campaign(args) -> int:
     print(f"cache:     {summary.cache_hits} hit(s)")
     print(f"time:      {summary.wall_seconds:.2f}s wall, "
           f"{summary.analysis_seconds:.2f}s cumulative analysis")
+    if args.profile:
+        print(f"phases:    {_format_phases(summary.phase_seconds)}")
     print(f"report:    {summary.report_path}")
     if summary.reference_violated:
         print("warning:   the UNMUTATED reference circuit violates the specification — "

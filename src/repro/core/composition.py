@@ -24,13 +24,13 @@ TA per term, fold the terms with the binary operation, apply the global
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import time
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..algebraic import ONE, ZERO, AlgebraicNumber
 from ..circuits.gates import Gate
 from ..ta.automaton import (
     InternalTransition,
-    Symbol,
     TreeAutomaton,
     intern_transition,
     make_symbol,
@@ -52,41 +52,80 @@ __all__ = [
 ]
 
 
+def _copy_subtrees(
+    source: TreeAutomaton,
+    seeds: List[int],
+    offset: int,
+    internal: Dict[int, Tuple[InternalTransition, ...]],
+    leaves: Dict[int, AlgebraicNumber],
+    leaf_scalar: AlgebraicNumber,
+) -> None:
+    """Add an id-shifted copy of the subtrees rooted at ``seeds`` to ``internal``/``leaves``.
+
+    This is the fused replacement for the transformers' old "copy the whole
+    automaton, then prune the unreachable half" pattern (shared with the
+    permutation encoding's primed-copy constructions): only the states
+    actually reachable from ``seeds`` (the redirected branches) are built, so
+    no post-hoc :meth:`~TreeAutomaton.remove_useless` pass is needed.  Copied
+    leaves carry ``amplitude * leaf_scalar``.
+    """
+    seen: Set[int] = set()
+    stack = list(seeds)
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        transitions = source.internal.get(state)
+        if transitions is None:
+            amplitude = source.leaves.get(state)
+            if amplitude is not None:
+                leaves[state + offset] = (
+                    amplitude if leaf_scalar is ONE else amplitude * leaf_scalar
+                )
+            continue
+        internal[state + offset] = tuple(
+            intern_transition(symbol, left + offset, right + offset)
+            for symbol, left, right in transitions
+        )
+        for _symbol, left, right in transitions:
+            stack.append(left)
+            stack.append(right)
+
+
 def restrict(automaton: TreeAutomaton, qubit: int, bit: int) -> TreeAutomaton:
     """The restriction operation ``Res(A, x_qubit, bit)`` (Algorithm 4).
 
     With ``bit == 1`` the result recognises ``B_{x_qubit} · T`` for every
     ``T`` in the language (positions with the qubit equal to 0 are zeroed);
     with ``bit == 0`` it recognises ``B_{x̄_qubit} · T``.  The construction is
-    tag-preserving.
+    tag-preserving and fused: the zeroed duplicate is only built for the
+    subtrees actually redirected (states below the restricted qubit), so the
+    result needs no pruning and never blows up to a full second copy.
     """
     offset = automaton.next_free_state()
-    internal: Dict[int, List[InternalTransition]] = {}
-    leaves: Dict[int, AlgebraicNumber] = {}
-    # primed copy with zeroed leaves (identical internal structure => same tags)
+    internal: Dict[int, Tuple[InternalTransition, ...]] = {}
+    leaves: Dict[int, AlgebraicNumber] = dict(automaton.leaves)
+    redirected: List[int] = []
     for parent, transitions in automaton.internal.items():
-        internal[parent + offset] = [
-            intern_transition(symbol, left + offset, right + offset)
-            for symbol, left, right in transitions
-        ]
-    for state in automaton.leaves:
-        leaves[state + offset] = ZERO
-    # original copy with x_qubit transitions redirecting the zeroed branch
-    for parent, transitions in automaton.internal.items():
-        rewritten = []
+        changed = False
+        rewritten: List[InternalTransition] = []
         for entry in transitions:
             symbol, left, right = entry
             if symbol_qubit(symbol) == qubit:
                 if bit == 1:
                     rewritten.append(intern_transition(symbol, left + offset, right))
+                    redirected.append(left)
                 else:
                     rewritten.append(intern_transition(symbol, left, right + offset))
+                    redirected.append(right)
+                changed = True
             else:
                 rewritten.append(entry)
-        internal[parent] = rewritten
-    leaves.update(automaton.leaves)
-    result = TreeAutomaton(automaton.num_qubits, automaton.roots, internal, leaves)
-    return result.remove_useless()
+        internal[parent] = tuple(rewritten) if changed else transitions
+    # zeroed copy of exactly the redirected subtrees (identical structure => same tags)
+    _copy_subtrees(automaton, redirected, offset, internal, leaves, leaf_scalar=ZERO)
+    return TreeAutomaton._make(automaton.num_qubits, automaton.roots, internal, leaves)
 
 
 def multiply(automaton: TreeAutomaton, scalar: AlgebraicNumber) -> TreeAutomaton:
@@ -101,18 +140,53 @@ def subtree_copy(automaton: TreeAutomaton, qubit: int, bit: int) -> TreeAutomato
     Only sound when the ``x_qubit`` transitions sit directly above the leaf
     layer (Lemma 6.8); :func:`projection` takes care of moving them there.
     """
-    internal: Dict[int, List[InternalTransition]] = {}
+    internal: Dict[int, Tuple[InternalTransition, ...]] = {}
     for parent, transitions in automaton.internal.items():
-        rewritten = []
+        changed = False
+        rewritten: List[InternalTransition] = []
         for entry in transitions:
             symbol, left, right = entry
             if symbol_qubit(symbol) == qubit:
                 child = right if bit == 1 else left
                 rewritten.append(intern_transition(symbol, child, child))
+                changed = True
             else:
                 rewritten.append(entry)
-        internal[parent] = rewritten
-    return TreeAutomaton(automaton.num_qubits, automaton.roots, internal, automaton.leaves)
+        internal[parent] = tuple(dict.fromkeys(rewritten)) if changed else transitions
+    return TreeAutomaton._make(automaton.num_qubits, automaton.roots, internal, automaton.leaves)
+
+
+def _apply_rewrites(
+    internal: Dict[int, Tuple[InternalTransition, ...]],
+    to_remove: Dict[int, Set[InternalTransition]],
+    to_add: Dict[int, List[InternalTransition]],
+) -> Dict[int, Tuple[InternalTransition, ...]]:
+    """Apply per-parent removals/additions, touching only the parents that change.
+
+    Unchanged parents keep their interned transition tuples; changed ones are
+    rebuilt once (order-preserving, duplicate-free) instead of the old
+    ``list.remove`` loop that was quadratic in the transition count.
+    """
+    result: Dict[int, Tuple[InternalTransition, ...]] = {}
+    for parent, transitions in internal.items():
+        removals = to_remove.get(parent)
+        additions = to_add.get(parent)
+        if removals is None and additions is None:
+            result[parent] = transitions
+            continue
+        merged: Dict[InternalTransition, None] = {}
+        for entry in transitions:
+            if removals is None or entry not in removals:
+                merged[entry] = None
+        if additions is not None:
+            for entry in additions:
+                merged[entry] = None
+        if merged:
+            result[parent] = tuple(merged)
+    for parent, additions in to_add.items():
+        if parent not in internal:
+            result[parent] = tuple(dict.fromkeys(additions))
+    return result
 
 
 def forward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
@@ -122,12 +196,8 @@ def forward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
     by merged-symbol transitions that remember both child tags so that
     :func:`backward_swap` can restore the original order and tags.
     """
-    internal: Dict[int, List[InternalTransition]] = {
-        parent: list(transitions) for parent, transitions in automaton.internal.items()
-    }
-    leaves = dict(automaton.leaves)
     fresh_counter = automaton.next_free_state()
-    to_remove: List[Tuple[int, InternalTransition]] = []
+    to_remove: Dict[int, Set[InternalTransition]] = {}
     to_add: Dict[int, List[InternalTransition]] = {}
 
     for parent, transitions in automaton.internal.items():
@@ -139,7 +209,7 @@ def forward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
             right_transitions = automaton.internal.get(right, ())
             if not left_transitions or not right_transitions:
                 raise ValueError("forward_swap applied at the leaf layer")
-            to_remove.append((parent, (symbol, left, right)))
+            to_remove.setdefault(parent, set()).add(intern_transition(symbol, left, right))
             for left_symbol, l00, l01 in left_transitions:
                 for right_symbol, r10, r11 in right_transitions:
                     lower_qubit = symbol_qubit(left_symbol)
@@ -162,16 +232,13 @@ def forward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
                     to_add.setdefault(new_right, []).append(
                         intern_transition(make_symbol(qubit, parent_tags), l01, r11)
                     )
-                    to_remove.append((left, (left_symbol, l00, l01)))
-                    to_remove.append((right, (right_symbol, r10, r11)))
+                    to_remove.setdefault(left, set()).add(intern_transition(left_symbol, l00, l01))
+                    to_remove.setdefault(right, set()).add(intern_transition(right_symbol, r10, r11))
 
-    for parent, transition in to_remove:
-        if transition in internal.get(parent, []):
-            internal[parent].remove(transition)
-    for parent, transitions in to_add.items():
-        internal.setdefault(parent, []).extend(transitions)
-    internal = {parent: transitions for parent, transitions in internal.items() if transitions}
-    return TreeAutomaton(automaton.num_qubits, automaton.roots, internal, leaves)
+    internal = _apply_rewrites(automaton.internal, to_remove, to_add)
+    return TreeAutomaton._make(
+        automaton.num_qubits, automaton.roots, internal, dict(automaton.leaves)
+    )
 
 
 def backward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
@@ -180,12 +247,8 @@ def backward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
     Inverse of :func:`forward_swap`: pulls the ``x_qubit`` transitions one
     layer up, restoring the original child symbols from the merged tags.
     """
-    internal: Dict[int, List[InternalTransition]] = {
-        parent: list(transitions) for parent, transitions in automaton.internal.items()
-    }
-    leaves = dict(automaton.leaves)
     fresh_counter = automaton.next_free_state()
-    to_remove: List[Tuple[int, InternalTransition]] = []
+    to_remove: Dict[int, Set[InternalTransition]] = {}
     to_add: Dict[int, List[InternalTransition]] = {}
 
     for parent, transitions in automaton.internal.items():
@@ -202,7 +265,7 @@ def backward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
             ]
             if not left_transitions or not right_transitions:
                 continue
-            to_remove.append((parent, (symbol, left, right)))
+            to_remove.setdefault(parent, set()).add(intern_transition(symbol, left, right))
             for left_symbol, c00, c01 in left_transitions:
                 for right_symbol, c10, c11 in right_transitions:
                     if symbol_tags(left_symbol) != symbol_tags(right_symbol):
@@ -220,16 +283,13 @@ def backward_swap(automaton: TreeAutomaton, qubit: int) -> TreeAutomaton:
                     to_add.setdefault(new_right, []).append(
                         intern_transition(make_symbol(lower_qubit, (tags[1],)), c01, c11)
                     )
-                    to_remove.append((left, (left_symbol, c00, c01)))
-                    to_remove.append((right, (right_symbol, c10, c11)))
+                    to_remove.setdefault(left, set()).add(intern_transition(left_symbol, c00, c01))
+                    to_remove.setdefault(right, set()).add(intern_transition(right_symbol, c10, c11))
 
-    for parent, transition in to_remove:
-        if transition in internal.get(parent, []):
-            internal[parent].remove(transition)
-    for parent, transitions in to_add.items():
-        internal.setdefault(parent, []).extend(transitions)
-    internal = {parent: transitions for parent, transitions in internal.items() if transitions}
-    return TreeAutomaton(automaton.num_qubits, automaton.roots, internal, leaves)
+    internal = _apply_rewrites(automaton.internal, to_remove, to_add)
+    return TreeAutomaton._make(
+        automaton.num_qubits, automaton.roots, internal, dict(automaton.leaves)
+    )
 
 
 def projection(automaton: TreeAutomaton, qubit: int, bit: int) -> TreeAutomaton:
@@ -265,62 +325,92 @@ def binary_operation(
     """
     if left.num_qubits != right.num_qubits:
         raise ValueError("operands must have the same number of qubits")
-    right_by_state_symbol: Dict[Tuple[int, Symbol], List[Tuple[int, int]]] = {}
-    for parent, symbol, l_child, r_child in right.transitions():
-        right_by_state_symbol.setdefault((parent, symbol), []).append((l_child, r_child))
+    # the (state, symbol) -> child-pairs index is cached on the right operand,
+    # so repeated products over a shared automaton — the normal case thanks to
+    # the reduce cache — skip the re-indexing pass entirely
+    left_internal = left.internal
+    left_leaves = left.leaves
+    right_leaves = right.leaves
+    right_index = right.pair_index()
 
     pair_ids: Dict[Tuple[int, int], int] = {}
-    internal: Dict[int, List[InternalTransition]] = {}
+    internal: Dict[int, Tuple[InternalTransition, ...]] = {}
     leaves: Dict[int, AlgebraicNumber] = {}
 
     def pair_id(pair: Tuple[int, int]) -> int:
-        if pair not in pair_ids:
-            pair_ids[pair] = len(pair_ids)
-        return pair_ids[pair]
+        identifier = pair_ids.get(pair)
+        if identifier is None:
+            identifier = len(pair_ids)
+            pair_ids[pair] = identifier
+        return identifier
 
-    roots = set()
-    worklist: List[Tuple[int, int]] = []
-    seen = set()
-    for left_root in left.roots:
-        for right_root in right.roots:
-            pair = (left_root, right_root)
-            roots.add(pair_id(pair))
-            worklist.append(pair)
-            seen.add(pair)
+    worklist: List[Tuple[int, int]] = [
+        (left_root, right_root)
+        for left_root in left.roots
+        for right_root in right.roots
+    ]
+    roots = frozenset(pair_id(pair) for pair in worklist)
+    dead_pairs = False
 
     while worklist:
-        left_state, right_state = worklist.pop()
-        current = pair_id((left_state, right_state))
-        if left_state in left.leaves and right_state in right.leaves:
-            left_amp = left.leaves[left_state]
-            right_amp = right.leaves[right_state]
+        pair = worklist.pop()
+        left_state, right_state = pair
+        current = pair_ids[pair]
+        left_amp = left_leaves.get(left_state)
+        right_amp = right_leaves.get(right_state)
+        if left_amp is not None and right_amp is not None:
             leaves[current] = left_amp - right_amp if subtract else left_amp + right_amp
             continue
-        transitions: List[InternalTransition] = []
-        for symbol, l_child, r_child in left.internal.get(left_state, ()):
-            for rl_child, rr_child in right_by_state_symbol.get((right_state, symbol), ()):
-                left_pair = (l_child, rl_child)
-                right_pair = (r_child, rr_child)
-                transitions.append(
-                    intern_transition(symbol, pair_id(left_pair), pair_id(right_pair))
-                )
-                for pair in (left_pair, right_pair):
-                    if pair not in seen:
-                        seen.add(pair)
-                        worklist.append(pair)
+        transitions: Dict[InternalTransition, None] = {}
+        if left_amp is None and right_amp is None:
+            for symbol, l_child, r_child in left_internal.get(left_state, ()):
+                for rl_child, rr_child in right_index.get((right_state, symbol), ()):
+                    left_pair = (l_child, rl_child)
+                    right_pair = (r_child, rr_child)
+                    if left_pair not in pair_ids:
+                        worklist.append(left_pair)
+                    left_id = pair_id(left_pair)
+                    if right_pair not in pair_ids:
+                        worklist.append(right_pair)
+                    transitions[
+                        intern_transition(symbol, left_id, pair_id(right_pair))
+                    ] = None
         if transitions:
-            internal[current] = transitions
-    result = TreeAutomaton(left.num_qubits, roots, internal, leaves)
-    return result.remove_useless()
+            internal[current] = tuple(transitions)
+        else:
+            # leaf/internal mismatch or no matching symbol: the pair is a dead
+            # end and everything only it supports must be pruned afterwards
+            dead_pairs = True
+    result = TreeAutomaton._make(left.num_qubits, roots, internal, leaves)
+    # the memoised worklist only builds root-reachable pairs, so unless a dead
+    # pair appeared the product is already fully useful — no post-hoc pruning
+    return result.remove_useless() if dead_pairs else result
+
+
+def _note_phase(phase_seconds: Optional[Dict[str, float]], name: str, start: float) -> float:
+    """Accumulate ``now - start`` under ``name`` (no-op without a dict); returns now."""
+    now = time.perf_counter()
+    if phase_seconds is not None:
+        phase_seconds[name] = phase_seconds.get(name, 0.0) + (now - start)
+    return now
 
 
 def apply_composition_gate(
-    automaton: TreeAutomaton, gate: Gate, formula: UpdateFormula = None
+    automaton: TreeAutomaton,
+    gate: Gate,
+    formula: UpdateFormula = None,
+    phase_seconds: Optional[Dict[str, float]] = None,
 ) -> TreeAutomaton:
-    """Apply a gate with the composition-based approach (Section 6.2, Fig. 3)."""
+    """Apply a gate with the composition-based approach (Section 6.2, Fig. 3).
+
+    ``phase_seconds`` optionally accumulates wall-clock per pipeline phase
+    (``tag`` / ``terms`` / ``bin`` / ``untag``) for the engine's statistics.
+    """
     if formula is None:
         formula = formula_for(gate)
+    start = time.perf_counter()
     tagged = tag(automaton)
+    start = _note_phase(phase_seconds, "tag", start)
     term_automata: List[TreeAutomaton] = []
     for term in formula.terms:
         term_automaton = tagged
@@ -333,9 +423,13 @@ def apply_composition_gate(
         if scalar != ONE:
             term_automaton = multiply(term_automaton, scalar)
         term_automata.append(term_automaton)
+    start = _note_phase(phase_seconds, "terms", start)
     combined = term_automata[0]
     for term_automaton in term_automata[1:]:
         combined = binary_operation(combined, term_automaton)
     if formula.sqrt2_divisions:
         combined = multiply(combined, AlgebraicNumber(1, 0, 0, 0, formula.sqrt2_divisions))
-    return untag(combined)
+    start = _note_phase(phase_seconds, "bin", start)
+    result = untag(combined)
+    _note_phase(phase_seconds, "untag", start)
+    return result

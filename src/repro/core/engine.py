@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate
@@ -29,7 +29,39 @@ from ..ta.automaton import TreeAutomaton
 from .composition import apply_composition_gate
 from .permutation import PermutationUnsupported, apply_permutation_gate, supports_permutation
 
-__all__ = ["AnalysisMode", "EngineStatistics", "EngineResult", "CircuitEngine", "run_circuit"]
+__all__ = [
+    "AnalysisMode",
+    "EngineStatistics",
+    "EngineResult",
+    "CircuitEngine",
+    "run_circuit",
+    "gate_cache_stats",
+    "clear_gate_cache",
+]
+
+# ------------------------------------------------------------------ gate cache
+# Gate application is a pure function of (automaton structure, gate, mode), and
+# repetitive circuits — Grover iterations, QFT layers, campaign sweeps over
+# mutants of one reference — present the same pair over and over.  The memo
+# below keys the *reduced* result on the automaton's structure key, so a
+# repeated (automaton, gate) application costs one O(size) fingerprint instead
+# of the whole tag/terms/bin/reduce pipeline.
+_GATE_CACHE: Dict[tuple, Tuple[TreeAutomaton, bool]] = {}
+#: safety valve mirroring the intern tables: stop storing beyond this size.
+_MAX_GATE_CACHE = 16384
+_GATE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def gate_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the per-process gate-application memo."""
+    return {"size": len(_GATE_CACHE), **_GATE_CACHE_STATS}
+
+
+def clear_gate_cache() -> None:
+    """Drop the gate-application memo and reset its counters."""
+    _GATE_CACHE.clear()
+    _GATE_CACHE_STATS["hits"] = 0
+    _GATE_CACHE_STATS["misses"] = 0
 
 
 class AnalysisMode:
@@ -53,6 +85,10 @@ class EngineStatistics:
     max_transitions: int = 0
     analysis_seconds: float = 0.0
     per_gate_seconds: List[float] = field(default_factory=list)
+    #: wall-clock per pipeline phase: ``tag`` / ``terms`` / ``bin`` / ``untag``
+    #: (composition), ``permutation`` (permutation encoding), ``reduce`` (the
+    #: post-gate reduction); gate-memo hits skip every phase and record nothing
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def record(self, automaton: TreeAutomaton, elapsed: float, used_permutation: bool) -> None:
         self.gates_total += 1
@@ -64,6 +100,10 @@ class EngineStatistics:
         self.max_transitions = max(self.max_transitions, automaton.num_transitions)
         self.per_gate_seconds.append(elapsed)
         self.analysis_seconds += elapsed
+
+    def record_phase(self, name: str, seconds: float) -> None:
+        """Accumulate per-phase wall-clock (tag/terms/bin/untag/permutation/reduce)."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
     # -------------------------------------------------------- timing accessors
     @property
@@ -109,6 +149,7 @@ class EngineStatistics:
             "p50_gate_seconds": self.percentile_gate_seconds(50),
             "p90_gate_seconds": self.percentile_gate_seconds(90),
             "max_gate_seconds": self.percentile_gate_seconds(100),
+            "phase_seconds": dict(self.phase_seconds),
         }
 
 
@@ -131,29 +172,60 @@ class CircuitEngine:
         self.reduce_after_each_gate = reduce_after_each_gate
 
     # ----------------------------------------------------------------- gates
-    def apply_gate(self, automaton: TreeAutomaton, gate: Gate) -> TreeAutomaton:
+    def apply_gate(
+        self, automaton: TreeAutomaton, gate: Gate, statistics: Optional[EngineStatistics] = None
+    ) -> TreeAutomaton:
         """Apply one gate, returning the (optionally reduced) successor TA."""
-        result, _used_permutation = self._apply_gate_raw(automaton, gate)
-        if self.reduce_after_each_gate:
-            result = result.reduce()
+        result, _used_permutation = self._apply_gate_cached(automaton, gate, statistics)
         return result
 
-    def _apply_gate_raw(self, automaton: TreeAutomaton, gate: Gate):
+    def _apply_gate_cached(
+        self, automaton: TreeAutomaton, gate: Gate, statistics: Optional[EngineStatistics]
+    ):
+        """Memoised gate application: (structure, gate, settings) -> reduced TA."""
+        key = (automaton.structure_key(), gate, self.mode, self.reduce_after_each_gate)
+        cached = _GATE_CACHE.get(key)
+        if cached is not None:
+            _GATE_CACHE_STATS["hits"] += 1
+            return cached
+        _GATE_CACHE_STATS["misses"] += 1
+        result, used_permutation = self._apply_gate_raw(automaton, gate, statistics)
+        if self.reduce_after_each_gate:
+            start = time.perf_counter()
+            result = result.reduce()
+            if statistics is not None:
+                statistics.record_phase("reduce", time.perf_counter() - start)
+        if len(_GATE_CACHE) < _MAX_GATE_CACHE:
+            _GATE_CACHE[key] = (result, used_permutation)
+        return result, used_permutation
+
+    def _apply_gate_raw(
+        self,
+        automaton: TreeAutomaton,
+        gate: Gate,
+        statistics: Optional[EngineStatistics] = None,
+    ):
         if gate.kind in ("swap", "cswap"):
             raise ValueError(
                 f"gate {gate.kind!r} must be decomposed first (use Circuit.decomposed())"
             )
+        phases = statistics.phase_seconds if statistics is not None else None
         if self.mode == AnalysisMode.COMPOSITION:
-            return apply_composition_gate(automaton, gate), False
-        if self.mode == AnalysisMode.PERMUTATION:
-            return apply_permutation_gate(automaton, gate), True
-        # hybrid
-        if supports_permutation(gate):
+            return apply_composition_gate(automaton, gate, phase_seconds=phases), False
+        if self.mode == AnalysisMode.PERMUTATION or (
+            self.mode == AnalysisMode.HYBRID and supports_permutation(gate)
+        ):
+            start = time.perf_counter()
             try:
-                return apply_permutation_gate(automaton, gate), True
+                result = apply_permutation_gate(automaton, gate)
             except PermutationUnsupported:
-                pass
-        return apply_composition_gate(automaton, gate), False
+                if self.mode == AnalysisMode.PERMUTATION:
+                    raise
+            else:
+                if statistics is not None:
+                    statistics.record_phase("permutation", time.perf_counter() - start)
+                return result, True
+        return apply_composition_gate(automaton, gate, phase_seconds=phases), False
 
     # --------------------------------------------------------------- circuits
     def run(self, circuit: Circuit, precondition: TreeAutomaton) -> EngineResult:
@@ -167,9 +239,7 @@ class CircuitEngine:
         automaton = precondition
         for gate in circuit.decomposed():
             start = time.perf_counter()
-            automaton, used_permutation = self._apply_gate_raw(automaton, gate)
-            if self.reduce_after_each_gate:
-                automaton = automaton.reduce()
+            automaton, used_permutation = self._apply_gate_cached(automaton, gate, statistics)
             elapsed = time.perf_counter() - start
             statistics.record(automaton, elapsed, used_permutation)
         if not self.reduce_after_each_gate:

@@ -24,6 +24,7 @@ from typing import Dict, List, Tuple
 from ..algebraic import ONE, AlgebraicNumber
 from ..circuits.gates import Gate
 from ..ta.automaton import InternalTransition, TreeAutomaton, intern_transition, symbol_qubit
+from .composition import _copy_subtrees
 
 __all__ = ["PermutationUnsupported", "supports_permutation", "apply_permutation_gate"]
 
@@ -102,17 +103,43 @@ def apply_permutation_gate(automaton: TreeAutomaton, gate: Gate) -> TreeAutomato
 # --------------------------------------------------------------------------- helpers
 def _swap_children(automaton: TreeAutomaton, target: int) -> TreeAutomaton:
     """The ``X_t`` construction: swap children of every ``x_target`` transition."""
-    internal: Dict[int, List[InternalTransition]] = {}
+    internal: Dict[int, Tuple[InternalTransition, ...]] = {}
     for parent, transitions in automaton.internal.items():
-        rewritten = []
+        changed = False
+        rewritten: List[InternalTransition] = []
         for entry in transitions:
             symbol, left, right = entry
-            if symbol_qubit(symbol) == target:
+            if symbol_qubit(symbol) == target and left != right:
                 rewritten.append(intern_transition(symbol, right, left))
+                changed = True
             else:
                 rewritten.append(entry)
-        internal[parent] = rewritten
-    return TreeAutomaton(automaton.num_qubits, automaton.roots, internal, automaton.leaves)
+        internal[parent] = tuple(rewritten) if changed else transitions
+    return TreeAutomaton._make(
+        automaton.num_qubits, automaton.roots, internal, automaton.leaves
+    )
+
+
+def _redirect_right_children(
+    automaton: TreeAutomaton, qubit: int, offset: int
+) -> Tuple[Dict[int, Tuple[InternalTransition, ...]], List[int]]:
+    """Rewrite every ``x_qubit`` transition to send its right child into the
+    ``+offset`` copy; returns the new transition map and the redirected children."""
+    internal: Dict[int, Tuple[InternalTransition, ...]] = {}
+    redirected: List[int] = []
+    for parent, transitions in automaton.internal.items():
+        changed = False
+        rewritten: List[InternalTransition] = []
+        for entry in transitions:
+            symbol, left, right = entry
+            if symbol_qubit(symbol) == qubit:
+                rewritten.append(intern_transition(symbol, left, right + offset))
+                redirected.append(right)
+                changed = True
+            else:
+                rewritten.append(entry)
+        internal[parent] = tuple(rewritten) if changed else transitions
+    return internal, redirected
 
 
 def _scale_branches(
@@ -121,30 +148,15 @@ def _scale_branches(
     """Algorithm 1's scaling step: multiply the ``b_target = 0`` branch amplitudes
     by ``scalar0`` and the ``b_target = 1`` branch amplitudes by ``scalar1``."""
     offset = automaton.next_free_state()
-    internal: Dict[int, List[InternalTransition]] = {}
-    leaves: Dict[int, AlgebraicNumber] = {}
     # original part: leaves scaled by scalar0, x_target right children redirected
-    for parent, transitions in automaton.internal.items():
-        rewritten = []
-        for entry in transitions:
-            symbol, left, right = entry
-            if symbol_qubit(symbol) == target:
-                rewritten.append(intern_transition(symbol, left, right + offset))
-            else:
-                rewritten.append(entry)
-        internal[parent] = rewritten
-    for state, amplitude in automaton.leaves.items():
-        leaves[state] = amplitude * scalar0
-    # primed copy: identical structure, leaves scaled by scalar1
-    for parent, transitions in automaton.internal.items():
-        internal[parent + offset] = [
-            intern_transition(symbol, left + offset, right + offset)
-            for symbol, left, right in transitions
-        ]
-    for state, amplitude in automaton.leaves.items():
-        leaves[state + offset] = amplitude * scalar1
-    result = TreeAutomaton(automaton.num_qubits, automaton.roots, internal, leaves)
-    return result.remove_useless()
+    internal, redirected = _redirect_right_children(automaton, target, offset)
+    if scalar0 == ONE:
+        leaves = dict(automaton.leaves)
+    else:
+        leaves = {state: amplitude * scalar0 for state, amplitude in automaton.leaves.items()}
+    # primed copy of exactly the redirected subtrees, leaves scaled by scalar1
+    _copy_subtrees(automaton, redirected, offset, internal, leaves, scalar1)
+    return TreeAutomaton._make(automaton.num_qubits, automaton.roots, internal, leaves)
 
 
 def _apply_controlled(automaton: TreeAutomaton, control: int, inner) -> TreeAutomaton:
@@ -156,26 +168,9 @@ def _apply_controlled(automaton: TreeAutomaton, control: int, inner) -> TreeAuto
     """
     inner_automaton = inner(automaton)
     offset = max(inner_automaton.next_free_state(), automaton.next_free_state())
-    internal: Dict[int, List[InternalTransition]] = {}
-    leaves: Dict[int, AlgebraicNumber] = {}
     # original part with x_control right children redirected into the primed inner copy
-    for parent, transitions in automaton.internal.items():
-        rewritten = []
-        for entry in transitions:
-            symbol, left, right = entry
-            if symbol_qubit(symbol) == control:
-                rewritten.append(intern_transition(symbol, left, right + offset))
-            else:
-                rewritten.append(entry)
-        internal[parent] = rewritten
-    leaves.update(automaton.leaves)
-    # primed copy of the inner-gate automaton
-    for parent, transitions in inner_automaton.internal.items():
-        internal[parent + offset] = [
-            intern_transition(symbol, left + offset, right + offset)
-            for symbol, left, right in transitions
-        ]
-    for state, amplitude in inner_automaton.leaves.items():
-        leaves[state + offset] = amplitude
-    result = TreeAutomaton(automaton.num_qubits, automaton.roots, internal, leaves)
-    return result.remove_useless()
+    internal, redirected = _redirect_right_children(automaton, control, offset)
+    leaves = dict(automaton.leaves)
+    # primed copy of the inner-gate automaton, below the control level only
+    _copy_subtrees(inner_automaton, redirected, offset, internal, leaves, ONE)
+    return TreeAutomaton._make(automaton.num_qubits, automaton.roots, internal, leaves)

@@ -8,9 +8,15 @@ operation combine only trees that originate from the same source tree.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
-from ..ta.automaton import InternalTransition, TreeAutomaton, make_symbol, symbol_qubit
+from ..ta.automaton import (
+    InternalTransition,
+    TreeAutomaton,
+    intern_transition,
+    make_symbol,
+    symbol_qubit,
+)
 
 __all__ = ["tag", "untag"]
 
@@ -24,14 +30,18 @@ def tag(automaton: TreeAutomaton) -> TreeAutomaton:
     if automaton.is_tagged():
         raise ValueError("automaton is already tagged")
     counter = 0
-    internal: Dict[int, List[InternalTransition]] = {}
+    internal: Dict[int, Tuple[InternalTransition, ...]] = {}
     for parent in sorted(automaton.internal):
-        tagged_transitions = []
+        tagged_transitions: List[InternalTransition] = []
         for symbol, left, right in automaton.internal[parent]:
             counter += 1
-            tagged_transitions.append((make_symbol(symbol_qubit(symbol), (counter,)), left, right))
-        internal[parent] = tagged_transitions
-    return TreeAutomaton(automaton.num_qubits, automaton.roots, internal, automaton.leaves)
+            tagged_transitions.append(
+                intern_transition(make_symbol(symbol_qubit(symbol), (counter,)), left, right)
+            )
+        internal[parent] = tuple(tagged_transitions)
+    return TreeAutomaton._make(
+        automaton.num_qubits, automaton.roots, internal, automaton.leaves
+    )
 
 
 def untag(automaton: TreeAutomaton) -> TreeAutomaton:

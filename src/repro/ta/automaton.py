@@ -32,6 +32,7 @@ __all__ = [
     "Symbol",
     "InternalTransition",
     "TreeAutomaton",
+    "CompactForm",
     "make_symbol",
     "symbol_qubit",
     "symbol_tags",
@@ -39,6 +40,8 @@ __all__ = [
     "intern_transitions",
     "intern_table_sizes",
     "clear_intern_tables",
+    "reduce_cache_stats",
+    "clear_reduce_cache",
 ]
 
 #: An internal-node symbol: ``(qubit_index, tags)``.
@@ -109,10 +112,98 @@ def symbol_tags(symbol: Symbol) -> Tuple[int, ...]:
     return symbol[1]
 
 
+# -------------------------------------------------------------- reduce cache
+# ``reduce()`` is called after every gate application, and circuits with
+# repetitive structure (Grover iterations, QFT layers, campaign sweeps over
+# mutants of one circuit) keep presenting the *same* automaton again and
+# again.  The per-process cache below interns whole state-signature tables:
+# it maps the signature of an automaton (its ``structure_key()``) to the
+# fully reduced result, so re-reducing a previously seen
+# automaton is one dict probe instead of re-hashing every subtree — and all
+# callers share one reduced instance, which in turn makes *their* signature
+# lookups (and the hash-consed transition tables) hit more often.
+_REDUCE_CACHE: Dict[tuple, "TreeAutomaton"] = {}
+#: safety valve, same contract as the intern tables: beyond this size new
+#: results are no longer stored (lookups keep working) until an explicit
+#: :func:`clear_reduce_cache`.
+_MAX_REDUCE_CACHE = 8192
+_REDUCE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def reduce_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the per-process reduce cache (diagnostics)."""
+    return {"size": len(_REDUCE_CACHE), **_REDUCE_CACHE_STATS}
+
+
+def clear_reduce_cache() -> None:
+    """Drop the per-process reduce cache and reset its counters."""
+    _REDUCE_CACHE.clear()
+    _REDUCE_CACHE_STATS["hits"] = 0
+    _REDUCE_CACHE_STATS["misses"] = 0
+
+
+def _reduce_cache_put(key: tuple, value: "TreeAutomaton") -> None:
+    if len(_REDUCE_CACHE) < _MAX_REDUCE_CACHE:
+        _REDUCE_CACHE[key] = value
+
+
+class CompactForm:
+    """The canonical flat form of a :class:`TreeAutomaton`.
+
+    States are renumbered to contiguous ids ``0..m-1`` (by ascending original
+    id, so structurally identical automata built the same way get identical
+    forms), transitions are stored per compact state id and — on demand —
+    grouped per interned symbol for the product constructions.  ``key`` is the
+    automaton's full structural signature: a hashable tuple that two automata
+    share iff they are identical up to state renaming along the same order.
+    """
+
+    __slots__ = ("num_qubits", "num_states", "roots", "to_original",
+                 "internal", "leaves", "key", "_by_state_symbol")
+
+    def __init__(self, automaton: "TreeAutomaton"):
+        ordered = sorted(automaton.states)
+        index = {old: new for new, old in enumerate(ordered)}
+        self.num_qubits = automaton.num_qubits
+        self.num_states = len(ordered)
+        self.roots: Tuple[int, ...] = tuple(sorted(index[root] for root in automaton.roots))
+        self.to_original: Tuple[int, ...] = tuple(ordered)
+        internal: List[Tuple[InternalTransition, ...]] = [()] * len(ordered)
+        for parent, transitions in automaton.internal.items():
+            internal[index[parent]] = tuple(
+                intern_transition(symbol, index[left], index[right])
+                for symbol, left, right in transitions
+            )
+        self.internal: Tuple[Tuple[InternalTransition, ...], ...] = tuple(internal)
+        self.leaves: Dict[int, AlgebraicNumber] = {
+            index[state]: amplitude for state, amplitude in automaton.leaves.items()
+        }
+        self.key: tuple = (
+            self.num_qubits,
+            self.roots,
+            self.internal,
+            tuple(sorted(self.leaves.items(), key=lambda item: item[0])),
+        )
+        self._by_state_symbol: Optional[Dict[Tuple[int, Symbol], Tuple[Tuple[int, int], ...]]] = None
+
+    @property
+    def by_state_symbol(self) -> Dict[Tuple[int, Symbol], Tuple[Tuple[int, int], ...]]:
+        """``(state, symbol) -> ((left, right), ...)`` product index (lazy, cached)."""
+        if self._by_state_symbol is None:
+            grouped: Dict[Tuple[int, Symbol], List[Tuple[int, int]]] = {}
+            for parent, transitions in enumerate(self.internal):
+                for symbol, left, right in transitions:
+                    grouped.setdefault((parent, symbol), []).append((left, right))
+            self._by_state_symbol = {key: tuple(value) for key, value in grouped.items()}
+        return self._by_state_symbol
+
+
 class TreeAutomaton:
     """A (nondeterministic, finite) tree automaton encoding quantum-state sets."""
 
-    __slots__ = ("num_qubits", "roots", "internal", "leaves", "_max_state", "_states", "_num_transitions")
+    __slots__ = ("num_qubits", "roots", "internal", "leaves", "_max_state", "_states",
+                 "_num_transitions", "_depths", "_compact", "_reduced", "_skey", "_by_qubit",
+                 "_pair_index")
 
     def __init__(
         self,
@@ -132,6 +223,45 @@ class TreeAutomaton:
         self._max_state: Optional[int] = None
         self._states: Optional[FrozenSet[int]] = None
         self._num_transitions: Optional[int] = None
+        self._depths: Optional[object] = None
+        self._compact: Optional[CompactForm] = None
+        self._reduced = False
+        self._skey: Optional[tuple] = None
+        self._by_qubit: Optional[Dict[int, Tuple[Tuple[int, int, int], ...]]] = None
+        self._pair_index: Optional[Dict[Tuple[int, Symbol], Tuple[Tuple[int, int], ...]]] = None
+
+    @classmethod
+    def _make(
+        cls,
+        num_qubits: int,
+        roots: FrozenSet[int],
+        internal: Dict[int, Tuple[InternalTransition, ...]],
+        leaves: Dict[int, AlgebraicNumber],
+    ) -> "TreeAutomaton":
+        """Trusted fast-path constructor for the kernel transformers.
+
+        The caller guarantees what ``__init__`` would otherwise normalise:
+        ``roots`` is a frozenset, every value of ``internal`` is a non-empty,
+        duplicate-free tuple of *interned* transitions, and neither mapping is
+        mutated afterwards (they may alias another automaton's storage).
+        Skipping the re-interning dictcomp is a large constant win because the
+        transformers construct automata once per gate term.
+        """
+        self = cls.__new__(cls)
+        self.num_qubits = num_qubits
+        self.roots = roots if isinstance(roots, frozenset) else frozenset(roots)
+        self.internal = internal
+        self.leaves = leaves
+        self._max_state = None
+        self._states = None
+        self._num_transitions = None
+        self._depths = None
+        self._compact = None
+        self._reduced = False
+        self._skey = None
+        self._by_qubit = None
+        self._pair_index = None
+        return self
 
     # ----------------------------------------------------------------- basics
     @property
@@ -174,12 +304,94 @@ class TreeAutomaton:
             if symbol_qubit(symbol) == qubit:
                 yield parent, symbol, left, right
 
+    def pair_index(self) -> Dict[Tuple[int, Symbol], Tuple[Tuple[int, int], ...]]:
+        """``(state, symbol) -> ((left, right), ...)`` product index (cached).
+
+        This is the flat per-interned-symbol grouping the worklist product
+        construction (``binary_operation``) probes for matching transitions;
+        caching it on the instance makes repeated products over a shared
+        automaton — the normal case thanks to the reduce cache — skip the
+        re-indexing pass entirely.
+        """
+        if self._pair_index is None:
+            grouped: Dict[Tuple[int, Symbol], List[Tuple[int, int]]] = {}
+            for parent, transitions in self.internal.items():
+                for symbol, left, right in transitions:
+                    grouped.setdefault((parent, symbol), []).append((left, right))
+            self._pair_index = {key: tuple(value) for key, value in grouped.items()}
+        return self._pair_index
+
+    def transitions_by_qubit(self) -> Dict[int, Tuple[Tuple[int, int, int], ...]]:
+        """``qubit -> ((parent, left, right), ...)`` level index (cached).
+
+        This is the flat per-level view the layered algorithms (membership,
+        determinization, complementation) iterate over; tags are dropped
+        because those algorithms only see untagged condition automata.
+        """
+        if self._by_qubit is None:
+            grouped: Dict[int, List[Tuple[int, int, int]]] = {}
+            for parent, transitions in self.internal.items():
+                for symbol, left, right in transitions:
+                    grouped.setdefault(symbol[0], []).append((parent, left, right))
+            self._by_qubit = {qubit: tuple(entries) for qubit, entries in grouped.items()}
+        return self._by_qubit
+
     def next_free_state(self) -> int:
         """Return an integer strictly greater than every existing state id."""
         if self._max_state is None:
             states = self.states
             self._max_state = max(states) if states else -1
         return self._max_state + 1
+
+    def compact(self) -> CompactForm:
+        """The canonical flat form (contiguous ids, per-symbol grouping; cached)."""
+        if self._compact is None:
+            self._compact = CompactForm(self)
+        return self._compact
+
+    def structure_key(self) -> tuple:
+        """A hashable fingerprint of the exact structure (cached).
+
+        Unlike :meth:`compact`, state ids are *not* renumbered: the key is the
+        raw ``(roots, internal, leaves)`` content in insertion order, which is
+        deterministic for a given construction history.  Two automata built by
+        the same transformer sequence over equal inputs therefore get equal
+        keys — exactly the property the reduce and gate caches need — at one
+        O(size) pass without sorting.
+        """
+        if self._skey is None:
+            self._skey = (
+                self.num_qubits,
+                self.roots,
+                tuple(self.internal.items()),
+                tuple(self.leaves.items()),
+            )
+        return self._skey
+
+    def _state_depths(self) -> Optional[Dict[int, int]]:
+        """``state -> depth`` for every root-reachable state (cached).
+
+        Returns ``None`` when some state is reachable at two different depths,
+        i.e. the automaton violates the layering the gate transformers assume;
+        callers then fall back to depth-agnostic algorithms.
+        """
+        if self._depths is None:
+            depths: Dict[int, int] = {}
+            stack: List[Tuple[int, int]] = [(root, 0) for root in self.roots]
+            while stack:
+                state, depth = stack.pop()
+                known = depths.get(state)
+                if known is not None:
+                    if known != depth:
+                        self._depths = False
+                        return None
+                    continue
+                depths[state] = depth
+                for _symbol, left, right in self.internal.get(state, ()):
+                    stack.append((left, depth + 1))
+                    stack.append((right, depth + 1))
+            self._depths = depths
+        return self._depths if self._depths is not False else None
 
     def is_tagged(self) -> bool:
         """True iff any internal symbol carries composition tags."""
@@ -254,23 +466,44 @@ class TreeAutomaton:
     def map_leaves(self, mapper) -> "TreeAutomaton":
         """Return a copy whose leaf amplitudes are transformed by ``mapper``."""
         leaves = {state: mapper(amplitude) for state, amplitude in self.leaves.items()}
-        return TreeAutomaton(self.num_qubits, self.roots, self.internal, leaves)
+        # the internal structure is immutable and interned -> share it outright
+        return TreeAutomaton._make(self.num_qubits, self.roots, self.internal, leaves)
 
     def remove_useless(self) -> "TreeAutomaton":
-        """Drop states that are not both reachable (top-down) and productive (bottom-up)."""
+        """Drop states that are not both reachable (top-down) and productive (bottom-up).
+
+        Productivity is computed with a counting worklist (one pass over the
+        transitions plus one event per state that turns productive), not a
+        repeated fixpoint sweep, so the common no-op case costs O(transitions).
+        """
+        internal = self.internal
         # productive = can generate at least one subtree
         productive: Set[int] = set(self.leaves)
-        changed = True
-        while changed:
-            changed = False
-            for parent, transitions in self.internal.items():
+        # per-transition countdown of unproductive children; child -> cells to
+        # decrement when it turns productive
+        trigger: Dict[int, List[List[int]]] = {}
+        queue: List[int] = []
+        for parent, transitions in internal.items():
+            for _symbol, left, right in transitions:
                 if parent in productive:
-                    continue
-                for _symbol, left, right in transitions:
-                    if left in productive and right in productive:
-                        productive.add(parent)
-                        changed = True
-                        break
+                    break
+                waiting = [child for child in {left, right} if child not in productive]
+                if any(child not in internal for child in waiting):
+                    continue  # a child with no rules at all can never produce
+                if not waiting:
+                    productive.add(parent)
+                    queue.append(parent)
+                    break
+                cell = [parent, len(waiting)]
+                for child in waiting:
+                    trigger.setdefault(child, []).append(cell)
+        while queue:
+            state = queue.pop()
+            for cell in trigger.get(state, ()):
+                cell[1] -= 1
+                if cell[1] == 0 and cell[0] not in productive:
+                    productive.add(cell[0])
+                    queue.append(cell[0])
         # reachable = reachable from a root through productive transitions
         reachable: Set[int] = set()
         stack = [root for root in self.roots if root in productive]
@@ -279,29 +512,30 @@ class TreeAutomaton:
             if state in reachable:
                 continue
             reachable.add(state)
-            for _symbol, left, right in self.internal.get(state, ()):
+            for _symbol, left, right in internal.get(state, ()):
                 if left in productive and right in productive:
                     if left not in reachable:
                         stack.append(left)
                     if right not in reachable:
                         stack.append(right)
-        keep = reachable & productive
+        keep = reachable
         if len(keep) == len(self.states):
             # every state is useful, so no transition can be dropped either
             return self
-        internal = {
-            parent: tuple(
-                entry
-                for entry in transitions
-                if entry[1] in keep and entry[2] in keep
+        new_internal: Dict[int, Tuple[InternalTransition, ...]] = {}
+        for parent, transitions in internal.items():
+            if parent not in keep:
+                continue
+            kept = tuple(
+                entry for entry in transitions if entry[1] in keep and entry[2] in keep
             )
-            for parent, transitions in self.internal.items()
-            if parent in keep
-        }
-        internal = {parent: transitions for parent, transitions in internal.items() if transitions}
+            if kept:
+                new_internal[parent] = transitions if len(kept) == len(transitions) else kept
         leaves = {state: amplitude for state, amplitude in self.leaves.items() if state in keep}
-        roots = {root for root in self.roots if root in keep}
-        return TreeAutomaton(self.num_qubits, roots, internal, leaves)
+        roots = self.roots if keep >= self.roots else frozenset(
+            root for root in self.roots if root in keep
+        )
+        return TreeAutomaton._make(self.num_qubits, roots, new_internal, leaves)
 
     def reduce(self) -> "TreeAutomaton":
         """Merge states with identical outgoing behaviour until a fixpoint.
@@ -310,9 +544,89 @@ class TreeAutomaton:
         states are merged when they have exactly the same successor transitions
         (after previous merges), which is a congruence refinement computed
         bottom-up.  Useless states are removed first and duplicates pruned.
+
+        Results are interned in the per-process reduce cache keyed by the
+        automaton's :meth:`structure_key`, so consecutive gate applications
+        that present a previously seen automaton never re-hash its subtrees —
+        they get the shared, already-reduced instance back.
         """
+        if self._reduced:
+            return self
+        key = self.structure_key()
+        cached = _REDUCE_CACHE.get(key)
+        if cached is not None:
+            _REDUCE_CACHE_STATS["hits"] += 1
+            return cached
+        _REDUCE_CACHE_STATS["misses"] += 1
         automaton = self.remove_useless()
-        representative: Dict[int, int] = {state: state for state in automaton.states}
+        if automaton._reduced:
+            _reduce_cache_put(key, automaton)
+            return automaton
+        if automaton._state_depths() is not None:
+            result = automaton._reduce_layered()
+        else:
+            result = automaton._reduce_fixpoint()
+        result._reduced = True
+        _reduce_cache_put(key, result)
+        if result is not automaton:
+            # idempotence: reducing the result later must also be a cache hit
+            _reduce_cache_put(result.structure_key(), result)
+        return result
+
+    def _reduce_layered(self) -> "TreeAutomaton":
+        """Single bottom-up pass over the depth layers (``self`` useless-free).
+
+        In a layered automaton every transition points one level down, so a
+        state's final signature only depends on strictly deeper states; one
+        sweep from the leaf layer to the roots reaches the congruence fixpoint
+        without re-hashing any subtree twice.
+        """
+        depths = self._state_depths()
+        internal = self.internal
+        leaves = self.leaves
+        by_depth: Dict[int, List[int]] = {}
+        for state, depth in depths.items():
+            by_depth.setdefault(depth, []).append(state)
+
+        representative: Dict[int, int] = {}
+        merged_any = False
+        for depth in sorted(by_depth, reverse=True):
+            table: Dict[object, int] = {}
+            for state in sorted(by_depth[depth]):
+                if state in leaves:
+                    signature: object = leaves[state]
+                else:
+                    signature = frozenset(
+                        intern_transition(symbol, representative[left], representative[right])
+                        for symbol, left, right in internal.get(state, ())
+                    )
+                previous = table.get(signature)
+                if previous is None:
+                    table[signature] = state
+                    representative[state] = state
+                else:
+                    representative[state] = previous
+                    merged_any = True
+        if not merged_any:
+            return self
+        new_internal: Dict[int, Tuple[InternalTransition, ...]] = {}
+        for parent, transitions in internal.items():
+            if representative[parent] != parent:
+                continue  # merged into an earlier state with the same signature
+            new_internal[parent] = tuple(dict.fromkeys(
+                intern_transition(symbol, representative[left], representative[right])
+                for symbol, left, right in transitions
+            ))
+        new_leaves = {
+            state: amplitude for state, amplitude in leaves.items()
+            if representative[state] == state
+        }
+        new_roots = frozenset(representative[root] for root in self.roots)
+        return TreeAutomaton._make(self.num_qubits, new_roots, new_internal, new_leaves)
+
+    def _reduce_fixpoint(self) -> "TreeAutomaton":
+        """Depth-agnostic fallback for non-layered automata (``self`` useless-free)."""
+        representative: Dict[int, int] = {state: state for state in self.states}
 
         def resolve(state: int) -> int:
             while representative[state] != state:
@@ -322,9 +636,9 @@ class TreeAutomaton:
 
         changed = True
         merged_any = False
-        internal = automaton.internal
-        leaves = automaton.leaves
-        ordered_states = sorted(automaton.states)
+        internal = self.internal
+        leaves = self.leaves
+        ordered_states = sorted(self.states)
         while changed:
             changed = False
             signature_to_state: Dict[object, int] = {}
@@ -350,7 +664,7 @@ class TreeAutomaton:
         if not merged_any:
             # nothing merged: the useless-state-free automaton is already reduced,
             # so reuse it (and its interned transition storage) as-is
-            return automaton
+            return self
         new_internal: Dict[int, Dict[InternalTransition, None]] = {}
         for parent, transitions in internal.items():
             rep_parent = resolve(parent)
@@ -358,7 +672,7 @@ class TreeAutomaton:
             for symbol, left, right in transitions:
                 bucket[intern_transition(symbol, resolve(left), resolve(right))] = None
         new_leaves = {resolve(state): amplitude for state, amplitude in leaves.items()}
-        new_roots = {resolve(root) for root in automaton.roots}
+        new_roots = {resolve(root) for root in self.roots}
         reduced = TreeAutomaton(self.num_qubits, new_roots, new_internal, new_leaves)
         return reduced.remove_useless()
 
@@ -370,9 +684,7 @@ class TreeAutomaton:
         leaf_states_by_amplitude: Dict[AlgebraicNumber, Set[int]] = {}
         for leaf_state, amplitude in self.leaves.items():
             leaf_states_by_amplitude.setdefault(amplitude, set()).add(leaf_state)
-        transitions_by_qubit: Dict[int, List[Tuple[int, int, int]]] = {}
-        for parent, symbol, left, right in self.transitions():
-            transitions_by_qubit.setdefault(symbol_qubit(symbol), []).append((parent, left, right))
+        transitions_by_qubit = self.transitions_by_qubit()
 
         cache: Dict[Tuple[int, frozenset], frozenset] = {}
 
@@ -459,25 +771,26 @@ class TreeAutomaton:
     def untagged(self) -> "TreeAutomaton":
         """Return a copy with all composition tags removed from internal symbols."""
         internal = {
-            parent: tuple(
-                (make_symbol(symbol_qubit(symbol)), left, right)
+            parent: tuple(dict.fromkeys(
+                intern_transition(make_symbol(symbol_qubit(symbol)), left, right)
                 for symbol, left, right in transitions
-            )
+            ))
             for parent, transitions in self.internal.items()
         }
-        return TreeAutomaton(self.num_qubits, self.roots, internal, self.leaves)
+        return TreeAutomaton._make(self.num_qubits, self.roots, internal, self.leaves)
 
     def shifted(self, offset: int) -> "TreeAutomaton":
         """Return a copy with every state id shifted by ``offset`` (for disjoint unions)."""
         internal = {
             parent + offset: tuple(
-                (symbol, left + offset, right + offset) for symbol, left, right in transitions
+                intern_transition(symbol, left + offset, right + offset)
+                for symbol, left, right in transitions
             )
             for parent, transitions in self.internal.items()
         }
         leaves = {state + offset: amplitude for state, amplitude in self.leaves.items()}
-        roots = {root + offset for root in self.roots}
-        return TreeAutomaton(self.num_qubits, roots, internal, leaves)
+        roots = frozenset(root + offset for root in self.roots)
+        return TreeAutomaton._make(self.num_qubits, roots, internal, leaves)
 
     def union(self, other: "TreeAutomaton") -> "TreeAutomaton":
         """Language union of two automata over the same number of qubits."""
@@ -486,9 +799,8 @@ class TreeAutomaton:
         offset = self.next_free_state()
         shifted = other.shifted(offset)
         internal = dict(self.internal)
-        for parent, transitions in shifted.internal.items():
-            internal[parent] = tuple(transitions)
+        internal.update(shifted.internal)
         leaves = dict(self.leaves)
         leaves.update(shifted.leaves)
-        roots = set(self.roots) | set(shifted.roots)
-        return TreeAutomaton(self.num_qubits, roots, internal, leaves)
+        roots = self.roots | shifted.roots
+        return TreeAutomaton._make(self.num_qubits, roots, internal, leaves)

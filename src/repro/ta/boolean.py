@@ -56,6 +56,14 @@ def intersection(left: TreeAutomaton, right: TreeAutomaton) -> TreeAutomaton:
             pair_ids[pair] = len(pair_ids)
         return pair_ids[pair]
 
+    # per-(state, qubit) index over the right operand, so the product only
+    # enumerates genuinely matching transition pairs (tags are ignored here:
+    # intersection operates on untagged condition automata)
+    right_index: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for parent, transitions in right.internal.items():
+        for symbol, r_left, r_right in transitions:
+            right_index.setdefault((parent, symbol_qubit(symbol)), []).append((r_left, r_right))
+
     internal: Dict[int, List[InternalTransition]] = {}
     leaves: Dict[int, AlgebraicNumber] = {}
     roots = set()
@@ -79,13 +87,12 @@ def intersection(left: TreeAutomaton, right: TreeAutomaton) -> TreeAutomaton:
             continue
         bucket = internal.setdefault(pair_id(pair), [])
         for symbol, l_left, l_right in left.internal.get(left_state, ()):
-            for other_symbol, r_left, r_right in right.internal.get(right_state, ()):
-                if symbol_qubit(symbol) != symbol_qubit(other_symbol):
-                    continue
+            qubit = symbol_qubit(symbol)
+            for r_left, r_right in right_index.get((right_state, qubit), ()):
                 child_left = (l_left, r_left)
                 child_right = (l_right, r_right)
                 bucket.append(
-                    (make_symbol(symbol_qubit(symbol)), pair_id(child_left), pair_id(child_right))
+                    (make_symbol(qubit), pair_id(child_left), pair_id(child_right))
                 )
                 stack.append(child_left)
                 stack.append(child_right)
@@ -135,9 +142,7 @@ def complement(
         leaves[identifier] = amplitude
         leaf_level_ids.append((macro, identifier))
 
-    transitions_by_qubit: Dict[int, List[Tuple[int, int, int]]] = {}
-    for parent, symbol, left, right in automaton.transitions():
-        transitions_by_qubit.setdefault(symbol_qubit(symbol), []).append((parent, left, right))
+    transitions_by_qubit = automaton.transitions_by_qubit()
 
     internal: Dict[int, List[InternalTransition]] = {}
     level_entries: List[Tuple[FrozenSet[int], int]] = leaf_level_ids

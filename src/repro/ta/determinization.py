@@ -78,10 +78,8 @@ def determinize(automaton: TreeAutomaton) -> TreeAutomaton:
         new_leaves[macro_id(macro)] = amplitude
         current_level[macro] = macro_id(macro)
 
-    # transitions indexed by qubit level
-    transitions_by_qubit: Dict[int, List[Tuple[int, int, int]]] = {}
-    for parent, symbol, left, right in automaton.transitions():
-        transitions_by_qubit.setdefault(symbol_qubit(symbol), []).append((parent, left, right))
+    # transitions indexed by qubit level (shared cached index on the automaton)
+    transitions_by_qubit = automaton.transitions_by_qubit()
 
     new_internal: Dict[int, List[InternalTransition]] = {}
     # process levels bottom-up: the last qubit sits directly above the leaves

@@ -339,3 +339,99 @@ class TestBaselinesCommand:
         assert main(["baselines", bell_qasm, buggy_bell_qasm]) == 1
         out = capsys.readouterr().out
         assert "not_equal" in out
+
+
+class TestCampaignLsCommand:
+    def _manifest_dir(self, tmp_path):
+        return str(tmp_path / "manifests")
+
+    def _run_sweep(self, tmp_path):
+        argv = [
+            "campaign", "--families", "mctoffoli", "--sizes", "2", "--modes", "hybrid",
+            "--mutants", "2", "--no-cache",
+            "--report-dir", str(tmp_path / "reports"),
+            "--manifest-dir", self._manifest_dir(tmp_path),
+        ]
+        assert main(argv) == 0
+
+    def test_ls_lists_completed_campaigns(self, tmp_path, capsys):
+        self._run_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["campaign", "ls", "--manifest-dir", self._manifest_dir(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mx-" in out
+        assert "complete" in out
+        assert "1/1" in out  # one cell, done
+        # the verdict totals come from the stored cell summaries
+        assert "3" in out  # 2 mutants + the reference
+
+    def test_ls_reports_resumable_campaigns(self, tmp_path, capsys):
+        from repro.campaign import CampaignManifest
+
+        directory = self._manifest_dir(tmp_path)
+        manifest = CampaignManifest.create(
+            directory, "mx-partial", {"families": ["ghz"]}, "fp", ["cell-a", "cell-b", "cell-c"]
+        )
+        manifest.mark_running("cell-a")
+        manifest.mark_done("cell-b", {"jobs": 5, "holds": 4, "violated": 1,
+                                      "unsupported": 0, "errors": 0})
+        assert main(["campaign", "ls", "--manifest-dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "mx-partial" in out
+        assert "resumable" in out
+        assert "1 interrupted" in out
+        assert "1 pending" in out
+        assert "1/3" in out
+
+    def test_ls_empty_directory(self, tmp_path, capsys):
+        assert main(["campaign", "ls", "--manifest-dir", self._manifest_dir(tmp_path)]) == 0
+        assert "no campaign manifests" in capsys.readouterr().out
+
+    def test_ls_rejects_sweep_flags(self, tmp_path, capsys):
+        argv = ["campaign", "ls", "--family", "grover",
+                "--manifest-dir", self._manifest_dir(tmp_path)]
+        assert main(argv) == 2
+        assert "--family" in capsys.readouterr().err
+
+    def test_ls_skips_unreadable_manifests(self, tmp_path, capsys):
+        import os
+
+        directory = self._manifest_dir(tmp_path)
+        os.makedirs(directory)
+        with open(os.path.join(directory, "mx-broken.json"), "w") as handle:
+            handle.write("{not json")
+        assert main(["campaign", "ls", "--manifest-dir", directory]) == 0
+        captured = capsys.readouterr()
+        assert "mx-broken" in captured.err
+        assert "unreadable" in captured.err
+
+
+class TestProfileFlag:
+    def test_verify_profile_prints_phase_breakdown(self, capsys):
+        from repro.core.engine import clear_gate_cache
+
+        clear_gate_cache()  # warm memo hits would leave nothing to time
+        assert main(["verify", "--family", "ghz", "--size", "3", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phases:" in out
+        assert "reduce=" in out
+
+    def test_campaign_profile_prints_phase_breakdown(self, tmp_path, capsys):
+        argv = ["campaign", "--family", "grover", "--mutants", "2", "--no-cache",
+                "--report", str(tmp_path / "report.jsonl"), "--profile"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "phases:" in out
+
+    def test_campaign_records_carry_phase_seconds(self, tmp_path):
+        import json
+
+        report = tmp_path / "report.jsonl"
+        argv = ["campaign", "--family", "grover", "--mutants", "2", "--no-cache",
+                "--report", str(report)]
+        assert main(argv) == 0
+        with open(report) as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        assert records
+        for record in records:
+            assert "phase_seconds" in record["statistics"]

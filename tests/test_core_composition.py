@@ -243,3 +243,55 @@ class TestFullGateApplication:
         via_permutation = apply_permutation_gate(automaton, gate).reduce()
         via_composition = apply_composition_gate(automaton, gate).reduce()
         assert check_equivalence(via_permutation, via_composition).equivalent
+
+
+class TestRestrictFusion:
+    """PR-3 regression: Res must build only the zeroed subtrees it redirects,
+    not a full offset-shifted copy of the automaton."""
+
+    def test_restrict_no_full_copy_blowup(self):
+        automaton = tag(all_basis_states_ta(8))
+        # restricting the LAST qubit redirects only leaf children, so the
+        # result may add at most the leaf layer again — a full copy would
+        # roughly double the state count
+        restricted = restrict(automaton, 7, 1)
+        assert restricted.num_states <= automaton.num_states + len(automaton.leaves) + 1
+
+    def test_restrict_result_needs_no_pruning(self):
+        automaton = tag(all_basis_states_ta(5))
+        for qubit in range(5):
+            restricted = restrict(automaton, qubit, 1)
+            # every state of the fused construction is reachable and
+            # productive: remove_useless must be the identity
+            assert restricted.remove_useless() is restricted
+
+    def test_restrict_midlevel_copies_only_the_lower_subtree(self):
+        automaton = tag(all_basis_states_ta(6))
+        restricted = restrict(automaton, 3, 0)
+        # only states strictly below qubit 3 may be duplicated
+        below = {
+            state for state, depth in automaton._state_depths().items() if depth > 3
+        }
+        assert restricted.num_states <= automaton.num_states + len(below)
+        kept_one = untag(restricted)
+        assert kept_one.num_qubits == 6
+
+
+class TestBinaryOperationProduct:
+    """The worklist product must stay pruned without a post-hoc pass."""
+
+    def test_tight_product_needs_no_pruning(self):
+        tagged = tag(all_basis_states_ta(4))
+        left = restrict(tagged, 0, 1)
+        right = restrict(tagged, 0, 0)
+        product = binary_operation(left, right)
+        assert product.remove_useless() is product
+
+    def test_product_prunes_dead_pairs(self):
+        # operands with disjoint tags produce only dead pairs below the roots
+        first = tag(all_basis_states_ta(2))
+        second = tag(all_basis_states_ta(2))
+        shifted = second.shifted(first.next_free_state())
+        product = binary_operation(first, shifted)
+        # no matching root tags -> empty language, and no dangling states
+        assert product.is_empty() or product.remove_useless() is product

@@ -179,3 +179,71 @@ class TestEngineCorrectness:
         hybrid = run_circuit(circuit, inputs, mode=AnalysisMode.HYBRID)
         composition = run_circuit(circuit, inputs, mode=AnalysisMode.COMPOSITION)
         assert check_equivalence(hybrid.output, composition.output).equivalent
+
+
+class TestPhaseTimings:
+    """PR-3: the engine records per-phase wall-clock, not just per-gate."""
+
+    def test_hybrid_run_records_phases(self):
+        from repro.core.engine import clear_gate_cache
+
+        clear_gate_cache()  # a memo hit would skip the phases entirely
+        circuit = Circuit(2).add("h", 0).add("cx", 0, 1).add("t", 1)
+        result = run_circuit(circuit, basis_state_ta(2, "00"))
+        phases = result.statistics.phase_seconds
+        # H goes through the composition pipeline, CX/T through permutation,
+        # and every gate is reduced afterwards
+        for name in ("tag", "terms", "bin", "untag", "permutation", "reduce"):
+            assert name in phases, f"missing phase {name!r} in {sorted(phases)}"
+            assert phases[name] >= 0.0
+        assert "phase_seconds" in result.statistics.to_dict()
+
+    def test_phase_total_is_bounded_by_analysis_time(self):
+        from repro.core.engine import clear_gate_cache
+
+        clear_gate_cache()
+        circuit = Circuit(3).add("h", 0).add("cx", 0, 1).add("ccx", 0, 1, 2)
+        result = run_circuit(circuit, basis_state_ta(3, "000"))
+        statistics = result.statistics
+        assert sum(statistics.phase_seconds.values()) <= statistics.analysis_seconds + 1e-6
+
+
+class TestGateApplicationCache:
+    """PR-3: repeated (automaton, gate) pairs are memoised per process."""
+
+    def test_identical_applications_hit_the_cache(self):
+        from repro.core.engine import clear_gate_cache, gate_cache_stats
+
+        clear_gate_cache()
+        engine = CircuitEngine(mode=AnalysisMode.HYBRID)
+        automaton = basis_state_ta(2, "00")
+        gate = Gate("h", (0,))
+        first = engine.apply_gate(automaton, gate)
+        assert gate_cache_stats()["hits"] == 0
+        second = engine.apply_gate(basis_state_ta(2, "00"), gate)
+        assert gate_cache_stats()["hits"] == 1
+        assert second is first  # the memo returns the shared reduced instance
+
+    def test_cache_respects_engine_settings(self):
+        from repro.core.engine import clear_gate_cache, gate_cache_stats
+
+        clear_gate_cache()
+        automaton = basis_state_ta(2, "00")
+        gate = Gate("h", (0,))
+        hybrid = CircuitEngine(mode=AnalysisMode.HYBRID).apply_gate(automaton, gate)
+        composition = CircuitEngine(mode=AnalysisMode.COMPOSITION).apply_gate(automaton, gate)
+        assert gate_cache_stats()["hits"] == 0  # different mode -> different key
+        assert check_equivalence(hybrid, composition).equivalent
+
+    def test_cached_result_is_correct_across_inputs(self):
+        from repro.core.engine import clear_gate_cache
+
+        clear_gate_cache()
+        engine = CircuitEngine(mode=AnalysisMode.HYBRID)
+        gate = Gate("h", (1,))
+        for bits in ("00", "01", "10", "11", "00"):
+            output = engine.apply_gate(basis_state_ta(2, bits), gate)
+            expected = from_quantum_state(
+                apply_gate_to_state(gate, QuantumState.basis_state(2, bits))
+            )
+            assert check_equivalence(output, expected).equivalent

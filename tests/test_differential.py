@@ -1,16 +1,25 @@
-"""Differential test harness: TA engine vs. statevector vs. path-sum baseline.
+"""Differential test harness: TA engine vs. statevector vs. path-sum baseline
+vs. decision-diagram simulator.
 
-Seeded random circuits (<= 6 qubits) are executed *gate by gate* through three
+Seeded random circuits (<= 6 qubits) are executed *gate by gate* through four
 independent semantics:
 
 * the tree-automaton engine in each :class:`~repro.core.engine.AnalysisMode`,
 * the exact sparse statevector simulator (matrix semantics, Appendix A),
 * an evaluator over the path-sum baseline's symbolic execution (summing the
-  phase-polynomial representation over all path-variable assignments).
+  phase-polynomial representation over all path-variable assignments),
+* the SliQSim-style decision-diagram simulator
+  (:mod:`repro.simulator.decision_diagram`), whose cofactor-based gate
+  application shares no code with either the TA kernel or the sparse matrix
+  semantics.
 
 After every gate the TA language must be exactly the singleton set containing
-the simulator state, and the evaluated path sum must denote the same vector.
-Any divergence pinpoints the first gate where two semantics disagree.
+the simulator state, and the evaluated path sum and expanded diagram must
+denote the same vector.  Any divergence pinpoints the first gate where two
+semantics disagree.  The measurement classes additionally cross-check the TA
+measurement *queries* (probability bounds, certainty, the post-measurement
+automaton of Algorithm 4) against the exact measurement semantics on the
+simulator state.
 """
 
 import itertools
@@ -22,7 +31,14 @@ from repro.algebraic import AlgebraicNumber, ZERO
 from repro.baselines import PathSumChecker
 from repro.circuits import Circuit, Gate, random_circuit
 from repro.core.engine import AnalysisMode, CircuitEngine
+from repro.core.queries import (
+    measurement_probability_bounds,
+    outcome_is_certain,
+    post_measurement_automaton,
+)
 from repro.simulator import StateVectorSimulator
+from repro.simulator.decision_diagram import DDState, DecisionDiagramSimulator
+from repro.simulator.measurement import measurement_probability
 from repro.states import QuantumState
 from repro.ta import basis_state_ta
 
@@ -87,21 +103,29 @@ def _prefix_path_sum_states(circuit: Circuit, input_bits):
 
 
 def _drive(circuit: Circuit, input_bits, mode: str) -> None:
-    """Run all three semantics gate by gate and assert exact agreement."""
+    """Run all four semantics gate by gate and assert exact agreement."""
     engine = CircuitEngine(mode=mode)
     simulator = StateVectorSimulator()
+    dd_simulator = DecisionDiagramSimulator()
     automaton = basis_state_ta(circuit.num_qubits, input_bits)
     state = QuantumState.basis_state(circuit.num_qubits, input_bits)
+    diagram = DDState.basis_state(circuit.num_qubits, input_bits, dd_simulator.manager)
     pathsum_states = _prefix_path_sum_states(circuit, input_bits)
     for position, gate in enumerate(circuit.decomposed()):
         automaton = engine.apply_gate(automaton, gate)
         state = simulator.apply_gate(state, gate)
+        diagram = dd_simulator.apply_gate(diagram, gate)
         enumerated = automaton.enumerate_states(limit=4)
         assert enumerated == [state], (
             f"TA/{mode} diverged from the simulator after gate {position} ({gate}): "
             f"{enumerated} != {state}"
         )
         assert_states_close(pathsum_states[position], state)
+        expanded = diagram.to_quantum_state()
+        assert expanded == state, (
+            f"decision diagram diverged from the simulator after gate {position} "
+            f"({gate}): {expanded} != {state}"
+        )
 
 
 def _seeded_inputs(seed: int, num_qubits: int):
@@ -134,6 +158,69 @@ class TestDifferentialPermutation:
         num_qubits = rng.randint(2, 6)
         circuit = _random_permutation_circuit(num_qubits, num_gates=10, seed=seed + 200)
         _drive(circuit, _seeded_inputs(seed, num_qubits), AnalysisMode.PERMUTATION)
+
+
+def _final_automaton_and_state(seed: int, mode: str):
+    """Run one seeded random circuit to the end under ``mode``; return (TA, state)."""
+    rng = random.Random(seed + 300)
+    num_qubits = rng.randint(2, 5)
+    circuit = random_circuit(num_qubits, num_gates=8, seed=seed + 300)
+    input_bits = _seeded_inputs(seed, num_qubits)
+    engine = CircuitEngine(mode=mode)
+    simulator = StateVectorSimulator()
+    automaton = basis_state_ta(num_qubits, input_bits)
+    state = QuantumState.basis_state(num_qubits, input_bits)
+    for gate in circuit.decomposed():
+        automaton = engine.apply_gate(automaton, gate)
+        state = simulator.apply_gate(state, gate)
+    return automaton, state
+
+
+class TestDifferentialMeasurement:
+    """Measurement queries on the output TA vs. exact measurement semantics.
+
+    The output language is the singleton {simulator state}, so the TA-level
+    bounds must collapse to that state's exact probabilities, certainty must
+    coincide, and the post-measurement automaton (the paper's restriction
+    applied as a standalone transformer) must accept exactly the un-normalised
+    collapsed state.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("mode", [AnalysisMode.HYBRID, AnalysisMode.COMPOSITION])
+    def test_probability_bounds_match_the_simulator(self, seed, mode):
+        automaton, state = _final_automaton_and_state(seed, mode)
+        for qubit in range(state.num_qubits):
+            for value in (0, 1):
+                expected = measurement_probability(state, qubit, value)
+                low, high = measurement_probability_bounds(automaton, qubit, value)
+                assert abs(low - expected) < 1e-9 and abs(high - expected) < 1e-9, (
+                    f"bounds for qubit {qubit}={value} diverged: "
+                    f"[{low}, {high}] != {expected}"
+                )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_certainty_matches_the_simulator(self, seed):
+        automaton, state = _final_automaton_and_state(seed, AnalysisMode.HYBRID)
+        for qubit in range(state.num_qubits):
+            for value in (0, 1):
+                expected = measurement_probability(state, qubit, 1 - value) < 1e-12
+                assert outcome_is_certain(automaton, qubit, value) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_post_measurement_automaton_matches_collapse(self, seed):
+        automaton, state = _final_automaton_and_state(seed, AnalysisMode.HYBRID)
+        for qubit in range(state.num_qubits):
+            for value in (0, 1):
+                collapsed = post_measurement_automaton(automaton, qubit, value)
+                # the un-normalised collapse: survivors keep their amplitude,
+                # the complementary branch is zeroed (zero entries drop out)
+                expected = QuantumState(state.num_qubits, {
+                    bits: amplitude
+                    for bits, amplitude in state.items()
+                    if bits[qubit] == value
+                })
+                assert collapsed.enumerate_states(limit=4) == [expected]
 
 
 class TestPathSumEvaluator:

@@ -212,3 +212,83 @@ class TestConstructionHelpers:
             from_quantum_states([])
         with pytest.raises(ValueError):
             from_quantum_states([QuantumState.zero_state(2), QuantumState.zero_state(3)])
+
+
+class TestCompactFormAndCaches:
+    """The PR-3 kernel substrate: compact form, structure keys, reduce cache."""
+
+    def test_compact_form_has_contiguous_ids(self):
+        automaton = basis_state_ta(3, "010").shifted(100)
+        compact = automaton.compact()
+        assert compact.num_states == automaton.num_states
+        assert set(compact.leaves) <= set(range(compact.num_states))
+        referenced = {compact.roots[0]}
+        for parent, transitions in enumerate(compact.internal):
+            for _symbol, left, right in transitions:
+                referenced.update((parent, left, right))
+        assert referenced == set(range(compact.num_states))
+        # compact ids map back to the original (shifted) state ids
+        assert set(compact.to_original) == set(automaton.states)
+
+    def test_compact_by_state_symbol_groups_transitions(self):
+        automaton = all_basis_states_ta(2)
+        compact = automaton.compact()
+        total = sum(len(children) for children in compact.by_state_symbol.values())
+        assert total == sum(len(ts) for ts in compact.internal)
+        for (parent, symbol), children in compact.by_state_symbol.items():
+            for left, right in children:
+                assert (symbol, left, right) in compact.internal[parent]
+
+    def test_structure_key_distinguishes_structure(self):
+        left = basis_state_ta(2, "01")
+        right = basis_state_ta(2, "10")
+        assert left.structure_key() != right.structure_key()
+        assert left.structure_key() == basis_state_ta(2, "01").structure_key()
+
+    def test_reduce_cache_shares_reduced_instances(self):
+        from repro.ta.automaton import clear_reduce_cache, reduce_cache_stats
+
+        clear_reduce_cache()
+        states = [QuantumState.basis_state(3, bits) for bits in ("000", "011", "101")]
+        first = from_quantum_states(states, reduce=False)
+        second = from_quantum_states(states, reduce=False)
+        assert first is not second
+        reduced_first = first.reduce()
+        before = reduce_cache_stats()["hits"]
+        reduced_second = second.reduce()
+        assert reduced_second is reduced_first  # interned via the signature cache
+        assert reduce_cache_stats()["hits"] == before + 1
+        assert reduced_first.reduce() is reduced_first  # idempotence fast path
+
+    def test_reduce_cache_clear_resets_counters(self):
+        from repro.ta.automaton import clear_reduce_cache, reduce_cache_stats
+
+        clear_reduce_cache()
+        stats = reduce_cache_stats()
+        assert stats == {"size": 0, "hits": 0, "misses": 0}
+
+    def test_transitions_by_qubit_index_is_complete(self):
+        automaton = all_basis_states_ta(3)
+        index = automaton.transitions_by_qubit()
+        total = sum(len(entries) for entries in index.values())
+        assert total == sum(len(ts) for ts in automaton.internal.values())
+        for qubit, entries in index.items():
+            via_iterator = {(p, l, r) for p, _s, l, r in automaton.transitions_at(qubit)}
+            assert set(entries) == via_iterator
+
+    def test_remove_useless_worklist_handles_deep_chains(self):
+        # a chain of states where productivity propagates through many levels:
+        # the worklist must converge without quadratic re-sweeps and keep the
+        # language intact
+        base = basis_state_ta(6, "010101")
+        bloated = base.union(base.shifted(base.next_free_state() + 3))
+        cleaned = bloated.remove_useless()
+        assert cleaned.accepts(QuantumState.basis_state(6, "010101"))
+        # drop one leaf to make a whole branch unproductive
+        crippled = TreeAutomaton(
+            base.num_qubits, base.roots,
+            dict(base.internal),
+            {state: amp for state, amp in list(base.leaves.items())[:1]},
+        )
+        pruned = crippled.remove_useless()
+        assert pruned.num_states < base.num_states
