@@ -25,7 +25,7 @@ from repro.campaign import CampaignConfig, MatrixScheduler, MatrixSpec, run_camp
 MUTANTS = 100
 
 
-def _config(tmp_path, workers: int, cache_dir: str = "") -> CampaignConfig:
+def _config(tmp_path, workers: int, cache_dir: str = "", store_dir: str = "") -> CampaignConfig:
     return CampaignConfig(
         family="grover",
         mutants=MUTANTS,
@@ -33,13 +33,14 @@ def _config(tmp_path, workers: int, cache_dir: str = "") -> CampaignConfig:
         workers=workers,
         report_path=str(tmp_path / f"campaign_w{workers}.jsonl"),
         cache_dir=cache_dir,
+        store_dir=store_dir,
     )
 
 
-def _run_row(benchmark, tmp_path, workers: int, cache_dir: str = ""):
+def _run_row(benchmark, tmp_path, workers: int, cache_dir: str = "", store_dir: str = ""):
     summary = benchmark.pedantic(
         run_campaign,
-        args=(_config(tmp_path, workers, cache_dir),),
+        args=(_config(tmp_path, workers, cache_dir, store_dir),),
         rounds=1,
         iterations=1,
     )
@@ -50,6 +51,7 @@ def _run_row(benchmark, tmp_path, workers: int, cache_dir: str = ""):
         "jobs": summary.jobs,
         "violated": summary.violated,
         "cache_hits": summary.cache_hits,
+        "store_hits": summary.store_hits,
         "wall_s": round(summary.wall_seconds, 3),
         "analysis_s": round(summary.analysis_seconds, 3),
         "jobs_per_s": round(summary.jobs / summary.wall_seconds, 1) if summary.wall_seconds else 0.0,
@@ -72,6 +74,32 @@ def test_campaign_grover_cached_rerun(benchmark, tmp_path):
     assert first.cache_hits == 0
     summary = _run_row(benchmark, tmp_path, workers=1, cache_dir=cache_dir)
     assert summary.cache_hits == summary.jobs
+
+
+def test_campaign_grover_warm_store_rerun(benchmark, tmp_path):
+    """Cold-vs-warm automaton store: re-run with fresh per-process caches.
+
+    The result cache stays disabled so every job verifies for real; only the
+    cross-process store survives between the runs.  The measured (warm) run
+    must answer a non-trivial share of its gate applications from the store.
+    """
+    from repro.core.engine import clear_gate_cache
+    from repro.ta.automaton import clear_intern_tables, clear_reduce_cache
+
+    store_dir = str(tmp_path / "store")
+    clear_gate_cache()
+    clear_reduce_cache()
+    clear_intern_tables()
+    cold = run_campaign(_config(tmp_path, workers=1, store_dir=store_dir))
+    assert cold.store_publishes > 0
+    # simulate brand-new worker processes for the measured run
+    clear_gate_cache()
+    clear_reduce_cache()
+    clear_intern_tables()
+    summary = _run_row(benchmark, tmp_path, workers=1, store_dir=store_dir)
+    assert summary.store_hits > 0
+    assert summary.store_misses == 0
+    assert summary.errors == 0
 
 
 MATRIX_MUTANTS = 10

@@ -19,6 +19,10 @@ Bench sets:
     composition modes (the rows the PR-3 speedup target is judged on);
 ``campaign``
     one uncached hybrid-mode bug-hunting campaign row (10 mutants);
+``store``
+    the cross-process automaton store: the same campaign against a cold store
+    (publish overhead included) and against a warm store with every
+    per-process cache cleared (the fresh-worker / second-run case);
 ``default``
     all of the above; ``smoke`` is a fast subset for CI.
 
@@ -109,6 +113,57 @@ def _campaign_workload(family: str, mode: str, mutants: int) -> Workload:
     return (1, setup, run)
 
 
+def _store_campaign_workload(family: str, mode: str, mutants: int, warm: bool) -> Workload:
+    """Campaign against the cross-process automaton store, cold or warm.
+
+    Cold: empty store, so the run pays fingerprinting + publish I/O on top of
+    the verification work.  Warm: the store is pre-populated by an identical
+    run, then every per-process cache is cleared — the measured run is the
+    "fresh worker process / second campaign" case and should be store-bound.
+    """
+    import shutil
+
+    from bench_kernel import clear_kernel_caches
+
+    from repro.campaign import CampaignConfig, run_campaign
+
+    def make_config(scratch: str) -> "CampaignConfig":
+        return CampaignConfig(
+            family=family,
+            mutants=mutants,
+            mutation_kinds=("insert", "remove", "swap-operands"),
+            mode=mode,
+            workers=1,
+            report_path=os.path.join(scratch, "report.jsonl"),
+            cache_dir="",  # verdict-cache hits would bypass the store entirely
+            store_dir=os.path.join(scratch, "store"),
+        )
+
+    def setup():
+        scratch = tempfile.mkdtemp(prefix="bench_store_")
+        clear_kernel_caches()
+        if warm:
+            run_campaign(make_config(scratch))  # populate the store ...
+            clear_kernel_caches()  # ... then forget everything in-process
+        return make_config(scratch)
+
+    def run(config):
+        scratch = os.path.dirname(config.report_path)
+        try:
+            summary = run_campaign(config)
+            if summary.errors:
+                raise AssertionError(f"store benchmark had {summary.errors} error(s)")
+            if warm and not summary.store_hits:
+                raise AssertionError("warm-store benchmark had no store hits")
+            if not warm and not summary.store_publishes:
+                raise AssertionError("cold-store benchmark published nothing")
+            return summary
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    return (2 if warm else 1, setup, run)
+
+
 def build_bench_set(name: str) -> Dict[str, Workload]:
     """Materialise a named bench set (imports repro lazily so ``--list`` is free)."""
     from bench_kernel import KERNEL_WORKLOADS
@@ -130,6 +185,14 @@ def build_bench_set(name: str) -> Dict[str, Workload]:
         }
     )
     campaign = {"campaign/grover/hybrid/m10": _campaign_workload("grover", "hybrid", 10)}
+    store = {
+        "campaign/grover/hybrid/m10/store-cold": _store_campaign_workload(
+            "grover", "hybrid", 10, warm=False
+        ),
+        "campaign/grover/hybrid/m10/store-warm": _store_campaign_workload(
+            "grover", "hybrid", 10, warm=True
+        ),
+    }
     smoke = {
         key: value
         for key, value in {**kernel, **grover}.items()
@@ -139,8 +202,9 @@ def build_bench_set(name: str) -> Dict[str, Workload]:
         "kernel": kernel,
         "grover": grover,
         "campaign": campaign,
+        "store": store,
         "smoke": smoke,
-        "default": {**kernel, **grover, **campaign},
+        "default": {**kernel, **grover, **campaign, **store},
     }
     if name not in sets:
         raise SystemExit(f"unknown bench set {name!r}; expected one of {sorted(sets)}")
@@ -221,8 +285,9 @@ def compare_to_baseline(
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--set", dest="bench_set", default="default",
-                        help="bench set to run (kernel, grover, campaign, smoke, default)")
-    parser.add_argument("--output", default="BENCH_PR3.json",
+                        help="bench set to run (kernel, grover, campaign, store, "
+                             "smoke, default)")
+    parser.add_argument("--output", default="BENCH_PR4.json",
                         help="result file, written at the repository root")
     parser.add_argument("--baseline", default="auto",
                         help="previous BENCH_*.json to compare against, 'auto' to "

@@ -15,6 +15,9 @@ Checks, in order:
    undocumented subcommands, no documented ghosts).
 4. **Example scripts** — every ``*.py`` / ``*.toml`` mentioned in
    ``examples/README.md`` exists in ``examples/``.
+5. **Environment variables** — every ``AUTOQ_REPRO_*`` variable the docs
+   mention exists in the source, and every one the source reads is documented
+   somewhere in the checked files.
 
 Run from the repository root::
 
@@ -42,11 +45,13 @@ CHECKED_FILES = (
     "README.md",
     "examples/README.md",
     "docs/architecture.md",
+    "docs/caching.md",
 )
 
 _LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FENCE_PATTERN = re.compile(r"^```")
 _CLI_PATTERN = re.compile(r"python -m repro\.cli\s+(.*)$")
+_ENV_PATTERN = re.compile(r"AUTOQ_REPRO_[A-Z][A-Z0-9_]*")
 
 
 def _read(path: str) -> str:
@@ -71,13 +76,25 @@ def check_links(paths=CHECKED_FILES) -> List[str]:
 
 
 def _code_block_lines(text: str) -> List[str]:
-    lines, in_block = [], False
+    lines, in_block, continuation = [], False, ""
     for line in text.splitlines():
         if _FENCE_PATTERN.match(line.strip()):
+            # a continuation dangling at a fence belongs to the closing block:
+            # flush it so the (malformed but present) command is still checked
+            if continuation:
+                lines.append(continuation)
+                continuation = ""
             in_block = not in_block
             continue
-        if in_block:
-            lines.append(line.strip())
+        if not in_block:
+            continue
+        stripped = (continuation + " " + line.strip()).strip() if continuation else line.strip()
+        if stripped.endswith("\\"):
+            # shell line continuation: join with the following line(s)
+            continuation = stripped[:-1].strip()
+            continue
+        continuation = ""
+        lines.append(stripped)
     return lines
 
 
@@ -162,12 +179,44 @@ def check_example_files() -> List[str]:
     return problems
 
 
+def _source_env_vars() -> set:
+    """Every ``AUTOQ_REPRO_*`` name that appears in a Python file under src/."""
+    names = set()
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(REPO_ROOT, "src")):
+        for filename in filenames:
+            if filename.endswith(".py"):
+                with open(os.path.join(dirpath, filename), "r", encoding="utf-8") as handle:
+                    names.update(_ENV_PATTERN.findall(handle.read()))
+    return names
+
+
+def check_env_vars(paths=CHECKED_FILES) -> List[str]:
+    """Documented env vars must exist in src/, and source env vars must be documented."""
+    source = _source_env_vars()
+    documented = set()
+    problems = []
+    for path in paths:
+        for name in sorted(set(_ENV_PATTERN.findall(_read(path)))):
+            documented.add(name)
+            if name not in source:
+                problems.append(
+                    f"{path}: documents env var {name!r}, which no file under src/ reads"
+                )
+    for name in sorted(source - documented):
+        problems.append(
+            f"src/: env var {name!r} is read by the code but documented in none of "
+            f"{', '.join(paths)}"
+        )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_links()
         + check_cli_invocations()
         + check_cli_docstring()
         + check_example_files()
+        + check_env_vars()
     )
     for problem in problems:
         print(f"DOCS: {problem}", file=sys.stderr)

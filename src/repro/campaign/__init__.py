@@ -24,6 +24,7 @@ from .cache import (
     default_cache_dir,
     fingerprint_automaton,
     fingerprint_circuit,
+    resolve_store_dir,
 )
 from .manifest import CampaignManifest, ManifestError, default_manifest_dir, list_campaign_ids
 from .plan import CampaignJob, MutationPlan
@@ -47,6 +48,7 @@ __all__ = [
     "MutationPlan",
     "ResultCache",
     "default_cache_dir",
+    "resolve_store_dir",
     "fingerprint_circuit",
     "fingerprint_automaton",
     "atomic_write_json",

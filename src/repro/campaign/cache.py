@@ -24,12 +24,14 @@ from ..circuits.circuit import Circuit
 from ..circuits.qasm import to_qasm
 from ..ta import serialization
 from ..ta.automaton import TreeAutomaton
+from ..ta.store import default_store_dir
 
 __all__ = [
     "fingerprint_circuit",
     "fingerprint_qasm",
     "fingerprint_automaton",
     "default_cache_dir",
+    "resolve_store_dir",
     "atomic_write_json",
     "ResultCache",
 ]
@@ -44,6 +46,27 @@ def default_cache_dir() -> str:
     if override:
         return override
     return os.path.join(os.path.expanduser("~"), ".cache", "autoq-repro", "campaign")
+
+
+def resolve_store_dir(cache_dir: Optional[str], store_dir: Optional[str]) -> Optional[str]:
+    """Where a campaign's cross-process automaton store lives (``None`` = off).
+
+    ``store_dir`` wins when given (``""`` disables the store explicitly).
+    With ``store_dir=None`` the store follows the result-cache setting:
+    disabled result cache (``cache_dir == ""``) disables the store too, an
+    explicit ``cache_dir`` puts the store in its ``store/`` subdirectory, and
+    the default falls back to :func:`repro.ta.store.default_store_dir`
+    (``$AUTOQ_REPRO_CACHE_DIR/store`` or ``~/.cache/autoq-repro/store``).
+    """
+    if store_dir == "":
+        return None
+    if store_dir is not None:
+        return store_dir
+    if cache_dir == "":
+        return None
+    if cache_dir:
+        return os.path.join(cache_dir, "store")
+    return default_store_dir()
 
 
 def atomic_write_json(path: str, payload, indent: Optional[int] = None) -> None:

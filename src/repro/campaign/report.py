@@ -93,6 +93,7 @@ def summarise_records(records: Iterable[Dict], wall_seconds: Optional[float] = N
     # cheap re-runs (or colliding mutants) look heavy
     analysis = 0.0
     phase_totals: Dict[str, float] = {}
+    store_totals = {"store_hits": 0, "store_misses": 0, "store_publishes": 0}
     for record in records:
         if record.get("cached") or record.get("deduplicated"):
             continue
@@ -100,6 +101,8 @@ def summarise_records(records: Iterable[Dict], wall_seconds: Optional[float] = N
         analysis += float(statistics.get("analysis_seconds") or 0.0)
         for phase, seconds in (statistics.get("phase_seconds") or {}).items():
             phase_totals[phase] = phase_totals.get(phase, 0.0) + float(seconds)
+        for key in store_totals:
+            store_totals[key] += int(statistics.get(key) or 0)
     summary = {
         "jobs": len(records),
         "holds": verdicts.count("holds"),
@@ -111,6 +114,8 @@ def summarise_records(records: Iterable[Dict], wall_seconds: Optional[float] = N
         "cache_hits": sum(1 for record in records if record.get("cached")),
         "analysis_seconds": analysis,
         "phase_seconds": phase_totals,
+        # cross-process automaton-store traffic of the freshly verified jobs
+        **store_totals,
     }
     if wall_seconds is not None:
         summary["wall_seconds"] = wall_seconds

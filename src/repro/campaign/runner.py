@@ -18,15 +18,32 @@ from typing import Dict, List, Optional, Sequence
 
 from ..benchgen.families import build_family
 from ..circuits.qasm import parse_qasm
-from ..core.engine import AnalysisMode
+from ..core.engine import AnalysisMode, active_gate_store, configure_gate_store, set_gate_store
 from ..core.permutation import PermutationUnsupported
 from ..core.verification import verify_triple
 from ..ta import serialization
-from .cache import ResultCache, default_cache_dir
+from .cache import ResultCache, default_cache_dir, resolve_store_dir
 from .plan import CampaignJob, MutationPlan
 from .report import CampaignReportWriter, summarise_records
 
-__all__ = ["CampaignConfig", "CampaignSummary", "Campaign", "run_campaign", "execute_job"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignSummary",
+    "Campaign",
+    "run_campaign",
+    "execute_job",
+    "initialise_worker",
+]
+
+
+def initialise_worker(store_dir) -> None:
+    """Pool-worker initializer: attach the shared cross-process automaton store.
+
+    Passed as ``initializer`` when campaign pools are created, so every worker
+    process reads and publishes gate-memo entries under the same directory —
+    one worker's circuit prefix becomes every other worker's store hit.
+    """
+    configure_gate_store(store_dir)
 
 
 def execute_job(job: CampaignJob) -> Dict:
@@ -92,6 +109,10 @@ class CampaignConfig:
     report_path: str = "campaign_report.jsonl"
     #: ``None`` -> :func:`~repro.campaign.cache.default_cache_dir`; "" disables caching
     cache_dir: Optional[str] = None
+    #: cross-process automaton store directory shared by all workers;
+    #: ``None`` -> derived from ``cache_dir`` (see
+    #: :func:`~repro.campaign.cache.resolve_store_dir`), "" disables the store
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in AnalysisMode.ALL:
@@ -121,8 +142,13 @@ class CampaignSummary:
     #: the *unmutated* circuit failed its spec — every mutant verdict is suspect
     reference_violated: bool = False
     #: per-phase engine wall-clock summed over freshly verified jobs
-    #: (``tag``/``terms``/``bin``/``untag``/``permutation``/``reduce``)
+    #: (``tag``/``terms``/``bin``/``untag``/``permutation``/``reduce``/``store``)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: cross-process automaton-store counters summed over freshly verified
+    #: jobs (0 when the store is disabled)
+    store_hits: int = 0
+    store_misses: int = 0
+    store_publishes: int = 0
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -163,6 +189,14 @@ class Campaign:
         start = time.perf_counter()
         jobs = self.build_jobs()
         cache = self._open_cache()
+        # attach the shared automaton store in the parent too: the serial
+        # (workers == 1) path verifies in-process, and fork-started pools
+        # inherit the configuration even before their initializer runs; the
+        # previous store is restored on exit so a campaign never leaks its
+        # (possibly temporary) store into unrelated later analyses
+        store_dir = resolve_store_dir(config.cache_dir, config.store_dir)
+        previous_store = active_gate_store()
+        configure_gate_store(store_dir)
 
         job_keys = {
             job.job_id: ResultCache.key(
@@ -190,31 +224,38 @@ class Campaign:
                 misses.append(job)
 
         records: List[Dict] = []
-        with CampaignReportWriter(config.report_path) as report:
+        try:
+            with CampaignReportWriter(config.report_path) as report:
 
-            def drain(results) -> None:
-                resolved: Dict[str, Dict] = {}
-                for job in jobs:
-                    key = job_keys[job.job_id]
-                    if job.job_id in cached_records:
-                        record = cached_records[job.job_id]
-                    elif key in resolved:
-                        record = self._restore_identity(dict(resolved[key]), job)
-                        record["deduplicated"] = True
-                    else:
-                        record = self._finish(cache, key, next(results))
-                        resolved[key] = record
-                    records.append(record)
-                    report.write(record)
+                def drain(results) -> None:
+                    resolved: Dict[str, Dict] = {}
+                    for job in jobs:
+                        key = job_keys[job.job_id]
+                        if job.job_id in cached_records:
+                            record = cached_records[job.job_id]
+                        elif key in resolved:
+                            record = self._restore_identity(dict(resolved[key]), job)
+                            record["deduplicated"] = True
+                        else:
+                            record = self._finish(cache, key, next(results))
+                            resolved[key] = record
+                        records.append(record)
+                        report.write(record)
 
-            if pool is not None and len(misses) > 1:
-                drain(pool.imap(execute_job, misses, chunksize=1))
-            elif config.workers == 1 or len(misses) <= 1:
-                drain(map(execute_job, misses))
-            else:
-                context = self._pool_context()
-                with context.Pool(processes=min(config.workers, len(misses))) as own_pool:
-                    drain(own_pool.imap(execute_job, misses, chunksize=1))
+                if pool is not None and len(misses) > 1:
+                    drain(pool.imap(execute_job, misses, chunksize=1))
+                elif config.workers == 1 or len(misses) <= 1:
+                    drain(map(execute_job, misses))
+                else:
+                    context = self._pool_context()
+                    with context.Pool(
+                        processes=min(config.workers, len(misses)),
+                        initializer=initialise_worker,
+                        initargs=(store_dir,),
+                    ) as own_pool:
+                        drain(own_pool.imap(execute_job, misses, chunksize=1))
+        finally:
+            set_gate_store(previous_store)
         wall = time.perf_counter() - start
         summary = summarise_records(records)
         # only an actual "violated" verdict taints the sweep: an errored
@@ -239,6 +280,9 @@ class Campaign:
             report_path=config.report_path,
             reference_violated=reference_violated,
             phase_seconds=summary["phase_seconds"],
+            store_hits=summary["store_hits"],
+            store_misses=summary["store_misses"],
+            store_publishes=summary["store_publishes"],
         )
 
     @staticmethod

@@ -48,10 +48,10 @@ from ..benchgen.families import (
     validate_family_size,
 )
 from ..core.engine import AnalysisMode
-from .cache import atomic_write_json
+from .cache import atomic_write_json, resolve_store_dir
 from .manifest import CampaignManifest, ManifestError, default_manifest_dir
 from .plan import MUTATION_KINDS
-from .runner import Campaign, CampaignConfig
+from .runner import Campaign, CampaignConfig, initialise_worker
 
 __all__ = [
     "MatrixCell",
@@ -372,6 +372,7 @@ class MatrixScheduler:
         manifest_dir: Optional[str] = None,
         cache_dir: Optional[str] = None,
         campaign_id: Optional[str] = None,
+        store_dir: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -380,6 +381,7 @@ class MatrixScheduler:
         self.report_dir = report_dir
         self.manifest_dir = manifest_dir or default_manifest_dir()
         self.cache_dir = cache_dir
+        self.store_dir = store_dir
         self.campaign_id = campaign_id or spec.default_campaign_id()
 
     @classmethod
@@ -390,13 +392,14 @@ class MatrixScheduler:
         report_dir: str = "campaign_reports",
         manifest_dir: Optional[str] = None,
         cache_dir: Optional[str] = None,
+        store_dir: Optional[str] = None,
     ) -> "MatrixScheduler":
         """Rebuild a scheduler from a manifest alone (``campaign --resume <id>``)."""
         manifest = CampaignManifest.load(manifest_dir or default_manifest_dir(), campaign_id)
         spec = MatrixSpec.from_mapping(manifest.spec)
         return cls(spec, workers=workers, report_dir=report_dir,
                    manifest_dir=manifest_dir, cache_dir=cache_dir,
-                   campaign_id=campaign_id)
+                   campaign_id=campaign_id, store_dir=store_dir)
 
     # -- internals ---------------------------------------------------------
 
@@ -415,6 +418,7 @@ class MatrixScheduler:
             include_reference=self.spec.include_reference,
             report_path=self._cell_report_path(cell),
             cache_dir=self.cache_dir,
+            store_dir=self.store_dir,
         )
 
     def _open_manifest(self, resume: bool) -> CampaignManifest:
@@ -466,7 +470,13 @@ class MatrixScheduler:
         try:
             if self.workers > 1 and todo:
                 context = Campaign._pool_context()
-                pool = context.Pool(processes=self.workers)
+                # all cells share one pool AND one automaton store: workers
+                # attach to it once here, then reuse prefixes across cells
+                pool = context.Pool(
+                    processes=self.workers,
+                    initializer=initialise_worker,
+                    initargs=(resolve_store_dir(self.cache_dir, self.store_dir),),
+                )
             for position, cell in enumerate(todo, 1):
                 say(f"[{position}/{len(todo)}] {cell.cell_id} "
                     f"({cell.mutants} mutant(s), est. cost {estimate_cell_cost(cell):.0f})")
@@ -493,6 +503,9 @@ class MatrixScheduler:
                 "unsupported": summary.get("unsupported", 0),
                 "errors": summary.get("errors", 0),
                 "cache_hits": summary.get("cache_hits", 0),
+                "store_hits": summary.get("store_hits", 0),
+                "store_misses": summary.get("store_misses", 0),
+                "store_publishes": summary.get("store_publishes", 0),
                 "wall_seconds": summary.get("wall_seconds", 0.0),
                 "reference_violated": summary.get("reference_violated", False),
                 "report_path": summary.get("report_path"),
@@ -500,7 +513,8 @@ class MatrixScheduler:
             })
         totals = {
             key: sum(row[key] for row in rows)
-            for key in ("jobs", "holds", "violated", "unsupported", "errors", "cache_hits")
+            for key in ("jobs", "holds", "violated", "unsupported", "errors", "cache_hits",
+                        "store_hits", "store_misses", "store_publishes")
         }
         totals["wall_seconds"] = sum(row["wall_seconds"] for row in rows)
         wall = time.perf_counter() - start

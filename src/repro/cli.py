@@ -21,6 +21,9 @@ Subcommands::
                                                       # the same, from inline flags
     autoq-repro campaign --resume mx-b123be7f30a4     # continue an interrupted sweep
     autoq-repro campaign ls                           # list campaigns in the manifest dir
+    autoq-repro cache stats                           # automaton store + result cache usage
+    autoq-repro cache gc --max-bytes 100000000        # shrink the store to a byte budget
+    autoq-repro cache clear                           # drop every automaton-store entry
 
 All commands print a short human-readable report to stdout and exit with a
 non-zero status when a property is violated / a bug is found, so they can be
@@ -46,13 +49,23 @@ the manifest directory with its per-verdict cell counts and whether
 
 ``verify`` and ``campaign`` accept ``--profile``, which prints the per-phase
 engine breakdown (tag/terms/bin/untag for the composition pipeline, plus
-permutation and reduce time) after the run; campaign JSONL records always
-carry the same breakdown under ``statistics.phase_seconds``.
+permutation, reduce, and on-disk store time) after the run; campaign JSONL
+records always carry the same breakdown under ``statistics.phase_seconds``.
+
+Campaigns additionally share a cross-process **automaton store** (see
+``docs/caching.md``): reduced gate applications are content-addressed on disk
+under ``$AUTOQ_REPRO_CACHE_DIR/store`` (or ``~/.cache/autoq-repro/store``) so
+pool workers — and entirely separate campaign runs — reuse each other's
+circuit prefixes.  ``--store-dir`` relocates it, ``--no-store`` disables it
+for one run, and the ``cache`` subcommand (``stats`` / ``gc --max-bytes`` /
+``clear``) inspects and maintains it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -69,6 +82,7 @@ from .campaign import (
     ManifestError,
     MatrixScheduler,
     MatrixSpec,
+    default_cache_dir,
     default_manifest_dir,
     format_cell_table,
     list_campaign_ids,
@@ -81,6 +95,7 @@ from .core import AnalysisMode, IncrementalBugHunter, check_circuit_equivalence,
 from .simulator import StateVectorSimulator
 from .states import QuantumState
 from .ta import all_basis_states_ta, basis_state_ta
+from .ta.store import AutomatonStore, default_store_dir
 from .ta.timbuk import save_timbuk
 
 __all__ = ["main", "build_parser"]
@@ -185,7 +200,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="result cache directory (default: $AUTOQ_REPRO_CACHE_DIR "
                                "or ~/.cache/autoq-repro/campaign)")
     campaign.add_argument("--no-cache", action="store_true",
-                          help="disable the persistent result cache for this run")
+                          help="disable the persistent result cache (and the automaton "
+                               "store, unless --store-dir is given) for this run")
+    campaign.add_argument("--store-dir", default=None,
+                          help="cross-process automaton store directory shared by all "
+                               "workers (default: <cache-dir>/store, i.e. "
+                               "$AUTOQ_REPRO_CACHE_DIR/store or "
+                               "~/.cache/autoq-repro/store)")
+    campaign.add_argument("--no-store", action="store_true",
+                          help="disable the cross-process automaton store for this run")
     campaign.add_argument("--skip-reference", action="store_true",
                           help="do not verify the unmutated reference circuit")
     campaign.add_argument("--matrix", metavar="SPEC", default=None,
@@ -216,6 +239,29 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--profile", action="store_true",
                           help="print the aggregated per-phase engine breakdown of the "
                                "sweep (freshly verified jobs only)")
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and maintain the on-disk caches: 'stats' reports the "
+             "automaton store and campaign result cache, 'gc' shrinks the store "
+             "to a byte budget, 'clear' drops every store entry",
+    )
+    cache.add_argument("action", choices=("stats", "gc", "clear"),
+                       help="stats: usage report; gc: evict least-recently-used "
+                            "store entries down to --max-bytes; clear: delete "
+                            "every automaton-store entry")
+    cache.add_argument("--store-dir", default=None,
+                       help="automaton store directory (default: "
+                            "$AUTOQ_REPRO_CACHE_DIR/store or "
+                            "~/.cache/autoq-repro/store)")
+    cache.add_argument("--cache-dir", default=None,
+                       help="campaign result cache directory, reported by 'stats' "
+                            "(default: $AUTOQ_REPRO_CACHE_DIR or "
+                            "~/.cache/autoq-repro/campaign)")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="gc: target store size in bytes (required for gc)")
+    cache.add_argument("--json", action="store_true",
+                       help="print machine-readable JSON instead of the text report")
     return parser
 
 
@@ -363,13 +409,76 @@ def _command_baselines(args) -> int:
     return 1 if any_difference else 0
 
 
+def _command_cache(args) -> int:
+    """``cache stats`` / ``cache gc --max-bytes`` / ``cache clear``."""
+    store_dir = args.store_dir or default_store_dir()
+    if args.action == "gc" and args.max_bytes is None:
+        print("error: cache gc needs --max-bytes <target size>", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        # pure inspection: must not create directories, nor trigger the
+        # schema-stamp invalidation that opening a store performs
+        stats = AutomatonStore.disk_stats(store_dir)
+        cache_dir = args.cache_dir or default_cache_dir()
+        try:
+            result_entries = sum(
+                1 for name in os.listdir(cache_dir) if name.endswith(".json")
+            )
+        except OSError:
+            result_entries = 0
+        if args.json:
+            print(json.dumps({
+                "store": stats,
+                "result_cache": {"directory": cache_dir, "entries": result_entries},
+            }, indent=2, sort_keys=True))
+            return 0
+        print(f"store:        {stats['directory']}")
+        print(f"schema:       store v{stats['store_schema']}, payload v{stats['payload_schema']}")
+        if stats["disk_stamp"] is not None and stats["disk_stamp"] != {
+            "store_schema": stats["store_schema"],
+            "payload_schema": stats["payload_schema"],
+        }:
+            print(f"stamp:        {stats['disk_stamp']} (INCOMPATIBLE — next open wipes "
+                  "the entries)")
+        print(f"entries:      {stats['entries']} ({stats['total_bytes']} bytes"
+              + (f", {stats['temp_files']} orphaned temp file(s)"
+                 if stats["temp_files"] else "") + ")")
+        print(f"result cache: {cache_dir} ({result_entries} entry(ies))")
+        return 0
+    try:
+        store = AutomatonStore(store_dir)
+    except OSError as error:
+        print(f"error: cannot open store {store_dir!r}: {error}", file=sys.stderr)
+        return 2
+    if args.action == "gc":
+        outcome = store.gc(args.max_bytes)
+        if args.json:
+            print(json.dumps(outcome, indent=2, sort_keys=True))
+            return 0
+        print(f"store:    {store_dir}")
+        print(f"evicted:  {outcome['removed_entries']} entry(ies) "
+              f"({outcome['removed_bytes']} bytes)")
+        print(f"remains:  {outcome['remaining_bytes']} bytes "
+              f"(budget {args.max_bytes})")
+        return 0
+    removed = store.clear()
+    if args.json:
+        print(json.dumps({"removed_entries": removed}, indent=2, sort_keys=True))
+        return 0
+    print(f"store:    {store_dir}")
+    print(f"cleared:  {removed} entry(ies)")
+    return 0
+
+
 def _build_matrix_scheduler(args) -> MatrixScheduler:
     """Assemble the matrix scheduler from a spec file, inline flags, and/or a
     manifest to resume (flags override the file; a bare ``--resume`` rebuilds
     the spec from the manifest alone)."""
     cache_dir = "" if args.no_cache else args.cache_dir
+    store_dir = "" if args.no_store else args.store_dir
     common = dict(workers=args.workers, report_dir=args.report_dir,
-                  manifest_dir=args.manifest_dir, cache_dir=cache_dir)
+                  manifest_dir=args.manifest_dir, cache_dir=cache_dir,
+                  store_dir=store_dir)
     overrides = {
         "families": args.families,
         "sizes": args.sizes,
@@ -426,6 +535,10 @@ def _command_campaign_matrix(args) -> int:
     print(format_cell_table(result.rows, result.totals))
     if result.reused_cells:
         print(f"resumed:   {result.reused_cells} cell(s) reused from the manifest")
+    if result.totals.get("store_hits") or result.totals.get("store_publishes"):
+        print(f"store:     {result.totals['store_hits']} hit(s), "
+              f"{result.totals['store_misses']} miss(es), "
+              f"{result.totals['store_publishes']} publish(es)")
     if args.profile:
         phase_totals: dict = {}
         for row in result.rows:
@@ -514,6 +627,7 @@ def _command_campaign(args) -> int:
             include_reference=not args.skip_reference,
             report_path=args.report,
             cache_dir="" if args.no_cache else args.cache_dir,
+            store_dir="" if args.no_store else args.store_dir,
         )
         summary = run_campaign(config)
     except ValueError as error:
@@ -527,6 +641,9 @@ def _command_campaign(args) -> int:
     print(f"jobs:      {summary.jobs}  (holds: {summary.holds}, violated: {summary.violated}, "
           f"errors: {summary.errors}{unsupported})")
     print(f"cache:     {summary.cache_hits} hit(s)")
+    if summary.store_hits or summary.store_misses or summary.store_publishes:
+        print(f"store:     {summary.store_hits} hit(s), {summary.store_misses} miss(es), "
+              f"{summary.store_publishes} publish(es)")
     print(f"time:      {summary.wall_seconds:.2f}s wall, "
           f"{summary.analysis_seconds:.2f}s cumulative analysis")
     if args.profile:
@@ -555,6 +672,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "export-ta": _command_export_ta,
         "baselines": _command_baselines,
         "campaign": _command_campaign,
+        "cache": _command_cache,
     }
     return handlers[args.command](args)
 

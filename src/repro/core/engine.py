@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate
+from ..ta import store as ta_store
 from ..ta.automaton import TreeAutomaton
 from .composition import apply_composition_gate
 from .permutation import PermutationUnsupported, apply_permutation_gate, supports_permutation
@@ -37,6 +38,9 @@ __all__ = [
     "run_circuit",
     "gate_cache_stats",
     "clear_gate_cache",
+    "configure_gate_store",
+    "active_gate_store",
+    "set_gate_store",
 ]
 
 # ------------------------------------------------------------------ gate cache
@@ -64,6 +68,57 @@ def clear_gate_cache() -> None:
     _GATE_CACHE_STATS["misses"] = 0
 
 
+# ------------------------------------------------------------- on-disk store
+# Second cache tier behind the per-process memo: a content-addressed automaton
+# store (repro.ta.store) shared by every process pointed at the same
+# directory.  Lookup order is process memo -> store -> compute + publish to
+# both, keyed by the same (automaton fingerprint, gate, mode) triple; the
+# store uses the renaming-invariant compact-form digest so fresh processes
+# (campaign pool workers, later campaign runs) agree on the keys.
+_GATE_STORE: Optional["ta_store.AutomatonStore"] = None
+
+
+def configure_gate_store(directory: Optional[str]) -> Optional["ta_store.AutomatonStore"]:
+    """Attach (or detach, with ``None``) the cross-process gate-memo store.
+
+    Called by the campaign runner in the parent and in every pool worker.  An
+    unusable directory degrades to "no store" — the store is an optimisation
+    and must never break a verification run.
+    """
+    global _GATE_STORE
+    if directory is None:
+        _GATE_STORE = None
+        return None
+    try:
+        _GATE_STORE = ta_store.AutomatonStore(directory)
+    except OSError:
+        _GATE_STORE = None
+    return _GATE_STORE
+
+
+def active_gate_store() -> Optional["ta_store.AutomatonStore"]:
+    """The currently configured cross-process store (``None`` when detached)."""
+    return _GATE_STORE
+
+
+def set_gate_store(
+    store: Optional["ta_store.AutomatonStore"],
+) -> Optional["ta_store.AutomatonStore"]:
+    """Install an already-open store object (or ``None``); returns it.
+
+    Lets a caller that temporarily attached a store (the campaign runner)
+    restore whatever was active before, without re-opening directories.
+    """
+    global _GATE_STORE
+    _GATE_STORE = store
+    return store
+
+
+def _gate_signature(gate: Gate) -> str:
+    """Stable textual identity of a gate for cross-process store keys."""
+    return f"{gate.kind}:{','.join(str(qubit) for qubit in gate.qubits)}"
+
+
 class AnalysisMode:
     """Symbolic names for the engine settings (the paper's Hybrid / Composition)."""
 
@@ -87,8 +142,15 @@ class EngineStatistics:
     per_gate_seconds: List[float] = field(default_factory=list)
     #: wall-clock per pipeline phase: ``tag`` / ``terms`` / ``bin`` / ``untag``
     #: (composition), ``permutation`` (permutation encoding), ``reduce`` (the
-    #: post-gate reduction); gate-memo hits skip every phase and record nothing
+    #: post-gate reduction), ``store`` (on-disk store lookup/publish I/O);
+    #: gate-memo hits skip every phase and record nothing
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: cross-process store counters for this analysis (all 0 with no store):
+    #: gate applications served from the on-disk store, missed in it, and
+    #: freshly computed results published back to it
+    store_hits: int = 0
+    store_misses: int = 0
+    store_publishes: int = 0
 
     def record(self, automaton: TreeAutomaton, elapsed: float, used_permutation: bool) -> None:
         self.gates_total += 1
@@ -150,6 +212,9 @@ class EngineStatistics:
             "p90_gate_seconds": self.percentile_gate_seconds(90),
             "max_gate_seconds": self.percentile_gate_seconds(100),
             "phase_seconds": dict(self.phase_seconds),
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "store_publishes": self.store_publishes,
         }
 
 
@@ -182,13 +247,44 @@ class CircuitEngine:
     def _apply_gate_cached(
         self, automaton: TreeAutomaton, gate: Gate, statistics: Optional[EngineStatistics]
     ):
-        """Memoised gate application: (structure, gate, settings) -> reduced TA."""
+        """Two-tier memoised gate application: process memo, then on-disk store.
+
+        Lookup order is process memo -> cross-process store -> compute, and a
+        fresh result is published to both tiers, so a campaign worker that
+        computes a gate application once makes it a fingerprint lookup for
+        every other worker (and every later run) sharing the store.
+        """
         key = (automaton.structure_key(), gate, self.mode, self.reduce_after_each_gate)
         cached = _GATE_CACHE.get(key)
         if cached is not None:
             _GATE_CACHE_STATS["hits"] += 1
             return cached
         _GATE_CACHE_STATS["misses"] += 1
+
+        store = _GATE_STORE
+        store_key = None
+        if store is not None:
+            start = time.perf_counter()
+            store_key = store.gate_key(
+                ta_store.fingerprint(automaton), _gate_signature(gate),
+                self.mode, self.reduce_after_each_gate,
+            )
+            entry = store.get(store_key)
+            if statistics is not None:
+                statistics.record_phase("store", time.perf_counter() - start)
+            if entry is not None:
+                result = entry.automaton
+                if entry.meta.get("reduced"):
+                    result._reduced = True  # noqa: SLF001 - producer reduced it already
+                used_permutation = bool(entry.meta.get("used_permutation"))
+                if statistics is not None:
+                    statistics.store_hits += 1
+                if len(_GATE_CACHE) < _MAX_GATE_CACHE:
+                    _GATE_CACHE[key] = (result, used_permutation)
+                return result, used_permutation
+            if statistics is not None:
+                statistics.store_misses += 1
+
         result, used_permutation = self._apply_gate_raw(automaton, gate, statistics)
         if self.reduce_after_each_gate:
             start = time.perf_counter()
@@ -197,6 +293,16 @@ class CircuitEngine:
                 statistics.record_phase("reduce", time.perf_counter() - start)
         if len(_GATE_CACHE) < _MAX_GATE_CACHE:
             _GATE_CACHE[key] = (result, used_permutation)
+        if store is not None and store_key is not None:
+            start = time.perf_counter()
+            published = store.put(store_key, result, {
+                "used_permutation": used_permutation,
+                "reduced": self.reduce_after_each_gate,
+            })
+            if statistics is not None:
+                statistics.record_phase("store", time.perf_counter() - start)
+                if published:
+                    statistics.store_publishes += 1
         return result, used_permutation
 
     def _apply_gate_raw(

@@ -24,7 +24,8 @@ from .determinization import count_language, determinize, is_deterministic
 from .inclusion import EquivalenceResult, InclusionResult, check_equivalence, check_inclusion
 from .minimization import equivalent_via_counting, included_via_counting, reduced_deterministic
 from .simulation import downward_simulation, simulation_equivalence_classes, simulation_reduce
-from . import serialization, timbuk
+from .store import AutomatonStore, default_store_dir
+from . import serialization, store, timbuk
 
 __all__ = [
     "TreeAutomaton",
@@ -59,6 +60,9 @@ __all__ = [
     "downward_simulation",
     "simulation_equivalence_classes",
     "simulation_reduce",
+    "AutomatonStore",
+    "default_store_dir",
     "serialization",
+    "store",
     "timbuk",
 ]

@@ -159,7 +159,7 @@ class CompactForm:
     """
 
     __slots__ = ("num_qubits", "num_states", "roots", "to_original",
-                 "internal", "leaves", "key", "_by_state_symbol")
+                 "internal", "leaves", "key", "_by_state_symbol", "_digest")
 
     def __init__(self, automaton: "TreeAutomaton"):
         ordered = sorted(automaton.states)
@@ -185,6 +185,8 @@ class CompactForm:
             tuple(sorted(self.leaves.items(), key=lambda item: item[0])),
         )
         self._by_state_symbol: Optional[Dict[Tuple[int, Symbol], Tuple[Tuple[int, int], ...]]] = None
+        #: canonical content digest, filled lazily by repro.ta.store.fingerprint
+        self._digest: Optional[str] = None
 
     @property
     def by_state_symbol(self) -> Dict[Tuple[int, Symbol], Tuple[Tuple[int, int], ...]]:

@@ -1,0 +1,424 @@
+"""Content-addressed, on-disk automaton store shared across processes.
+
+The per-process gate memo (:mod:`repro.core.engine`) turns repeated gate
+applications into fingerprint lookups, but it dies with the process.  This
+module is the cross-process tier behind it: a directory of automaton payloads
+(:func:`repro.ta.serialization.to_payload`) keyed by content digests, so
+campaign workers — and entirely separate campaign runs — reuse each other's
+verified circuit prefixes, the way the paper's Table 2 scalability argument
+amortises automaton construction across structurally identical inputs.
+
+Design points:
+
+* **Content addressing.**  :func:`fingerprint` digests the *compact* form of
+  an automaton (:meth:`~repro.ta.automaton.TreeAutomaton.compact`), so the
+  key is invariant under state renaming along the canonical order: two
+  workers that built the same automaton through different allocation
+  histories still agree on the digest.  Gate-memo entries are keyed by
+  :meth:`AutomatonStore.gate_key` over ``(input digest, gate, mode, reduce
+  flag)`` — the same triple the in-process memo uses — with the store schema
+  version mixed into the key material, so a codec bump makes every stale
+  entry unreachable by construction.
+* **Single-writer-safe atomic puts.**  Entries are written to a temp file in
+  the target shard directory and published with ``os.replace``; concurrent
+  writers of the same key race benignly (last writer wins with identical
+  content) and readers never observe a partial file.
+* **In-process LRU read layer.**  Hot entries are served from memory
+  (decoded automata, not JSON), bounded by ``max_memory_entries``.
+* **Versioned layout.**  The store directory carries a ``STORE_VERSION.json``
+  stamp; opening a store written by an incompatible schema wipes the stale
+  entries instead of mis-reading them.  Individual corrupt / truncated /
+  wrong-schema entries are treated as misses and deleted lazily.
+
+The store is *purely* an optimisation: every ``get`` may return ``None`` and
+every ``put`` may silently lose a race — callers must always be able to
+recompute.  Maintenance (``stats`` / ``gc`` / ``clear``) is exposed through
+the ``cache`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from . import serialization
+from .automaton import TreeAutomaton
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "STORE_DIR_ENV",
+    "default_store_dir",
+    "fingerprint",
+    "StoreEntry",
+    "AutomatonStore",
+]
+
+#: version of the store layout *and* entry payloads; bumping it (or
+#: :data:`repro.ta.serialization.PAYLOAD_SCHEMA`) cleanly invalidates every
+#: previously written cache
+STORE_SCHEMA_VERSION = 1
+
+#: the cache-root environment variable shared with the campaign result cache;
+#: the store lives in a ``store/`` subdirectory of it
+STORE_DIR_ENV = "AUTOQ_REPRO_CACHE_DIR"
+
+_VERSION_FILE = "STORE_VERSION.json"
+
+
+def default_store_dir() -> str:
+    """``$AUTOQ_REPRO_CACHE_DIR/store`` or ``~/.cache/autoq-repro/store``."""
+    override = os.environ.get(STORE_DIR_ENV)
+    if override:
+        return os.path.join(override, "store")
+    return os.path.join(os.path.expanduser("~"), ".cache", "autoq-repro", "store")
+
+
+def fingerprint(automaton: TreeAutomaton) -> str:
+    """Canonical content digest of an automaton (cached on its compact form).
+
+    The digest is computed over the compact form — contiguous state ids in
+    the canonical order, transitions per compact id, sorted leaves — so it is
+    stable across processes and under state renaming, unlike the raw
+    ``structure_key()``.  Automata shared through the reduce cache share one
+    :class:`~repro.ta.automaton.CompactForm`, so repeated fingerprinting of
+    the same instance is one attribute read.
+    """
+    compact = automaton.compact()
+    if compact._digest is None:  # noqa: SLF001 - CompactForm reserves the slot for us
+        symbol_index: Dict[tuple, int] = {}
+        symbols: List[Tuple[int, Tuple[int, ...]]] = []
+        internal = []
+        for transitions in compact.internal:
+            encoded = []
+            for symbol, left, right in transitions:
+                index = symbol_index.get(symbol)
+                if index is None:
+                    index = symbol_index.setdefault(symbol, len(symbols))
+                    symbols.append(symbol)
+                encoded.append((index, left, right))
+            internal.append(encoded)
+        material = json.dumps(
+            {
+                "num_qubits": compact.num_qubits,
+                "roots": list(compact.roots),
+                "symbols": [[qubit, list(tags)] for qubit, tags in symbols],
+                "internal": internal,
+                "leaves": sorted(
+                    [state, *amplitude.as_tuple()]
+                    for state, amplitude in compact.leaves.items()
+                ),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        compact._digest = hashlib.sha256(material.encode("utf-8")).hexdigest()  # noqa: SLF001
+    return compact._digest  # noqa: SLF001
+
+
+class StoreEntry:
+    """A decoded store entry: the automaton plus its JSON metadata."""
+
+    __slots__ = ("automaton", "meta")
+
+    def __init__(self, automaton: TreeAutomaton, meta: Dict):
+        self.automaton = automaton
+        self.meta = meta
+
+
+class AutomatonStore:
+    """Directory-backed, content-addressed map from digests to automata.
+
+    Entries live at ``<directory>/<digest[:2]>/<digest>.json`` (sharded so a
+    big campaign store never piles 10^5 files into one directory).  All I/O
+    errors degrade to cache misses; the store never raises out of ``get`` or
+    ``put``.
+    """
+
+    def __init__(self, directory: str, max_memory_entries: int = 256):
+        self.directory = directory
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, StoreEntry]" = OrderedDict()
+        self.counters = {"hits": 0, "misses": 0, "publishes": 0, "rejected": 0}
+        os.makedirs(directory, exist_ok=True)
+        self._stamp_version()
+
+    # ------------------------------------------------------------- versioning
+    def _version_path(self) -> str:
+        return os.path.join(self.directory, _VERSION_FILE)
+
+    def _stamp_version(self) -> None:
+        """Validate the on-disk schema stamp; wipe stale entries on mismatch."""
+        path = self._version_path()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                stamp = json.load(handle)
+        except FileNotFoundError:
+            stamp = None
+        except (OSError, ValueError):
+            stamp = {}
+        current = {
+            "store_schema": STORE_SCHEMA_VERSION,
+            "payload_schema": serialization.PAYLOAD_SCHEMA,
+        }
+        if stamp is not None and stamp != current:
+            self.clear()
+        if stamp != current:
+            self._atomic_write(path, current)
+
+    # -------------------------------------------------------------- keys
+    @staticmethod
+    def gate_key(input_digest: str, gate_signature: str, mode: str,
+                 reduced: bool) -> str:
+        """The store key of one gate application.
+
+        Mirrors the in-process gate memo's ``(fingerprint, gate, mode)`` key,
+        with the schema versions mixed into the digest material so entries
+        written by an incompatible codec can never collide with live keys.
+        """
+        material = "\n".join([
+            f"schema={STORE_SCHEMA_VERSION}.{serialization.PAYLOAD_SCHEMA}",
+            input_digest,
+            gate_signature,
+            mode,
+            "reduced" if reduced else "raw",
+        ])
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    # -------------------------------------------------------------- get / put
+    def get(self, key: str) -> Optional[StoreEntry]:
+        """Fetch and decode an entry; ``None`` on any miss or damage.
+
+        Corrupt, truncated, or schema-incompatible entry files are deleted so
+        they are recomputed (and republished) instead of failing every run.
+        """
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.counters["hits"] += 1
+            return cached
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            if os.path.exists(path):
+                self.counters["rejected"] += 1
+                self._discard(path)
+            self.counters["misses"] += 1
+            return None
+        try:
+            if not isinstance(payload, dict) or payload.get("store_schema") != STORE_SCHEMA_VERSION:
+                raise ValueError(f"store schema mismatch in {path}")
+            automaton = serialization.from_payload(payload["automaton"])
+            meta = payload.get("meta") or {}
+            if not isinstance(meta, dict):
+                raise ValueError("entry meta must be a dict")
+        except (KeyError, ValueError):
+            self.counters["rejected"] += 1
+            self.counters["misses"] += 1
+            self._discard(path)
+            return None
+        entry = StoreEntry(automaton, meta)
+        self._remember(key, entry)
+        self.counters["hits"] += 1
+        try:
+            # refresh recency so gc() (least-recently-touched eviction) keeps
+            # hot entries; puts are one-shot, so reads are the real heat signal
+            os.utime(path, None)
+        except OSError:
+            pass
+        return entry
+
+    def put(self, key: str, automaton: TreeAutomaton, meta: Optional[Dict] = None) -> bool:
+        """Publish an entry atomically; returns False when the write failed.
+
+        A best-effort operation: a full disk or a permissions problem must
+        never break the computation whose result was being shared.
+        """
+        entry = StoreEntry(automaton, dict(meta or {}))
+        payload = {
+            "store_schema": STORE_SCHEMA_VERSION,
+            "automaton": serialization.to_payload(automaton),
+            "meta": entry.meta,
+        }
+        try:
+            self._atomic_write(self._path(key), payload)
+        except OSError:
+            return False
+        self._remember(key, entry)
+        self.counters["publishes"] += 1
+        return True
+
+    def _remember(self, key: str, entry: StoreEntry) -> None:
+        memory = self._memory
+        memory[key] = entry
+        memory.move_to_end(key)
+        while len(memory) > self.max_memory_entries:
+            memory.popitem(last=False)
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _atomic_write(path: str, payload: Dict) -> None:
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------ maintenance
+    @staticmethod
+    def _walk_entries(directory: str, suffix: str = ".json") -> List[str]:
+        paths = []
+        try:
+            shards = sorted(os.listdir(directory))
+        except OSError:
+            return paths
+        for shard in shards:
+            shard_path = os.path.join(directory, shard)
+            if not os.path.isdir(shard_path):
+                continue
+            for name in sorted(os.listdir(shard_path)):
+                if name.endswith(suffix):
+                    paths.append(os.path.join(shard_path, name))
+        return paths
+
+    def _entry_paths(self) -> List[str]:
+        return self._walk_entries(self.directory)
+
+    def _temp_paths(self) -> List[str]:
+        """Leftover ``*.tmp`` files from publishes that died before replace."""
+        return self._walk_entries(self.directory, suffix=".tmp")
+
+    @staticmethod
+    def disk_stats(directory: str) -> Dict[str, object]:
+        """Read-only usage report of a store directory.
+
+        Unlike constructing an :class:`AutomatonStore`, this neither creates
+        the directory nor validates/wipes it on a schema-stamp mismatch, so
+        it is safe for pure inspection (the ``cache stats`` CLI).  Reports
+        the on-disk stamp next to the current schema so a pending
+        invalidation is visible before it happens.
+        """
+        entries = 0
+        total_bytes = 0
+        for path in AutomatonStore._walk_entries(directory):
+            try:
+                total_bytes += os.path.getsize(path)
+            except OSError:
+                continue
+            entries += 1
+        temp_files = 0
+        for path in AutomatonStore._walk_entries(directory, suffix=".tmp"):
+            try:
+                total_bytes += os.path.getsize(path)
+            except OSError:
+                continue
+            temp_files += 1
+        try:
+            with open(os.path.join(directory, _VERSION_FILE), "r", encoding="utf-8") as handle:
+                stamp = json.load(handle)
+        except (OSError, ValueError):
+            stamp = None
+        return {
+            "directory": directory,
+            "store_schema": STORE_SCHEMA_VERSION,
+            "payload_schema": serialization.PAYLOAD_SCHEMA,
+            "disk_stamp": stamp,
+            "entries": entries,
+            "temp_files": temp_files,
+            "total_bytes": total_bytes,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """On-disk + in-process view: entry count, bytes, session counters."""
+        return {
+            **self.disk_stats(self.directory),
+            "memory_entries": len(self._memory),
+            **self.counters,
+        }
+
+    def _discard_temps(self) -> int:
+        """Delete orphaned temp files; returns the bytes reclaimed.
+
+        Racing a concurrent in-flight publish is harmless: its ``os.replace``
+        fails with ``OSError``, which ``put`` already treats as a lost
+        (best-effort) write.
+        """
+        reclaimed = 0
+        for path in self._temp_paths():
+            try:
+                reclaimed += os.path.getsize(path)
+            except OSError:
+                pass
+            self._discard(path)
+        return reclaimed
+
+    def gc(self, max_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-*touched* entries until under ``max_bytes``.
+
+        Both publishing and a successful disk hit refresh an entry's mtime,
+        so frequently reused entries (shared circuit prefixes) survive and
+        entries no campaign has asked for in a while go first.  Orphaned
+        ``*.tmp`` files from interrupted publishes are removed outright.
+        Returns how many entries and bytes were removed and what remains.
+        """
+        removed_bytes = self._discard_temps()
+        entries = []
+        total = 0
+        for path in self._entry_paths():
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue
+            entries.append((status.st_mtime, status.st_size, path))
+            total += status.st_size
+        entries.sort()
+        removed = 0
+        for _mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            self._discard(path)
+            total -= size
+            removed += 1
+            removed_bytes += size
+        self._memory.clear()
+        return {
+            "removed_entries": removed,
+            "removed_bytes": removed_bytes,
+            "remaining_bytes": total,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry and orphaned temp file (the version stamp
+        survives); returns the number of entries removed."""
+        self._discard_temps()
+        removed = 0
+        for path in self._entry_paths():
+            self._discard(path)
+            removed += 1
+        self._memory.clear()
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entry_paths())

@@ -255,3 +255,71 @@ class TestCampaignRunner:
     def test_invalid_mode_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             _config(tmp_path, mode="turbo")
+
+
+class TestCampaignStore:
+    """The cross-process automaton store wired through the campaign runner."""
+
+    def test_store_dir_resolution(self, tmp_path):
+        from repro.campaign import resolve_store_dir
+        from repro.ta import default_store_dir
+
+        assert resolve_store_dir("", None) is None          # --no-cache: both off
+        assert resolve_store_dir("", "") is None            # --no-store too
+        assert resolve_store_dir("", str(tmp_path)) == str(tmp_path)  # explicit wins
+        assert resolve_store_dir(str(tmp_path), None) == os.path.join(str(tmp_path), "store")
+        assert resolve_store_dir(None, None) == default_store_dir()
+
+    def test_second_run_reuses_the_store_across_simulated_processes(self, tmp_path):
+        from repro.core.engine import clear_gate_cache
+        from repro.ta.automaton import clear_intern_tables, clear_reduce_cache
+
+        store_dir = str(tmp_path / "store")
+        # start from cold per-process caches: earlier tests sweep the same
+        # family, and process-memo hits would bypass (and under-fill) the store
+        clear_gate_cache()
+        clear_reduce_cache()
+        clear_intern_tables()
+        # result cache off so every job actually verifies; store on explicitly
+        first = run_campaign(_config(tmp_path, cache_dir="", store_dir=store_dir))
+        assert first.store_publishes > 0
+        assert first.store_hits + first.store_misses > 0
+
+        # simulate fresh worker processes: drop every per-process cache
+        clear_gate_cache()
+        clear_reduce_cache()
+        clear_intern_tables()
+        warm = run_campaign(_config(tmp_path, cache_dir="", store_dir=store_dir,
+                                    report_path=str(tmp_path / "warm.jsonl")))
+        assert warm.store_hits > 0
+        assert warm.store_misses == 0
+        assert warm.store_publishes == 0
+        assert (warm.holds, warm.violated, warm.errors) == (
+            first.holds, first.violated, first.errors
+        )
+
+    def test_store_counters_flow_into_jsonl_records(self, tmp_path):
+        from repro.core.engine import clear_gate_cache
+
+        store_dir = str(tmp_path / "store")
+        clear_gate_cache()  # a warm process memo would leave the store untouched
+        run_campaign(_config(tmp_path, cache_dir="", store_dir=store_dir))
+        records = read_report(str(tmp_path / "report.jsonl"))
+        totals = {"store_hits": 0, "store_misses": 0, "store_publishes": 0}
+        for record in records:
+            statistics = record.get("statistics") or {}
+            for key in totals:
+                assert key in statistics
+                totals[key] += statistics[key]
+        assert totals["store_publishes"] > 0
+
+    def test_campaign_restores_the_previous_store(self, tmp_path):
+        from repro.core.engine import active_gate_store
+
+        assert active_gate_store() is None
+        run_campaign(_config(tmp_path, cache_dir="", store_dir=str(tmp_path / "store")))
+        assert active_gate_store() is None
+
+    def test_disabled_store_records_nothing(self, tmp_path):
+        summary = run_campaign(_config(tmp_path, cache_dir="", store_dir=""))
+        assert summary.store_hits == summary.store_misses == summary.store_publishes == 0

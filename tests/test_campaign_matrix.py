@@ -430,3 +430,60 @@ class TestMatrixRunResult:
         ref = MatrixRunResult(rows=[{"reference_violated": True}],
                               totals={"errors": 0}, **base)
         assert not ref.trustworthy
+
+
+class TestResumeSurvivesEvictedCaches:
+    """``campaign --resume`` must recompute, not error, when the result cache
+    and/or automaton store directories were deleted between runs (a cache
+    eviction, a cleaned /tmp, a different machine)."""
+
+    def test_resume_with_deleted_cache_and_store_dir(self, tmp_path, monkeypatch):
+        import shutil
+
+        import repro.campaign.runner as runner_module
+
+        spec = _spec(sizes={"mctoffoli": "2-3", "ghz": [3]}, mutants=2)
+        cache_dir = tmp_path / "cache"
+
+        # kill the sweep inside its second cell, with caching + store enabled
+        real_execute = runner_module.execute_job
+        calls = {"count": 0}
+
+        def dying_execute(job):
+            calls["count"] += 1
+            if calls["count"] == spec.mutants + 2:
+                raise KeyboardInterrupt
+            return real_execute(job)
+
+        monkeypatch.setattr(runner_module, "execute_job", dying_execute)
+        scheduler = _scheduler(tmp_path, spec, cache_dir=str(cache_dir))
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.run()
+        monkeypatch.setattr(runner_module, "execute_job", real_execute)
+        assert (cache_dir / "store").is_dir()
+
+        # evict everything the interrupted run persisted except the manifest
+        shutil.rmtree(cache_dir)
+
+        result = _scheduler(tmp_path, spec, cache_dir=str(cache_dir),
+                            campaign_id=scheduler.campaign_id).run(resume=True)
+        assert result.reused_cells == 1
+        assert result.totals["errors"] == 0
+        assert result.totals["jobs"] == sum(cell.mutants + 1 for cell in spec.cells())
+        # the resumed run re-verified (and re-published) instead of erroring
+        assert (cache_dir / "store").is_dir()
+
+    def test_resume_with_store_path_blocked_by_a_file(self, tmp_path, monkeypatch):
+        # a *file* squatting on the store path must degrade to "no store",
+        # never crash the sweep
+        import repro.campaign.runner as runner_module
+
+        spec = _spec(sizes={"mctoffoli": [2]}, mutants=1)
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "store").write_text("not a directory")
+
+        result = _scheduler(tmp_path, spec, cache_dir=str(cache_dir)).run()
+        assert result.totals["errors"] == 0
+        assert result.totals["store_hits"] == 0
+        assert result.totals["store_publishes"] == 0

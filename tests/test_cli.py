@@ -435,3 +435,50 @@ class TestProfileFlag:
         assert records
         for record in records:
             assert "phase_seconds" in record["statistics"]
+
+
+class TestCacheCommand:
+    def test_stats_on_an_empty_store(self, tmp_path, capsys):
+        argv = ["cache", "stats", "--store-dir", str(tmp_path / "store"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "entries:      0" in out
+        assert str(tmp_path / "store") in out
+
+    def test_stats_json_after_a_store_backed_campaign(self, tmp_path, capsys):
+        import json
+
+        from repro.core.engine import clear_gate_cache
+
+        clear_gate_cache()  # a warm process memo would publish nothing
+        store_dir = str(tmp_path / "store")
+        assert main(["campaign", "--family", "grover", "--mutants", "2", "--no-cache",
+                     "--store-dir", store_dir,
+                     "--report", str(tmp_path / "report.jsonl")]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json", "--store-dir", store_dir,
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"]["entries"] > 0
+
+    def test_gc_requires_max_bytes(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--store-dir", str(tmp_path / "store")]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_gc_and_clear_empty_the_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["campaign", "--family", "grover", "--mutants", "2", "--no-cache",
+                     "--store-dir", store_dir,
+                     "--report", str(tmp_path / "report.jsonl")]) == 0
+        assert main(["cache", "gc", "--max-bytes", "0", "--store-dir", store_dir]) == 0
+        assert main(["cache", "clear", "--store-dir", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--store-dir", store_dir,
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "entries:      0" in capsys.readouterr().out
+
+    def test_campaign_no_store_with_no_cache_prints_no_store_line(self, tmp_path, capsys):
+        assert main(["campaign", "--family", "grover", "--mutants", "2", "--no-cache",
+                     "--no-store", "--report", str(tmp_path / "report.jsonl")]) == 0
+        assert "store:" not in capsys.readouterr().out

@@ -47,3 +47,22 @@ def test_checker_detects_a_broken_link(check_docs, tmp_path, monkeypatch):
     problems += check_docs.check_cli_invocations(paths=("bad.md",))
     assert any("broken link" in problem for problem in problems)
     assert any("unknown subcommand" in problem for problem in problems)
+
+
+def test_documented_env_vars_exist_in_source(check_docs):
+    assert check_docs.check_env_vars() == []
+
+
+def test_env_var_checker_detects_drift(check_docs, tmp_path, monkeypatch):
+    # guard the guard: a doc naming a ghost env var must fail ...
+    bad = tmp_path / "bad.md"
+    bad.write_text("Set `$AUTOQ_REPRO_NONEXISTENT_KNOB` to tune nothing.\n")
+    (tmp_path / "src").mkdir()
+    monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+    problems = check_docs.check_env_vars(paths=("bad.md",))
+    assert any("AUTOQ_REPRO_NONEXISTENT_KNOB" in problem for problem in problems)
+    # ... and a source env var documented nowhere must fail too
+    (tmp_path / "src" / "mod.py").write_text('DIR = os.environ.get("AUTOQ_REPRO_SECRET_DIR")\n')
+    (tmp_path / "empty.md").write_text("no env vars here\n")
+    problems = check_docs.check_env_vars(paths=("empty.md",))
+    assert any("AUTOQ_REPRO_SECRET_DIR" in problem for problem in problems)

@@ -1,0 +1,401 @@
+"""Tests for the cross-process automaton store and its payload codec.
+
+Covers the three layers the store spans: the lossless payload codec in
+``repro.ta.serialization`` (round-trips must preserve ``structure_key()``
+exactly, including composition tags), the content-addressed on-disk store in
+``repro.ta.store`` (atomic puts, corruption/schema rejection, LRU, gc), and
+the engine's two-tier lookup (process memo -> store -> compute + publish).
+"""
+
+import json
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import build_family
+from repro.circuits import random_circuit
+from repro.core import verify_triple
+from repro.core.engine import (
+    CircuitEngine,
+    EngineStatistics,
+    clear_gate_cache,
+    configure_gate_store,
+    run_circuit,
+    set_gate_store,
+)
+from repro.core.tagging import tag
+from repro.states import QuantumState
+from repro.ta import (
+    AutomatonStore,
+    all_basis_states_ta,
+    basis_state_ta,
+    check_equivalence,
+    from_quantum_states,
+    serialization,
+)
+from repro.ta import store as store_module
+from repro.ta.automaton import clear_intern_tables, clear_reduce_cache
+from repro.algebraic import AlgebraicNumber
+
+
+@pytest.fixture(autouse=True)
+def _detached_store():
+    """Never leak a configured store (or stale process memos) across tests."""
+    yield
+    set_gate_store(None)
+    clear_gate_cache()
+
+
+def _random_reduced_automaton(seed: int):
+    """A reduced automaton the way the differential harness produces them:
+    a random circuit prefix run over the all-basis-states precondition."""
+    rng = random.Random(seed)
+    num_qubits = rng.randint(1, 3)
+    circuit = random_circuit(num_qubits, num_gates=rng.randint(0, 6), seed=seed)
+    return run_circuit(circuit, all_basis_states_ta(num_qubits)).output
+
+
+def _explicit_states_automaton(seed: int):
+    """An *unreduced* automaton with redundant structure and rich amplitudes."""
+    rng = random.Random(seed)
+    num_qubits = rng.randint(1, 3)
+    amplitudes = [
+        AlgebraicNumber(1, 0, 0, 0, 0),
+        AlgebraicNumber(-1, 0, 0, 0, 0),
+        AlgebraicNumber(0, 1, 0, 0, 0),
+        AlgebraicNumber(1, 0, 0, 0, 1),
+    ]
+    states = []
+    for _ in range(rng.randint(1, 3)):
+        state = QuantumState(num_qubits)
+        for bits in range(2**num_qubits):
+            if rng.random() < 0.4:
+                assignment = tuple((bits >> i) & 1 for i in reversed(range(num_qubits)))
+                state[assignment] = rng.choice(amplitudes)
+        if state:
+            states.append(state)
+    if not states:
+        states.append(QuantumState.zero_state(num_qubits))
+    return from_quantum_states(states, reduce=False)
+
+
+class TestPayloadCodec:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_roundtrip_is_structure_key_identity_on_reduced_automata(self, seed):
+        automaton = _random_reduced_automaton(seed)
+        rebuilt = serialization.from_payload(serialization.to_payload(automaton))
+        assert rebuilt.structure_key() == automaton.structure_key()
+        assert rebuilt.compact().key == automaton.compact().key
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_roundtrip_preserves_unreduced_structure_and_language(self, seed):
+        automaton = _explicit_states_automaton(seed)
+        rebuilt = serialization.from_payload(serialization.to_payload(automaton))
+        assert rebuilt.structure_key() == automaton.structure_key()
+        assert check_equivalence(automaton, rebuilt).equivalent
+
+    def test_roundtrip_keeps_composition_tags(self):
+        tagged = tag(basis_state_ta(2, "01"))
+        rebuilt = serialization.from_payload(serialization.to_payload(tagged))
+        assert rebuilt.structure_key() == tagged.structure_key()
+        assert rebuilt.is_tagged()
+
+    def test_payload_is_json_serialisable(self):
+        payload = serialization.to_payload(all_basis_states_ta(3))
+        assert serialization.from_payload(json.loads(json.dumps(payload))).num_qubits == 3
+
+    def test_wrong_schema_rejected(self):
+        payload = serialization.to_payload(basis_state_ta(1, "0"))
+        payload["schema"] = serialization.PAYLOAD_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            serialization.from_payload(payload)
+
+    def test_malformed_payload_rejected(self):
+        payload = serialization.to_payload(basis_state_ta(1, "0"))
+        del payload["leaves"]
+        with pytest.raises(ValueError, match="malformed"):
+            serialization.from_payload(payload)
+        with pytest.raises(ValueError):
+            serialization.from_payload("not a dict")
+
+
+class TestFingerprint:
+    def test_invariant_under_state_renaming(self):
+        automaton = all_basis_states_ta(3)
+        shifted = automaton.shifted(1000)
+        assert automaton.structure_key() != shifted.structure_key()
+        assert store_module.fingerprint(automaton) == store_module.fingerprint(shifted)
+
+    def test_distinguishes_structures(self):
+        assert store_module.fingerprint(basis_state_ta(2, "00")) != store_module.fingerprint(
+            basis_state_ta(2, "01")
+        )
+
+    def test_codec_roundtrip_preserves_the_fingerprint(self):
+        automaton = _random_reduced_automaton(7)
+        rebuilt = serialization.from_payload(serialization.to_payload(automaton))
+        assert store_module.fingerprint(rebuilt) == store_module.fingerprint(automaton)
+
+    def test_cached_on_the_compact_form(self):
+        automaton = all_basis_states_ta(2)
+        first = store_module.fingerprint(automaton)
+        assert automaton.compact()._digest == first
+        assert store_module.fingerprint(automaton) is first
+
+
+class TestAutomatonStore:
+    def test_put_get_roundtrip_with_meta(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        automaton = _random_reduced_automaton(3)
+        key = store.gate_key("abc", "h:0", "hybrid", True)
+        assert store.get(key) is None
+        assert store.put(key, automaton, {"used_permutation": False, "reduced": True})
+        entry = store.get(key)
+        assert entry.automaton.structure_key() == automaton.structure_key()
+        assert entry.meta == {"used_permutation": False, "reduced": True}
+
+    def test_fresh_store_object_reads_what_another_wrote(self, tmp_path):
+        automaton = basis_state_ta(2, "10")
+        key = AutomatonStore.gate_key("in", "x:1", "hybrid", True)
+        AutomatonStore(str(tmp_path)).put(key, automaton)
+        entry = AutomatonStore(str(tmp_path)).get(key)
+        assert entry is not None
+        assert check_equivalence(entry.automaton, automaton).equivalent
+
+    def test_gate_key_depends_on_every_component(self):
+        base = AutomatonStore.gate_key("fp", "h:0", "hybrid", True)
+        assert AutomatonStore.gate_key("fp2", "h:0", "hybrid", True) != base
+        assert AutomatonStore.gate_key("fp", "h:1", "hybrid", True) != base
+        assert AutomatonStore.gate_key("fp", "h:0", "composition", True) != base
+        assert AutomatonStore.gate_key("fp", "h:0", "hybrid", False) != base
+
+    def test_corrupted_entry_is_a_miss_and_deleted(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        key = store.gate_key("fp", "h:0", "hybrid", True)
+        store.put(key, basis_state_ta(1, "0"))
+        path = store._path(key)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ this is not json")
+        fresh = AutomatonStore(str(tmp_path))  # empty LRU
+        assert fresh.get(key) is None
+        assert not os.path.exists(path)
+        assert fresh.counters["rejected"] == 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        key = store.gate_key("fp", "h:0", "hybrid", True)
+        store.put(key, all_basis_states_ta(3))
+        path = store._path(key)
+        with open(path, "r+", encoding="utf-8") as handle:
+            content = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(content[: len(content) // 2])
+        assert AutomatonStore(str(tmp_path)).get(key) is None
+
+    def test_entry_schema_mismatch_is_a_miss(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        key = store.gate_key("fp", "h:0", "hybrid", True)
+        store.put(key, basis_state_ta(1, "1"))
+        path = store._path(key)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["store_schema"] = store_module.STORE_SCHEMA_VERSION + 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        fresh = AutomatonStore(str(tmp_path))
+        assert fresh.get(key) is None
+        assert not os.path.exists(path)
+
+    def test_payload_schema_mismatch_inside_entry_is_a_miss(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        key = store.gate_key("fp", "h:0", "hybrid", True)
+        store.put(key, basis_state_ta(1, "1"))
+        path = store._path(key)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["automaton"]["schema"] = serialization.PAYLOAD_SCHEMA + 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert AutomatonStore(str(tmp_path)).get(key) is None
+
+    def test_version_stamp_mismatch_invalidates_the_whole_store(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        key = store.gate_key("fp", "h:0", "hybrid", True)
+        store.put(key, basis_state_ta(1, "0"))
+        with open(os.path.join(str(tmp_path), "STORE_VERSION.json"), "w") as handle:
+            json.dump({"store_schema": -1, "payload_schema": -1}, handle)
+        reopened = AutomatonStore(str(tmp_path))
+        assert len(reopened) == 0
+        assert reopened.get(key) is None
+        # the stamp was rewritten to the current schema
+        with open(os.path.join(str(tmp_path), "STORE_VERSION.json")) as handle:
+            assert json.load(handle)["store_schema"] == store_module.STORE_SCHEMA_VERSION
+
+    def test_memory_layer_is_lru_bounded(self, tmp_path):
+        store = AutomatonStore(str(tmp_path), max_memory_entries=2)
+        automaton = basis_state_ta(1, "0")
+        keys = [store.gate_key("fp", f"g:{index}", "hybrid", True) for index in range(4)]
+        for key in keys:
+            store.put(key, automaton)
+        assert len(store._memory) == 2
+        assert keys[-1] in store._memory and keys[0] not in store._memory
+        # evicted entries are still served from disk
+        assert store.get(keys[0]) is not None
+
+    def test_stats_and_len(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        assert len(store) == 0
+        store.put(store.gate_key("a", "h:0", "hybrid", True), basis_state_ta(1, "0"))
+        store.put(store.gate_key("b", "h:0", "hybrid", True), basis_state_ta(1, "1"))
+        stats = store.stats()
+        assert stats["entries"] == len(store) == 2
+        assert stats["total_bytes"] > 0
+        assert stats["publishes"] == 2
+
+    def test_gc_shrinks_to_budget_oldest_first(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        keys = [store.gate_key("fp", f"g:{index}", "hybrid", True) for index in range(5)]
+        for index, key in enumerate(keys):
+            store.put(key, basis_state_ta(2, "01"))
+            path = store._path(key)
+            os.utime(path, (1_000_000 + index, 1_000_000 + index))
+        size = os.path.getsize(store._path(keys[0]))
+        outcome = store.gc(max_bytes=2 * size)
+        assert outcome["removed_entries"] == 3
+        assert outcome["remaining_bytes"] <= 2 * size
+        survivors = [key for key in keys if os.path.exists(store._path(key))]
+        assert survivors == keys[-2:]
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        for index in range(3):
+            store.put(store.gate_key("fp", f"g:{index}", "hybrid", True),
+                      basis_state_ta(1, "0"))
+        assert store.clear() == 3
+        assert len(store) == 0
+
+    def test_disk_hits_refresh_recency_so_gc_keeps_hot_entries(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        keys = [store.gate_key("fp", f"g:{index}", "hybrid", True) for index in range(3)]
+        for index, key in enumerate(keys):
+            store.put(key, basis_state_ta(2, "01"))
+            os.utime(store._path(key), (1_000_000 + index, 1_000_000 + index))
+        # read the oldest entry through a fresh store (no LRU shortcut): the
+        # hit must bump its mtime past the others, so gc evicts them first
+        fresh = AutomatonStore(str(tmp_path))
+        assert fresh.get(keys[0]) is not None
+        size = os.path.getsize(fresh._path(keys[0]))
+        fresh.gc(max_bytes=size)
+        assert os.path.exists(fresh._path(keys[0]))
+        assert not os.path.exists(fresh._path(keys[1]))
+        assert not os.path.exists(fresh._path(keys[2]))
+
+    def test_orphaned_temp_files_are_counted_and_swept(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        key = store.gate_key("fp", "h:0", "hybrid", True)
+        store.put(key, basis_state_ta(1, "0"))
+        shard = os.path.dirname(store._path(key))
+        orphan = os.path.join(shard, "tmpdead.tmp")
+        with open(orphan, "w", encoding="utf-8") as handle:
+            handle.write("x" * 128)
+        stats = store.stats()
+        assert stats["temp_files"] == 1
+        assert stats["total_bytes"] >= 128
+        outcome = store.gc(max_bytes=10**9)  # budget huge: only temps go
+        assert outcome["removed_entries"] == 0
+        assert outcome["removed_bytes"] >= 128
+        assert not os.path.exists(orphan)
+        # clear also sweeps a fresh orphan
+        with open(orphan, "w", encoding="utf-8") as handle:
+            handle.write("y")
+        assert store.clear() == 1
+        assert not os.path.exists(orphan)
+
+    def test_disk_stats_is_read_only(self, tmp_path):
+        missing = tmp_path / "never-created"
+        stats = AutomatonStore.disk_stats(str(missing))
+        assert stats["entries"] == 0
+        assert not missing.exists()
+        # a mismatched stamp is reported, not acted upon
+        store = AutomatonStore(str(tmp_path / "real"))
+        store.put(store.gate_key("fp", "h:0", "hybrid", True), basis_state_ta(1, "0"))
+        stamp_path = tmp_path / "real" / "STORE_VERSION.json"
+        stamp_path.write_text(json.dumps({"store_schema": -1, "payload_schema": -1}))
+        stats = AutomatonStore.disk_stats(str(tmp_path / "real"))
+        assert stats["entries"] == 1  # still there — inspection must not wipe
+        assert stats["disk_stamp"] == {"store_schema": -1, "payload_schema": -1}
+
+
+class TestEngineStoreTier:
+    def test_fresh_process_simulation_hits_the_store(self, tmp_path):
+        bench = build_family("grover", 2)
+        configure_gate_store(str(tmp_path))
+        first = verify_triple(bench.precondition, bench.circuit, bench.postcondition)
+        assert first.statistics.store_hits == 0
+        assert first.statistics.store_publishes > 0
+        assert first.statistics.store_publishes == first.statistics.store_misses
+
+        # simulate a brand-new process: all per-process caches emptied, only
+        # the on-disk store survives
+        clear_gate_cache()
+        clear_reduce_cache()
+        clear_intern_tables()
+        configure_gate_store(str(tmp_path))
+        second = verify_triple(bench.precondition, bench.circuit, bench.postcondition)
+        assert second.holds == first.holds
+        assert second.statistics.store_misses == 0
+        assert second.statistics.store_hits == first.statistics.store_publishes
+        assert "store" in second.statistics.phase_seconds
+        assert check_equivalence(second.output, first.output).equivalent
+
+    def test_store_results_chain_across_modes_and_match_computation(self, tmp_path):
+        circuit = random_circuit(2, num_gates=6, seed=11)
+        precondition = all_basis_states_ta(2)
+        baseline = run_circuit(circuit, precondition).output
+
+        # publish pass: the process memo is warm from the baseline run, so it
+        # must be cleared for the gate applications to reach (and fill) the store
+        clear_gate_cache()
+        configure_gate_store(str(tmp_path))
+        run_circuit(circuit, precondition)
+        clear_gate_cache()
+        clear_reduce_cache()
+        configure_gate_store(str(tmp_path))
+        statistics = EngineStatistics()
+        engine = CircuitEngine()
+        automaton = precondition
+        for gate in circuit.decomposed():
+            automaton = engine.apply_gate(automaton, gate, statistics)
+        assert statistics.store_hits > 0
+        assert check_equivalence(automaton, baseline).equivalent
+
+    def test_detached_store_records_nothing(self):
+        bench = build_family("grover", 2)
+        configure_gate_store(None)
+        clear_gate_cache()
+        result = verify_triple(bench.precondition, bench.circuit, bench.postcondition)
+        assert result.statistics.store_hits == 0
+        assert result.statistics.store_misses == 0
+        assert result.statistics.store_publishes == 0
+
+    def test_unusable_store_directory_degrades_to_no_store(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the store directory should go")
+        assert configure_gate_store(str(blocker)) is None
+        bench = build_family("grover", 2)
+        assert verify_triple(bench.precondition, bench.circuit, bench.postcondition).holds
+
+    def test_statistics_to_dict_carries_store_counters(self, tmp_path):
+        bench = build_family("grover", 2)
+        configure_gate_store(str(tmp_path))
+        clear_gate_cache()
+        result = verify_triple(bench.precondition, bench.circuit, bench.postcondition)
+        summary = result.statistics.to_dict()
+        assert summary["store_publishes"] == result.statistics.store_publishes > 0
+        assert set(summary) >= {"store_hits", "store_misses", "store_publishes"}
