@@ -44,6 +44,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CHECKED_FILES = (
     "README.md",
     "examples/README.md",
+    "docs/api.md",
     "docs/architecture.md",
     "docs/caching.md",
 )

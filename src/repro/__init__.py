@@ -56,10 +56,41 @@ from .ta import (
     from_quantum_states,
 )
 
+# the typed service layer (imported last: it builds on everything above);
+# result classes live under repro.api to avoid name collisions with the
+# legacy core result types (e.g. repro.BugHuntResult vs repro.api.BugHuntResult)
+from . import api
+from .api import (
+    API_VERSION,
+    BugHuntProblem,
+    CampaignProblem,
+    CircuitSource,
+    ConditionSpec,
+    EquivalenceProblem,
+    Problem,
+    Session,
+    SessionConfig,
+    SimulateProblem,
+    VerifyProblem,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # service layer (see repro.api for the result types)
+    "api",
+    "API_VERSION",
+    "Session",
+    "SessionConfig",
+    "Problem",
+    "CircuitSource",
+    "ConditionSpec",
+    "VerifyProblem",
+    "EquivalenceProblem",
+    "BugHuntProblem",
+    "CampaignProblem",
+    "SimulateProblem",
     # algebraic amplitudes
     "AlgebraicNumber",
     "ZERO",

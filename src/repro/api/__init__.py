@@ -1,0 +1,84 @@
+"""repro.api — the unified, typed service layer over the whole framework.
+
+One request/result model for every workload the paper's framework answers:
+
+* **Problems** (:mod:`repro.api.problems`) describe *what* to run —
+  :class:`VerifyProblem`, :class:`EquivalenceProblem`, :class:`BugHuntProblem`,
+  :class:`SimulateProblem`, :class:`CampaignProblem` — all sharing the same
+  circuit-source / condition-spec envelope and serializing losslessly to JSON.
+* **Sessions** (:mod:`repro.api.session`) own *how* it runs — gate store,
+  caches, worker count — behind context-manager semantics, so runtime
+  configuration never leaks across sessions, tests, or processes.
+* **Results** (:mod:`repro.api.results`) are typed outcomes that all speak
+  the one versioned JSON schema (:mod:`repro.api.schema`, stamp
+  ``api_version``) shared verbatim by campaign JSONL records and ``--json``
+  CLI output.
+
+Quickstart::
+
+    from repro.api import CircuitSource, Session, VerifyProblem
+
+    problem = VerifyProblem(circuit=CircuitSource.from_family("grover", 2))
+    with Session() as session:
+        result = session.run(problem)
+    assert result.holds
+    document = result.to_json()        # versioned wire form
+    # ... ship it; Result.from_json(document) rebuilds the typed result
+
+See ``docs/api.md`` for the full reference and the schema versioning rules.
+"""
+
+from .problems import (
+    BugHuntProblem,
+    CampaignProblem,
+    CircuitSource,
+    ConditionSpec,
+    EquivalenceProblem,
+    Problem,
+    SimulateProblem,
+    VerifyProblem,
+)
+from .results import (
+    BugHuntResult,
+    CampaignResult,
+    EquivalenceResult,
+    Result,
+    SimulateResult,
+    ToolResult,
+    VerifyResult,
+)
+from .schema import (
+    API_VERSION,
+    SchemaError,
+    document_kinds,
+    validate_document,
+)
+from .session import Session, SessionConfig
+
+__all__ = [
+    # schema
+    "API_VERSION",
+    "SchemaError",
+    "document_kinds",
+    "validate_document",
+    # problems
+    "Problem",
+    "CircuitSource",
+    "ConditionSpec",
+    "VerifyProblem",
+    "EquivalenceProblem",
+    "BugHuntProblem",
+    "SimulateProblem",
+    "CampaignProblem",
+    # session
+    "Session",
+    "SessionConfig",
+    # results
+    "Result",
+    "VerifyResult",
+    "EquivalenceResult",
+    "BugHuntResult",
+    "SimulateResult",
+    "CampaignResult",
+    "ToolResult",
+]

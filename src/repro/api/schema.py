@@ -1,0 +1,153 @@
+"""The versioned JSON document schema behind every repro entry point.
+
+Every machine-readable document the framework emits — ``Session.run``
+results, ``--json`` CLI output, campaign JSONL report lines — is a flat JSON
+object carrying the same two-field envelope::
+
+    {"api_version": 1, "kind": "verify", ...}
+
+``api_version`` stamps the schema revision (bump :data:`API_VERSION` on any
+incompatible change to a document layout, and record the migration in
+``docs/api.md``), and ``kind`` names the document type.  The registries in
+this module are the single source of truth for which kinds exist and which
+fields each kind must carry; :func:`validate_document` enforces the contract
+and is used by both the test suite's golden-schema assertions and
+:meth:`repro.api.Result.from_dict` dispatch.
+
+This module deliberately imports nothing from the rest of the package, so
+low-level modules (e.g. :mod:`repro.campaign.report`) can stamp documents
+without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "API_VERSION",
+    "CAMPAIGN_RECORD_KIND",
+    "PROBLEM_KIND_PREFIX",
+    "PROBLEM_KINDS",
+    "RESULT_KINDS",
+    "TOOL_RESULT_KINDS",
+    "REQUIRED_FIELDS",
+    "SchemaError",
+    "document_kinds",
+    "validate_document",
+]
+
+#: revision of every document layout this package emits; a bump invalidates
+#: old documents *loudly* (``validate_document`` / ``from_json`` reject them)
+API_VERSION = 1
+
+#: kinds with a dedicated dataclass in :mod:`repro.api.results`
+RESULT_KINDS: Tuple[str, ...] = (
+    "verify",
+    "equivalence",
+    "bughunt",
+    "simulate",
+    "campaign",
+)
+
+#: auxiliary CLI tool documents, carried by the generic
+#: :class:`repro.api.ToolResult` (``{"kind": <kind>, "data": {...}}``)
+TOOL_RESULT_KINDS: Tuple[str, ...] = (
+    "generate",
+    "inject",
+    "stats",
+    "export-ta",
+    "baselines",
+    "campaign-matrix",
+    "campaign-ls",
+    "cache-stats",
+    "cache-gc",
+    "cache-clear",
+)
+
+#: one line of a campaign JSONL report (fields: ``repro.campaign.report.REPORT_FIELDS``)
+CAMPAIGN_RECORD_KIND = "campaign-job"
+
+#: problem documents use ``"kind": "problem/<name>"`` so a request can never
+#: be mistaken for a result on the wire
+PROBLEM_KIND_PREFIX = "problem/"
+PROBLEM_KINDS: Tuple[str, ...] = tuple(
+    PROBLEM_KIND_PREFIX + kind for kind in RESULT_KINDS
+)
+
+#: fields (beyond the envelope) every document of a kind must carry; the
+#: typed result/problem dataclasses are generated-from/checked-against this
+#: in the API-surface snapshot test
+REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "verify": (
+        "holds", "check", "witness", "witness_kind", "mode", "benchmark",
+        "description", "circuit_qubits", "circuit_gates",
+        "precondition_summary", "output_summary", "statistics",
+        "comparison_seconds",
+    ),
+    "equivalence": (
+        "non_equivalent", "witness", "witness_side", "mode",
+        "analysis_seconds", "comparison_seconds",
+    ),
+    "bughunt": (
+        "bug_found", "iterations", "total_seconds", "witness", "witness_side",
+        "final_input_size", "per_iteration_seconds", "mode",
+        "injected_mutation",
+    ),
+    "simulate": ("num_qubits", "num_gates", "amplitudes"),
+    "campaign": (
+        "benchmark", "mode", "workers", "jobs", "holds", "violated",
+        "unsupported", "errors", "cache_hits", "analysis_seconds",
+        "wall_seconds", "report_path", "reference_violated", "phase_seconds",
+        "store_hits", "store_misses", "store_publishes",
+    ),
+    CAMPAIGN_RECORD_KIND: (
+        "job_id", "benchmark", "mode", "mutation_kind", "mutation", "seed",
+        "num_qubits", "num_gates", "circuit_fingerprint",
+        "precondition_fingerprint", "postcondition_fingerprint", "verdict",
+        "witness", "witness_kind", "error", "statistics",
+        "comparison_seconds", "elapsed_seconds", "cached", "deduplicated",
+    ),
+}
+#: generic tool documents all share one required payload field
+for _kind in TOOL_RESULT_KINDS:
+    REQUIRED_FIELDS[_kind] = ("data",)
+del _kind
+
+
+class SchemaError(ValueError):
+    """A document does not match the versioned schema."""
+
+
+def document_kinds() -> Tuple[str, ...]:
+    """Every ``kind`` value a document may carry (sorted, for snapshots)."""
+    return tuple(sorted(
+        set(RESULT_KINDS) | set(TOOL_RESULT_KINDS)
+        | {CAMPAIGN_RECORD_KIND} | set(PROBLEM_KINDS)
+    ))
+
+
+def validate_document(document: Mapping, kind: Optional[str] = None) -> Mapping:
+    """Check the envelope and per-kind required fields; returns ``document``.
+
+    Raises :class:`SchemaError` when ``document`` is not a mapping, carries a
+    missing/foreign ``api_version``, an unknown ``kind`` (or not the expected
+    ``kind``), or lacks a required field.  Problem documents
+    (``kind="problem/..."``) only have their envelope checked here — their
+    field constraints live in the :mod:`repro.api.problems` constructors.
+    """
+    if not isinstance(document, Mapping):
+        raise SchemaError(f"expected a JSON object, got {type(document).__name__}")
+    version = document.get("api_version")
+    if version != API_VERSION:
+        raise SchemaError(
+            f"api_version {version!r} is not the supported version {API_VERSION}"
+        )
+    actual = document.get("kind")
+    if actual not in document_kinds():
+        raise SchemaError(f"unknown document kind {actual!r}")
+    if kind is not None and actual != kind:
+        raise SchemaError(f"expected a {kind!r} document, got {actual!r}")
+    for field in REQUIRED_FIELDS.get(actual, ()):
+        if field not in document:
+            raise SchemaError(f"{actual!r} document is missing required field {field!r}")
+    return document

@@ -1,0 +1,296 @@
+"""The :class:`Session` runtime: one object owning all run configuration.
+
+Before this layer existed, runtime configuration was scattered — the gate
+store hung off module globals (``configure_gate_store``), cache directories
+came from env vars resolved at call sites, worker counts were CLI flags.  A
+``Session`` gathers all of it behind one façade:
+
+* it owns a private :class:`~repro.core.engine.GateRuntime` (gate memo + the
+  optional cross-process automaton store), so nothing a session does can leak
+  into another session, a test, or the process-default runtime;
+* :meth:`Session.run` accepts any :class:`~repro.api.problems.Problem` and
+  returns the matching typed :class:`~repro.api.results.Result`;
+* it is a context manager — leaving the ``with`` block resets the runtime, so
+  configuration cannot outlive the session.
+
+Example::
+
+    from repro.api import Session, VerifyProblem, CircuitSource
+
+    with Session(workers=4) as session:
+        result = session.run(VerifyProblem(circuit=CircuitSource.from_family("bv", 4)))
+        print(result.to_json())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional
+
+from ..campaign.runner import Campaign, CampaignConfig
+from ..campaign.scheduler import MatrixRunResult, MatrixScheduler, MatrixSpec
+from ..circuits import inject_random_gate
+from ..core.engine import GateRuntime
+from ..core.equivalence import IncrementalBugHunter, check_circuit_equivalence
+from ..core.verification import verify_triple
+from ..simulator import StateVectorSimulator
+from ..states import QuantumState
+from ..ta import all_basis_states_ta
+from .problems import (
+    BugHuntProblem,
+    CampaignProblem,
+    EquivalenceProblem,
+    Problem,
+    SimulateProblem,
+    VerifyProblem,
+)
+from .results import (
+    BugHuntResult,
+    CampaignResult,
+    EquivalenceResult,
+    Result,
+    SimulateResult,
+    VerifyResult,
+)
+
+__all__ = ["SessionConfig", "Session"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything about *how* problems run (never *what* runs — see Problem).
+
+    ``cache_dir``/``store_dir`` follow the campaign conventions: ``None``
+    means "the default location" for campaign problems (direct
+    verify/equivalence/bughunt runs leave the store off unless ``store_dir``
+    names a directory), and ``""`` disables the tier outright.
+    """
+
+    #: campaign result-cache directory (None = default, "" = disabled)
+    cache_dir: Optional[str] = None
+    #: cross-process automaton store directory; campaigns resolve ``None`` to
+    #: the default store, direct runs attach a store only when one is named
+    store_dir: Optional[str] = None
+    #: worker processes for campaign problems (1 = run in-process)
+    workers: int = 1
+    #: front-ends render per-phase timing breakdowns when set (the engine
+    #: always *records* phase timings into ``EngineStatistics``; this flag is
+    #: the one switch front-ends sharing a session consult to display them)
+    profile: bool = False
+    #: campaign-matrix manifest directory (None = default)
+    manifest_dir: Optional[str] = None
+    #: campaign-matrix per-cell report directory
+    report_dir: str = "campaign_reports"
+    #: apply the lightweight TA reduction after every gate
+    reduce_after_each_gate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+
+class Session:
+    """Runs :class:`Problem` requests under one isolated runtime configuration."""
+
+    def __init__(self, config: Optional[SessionConfig] = None, **overrides):
+        self.config = replace(config or SessionConfig(), **overrides)
+        self._runtime = GateRuntime()
+        if self.config.store_dir:
+            # direct (non-campaign) runs use the store only when it is
+            # explicitly named; campaigns do their own resolution per run
+            self._runtime.configure_store(self.config.store_dir)
+        self._handlers: Dict[type, Callable[[Problem], Result]] = {
+            VerifyProblem: self._run_verify,
+            EquivalenceProblem: self._run_equivalence,
+            BugHuntProblem: self._run_bughunt,
+            SimulateProblem: self._run_simulate,
+            CampaignProblem: self._run_campaign,
+        }
+
+    # ----------------------------------------------------------- lifecycle
+    @property
+    def runtime(self) -> GateRuntime:
+        """The session's private gate memo + store (never a module global)."""
+        return self._runtime
+
+    def close(self) -> None:
+        """Reset the runtime: drop the memo, detach the store."""
+        self._runtime.reset()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- dispatch
+    def run(self, problem: Problem) -> Result:
+        """Answer any problem shape; returns the matching typed result."""
+        handler = self._handlers.get(type(problem))
+        if handler is None:
+            raise TypeError(
+                f"cannot run {type(problem).__name__}; expected one of "
+                f"{sorted(cls.__name__ for cls in self._handlers)}"
+            )
+        return handler(problem)
+
+    # ----------------------------------------------------------- workloads
+    def _run_verify(self, problem: VerifyProblem) -> VerifyResult:
+        circuit, benchmark = problem.circuit.resolve()
+        if problem.precondition is not None:
+            precondition = problem.precondition.resolve(circuit.num_qubits)
+        else:
+            precondition = benchmark.precondition
+        if problem.postcondition is not None:
+            postcondition = problem.postcondition.resolve(circuit.num_qubits)
+        else:
+            postcondition = benchmark.postcondition
+        outcome = verify_triple(
+            precondition, circuit, postcondition,
+            mode=problem.mode,
+            inclusion_only=problem.inclusion_only,
+            reduce_after_each_gate=self.config.reduce_after_each_gate,
+            runtime=self._runtime,
+        )
+        return VerifyResult(
+            holds=outcome.holds,
+            check=outcome.check,
+            witness=None if outcome.witness is None else repr(outcome.witness),
+            witness_kind=outcome.witness_kind,
+            mode=problem.mode,
+            benchmark=None if benchmark is None else benchmark.name,
+            description=None if benchmark is None else benchmark.description,
+            circuit_qubits=circuit.num_qubits,
+            circuit_gates=circuit.num_gates,
+            precondition_summary=precondition.size_summary(),
+            output_summary=outcome.output.size_summary(),
+            statistics=outcome.statistics,
+            comparison_seconds=outcome.comparison_seconds,
+        )
+
+    def _run_equivalence(self, problem: EquivalenceProblem) -> EquivalenceResult:
+        first, _ = problem.first.resolve()
+        second, _ = problem.second.resolve()
+        if problem.inputs is not None:
+            inputs = problem.inputs.resolve(first.num_qubits)
+        else:
+            inputs = all_basis_states_ta(first.num_qubits)
+        outcome = check_circuit_equivalence(
+            first, second, inputs, mode=problem.mode, runtime=self._runtime
+        )
+        return EquivalenceResult(
+            non_equivalent=outcome.non_equivalent,
+            witness=None if outcome.witness is None else repr(outcome.witness),
+            witness_side=outcome.witness_side,
+            mode=problem.mode,
+            analysis_seconds=outcome.analysis_seconds,
+            comparison_seconds=outcome.comparison_seconds,
+        )
+
+    def _run_bughunt(self, problem: BugHuntProblem) -> BugHuntResult:
+        reference, _ = problem.reference.resolve()
+        mutation = None
+        if problem.candidate is not None:
+            candidate, _ = problem.candidate.resolve()
+        else:
+            candidate, mutation = inject_random_gate(reference, seed=problem.inject_seed)
+        hunter = IncrementalBugHunter(
+            mode=problem.mode,
+            seed=problem.seed,
+            max_iterations=problem.max_iterations,
+            runtime=self._runtime,
+        )
+        outcome = hunter.hunt(reference, candidate)
+        return BugHuntResult(
+            bug_found=outcome.bug_found,
+            iterations=outcome.iterations,
+            total_seconds=outcome.total_seconds,
+            witness=None if outcome.witness is None else repr(outcome.witness),
+            witness_side=outcome.witness_side,
+            final_input_size=outcome.final_input_size,
+            per_iteration_seconds=list(outcome.per_iteration_seconds),
+            mode=problem.mode,
+            injected_mutation=None if mutation is None else str(mutation),
+        )
+
+    def _run_simulate(self, problem: SimulateProblem) -> SimulateResult:
+        circuit, _ = problem.circuit.resolve()
+        if problem.input_bits is None:
+            initial = QuantumState.zero_state(circuit.num_qubits)
+        else:
+            initial = QuantumState.basis_state(circuit.num_qubits, problem.input_bits)
+        output = StateVectorSimulator().run(circuit, initial)
+        amplitudes = []
+        for bits, amplitude in output.items():
+            approx = amplitude.to_complex()
+            amplitudes.append({
+                "basis": "".join(map(str, bits)),
+                "amplitude": str(amplitude),
+                "approx": [approx.real, approx.imag],
+            })
+        return SimulateResult(
+            num_qubits=circuit.num_qubits,
+            num_gates=circuit.num_gates,
+            amplitudes=amplitudes,
+        )
+
+    def _run_campaign(self, problem: CampaignProblem) -> CampaignResult:
+        config = CampaignConfig(
+            family=problem.family,
+            size=problem.size,
+            mutants=problem.mutants,
+            mutation_kinds=problem.mutation_kinds,
+            mode=problem.mode,
+            workers=self.config.workers,
+            seed=problem.seed,
+            include_reference=problem.include_reference,
+            report_path=problem.report_path,
+            cache_dir=self.config.cache_dir,
+            store_dir=self.config.store_dir,
+        )
+        summary = Campaign(config).run(runtime=self._runtime)
+        return CampaignResult.from_summary(summary)
+
+    # ----------------------------------------------------------- matrices
+    def run_matrix(
+        self,
+        spec: MatrixSpec,
+        campaign_id: Optional[str] = None,
+        resume: bool = False,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> MatrixRunResult:
+        """Drive a whole families × sizes × modes sweep under this session.
+
+        Matrix sweeps return the scheduler's
+        :class:`~repro.campaign.scheduler.MatrixRunResult` (per-cell rows +
+        totals) rather than a wire ``Result`` — they are an orchestration of
+        many campaign problems, each of which already reports through the
+        versioned schema in its JSONL records.
+        """
+        scheduler = self.matrix_scheduler(spec, campaign_id=campaign_id)
+        return scheduler.run(resume=resume, progress=progress, runtime=self._runtime)
+
+    def matrix_scheduler(
+        self, spec: MatrixSpec, campaign_id: Optional[str] = None
+    ) -> MatrixScheduler:
+        """A :class:`MatrixScheduler` wired to this session's configuration."""
+        return MatrixScheduler(
+            spec,
+            workers=self.config.workers,
+            report_dir=self.config.report_dir,
+            manifest_dir=self.config.manifest_dir,
+            cache_dir=self.config.cache_dir,
+            campaign_id=campaign_id,
+            store_dir=self.config.store_dir,
+        )
+
+    def resume_matrix_scheduler(self, campaign_id: str) -> MatrixScheduler:
+        """Rebuild a scheduler from a manifest alone (``campaign --resume``)."""
+        return MatrixScheduler.resume(
+            campaign_id,
+            workers=self.config.workers,
+            report_dir=self.config.report_dir,
+            manifest_dir=self.config.manifest_dir,
+            cache_dir=self.config.cache_dir,
+            store_dir=self.config.store_dir,
+        )

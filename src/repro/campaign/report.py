@@ -21,8 +21,13 @@ __all__ = [
     "format_cell_table",
 ]
 
-#: the keys every report line carries (schema contract checked by the tests)
+#: the keys every report line carries (schema contract checked by the tests);
+#: ``api_version`` and ``kind`` are the envelope of the versioned service-layer
+#: schema (:mod:`repro.api.schema`) — the writer stamps them on every line so a
+#: JSONL record validates as a ``campaign-job`` document
 REPORT_FIELDS = (
+    "api_version",
+    "kind",
     "job_id",
     "benchmark",
     "mode",
@@ -64,10 +69,19 @@ class CampaignReportWriter:
             self._handle = None
 
     def write(self, record: Dict) -> None:
-        """Append one record (missing schema fields are filled with ``None``)."""
+        """Append one record (missing schema fields are filled with ``None``).
+
+        Every line is stamped with the current ``api_version`` and the
+        ``campaign-job`` document kind, even when the verdict was replayed
+        from a cache entry written by an older version.
+        """
         if self._handle is None:
             raise RuntimeError("report writer used outside its context manager")
+        from ..api.schema import API_VERSION, CAMPAIGN_RECORD_KIND
+
         full = {key: record.get(key) for key in REPORT_FIELDS}
+        full["api_version"] = API_VERSION
+        full["kind"] = CAMPAIGN_RECORD_KIND
         self._handle.write(json.dumps(full, sort_keys=True) + "\n")
         self._handle.flush()
         self.lines_written += 1

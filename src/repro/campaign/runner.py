@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..benchgen.families import build_family
 from ..circuits.qasm import parse_qasm
-from ..core.engine import AnalysisMode, active_gate_store, configure_gate_store, set_gate_store
+from ..core.engine import AnalysisMode, GateRuntime, configure_gate_store, default_gate_runtime
 from ..core.permutation import PermutationUnsupported
 from ..core.verification import verify_triple
 from ..ta import serialization
@@ -41,16 +41,21 @@ def initialise_worker(store_dir) -> None:
 
     Passed as ``initializer`` when campaign pools are created, so every worker
     process reads and publishes gate-memo entries under the same directory —
-    one worker's circuit prefix becomes every other worker's store hit.
+    one worker's circuit prefix becomes every other worker's store hit.  The
+    store attaches to the worker's process-default :class:`GateRuntime`
+    (each pool worker is its own process, so nothing can leak into the
+    parent's sessions).
     """
     configure_gate_store(store_dir)
 
 
-def execute_job(job: CampaignJob) -> Dict:
+def execute_job(job: CampaignJob, runtime: Optional[GateRuntime] = None) -> Dict:
     """Run one verification job; always returns a report record (never raises).
 
     Top-level (not a method) so worker pools can pickle it under every
-    multiprocessing start method.
+    multiprocessing start method; pool workers call it without ``runtime``
+    (using their process-default runtime), the in-process path passes the
+    campaign's runtime explicitly.
     """
     start = time.perf_counter()
     record: Dict = {
@@ -76,7 +81,9 @@ def execute_job(job: CampaignJob) -> Dict:
         circuit = parse_qasm(job.circuit_qasm)
         precondition = serialization.loads(job.precondition_text)
         postcondition = serialization.loads(job.postcondition_text)
-        result = verify_triple(precondition, circuit, postcondition, mode=job.mode)
+        result = verify_triple(
+            precondition, circuit, postcondition, mode=job.mode, runtime=runtime
+        )
         record["verdict"] = "holds" if result.holds else "violated"
         record["witness"] = None if result.witness is None else repr(result.witness)
         record["witness_kind"] = result.witness_kind
@@ -177,13 +184,18 @@ class Campaign:
             return None
         return ResultCache(cache_dir or default_cache_dir())
 
-    def run(self, pool=None) -> CampaignSummary:
+    def run(self, pool=None, runtime: Optional[GateRuntime] = None) -> CampaignSummary:
         """Execute every job, stream the JSONL report, and return the summary.
 
         ``pool`` optionally supplies an already-running multiprocessing pool
         (the matrix scheduler shares one across all sweep cells instead of
         paying pool start-up per cell); when ``None``, the campaign creates
         its own pool sized by ``config.workers``.
+
+        ``runtime`` optionally supplies the :class:`GateRuntime` in-process
+        verification should use (a :class:`repro.api.Session` passes its own);
+        when ``None``, the process-default runtime is used, matching the
+        legacy behaviour.
         """
         config = self.config
         start = time.perf_counter()
@@ -195,8 +207,10 @@ class Campaign:
         # previous store is restored on exit so a campaign never leaks its
         # (possibly temporary) store into unrelated later analyses
         store_dir = resolve_store_dir(config.cache_dir, config.store_dir)
-        previous_store = active_gate_store()
-        configure_gate_store(store_dir)
+        if runtime is None:
+            runtime = default_gate_runtime()
+        previous_store = runtime.store
+        runtime.configure_store(store_dir)
 
         job_keys = {
             job.job_id: ResultCache.key(
@@ -245,7 +259,7 @@ class Campaign:
                 if pool is not None and len(misses) > 1:
                     drain(pool.imap(execute_job, misses, chunksize=1))
                 elif config.workers == 1 or len(misses) <= 1:
-                    drain(map(execute_job, misses))
+                    drain(execute_job(job, runtime) for job in misses)
                 else:
                     context = self._pool_context()
                     with context.Pool(
@@ -255,7 +269,7 @@ class Campaign:
                     ) as own_pool:
                         drain(own_pool.imap(execute_job, misses, chunksize=1))
         finally:
-            set_gate_store(previous_store)
+            runtime.store = previous_store
         wall = time.perf_counter() - start
         summary = summarise_records(records)
         # only an actual "violated" verdict taints the sweep: an errored

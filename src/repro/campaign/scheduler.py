@@ -442,12 +442,17 @@ class MatrixScheduler:
         self,
         resume: bool = False,
         progress: Optional[Callable[[str], None]] = None,
+        runtime=None,
     ) -> MatrixRunResult:
         """Run (or resume) the sweep; returns per-cell rows and totals.
 
         On ``KeyboardInterrupt`` (or any crash) the manifest is left with the
         current cell in ``running`` state, so the next ``run(resume=True)``
         re-queues exactly that cell and skips everything already ``done``.
+
+        ``runtime`` optionally names the :class:`~repro.core.engine.GateRuntime`
+        used for in-process verification (see :meth:`Campaign.run`); pool
+        workers always use their own per-process runtimes.
         """
         say = progress or (lambda message: None)
         start = time.perf_counter()
@@ -481,7 +486,7 @@ class MatrixScheduler:
                 say(f"[{position}/{len(todo)}] {cell.cell_id} "
                     f"({cell.mutants} mutant(s), est. cost {estimate_cell_cost(cell):.0f})")
                 manifest.mark_running(cell.cell_id, report_path=self._cell_report_path(cell))
-                summary = Campaign(self._cell_config(cell)).run(pool=pool)
+                summary = Campaign(self._cell_config(cell)).run(pool=pool, runtime=runtime)
                 manifest.mark_done(cell.cell_id, summary.to_dict())
         finally:
             if pool is not None:

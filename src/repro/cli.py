@@ -25,6 +25,15 @@ Subcommands::
     autoq-repro cache gc --max-bytes 100000000        # shrink the store to a byte budget
     autoq-repro cache clear                           # drop every automaton-store entry
 
+The CLI is a thin adapter over the typed service layer (:mod:`repro.api`):
+each subcommand parses its flags into a ``Problem``, runs it through a
+``Session`` (which owns the worker count, cache and store configuration),
+and formats the typed ``Result``.  Because of that, **every** subcommand
+accepts ``--json``, which prints the result as a versioned JSON document
+(``api_version`` + ``kind`` envelope, see ``docs/api.md``) instead of the
+text report — the same schema campaign JSONL records use, and the output
+round-trips through ``repro.api.Result.from_json`` unchanged.
+
 All commands print a short human-readable report to stdout and exit with a
 non-zero status when a property is violated / a bug is found, so they can be
 scripted.  The exception is ``campaign``, whose *purpose* is catching mutants:
@@ -64,11 +73,22 @@ for one run, and the ``cache`` subcommand (``stats`` / ``gc --max-bytes`` /
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 from typing import Optional, Sequence
 
+from .api import (
+    BugHuntProblem,
+    CampaignProblem,
+    CircuitSource,
+    ConditionSpec,
+    EquivalenceProblem,
+    Session,
+    SessionConfig,
+    SimulateProblem,
+    ToolResult,
+    VerifyProblem,
+)
 from .baselines import (
     PathSumChecker,
     RandomStimuliChecker,
@@ -77,28 +97,30 @@ from .baselines import (
 )
 from .benchgen import build_family, family_names
 from .campaign import (
-    CampaignConfig,
     CampaignManifest,
     ManifestError,
-    MatrixScheduler,
     MatrixSpec,
     default_cache_dir,
     default_manifest_dir,
     format_cell_table,
     list_campaign_ids,
-    run_campaign,
 )
 from .campaign.plan import MUTATION_KINDS
 from .circuits import inject_random_gate, load_qasm_file, save_qasm_file
 from .circuits.metrics import summarise as circuit_summary
-from .core import AnalysisMode, IncrementalBugHunter, check_circuit_equivalence, verify_triple
-from .simulator import StateVectorSimulator
-from .states import QuantumState
-from .ta import all_basis_states_ta, basis_state_ta
+from .core import AnalysisMode
 from .ta.store import AutomatonStore, default_store_dir
 from .ta.timbuk import save_timbuk
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_json_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--json", action="store_true",
+        help="print the versioned machine-readable result document "
+             "(api_version-stamped JSON, see docs/api.md) instead of the text report",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -260,8 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "~/.cache/autoq-repro/campaign)")
     cache.add_argument("--max-bytes", type=int, default=None,
                        help="gc: target store size in bytes (required for gc)")
-    cache.add_argument("--json", action="store_true",
-                       help="print machine-readable JSON instead of the text report")
+
+    for subparser in subparsers.choices.values():
+        _add_json_flag(subparser)
     return parser
 
 
@@ -273,66 +296,107 @@ def _format_phases(phase_seconds) -> str:
     return "  ".join(f"{name}={seconds:.3f}s" for name, seconds in ordered)
 
 
+def _emit(result) -> int:
+    """Shared ``--json`` tail: print the document, return the result's exit code."""
+    print(result.to_json())
+    return result.exit_code
+
+
+def _session(args, **overrides) -> Session:
+    """Build the session from the runtime-configuration flags a command has."""
+    config = SessionConfig(
+        cache_dir="" if getattr(args, "no_cache", False) else getattr(args, "cache_dir", None),
+        store_dir="" if getattr(args, "no_store", False) else getattr(args, "store_dir", None),
+        workers=getattr(args, "workers", 1),
+        profile=getattr(args, "profile", False),
+        manifest_dir=getattr(args, "manifest_dir", None),
+        report_dir=getattr(args, "report_dir", "campaign_reports"),
+    )
+    from dataclasses import replace
+
+    return Session(replace(config, **overrides) if overrides else config)
+
+
+# --------------------------------------------------------------- problem runs
+
+
 def _command_verify(args) -> int:
-    benchmark = build_family(args.family, args.size)
-    result = verify_triple(benchmark.precondition, benchmark.circuit, benchmark.postcondition, mode=args.mode)
-    print(f"benchmark: {benchmark.name} ({benchmark.description})")
-    print(f"circuit:   {benchmark.circuit.num_qubits} qubits, {benchmark.circuit.num_gates} gates")
-    print(f"pre  TA:   {benchmark.precondition.size_summary()}")
-    print(f"output TA: {result.output.size_summary()}")
+    problem = VerifyProblem(
+        circuit=CircuitSource.from_family(args.family, args.size), mode=args.mode
+    )
+    with _session(args) as session:
+        result = session.run(problem)
+    if args.json:
+        return _emit(result)
+    print(f"benchmark: {result.benchmark} ({result.description})")
+    print(f"circuit:   {result.circuit_qubits} qubits, {result.circuit_gates} gates")
+    print(f"pre  TA:   {result.precondition_summary}")
+    print(f"output TA: {result.output_summary}")
     print(f"analysis:  {result.statistics.analysis_seconds:.2f}s, "
           f"comparison: {result.comparison_seconds:.2f}s")
-    if args.profile:
+    if session.config.profile:
         print(f"phases:    {_format_phases(result.statistics.phase_seconds)}")
     print(f"verdict:   {'HOLDS' if result.holds else 'VIOLATED'}")
     if result.witness is not None:
         print(f"witness ({result.witness_kind}): {result.witness}")
-    return 0 if result.holds else 1
+    return result.exit_code
 
 
 def _command_simulate(args) -> int:
-    circuit = load_qasm_file(args.circuit)
-    if args.input is None:
-        initial = QuantumState.zero_state(circuit.num_qubits)
-    else:
-        initial = QuantumState.basis_state(circuit.num_qubits, args.input)
-    output = StateVectorSimulator().run(circuit, initial)
-    print(f"circuit: {circuit.num_qubits} qubits, {circuit.num_gates} gates")
-    for bits, amplitude in output.items():
-        print(f"  |{''.join(map(str, bits))}>  {amplitude}   ({amplitude.to_complex():.4f})")
-    return 0
+    problem = SimulateProblem(
+        circuit=CircuitSource.from_path(args.circuit), input_bits=args.input
+    )
+    with _session(args) as session:
+        result = session.run(problem)
+    if args.json:
+        return _emit(result)
+    print(f"circuit: {result.num_qubits} qubits, {result.num_gates} gates")
+    for entry in result.amplitudes:
+        approx = complex(entry["approx"][0], entry["approx"][1])
+        print(f"  |{entry['basis']}>  {entry['amplitude']}   ({approx:.4f})")
+    return result.exit_code
 
 
 def _command_equivalence(args) -> int:
-    first = load_qasm_file(args.first)
-    second = load_qasm_file(args.second)
+    inputs = None
     if args.single_input is not None:
-        inputs = basis_state_ta(first.num_qubits, args.single_input)
-    else:
-        inputs = all_basis_states_ta(first.num_qubits)
-    outcome = check_circuit_equivalence(first, second, inputs, mode=args.mode)
-    print(f"analysis: {outcome.analysis_seconds:.2f}s, comparison: {outcome.comparison_seconds:.2f}s")
-    if outcome.non_equivalent:
-        print(f"NOT EQUIVALENT ({outcome.witness_side}); witness: {outcome.witness}")
+        inputs = ConditionSpec(kind="basis", value=args.single_input)
+    problem = EquivalenceProblem(
+        first=CircuitSource.from_path(args.first),
+        second=CircuitSource.from_path(args.second),
+        inputs=inputs,
+        mode=args.mode,
+    )
+    with _session(args) as session:
+        result = session.run(problem)
+    if args.json:
+        return _emit(result)
+    print(f"analysis: {result.analysis_seconds:.2f}s, comparison: {result.comparison_seconds:.2f}s")
+    if result.non_equivalent:
+        print(f"NOT EQUIVALENT ({result.witness_side}); witness: {result.witness}")
         return 1
     print("output sets coincide (circuits may be equivalent)")
     return 0
 
 
 def _command_bughunt(args) -> int:
-    reference = load_qasm_file(args.first)
-    if args.second is not None:
-        candidate = load_qasm_file(args.second)
-        mutation = None
-    elif args.inject_seed is not None:
-        candidate, mutation = inject_random_gate(reference, seed=args.inject_seed)
-    else:
+    if args.second is None and args.inject_seed is None:
         print("error: provide a second circuit or --inject-seed", file=sys.stderr)
         return 2
-    hunter = IncrementalBugHunter(mode=args.mode, seed=args.seed, max_iterations=args.max_iterations)
-    result = hunter.hunt(reference, candidate)
-    if mutation is not None:
-        print(f"injected bug: {mutation}")
+    problem = BugHuntProblem(
+        reference=CircuitSource.from_path(args.first),
+        candidate=None if args.second is None else CircuitSource.from_path(args.second),
+        inject_seed=args.inject_seed if args.second is None else None,
+        mode=args.mode,
+        seed=args.seed,
+        max_iterations=args.max_iterations,
+    )
+    with _session(args) as session:
+        result = session.run(problem)
+    if args.json:
+        return _emit(result)
+    if result.injected_mutation is not None:
+        print(f"injected bug: {result.injected_mutation}")
     print(f"iterations: {result.iterations}, time: {result.total_seconds:.2f}s")
     if result.bug_found:
         print(f"BUG FOUND; witness ({result.witness_side}): {result.witness}")
@@ -341,9 +405,22 @@ def _command_bughunt(args) -> int:
     return 0
 
 
+# ------------------------------------------------------------- tool commands
+
+
 def _command_generate(args) -> int:
     benchmark = build_family(args.family, args.size)
     save_qasm_file(benchmark.circuit, args.output)
+    result = ToolResult(tool="generate", data={
+        "benchmark": benchmark.name,
+        "family": args.family,
+        "size": args.size,
+        "qubits": benchmark.circuit.num_qubits,
+        "gates": benchmark.circuit.num_gates,
+        "output": args.output,
+    })
+    if args.json:
+        return _emit(result)
     print(f"wrote {benchmark.name}: {benchmark.circuit.num_qubits} qubits, "
           f"{benchmark.circuit.num_gates} gates -> {args.output}")
     return 0
@@ -353,6 +430,14 @@ def _command_inject(args) -> int:
     circuit = load_qasm_file(args.circuit)
     mutated, mutation = inject_random_gate(circuit, seed=args.seed)
     save_qasm_file(mutated, args.output)
+    result = ToolResult(tool="inject", data={
+        "mutation": str(mutation),
+        "seed": args.seed,
+        "gates": mutated.num_gates,
+        "output": args.output,
+    })
+    if args.json:
+        return _emit(result)
     print(f"injected bug: {mutation}")
     print(f"wrote mutated circuit ({mutated.num_gates} gates) -> {args.output}")
     return 0
@@ -361,6 +446,8 @@ def _command_inject(args) -> int:
 def _command_stats(args) -> int:
     circuit = load_qasm_file(args.circuit)
     summary = circuit_summary(circuit)
+    if args.json:
+        return _emit(ToolResult(tool="stats", data={"circuit": args.circuit, **summary}))
     print(f"circuit:  {args.circuit}")
     print(f"qubits:   {summary['qubits']}")
     print(f"gates:    {summary['gates']}", end="")
@@ -381,6 +468,16 @@ def _command_export_ta(args) -> int:
     benchmark = build_family(args.family, args.size)
     automaton = benchmark.precondition if args.which == "pre" else benchmark.postcondition
     save_timbuk(automaton, args.output, name=f"{args.family}_{args.size}_{args.which}")
+    result = ToolResult(tool="export-ta", data={
+        "benchmark": benchmark.name,
+        "which": args.which,
+        "summary": automaton.size_summary(),
+        "states": automaton.num_states,
+        "transitions": automaton.num_transitions,
+        "output": args.output,
+    })
+    if args.json:
+        return _emit(result)
     print(f"wrote {args.which}-condition TA of {benchmark.name} "
           f"({automaton.size_summary()}) -> {args.output}")
     return 0
@@ -389,23 +486,33 @@ def _command_export_ta(args) -> int:
 def _command_baselines(args) -> int:
     first = load_qasm_file(args.first)
     second = load_qasm_file(args.second)
+    data = {}
     any_difference = False
 
     pathsum = PathSumChecker().check_equivalence(first, second)
-    print(f"path-sum:    {pathsum.verdict}")
+    data["pathsum"] = pathsum.verdict
     stabilizer = StabilizerChecker().check_equivalence(first, second)
-    print(f"stabilizer:  {stabilizer.verdict.value} ({stabilizer.reason})")
+    data["stabilizer"] = {"verdict": stabilizer.verdict.value, "reason": stabilizer.reason}
     stimuli = RandomStimuliChecker(num_stimuli=args.stimuli, seed=args.seed).check_equivalence(
         first, second
     )
-    print(f"stimuli:     {stimuli.verdict}")
+    data["stimuli"] = stimuli.verdict
+    data["unitary"] = None
     if max(first.num_qubits, second.num_qubits) <= 10:
         unitary = check_unitary_equivalence(first, second)
-        print(f"unitary:     {'equal' if unitary.equivalent else 'not_equal'}")
+        data["unitary"] = "equal" if unitary.equivalent else "not_equal"
         any_difference |= not unitary.equivalent
     any_difference |= pathsum.verdict == "not_equal"
     any_difference |= stabilizer.verdict.value == "not_equal"
     any_difference |= stimuli.verdict == "not_equal"
+    data["any_difference"] = any_difference
+    if args.json:
+        return _emit(ToolResult(tool="baselines", data=data))
+    print(f"path-sum:    {data['pathsum']}")
+    print(f"stabilizer:  {data['stabilizer']['verdict']} ({data['stabilizer']['reason']})")
+    print(f"stimuli:     {data['stimuli']}")
+    if data["unitary"] is not None:
+        print(f"unitary:     {data['unitary']}")
     return 1 if any_difference else 0
 
 
@@ -427,11 +534,10 @@ def _command_cache(args) -> int:
         except OSError:
             result_entries = 0
         if args.json:
-            print(json.dumps({
+            return _emit(ToolResult(tool="cache-stats", data={
                 "store": stats,
                 "result_cache": {"directory": cache_dir, "entries": result_entries},
-            }, indent=2, sort_keys=True))
-            return 0
+            }))
         print(f"store:        {stats['directory']}")
         print(f"schema:       store v{stats['store_schema']}, payload v{stats['payload_schema']}")
         if stats["disk_stamp"] is not None and stats["disk_stamp"] != {
@@ -453,8 +559,9 @@ def _command_cache(args) -> int:
     if args.action == "gc":
         outcome = store.gc(args.max_bytes)
         if args.json:
-            print(json.dumps(outcome, indent=2, sort_keys=True))
-            return 0
+            return _emit(ToolResult(tool="cache-gc", data={
+                "store": store_dir, "budget_bytes": args.max_bytes, **outcome,
+            }))
         print(f"store:    {store_dir}")
         print(f"evicted:  {outcome['removed_entries']} entry(ies) "
               f"({outcome['removed_bytes']} bytes)")
@@ -463,22 +570,21 @@ def _command_cache(args) -> int:
         return 0
     removed = store.clear()
     if args.json:
-        print(json.dumps({"removed_entries": removed}, indent=2, sort_keys=True))
-        return 0
+        return _emit(ToolResult(tool="cache-clear", data={
+            "store": store_dir, "removed_entries": removed,
+        }))
     print(f"store:    {store_dir}")
     print(f"cleared:  {removed} entry(ies)")
     return 0
 
 
-def _build_matrix_scheduler(args) -> MatrixScheduler:
-    """Assemble the matrix scheduler from a spec file, inline flags, and/or a
-    manifest to resume (flags override the file; a bare ``--resume`` rebuilds
-    the spec from the manifest alone)."""
-    cache_dir = "" if args.no_cache else args.cache_dir
-    store_dir = "" if args.no_store else args.store_dir
-    common = dict(workers=args.workers, report_dir=args.report_dir,
-                  manifest_dir=args.manifest_dir, cache_dir=cache_dir,
-                  store_dir=store_dir)
+# ----------------------------------------------------------------- campaigns
+
+
+def _matrix_spec_from_args(args):
+    """Assemble (spec, campaign_id, resume?) from a spec file, inline flags,
+    and/or a manifest to resume (flags override the file; a bare ``--resume``
+    rebuilds the spec from the manifest alone)."""
     overrides = {
         "families": args.families,
         "sizes": args.sizes,
@@ -503,7 +609,7 @@ def _build_matrix_scheduler(args) -> MatrixScheduler:
                 f"cannot change {sorted(overrides)} while resuming from a manifest "
                 "alone; pass the original --matrix spec if you must re-check it"
             )
-        return MatrixScheduler.resume(args.resume, **common)
+        return None, args.resume, True
 
     if args.campaign_id and args.resume and args.campaign_id != args.resume:
         raise ValueError(
@@ -514,24 +620,45 @@ def _build_matrix_scheduler(args) -> MatrixScheduler:
     mapping.update(overrides)
     spec = MatrixSpec.from_mapping(mapping)
     campaign_id = args.campaign_id or args.resume
-    return MatrixScheduler(spec, campaign_id=campaign_id, **common)
+    return spec, campaign_id, args.resume is not None
 
 
 def _command_campaign_matrix(args) -> int:
+    progress = (lambda message: None) if args.json else print
     try:
-        scheduler = _build_matrix_scheduler(args)
-        print(f"campaign:  {scheduler.campaign_id} "
-              f"({len(scheduler.spec.cells())} cell(s), {args.workers} worker(s))")
-        print(f"manifest:  {scheduler.manifest_dir}")
-        for family, mode in scheduler.spec.skipped_combinations():
-            print(f"warning:   skipping {family} x {mode} (unsupported mode)", file=sys.stderr)
-        result = scheduler.run(resume=args.resume is not None, progress=print)
+        spec, campaign_id, resume = _matrix_spec_from_args(args)
+        with _session(args) as session:
+            if spec is None:
+                scheduler = session.resume_matrix_scheduler(campaign_id)
+            else:
+                scheduler = session.matrix_scheduler(spec, campaign_id=campaign_id)
+            progress(f"campaign:  {scheduler.campaign_id} "
+                     f"({len(scheduler.spec.cells())} cell(s), {args.workers} worker(s))")
+            progress(f"manifest:  {scheduler.manifest_dir}")
+            for family, mode in scheduler.spec.skipped_combinations():
+                print(f"warning:   skipping {family} x {mode} (unsupported mode)",
+                      file=sys.stderr)
+            result = scheduler.run(resume=resume, progress=progress,
+                                   runtime=session.runtime)
     except (ValueError, ManifestError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except OSError as error:
         print(f"error: cannot write report, cache, or manifest: {error}", file=sys.stderr)
         return 2
+    exit_code = 0 if result.trustworthy else 1
+    if args.json:
+        return _emit(ToolResult(tool="campaign-matrix", data={
+            "campaign_id": result.campaign_id,
+            "manifest_path": result.manifest_path,
+            "summary_path": result.summary_path,
+            "cells": result.rows,
+            "totals": result.totals,
+            "reused_cells": result.reused_cells,
+            "skipped_combinations": [list(pair) for pair in result.skipped_combinations],
+            "wall_seconds": result.wall_seconds,
+            "trustworthy": result.trustworthy,
+        }))
     print(format_cell_table(result.rows, result.totals))
     if result.reused_cells:
         print(f"resumed:   {result.reused_cells} cell(s) reused from the manifest")
@@ -539,7 +666,7 @@ def _command_campaign_matrix(args) -> int:
         print(f"store:     {result.totals['store_hits']} hit(s), "
               f"{result.totals['store_misses']} miss(es), "
               f"{result.totals['store_publishes']} publish(es)")
-    if args.profile:
+    if session.config.profile:
         phase_totals: dict = {}
         for row in result.rows:
             for phase, seconds in (row.get("phase_seconds") or {}).items():
@@ -551,13 +678,44 @@ def _command_campaign_matrix(args) -> int:
         if row["reference_violated"]:
             print(f"warning:   {row['cell']}: the UNMUTATED reference circuit violates "
                   "the specification — its mutant verdicts are suspect", file=sys.stderr)
-    return 0 if result.trustworthy else 1
+    return exit_code
 
 
 def _command_campaign_ls(args) -> int:
     """``campaign ls``: list every manifest with cell counts by verdict."""
     directory = args.manifest_dir or default_manifest_dir()
     campaign_ids = list_campaign_ids(directory)
+    listing = []
+    unreadable = []
+    for campaign_id in campaign_ids:
+        try:
+            manifest = CampaignManifest.load(directory, campaign_id)
+        except ManifestError as error:
+            unreadable.append((campaign_id, str(error)))
+            continue
+        progress = manifest.progress()
+        totals = manifest.verdict_totals()
+        listing.append({
+            "campaign_id": campaign_id,
+            "cells_done": progress["done"],
+            "cells_total": len(manifest.cells),
+            "cells_running": progress["running"],
+            "cells_pending": progress["pending"],
+            "complete": manifest.is_complete(),
+            **totals,
+        })
+    if args.json:
+        for campaign_id, error in unreadable:
+            print(f"{campaign_id:<24} (unreadable: {error})", file=sys.stderr)
+        return _emit(ToolResult(tool="campaign-ls", data={
+            "manifest_dir": directory,
+            "campaigns": listing,
+            # corruption must be visible to document consumers, not stderr-only
+            "unreadable": [
+                {"campaign_id": campaign_id, "error": error}
+                for campaign_id, error in unreadable
+            ],
+        }))
     print(f"manifests: {directory}")
     if not campaign_ids:
         print("(no campaign manifests)")
@@ -566,27 +724,22 @@ def _command_campaign_ls(args) -> int:
               f"{'violated':>8} {'unsup':>6} {'errors':>6}  status")
     print(header)
     print("-" * len(header))
-    for campaign_id in campaign_ids:
-        try:
-            manifest = CampaignManifest.load(directory, campaign_id)
-        except ManifestError as error:
-            print(f"{campaign_id:<24} (unreadable: {error})", file=sys.stderr)
-            continue
-        progress = manifest.progress()
-        totals = manifest.verdict_totals()
-        done, total = progress["done"], len(manifest.cells)
-        if manifest.is_complete():
+    for campaign_id, error in unreadable:
+        print(f"{campaign_id:<24} (unreadable: {error})", file=sys.stderr)
+    for row in listing:
+        if row["complete"]:
             status = "complete"
         else:
             pieces = []
-            if progress["running"]:
-                pieces.append(f"{progress['running']} interrupted")
-            if progress["pending"]:
-                pieces.append(f"{progress['pending']} pending")
+            if row["cells_running"]:
+                pieces.append(f"{row['cells_running']} interrupted")
+            if row["cells_pending"]:
+                pieces.append(f"{row['cells_pending']} pending")
             status = f"resumable ({', '.join(pieces)})"
-        print(f"{campaign_id:<24} {f'{done}/{total}':>9} {totals['jobs']:>7} "
-              f"{totals['holds']:>7} {totals['violated']:>8} {totals['unsupported']:>6} "
-              f"{totals['errors']:>6}  {status}")
+        done_total = f"{row['cells_done']}/{row['cells_total']}"
+        print(f"{row['campaign_id']:<24} {done_total:>9} {row['jobs']:>7} "
+              f"{row['holds']:>7} {row['violated']:>8} {row['unsupported']:>6} "
+              f"{row['errors']:>6}  {status}")
     return 0
 
 
@@ -616,45 +769,45 @@ def _command_campaign(args) -> int:
     mutations = args.mutations if args.mutations is not None else "insert"
     kinds = tuple(kind.strip() for kind in mutations.split(",") if kind.strip())
     try:
-        config = CampaignConfig(
+        problem = CampaignProblem(
             family=args.family,
             size=args.size,
             mutants=args.mutants if args.mutants is not None else 100,
             mutation_kinds=kinds,
             mode=args.mode,
-            workers=args.workers,
             seed=args.seed if args.seed is not None else 0,
             include_reference=not args.skip_reference,
             report_path=args.report,
-            cache_dir="" if args.no_cache else args.cache_dir,
-            store_dir="" if args.no_store else args.store_dir,
         )
-        summary = run_campaign(config)
+        with _session(args) as session:
+            result = session.run(problem)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except OSError as error:
         print(f"error: cannot write report or cache: {error}", file=sys.stderr)
         return 2
-    print(f"campaign:  {summary.benchmark} ({summary.mode} mode, {summary.workers} worker(s))")
-    unsupported = f", unsupported: {summary.unsupported}" if summary.unsupported else ""
-    print(f"jobs:      {summary.jobs}  (holds: {summary.holds}, violated: {summary.violated}, "
-          f"errors: {summary.errors}{unsupported})")
-    print(f"cache:     {summary.cache_hits} hit(s)")
-    if summary.store_hits or summary.store_misses or summary.store_publishes:
-        print(f"store:     {summary.store_hits} hit(s), {summary.store_misses} miss(es), "
-              f"{summary.store_publishes} publish(es)")
-    print(f"time:      {summary.wall_seconds:.2f}s wall, "
-          f"{summary.analysis_seconds:.2f}s cumulative analysis")
-    if args.profile:
-        print(f"phases:    {_format_phases(summary.phase_seconds)}")
-    print(f"report:    {summary.report_path}")
-    if summary.reference_violated:
+    if args.json:
+        return _emit(result)
+    print(f"campaign:  {result.benchmark} ({result.mode} mode, {result.workers} worker(s))")
+    unsupported = f", unsupported: {result.unsupported}" if result.unsupported else ""
+    print(f"jobs:      {result.jobs}  (holds: {result.holds}, violated: {result.violated}, "
+          f"errors: {result.errors}{unsupported})")
+    print(f"cache:     {result.cache_hits} hit(s)")
+    if result.store_hits or result.store_misses or result.store_publishes:
+        print(f"store:     {result.store_hits} hit(s), {result.store_misses} miss(es), "
+              f"{result.store_publishes} publish(es)")
+    print(f"time:      {result.wall_seconds:.2f}s wall, "
+          f"{result.analysis_seconds:.2f}s cumulative analysis")
+    if session.config.profile:
+        print(f"phases:    {_format_phases(result.phase_seconds)}")
+    print(f"report:    {result.report_path}")
+    if result.reference_violated:
         print("warning:   the UNMUTATED reference circuit violates the specification — "
               "every mutant verdict above is suspect", file=sys.stderr)
     # finding violated mutants is the campaign's purpose, but crashed jobs or a
     # broken specification mean the sweep itself cannot be trusted
-    return 1 if summary.errors or summary.reference_violated else 0
+    return result.exit_code
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

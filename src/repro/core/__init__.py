@@ -1,7 +1,16 @@
 """The paper's primary contribution: TA-based gate transformers, engine, verification."""
 
 from .composition import apply_composition_gate
-from .engine import AnalysisMode, CircuitEngine, EngineResult, EngineStatistics, run_circuit
+from .engine import (
+    AnalysisMode,
+    CircuitEngine,
+    EngineResult,
+    EngineStatistics,
+    GateRuntime,
+    default_gate_runtime,
+    reset_gate_runtime,
+    run_circuit,
+)
 from .equivalence import (
     BugHuntResult,
     IncrementalBugHunter,
@@ -35,6 +44,9 @@ __all__ = [
     "CircuitEngine",
     "EngineResult",
     "EngineStatistics",
+    "GateRuntime",
+    "default_gate_runtime",
+    "reset_gate_runtime",
     "run_circuit",
     "apply_composition_gate",
     "apply_permutation_gate",

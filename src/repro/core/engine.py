@@ -34,8 +34,11 @@ __all__ = [
     "AnalysisMode",
     "EngineStatistics",
     "EngineResult",
+    "GateRuntime",
     "CircuitEngine",
     "run_circuit",
+    "default_gate_runtime",
+    "reset_gate_runtime",
     "gate_cache_stats",
     "clear_gate_cache",
     "configure_gate_store",
@@ -43,74 +46,137 @@ __all__ = [
     "set_gate_store",
 ]
 
-# ------------------------------------------------------------------ gate cache
-# Gate application is a pure function of (automaton structure, gate, mode), and
-# repetitive circuits — Grover iterations, QFT layers, campaign sweeps over
-# mutants of one reference — present the same pair over and over.  The memo
-# below keys the *reduced* result on the automaton's structure key, so a
-# repeated (automaton, gate) application costs one O(size) fingerprint instead
-# of the whole tag/terms/bin/reduce pipeline.
-_GATE_CACHE: Dict[tuple, Tuple[TreeAutomaton, bool]] = {}
-#: safety valve mirroring the intern tables: stop storing beyond this size.
+#: safety valve mirroring the intern tables: stop memoising beyond this size.
 _MAX_GATE_CACHE = 16384
-_GATE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+class GateRuntime:
+    """Mutable per-session runtime of the gate-application pipeline.
+
+    Owns the two cache tiers a gate application consults:
+
+    * the **in-process memo** — gate application is a pure function of
+      (automaton structure, gate, mode), and repetitive circuits (Grover
+      iterations, QFT layers, campaign sweeps over mutants of one reference)
+      present the same pair over and over, so the memo keys the *reduced*
+      result on the automaton's structure key and a repeated application
+      costs one O(size) fingerprint instead of the whole
+      tag/terms/bin/reduce pipeline;
+    * the optional **cross-process store** (:mod:`repro.ta.store`) — a
+      content-addressed on-disk tier shared by every process pointed at the
+      same directory, keyed by the renaming-invariant compact-form digest so
+      campaign pool workers and entirely separate runs agree on the keys.
+
+    Sessions (:class:`repro.api.Session`) each own a private instance, so
+    attaching a store or warming the memo in one session can never leak into
+    another; the legacy free functions (:func:`run_circuit` with no runtime,
+    :func:`configure_gate_store`, …) operate on one process-wide default
+    instance (:func:`default_gate_runtime`).
+    """
+
+    __slots__ = ("memo", "memo_hits", "memo_misses", "store", "max_memo_entries")
+
+    def __init__(
+        self,
+        store: Optional["ta_store.AutomatonStore"] = None,
+        max_memo_entries: int = _MAX_GATE_CACHE,
+    ):
+        self.memo: Dict[tuple, Tuple[TreeAutomaton, bool]] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.store = store
+        self.max_memo_entries = max_memo_entries
+
+    def configure_store(self, directory: Optional[str]) -> Optional["ta_store.AutomatonStore"]:
+        """Attach the cross-process store at ``directory`` (detach with ``None``).
+
+        An unusable directory degrades to "no store" — the store is an
+        optimisation and must never break a verification run (see
+        :func:`repro.ta.store.open_store`).
+        """
+        self.store = ta_store.open_store(directory)
+        return self.store
+
+    def memo_stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the in-process gate-application memo."""
+        return {"size": len(self.memo), "hits": self.memo_hits, "misses": self.memo_misses}
+
+    def clear_memo(self) -> None:
+        """Drop the gate-application memo and reset its counters."""
+        self.memo.clear()
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def reset(self) -> None:
+        """Back to a pristine runtime: empty memo, zero counters, no store."""
+        self.clear_memo()
+        self.store = None
+
+
+#: the process-wide runtime behind the legacy free-function API; sessions use
+#: their own private :class:`GateRuntime` and never touch this one
+_DEFAULT_RUNTIME = GateRuntime()
+
+
+def default_gate_runtime() -> GateRuntime:
+    """The process-wide runtime used when no explicit one is passed."""
+    return _DEFAULT_RUNTIME
+
+
+def reset_gate_runtime() -> None:
+    """Reset the default runtime: clear the memo and detach any store.
+
+    Test suites call this (from an autouse fixture) so that test ordering can
+    never change memo or store hit counters.
+    """
+    _DEFAULT_RUNTIME.reset()
+
+
+# ------------------------------------------------------- deprecated shims
+# The functions below predate GateRuntime and operate on the process-wide
+# default instance.  They are kept for back-compatibility (campaign pool
+# workers also use them to configure their per-process runtime); new code
+# should hold a GateRuntime — usually through repro.api.Session — instead.
 
 
 def gate_cache_stats() -> Dict[str, int]:
-    """Hit/miss/size counters of the per-process gate-application memo."""
-    return {"size": len(_GATE_CACHE), **_GATE_CACHE_STATS}
+    """Deprecated: counters of the *default* runtime's gate memo.
+
+    Prefer ``session.runtime.memo_stats()``.
+    """
+    return _DEFAULT_RUNTIME.memo_stats()
 
 
 def clear_gate_cache() -> None:
-    """Drop the gate-application memo and reset its counters."""
-    _GATE_CACHE.clear()
-    _GATE_CACHE_STATS["hits"] = 0
-    _GATE_CACHE_STATS["misses"] = 0
+    """Deprecated: drop the *default* runtime's gate memo.
 
-
-# ------------------------------------------------------------- on-disk store
-# Second cache tier behind the per-process memo: a content-addressed automaton
-# store (repro.ta.store) shared by every process pointed at the same
-# directory.  Lookup order is process memo -> store -> compute + publish to
-# both, keyed by the same (automaton fingerprint, gate, mode) triple; the
-# store uses the renaming-invariant compact-form digest so fresh processes
-# (campaign pool workers, later campaign runs) agree on the keys.
-_GATE_STORE: Optional["ta_store.AutomatonStore"] = None
+    Prefer ``session.runtime.clear_memo()`` (or :func:`reset_gate_runtime`).
+    """
+    _DEFAULT_RUNTIME.clear_memo()
 
 
 def configure_gate_store(directory: Optional[str]) -> Optional["ta_store.AutomatonStore"]:
-    """Attach (or detach, with ``None``) the cross-process gate-memo store.
+    """Deprecated: attach (or detach, with ``None``) the *default* runtime's store.
 
-    Called by the campaign runner in the parent and in every pool worker.  An
-    unusable directory degrades to "no store" — the store is an optimisation
-    and must never break a verification run.
+    Prefer ``Session(store_dir=...)`` / ``session.runtime.configure_store``.
     """
-    global _GATE_STORE
-    if directory is None:
-        _GATE_STORE = None
-        return None
-    try:
-        _GATE_STORE = ta_store.AutomatonStore(directory)
-    except OSError:
-        _GATE_STORE = None
-    return _GATE_STORE
+    return _DEFAULT_RUNTIME.configure_store(directory)
 
 
 def active_gate_store() -> Optional["ta_store.AutomatonStore"]:
-    """The currently configured cross-process store (``None`` when detached)."""
-    return _GATE_STORE
+    """Deprecated: the *default* runtime's store (``None`` when detached)."""
+    return _DEFAULT_RUNTIME.store
 
 
 def set_gate_store(
     store: Optional["ta_store.AutomatonStore"],
 ) -> Optional["ta_store.AutomatonStore"]:
-    """Install an already-open store object (or ``None``); returns it.
+    """Deprecated: install an already-open store on the *default* runtime.
 
-    Lets a caller that temporarily attached a store (the campaign runner)
-    restore whatever was active before, without re-opening directories.
+    Lets a caller that temporarily attached a store restore whatever was
+    active before, without re-opening directories.
     """
-    global _GATE_STORE
-    _GATE_STORE = store
+    _DEFAULT_RUNTIME.store = store
     return store
 
 
@@ -151,6 +217,10 @@ class EngineStatistics:
     store_hits: int = 0
     store_misses: int = 0
     store_publishes: int = 0
+    #: derived per-gate aggregates restored by :meth:`from_dict`; a restored
+    #: instance has no raw ``per_gate_seconds`` samples, only these
+    #: JSON-visible numbers, and :meth:`to_dict` re-emits them unchanged
+    _restored_timings: Dict[str, float] = field(default_factory=dict, repr=False, compare=False)
 
     def record(self, automaton: TreeAutomaton, elapsed: float, used_permutation: bool) -> None:
         self.gates_total += 1
@@ -197,9 +267,19 @@ class EngineStatistics:
         rank = max(0, min(len(ordered) - 1, int(math.ceil(percentile * len(ordered) / 100.0)) - 1))
         return ordered[rank]
 
+    #: the keys of :meth:`to_dict` derived from the raw per-gate samples (the
+    #: samples themselves are not JSON-visible, so round-trips preserve these)
+    DERIVED_TIMING_KEYS = (
+        "total_gate_seconds",
+        "mean_gate_seconds",
+        "p50_gate_seconds",
+        "p90_gate_seconds",
+        "max_gate_seconds",
+    )
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready summary used by the campaign report (no raw sample list)."""
-        return {
+        payload = {
             "gates_total": self.gates_total,
             "gates_permutation": self.gates_permutation,
             "gates_composition": self.gates_composition,
@@ -216,6 +296,36 @@ class EngineStatistics:
             "store_misses": self.store_misses,
             "store_publishes": self.store_publishes,
         }
+        if not self.per_gate_seconds and self._restored_timings:
+            payload.update(self._restored_timings)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EngineStatistics":
+        """Rebuild statistics from :meth:`to_dict` output (result round-trips).
+
+        The raw ``per_gate_seconds`` sample list is not part of the JSON form,
+        so the derived aggregates (total/mean/p50/p90/max gate seconds) are
+        restored verbatim instead of recomputed —
+        ``EngineStatistics.from_dict(d).to_dict() == d`` for every ``d``
+        produced by :meth:`to_dict`.
+        """
+        statistics = cls(
+            gates_total=int(data.get("gates_total") or 0),
+            gates_permutation=int(data.get("gates_permutation") or 0),
+            gates_composition=int(data.get("gates_composition") or 0),
+            max_states=int(data.get("max_states") or 0),
+            max_transitions=int(data.get("max_transitions") or 0),
+            analysis_seconds=float(data.get("analysis_seconds") or 0.0),
+            phase_seconds=dict(data.get("phase_seconds") or {}),
+            store_hits=int(data.get("store_hits") or 0),
+            store_misses=int(data.get("store_misses") or 0),
+            store_publishes=int(data.get("store_publishes") or 0),
+        )
+        statistics._restored_timings = {
+            key: float(data[key]) for key in cls.DERIVED_TIMING_KEYS if key in data
+        }
+        return statistics
 
 
 @dataclass
@@ -228,13 +338,25 @@ class EngineResult:
 
 
 class CircuitEngine:
-    """Applies circuits to tree automata using the paper's gate transformers."""
+    """Applies circuits to tree automata using the paper's gate transformers.
 
-    def __init__(self, mode: str = AnalysisMode.HYBRID, reduce_after_each_gate: bool = True):
+    ``runtime`` supplies the gate memo and optional cross-process store; when
+    omitted, the process-wide default runtime is used (the pre-Session
+    behaviour).  Sessions pass their own private runtime so configuration and
+    cache warmth never leak between sessions.
+    """
+
+    def __init__(
+        self,
+        mode: str = AnalysisMode.HYBRID,
+        reduce_after_each_gate: bool = True,
+        runtime: Optional[GateRuntime] = None,
+    ):
         if mode not in AnalysisMode.ALL:
             raise ValueError(f"unknown analysis mode {mode!r}; expected one of {AnalysisMode.ALL}")
         self.mode = mode
         self.reduce_after_each_gate = reduce_after_each_gate
+        self.runtime = runtime if runtime is not None else _DEFAULT_RUNTIME
 
     # ----------------------------------------------------------------- gates
     def apply_gate(
@@ -254,14 +376,15 @@ class CircuitEngine:
         computes a gate application once makes it a fingerprint lookup for
         every other worker (and every later run) sharing the store.
         """
+        runtime = self.runtime
         key = (automaton.structure_key(), gate, self.mode, self.reduce_after_each_gate)
-        cached = _GATE_CACHE.get(key)
+        cached = runtime.memo.get(key)
         if cached is not None:
-            _GATE_CACHE_STATS["hits"] += 1
+            runtime.memo_hits += 1
             return cached
-        _GATE_CACHE_STATS["misses"] += 1
+        runtime.memo_misses += 1
 
-        store = _GATE_STORE
+        store = runtime.store
         store_key = None
         if store is not None:
             start = time.perf_counter()
@@ -279,8 +402,8 @@ class CircuitEngine:
                 used_permutation = bool(entry.meta.get("used_permutation"))
                 if statistics is not None:
                     statistics.store_hits += 1
-                if len(_GATE_CACHE) < _MAX_GATE_CACHE:
-                    _GATE_CACHE[key] = (result, used_permutation)
+                if len(runtime.memo) < runtime.max_memo_entries:
+                    runtime.memo[key] = (result, used_permutation)
                 return result, used_permutation
             if statistics is not None:
                 statistics.store_misses += 1
@@ -291,8 +414,8 @@ class CircuitEngine:
             result = result.reduce()
             if statistics is not None:
                 statistics.record_phase("reduce", time.perf_counter() - start)
-        if len(_GATE_CACHE) < _MAX_GATE_CACHE:
-            _GATE_CACHE[key] = (result, used_permutation)
+        if len(runtime.memo) < runtime.max_memo_entries:
+            runtime.memo[key] = (result, used_permutation)
         if store is not None and store_key is not None:
             start = time.perf_counter()
             published = store.put(store_key, result, {
@@ -358,7 +481,10 @@ def run_circuit(
     precondition: TreeAutomaton,
     mode: str = AnalysisMode.HYBRID,
     reduce_after_each_gate: bool = True,
+    runtime: Optional[GateRuntime] = None,
 ) -> EngineResult:
     """Convenience wrapper: run ``circuit`` on ``precondition`` with a fresh engine."""
-    engine = CircuitEngine(mode=mode, reduce_after_each_gate=reduce_after_each_gate)
+    engine = CircuitEngine(
+        mode=mode, reduce_after_each_gate=reduce_after_each_gate, runtime=runtime
+    )
     return engine.run(circuit, precondition)

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 from ..circuits.circuit import Circuit
 from ..states import QuantumState
 from ..ta import TreeAutomaton, basis_product_ta, check_equivalence
-from .engine import AnalysisMode, run_circuit
+from .engine import AnalysisMode, GateRuntime, run_circuit
 
 __all__ = ["NonEquivalenceResult", "check_circuit_equivalence", "BugHuntResult", "IncrementalBugHunter"]
 
@@ -52,13 +52,14 @@ def check_circuit_equivalence(
     second: Circuit,
     inputs: TreeAutomaton,
     mode: str = AnalysisMode.HYBRID,
+    runtime: Optional[GateRuntime] = None,
 ) -> NonEquivalenceResult:
     """Compare the output-state sets of two circuits for the given input TA."""
     if first.num_qubits != second.num_qubits:
         raise ValueError("circuits must have the same number of qubits")
     start = time.perf_counter()
-    first_result = run_circuit(first, inputs, mode=mode)
-    second_result = run_circuit(second, inputs, mode=mode)
+    first_result = run_circuit(first, inputs, mode=mode, runtime=runtime)
+    second_result = run_circuit(second, inputs, mode=mode, runtime=runtime)
     analysis_seconds = time.perf_counter() - start
     start = time.perf_counter()
     equivalence = check_equivalence(first_result.output, second_result.output)
@@ -105,11 +106,13 @@ class IncrementalBugHunter:
         seed: Optional[int] = None,
         max_iterations: Optional[int] = None,
         timeout_seconds: Optional[float] = None,
+        runtime: Optional[GateRuntime] = None,
     ):
         self.mode = mode
         self.seed = seed
         self.max_iterations = max_iterations
         self.timeout_seconds = timeout_seconds
+        self.runtime = runtime
 
     def hunt(
         self,
@@ -133,7 +136,9 @@ class IncrementalBugHunter:
         for iteration in range(1, max_iterations + 1):
             iteration_start = time.perf_counter()
             inputs = basis_product_ta(num_qubits, allowed)
-            outcome = check_circuit_equivalence(reference, candidate, inputs, mode=self.mode)
+            outcome = check_circuit_equivalence(
+                reference, candidate, inputs, mode=self.mode, runtime=self.runtime
+            )
             per_iteration.append(time.perf_counter() - iteration_start)
             elapsed = time.perf_counter() - start
             if outcome.non_equivalent:

@@ -17,7 +17,7 @@ from typing import Optional
 from ..circuits.circuit import Circuit
 from ..states import QuantumState
 from ..ta import TreeAutomaton, check_equivalence, check_inclusion
-from .engine import AnalysisMode, EngineStatistics, run_circuit
+from .engine import AnalysisMode, EngineStatistics, GateRuntime, run_circuit
 
 __all__ = ["VerificationResult", "verify_triple"]
 
@@ -51,6 +51,7 @@ def verify_triple(
     mode: str = AnalysisMode.HYBRID,
     inclusion_only: bool = False,
     reduce_after_each_gate: bool = True,
+    runtime: Optional[GateRuntime] = None,
 ) -> VerificationResult:
     """Check the triple ``{precondition} circuit {postcondition}``.
 
@@ -61,9 +62,11 @@ def verify_triple(
         mode: engine setting (``hybrid`` or ``composition``).
         inclusion_only: check ``outputs ⊆ Q`` instead of ``outputs = Q``.
         reduce_after_each_gate: apply the lightweight reduction after each gate.
+        runtime: gate memo/store to use (default: the process-wide runtime).
     """
     engine_result = run_circuit(
-        circuit, precondition, mode=mode, reduce_after_each_gate=reduce_after_each_gate
+        circuit, precondition, mode=mode,
+        reduce_after_each_gate=reduce_after_each_gate, runtime=runtime,
     )
     output = engine_result.output
     start = time.perf_counter()

@@ -52,6 +52,7 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "STORE_DIR_ENV",
     "default_store_dir",
+    "open_store",
     "fingerprint",
     "StoreEntry",
     "AutomatonStore",
@@ -75,6 +76,22 @@ def default_store_dir() -> str:
     if override:
         return os.path.join(override, "store")
     return os.path.join(os.path.expanduser("~"), ".cache", "autoq-repro", "store")
+
+
+def open_store(directory: Optional[str]) -> Optional["AutomatonStore"]:
+    """Open the store at ``directory``; ``None`` for ``None`` or an unusable dir.
+
+    The store is purely an optimisation, so every consumer — session
+    runtimes, campaign pool workers — wants the same degrade-to-nothing
+    behaviour instead of a crash when the directory cannot be created or
+    stamped.  This helper is that one policy.
+    """
+    if directory is None:
+        return None
+    try:
+        return AutomatonStore(directory)
+    except OSError:
+        return None
 
 
 def fingerprint(automaton: TreeAutomaton) -> str:

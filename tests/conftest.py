@@ -5,8 +5,23 @@ from __future__ import annotations
 import pytest
 
 from repro.circuits import Circuit, Gate
+from repro.core.engine import reset_gate_runtime
 from repro.simulator import StateVectorSimulator
 from repro.states import QuantumState
+
+
+@pytest.fixture(autouse=True)
+def _pristine_gate_runtime():
+    """Reset the process-default gate runtime before every test.
+
+    The default runtime (gate-application memo + optionally attached on-disk
+    store) is process-wide state behind the legacy free-function API; without
+    this reset, test ordering could change memo/store hit counters and make
+    cache-behaviour assertions flaky.  Sessions are unaffected — they own
+    private runtimes.
+    """
+    reset_gate_runtime()
+    yield
 
 
 @pytest.fixture

@@ -305,11 +305,11 @@ class TestMatrixScheduler:
         real_execute = runner_module.execute_job
         calls = {"count": 0}
 
-        def dying_execute(job):
+        def dying_execute(job, *args, **kwargs):
             calls["count"] += 1
             if calls["count"] == spec.mutants + 2:
                 raise KeyboardInterrupt
-            return real_execute(job)
+            return real_execute(job, *args, **kwargs)
 
         monkeypatch.setattr(runner_module, "execute_job", dying_execute)
         scheduler = _scheduler(tmp_path / "resumed", spec)
@@ -323,7 +323,10 @@ class TestMatrixScheduler:
 
         # resume: the done cell must not re-run a single job
         calls["count"] = 0
-        counting = lambda job: (calls.__setitem__("count", calls["count"] + 1), real_execute(job))[1]
+        counting = lambda job, *args, **kwargs: (
+            calls.__setitem__("count", calls["count"] + 1),
+            real_execute(job, *args, **kwargs),
+        )[1]
         monkeypatch.setattr(runner_module, "execute_job", counting)
         result = _scheduler(tmp_path / "resumed", spec,
                             campaign_id=scheduler.campaign_id).run(resume=True)
@@ -449,11 +452,11 @@ class TestResumeSurvivesEvictedCaches:
         real_execute = runner_module.execute_job
         calls = {"count": 0}
 
-        def dying_execute(job):
+        def dying_execute(job, *args, **kwargs):
             calls["count"] += 1
             if calls["count"] == spec.mutants + 2:
                 raise KeyboardInterrupt
-            return real_execute(job)
+            return real_execute(job, *args, **kwargs)
 
         monkeypatch.setattr(runner_module, "execute_job", dying_execute)
         scheduler = _scheduler(tmp_path, spec, cache_dir=str(cache_dir))

@@ -214,34 +214,35 @@ class TestCampaignCommand:
         assert main(self._argv(tmp_path, "--skip-reference", "--no-cache")) == 0
         assert "jobs:      5" in capsys.readouterr().out
 
-    def test_job_errors_yield_nonzero_exit(self, tmp_path, capsys, monkeypatch):
-        import repro.cli as cli_module
+    @staticmethod
+    def _fake_campaign(monkeypatch, **summary_overrides):
+        """Stub out the campaign machinery behind Session.run(CampaignProblem)."""
+        import repro.api.session as session_module
         from repro.campaign.runner import CampaignSummary
 
-        def fake_run_campaign(config):
-            return CampaignSummary(
-                benchmark="Grover-Sing(n=2)", mode="hybrid", workers=1, jobs=6,
-                holds=0, violated=0, errors=6, cache_hits=0,
-                analysis_seconds=0.0, wall_seconds=0.0, report_path=config.report_path,
-            )
+        class FakeCampaign:
+            def __init__(self, config):
+                self.config = config
 
-        monkeypatch.setattr(cli_module, "run_campaign", fake_run_campaign)
+            def run(self, pool=None, runtime=None):
+                fields = dict(
+                    benchmark="Grover-Sing(n=2)", mode="hybrid", workers=1, jobs=6,
+                    holds=0, violated=0, errors=0, cache_hits=0,
+                    analysis_seconds=0.0, wall_seconds=0.0,
+                    report_path=self.config.report_path,
+                )
+                fields.update(summary_overrides)
+                return CampaignSummary(**fields)
+
+        monkeypatch.setattr(session_module, "Campaign", FakeCampaign)
+
+    def test_job_errors_yield_nonzero_exit(self, tmp_path, capsys, monkeypatch):
+        self._fake_campaign(monkeypatch, errors=6)
         assert main(self._argv(tmp_path)) == 1
         assert "errors: 6" in capsys.readouterr().out
 
     def test_violated_reference_yields_nonzero_exit(self, tmp_path, capsys, monkeypatch):
-        import repro.cli as cli_module
-        from repro.campaign.runner import CampaignSummary
-
-        def fake_run_campaign(config):
-            return CampaignSummary(
-                benchmark="Grover-Sing(n=2)", mode="hybrid", workers=1, jobs=6,
-                holds=0, violated=6, errors=0, cache_hits=0,
-                analysis_seconds=0.0, wall_seconds=0.0, report_path=config.report_path,
-                reference_violated=True,
-            )
-
-        monkeypatch.setattr(cli_module, "run_campaign", fake_run_campaign)
+        self._fake_campaign(monkeypatch, violated=6, reference_violated=True)
         assert main(self._argv(tmp_path)) == 1
         assert "reference circuit violates" in capsys.readouterr().err
 
@@ -437,6 +438,214 @@ class TestProfileFlag:
             assert "phase_seconds" in record["statistics"]
 
 
+class TestJsonOutput:
+    """Every subcommand supports ``--json``; each document validates against
+    the versioned schema and round-trips through ``Result.from_json``."""
+
+    @staticmethod
+    def _run_json(capsys, argv, expected_kind, expected_exit):
+        """Run the CLI, parse stdout as one schema-valid document, round-trip it."""
+        import json
+
+        from repro.api import Result, validate_document
+
+        exit_code = main(argv)
+        out = capsys.readouterr().out
+        assert exit_code == expected_exit, f"{argv}: exit {exit_code}, output: {out}"
+        document = json.loads(out)  # stdout must be exactly one JSON document
+        validate_document(document, kind=expected_kind)
+        restored = Result.from_json(out)
+        assert restored.to_json() == out.rstrip("\n"), f"{argv}: round-trip changed the document"
+        assert restored.exit_code == expected_exit, (
+            f"{argv}: deserialized document reports exit {restored.exit_code}"
+        )
+        return document
+
+    def test_verify_json(self, capsys):
+        document = self._run_json(
+            capsys, ["verify", "--family", "bv", "--size", "3", "--json"], "verify", 0
+        )
+        assert document["holds"] is True
+        assert document["benchmark"].startswith("BV")
+        assert document["statistics"]["gates_total"] > 0
+
+    def test_verify_json_with_profile_keeps_stdout_pure(self, capsys):
+        document = self._run_json(
+            capsys, ["verify", "--family", "ghz", "--size", "3", "--profile", "--json"],
+            "verify", 0,
+        )
+        assert "phase_seconds" in document["statistics"]
+
+    def test_simulate_json(self, bell_qasm, capsys):
+        document = self._run_json(capsys, ["simulate", bell_qasm, "--json"], "simulate", 0)
+        assert sorted(entry["basis"] for entry in document["amplitudes"]) == ["00", "11"]
+
+    def test_equivalence_json(self, bell_qasm, buggy_bell_qasm, capsys):
+        document = self._run_json(
+            capsys, ["equivalence", bell_qasm, buggy_bell_qasm, "--json"], "equivalence", 1
+        )
+        assert document["non_equivalent"] is True
+        assert document["witness"] is not None
+
+    def test_bughunt_json(self, bell_qasm, buggy_bell_qasm, capsys):
+        document = self._run_json(
+            capsys, ["bughunt", bell_qasm, buggy_bell_qasm, "--json"], "bughunt", 1
+        )
+        assert document["bug_found"] is True
+        assert document["iterations"] >= 1
+
+    def test_generate_json(self, tmp_path, capsys):
+        output = tmp_path / "ghz.qasm"
+        document = self._run_json(
+            capsys, ["generate", "--family", "ghz", "--size", "4", str(output), "--json"],
+            "generate", 0,
+        )
+        assert document["data"]["qubits"] == 4
+        assert output.exists()
+
+    def test_inject_json(self, bell_qasm, tmp_path, capsys):
+        output = tmp_path / "buggy.qasm"
+        document = self._run_json(
+            capsys, ["inject", bell_qasm, str(output), "--seed", "3", "--json"], "inject", 0
+        )
+        assert document["data"]["gates"] == 3
+        assert output.exists()
+
+    def test_stats_json(self, bell_qasm, capsys):
+        document = self._run_json(capsys, ["stats", bell_qasm, "--json"], "stats", 0)
+        assert document["data"]["qubits"] == 2
+        assert document["data"]["histogram"]["h"] == 1
+
+    def test_export_ta_json(self, tmp_path, capsys):
+        output = tmp_path / "pre.timbuk"
+        document = self._run_json(
+            capsys,
+            ["export-ta", "--family", "bv", "--size", "3", str(output), "--json"],
+            "export-ta", 0,
+        )
+        assert document["data"]["states"] > 0
+        assert output.exists()
+
+    def test_baselines_json(self, bell_qasm, buggy_bell_qasm, capsys):
+        document = self._run_json(
+            capsys, ["baselines", bell_qasm, buggy_bell_qasm, "--json"], "baselines", 1
+        )
+        assert document["data"]["any_difference"] is True
+
+    def test_campaign_json(self, tmp_path, capsys):
+        argv = ["campaign", "--family", "grover", "--mutants", "3", "--no-cache",
+                "--no-store", "--report", str(tmp_path / "report.jsonl"), "--json"]
+        document = self._run_json(capsys, argv, "campaign", 0)
+        assert document["jobs"] == 4
+
+    def test_campaign_matrix_json(self, tmp_path, capsys):
+        argv = ["campaign", "--families", "mctoffoli", "--sizes", "2", "--modes", "hybrid",
+                "--mutants", "2", "--no-cache",
+                "--report-dir", str(tmp_path / "reports"),
+                "--manifest-dir", str(tmp_path / "manifests"), "--json"]
+        document = self._run_json(capsys, argv, "campaign-matrix", 0)
+        assert document["data"]["totals"]["jobs"] == 3
+        assert document["data"]["trustworthy"] is True
+
+    def test_campaign_ls_json(self, tmp_path, capsys):
+        manifests = str(tmp_path / "manifests")
+        argv = ["campaign", "--families", "mctoffoli", "--sizes", "2", "--modes", "hybrid",
+                "--mutants", "1", "--no-cache",
+                "--report-dir", str(tmp_path / "reports"), "--manifest-dir", manifests]
+        assert main(argv) == 0
+        capsys.readouterr()
+        document = self._run_json(
+            capsys, ["campaign", "ls", "--manifest-dir", manifests, "--json"],
+            "campaign-ls", 0,
+        )
+        assert len(document["data"]["campaigns"]) == 1
+        assert document["data"]["campaigns"][0]["complete"] is True
+
+    def test_campaign_ls_json_reports_unreadable_manifests(self, tmp_path, capsys):
+        import os
+
+        manifests = str(tmp_path / "manifests")
+        os.makedirs(manifests)
+        with open(os.path.join(manifests, "mx-broken.json"), "w") as handle:
+            handle.write("{not json")
+        document = self._run_json(
+            capsys, ["campaign", "ls", "--manifest-dir", manifests, "--json"],
+            "campaign-ls", 0,
+        )
+        assert document["data"]["campaigns"] == []
+        assert document["data"]["unreadable"][0]["campaign_id"] == "mx-broken"
+
+    def test_cache_json_kinds(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        cache_dir = str(tmp_path / "cache")
+        self._run_json(
+            capsys, ["cache", "stats", "--json", "--store-dir", store_dir,
+                     "--cache-dir", cache_dir],
+            "cache-stats", 0,
+        )
+        self._run_json(
+            capsys, ["cache", "gc", "--max-bytes", "0", "--json", "--store-dir", store_dir],
+            "cache-gc", 0,
+        )
+        self._run_json(
+            capsys, ["cache", "clear", "--json", "--store-dir", store_dir], "cache-clear", 0
+        )
+
+    def test_campaign_jsonl_records_validate_against_the_schema(self, tmp_path, capsys):
+        import json
+
+        from repro.api import API_VERSION, validate_document
+
+        report = tmp_path / "report.jsonl"
+        argv = ["campaign", "--family", "grover", "--mutants", "3", "--no-cache",
+                "--no-store", "--report", str(report)]
+        assert main(argv) == 0
+        with open(report) as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        assert records
+        for record in records:
+            assert record["api_version"] == API_VERSION
+            validate_document(record, kind="campaign-job")
+
+
+class TestJsonExitCodes:
+    """`--json` never changes the exit-code contract of a subcommand."""
+
+    def test_verify_violation_exits_nonzero(self, capsys, monkeypatch):
+        import repro.api.session as session_module
+        from repro.api.results import VerifyResult
+        from repro.core.engine import EngineStatistics
+
+        monkeypatch.setattr(
+            session_module.Session, "_run_verify",
+            lambda self, problem: VerifyResult(
+                holds=False, witness="w", witness_kind="k", statistics=EngineStatistics()
+            ),
+        )
+        assert main(["verify", "--family", "bv", "--size", "3", "--json"]) == 1
+        capsys.readouterr()
+        assert main(["verify", "--family", "bv", "--size", "3"]) == 1
+
+    def test_equivalent_circuits_exit_zero(self, bell_qasm, capsys):
+        assert main(["equivalence", bell_qasm, bell_qasm, "--json"]) == 0
+        capsys.readouterr()
+
+    def test_bughunt_usage_error_still_exits_2(self, bell_qasm, capsys):
+        assert main(["bughunt", bell_qasm, "--json"]) == 2
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert not captured.out.strip()  # no partial JSON on usage errors
+
+    def test_campaign_config_error_still_exits_2(self, tmp_path, capsys):
+        argv = ["campaign", "--family", "grover", "--mutants", "2", "--mutations",
+                "teleport", "--no-cache", "--no-store",
+                "--report", str(tmp_path / "r.jsonl"), "--json"]
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert not captured.out.strip()
+
+
 class TestCacheCommand:
     def test_stats_on_an_empty_store(self, tmp_path, capsys):
         argv = ["cache", "stats", "--store-dir", str(tmp_path / "store"),
@@ -460,7 +669,10 @@ class TestCacheCommand:
         assert main(["cache", "stats", "--json", "--store-dir", store_dir,
                      "--cache-dir", str(tmp_path / "cache")]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["store"]["entries"] > 0
+        # cache documents now carry the versioned envelope (PR 5)
+        assert payload["api_version"] == 1
+        assert payload["kind"] == "cache-stats"
+        assert payload["data"]["store"]["entries"] > 0
 
     def test_gc_requires_max_bytes(self, tmp_path, capsys):
         assert main(["cache", "gc", "--store-dir", str(tmp_path / "store")]) == 2
