@@ -14,6 +14,10 @@ The matrix rows measure the sweep scheduler on a multi-cell
 families × sizes × modes grid: the full sweep (manifest checkpoint per cell),
 and the resumed no-op, whose cost is exactly "read one manifest" and should be
 milliseconds regardless of sweep size.
+
+The service row compares the verification daemon (``repro serve``) against
+the workflow it replaces: the same verify queries answered by one warm
+daemon over HTTP vs a fresh CLI subprocess per query.  The daemon must win.
 """
 
 import os
@@ -156,3 +160,66 @@ def test_campaign_matrix_resume_noop(benchmark, tmp_path):
     _matrix_row(benchmark, result, "resume-noop")
     assert result.reused_cells == len(first.rows)
     assert result.totals["jobs"] == first.totals["jobs"]
+
+
+SERVICE_QUERIES = 5
+
+
+def test_service_warm_daemon_beats_cold_cli(benchmark):
+    """The verification daemon vs the workflow it replaces.
+
+    The measured (warm) path answers ``SERVICE_QUERIES`` identical verify
+    requests over HTTP from one primed ``repro serve`` runtime; the cold
+    reference runs the same queries as fresh ``python -m repro.cli``
+    subprocesses, paying interpreter start-up and an empty cache hierarchy
+    each time.  The daemon must win outright — warm-runtime reuse is its
+    entire reason to exist.
+    """
+    import subprocess
+    import sys
+    import time
+
+    from repro.api import CircuitSource, SessionConfig, VerifyProblem
+    from repro.api.client import ServiceClient
+    from repro.service import ServiceConfig, ServiceServer
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    problem = VerifyProblem(circuit=CircuitSource.from_family("bv", 10))
+
+    env = dict(os.environ, PYTHONPATH=os.path.join(repo_root, "src"))
+    env.pop("AUTOQ_REPRO_SERVER", None)  # the cold runs must not find a daemon
+    start = time.perf_counter()
+    for _ in range(SERVICE_QUERIES):
+        outcome = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "verify", "--family", "bv",
+             "--size", "10"],
+            capture_output=True, env=env, cwd=repo_root,
+        )
+        assert outcome.returncode == 0, outcome.stderr
+    cold_seconds = time.perf_counter() - start
+
+    server = ServiceServer(ServiceConfig(
+        port=0, session=SessionConfig(cache_dir="", store_dir="")
+    )).start()
+    try:
+        client = ServiceClient(server.url)
+        assert client.run(problem).holds  # prime the warm runtime
+
+        def warm():
+            for _ in range(SERVICE_QUERIES):
+                assert client.run(problem).holds
+
+        benchmark.pedantic(warm, rounds=3, iterations=1)
+    finally:
+        server.stop()
+    warm_seconds = benchmark.stats.stats.min
+
+    row = {
+        "benchmark": f"service/verify-bv10-x{SERVICE_QUERIES}",
+        "warm_s": round(warm_seconds, 4),
+        "cold_s": round(cold_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 1) if warm_seconds else 0.0,
+    }
+    benchmark.extra_info.update(row)
+    print("  " + "  ".join(f"{key}={value}" for key, value in row.items()))
+    assert warm_seconds < cold_seconds

@@ -23,6 +23,10 @@ Bench sets:
     the cross-process automaton store: the same campaign against a cold store
     (publish overhead included) and against a warm store with every
     per-process cache cleared (the fresh-worker / second-run case);
+``service``
+    the verification daemon: the same verify queries against a warm
+    ``repro serve`` instance (HTTP round trips on a primed runtime) vs one
+    cold ``python -m repro.cli`` subprocess per query;
 ``default``
     all of the above; ``smoke`` is a fast subset for CI.
 
@@ -164,6 +168,64 @@ def _store_campaign_workload(family: str, mode: str, mutants: int, warm: bool) -
     return (2 if warm else 1, setup, run)
 
 
+def _service_workload(warm: bool, queries: int = 5) -> Workload:
+    """The same verify queries against a warm daemon vs a cold CLI process.
+
+    Warm: a ``ServiceServer`` is booted (and primed with one identical
+    request) in setup, so the timed region is ``queries`` HTTP round trips
+    answered from the shared gate memo.  Cold: each query is a fresh
+    ``python -m repro.cli`` subprocess — interpreter start-up, imports, and
+    an empty cache hierarchy every time, i.e. the workflow the daemon
+    replaces.  The warm row should beat the cold row by a wide margin.
+    """
+    import subprocess
+
+    family, size = "bv", 10
+
+    if warm:
+
+        def setup():
+            from repro.api import CircuitSource, SessionConfig, VerifyProblem
+            from repro.api.client import ServiceClient
+            from repro.service import ServiceConfig, ServiceServer
+
+            server = ServiceServer(ServiceConfig(
+                port=0, session=SessionConfig(cache_dir="", store_dir="")
+            )).start()
+            client = ServiceClient(server.url)
+            problem = VerifyProblem(circuit=CircuitSource.from_family(family, size))
+            client.run(problem)  # prime the warm runtime
+            return server, client, problem
+
+        def run(state):
+            server, client, problem = state
+            try:
+                for _ in range(queries):
+                    if not client.run(problem).holds:
+                        raise AssertionError("service verify unexpectedly failed")
+            finally:
+                server.stop()
+
+        return (3, setup, run)
+
+    def setup():
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        env.pop("AUTOQ_REPRO_SERVER", None)  # a cold run must not find a daemon
+        return env
+
+    def run(env):
+        for _ in range(queries):
+            outcome = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "verify",
+                 "--family", family, "--size", str(size)],
+                capture_output=True, env=env, cwd=REPO_ROOT,
+            )
+            if outcome.returncode != 0:
+                raise AssertionError(outcome.stderr.decode("utf-8", "replace"))
+
+    return (1, setup, run)
+
+
 def build_bench_set(name: str) -> Dict[str, Workload]:
     """Materialise a named bench set (imports repro lazily so ``--list`` is free)."""
     from bench_kernel import KERNEL_WORKLOADS
@@ -193,6 +255,10 @@ def build_bench_set(name: str) -> Dict[str, Workload]:
             "grover", "hybrid", 10, warm=True
         ),
     }
+    service = {
+        "service/verify-bv10-x5/warm-daemon": _service_workload(warm=True),
+        "service/verify-bv10-x5/cold-cli": _service_workload(warm=False),
+    }
     smoke = {
         key: value
         for key, value in {**kernel, **grover}.items()
@@ -203,8 +269,9 @@ def build_bench_set(name: str) -> Dict[str, Workload]:
         "grover": grover,
         "campaign": campaign,
         "store": store,
+        "service": service,
         "smoke": smoke,
-        "default": {**kernel, **grover, **campaign, **store},
+        "default": {**kernel, **grover, **campaign, **store, **service},
     }
     if name not in sets:
         raise SystemExit(f"unknown bench set {name!r}; expected one of {sorted(sets)}")
@@ -286,7 +353,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--set", dest="bench_set", default="default",
                         help="bench set to run (kernel, grover, campaign, store, "
-                             "smoke, default)")
+                             "service, smoke, default)")
     parser.add_argument("--output", default="BENCH_PR4.json",
                         help="result file, written at the repository root")
     parser.add_argument("--baseline", default="auto",

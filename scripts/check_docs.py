@@ -47,6 +47,7 @@ CHECKED_FILES = (
     "docs/api.md",
     "docs/architecture.md",
     "docs/caching.md",
+    "docs/service.md",
 )
 
 _LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Service-daemon smoke: boot ``repro.cli serve``, drive it, shut it down.
+
+Exercises the full deployment path, not the in-process shortcuts the unit
+tests use: a real ``python -m repro.cli serve --port 0`` subprocess, its
+printed startup URL, verify requests and an SSE campaign through
+:class:`repro.api.client.ServiceClient`, the ``/metrics`` page (which must
+show the counters moving and the warm gate memo being hit), and a graceful
+SIGINT shutdown with a clean exit status.
+
+Intended for CI (the ``serve-smoke`` job); it also doubles as a health
+check against an already-running daemon via ``--url``.  Writes a JSON
+report::
+
+    PYTHONPATH=src python scripts/serve_smoke.py --output /tmp/perf/serve_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def _metric(text: str, name: str) -> float:
+    """The (summed) value of one un-labelled or labelled metric family."""
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith(name) and (line[len(name)] in (" ", "{")):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here (default: stdout only)")
+    parser.add_argument("--url", default=None,
+                        help="smoke an already-running daemon instead of booting one "
+                             "(skips the shutdown check)")
+    parser.add_argument("--verifies", type=int, default=3)
+    parser.add_argument("--mutants", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    from repro.api import CampaignProblem, CircuitSource, VerifyProblem
+    from repro.api.client import ServiceClient
+
+    scratch = tempfile.mkdtemp(prefix="serve_smoke_")
+    daemon = None
+    if args.url is None:
+        env = dict(os.environ,
+                   PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+                   AUTOQ_REPRO_CACHE_DIR=os.path.join(scratch, "cache"))
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0", "--json"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        url = json.loads(daemon.stdout.readline())["serving"]
+    else:
+        url = args.url
+    client = ServiceClient(url, timeout=120.0)
+
+    report = {"url": url}
+    try:
+        health = client.health()
+        assert health["status"] == "ok", health
+        report["health"] = health
+
+        before = client.metrics_text()
+
+        start = time.perf_counter()
+        problem = VerifyProblem(circuit=CircuitSource.from_family("bv", 8))
+        for index in range(args.verifies):
+            result = client.run(problem)
+            assert result.holds, f"verify #{index} did not hold"
+        report["verify_seconds"] = round(time.perf_counter() - start, 4)
+
+        records = []
+        campaign = client.run_campaign(
+            CampaignProblem(family="bv", size=4, mutants=args.mutants,
+                            report_path=os.path.join(scratch, "report.jsonl")),
+            on_record=records.append,
+        )
+        assert campaign.errors == 0, f"campaign had {campaign.errors} error(s)"
+        assert len(records) == campaign.jobs, (len(records), campaign.jobs)
+        report["campaign_jobs"] = campaign.jobs
+        report["campaign_records_streamed"] = len(records)
+
+        after = client.metrics_text()
+        moved = {
+            name: (_metric(before, name), _metric(after, name))
+            for name in ("repro_requests_total", "repro_sse_records_total",
+                         "repro_gate_memo_hits_total")
+        }
+        for name, (was, now) in moved.items():
+            assert now > was, f"{name} did not move ({was} -> {now})"
+        report["metrics"] = {name: now for name, (_, now) in moved.items()}
+    finally:
+        if daemon is not None:
+            daemon.send_signal(signal.SIGINT)
+            out, err = daemon.communicate(timeout=60)
+            report["daemon_exit"] = daemon.returncode
+            if daemon.returncode != 0:
+                print(err, file=sys.stderr)
+
+    if daemon is not None and report["daemon_exit"] != 0:
+        print("FAIL: daemon did not exit cleanly")
+        return 1
+    if daemon is not None:
+        summary = json.loads(out)
+        assert summary["kind"] == "serve", summary
+        report["daemon_summary"] = summary["data"]
+
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.output:
+        os.makedirs(os.path.dirname(os.path.abspath(args.output)), exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

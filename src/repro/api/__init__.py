@@ -42,6 +42,7 @@ from .results import (
     BugHuntResult,
     CampaignResult,
     EquivalenceResult,
+    ErrorResult,
     Result,
     SimulateResult,
     ToolResult,
@@ -81,4 +82,5 @@ __all__ = [
     "SimulateResult",
     "CampaignResult",
     "ToolResult",
+    "ErrorResult",
 ]

@@ -1,0 +1,150 @@
+"""Thin HTTP client for the verification service daemon (``repro serve``).
+
+Speaks exactly the documents :mod:`repro.api.schema` defines — a problem
+document goes out, a result document comes back, and
+:meth:`repro.api.Result.from_dict` rebuilds the same typed object a local
+:class:`~repro.api.Session` would have returned.  This is what the CLI's
+``--server URL`` flag and the test/benchmark harnesses use; it depends only
+on :mod:`urllib`, so any process that can import :mod:`repro.api` can talk
+to a daemon.
+
+Failures are first-class: every non-200 response body is an ``error``
+document, surfaced as a :class:`ServiceError` carrying the typed
+:class:`~repro.api.ErrorResult` — callers never parse free text.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, Optional
+
+from .problems import CampaignProblem, Problem
+from .results import CampaignResult, ErrorResult, Result
+
+__all__ = ["SERVER_ENV", "ServiceClient", "ServiceError", "default_server_url"]
+
+#: environment variable naming a default daemon URL; the CLI's ``--server``
+#: flag falls back to it, so e.g. CI can point every invocation at one daemon
+SERVER_ENV = "AUTOQ_REPRO_SERVER"
+
+
+class ServiceError(RuntimeError):
+    """A daemon answered with an ``error`` document (or never answered).
+
+    ``result`` is the typed :class:`ErrorResult`: ``result.error`` the
+    machine slug ("saturated", "timeout", …), ``result.code`` the HTTP
+    status, ``result.message`` the human detail.
+    """
+
+    def __init__(self, result: ErrorResult):
+        super().__init__(f"[{result.code}] {result.error}: {result.message}")
+        self.result = result
+
+
+class ServiceClient:
+    """One daemon endpoint (``http://host:port``) as a Python object."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+    def _request(self, path: str, body: Optional[Dict] = None):
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method="POST" if body is not None else "GET")
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raise ServiceError(self._error_result(error)) from None
+        except (urllib.error.URLError, OSError) as error:
+            reason = getattr(error, "reason", None) or error
+            raise ServiceError(ErrorResult(
+                "unreachable", f"cannot reach {url}: {reason}", 0
+            )) from None
+
+    @staticmethod
+    def _error_result(error: urllib.error.HTTPError) -> ErrorResult:
+        try:
+            document = json.loads(error.read().decode("utf-8"))
+            result = Result.from_dict(document)
+            if isinstance(result, ErrorResult):
+                return result
+        except Exception:
+            pass  # non-envelope body (proxy page, truncated read, …)
+        return ErrorResult("http-error", f"HTTP {error.code}: {error.reason}", error.code)
+
+    # ------------------------------------------------------------ endpoints
+    def health(self) -> Dict:
+        """The daemon's ``/healthz`` document."""
+        with self._request("/healthz") as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``/metrics``."""
+        with self._request("/metrics") as response:
+            return response.read().decode("utf-8")
+
+    def run_document(self, document: Dict) -> Dict:
+        """POST one problem document to ``/v1/run``; returns the result document."""
+        with self._request("/v1/run", body=document) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def run(self, problem: Problem) -> Result:
+        """Remote :meth:`~repro.api.Session.run`: same typed result, over HTTP."""
+        return Result.from_dict(self.run_document(problem.to_dict()))
+
+    def run_campaign(
+        self,
+        problem: CampaignProblem,
+        on_record: Optional[Callable[[Dict], None]] = None,
+    ) -> CampaignResult:
+        """Remote :meth:`~repro.api.Session.run_campaign`, streamed over SSE.
+
+        ``on_record`` sees every ``campaign-job`` document as the daemon
+        emits it; the final ``summary`` event becomes the returned
+        :class:`CampaignResult`.  An in-band ``error`` event raises
+        :class:`ServiceError`, exactly like a non-200 on ``/v1/run``.
+        """
+        with self._request("/v1/campaign/stream", body=problem.to_dict()) as response:
+            for event, payload in _parse_sse(response):
+                if event == "record":
+                    if on_record is not None:
+                        on_record(payload)
+                elif event == "summary":
+                    return CampaignResult.from_dict(payload)
+                elif event == "error":
+                    raise ServiceError(Result.from_dict(payload))
+        raise ServiceError(ErrorResult(
+            "protocol", "campaign stream ended without a summary event", 0
+        ))
+
+
+def _parse_sse(response):
+    """Yield ``(event_name, json_payload)`` pairs from an SSE byte stream."""
+    event = None
+    data_lines = []
+    for raw in response:
+        line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+        if line.startswith("event:"):
+            event = line[len("event:"):].strip()
+        elif line.startswith("data:"):
+            data_lines.append(line[len("data:"):].strip())
+        elif not line:
+            if event is not None and data_lines:
+                yield event, json.loads("\n".join(data_lines))
+            event = None
+            data_lines = []
+
+
+def default_server_url() -> Optional[str]:
+    """The ambient daemon URL (``$AUTOQ_REPRO_SERVER``), if any."""
+    return os.environ.get(SERVER_ENV) or None

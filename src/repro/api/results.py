@@ -19,7 +19,13 @@ from dataclasses import dataclass, field, fields
 from typing import ClassVar, Dict, List, Optional
 
 from ..core.engine import EngineStatistics
-from .schema import API_VERSION, SchemaError, TOOL_RESULT_KINDS, validate_document
+from .schema import (
+    API_VERSION,
+    ERROR_KIND,
+    SchemaError,
+    TOOL_RESULT_KINDS,
+    validate_document,
+)
 
 __all__ = [
     "Result",
@@ -29,6 +35,7 @@ __all__ = [
     "SimulateResult",
     "CampaignResult",
     "ToolResult",
+    "ErrorResult",
 ]
 
 
@@ -272,7 +279,34 @@ class ToolResult(Result):
         return cls(tool=document["kind"], data=document.get("data") or {})
 
 
+@dataclass
+class ErrorResult(Result):
+    """Machine-readable failure envelope (kind ``"error"``).
+
+    Emitted instead of free-text stderr whenever a ``--json`` CLI invocation
+    fails, and as the body of every non-200 service response.  ``error`` is a
+    short stable slug callers can dispatch on ("invalid-request", "os-error",
+    "manifest-error", "timeout", "saturated", "not-found", "internal");
+    ``message`` carries the human-readable detail.  ``code`` is the numeric
+    status of whichever front-end produced the envelope — the CLI exit status
+    or the HTTP response status — so the same document explains both.
+    """
+
+    error: str = "internal"
+    message: str = ""
+    code: int = 2
+
+    KIND: ClassVar[str] = ERROR_KIND
+
+    @property
+    def exit_code(self) -> int:
+        # HTTP statuses (>= 100) don't survive the 8-bit process exit space;
+        # a relayed remote failure exits with the generic usage-error status.
+        return self.code if 0 < self.code < 100 else 2
+
+
 _RESULT_CLASSES: Dict[str, type] = {
     cls.KIND: cls
-    for cls in (VerifyResult, EquivalenceResult, BugHuntResult, SimulateResult, CampaignResult)
+    for cls in (VerifyResult, EquivalenceResult, BugHuntResult, SimulateResult,
+                CampaignResult, ErrorResult)
 }

@@ -26,6 +26,7 @@ from typing import Dict, Mapping, Optional, Tuple
 __all__ = [
     "API_VERSION",
     "CAMPAIGN_RECORD_KIND",
+    "ERROR_KIND",
     "PROBLEM_KIND_PREFIX",
     "PROBLEM_KINDS",
     "RESULT_KINDS",
@@ -62,10 +63,17 @@ TOOL_RESULT_KINDS: Tuple[str, ...] = (
     "cache-stats",
     "cache-gc",
     "cache-clear",
+    "serve",
 )
 
 #: one line of a campaign JSONL report (fields: ``repro.campaign.report.REPORT_FIELDS``)
 CAMPAIGN_RECORD_KIND = "campaign-job"
+
+#: machine-readable failure envelope: ``--json`` CLI error paths and every
+#: non-200 service response carry this kind instead of free-text stderr.
+#: Deliberately *not* part of :data:`RESULT_KINDS` — there is no
+#: ``problem/error`` request, errors only ever travel as responses.
+ERROR_KIND = "error"
 
 #: problem documents use ``"kind": "problem/<name>"`` so a request can never
 #: be mistaken for a result on the wire
@@ -107,6 +115,10 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
         "witness", "witness_kind", "error", "statistics",
         "comparison_seconds", "elapsed_seconds", "cached", "deduplicated",
     ),
+    #: ``error``: short machine slug ("invalid-request", "os-error", ...);
+    #: ``message``: human-readable detail; ``code``: CLI exit status or HTTP
+    #: status, whichever front-end produced the envelope
+    ERROR_KIND: ("error", "message", "code"),
 }
 #: generic tool documents all share one required payload field
 for _kind in TOOL_RESULT_KINDS:
@@ -122,7 +134,7 @@ def document_kinds() -> Tuple[str, ...]:
     """Every ``kind`` value a document may carry (sorted, for snapshots)."""
     return tuple(sorted(
         set(RESULT_KINDS) | set(TOOL_RESULT_KINDS)
-        | {CAMPAIGN_RECORD_KIND} | set(PROBLEM_KINDS)
+        | {CAMPAIGN_RECORD_KIND, ERROR_KIND} | set(PROBLEM_KINDS)
     ))
 
 

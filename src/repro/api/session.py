@@ -235,6 +235,20 @@ class Session:
         )
 
     def _run_campaign(self, problem: CampaignProblem) -> CampaignResult:
+        return self.run_campaign(problem)
+
+    def run_campaign(
+        self,
+        problem: CampaignProblem,
+        on_record: Optional[Callable[[Dict], None]] = None,
+    ) -> CampaignResult:
+        """Run a campaign, optionally observing each verdict as it lands.
+
+        Identical to ``run(problem)`` except for ``on_record``, which is
+        called with every stamped ``campaign-job`` document as soon as it is
+        written to the JSONL report — the streaming hook behind the service
+        daemon's SSE endpoint and any front-end that wants live progress.
+        """
         config = CampaignConfig(
             family=problem.family,
             size=problem.size,
@@ -248,7 +262,7 @@ class Session:
             cache_dir=self.config.cache_dir,
             store_dir=self.config.store_dir,
         )
-        summary = Campaign(config).run(runtime=self._runtime)
+        summary = Campaign(config).run(runtime=self._runtime, on_record=on_record)
         return CampaignResult.from_summary(summary)
 
     # ----------------------------------------------------------- matrices

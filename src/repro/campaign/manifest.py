@@ -8,8 +8,14 @@ Each cell of the sweep is tracked through three states:
 ``pending``
     not started yet;
 ``running``
-    claimed by a scheduler — if the process dies here, the cell is considered
-    *interrupted* and is re-queued on resume;
+    claimed by a scheduler, which records a *lease* (pid + hostname +
+    heartbeat timestamp).  On resume a running cell is only considered
+    *interrupted* — and re-queued — when its lease is stale: the owning
+    process is provably dead, or its heartbeat is older than
+    :data:`LEASE_TTL_SECONDS`.  Cells held by another live worker (same
+    host, different live pid, fresh heartbeat — or another host with a
+    fresh heartbeat) are left alone, so concurrent ``--resume`` runs on a
+    shared manifest directory never double-execute a cell;
 ``done``
     finished, with the cell's :class:`~repro.campaign.runner.CampaignSummary`
     stored inline so a resumed sweep can roll it into the final totals without
@@ -25,6 +31,8 @@ from __future__ import annotations
 
 import json
 import os
+import socket
+import time
 from typing import Dict, List, Optional
 
 from .cache import atomic_write_json
@@ -33,13 +41,19 @@ __all__ = [
     "CELL_PENDING",
     "CELL_RUNNING",
     "CELL_DONE",
+    "LEASE_TTL_SECONDS",
     "ManifestError",
     "CampaignManifest",
     "default_manifest_dir",
+    "lease_is_stale",
     "list_campaign_ids",
 ]
 
 MANIFEST_VERSION = 1
+
+#: a running cell whose heartbeat is older than this is considered abandoned
+#: even when pid liveness cannot be checked (the owner ran on another host)
+LEASE_TTL_SECONDS = 900.0
 
 CELL_PENDING = "pending"
 CELL_RUNNING = "running"
@@ -60,6 +74,50 @@ def default_manifest_dir() -> str:
     if override:
         return override
     return os.path.join(os.path.expanduser("~"), ".cache", "autoq-repro", "manifests")
+
+
+def lease_is_stale(
+    owner: Optional[Dict],
+    ttl: float = LEASE_TTL_SECONDS,
+    now: Optional[float] = None,
+) -> bool:
+    """Whether a running cell's lease no longer belongs to a live worker.
+
+    A lease is the ``{"pid", "host", "heartbeat"}`` record ``mark_running``
+    stores.  Stale means safe to re-queue:
+
+    * no lease at all (manifest written before leases existed);
+    * heartbeat older than ``ttl`` — covers crashed workers on *other*
+      hosts, where pid liveness cannot be probed;
+    * the pid is this very process — we are obviously not running that
+      cell in parallel with ourselves, so a same-process resume (e.g.
+      after ``KeyboardInterrupt``) reclaims its own cells immediately;
+    * same host and the pid is dead.
+
+    A same-host lease held by a different live process, or a fresh
+    heartbeat from another host, is *live* and must not be re-queued.
+    """
+    if not owner:
+        return True
+    try:
+        heartbeat = float(owner["heartbeat"])
+        pid = int(owner["pid"])
+        host = owner["host"]
+    except (KeyError, TypeError, ValueError):
+        return True
+    if (time.time() if now is None else now) - heartbeat > ttl:
+        return True
+    if host != socket.gethostname():
+        return False
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except PermissionError:
+        return False  # alive, owned by another user
+    except OSError:
+        return True  # ProcessLookupError and friends: owner is gone
+    return False
 
 
 def list_campaign_ids(directory: str) -> List[str]:
@@ -184,27 +242,58 @@ class CampaignManifest:
     def completed_cell_ids(self) -> List[str]:
         return self.cell_ids(CELL_DONE)
 
-    def interrupted_cell_ids(self) -> List[str]:
-        """Cells a previous scheduler claimed but never finished."""
-        return self.cell_ids(CELL_RUNNING)
+    def interrupted_cell_ids(self, lease_ttl: float = LEASE_TTL_SECONDS) -> List[str]:
+        """Running cells whose lease is stale: claimed but abandoned."""
+        return [cell_id for cell_id in self.cell_ids(CELL_RUNNING)
+                if lease_is_stale(self.cells[cell_id].get("owner"), ttl=lease_ttl)]
 
-    def remaining_cell_ids(self) -> List[str]:
-        """Everything that still needs work on resume: pending + interrupted."""
+    def live_cell_ids(self, lease_ttl: float = LEASE_TTL_SECONDS) -> List[str]:
+        """Running cells another live worker still holds — do not re-queue."""
+        return [cell_id for cell_id in self.cell_ids(CELL_RUNNING)
+                if not lease_is_stale(self.cells[cell_id].get("owner"), ttl=lease_ttl)]
+
+    def remaining_cell_ids(self, lease_ttl: float = LEASE_TTL_SECONDS) -> List[str]:
+        """Everything a resume should work on: pending + stale-leased running.
+        Cells held by a live lease are excluded — their owner will finish them."""
+        live = set(self.live_cell_ids(lease_ttl))
         return [cell_id for cell_id, cell in self.cells.items()
-                if cell["status"] != CELL_DONE]
+                if cell["status"] != CELL_DONE and cell_id not in live]
+
+    @staticmethod
+    def _lease() -> Dict:
+        return {
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "heartbeat": time.time(),
+        }
 
     def mark_running(self, cell_id: str, report_path: Optional[str] = None) -> None:
         cell = self.cells[cell_id]
         cell["status"] = CELL_RUNNING
         cell["summary"] = None
+        cell["owner"] = self._lease()
         if report_path is not None:
             cell["report_path"] = report_path
+        self.save()
+
+    def touch_running(self, cell_id: str) -> None:
+        """Refresh this process's heartbeat on a cell it is executing.
+
+        Call periodically from long cells so the lease outlives
+        :data:`LEASE_TTL_SECONDS` as long as the worker is actually alive.
+        A no-op when the cell is not running (e.g. a racing resume already
+        finished it)."""
+        cell = self.cells[cell_id]
+        if cell["status"] != CELL_RUNNING:
+            return
+        cell["owner"] = self._lease()
         self.save()
 
     def mark_done(self, cell_id: str, summary: Dict) -> None:
         cell = self.cells[cell_id]
         cell["status"] = CELL_DONE
         cell["summary"] = summary
+        cell.pop("owner", None)
         self.save()
 
     def is_complete(self) -> bool:

@@ -68,12 +68,14 @@ class CampaignReportWriter:
             self._handle.close()
             self._handle = None
 
-    def write(self, record: Dict) -> None:
+    def write(self, record: Dict) -> Dict:
         """Append one record (missing schema fields are filled with ``None``).
 
         Every line is stamped with the current ``api_version`` and the
         ``campaign-job`` document kind, even when the verdict was replayed
-        from a cache entry written by an older version.
+        from a cache entry written by an older version.  Returns the stamped
+        document exactly as written, so callers (e.g. the service daemon's
+        SSE stream) can forward the wire form without re-deriving it.
         """
         if self._handle is None:
             raise RuntimeError("report writer used outside its context manager")
@@ -85,6 +87,7 @@ class CampaignReportWriter:
         self._handle.write(json.dumps(full, sort_keys=True) + "\n")
         self._handle.flush()
         self.lines_written += 1
+        return full
 
 
 def read_report(path: str) -> List[Dict]:

@@ -184,7 +184,12 @@ class Campaign:
             return None
         return ResultCache(cache_dir or default_cache_dir())
 
-    def run(self, pool=None, runtime: Optional[GateRuntime] = None) -> CampaignSummary:
+    def run(
+        self,
+        pool=None,
+        runtime: Optional[GateRuntime] = None,
+        on_record=None,
+    ) -> CampaignSummary:
         """Execute every job, stream the JSONL report, and return the summary.
 
         ``pool`` optionally supplies an already-running multiprocessing pool
@@ -196,6 +201,12 @@ class Campaign:
         verification should use (a :class:`repro.api.Session` passes its own);
         when ``None``, the process-default runtime is used, matching the
         legacy behaviour.
+
+        ``on_record`` is an optional callable invoked with each stamped
+        ``campaign-job`` document right after it is written to the report —
+        the live-progress hook behind SSE streaming and scheduler lease
+        heartbeats.  It runs on the draining thread; exceptions propagate and
+        abort the campaign.
         """
         config = self.config
         start = time.perf_counter()
@@ -254,7 +265,9 @@ class Campaign:
                             record = self._finish(cache, key, next(results))
                             resolved[key] = record
                         records.append(record)
-                        report.write(record)
+                        stamped = report.write(record)
+                        if on_record is not None:
+                            on_record(stamped)
 
                 if pool is not None and len(misses) > 1:
                     drain(pool.imap(execute_job, misses, chunksize=1))

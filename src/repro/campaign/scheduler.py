@@ -73,6 +73,11 @@ MODE_COST = {
 
 _RANGE_PATTERN = re.compile(r"^\s*(\d+)\s*-\s*(\d+)\s*$")
 
+#: how often a scheduler refreshes its lease heartbeat on the cell it is
+#: executing (piggybacked on campaign record completion, so it costs one
+#: manifest write at most this often) — well under the lease TTL
+HEARTBEAT_INTERVAL_SECONDS = 60.0
+
 
 def parse_sizes(value: Union[int, str, Sequence]) -> Tuple[int, ...]:
     """Expand a size field into a sorted tuple of ints.
@@ -462,10 +467,14 @@ class MatrixScheduler:
 
         reused = set(manifest.completed_cell_ids())
         interrupted = manifest.interrupted_cell_ids()
+        live = manifest.live_cell_ids()
         if reused:
             say(f"resume: {len(reused)} of {len(cells)} cell(s) already done")
         if interrupted:
             say(f"resume: re-queueing interrupted cell(s): {', '.join(interrupted)}")
+        if live:
+            say("resume: skipping cell(s) held by a live worker: "
+                + ", ".join(live))
 
         todo = [by_id[cell_id] for cell_id in manifest.remaining_cell_ids()]
         todo.sort(key=estimate_cell_cost)
@@ -486,7 +495,17 @@ class MatrixScheduler:
                 say(f"[{position}/{len(todo)}] {cell.cell_id} "
                     f"({cell.mutants} mutant(s), est. cost {estimate_cell_cost(cell):.0f})")
                 manifest.mark_running(cell.cell_id, report_path=self._cell_report_path(cell))
-                summary = Campaign(self._cell_config(cell)).run(pool=pool, runtime=runtime)
+                # refresh the lease heartbeat as records complete, so a long
+                # cell never looks abandoned to a concurrent --resume
+                beat = [time.monotonic()]
+
+                def _heartbeat(_record, cell_id=cell.cell_id, beat=beat):
+                    if time.monotonic() - beat[0] >= HEARTBEAT_INTERVAL_SECONDS:
+                        manifest.touch_running(cell_id)
+                        beat[0] = time.monotonic()
+
+                summary = Campaign(self._cell_config(cell)).run(
+                    pool=pool, runtime=runtime, on_record=_heartbeat)
                 manifest.mark_done(cell.cell_id, summary.to_dict())
         finally:
             if pool is not None:

@@ -24,6 +24,9 @@ Subcommands::
     autoq-repro cache stats                           # automaton store + result cache usage
     autoq-repro cache gc --max-bytes 100000000        # shrink the store to a byte budget
     autoq-repro cache clear                           # drop every automaton-store entry
+    autoq-repro serve --port 8642                     # verification service daemon (HTTP + JSON)
+    autoq-repro verify --family bv --size 20 --server http://127.0.0.1:8642
+                                                      # run a subcommand on a running daemon
 
 The CLI is a thin adapter over the typed service layer (:mod:`repro.api`):
 each subcommand parses its flags into a ``Problem``, runs it through a
@@ -32,7 +35,17 @@ and formats the typed ``Result``.  Because of that, **every** subcommand
 accepts ``--json``, which prints the result as a versioned JSON document
 (``api_version`` + ``kind`` envelope, see ``docs/api.md``) instead of the
 text report — the same schema campaign JSONL records use, and the output
-round-trips through ``repro.api.Result.from_json`` unchanged.
+round-trips through ``repro.api.Result.from_json`` unchanged.  Under
+``--json``, *failures* are documents too: every error path prints a
+versioned ``error`` envelope (kind ``"error"``: slug, message, exit code)
+on stdout, so machine callers never parse stderr.
+
+The problem subcommands (verify / simulate / equivalence / bughunt /
+campaign) also accept ``--server URL`` (default: ``$AUTOQ_REPRO_SERVER``
+when set), which sends the problem document to a running ``serve`` daemon
+(see ``docs/service.md``) instead of analysing in-process — same flags,
+same output, but the daemon's warm gate memo and store answer repeated
+queries far faster than a cold process.
 
 All commands print a short human-readable report to stdout and exit with a
 non-zero status when a property is violated / a bug is found, so they can be
@@ -73,6 +86,7 @@ for one run, and the ``cache`` subcommand (``stats`` / ``gc --max-bytes`` /
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Optional, Sequence
@@ -83,6 +97,7 @@ from .api import (
     CircuitSource,
     ConditionSpec,
     EquivalenceProblem,
+    ErrorResult,
     Session,
     SessionConfig,
     SimulateProblem,
@@ -283,8 +298,43 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-bytes", type=int, default=None,
                        help="gc: target store size in bytes (required for gc)")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the verification service daemon: answer problem documents "
+             "over HTTP + JSON from one warm runtime (see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: loopback only)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 binds an OS-assigned port, printed at startup)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="request worker threads sharing the warm runtime")
+    serve.add_argument("--timeout", type=float, default=300.0,
+                       help="per-request seconds before the daemon answers 504 "
+                            "(the work still runs to completion)")
+    serve.add_argument("--max-in-flight", type=int, default=8,
+                       help="admission budget: concurrent requests beyond this "
+                            "are refused with 429")
+    serve.add_argument("--cache-dir", default=None,
+                       help="campaign result cache directory (default: "
+                            "$AUTOQ_REPRO_CACHE_DIR or ~/.cache/autoq-repro/campaign)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the campaign result cache (and the automaton "
+                            "store, unless --store-dir is given)")
+    serve.add_argument("--store-dir", default=None,
+                       help="cross-process automaton store warmed by every request "
+                            "(default: <cache-dir>/store)")
+    serve.add_argument("--no-store", action="store_true",
+                       help="disable the cross-process automaton store")
+
     for subparser in subparsers.choices.values():
         _add_json_flag(subparser)
+    for name in ("verify", "simulate", "equivalence", "bughunt", "campaign"):
+        subparsers.choices[name].add_argument(
+            "--server", metavar="URL", default=None,
+            help="send this problem to a running 'serve' daemon instead of "
+                 "analysing in-process (default: $AUTOQ_REPRO_SERVER when set)",
+        )
     return parser
 
 
@@ -300,6 +350,65 @@ def _emit(result) -> int:
     """Shared ``--json`` tail: print the document, return the result's exit code."""
     print(result.to_json())
     return result.exit_code
+
+
+def _fail(args, error: str, message: str, code: int = 2) -> int:
+    """Uniform failure tail for every subcommand error path.
+
+    Under ``--json`` prints a versioned ``error`` envelope on stdout (machine
+    callers never parse stderr); otherwise the classic ``error: …`` stderr
+    line.  Returns the exit code either way.
+    """
+    if getattr(args, "json", False):
+        return _emit(ErrorResult(error=error, message=message, code=code))
+    print(f"error: {message}", file=sys.stderr)
+    return code
+
+
+def _resolve_server(args) -> Optional[str]:
+    """The daemon URL this invocation should use: --server, else the env."""
+    server = getattr(args, "server", None)
+    if server:
+        return server
+    from .api.client import default_server_url
+
+    return default_server_url()
+
+
+def _run_remote(args, server: str, problem):
+    """Run ``problem`` on the daemon at ``server``.
+
+    Returns the typed result on success, or an ``int`` exit code after a
+    failure (the error envelope / stderr line is already emitted — the
+    daemon's error document is relayed verbatim under ``--json``).
+    """
+    from .api.client import ServiceClient, ServiceError
+
+    client = ServiceClient(server)
+    try:
+        if isinstance(problem, CampaignProblem):
+            on_record = None
+            if not args.json:
+                def on_record(record):
+                    print(f"  [{record['job_id']}] {record['verdict']}")
+            return client.run_campaign(problem, on_record=on_record)
+        return client.run(problem)
+    except ServiceError as error:
+        if args.json:
+            return _emit(error.result)
+        print(f"error: {error}", file=sys.stderr)
+        return error.result.exit_code
+
+
+def _answer(args, problem):
+    """Typed result for a problem — locally, or on the daemon ``--server``
+    names.  Callers must treat an ``int`` return as an already-reported
+    failure exit code."""
+    server = _resolve_server(args)
+    if server is not None:
+        return _run_remote(args, server, problem)
+    with _session(args) as session:
+        return session.run(problem)
 
 
 def _session(args, **overrides) -> Session:
@@ -324,8 +433,9 @@ def _command_verify(args) -> int:
     problem = VerifyProblem(
         circuit=CircuitSource.from_family(args.family, args.size), mode=args.mode
     )
-    with _session(args) as session:
-        result = session.run(problem)
+    result = _answer(args, problem)
+    if isinstance(result, int):
+        return result
     if args.json:
         return _emit(result)
     print(f"benchmark: {result.benchmark} ({result.description})")
@@ -334,7 +444,7 @@ def _command_verify(args) -> int:
     print(f"output TA: {result.output_summary}")
     print(f"analysis:  {result.statistics.analysis_seconds:.2f}s, "
           f"comparison: {result.comparison_seconds:.2f}s")
-    if session.config.profile:
+    if args.profile:
         print(f"phases:    {_format_phases(result.statistics.phase_seconds)}")
     print(f"verdict:   {'HOLDS' if result.holds else 'VIOLATED'}")
     if result.witness is not None:
@@ -346,8 +456,9 @@ def _command_simulate(args) -> int:
     problem = SimulateProblem(
         circuit=CircuitSource.from_path(args.circuit), input_bits=args.input
     )
-    with _session(args) as session:
-        result = session.run(problem)
+    result = _answer(args, problem)
+    if isinstance(result, int):
+        return result
     if args.json:
         return _emit(result)
     print(f"circuit: {result.num_qubits} qubits, {result.num_gates} gates")
@@ -367,8 +478,9 @@ def _command_equivalence(args) -> int:
         inputs=inputs,
         mode=args.mode,
     )
-    with _session(args) as session:
-        result = session.run(problem)
+    result = _answer(args, problem)
+    if isinstance(result, int):
+        return result
     if args.json:
         return _emit(result)
     print(f"analysis: {result.analysis_seconds:.2f}s, comparison: {result.comparison_seconds:.2f}s")
@@ -381,8 +493,7 @@ def _command_equivalence(args) -> int:
 
 def _command_bughunt(args) -> int:
     if args.second is None and args.inject_seed is None:
-        print("error: provide a second circuit or --inject-seed", file=sys.stderr)
-        return 2
+        return _fail(args, "invalid-request", "provide a second circuit or --inject-seed")
     problem = BugHuntProblem(
         reference=CircuitSource.from_path(args.first),
         candidate=None if args.second is None else CircuitSource.from_path(args.second),
@@ -391,8 +502,9 @@ def _command_bughunt(args) -> int:
         seed=args.seed,
         max_iterations=args.max_iterations,
     )
-    with _session(args) as session:
-        result = session.run(problem)
+    result = _answer(args, problem)
+    if isinstance(result, int):
+        return result
     if args.json:
         return _emit(result)
     if result.injected_mutation is not None:
@@ -520,8 +632,7 @@ def _command_cache(args) -> int:
     """``cache stats`` / ``cache gc --max-bytes`` / ``cache clear``."""
     store_dir = args.store_dir or default_store_dir()
     if args.action == "gc" and args.max_bytes is None:
-        print("error: cache gc needs --max-bytes <target size>", file=sys.stderr)
-        return 2
+        return _fail(args, "invalid-request", "cache gc needs --max-bytes <target size>")
     if args.action == "stats":
         # pure inspection: must not create directories, nor trigger the
         # schema-stamp invalidation that opening a store performs
@@ -554,8 +665,7 @@ def _command_cache(args) -> int:
     try:
         store = AutomatonStore(store_dir)
     except OSError as error:
-        print(f"error: cannot open store {store_dir!r}: {error}", file=sys.stderr)
-        return 2
+        return _fail(args, "os-error", f"cannot open store {store_dir!r}: {error}")
     if args.action == "gc":
         outcome = store.gc(args.max_bytes)
         if args.json:
@@ -640,12 +750,13 @@ def _command_campaign_matrix(args) -> int:
                       file=sys.stderr)
             result = scheduler.run(resume=resume, progress=progress,
                                    runtime=session.runtime)
-    except (ValueError, ManifestError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    except ManifestError as error:
+        return _fail(args, "manifest-error", str(error))
+    except ValueError as error:
+        return _fail(args, "invalid-request", str(error))
     except OSError as error:
-        print(f"error: cannot write report, cache, or manifest: {error}", file=sys.stderr)
-        return 2
+        return _fail(args, "os-error",
+                     f"cannot write report, cache, or manifest: {error}")
     exit_code = 0 if result.trustworthy else 1
     if args.json:
         return _emit(ToolResult(tool="campaign-matrix", data={
@@ -752,20 +863,23 @@ def _command_campaign(args) -> int:
             ("--mutants", args.mutants), ("--mutations", args.mutations),
         ) if value is not None]
         if conflicting:
-            print(f"error: campaign ls only lists manifests; drop {', '.join(conflicting)}",
-                  file=sys.stderr)
-            return 2
+            return _fail(args, "invalid-request",
+                         f"campaign ls only lists manifests; drop {', '.join(conflicting)}")
         return _command_campaign_ls(args)
     if args.matrix or args.families or args.resume or args.sizes or args.modes:
         if args.family is not None:
-            print("error: --family selects a single campaign; use --families for a "
-                  "matrix sweep", file=sys.stderr)
-            return 2
+            return _fail(args, "invalid-request",
+                         "--family selects a single campaign; use --families for a "
+                         "matrix sweep")
+        if args.server is not None:
+            return _fail(args, "invalid-request",
+                         "matrix campaigns run locally (they own a manifest on this "
+                         "host); --server only supports single-family sweeps")
         return _command_campaign_matrix(args)
     if args.family is None:
-        print("error: campaign needs --family (single sweep), or --matrix/--families "
-              "(matrix sweep), or --resume <id>", file=sys.stderr)
-        return 2
+        return _fail(args, "invalid-request",
+                     "campaign needs --family (single sweep), or --matrix/--families "
+                     "(matrix sweep), or --resume <id>")
     mutations = args.mutations if args.mutations is not None else "insert"
     kinds = tuple(kind.strip() for kind in mutations.split(",") if kind.strip())
     try:
@@ -779,14 +893,13 @@ def _command_campaign(args) -> int:
             include_reference=not args.skip_reference,
             report_path=args.report,
         )
-        with _session(args) as session:
-            result = session.run(problem)
+        result = _answer(args, problem)
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return _fail(args, "invalid-request", str(error))
     except OSError as error:
-        print(f"error: cannot write report or cache: {error}", file=sys.stderr)
-        return 2
+        return _fail(args, "os-error", f"cannot write report or cache: {error}")
+    if isinstance(result, int):
+        return result
     if args.json:
         return _emit(result)
     print(f"campaign:  {result.benchmark} ({result.mode} mode, {result.workers} worker(s))")
@@ -799,7 +912,7 @@ def _command_campaign(args) -> int:
               f"{result.store_publishes} publish(es)")
     print(f"time:      {result.wall_seconds:.2f}s wall, "
           f"{result.analysis_seconds:.2f}s cumulative analysis")
-    if session.config.profile:
+    if args.profile:
         print(f"phases:    {_format_phases(result.phase_seconds)}")
     print(f"report:    {result.report_path}")
     if result.reference_violated:
@@ -808,6 +921,80 @@ def _command_campaign(args) -> int:
     # finding violated mutants is the campaign's purpose, but crashed jobs or a
     # broken specification mean the sweep itself cannot be trusted
     return result.exit_code
+
+
+# ------------------------------------------------------------------- service
+
+
+def _command_serve(args) -> int:
+    """``serve``: answer problem documents over HTTP from one warm runtime."""
+    import signal
+
+    from .campaign import resolve_store_dir
+    from .service import ServiceConfig, ServiceServer
+
+    # a plain Session only attaches a store when one is named explicitly, but
+    # the daemon's whole point is a warm shared cache — resolve the campaign
+    # default eagerly so every request (not just campaigns) hits the store
+    cache_dir = "" if args.no_cache else args.cache_dir
+    store_dir = resolve_store_dir(cache_dir, "" if args.no_store else args.store_dir)
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            request_timeout=args.timeout,
+            max_in_flight=args.max_in_flight,
+            session=SessionConfig(
+                cache_dir=cache_dir,
+                store_dir="" if store_dir is None else store_dir,
+            ),
+        )
+    except ValueError as error:
+        return _fail(args, "invalid-request", str(error))
+    try:
+        server = ServiceServer(config)
+    except OSError as error:
+        return _fail(args, "os-error",
+                     f"cannot bind {args.host}:{args.port}: {error}")
+
+    # the URL line is the daemon's startup contract: wrappers (the smoke
+    # script, CI) pass --port 0 and parse it to discover the bound port
+    if args.json:
+        print(json.dumps({"serving": server.url}), flush=True)
+    else:
+        print(f"serving on {server.url}", flush=True)
+        print("(ctrl-c to stop; in-flight requests drain before exit)", flush=True)
+
+    def _on_sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.stop(drain=True)
+
+    metrics = server.service.metrics
+    summary = ToolResult(tool="serve", data={
+        "url": server.url,
+        "uptime_seconds": round(server.service.uptime_seconds, 3),
+        "requests": dict(metrics.requests_total),
+        "failures": dict(metrics.failures_total),
+        "rejected": metrics.rejected_total,
+        "timeouts": metrics.timeouts_total,
+        "sse_records": metrics.sse_records_total,
+    })
+    if args.json:
+        return _emit(summary)
+    served = sum(metrics.requests_total.values())
+    failed = sum(metrics.failures_total.values())
+    print(f"served:    {served} request(s), {failed} failure(s), "
+          f"{metrics.rejected_total} rejected")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -826,6 +1013,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "baselines": _command_baselines,
         "campaign": _command_campaign,
         "cache": _command_cache,
+        "serve": _command_serve,
     }
     return handlers[args.command](args)
 

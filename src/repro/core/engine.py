@@ -107,6 +107,17 @@ class GateRuntime:
         self.memo_hits = 0
         self.memo_misses = 0
 
+    def stats_snapshot(self) -> Dict[str, object]:
+        """One JSON-ready view of both cache tiers, cheap enough to take per
+        metrics scrape: the memo counters plus the attached store's session
+        counters (no disk walk — ``AutomatonStore.stats()`` does that).
+        ``store`` is ``None`` when no cross-process store is attached."""
+        store = self.store
+        return {
+            "memo": self.memo_stats(),
+            "store": None if store is None else store.counter_snapshot(),
+        }
+
     def reset(self) -> None:
         """Back to a pristine runtime: empty memo, zero counters, no store."""
         self.clear_memo()

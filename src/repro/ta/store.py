@@ -375,6 +375,15 @@ class AutomatonStore:
             **self.counters,
         }
 
+    def counter_snapshot(self) -> Dict[str, object]:
+        """Session counters + LRU size only — no disk walk, so cheap enough
+        to take on every metrics scrape of a long-running service."""
+        return {
+            "directory": self.directory,
+            "memory_entries": len(self._memory),
+            **self.counters,
+        }
+
     def _discard_temps(self) -> int:
         """Delete orphaned temp files; returns the bytes reclaimed.
 
@@ -398,6 +407,8 @@ class AutomatonStore:
         so frequently reused entries (shared circuit prefixes) survive and
         entries no campaign has asked for in a while go first.  Orphaned
         ``*.tmp`` files from interrupted publishes are removed outright.
+        Only the evicted keys are dropped from the in-process LRU — a no-op
+        gc (already under budget) must not cool a warm memo.
         Returns how many entries and bytes were removed and what remains.
         """
         removed_bytes = self._discard_temps()
@@ -416,10 +427,11 @@ class AutomatonStore:
             if total <= max_bytes:
                 break
             self._discard(path)
+            key = os.path.basename(path)[: -len(".json")]
+            self._memory.pop(key, None)
             total -= size
             removed += 1
             removed_bytes += size
-        self._memory.clear()
         return {
             "removed_entries": removed,
             "removed_bytes": removed_bytes,

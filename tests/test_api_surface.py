@@ -33,6 +33,7 @@ EXPECTED_API_ALL = [
     "ConditionSpec",
     "EquivalenceProblem",
     "EquivalenceResult",
+    "ErrorResult",
     "Problem",
     "Result",
     "SchemaError",
@@ -58,6 +59,7 @@ EXPECTED_DOCUMENT_KINDS = [
     "campaign-ls",
     "campaign-matrix",
     "equivalence",
+    "error",
     "export-ta",
     "generate",
     "inject",
@@ -66,6 +68,7 @@ EXPECTED_DOCUMENT_KINDS = [
     "problem/equivalence",
     "problem/simulate",
     "problem/verify",
+    "serve",
     "simulate",
     "stats",
     "verify",
@@ -110,12 +113,13 @@ class TestRequiredFieldContracts:
             BugHuntResult,
             CampaignResult,
             EquivalenceResult,
+            ErrorResult,
             SimulateResult,
             VerifyResult,
         )
 
         for cls in (VerifyResult, EquivalenceResult, BugHuntResult,
-                    SimulateResult, CampaignResult):
+                    SimulateResult, CampaignResult, ErrorResult):
             declared = {spec.name for spec in fields(cls)}
             assert declared == set(schema.REQUIRED_FIELDS[cls.KIND]), cls.KIND
 
@@ -130,10 +134,11 @@ class TestRequiredFieldContracts:
             BugHuntResult,
             CampaignResult,
             EquivalenceResult,
+            ErrorResult,
             SimulateResult,
             VerifyResult,
         )
 
         for cls in (VerifyResult, EquivalenceResult, BugHuntResult,
-                    SimulateResult, CampaignResult):
+                    SimulateResult, CampaignResult, ErrorResult):
             schema.validate_document(cls().to_dict(), kind=cls.KIND)

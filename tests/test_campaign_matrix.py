@@ -2,6 +2,7 @@
 
 import json
 import os
+import time
 
 import pytest
 
@@ -241,6 +242,96 @@ class TestManifest:
         with pytest.raises(ManifestError, match="different sweep spec"):
             manifest.check_fingerprint("fp-two")
 
+    def test_mark_running_records_a_lease(self, tmp_path):
+        import socket
+
+        manifest = CampaignManifest.create(str(tmp_path), "mx-test", {}, "fp", ["a"])
+        manifest.mark_running("a")
+        loaded = CampaignManifest.load(str(tmp_path), "mx-test")
+        owner = loaded.cells["a"]["owner"]
+        assert owner["pid"] == os.getpid()
+        assert owner["host"] == socket.gethostname()
+        assert owner["heartbeat"] > 0
+
+    def test_own_lease_is_reclaimable_on_same_process_resume(self, tmp_path):
+        # KeyboardInterrupt + --resume in the same process must re-queue the
+        # cell even though its owning pid (ours) is alive
+        manifest = CampaignManifest.create(str(tmp_path), "mx-test", {}, "fp", ["a"])
+        manifest.mark_running("a")
+        assert manifest.interrupted_cell_ids() == ["a"]
+        assert manifest.remaining_cell_ids() == ["a"]
+
+    def test_live_foreign_lease_is_not_requeued(self, tmp_path):
+        import socket
+
+        from repro.campaign.manifest import lease_is_stale
+
+        manifest = CampaignManifest.create(str(tmp_path), "mx-test", {}, "fp", ["a"])
+        manifest.mark_running("a")
+        # rewrite the lease as if pid 1 (always alive, never ours) held it
+        manifest.cells["a"]["owner"] = {
+            "pid": 1, "host": socket.gethostname(), "heartbeat": time.time(),
+        }
+        manifest.save()
+        loaded = CampaignManifest.load(str(tmp_path), "mx-test")
+        assert loaded.interrupted_cell_ids() == []
+        assert loaded.live_cell_ids() == ["a"]
+        assert loaded.remaining_cell_ids() == []
+        assert not lease_is_stale(loaded.cells["a"]["owner"])
+
+    def test_dead_pid_lease_is_stale(self, tmp_path):
+        import socket
+
+        manifest = CampaignManifest.create(str(tmp_path), "mx-test", {}, "fp", ["a"])
+        manifest.mark_running("a")
+        manifest.cells["a"]["owner"] = {
+            "pid": 2**22 + 12345,  # beyond any default pid_max on CI hosts
+            "host": socket.gethostname(), "heartbeat": time.time(),
+        }
+        manifest.save()
+        loaded = CampaignManifest.load(str(tmp_path), "mx-test")
+        assert loaded.interrupted_cell_ids() == ["a"]
+
+    def test_other_host_lease_goes_by_heartbeat_alone(self, tmp_path):
+        from repro.campaign.manifest import LEASE_TTL_SECONDS, lease_is_stale
+
+        fresh = {"pid": 1, "host": "elsewhere", "heartbeat": time.time()}
+        stale = {"pid": 1, "host": "elsewhere",
+                 "heartbeat": time.time() - LEASE_TTL_SECONDS - 1}
+        assert not lease_is_stale(fresh)
+        assert lease_is_stale(stale)
+
+    def test_legacy_ownerless_running_cell_is_stale(self, tmp_path):
+        from repro.campaign.manifest import lease_is_stale
+
+        manifest = CampaignManifest.create(str(tmp_path), "mx-test", {}, "fp", ["a"])
+        manifest.mark_running("a")
+        manifest.cells["a"].pop("owner")  # manifest written before leases existed
+        manifest.save()
+        loaded = CampaignManifest.load(str(tmp_path), "mx-test")
+        assert loaded.interrupted_cell_ids() == ["a"]
+        assert lease_is_stale(None) and lease_is_stale({})
+
+    def test_touch_running_refreshes_the_heartbeat(self, tmp_path):
+        manifest = CampaignManifest.create(str(tmp_path), "mx-test", {}, "fp", ["a"])
+        manifest.mark_running("a")
+        manifest.cells["a"]["owner"]["heartbeat"] = 1.0  # ancient
+        manifest.save()
+        manifest.touch_running("a")
+        loaded = CampaignManifest.load(str(tmp_path), "mx-test")
+        assert loaded.cells["a"]["owner"]["heartbeat"] > 1.0
+        # touching a non-running cell is a silent no-op
+        manifest.mark_done("a", {})
+        manifest.touch_running("a")
+        assert "owner" not in CampaignManifest.load(str(tmp_path), "mx-test").cells["a"]
+
+    def test_mark_done_drops_the_lease(self, tmp_path):
+        manifest = CampaignManifest.create(str(tmp_path), "mx-test", {}, "fp", ["a"])
+        manifest.mark_running("a")
+        manifest.mark_done("a", {"jobs": 1})
+        loaded = CampaignManifest.load(str(tmp_path), "mx-test")
+        assert "owner" not in loaded.cells["a"]
+
     def test_default_manifest_dir_matches_its_documentation(self, monkeypatch):
         from repro.campaign.manifest import MANIFEST_DIR_ENV, default_manifest_dir
 
@@ -342,6 +433,34 @@ class TestMatrixScheduler:
         assert comparable(result.rows) == comparable(baseline.rows)
         for key in ("jobs", "holds", "violated", "unsupported", "errors"):
             assert result.totals[key] == baseline.totals[key]
+
+    def test_resume_skips_cells_held_by_a_live_worker(self, tmp_path):
+        import socket
+
+        spec = _spec()
+        scheduler = _scheduler(tmp_path, spec)
+        result = scheduler.run()
+        assert result.trustworthy
+        # pretend another live process (pid 1) is mid-way through one cell
+        manifest = CampaignManifest.load(str(tmp_path / "manifests"),
+                                         scheduler.campaign_id)
+        held = spec.cells()[0].cell_id
+        manifest.cells[held]["status"] = CELL_RUNNING
+        manifest.cells[held]["owner"] = {
+            "pid": 1, "host": socket.gethostname(), "heartbeat": time.time(),
+        }
+        manifest.save()
+        seen = []
+        resumed = _scheduler(tmp_path, spec).run(resume=True, progress=seen.append)
+        assert any("held by a live worker" in line and held in line for line in seen)
+        # the held cell was neither re-run nor stolen
+        assert not any(line.startswith("[") and held in line for line in seen)
+        loaded = CampaignManifest.load(str(tmp_path / "manifests"),
+                                       scheduler.campaign_id)
+        assert loaded.status(held) == CELL_RUNNING
+        assert loaded.cells[held]["owner"]["pid"] == 1
+        assert not loaded.is_complete()  # the held cell is still outstanding
+        assert resumed.campaign_id == scheduler.campaign_id
 
     def test_resume_without_manifest_is_an_error(self, tmp_path):
         with pytest.raises(ManifestError):

@@ -1,5 +1,7 @@
 """Tests for the ``autoq-repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.circuits import Circuit, save_qasm_file, to_qasm
@@ -224,7 +226,7 @@ class TestCampaignCommand:
             def __init__(self, config):
                 self.config = config
 
-            def run(self, pool=None, runtime=None):
+            def run(self, pool=None, runtime=None, on_record=None):
                 fields = dict(
                     benchmark="Grover-Sing(n=2)", mode="hybrid", workers=1, jobs=6,
                     holds=0, violated=0, errors=0, cache_hits=0,
@@ -633,8 +635,10 @@ class TestJsonExitCodes:
     def test_bughunt_usage_error_still_exits_2(self, bell_qasm, capsys):
         assert main(["bughunt", bell_qasm, "--json"]) == 2
         captured = capsys.readouterr()
-        assert "error" in captured.err
-        assert not captured.out.strip()  # no partial JSON on usage errors
+        # under --json even failures are documents on stdout, never stderr
+        document = json.loads(captured.out)
+        assert document["kind"] == "error"
+        assert not captured.err.strip()
 
     def test_campaign_config_error_still_exits_2(self, tmp_path, capsys):
         argv = ["campaign", "--family", "grover", "--mutants", "2", "--mutations",
@@ -642,7 +646,83 @@ class TestJsonExitCodes:
                 "--report", str(tmp_path / "r.jsonl"), "--json"]
         assert main(argv) == 2
         captured = capsys.readouterr()
-        assert "error" in captured.err
+        document = json.loads(captured.out)
+        assert document["kind"] == "error"
+        assert "teleport" in document["message"]
+        assert not captured.err.strip()
+
+
+class TestJsonErrorEnvelope:
+    """Every ``--json`` failure path emits one versioned ``error`` document on
+    stdout (the PR 6 contract: machine callers never parse stderr)."""
+
+    @staticmethod
+    def _run_error(capsys, argv, expected_error, expected_exit=2):
+        from repro.api import Result, validate_document
+
+        exit_code = main(argv)
+        captured = capsys.readouterr()
+        assert exit_code == expected_exit, f"{argv}: exit {exit_code}"
+        assert not captured.err.strip(), f"{argv}: stderr not empty: {captured.err}"
+        document = json.loads(captured.out)
+        validate_document(document, kind="error")
+        assert document["error"] == expected_error
+        restored = Result.from_json(captured.out)
+        assert restored.exit_code == expected_exit
+        assert restored.to_json() == captured.out.rstrip("\n")
+        return document
+
+    def test_bughunt_missing_candidate(self, bell_qasm, capsys):
+        document = self._run_error(
+            capsys, ["bughunt", bell_qasm, "--json"], "invalid-request")
+        assert "--inject-seed" in document["message"]
+
+    def test_cache_gc_without_budget(self, tmp_path, capsys):
+        self._run_error(capsys,
+                        ["cache", "gc", "--store-dir", str(tmp_path), "--json"],
+                        "invalid-request")
+
+    def test_campaign_without_selection(self, capsys):
+        self._run_error(capsys, ["campaign", "--json"], "invalid-request")
+
+    def test_campaign_ls_with_sweep_flags(self, tmp_path, capsys):
+        self._run_error(capsys,
+                        ["campaign", "ls", "--family", "grover", "--json"],
+                        "invalid-request")
+
+    def test_campaign_family_conflicts_with_matrix(self, capsys):
+        self._run_error(capsys,
+                        ["campaign", "--family", "grover", "--families", "bv",
+                         "--json"], "invalid-request")
+
+    def test_matrix_with_explicit_server_is_rejected(self, capsys):
+        document = self._run_error(
+            capsys,
+            ["campaign", "--families", "bv", "--sizes", "3",
+             "--server", "http://127.0.0.1:1", "--json"],
+            "invalid-request")
+        assert "--server" in document["message"]
+
+    def test_campaign_report_os_error(self, tmp_path, capsys):
+        report = tmp_path / "not-a-dir" / "r.jsonl"
+        document = self._run_error(
+            capsys,
+            ["campaign", "--family", "grover", "--mutants", "2", "--no-cache",
+             "--no-store", "--report", str(report), "--json"],
+            "os-error")
+        assert "cannot write report" in document["message"]
+
+    def test_resume_of_unknown_campaign_is_a_manifest_error(self, tmp_path, capsys):
+        self._run_error(
+            capsys,
+            ["campaign", "--resume", "mx-nope", "--no-cache", "--no-store",
+             "--manifest-dir", str(tmp_path), "--json"],
+            "manifest-error")
+
+    def test_plain_text_failures_keep_the_stderr_contract(self, bell_qasm, capsys):
+        assert main(["bughunt", bell_qasm]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
         assert not captured.out.strip()
 
 

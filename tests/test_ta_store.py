@@ -272,6 +272,42 @@ class TestAutomatonStore:
         survivors = [key for key in keys if os.path.exists(store._path(key))]
         assert survivors == keys[-2:]
 
+    def test_noop_gc_keeps_the_memory_layer_warm(self, tmp_path):
+        # regression: gc used to clear the whole in-process LRU even when it
+        # evicted nothing, cooling a warm daemon on every periodic gc tick
+        store = AutomatonStore(str(tmp_path))
+        keys = [store.gate_key("fp", f"g:{index}", "hybrid", True) for index in range(3)]
+        for key in keys:
+            store.put(key, basis_state_ta(1, "0"))
+        assert len(store._memory) == 3
+        outcome = store.gc(max_bytes=10**9)
+        assert outcome["removed_entries"] == 0
+        assert sorted(store._memory) == sorted(keys)
+
+    def test_gc_invalidates_only_the_evicted_memory_keys(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        keys = [store.gate_key("fp", f"g:{index}", "hybrid", True) for index in range(4)]
+        for index, key in enumerate(keys):
+            store.put(key, basis_state_ta(2, "01"))
+            os.utime(store._path(key), (1_000_000 + index, 1_000_000 + index))
+        size = os.path.getsize(store._path(keys[0]))
+        outcome = store.gc(max_bytes=2 * size)
+        assert outcome["removed_entries"] == 2
+        # survivors still answer from memory, evicted keys are gone from it
+        assert sorted(store._memory) == sorted(keys[-2:])
+        for key in keys[-2:]:
+            assert store.get(key) is not None
+
+    def test_counter_snapshot_reports_memory_without_touching_disk(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        key = store.gate_key("fp", "h:0", "hybrid", True)
+        store.put(key, basis_state_ta(1, "0"))
+        assert store.get(key) is not None
+        snapshot = store.counter_snapshot()
+        assert snapshot["directory"] == str(tmp_path)
+        assert snapshot["memory_entries"] == 1
+        assert snapshot["publishes"] == 1 and snapshot["hits"] == 1
+
     def test_clear_removes_everything(self, tmp_path):
         store = AutomatonStore(str(tmp_path))
         for index in range(3):
