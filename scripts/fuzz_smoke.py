@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Differential-fuzzing smoke: budgeted clean run + corpus replay + selftest.
+
+Two modes, both meant for CI (the ``fuzz-smoke`` job):
+
+* **clean** (default) — run a time-budgeted differential fuzz sweep against
+  HEAD (expect zero divergences: every mutation either diverges *into a
+  detected finding elsewhere* or the engines agree), then replay the
+  committed regression corpus (expect every entry to re-verify).  Any
+  divergence prints the findings and exits non-zero.
+* **--selftest** — prove the harness can still catch bugs: temporarily break
+  the boolean complement (flipped final-state set, emulated as a double
+  complement) and the permutation kernel (silently dropped ``z`` gates),
+  assert the fuzzer detects both, writes minimized corpus entries, and
+  localises the cross-mode fault to a gate index; then confirm the harvested
+  entries replay clean on the restored code and re-fail on the broken code.
+  A fuzzer that cannot fail is worse than no fuzzer — this guards the guard.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/fuzz_smoke.py --budget 30 --seed 0
+    PYTHONPATH=src python scripts/fuzz_smoke.py --selftest
+
+Writes a JSON report to ``--output`` (default: stdout only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+from typing import List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def _print_findings(findings) -> None:
+    for row in findings:
+        print(f"  - {json.dumps(row, sort_keys=True)}", file=sys.stderr)
+
+
+def _clean_run(args, report) -> int:
+    from repro.fuzz import FuzzSettings, replay_corpus, run_fuzz
+
+    settings = FuzzSettings(
+        budget_seconds=args.budget,
+        seed=args.seed,
+        max_cases=args.cases,
+        include_path_sum=True,
+    )
+    outcome = run_fuzz(settings)
+    report["fuzz"] = {
+        "cases": outcome.cases,
+        "prefiltered": outcome.prefiltered,
+        "divergences": outcome.divergences,
+        "elapsed_seconds": round(outcome.elapsed_seconds, 3),
+    }
+    if not outcome.ok:
+        print(f"FAIL: {outcome.divergences} divergence(s) on HEAD", file=sys.stderr)
+        _print_findings(outcome.findings)
+        return 1
+
+    if os.path.isdir(args.corpus_dir):
+        replay = replay_corpus(args.corpus_dir)
+        report["replay"] = {
+            "replayed": replay.replayed,
+            "failures": replay.divergences,
+        }
+        if not replay.ok:
+            print(
+                f"FAIL: {replay.divergences} corpus entr(ies) regressed",
+                file=sys.stderr,
+            )
+            _print_findings(replay.findings)
+            return 1
+    else:
+        report["replay"] = {"replayed": 0, "failures": 0}
+        print(f"note: no corpus at {args.corpus_dir}, replay skipped")
+    return 0
+
+
+def _selftest(args, report) -> int:
+    """Break the kernels on purpose; the fuzzer must notice, minimize, localise."""
+    import repro.core.engine as engine_module
+    import repro.ta.boolean as boolean_module
+    from repro.fuzz import Corpus, FuzzSettings, replay_corpus, run_fuzz
+
+    scratch = tempfile.mkdtemp(prefix="fuzz_smoke_")
+    corpus_dir = os.path.join(scratch, "corpus")
+    real_complement = boolean_module.complement
+    real_apply = engine_module.apply_permutation_gate
+
+    def flipped_complement(automaton, alphabet=None):
+        # complement with a flipped final-state set accepts the *completion*
+        # of L(A): exactly what double-complementing the correct code yields
+        return real_complement(real_complement(automaton, alphabet), alphabet)
+
+    def z_dropping_apply(automaton, gate, *extra, **kwargs):
+        if gate.kind == "z":
+            return automaton
+        return real_apply(automaton, gate, *extra, **kwargs)
+
+    try:
+        boolean_module.complement = flipped_complement
+        boolean = run_fuzz(FuzzSettings(
+            budget_seconds=args.budget, seed=args.seed, checks=("boolean",),
+            max_cases=args.cases or 12, corpus_dir=corpus_dir,
+        ))
+        assert boolean.divergences > 0, "flipped complement was not detected"
+        assert boolean.corpus_entries, "no corpus entry written for the boolean bug"
+        boolean_module.complement = real_complement
+
+        engine_module.apply_permutation_gate = z_dropping_apply
+        cross = run_fuzz(FuzzSettings(
+            budget_seconds=args.budget, seed=args.seed, checks=("cross-mode",),
+            max_cases=args.cases or 60, corpus_dir=corpus_dir,
+        ))
+        assert cross.divergences > 0, "z-dropping kernel was not detected"
+        assert cross.corpus_entries, "no corpus entry written for the engine bug"
+        localised = [row.get("localised_gate") for row in cross.findings]
+        assert any(gate is not None for gate in localised), (
+            "no cross-mode finding was localised to a gate index"
+        )
+
+        # the harvested entries must re-fail while the kernel is still broken…
+        broken_replay = replay_corpus(corpus_dir)
+        assert broken_replay.divergences > 0, (
+            "replay did not re-detect the still-broken kernel"
+        )
+        engine_module.apply_permutation_gate = real_apply
+
+        # …and replay clean once it is fixed: that is the regression gate.
+        healthy_replay = replay_corpus(corpus_dir)
+        assert healthy_replay.ok, (
+            f"{healthy_replay.divergences} harvested entr(ies) still fail on "
+            "the restored kernels"
+        )
+        report["selftest"] = {
+            "boolean_divergences": boolean.divergences,
+            "cross_mode_divergences": cross.divergences,
+            "corpus_entries": len(Corpus(corpus_dir).entries()),
+            "broken_replay_failures": broken_replay.divergences,
+            "healthy_replay": healthy_replay.replayed,
+        }
+    finally:
+        boolean_module.complement = real_complement
+        engine_module.apply_permutation_gate = real_apply
+        shutil.rmtree(scratch, ignore_errors=True)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=float, default=20.0,
+                        help="fuzzing time budget in seconds (default: 20)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for the deterministic case stream")
+    parser.add_argument("--cases", type=int, default=None,
+                        help="hard case cap (default: budget-limited only)")
+    parser.add_argument("--corpus-dir", default=os.path.join(REPO_ROOT, "corpus"),
+                        help="regression corpus to replay after the clean run")
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify the fuzzer still catches injected kernel bugs")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    report = {"mode": "selftest" if args.selftest else "clean",
+              "budget": args.budget, "seed": args.seed}
+    status = _selftest(args, report) if args.selftest else _clean_run(args, report)
+
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.output:
+        os.makedirs(os.path.dirname(os.path.abspath(args.output)), exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+    if status == 0:
+        print("fuzz smoke passed")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

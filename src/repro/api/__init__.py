@@ -4,7 +4,8 @@ One request/result model for every workload the paper's framework answers:
 
 * **Problems** (:mod:`repro.api.problems`) describe *what* to run —
   :class:`VerifyProblem`, :class:`EquivalenceProblem`, :class:`BugHuntProblem`,
-  :class:`SimulateProblem`, :class:`CampaignProblem` — all sharing the same
+  :class:`SimulateProblem`, :class:`CampaignProblem`, :class:`FuzzProblem` —
+  all sharing the same
   circuit-source / condition-spec envelope and serializing losslessly to JSON.
 * **Sessions** (:mod:`repro.api.session`) own *how* it runs — gate store,
   caches, worker count — behind context-manager semantics, so runtime
@@ -34,6 +35,7 @@ from .problems import (
     CircuitSource,
     ConditionSpec,
     EquivalenceProblem,
+    FuzzProblem,
     Problem,
     SimulateProblem,
     VerifyProblem,
@@ -43,6 +45,7 @@ from .results import (
     CampaignResult,
     EquivalenceResult,
     ErrorResult,
+    FuzzResult,
     Result,
     SimulateResult,
     ToolResult,
@@ -71,6 +74,7 @@ __all__ = [
     "BugHuntProblem",
     "SimulateProblem",
     "CampaignProblem",
+    "FuzzProblem",
     # session
     "Session",
     "SessionConfig",
@@ -81,6 +85,7 @@ __all__ = [
     "BugHuntResult",
     "SimulateResult",
     "CampaignResult",
+    "FuzzResult",
     "ToolResult",
     "ErrorResult",
 ]

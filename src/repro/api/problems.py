@@ -28,6 +28,7 @@ from typing import ClassVar, Dict, Optional, Tuple
 from ..benchgen import build_family
 from ..benchgen.common import VerificationBenchmark
 from ..circuits import Circuit, load_qasm_file, parse_qasm, to_qasm
+from ..circuits.mutations import MUTATION_OPERATORS
 from ..core.engine import AnalysisMode
 from ..core.specs import zero_state_precondition
 from ..states import parse_bitstring
@@ -43,6 +44,7 @@ __all__ = [
     "BugHuntProblem",
     "SimulateProblem",
     "CampaignProblem",
+    "FuzzProblem",
 ]
 
 import json
@@ -354,6 +356,8 @@ class CampaignProblem(Problem):
     seed: int = 0
     include_reference: bool = True
     report_path: str = "campaign_report.jsonl"
+    #: fuzz corpus directory replayed as a regression gate before the sweep
+    corpus_dir: Optional[str] = None
 
     KIND: ClassVar[str] = "campaign"
     FIELD_DECODERS: ClassVar[Dict[str, object]] = {"mutation_kinds": _tuple_of_str}
@@ -368,7 +372,70 @@ class CampaignProblem(Problem):
         object.__setattr__(self, "mutation_kinds", tuple(self.mutation_kinds))
 
 
+@dataclass(frozen=True)
+class FuzzProblem(Problem):
+    """A differential fuzzing run (or corpus replay) of the engine itself.
+
+    With ``replay=False``, fuzz for ``budget_seconds`` (or ``max_cases``)
+    over the enabled ``checks``, storing minimized divergences in
+    ``corpus_dir`` when one is given.  With ``replay=True``, re-verify every
+    entry of ``corpus_dir`` instead (the regression gate).
+    """
+
+    budget_seconds: float = 10.0
+    seed: int = 0
+    max_qubits: int = 4
+    max_gates: int = 10
+    checks: Tuple[str, ...] = ("boolean", "cross-mode")
+    modes: Tuple[str, ...] = AnalysisMode.ALL
+    mutation_kinds: Tuple[str, ...] = tuple(MUTATION_OPERATORS)
+    corpus_dir: Optional[str] = None
+    replay: bool = False
+    max_cases: Optional[int] = None
+    include_path_sum: bool = False
+
+    KIND: ClassVar[str] = "fuzz"
+    #: oracle families ``checks`` may name (mirrors ``repro.fuzz.driver.FUZZ_CHECKS``)
+    CHECKS: ClassVar[Tuple[str, ...]] = ("boolean", "cross-mode")
+    FIELD_DECODERS: ClassVar[Dict[str, object]] = {
+        "checks": _tuple_of_str,
+        "modes": _tuple_of_str,
+        "mutation_kinds": _tuple_of_str,
+    }
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "checks", tuple(self.checks))
+        object.__setattr__(self, "modes", tuple(self.modes))
+        object.__setattr__(self, "mutation_kinds", tuple(self.mutation_kinds))
+        if self.budget_seconds < 0:
+            raise ValueError("budget_seconds must be non-negative")
+        if not self.checks:
+            raise ValueError("at least one check is required")
+        for check in self.checks:
+            if check not in self.CHECKS:
+                raise ValueError(f"unknown check {check!r}; expected one of {self.CHECKS}")
+        for mode in self.modes:
+            if mode not in AnalysisMode.ALL:
+                raise ValueError(f"unknown analysis mode {mode!r}")
+        for kind in self.mutation_kinds:
+            if kind not in MUTATION_OPERATORS:
+                raise ValueError(
+                    f"unknown mutation kind {kind!r}; expected one of {tuple(MUTATION_OPERATORS)}"
+                )
+        if self.replay and not self.corpus_dir:
+            raise ValueError("replay needs a corpus_dir")
+        if self.max_cases is not None and self.max_cases < 0:
+            raise ValueError("max_cases must be non-negative")
+
+
 _PROBLEM_CLASSES: Dict[str, type] = {
     cls.KIND: cls
-    for cls in (VerifyProblem, EquivalenceProblem, BugHuntProblem, SimulateProblem, CampaignProblem)
+    for cls in (
+        VerifyProblem,
+        EquivalenceProblem,
+        BugHuntProblem,
+        SimulateProblem,
+        CampaignProblem,
+        FuzzProblem,
+    )
 }

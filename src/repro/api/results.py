@@ -34,6 +34,7 @@ __all__ = [
     "BugHuntResult",
     "SimulateResult",
     "CampaignResult",
+    "FuzzResult",
     "ToolResult",
     "ErrorResult",
 ]
@@ -224,6 +225,9 @@ class CampaignResult(Result):
     store_hits: int = 0
     store_misses: int = 0
     store_publishes: int = 0
+    #: fuzz regression gate (0/0 when the campaign ran without a corpus)
+    corpus_replayed: int = 0
+    corpus_failures: int = 0
 
     KIND: ClassVar[str] = "campaign"
 
@@ -234,7 +238,42 @@ class CampaignResult(Result):
 
     @property
     def exit_code(self) -> int:
-        return 1 if self.errors or self.reference_violated else 0
+        return 1 if self.errors or self.reference_violated or self.corpus_failures else 0
+
+
+@dataclass
+class FuzzResult(Result):
+    """Outcome of a :class:`~repro.api.FuzzProblem` (fuzz run or corpus replay).
+
+    ``findings`` holds one flattened
+    :class:`~repro.fuzz.oracles.OracleVerdict` row per divergence (plus the
+    stored ``entry_id`` and the localised gate, when known);
+    ``corpus_entries`` lists the content addresses written this run.  For
+    replay runs, ``replayed`` counts re-executed entries and every finding is
+    a regression.
+    """
+
+    cases: int = 0
+    prefiltered: int = 0
+    divergences: int = 0
+    corpus_entries: List[str] = field(default_factory=list)
+    findings: List[Dict] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    budget_seconds: float = 0.0
+    seed: int = 0
+    checks: List[str] = field(default_factory=list)
+    replay: bool = False
+    replayed: int = 0
+
+    KIND: ClassVar[str] = "fuzz"
+
+    def __bool__(self) -> bool:
+        return bool(self.divergences)
+
+    @property
+    def exit_code(self) -> int:
+        # divergences are engine bugs (or corpus regressions), never success
+        return 1 if self.divergences else 0
 
 
 @dataclass
@@ -308,5 +347,5 @@ class ErrorResult(Result):
 _RESULT_CLASSES: Dict[str, type] = {
     cls.KIND: cls
     for cls in (VerifyResult, EquivalenceResult, BugHuntResult, SimulateResult,
-                CampaignResult, ErrorResult)
+                CampaignResult, FuzzResult, ErrorResult)
 }

@@ -27,6 +27,7 @@ __all__ = [
     "API_VERSION",
     "CAMPAIGN_RECORD_KIND",
     "ERROR_KIND",
+    "FUZZ_ENTRY_KIND",
     "PROBLEM_KIND_PREFIX",
     "PROBLEM_KINDS",
     "RESULT_KINDS",
@@ -38,8 +39,11 @@ __all__ = [
 ]
 
 #: revision of every document layout this package emits; a bump invalidates
-#: old documents *loudly* (``validate_document`` / ``from_json`` reject them)
-API_VERSION = 1
+#: old documents *loudly* (``validate_document`` / ``from_json`` reject them).
+#: v2: campaign documents gained the ``corpus_replayed``/``corpus_failures``
+#: regression-gate fields, and the ``fuzz`` / ``problem/fuzz`` /
+#: ``fuzz-entry`` kinds were added (see ``docs/api.md`` for the migration).
+API_VERSION = 2
 
 #: kinds with a dedicated dataclass in :mod:`repro.api.results`
 RESULT_KINDS: Tuple[str, ...] = (
@@ -48,6 +52,7 @@ RESULT_KINDS: Tuple[str, ...] = (
     "bughunt",
     "simulate",
     "campaign",
+    "fuzz",
 )
 
 #: auxiliary CLI tool documents, carried by the generic
@@ -68,6 +73,10 @@ TOOL_RESULT_KINDS: Tuple[str, ...] = (
 
 #: one line of a campaign JSONL report (fields: ``repro.campaign.report.REPORT_FIELDS``)
 CAMPAIGN_RECORD_KIND = "campaign-job"
+
+#: one minimized regression scenario on disk (``repro.fuzz.corpus``): a
+#: content-addressed JSON file that ``repro fuzz replay`` re-executes
+FUZZ_ENTRY_KIND = "fuzz-entry"
 
 #: machine-readable failure envelope: ``--json`` CLI error paths and every
 #: non-200 service response carry this kind instead of free-text stderr.
@@ -107,6 +116,15 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
         "unsupported", "errors", "cache_hits", "analysis_seconds",
         "wall_seconds", "report_path", "reference_violated", "phase_seconds",
         "store_hits", "store_misses", "store_publishes",
+        "corpus_replayed", "corpus_failures",
+    ),
+    "fuzz": (
+        "cases", "prefiltered", "divergences", "corpus_entries", "findings",
+        "elapsed_seconds", "budget_seconds", "seed", "checks", "replay",
+        "replayed",
+    ),
+    FUZZ_ENTRY_KIND: (
+        "entry_id", "check", "seed", "detail", "mutation", "payload",
     ),
     CAMPAIGN_RECORD_KIND: (
         "job_id", "benchmark", "mode", "mutation_kind", "mutation", "seed",
@@ -134,7 +152,7 @@ def document_kinds() -> Tuple[str, ...]:
     """Every ``kind`` value a document may carry (sorted, for snapshots)."""
     return tuple(sorted(
         set(RESULT_KINDS) | set(TOOL_RESULT_KINDS)
-        | {CAMPAIGN_RECORD_KIND, ERROR_KIND} | set(PROBLEM_KINDS)
+        | {CAMPAIGN_RECORD_KIND, FUZZ_ENTRY_KIND, ERROR_KIND} | set(PROBLEM_KINDS)
     ))
 
 

@@ -40,6 +40,7 @@ from .problems import (
     BugHuntProblem,
     CampaignProblem,
     EquivalenceProblem,
+    FuzzProblem,
     Problem,
     SimulateProblem,
     VerifyProblem,
@@ -48,6 +49,7 @@ from .results import (
     BugHuntResult,
     CampaignResult,
     EquivalenceResult,
+    FuzzResult,
     Result,
     SimulateResult,
     VerifyResult,
@@ -105,6 +107,7 @@ class Session:
             BugHuntProblem: self._run_bughunt,
             SimulateProblem: self._run_simulate,
             CampaignProblem: self._run_campaign,
+            FuzzProblem: self._run_fuzz,
         }
 
     # ----------------------------------------------------------- lifecycle
@@ -237,6 +240,41 @@ class Session:
     def _run_campaign(self, problem: CampaignProblem) -> CampaignResult:
         return self.run_campaign(problem)
 
+    def _run_fuzz(self, problem: FuzzProblem) -> FuzzResult:
+        # imported lazily: repro.fuzz depends on the campaign package, which
+        # this module already imports at the top level
+        from ..fuzz.driver import FuzzSettings, replay_corpus, run_fuzz
+
+        if problem.replay:
+            outcome = replay_corpus(problem.corpus_dir, runtime=self._runtime)
+        else:
+            settings = FuzzSettings(
+                budget_seconds=problem.budget_seconds,
+                seed=problem.seed,
+                max_qubits=problem.max_qubits,
+                max_gates=problem.max_gates,
+                checks=problem.checks,
+                modes=problem.modes,
+                mutation_kinds=problem.mutation_kinds,
+                corpus_dir=problem.corpus_dir,
+                max_cases=problem.max_cases,
+                include_path_sum=problem.include_path_sum,
+            )
+            outcome = run_fuzz(settings, runtime=self._runtime)
+        return FuzzResult(
+            cases=outcome.cases,
+            prefiltered=outcome.prefiltered,
+            divergences=outcome.divergences,
+            corpus_entries=list(outcome.corpus_entries),
+            findings=list(outcome.findings),
+            elapsed_seconds=outcome.elapsed_seconds,
+            budget_seconds=problem.budget_seconds,
+            seed=problem.seed,
+            checks=list(problem.checks),
+            replay=problem.replay,
+            replayed=outcome.replayed,
+        )
+
     def run_campaign(
         self,
         problem: CampaignProblem,
@@ -261,6 +299,7 @@ class Session:
             report_path=problem.report_path,
             cache_dir=self.config.cache_dir,
             store_dir=self.config.store_dir,
+            corpus_dir=problem.corpus_dir,
         )
         summary = Campaign(config).run(runtime=self._runtime, on_record=on_record)
         return CampaignResult.from_summary(summary)

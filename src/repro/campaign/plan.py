@@ -19,26 +19,24 @@ resumable manifest so an interrupted sweep provably resumes the *same* plan.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..benchgen.common import VerificationBenchmark
 from ..circuits.circuit import Circuit
-from ..circuits.mutations import inject_random_gate, remove_random_gate, swap_random_operands
+from ..circuits.mutations import MUTATION_OPERATORS, inject_random_gate
 from ..circuits.qasm import to_qasm
 from ..ta import serialization
 from .cache import fingerprint_automaton, fingerprint_qasm
 
 __all__ = ["MUTATION_KINDS", "CampaignJob", "MutationPlan"]
 
-#: supported mutation operator names (in plan order)
-MUTATION_KINDS: Tuple[str, ...] = ("insert", "remove", "swap-operands")
+#: supported mutation operator names (in plan order) — the full taxonomy of
+#: :data:`repro.circuits.mutations.MUTATION_OPERATORS`
+MUTATION_KINDS: Tuple[str, ...] = tuple(MUTATION_OPERATORS)
 
-_MUTATORS = {
-    "insert": inject_random_gate,
-    "remove": remove_random_gate,
-    "swap-operands": swap_random_operands,
-}
+_MUTATORS = MUTATION_OPERATORS
 
 
 @dataclass(frozen=True)
@@ -100,15 +98,21 @@ class MutationPlan:
         }
 
     def mutants(self, circuit: Circuit) -> Iterator[Tuple[int, str, int, Circuit, Optional[str]]]:
-        """Yield ``(index, kind, seed, mutant, mutation_description)`` tuples."""
+        """Yield ``(index, kind, seed, mutant, mutation_description)`` tuples.
+
+        Each mutant gets its own explicit ``random.Random(base_seed + index)``
+        generator, so the stream of mutants is byte-identical across platforms
+        and Python versions — a plan replayed from a manifest or corpus entry
+        reproduces the exact same circuits (and thus the same cache keys).
+        """
         for index in range(self.num_mutants):
             kind = self.kinds[index % len(self.kinds)]
             seed = self.base_seed + index
             try:
-                mutant, record = _MUTATORS[kind](circuit, seed=seed)
+                mutant, record = _MUTATORS[kind](circuit, rng=random.Random(seed))
             except ValueError:
                 kind = "insert"
-                mutant, record = inject_random_gate(circuit, seed=seed)
+                mutant, record = inject_random_gate(circuit, rng=random.Random(seed))
             yield index, kind, seed, mutant, str(record)
 
     def jobs(self, benchmark: VerificationBenchmark, mode: str) -> List[CampaignJob]:

@@ -120,6 +120,9 @@ class CampaignConfig:
     #: ``None`` -> derived from ``cache_dir`` (see
     #: :func:`~repro.campaign.cache.resolve_store_dir`), "" disables the store
     store_dir: Optional[str] = None
+    #: fuzz regression corpus replayed as a gate before the sweep
+    #: (``repro.fuzz.corpus``); any replay failure taints the campaign
+    corpus_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in AnalysisMode.ALL:
@@ -156,6 +159,9 @@ class CampaignSummary:
     store_hits: int = 0
     store_misses: int = 0
     store_publishes: int = 0
+    #: fuzz regression gate (0/0 when the campaign ran without a corpus)
+    corpus_replayed: int = 0
+    corpus_failures: int = 0
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -210,6 +216,18 @@ class Campaign:
         """
         config = self.config
         start = time.perf_counter()
+        corpus_replayed = 0
+        corpus_failures = 0
+        if config.corpus_dir:
+            # regression gate: replay the committed fuzz corpus before paying
+            # for the sweep — a diverging entry means the engine regressed and
+            # every mutant verdict below would be suspect.  Imported lazily:
+            # repro.fuzz depends on this package (cache fingerprints).
+            from ..fuzz.driver import replay_corpus
+
+            replay = replay_corpus(config.corpus_dir, runtime=runtime)
+            corpus_replayed = replay.replayed
+            corpus_failures = replay.divergences
         jobs = self.build_jobs()
         cache = self._open_cache()
         # attach the shared automaton store in the parent too: the serial
@@ -310,6 +328,8 @@ class Campaign:
             store_hits=summary["store_hits"],
             store_misses=summary["store_misses"],
             store_publishes=summary["store_publishes"],
+            corpus_replayed=corpus_replayed,
+            corpus_failures=corpus_failures,
         )
 
     @staticmethod

@@ -12,7 +12,17 @@ from .metrics import (
     t_count,
     two_qubit_count,
 )
-from .mutations import inject_random_gate, remove_random_gate, swap_random_operands
+from .mutations import (
+    MUTATION_OPERATORS,
+    MutationRecord,
+    duplicate_random_gate,
+    flip_random_phase,
+    inject_random_gate,
+    remove_random_gate,
+    reorder_random_qubits,
+    swap_random_operands,
+    transpose_random_adjacent,
+)
 from .optimizer import OptimizationReport, PeepholeOptimizer
 from .qasm import QasmError, load_qasm_file, parse_qasm, save_qasm_file, to_qasm
 from .random_circuits import random_benchmark_suite, random_circuit
@@ -29,9 +39,15 @@ __all__ = [
     "save_qasm_file",
     "random_circuit",
     "random_benchmark_suite",
+    "MUTATION_OPERATORS",
+    "MutationRecord",
     "inject_random_gate",
     "remove_random_gate",
     "swap_random_operands",
+    "flip_random_phase",
+    "reorder_random_qubits",
+    "duplicate_random_gate",
+    "transpose_random_adjacent",
     "PeepholeOptimizer",
     "OptimizationReport",
     "gate_histogram",

@@ -2,20 +2,57 @@
 
 The paper creates buggy circuit copies by inserting *one additional randomly
 selected gate at a random location*.  This module reproduces that mutation and
-a couple of other classical mutation operators (gate removal, qubit swap) that
-are useful for widening the test surface.
+a taxonomy of further operators modelled on the published Qiskit bug studies:
+gate removal, operand swapping, phase errors (a phase gate replaced by its
+adjoint or a half-angle counterpart), qubit-ordering swaps, off-by-one gate
+duplication (the loop-bound fault), and adjacent-gate transposition.
+
+Every operator is deterministic under an explicit seed *or* an explicit
+:class:`random.Random` instance (``rng=``); passing ``rng=random.Random(seed)``
+consumes exactly the same stream as passing ``seed=seed``, so callers that
+thread one generator through many mutations stay byte-identical with the
+seed-per-call convention used by campaign plans.  Each operator returns the
+mutant together with a :class:`MutationRecord`, which serialises losslessly to
+JSON so corpus entries and campaign reports can replay the exact mutation.
 """
 
 from __future__ import annotations
 
+import json
 import random
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from .circuit import Circuit
 from .gates import Gate
 from .random_circuits import DEFAULT_GATE_POOL
 
-__all__ = ["inject_random_gate", "remove_random_gate", "swap_random_operands", "MutationRecord"]
+__all__ = [
+    "MUTATION_OPERATORS",
+    "MutationRecord",
+    "duplicate_random_gate",
+    "flip_random_phase",
+    "inject_random_gate",
+    "remove_random_gate",
+    "reorder_random_qubits",
+    "swap_random_operands",
+    "transpose_random_adjacent",
+]
+
+#: phase-error fault model: a phase gate replaced by its adjoint (``s``/``sdg``,
+#: ``t``/``tdg``) or by a half-angle counterpart (``z`` -> ``s``) — the classic
+#: "wrong sign / wrong angle" slip in hand-written phase arithmetic.
+_PHASE_ERRORS: Dict[str, str] = {
+    "s": "sdg",
+    "sdg": "s",
+    "t": "tdg",
+    "tdg": "t",
+    "cs": "csdg",
+    "csdg": "cs",
+    "ct": "ctdg",
+    "ctdg": "ct",
+    "z": "s",
+    "cz": "cs",
+}
 
 
 class MutationRecord(Tuple[str, int, Gate]):
@@ -38,12 +75,46 @@ class MutationRecord(Tuple[str, int, Gate]):
     def __str__(self) -> str:
         return f"{self.kind} at position {self.position}: {self.gate}"
 
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict:
+        """A JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {
+            "kind": self.kind,
+            "position": self.position,
+            "gate": {"kind": self.gate.kind, "qubits": list(self.gate.qubits)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "MutationRecord":
+        gate = payload["gate"]
+        return cls(
+            (
+                str(payload["kind"]),
+                int(payload["position"]),
+                Gate(str(gate["kind"]), tuple(int(q) for q in gate["qubits"])),
+            )
+        )
+
+    def to_json(self) -> str:
+        """Lossless JSON form (stable key order), safe for corpus entries."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MutationRecord":
+        return cls.from_dict(json.loads(text))
+
+
+def _resolve_rng(rng: Optional[random.Random], seed: Optional[int]) -> random.Random:
+    """``rng`` wins when given; otherwise a fresh generator seeded by ``seed``."""
+    return rng if rng is not None else random.Random(seed)
+
 
 def inject_random_gate(
     circuit: Circuit,
     seed: Optional[int] = None,
     gate_pool: Sequence[str] = DEFAULT_GATE_POOL,
     name: Optional[str] = None,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[Circuit, MutationRecord]:
     """Return a buggy copy with one random extra gate, plus the mutation record.
 
@@ -51,7 +122,7 @@ def inject_random_gate(
     we created a copy and injected an artificial bug (one additional randomly
     selected gate at a random location)".
     """
-    rng = random.Random(seed)
+    rng = _resolve_rng(rng, seed)
     pool = list(gate_pool)
     if circuit.num_qubits < 3:
         pool = [kind for kind in pool if kind != "ccx"]
@@ -68,12 +139,15 @@ def inject_random_gate(
 
 
 def remove_random_gate(
-    circuit: Circuit, seed: Optional[int] = None, name: Optional[str] = None
+    circuit: Circuit,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[Circuit, MutationRecord]:
     """Return a copy with one random gate removed (a dual fault model)."""
     if circuit.num_gates == 0:
         raise ValueError("cannot remove a gate from an empty circuit")
-    rng = random.Random(seed)
+    rng = _resolve_rng(rng, seed)
     position = rng.randrange(circuit.num_gates)
     removed = circuit[position]
     buggy = circuit.without_gate(position, name=name or f"{circuit.name}_dropped")
@@ -81,10 +155,13 @@ def remove_random_gate(
 
 
 def swap_random_operands(
-    circuit: Circuit, seed: Optional[int] = None, name: Optional[str] = None
+    circuit: Circuit,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[Circuit, MutationRecord]:
     """Return a copy where one multi-qubit gate has two operands exchanged."""
-    rng = random.Random(seed)
+    rng = _resolve_rng(rng, seed)
     candidates = [i for i, gate in enumerate(circuit) if len(gate.qubits) >= 2]
     if not candidates:
         raise ValueError("circuit has no multi-qubit gate to mutate")
@@ -98,3 +175,122 @@ def swap_random_operands(
     gates[position] = mutated
     buggy = Circuit(circuit.num_qubits, gates, name=name or f"{circuit.name}_swapped")
     return buggy, MutationRecord(("swap-operands", position, mutated))
+
+
+def flip_random_phase(
+    circuit: Circuit,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+    rng: Optional[random.Random] = None,
+) -> Tuple[Circuit, MutationRecord]:
+    """Return a copy with one phase gate flipped to its adjoint/half-angle twin.
+
+    Raises ``ValueError`` when the circuit contains no phase gate.
+    """
+    rng = _resolve_rng(rng, seed)
+    candidates = [i for i, gate in enumerate(circuit) if gate.kind in _PHASE_ERRORS]
+    if not candidates:
+        raise ValueError("circuit has no phase gate to flip")
+    position = rng.choice(candidates)
+    gate = circuit[position]
+    mutated = Gate(_PHASE_ERRORS[gate.kind], gate.qubits)
+    gates = list(circuit.gates)
+    gates[position] = mutated
+    buggy = Circuit(circuit.num_qubits, gates, name=name or f"{circuit.name}_dephased")
+    return buggy, MutationRecord(("phase-error", position, mutated))
+
+
+def reorder_random_qubits(
+    circuit: Circuit,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+    rng: Optional[random.Random] = None,
+) -> Tuple[Circuit, MutationRecord]:
+    """Return a copy with two qubit labels exchanged throughout the circuit.
+
+    This models the register-ordering bugs of the Qiskit studies (endianness
+    and wire-order mix-ups).  The record's position is the first gate whose
+    operands changed.  Raises ``ValueError`` when fewer than two qubits exist
+    or no gate touches the chosen pair.
+    """
+    if circuit.num_qubits < 2:
+        raise ValueError("need at least two qubits to reorder")
+    rng = _resolve_rng(rng, seed)
+    first, second = rng.sample(range(circuit.num_qubits), 2)
+    mapping = {first: second, second: first}
+    touched = [i for i, gate in enumerate(circuit) if set(gate.qubits) & {first, second}]
+    if not touched:
+        raise ValueError("no gate touches the chosen qubit pair")
+    gates = [
+        gate.remap(mapping) if set(gate.qubits) & {first, second} else gate
+        for gate in circuit
+    ]
+    buggy = Circuit(circuit.num_qubits, gates, name=name or f"{circuit.name}_reordered")
+    position = touched[0]
+    return buggy, MutationRecord(("reorder-qubits", position, gates[position]))
+
+
+def duplicate_random_gate(
+    circuit: Circuit,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+    rng: Optional[random.Random] = None,
+) -> Tuple[Circuit, MutationRecord]:
+    """Return a copy with one gate applied twice (the off-by-one loop bound).
+
+    A loop that runs one iteration too many applies its body gate an extra
+    time; the record's position is the index of the duplicate occurrence.
+    Raises ``ValueError`` on an empty circuit.
+    """
+    if circuit.num_gates == 0:
+        raise ValueError("cannot duplicate a gate in an empty circuit")
+    rng = _resolve_rng(rng, seed)
+    position = rng.randrange(circuit.num_gates)
+    gate = circuit[position]
+    buggy = circuit.copy(name=name or f"{circuit.name}_offbyone")
+    buggy.insert(position + 1, gate)
+    return buggy, MutationRecord(("off-by-one", position + 1, gate))
+
+
+def transpose_random_adjacent(
+    circuit: Circuit,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+    rng: Optional[random.Random] = None,
+) -> Tuple[Circuit, MutationRecord]:
+    """Return a copy with two adjacent (distinct) gates exchanged.
+
+    Pairs sharing a qubit are preferred — exchanging gates on disjoint wires
+    commutes and yields an equivalent circuit, which the static pre-filter
+    would discard anyway.  Raises ``ValueError`` when every adjacent pair is
+    identical (or the circuit has fewer than two gates).
+    """
+    if circuit.num_gates < 2:
+        raise ValueError("need at least two gates to transpose")
+    rng = _resolve_rng(rng, seed)
+    candidates = [
+        i for i in range(circuit.num_gates - 1) if circuit[i] != circuit[i + 1]
+    ]
+    if not candidates:
+        raise ValueError("all adjacent gate pairs are identical")
+    sharing = [
+        i for i in candidates if set(circuit[i].qubits) & set(circuit[i + 1].qubits)
+    ]
+    position = rng.choice(sharing or candidates)
+    gates = list(circuit.gates)
+    gates[position], gates[position + 1] = gates[position + 1], gates[position]
+    buggy = Circuit(circuit.num_qubits, gates, name=name or f"{circuit.name}_transposed")
+    return buggy, MutationRecord(("transpose", position, gates[position]))
+
+
+#: every mutation operator by record kind, in taxonomy order — the single
+#: registry campaign plans and the fuzzer both draw from
+MUTATION_OPERATORS = {
+    "insert": inject_random_gate,
+    "remove": remove_random_gate,
+    "swap-operands": swap_random_operands,
+    "phase-error": flip_random_phase,
+    "reorder-qubits": reorder_random_qubits,
+    "off-by-one": duplicate_random_gate,
+    "transpose": transpose_random_adjacent,
+}

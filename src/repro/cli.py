@@ -21,6 +21,9 @@ Subcommands::
                                                       # the same, from inline flags
     autoq-repro campaign --resume mx-b123be7f30a4     # continue an interrupted sweep
     autoq-repro campaign ls                           # list campaigns in the manifest dir
+    autoq-repro fuzz --budget 60 --seed 0             # differential fuzzing of the engine
+    autoq-repro fuzz --corpus corpus/                 # ... storing minimized divergences
+    autoq-repro fuzz replay corpus/                   # re-verify the regression corpus
     autoq-repro cache stats                           # automaton store + result cache usage
     autoq-repro cache gc --max-bytes 100000000        # shrink the store to a byte budget
     autoq-repro cache clear                           # drop every automaton-store entry
@@ -81,6 +84,16 @@ pool workers — and entirely separate campaign runs — reuse each other's
 circuit prefixes.  ``--store-dir`` relocates it, ``--no-store`` disables it
 for one run, and the ``cache`` subcommand (``stats`` / ``gc --max-bytes`` /
 ``clear``) inspects and maintains it.
+
+``fuzz`` (see ``docs/fuzzing.md``) differentially fuzzes the engine itself:
+seeded mutant circuits are checked across all engine modes against the exact
+simulator baselines, and the boolean TA layer against brute-force tree
+enumeration.  Every divergence is shrunk to a local minimum and stored as a
+content-addressed JSON entry in the ``--corpus`` directory (default:
+``$AUTOQ_REPRO_FUZZ_CORPUS`` when set); ``fuzz replay <dir>`` re-executes
+every committed entry as a regression gate, as does ``campaign --corpus``
+before paying for a mutant sweep.  ``fuzz`` exits non-zero exactly when a
+divergence (or replay regression) was found.
 """
 
 from __future__ import annotations
@@ -98,6 +111,7 @@ from .api import (
     ConditionSpec,
     EquivalenceProblem,
     ErrorResult,
+    FuzzProblem,
     Session,
     SessionConfig,
     SimulateProblem,
@@ -276,6 +290,49 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--profile", action="store_true",
                           help="print the aggregated per-phase engine breakdown of the "
                                "sweep (freshly verified jobs only)")
+    campaign.add_argument("--corpus", default=None, metavar="DIR",
+                          help="single-campaign mode: replay this fuzz regression corpus "
+                               "as a gate before the sweep (default: "
+                               "$AUTOQ_REPRO_FUZZ_CORPUS when set); any replay failure "
+                               "fails the campaign")
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing of the engine: seeded mutants checked across "
+             "modes against exact baselines, boolean TA layer against brute "
+             "force; 'fuzz replay <dir>' re-verifies the regression corpus",
+    )
+    fuzz.add_argument("action", nargs="?", choices=("replay",), default=None,
+                      help="'replay' re-executes every corpus entry as a regression "
+                           "gate instead of fuzzing")
+    fuzz.add_argument("corpus_path", nargs="?", default=None,
+                      help="replay: the corpus directory to re-verify (default: "
+                           "--corpus / $AUTOQ_REPRO_FUZZ_CORPUS)")
+    fuzz.add_argument("--budget", type=float, default=10.0,
+                      help="fuzzing time budget in seconds (default 10)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="run seed; the whole case stream is deterministic under it")
+    fuzz.add_argument("--cases", type=int, default=None,
+                      help="stop after this many cases even if budget remains")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="store minimized divergences in this corpus directory "
+                           "(default: $AUTOQ_REPRO_FUZZ_CORPUS when set)")
+    fuzz.add_argument("--checks", default=None,
+                      help="comma-separated oracle families from "
+                           "('boolean', 'cross-mode') (default: both)")
+    fuzz.add_argument("--modes", default=None,
+                      help="comma-separated engine modes for the cross-mode oracle "
+                           f"from {AnalysisMode.ALL} (default: all)")
+    fuzz.add_argument("--mutations", default=None,
+                      help=f"comma-separated mutation kinds from {MUTATION_KINDS} "
+                           "(default: the full taxonomy)")
+    fuzz.add_argument("--max-qubits", type=int, default=4,
+                      help="largest seed-circuit width to generate (default 4)")
+    fuzz.add_argument("--max-gates", type=int, default=10,
+                      help="largest seed-circuit gate count to generate (default 10)")
+    fuzz.add_argument("--path-sum", action="store_true",
+                      help="also evaluate the (slow) path-sum baseline in the "
+                           "cross-mode oracle")
 
     cache = subparsers.add_parser(
         "cache",
@@ -861,6 +918,7 @@ def _command_campaign(args) -> int:
             ("--matrix", args.matrix), ("--resume", args.resume),
             ("--sizes", args.sizes), ("--modes", args.modes),
             ("--mutants", args.mutants), ("--mutations", args.mutations),
+            ("--corpus", args.corpus),
         ) if value is not None]
         if conflicting:
             return _fail(args, "invalid-request",
@@ -871,6 +929,10 @@ def _command_campaign(args) -> int:
             return _fail(args, "invalid-request",
                          "--family selects a single campaign; use --families for a "
                          "matrix sweep")
+        if args.corpus is not None:
+            return _fail(args, "invalid-request",
+                         "--corpus gates single-family sweeps only; replay the corpus "
+                         "with 'fuzz replay' before a matrix sweep")
         if args.server is not None:
             return _fail(args, "invalid-request",
                          "matrix campaigns run locally (they own a manifest on this "
@@ -882,6 +944,9 @@ def _command_campaign(args) -> int:
                      "(matrix sweep), or --resume <id>")
     mutations = args.mutations if args.mutations is not None else "insert"
     kinds = tuple(kind.strip() for kind in mutations.split(",") if kind.strip())
+    from .fuzz.corpus import default_corpus_dir
+
+    corpus_dir = args.corpus or default_corpus_dir()
     try:
         problem = CampaignProblem(
             family=args.family,
@@ -892,6 +957,7 @@ def _command_campaign(args) -> int:
             seed=args.seed if args.seed is not None else 0,
             include_reference=not args.skip_reference,
             report_path=args.report,
+            corpus_dir=corpus_dir,
         )
         result = _answer(args, problem)
     except ValueError as error:
@@ -907,6 +973,9 @@ def _command_campaign(args) -> int:
     print(f"jobs:      {result.jobs}  (holds: {result.holds}, violated: {result.violated}, "
           f"errors: {result.errors}{unsupported})")
     print(f"cache:     {result.cache_hits} hit(s)")
+    if result.corpus_replayed or result.corpus_failures:
+        print(f"corpus:    {result.corpus_replayed} entry(ies) replayed, "
+              f"{result.corpus_failures} failed")
     if result.store_hits or result.store_misses or result.store_publishes:
         print(f"store:     {result.store_hits} hit(s), {result.store_misses} miss(es), "
               f"{result.store_publishes} publish(es)")
@@ -920,6 +989,88 @@ def _command_campaign(args) -> int:
               "every mutant verdict above is suspect", file=sys.stderr)
     # finding violated mutants is the campaign's purpose, but crashed jobs or a
     # broken specification mean the sweep itself cannot be trusted
+    return result.exit_code
+
+
+# ---------------------------------------------------------------------- fuzz
+
+
+def _format_finding(row) -> str:
+    """One human-readable findings line: the check, where, and what diverged."""
+    pieces = [f"[{row['check']}]"]
+    if row.get("mutation"):
+        pieces.append(f"{row['mutation']}:")
+    pieces.append(row.get("detail") or "(no detail)")
+    if row.get("localised_gate") is not None:
+        pieces.append(f"(localised to gate {row['localised_gate']})")
+    if row.get("entry_id"):
+        pieces.append(f"-> corpus {row['entry_id']}")
+    return " ".join(pieces)
+
+
+def _command_fuzz(args) -> int:
+    """``fuzz``: budgeted differential run; ``fuzz replay <dir>``: regression gate."""
+    from .fuzz.corpus import default_corpus_dir
+
+    corpus_dir = args.corpus or default_corpus_dir()
+    try:
+        if args.action == "replay":
+            target = args.corpus_path or corpus_dir
+            if target is None:
+                return _fail(args, "invalid-request",
+                             "fuzz replay needs a corpus directory (positional, "
+                             "--corpus, or $AUTOQ_REPRO_FUZZ_CORPUS)")
+            problem = FuzzProblem(replay=True, corpus_dir=target)
+        else:
+            extra = {}
+            if args.checks is not None:
+                extra["checks"] = tuple(
+                    check.strip() for check in args.checks.split(",") if check.strip()
+                )
+            if args.modes is not None:
+                extra["modes"] = tuple(
+                    mode.strip() for mode in args.modes.split(",") if mode.strip()
+                )
+            if args.mutations is not None:
+                extra["mutation_kinds"] = tuple(
+                    kind.strip() for kind in args.mutations.split(",") if kind.strip()
+                )
+            problem = FuzzProblem(
+                budget_seconds=args.budget,
+                seed=args.seed,
+                max_qubits=args.max_qubits,
+                max_gates=args.max_gates,
+                corpus_dir=corpus_dir,
+                max_cases=args.cases,
+                include_path_sum=args.path_sum,
+                **extra,
+            )
+        with _session(args) as session:
+            result = session.run(problem)
+    except ValueError as error:  # includes CorpusError (malformed entries)
+        return _fail(args, "invalid-request", str(error))
+    except OSError as error:
+        return _fail(args, "os-error", f"cannot read or write the corpus: {error}")
+    if args.json:
+        return _emit(result)
+    if result.replay:
+        print(f"replayed:  {result.replayed} corpus entry(ies) "
+              f"in {result.elapsed_seconds:.2f}s")
+    else:
+        print(f"fuzzed:    {result.cases} case(s) in {result.elapsed_seconds:.2f}s "
+              f"(budget {result.budget_seconds:.0f}s, seed {result.seed})")
+        print(f"triage:    {result.prefiltered} prefiltered before any automaton was built")
+        if corpus_dir is not None:
+            print(f"corpus:    {len(result.corpus_entries)} new entry(ies) -> {corpus_dir}")
+    if result.divergences:
+        label = "regressions" if result.replay else "divergences"
+        print(f"{label}: {result.divergences}")
+        for row in result.findings:
+            print(f"  {_format_finding(row)}")
+    elif result.replay:
+        print("corpus clean: every entry re-verified on this tree")
+    else:
+        print("no divergences: every oracle agreed on every case")
     return result.exit_code
 
 
@@ -1012,6 +1163,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "export-ta": _command_export_ta,
         "baselines": _command_baselines,
         "campaign": _command_campaign,
+        "fuzz": _command_fuzz,
         "cache": _command_cache,
         "serve": _command_serve,
     }

@@ -17,7 +17,13 @@ from .equivalence import (
     NonEquivalenceResult,
     check_circuit_equivalence,
 )
-from .diagnosis import DiagnosisReport, diagnose, localise_divergence, replay_witness
+from .diagnosis import (
+    DiagnosisReport,
+    diagnose,
+    localise_divergence,
+    localise_mutation,
+    replay_witness,
+)
 from .formulas import Term, UpdateFormula, apply_formula_to_state, apply_gate_to_state, formula_for
 from .permutation import PermutationUnsupported, apply_permutation_gate, supports_permutation
 from .queries import (
@@ -81,4 +87,5 @@ __all__ = [
     "diagnose",
     "replay_witness",
     "localise_divergence",
+    "localise_mutation",
 ]

@@ -21,15 +21,22 @@ versions diverge.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..circuits.circuit import Circuit
 from ..simulator.statevector import StateVectorSimulator
 from ..states import QuantumState
 from ..ta.automaton import TreeAutomaton
 
-__all__ = ["DiagnosisReport", "replay_witness", "localise_divergence", "diagnose"]
+__all__ = [
+    "DiagnosisReport",
+    "replay_witness",
+    "localise_divergence",
+    "localise_mutation",
+    "diagnose",
+]
 
 
 @dataclass
@@ -114,6 +121,62 @@ def localise_divergence(
         if state_reference != state_candidate:
             return position
     return None
+
+
+def localise_mutation(
+    reference: Circuit,
+    candidate: Circuit,
+    inputs: Optional[Iterable[Sequence[int]]] = None,
+) -> Optional[int]:
+    """Earliest gate index at which ``candidate``'s behaviour departs from ``reference``.
+
+    The fuzz corpus stores a mutant next to its seed circuit; this bisects the
+    pair without knowing the mutation: both circuits run in lockstep (their
+    *undecomposed* gate lists, so indices match :class:`MutationRecord`
+    positions) over every basis input — or the supplied ``inputs`` — and the
+    earliest position where any input's states differ is returned.  When the
+    common prefix agrees everywhere but trailing gates of the longer circuit
+    change some input's state, the common length is returned (the first extra
+    or missing gate).  ``None`` means no basis input distinguishes the
+    circuits at all (the mutation is semantically invisible).
+    """
+    num_qubits = max(reference.num_qubits, candidate.num_qubits)
+    if inputs is None:
+        inputs = itertools.product((0, 1), repeat=num_qubits)
+    simulator = StateVectorSimulator()
+    reference_gates = list(reference.gates)
+    candidate_gates = list(candidate.gates)
+    common = min(len(reference_gates), len(candidate_gates))
+    best: Optional[int] = None
+    for bits in inputs:
+        state_reference = QuantumState.basis_state(num_qubits, bits)
+        state_candidate = QuantumState.basis_state(num_qubits, bits)
+        diverged = False
+        for position in range(common):
+            if best is not None and position >= best:
+                diverged = True  # cannot improve on the current best
+                break
+            state_reference = simulator.apply_gate(state_reference, reference_gates[position])
+            state_candidate = simulator.apply_gate(state_candidate, candidate_gates[position])
+            if state_reference != state_candidate:
+                best = position
+                diverged = True
+                break
+        if diverged:
+            if best == 0:
+                return 0
+            continue
+        # the common prefix agrees on this input; any difference must come
+        # from the longer circuit's trailing gates
+        if len(reference_gates) != len(candidate_gates):
+            for position in range(common, max(len(reference_gates), len(candidate_gates))):
+                if position < len(reference_gates):
+                    state_reference = simulator.apply_gate(state_reference, reference_gates[position])
+                if position < len(candidate_gates):
+                    state_candidate = simulator.apply_gate(state_candidate, candidate_gates[position])
+            if state_reference != state_candidate and (best is None or common < best):
+                best = common
+    return best
 
 
 def diagnose(

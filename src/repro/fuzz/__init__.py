@@ -1,0 +1,62 @@
+"""Differential fuzzing of the TA engine + the replayable regression corpus.
+
+The paper's evaluation trusts the automata engine to be the *oracle* for
+simulators; this package keeps that oracle honest.  It stress-tests the
+framework against itself along two axes:
+
+* :mod:`repro.fuzz.oracles` — differential checks: the boolean TA layer
+  against brute-force tree enumeration at small sizes, and all three engine
+  modes against the statevector / decision-diagram / path-sum baselines,
+  gate by gate (promoted from the hand-picked circuits of
+  ``tests/test_differential.py`` to seeded random mutants), plus a
+  LintQ-style static pre-filter that triages mutants before any automaton
+  is built;
+* :mod:`repro.fuzz.generators` — a deterministic, seeded stream of mutated
+  circuits (the taxonomy of :mod:`repro.circuits.mutations`) and random
+  boolean-operand cases;
+* :mod:`repro.fuzz.shrink` — greedy minimization of every divergence;
+* :mod:`repro.fuzz.corpus` — content-addressed, versioned JSON corpus
+  entries that ``repro fuzz replay`` and campaign runs re-execute as
+  regression gates;
+* :mod:`repro.fuzz.driver` — the time-budgeted loop behind ``repro fuzz``.
+"""
+
+from .corpus import CORPUS_DIR_ENV, FUZZ_ENTRY_KIND, Corpus, CorpusError, default_corpus_dir
+from .driver import FUZZ_CHECKS, FuzzOutcome, FuzzSettings, replay_corpus, run_fuzz
+from .generators import BooleanCase, FuzzCase, generate_boolean_cases, generate_cases
+from .oracles import (
+    BOOLEAN_OPERATIONS,
+    OracleVerdict,
+    boolean_oracle,
+    boolean_universe,
+    brute_language,
+    cross_mode_oracle,
+    static_prefilter,
+)
+from .shrink import shrink_circuit, shrink_states
+
+__all__ = [
+    "BOOLEAN_OPERATIONS",
+    "BooleanCase",
+    "CORPUS_DIR_ENV",
+    "Corpus",
+    "CorpusError",
+    "FUZZ_CHECKS",
+    "FUZZ_ENTRY_KIND",
+    "FuzzCase",
+    "FuzzOutcome",
+    "FuzzSettings",
+    "OracleVerdict",
+    "boolean_oracle",
+    "boolean_universe",
+    "brute_language",
+    "cross_mode_oracle",
+    "default_corpus_dir",
+    "generate_boolean_cases",
+    "generate_cases",
+    "replay_corpus",
+    "run_fuzz",
+    "shrink_circuit",
+    "shrink_states",
+    "static_prefilter",
+]

@@ -1,0 +1,125 @@
+"""The replayable regression corpus: content-addressed divergence scenarios.
+
+Every divergence the fuzzer finds is minimized and stored as one JSON file in
+a corpus directory.  Entries carry the versioned envelope of
+:mod:`repro.api.schema` (``kind: "fuzz-entry"``) plus a self-contained
+payload:
+
+* ``check == "cross-mode"`` — the minimized mutant circuit (OpenQASM), the
+  basis input, the engine modes to run, and (when known) the seed circuit
+  and the gate index :func:`repro.core.diagnosis.localise_mutation`
+  attributed the fault to;
+* ``check == "boolean"`` — the two operand automata as lossless
+  :mod:`repro.ta.serialization` payloads, the complement alphabet, and the
+  boolean operation that diverged.
+
+File names are content addresses (``<sha256-prefix>.json`` over the entry's
+canonical JSON, excluding the envelope), so re-finding a known divergence is
+idempotent and two corpora merge by copying files.  ``repro fuzz replay``
+and campaign runs re-execute every entry as a regression gate — an entry
+that diverges *again* marks a regression on the current tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..api import schema
+from ..campaign.cache import atomic_write_json
+
+__all__ = [
+    "CORPUS_DIR_ENV",
+    "FUZZ_ENTRY_KIND",
+    "Corpus",
+    "CorpusError",
+    "default_corpus_dir",
+    "entry_id",
+]
+
+FUZZ_ENTRY_KIND = schema.FUZZ_ENTRY_KIND
+
+#: ambient corpus directory for ``repro fuzz`` front-ends
+CORPUS_DIR_ENV = "AUTOQ_REPRO_FUZZ_CORPUS"
+
+
+def default_corpus_dir() -> Optional[str]:
+    """``$AUTOQ_REPRO_FUZZ_CORPUS`` when set, else ``None`` (no corpus)."""
+    return os.environ.get(CORPUS_DIR_ENV) or None
+
+#: hex digits of the sha256 content address used in entry ids / file names
+_ADDRESS_LENGTH = 16
+
+
+class CorpusError(ValueError):
+    """A corpus directory or entry is malformed."""
+
+
+def entry_id(check: str, seed: Optional[int], mutation: Optional[Dict], payload: Dict) -> str:
+    """The content address of an entry: sha256 over its canonical JSON core."""
+    core = json.dumps(
+        {"check": check, "seed": seed, "mutation": mutation, "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(core.encode("utf-8")).hexdigest()[:_ADDRESS_LENGTH]
+
+
+class Corpus:
+    """One directory of ``fuzz-entry`` documents."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.paths())
+
+    def paths(self) -> Iterator[Path]:
+        """Entry files in deterministic (name = content address) order."""
+        if not self.root.is_dir():
+            return iter(())
+        return iter(sorted(self.root.glob("*.json")))
+
+    def entries(self) -> List[Dict]:
+        """Load and schema-validate every entry; raises :class:`CorpusError`."""
+        entries = []
+        for path in self.paths():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+            except (OSError, json.JSONDecodeError) as error:
+                raise CorpusError(f"unreadable corpus entry {path}: {error}") from error
+            try:
+                schema.validate_document(document, kind=FUZZ_ENTRY_KIND)
+            except schema.SchemaError as error:
+                raise CorpusError(f"invalid corpus entry {path}: {error}") from error
+            entries.append(document)
+        return entries
+
+    def add(
+        self,
+        check: str,
+        payload: Dict,
+        seed: Optional[int] = None,
+        detail: str = "",
+        mutation: Optional[Dict] = None,
+    ) -> str:
+        """Store one entry (idempotent by content address); returns its id."""
+        identifier = entry_id(check, seed, mutation, payload)
+        document = {
+            "api_version": schema.API_VERSION,
+            "kind": FUZZ_ENTRY_KIND,
+            "entry_id": identifier,
+            "check": check,
+            "seed": seed,
+            "detail": detail,
+            "mutation": mutation,
+            "payload": payload,
+        }
+        schema.validate_document(document, kind=FUZZ_ENTRY_KIND)
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(self.root / f"{identifier}.json", document, indent=2)
+        return identifier

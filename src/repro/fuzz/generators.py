@@ -1,0 +1,150 @@
+"""Deterministic, seeded case streams for the differential fuzzer.
+
+Two infinite generators, both fully determined by one integer seed:
+
+* :func:`generate_cases` — seeded random circuits pushed through the mutation
+  taxonomy of :mod:`repro.circuits.mutations` (cycling over the requested
+  kinds, with the paper's gate insertion as the universal fallback), paired
+  with a random basis input for the cross-mode oracle;
+* :func:`generate_boolean_cases` — small random quantum-state sets over tiny
+  leaf alphabets for the brute-force boolean oracle.
+
+Case ``i`` of seed ``s`` derives its own ``random.Random`` from
+``s * 1_000_003 + i``, so any case can be regenerated in isolation — corpus
+entries record the per-case seed, not a stream position.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..algebraic import ONE, SQRT2_INV, AlgebraicNumber, ZERO
+from ..circuits.circuit import Circuit
+from ..circuits.mutations import MUTATION_OPERATORS, MutationRecord, inject_random_gate
+from ..circuits.random_circuits import random_circuit
+from ..states import QuantumState, int_to_bits
+
+__all__ = ["BooleanCase", "FuzzCase", "case_seed", "generate_boolean_cases", "generate_cases"]
+
+_SEED_STRIDE = 1_000_003
+
+#: small amplitude alphabets for boolean cases (zero is always added — the
+#: complement universe should contain the all-zero tree)
+_ALPHABETS: Tuple[Tuple[AlgebraicNumber, ...], ...] = (
+    (ZERO, ONE),
+    (ZERO, ONE, SQRT2_INV),
+    (ZERO, ONE, AlgebraicNumber(-1, 0, 0, 0, 0)),
+    (ZERO, SQRT2_INV, AlgebraicNumber(0, 1, 0, 0, 0)),  # 0, 1/sqrt(2), omega
+)
+
+
+def case_seed(seed: int, index: int) -> int:
+    """The derived seed of case ``index`` in the stream for ``seed``."""
+    return seed * _SEED_STRIDE + index
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One mutant circuit plus everything needed to replay it."""
+
+    index: int
+    seed: int  # the derived per-case seed
+    kind: str  # mutation kind actually applied
+    reference: Circuit
+    circuit: Circuit  # the mutant
+    record: Optional[MutationRecord]
+    input_bits: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BooleanCase:
+    """Operand state-sets + alphabet for one boolean-layer oracle run."""
+
+    index: int
+    seed: int
+    num_qubits: int
+    alphabet: Tuple[AlgebraicNumber, ...]
+    left: Tuple[QuantumState, ...]
+    right: Tuple[QuantumState, ...]
+
+
+def generate_cases(
+    seed: int,
+    max_qubits: int = 4,
+    max_gates: int = 10,
+    mutation_kinds: Sequence[str] = tuple(MUTATION_OPERATORS),
+) -> Iterator[FuzzCase]:
+    """Infinite deterministic stream of mutated-circuit cases."""
+    for kind in mutation_kinds:
+        if kind not in MUTATION_OPERATORS:
+            raise ValueError(
+                f"unknown mutation kind {kind!r}; expected one of {tuple(MUTATION_OPERATORS)}"
+            )
+    if not mutation_kinds:
+        raise ValueError("at least one mutation kind is required")
+    for index in range(0, 1 << 62):
+        derived = case_seed(seed, index)
+        rng = random.Random(derived)
+        num_qubits = rng.randint(2, max(2, max_qubits))
+        num_gates = rng.randint(3, max(3, max_gates))
+        reference = random_circuit(num_qubits, num_gates=num_gates, seed=derived)
+        kind = mutation_kinds[index % len(mutation_kinds)]
+        try:
+            mutant, record = MUTATION_OPERATORS[kind](reference, rng=rng)
+        except ValueError:
+            kind = "insert"
+            mutant, record = inject_random_gate(reference, rng=rng)
+        input_bits = tuple(rng.randint(0, 1) for _ in range(num_qubits))
+        yield FuzzCase(
+            index=index,
+            seed=derived,
+            kind=kind,
+            reference=reference,
+            circuit=mutant,
+            record=record,
+            input_bits=input_bits,
+        )
+
+
+def _random_state(
+    rng: random.Random, num_qubits: int, alphabet: Sequence[AlgebraicNumber]
+) -> QuantumState:
+    """One random leaf assignment (possibly the all-zero tree)."""
+    state = QuantumState(num_qubits)
+    for index in range(1 << num_qubits):
+        amplitude = rng.choice(alphabet)
+        if not amplitude.is_zero():
+            state[int_to_bits(index, num_qubits)] = amplitude
+    return state
+
+
+def generate_boolean_cases(seed: int, max_qubits: int = 2) -> Iterator[BooleanCase]:
+    """Infinite deterministic stream of boolean-layer operand cases.
+
+    Kept deliberately small: the brute-force universe has
+    ``len(alphabet) ** 2**num_qubits`` trees, so ``max_qubits`` above 3 would
+    make the ground truth itself the bottleneck.
+    """
+    for index in range(0, 1 << 62):
+        derived = case_seed(seed, index)
+        rng = random.Random(derived)
+        num_qubits = rng.randint(1, max(1, min(max_qubits, 3)))
+        alphabet = _ALPHABETS[rng.randrange(len(_ALPHABETS))]
+        if num_qubits >= 3:
+            alphabet = _ALPHABETS[0]  # keep the 256-tree universe binary
+        left = tuple(
+            _random_state(rng, num_qubits, alphabet) for _ in range(rng.randint(1, 3))
+        )
+        right = tuple(
+            _random_state(rng, num_qubits, alphabet) for _ in range(rng.randint(1, 3))
+        )
+        yield BooleanCase(
+            index=index,
+            seed=derived,
+            num_qubits=num_qubits,
+            alphabet=alphabet,
+            left=left,
+            right=right,
+        )

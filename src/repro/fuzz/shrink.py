@@ -1,0 +1,65 @@
+"""Greedy minimization of divergence-triggering inputs.
+
+Every divergence the fuzzer finds is shrunk before it is stored: corpus
+entries should be the *smallest* reproduction we can cheaply find, both for
+human triage and so replaying the corpus stays fast.
+
+* :func:`shrink_circuit` — greedy gate deletion: repeatedly drop any gate
+  whose removal keeps the predicate (usually "the oracle still diverges")
+  true, until a fixpoint.  The classic delta-debugging inner loop,
+  specialised to circuits where single-gate deletion is always well-formed.
+* :func:`shrink_states` — the boolean analogue over operand state-sets:
+  greedily drop states from a set while the divergence persists (at least
+  one state is kept — the TA constructions require non-empty sets).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..circuits.circuit import Circuit
+from ..states import QuantumState
+
+__all__ = ["shrink_circuit", "shrink_states"]
+
+
+def shrink_circuit(
+    circuit: Circuit, predicate: Callable[[Circuit], bool]
+) -> Circuit:
+    """Smallest gate-subsequence (by greedy deletion) still satisfying ``predicate``.
+
+    ``predicate(circuit)`` must be true on entry; the result is a circuit on
+    the same qubits for which the predicate still holds but no further single
+    gate can be deleted without losing it.
+    """
+    current = circuit
+    changed = True
+    while changed:
+        changed = False
+        position = current.num_gates - 1
+        while position >= 0:
+            candidate = current.without_gate(position)
+            if predicate(candidate):
+                current = candidate
+                changed = True
+            position -= 1
+    return current
+
+
+def shrink_states(
+    states: Sequence[QuantumState],
+    predicate: Callable[[Tuple[QuantumState, ...]], bool],
+) -> Tuple[QuantumState, ...]:
+    """Smallest sub-tuple (by greedy deletion, keeping >= 1) satisfying ``predicate``."""
+    current: List[QuantumState] = list(states)
+    changed = True
+    while changed:
+        changed = False
+        for position in range(len(current) - 1, -1, -1):
+            if len(current) <= 1:
+                break
+            candidate = tuple(current[:position] + current[position + 1:])
+            if predicate(candidate):
+                del current[position]
+                changed = True
+    return tuple(current)

@@ -21,7 +21,7 @@ from repro.api import schema
 from repro.campaign.report import REPORT_FIELDS
 
 #: the one and only place the expected schema version is spelled out in tests
-EXPECTED_API_VERSION = 1
+EXPECTED_API_VERSION = 2
 
 EXPECTED_API_ALL = [
     "API_VERSION",
@@ -34,6 +34,8 @@ EXPECTED_API_ALL = [
     "EquivalenceProblem",
     "EquivalenceResult",
     "ErrorResult",
+    "FuzzProblem",
+    "FuzzResult",
     "Problem",
     "Result",
     "SchemaError",
@@ -61,11 +63,14 @@ EXPECTED_DOCUMENT_KINDS = [
     "equivalence",
     "error",
     "export-ta",
+    "fuzz",
+    "fuzz-entry",
     "generate",
     "inject",
     "problem/bughunt",
     "problem/campaign",
     "problem/equivalence",
+    "problem/fuzz",
     "problem/simulate",
     "problem/verify",
     "serve",
@@ -114,12 +119,13 @@ class TestRequiredFieldContracts:
             CampaignResult,
             EquivalenceResult,
             ErrorResult,
+            FuzzResult,
             SimulateResult,
             VerifyResult,
         )
 
         for cls in (VerifyResult, EquivalenceResult, BugHuntResult,
-                    SimulateResult, CampaignResult, ErrorResult):
+                    SimulateResult, CampaignResult, FuzzResult, ErrorResult):
             declared = {spec.name for spec in fields(cls)}
             assert declared == set(schema.REQUIRED_FIELDS[cls.KIND]), cls.KIND
 
@@ -135,10 +141,11 @@ class TestRequiredFieldContracts:
             CampaignResult,
             EquivalenceResult,
             ErrorResult,
+            FuzzResult,
             SimulateResult,
             VerifyResult,
         )
 
         for cls in (VerifyResult, EquivalenceResult, BugHuntResult,
-                    SimulateResult, CampaignResult, ErrorResult):
+                    SimulateResult, CampaignResult, FuzzResult, ErrorResult):
             schema.validate_document(cls().to_dict(), kind=cls.KIND)

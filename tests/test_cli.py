@@ -749,8 +749,10 @@ class TestCacheCommand:
         assert main(["cache", "stats", "--json", "--store-dir", store_dir,
                      "--cache-dir", str(tmp_path / "cache")]) == 0
         payload = json.loads(capsys.readouterr().out)
+        from repro.api import API_VERSION
+
         # cache documents now carry the versioned envelope (PR 5)
-        assert payload["api_version"] == 1
+        assert payload["api_version"] == API_VERSION
         assert payload["kind"] == "cache-stats"
         assert payload["data"]["store"]["entries"] > 0
 

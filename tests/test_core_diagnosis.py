@@ -113,3 +113,138 @@ def test_diagnose_random_injected_bugs(seed):
         pytest.skip("this mutation does not change the output set (e.g. a global phase)")
     report = diagnose(reference, buggy, outcome.witness, inputs_ta)
     assert report.confirmed
+
+
+# ----------------------------------------------------- golden mutation localisation
+class TestGoldenMutationLocalisation:
+    """`localise_mutation` must point at the injected `MutationRecord` position.
+
+    Each case is a hand-built mutant of the same reference circuit, chosen so
+    the fault is *not* semantically invisible and does not commute past its
+    neighbours (transposing commuting gates or swapping operands of symmetric
+    gates legitimately localises to ``None``).
+    """
+
+    @staticmethod
+    def _reference() -> Circuit:
+        return Circuit(2, name="golden").add("h", 0).add("cx", 0, 1).add("t", 0).add("x", 1)
+
+    def _case(self, kind):
+        from repro.circuits import MutationRecord
+
+        reference = self._reference()
+        gates = list(reference)
+        if kind == "insert":
+            gates.insert(2, Gate("x", (0,)))
+            record = MutationRecord(("insert", 2, gates[2]))
+        elif kind == "remove":
+            removed = gates.pop(1)
+            record = MutationRecord(("remove", 1, removed))
+        elif kind == "swap-operands":
+            gates[1] = Gate("cx", (1, 0))
+            record = MutationRecord(("swap-operands", 1, gates[1]))
+        elif kind == "phase-error":
+            gates[2] = Gate("tdg", (0,))
+            record = MutationRecord(("phase-error", 2, gates[2]))
+        elif kind == "reorder-qubits":
+            gates = [gate.remap({0: 1, 1: 0}) for gate in gates]
+            record = MutationRecord(("reorder-qubits", 0, gates[0]))
+        elif kind == "off-by-one":
+            gates.insert(3, gates[2])
+            record = MutationRecord(("off-by-one", 3, gates[3]))
+        elif kind == "transpose":
+            gates[0], gates[1] = gates[1], gates[0]
+            record = MutationRecord(("transpose", 0, gates[0]))
+        else:  # pragma: no cover - parametrisation is exhaustive
+            raise AssertionError(kind)
+        return reference, Circuit(2, gates, name="golden_mutant"), record
+
+    @pytest.mark.parametrize(
+        "kind",
+        ["insert", "remove", "swap-operands", "phase-error",
+         "reorder-qubits", "off-by-one", "transpose"],
+    )
+    def test_localise_mutation_matches_injected_record(self, kind):
+        from repro.core import localise_mutation
+
+        reference, mutant, record = self._case(kind)
+        assert localise_mutation(reference, mutant) == record.position, kind
+
+    def test_localise_mutation_none_for_invisible_mutation(self):
+        from repro.core import localise_mutation
+
+        reference = self._reference()
+        gates = list(reference)
+        gates[1] = Gate("cx", (0, 1))  # identical gate: nothing changed
+        assert localise_mutation(reference, Circuit(2, gates)) is None
+
+    def test_localise_mutation_flags_commuting_transpose_in_lockstep(self):
+        from repro.core import localise_mutation
+
+        # t(0) commutes with the control of cx(0, 1), so the transposed
+        # circuit is *semantically* equivalent — but localisation runs the
+        # undecomposed gate lists in lockstep and compares intermediate
+        # states, so it still reports the transpose position.  That is why
+        # `static_prefilter` must skip commuting transposes *before* the
+        # oracles, rather than relying on localisation to discard them.
+        reference = Circuit(2).add("cx", 0, 1).add("t", 0)
+        gates = [reference[1], reference[0]]
+        assert localise_mutation(reference, Circuit(2, gates)) == 0
+
+    # no "swap-operands" / "reorder-qubits" here: both produce cx(1, 0),
+    # which the permutation kernel rejects (control must precede target)
+    _PERMUTATION_KINDS = ("insert", "remove", "off-by-one", "transpose")
+
+    def _permutation_case(self, kind):
+        """Golden mutants built from permutation gates only, so the
+        ``permutation`` analysis mode can run them too."""
+        from repro.circuits import MutationRecord
+
+        reference = Circuit(2, name="perm").add("x", 0).add("cx", 0, 1).add("x", 1)
+        gates = list(reference)
+        if kind == "insert":
+            gates.insert(1, Gate("x", (0,)))
+            record = MutationRecord(("insert", 1, gates[1]))
+        elif kind == "remove":
+            removed = gates.pop(1)
+            record = MutationRecord(("remove", 1, removed))
+        elif kind == "swap-operands":
+            gates[1] = Gate("cx", (1, 0))
+            record = MutationRecord(("swap-operands", 1, gates[1]))
+        elif kind == "reorder-qubits":
+            gates = [gate.remap({0: 1, 1: 0}) for gate in gates]
+            record = MutationRecord(("reorder-qubits", 0, gates[0]))
+        elif kind == "off-by-one":
+            gates.insert(2, gates[1])
+            record = MutationRecord(("off-by-one", 2, gates[2]))
+        elif kind == "transpose":
+            gates[0], gates[1] = gates[1], gates[0]
+            record = MutationRecord(("transpose", 0, gates[0]))
+        else:  # pragma: no cover - parametrisation is exhaustive
+            raise AssertionError(kind)
+        return reference, Circuit(2, gates, name="perm_mutant"), record
+
+    @pytest.mark.parametrize("mode", ["hybrid", "composition", "permutation"])
+    def test_every_mode_detects_each_golden_mutation(self, mode):
+        """Each engine mode flags every golden mutant as non-equivalent, and
+        localisation still matches the injected record in that setting.
+
+        The ``permutation`` mode only runs permutation gates, so it gets
+        golden fixtures of its own (no ``phase-error`` there: a circuit of
+        classical-reversible gates has no phase gate to flip).
+        """
+        from repro.core import localise_mutation
+
+        if mode == "permutation":
+            kinds, case, input_bits = self._PERMUTATION_KINDS, self._permutation_case, "00"
+        else:
+            kinds = ("insert", "remove", "swap-operands", "phase-error",
+                     "reorder-qubits", "off-by-one", "transpose")
+            case, input_bits = self._case, "00"
+        for kind in kinds:
+            reference, mutant, record = case(kind)
+            outcome = check_circuit_equivalence(
+                reference, mutant, basis_state_ta(2, input_bits), mode=mode
+            )
+            assert outcome.non_equivalent, (mode, kind)
+            assert localise_mutation(reference, mutant) == record.position, (mode, kind)

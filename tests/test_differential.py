@@ -20,86 +20,37 @@ semantics disagree.  The measurement classes additionally cross-check the TA
 measurement *queries* (probability bounds, certainty, the post-measurement
 automaton of Algorithm 4) against the exact measurement semantics on the
 simulator state.
+
+The gate-by-gate comparison helpers were promoted to
+:mod:`repro.fuzz.oracles` (where ``repro fuzz`` runs them against seeded
+random mutants); this module keeps the hand-picked fixed circuits in tier-1
+and pins the evaluator itself against closed-form states.
 """
 
-import itertools
 import random
 
 import pytest
 
-from repro.algebraic import AlgebraicNumber, ZERO
+from repro.algebraic import ZERO
 from repro.baselines import PathSumChecker
-from repro.circuits import Circuit, Gate, random_circuit
+from repro.circuits import Circuit, random_circuit
 from repro.core.engine import AnalysisMode, CircuitEngine
 from repro.core.queries import (
     measurement_probability_bounds,
     outcome_is_certain,
     post_measurement_automaton,
 )
+from repro.fuzz.oracles import (
+    assert_states_close,
+    evaluate_path_sum as _evaluate_path_sum,
+    prefix_path_sum_states as _prefix_path_sum_states,
+    random_permutation_circuit as _random_permutation_circuit,
+)
 from repro.simulator import StateVectorSimulator
 from repro.simulator.decision_diagram import DDState, DecisionDiagramSimulator
 from repro.simulator.measurement import measurement_probability
 from repro.states import QuantumState
 from repro.ta import basis_state_ta
-
-#: gates the permutation-based encoding supports with ascending operands
-_PERMUTATION_POOL = ("x", "y", "z", "s", "sdg", "t", "tdg", "cx", "cz", "ccx")
-
-
-def assert_states_close(left: QuantumState, right: QuantumState, tolerance: float = 1e-9) -> None:
-    """Assert two exact states denote (numerically) the same vector."""
-    assert left.num_qubits == right.num_qubits
-    keys = {bits for bits, _ in left.items()} | {bits for bits, _ in right.items()}
-    for bits in keys:
-        delta = abs(left[bits].to_complex() - right[bits].to_complex())
-        assert delta < tolerance, f"amplitudes differ at {bits}: {left[bits]} vs {right[bits]}"
-
-
-def _random_permutation_circuit(num_qubits: int, num_gates: int, seed: int) -> Circuit:
-    """A random circuit every gate of which the permutation encoding handles."""
-    rng = random.Random(seed)
-    circuit = Circuit(num_qubits, name=f"perm_random_{seed}")
-    pool = [kind for kind in _PERMUTATION_POOL if num_qubits >= {"cx": 2, "cz": 2, "ccx": 3}.get(kind, 1)]
-    for _ in range(num_gates):
-        kind = rng.choice(pool)
-        arity = {"cx": 2, "cz": 2, "ccx": 3}.get(kind, 1)
-        qubits = tuple(sorted(rng.sample(range(num_qubits), arity)))
-        circuit.append(Gate(kind, qubits))
-    return circuit
-
-
-def _evaluate_bool(poly, environment) -> int:
-    """Evaluate a path-sum Boolean polynomial (XOR of ANDs) over 0/1 values."""
-    return sum(all(environment[v] for v in monomial) for monomial in poly.monomials) % 2
-
-
-def _evaluate_path_sum(path_sum, num_qubits: int, input_bits) -> QuantumState:
-    """Sum a symbolic path sum over all path-variable assignments (exact)."""
-    state = QuantumState(num_qubits)
-    normalisation = AlgebraicNumber(1, 0, 0, 0, path_sum.sqrt2_factors)
-    variables = list(path_sum.path_variables)
-    base = {f"x{i}": bit for i, bit in enumerate(input_bits)}
-    for assignment in itertools.product((0, 1), repeat=len(variables)):
-        environment = dict(base)
-        environment.update(zip(variables, assignment))
-        bits = tuple(_evaluate_bool(poly, environment) for poly in path_sum.outputs)
-        units = path_sum.global_phase
-        for monomial, coefficient in path_sum.phase.terms.items():
-            if all(environment[v] for v in monomial):
-                units += coefficient
-        amplitude = AlgebraicNumber.omega_power(units % 8) * normalisation
-        state[bits] = state[bits] + amplitude
-    return state
-
-
-def _prefix_path_sum_states(circuit: Circuit, input_bits):
-    """Path-sum-evaluated states after every gate of ``circuit``."""
-    checker = PathSumChecker()
-    states = []
-    for length in range(1, circuit.num_gates + 1):
-        path_sum = checker.symbolic_execution(circuit[:length])
-        states.append(_evaluate_path_sum(path_sum, circuit.num_qubits, input_bits))
-    return states
 
 
 def _drive(circuit: Circuit, input_bits, mode: str) -> None:

@@ -1,0 +1,163 @@
+"""Tests for the expanded mutation taxonomy (:mod:`repro.circuits.mutations`).
+
+The taxonomy is the fuzzer's fault model, so its contract is strict:
+
+* every operator is deterministic under an explicit seed, and passing an
+  explicit ``random.Random(seed)`` consumes the *identical* stream (so the
+  campaign planner's move to threaded rngs changed no existing plan);
+* every :class:`MutationRecord` round-trips losslessly through JSON;
+* the mutants themselves are structurally what each fault model promises.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.campaign.plan import MutationPlan
+from repro.circuits import (
+    MUTATION_OPERATORS,
+    Circuit,
+    MutationRecord,
+    duplicate_random_gate,
+    flip_random_phase,
+    random_circuit,
+    reorder_random_qubits,
+    swap_random_operands,
+    transpose_random_adjacent,
+)
+from repro.circuits.mutations import _PHASE_ERRORS
+
+
+def _seed_circuit(seed: int = 0) -> Circuit:
+    # append a two-qubit and a phase gate so every operator has a candidate
+    return random_circuit(3, num_gates=8, seed=seed).add("cx", 0, 1).add("t", 0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", sorted(MUTATION_OPERATORS))
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_same_seed_same_mutant(self, kind, seed):
+        operator = MUTATION_OPERATORS[kind]
+        circuit = _seed_circuit(seed)
+        first_circuit, first_record = operator(circuit, seed=seed)
+        second_circuit, second_record = operator(circuit, seed=seed)
+        assert list(first_circuit.gates) == list(second_circuit.gates)
+        assert first_record == second_record
+
+    @pytest.mark.parametrize("kind", sorted(MUTATION_OPERATORS))
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_explicit_rng_consumes_the_seed_stream(self, kind, seed):
+        """``op(c, seed=s)`` and ``op(c, rng=Random(s))`` are byte-identical —
+        the compatibility guarantee that kept campaign plans stable when the
+        operators gained the ``rng`` parameter."""
+        operator = MUTATION_OPERATORS[kind]
+        circuit = _seed_circuit(seed)
+        via_seed = operator(circuit, seed=seed)
+        via_rng = operator(circuit, rng=random.Random(seed))
+        assert list(via_seed[0].gates) == list(via_rng[0].gates)
+        assert via_seed[1] == via_rng[1]
+
+    def test_mutants_do_not_modify_the_input_circuit(self):
+        circuit = _seed_circuit(1)
+        gates_before = list(circuit.gates)
+        for kind, operator in MUTATION_OPERATORS.items():
+            operator(circuit, seed=5)
+            assert list(circuit.gates) == gates_before, kind
+
+
+class TestRecords:
+    @pytest.mark.parametrize("kind", sorted(MUTATION_OPERATORS))
+    def test_record_json_round_trip_is_lossless(self, kind):
+        _, record = MUTATION_OPERATORS[kind](_seed_circuit(2), seed=9)
+        restored = MutationRecord.from_json(record.to_json())
+        assert restored == record
+        assert restored.kind == record.kind == kind
+        assert restored.position == record.position
+        assert restored.gate == record.gate
+
+    def test_record_dict_shape(self):
+        _, record = MUTATION_OPERATORS["insert"](_seed_circuit(0), seed=0)
+        document = record.to_dict()
+        assert set(document) == {"kind", "position", "gate"}
+        assert set(document["gate"]) == {"kind", "qubits"}
+
+    def test_record_str_names_kind_and_position(self):
+        _, record = MUTATION_OPERATORS["remove"](_seed_circuit(0), seed=0)
+        assert str(record).startswith(f"remove at position {record.position}")
+
+
+class TestFaultModels:
+    def test_phase_error_flips_to_the_twin(self):
+        circuit = Circuit(2).add("h", 0).add("t", 0).add("cx", 0, 1)
+        mutant, record = flip_random_phase(circuit, seed=0)
+        assert record.kind == "phase-error"
+        assert mutant.num_gates == circuit.num_gates
+        original = circuit[record.position]
+        assert mutant[record.position].kind == _PHASE_ERRORS[original.kind]
+
+    def test_phase_error_requires_a_phase_gate(self):
+        with pytest.raises(ValueError):
+            flip_random_phase(Circuit(1).add("h", 0).add("x", 0), seed=0)
+
+    def test_reorder_qubits_remaps_consistently(self):
+        circuit = Circuit(3).add("h", 0).add("cx", 0, 1).add("x", 2)
+        mutant, record = reorder_random_qubits(circuit, seed=1)
+        assert record.kind == "reorder-qubits"
+        assert mutant.num_gates == circuit.num_gates
+        # some gate must actually have moved
+        assert list(mutant.gates) != list(circuit.gates)
+
+    def test_reorder_qubits_needs_two_qubits(self):
+        with pytest.raises(ValueError):
+            reorder_random_qubits(Circuit(1).add("x", 0), seed=0)
+
+    def test_off_by_one_duplicates_in_place(self):
+        circuit = _seed_circuit(4)
+        mutant, record = duplicate_random_gate(circuit, seed=4)
+        assert record.kind == "off-by-one"
+        assert mutant.num_gates == circuit.num_gates + 1
+        assert mutant[record.position] == mutant[record.position - 1]
+
+    def test_transpose_swaps_adjacent_gates(self):
+        circuit = _seed_circuit(5)
+        mutant, record = transpose_random_adjacent(circuit, seed=5)
+        assert record.kind == "transpose"
+        assert mutant.num_gates == circuit.num_gates
+        position = record.position
+        assert mutant[position] == circuit[position + 1]
+        assert mutant[position + 1] == circuit[position]
+
+    def test_swap_operands_changes_exactly_one_gate(self):
+        circuit = Circuit(2).add("h", 0).add("cx", 0, 1)
+        mutant, record = swap_random_operands(circuit, seed=0)
+        assert record.kind == "swap-operands"
+        assert mutant[record.position].qubits != circuit[record.position].qubits
+        assert sorted(mutant[record.position].qubits) == sorted(circuit[record.position].qubits)
+
+
+class TestPlanStability:
+    def test_plan_mutants_are_deterministic(self):
+        plan = MutationPlan(num_mutants=6, kinds=tuple(MUTATION_OPERATORS), base_seed=3)
+        circuit = _seed_circuit(0)
+        first = [(kind, seed, list(mutant.gates), record)
+                 for _, kind, seed, mutant, record in plan.mutants(circuit)]
+        second = [(kind, seed, list(mutant.gates), record)
+                  for _, kind, seed, mutant, record in plan.mutants(circuit)]
+        assert first == second
+
+    def test_insert_plan_matches_the_pre_rng_stream(self):
+        """The planner now passes ``rng=Random(seed)``; the mutants must be
+        byte-identical to calling the operator with the bare seed (what PR 4
+        cached verdicts were keyed on)."""
+        from repro.circuits import inject_random_gate
+
+        plan = MutationPlan(num_mutants=4, kinds=("insert",), base_seed=11)
+        circuit = _seed_circuit(6)
+        for index, kind, seed, mutant, record in plan.mutants(circuit):
+            assert kind == "insert"
+            assert seed == 11 + index
+            expected, expected_record = inject_random_gate(circuit, seed=seed)
+            assert list(mutant.gates) == list(expected.gates)
+            assert record == str(expected_record)

@@ -175,3 +175,65 @@ def test_property_boolean_algebra_on_basis_sets(left_indices, right_indices):
         assert got_intersection.accepts(QuantumState.basis_state(num_qubits, index))
     for index in expected_difference:
         assert got_difference.accepts(QuantumState.basis_state(num_qubits, index))
+
+
+# ---------------------------------------------------------- laws vs brute force
+# Property tests pinning the algebraic laws of the boolean layer against the
+# exhaustive brute-force language enumeration from the fuzzing oracles: every
+# labelled tree of the (≤ 3 qubit, binary alphabet) universe is checked
+# individually, so these fail on *any* systematic automata-construction bug —
+# e.g. a complement whose final-state set was flipped instead of built by
+# layered subset construction.
+
+
+def _brute(automaton, num_qubits):
+    from repro.fuzz.oracles import boolean_universe, brute_language
+
+    return brute_language(automaton, boolean_universe(num_qubits, BASIS_ALPHABET))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+    st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+)
+def test_property_de_morgan_vs_brute_force(num_qubits, left_raw, right_raw):
+    """complement(A ∪ B) == complement(A) ∩ complement(B), tree for tree."""
+    size = 2 ** num_qubits
+    left = _basis_set_ta(num_qubits, {i % size for i in left_raw})
+    right = _basis_set_ta(num_qubits, {i % size for i in right_raw})
+    lhs = complement(left.union(right), BASIS_ALPHABET)
+    rhs = intersection(
+        complement(left, BASIS_ALPHABET), complement(right, BASIS_ALPHABET)
+    )
+    assert _brute(lhs, num_qubits) == _brute(rhs, num_qubits)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+)
+def test_property_double_complement_vs_brute_force(num_qubits, raw):
+    """complement(complement(A)) == A within the binary-alphabet universe."""
+    size = 2 ** num_qubits
+    automaton = _basis_set_ta(num_qubits, {i % size for i in raw})
+    restored = complement(complement(automaton, BASIS_ALPHABET), BASIS_ALPHABET)
+    assert _brute(restored, num_qubits) == _brute(automaton, num_qubits)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+    st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+)
+def test_property_difference_is_intersection_with_complement(num_qubits, left_raw, right_raw):
+    """difference(A, B) == intersection(A, complement(B)), tree for tree."""
+    size = 2 ** num_qubits
+    left = _basis_set_ta(num_qubits, {i % size for i in left_raw})
+    right = _basis_set_ta(num_qubits, {i % size for i in right_raw})
+    via_difference = difference(left, right)
+    via_complement = intersection(left, complement(right, BASIS_ALPHABET))
+    assert _brute(via_difference, num_qubits) == _brute(via_complement, num_qubits)
