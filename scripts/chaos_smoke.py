@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Chaos smoke: a campaign under a seeded kill+corrupt plan must not change.
+
+Runs one small mutant campaign twice — first fault-free, then under a
+deterministic fault-injection plan that SIGKILLs a pool worker every tenth
+cell (``worker.cell``/``crash-process``) and corrupts five percent of store
+publishes (``store.put``/``corrupt-payload``).  The smoke fails unless the
+chaotic run
+
+* completes with exit code 0 (no crash escapes the runner),
+* produces verdicts identical to the fault-free run, record for record,
+* recorded at least one re-queued job (``retried``) in its JSONL report
+  whenever a kill actually fired.
+
+Intended for CI (the ``chaos-smoke`` job); see ``docs/robustness.md``::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py --output /tmp/perf/chaos_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def summarise(label, summary):
+    return {
+        "label": label,
+        "jobs": summary.jobs,
+        "holds": summary.holds,
+        "violated": summary.violated,
+        "unsupported": summary.unsupported,
+        "errors": summary.errors,
+        "wall_seconds": round(summary.wall_seconds, 4),
+        "faults_injected": summary.faults_injected,
+        "retries": summary.retries,
+        "quarantined_entries": summary.quarantined_entries,
+        "store_disabled": summary.store_disabled,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here (default: stdout only)")
+    parser.add_argument("--family", default="grover")
+    parser.add_argument("--mutants", type=int, default=20)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=9,
+                        help="fault plan seed (the campaign's own seed is fixed)")
+    args = parser.parse_args(argv)
+
+    from repro.campaign import CampaignConfig, read_report, run_campaign
+    from repro.faults import FaultPlan, FaultSpec
+
+    plan = FaultPlan(seed=args.seed, sites=(
+        FaultSpec(site="worker.cell", kind="crash-process", every=10),
+        FaultSpec(site="store.put", kind="corrupt-payload", rate=0.05),
+    ))
+
+    with tempfile.TemporaryDirectory(prefix="chaos_smoke_") as scratch:
+        def config(label: str, fault_plan=None, workers: int = 1) -> CampaignConfig:
+            return CampaignConfig(
+                family=args.family,
+                mutants=args.mutants,
+                mutation_kinds=("insert", "remove"),
+                workers=workers,
+                report_path=os.path.join(scratch, label, "report.jsonl"),
+                cache_dir=os.path.join(scratch, label, "cache"),
+                store_dir=os.path.join(scratch, label, "store"),
+                fault_plan=fault_plan,
+            )
+
+        # chaotic run first: its forked pool workers must start with a cold
+        # gate memo (a clean run first would warm this process, and the
+        # workers would never touch the store they are meant to corrupt)
+        chaos_config = config("chaos", fault_plan=plan, workers=args.workers)
+        chaos = run_campaign(chaos_config)
+        clean_config = config("clean")
+        clean = run_campaign(clean_config)
+
+        verdicts = lambda cfg: [(r["job_id"], r["verdict"])  # noqa: E731
+                                for r in read_report(cfg.report_path)]
+        clean_verdicts = verdicts(clean_config)
+        chaos_verdicts = verdicts(chaos_config)
+        retried = sum(int(r.get("retried") or 0)
+                      for r in read_report(chaos_config.report_path))
+
+    failures = []
+    if chaos_verdicts != clean_verdicts:
+        diff = [(c, f) for c, f in zip(clean_verdicts, chaos_verdicts) if c != f]
+        failures.append(f"verdicts diverged under faults: {diff[:5]}")
+    if chaos.errors != clean.errors:
+        failures.append(
+            f"chaotic run produced {chaos.errors} errors vs {clean.errors} clean")
+    if chaos.faults_injected == 0:
+        failures.append("the fault plan never fired — the smoke tested nothing")
+    # every kill loses one in-flight job, which must resurface as a retry
+    if args.workers > 1 and chaos.retries == 0 and chaos.faults_injected > 0:
+        failures.append("faults fired but no retry was recorded in the JSONL")
+
+    report = {
+        "clean": summarise("clean", clean),
+        "chaos": summarise("chaos", chaos),
+        "plan": plan.to_dict(),
+        "verdicts_match": chaos_verdicts == clean_verdicts,
+        "chaos_retried_jobs": retried,
+        "failures": failures,
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    if failures:
+        for failure in failures:
+            print(f"chaos_smoke: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"chaos_smoke: OK ({chaos.faults_injected} faults injected, "
+          f"{chaos.retries} retries, verdicts identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

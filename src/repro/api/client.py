@@ -11,6 +11,11 @@ to a daemon.
 Failures are first-class: every non-200 response body is an ``error``
 document, surfaced as a :class:`ServiceError` carrying the typed
 :class:`~repro.api.ErrorResult` — callers never parse free text.
+*Transient* failures are typed too: connection refused/reset and
+429/503/504 responses raise :class:`ServiceUnavailable` (a
+:class:`ServiceError` subclass carrying the daemon's ``Retry-After`` hint),
+and the client's :class:`~repro.faults.RetryPolicy` retries exactly that
+class before giving up — see ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -19,12 +24,24 @@ import json
 import os
 import urllib.error
 import urllib.request
+from dataclasses import replace
 from typing import Callable, Dict, Optional
 
+from ..faults import DEFAULT_CLIENT_RETRY, RetryPolicy
 from .problems import CampaignProblem, Problem
 from .results import CampaignResult, ErrorResult, Result
 
-__all__ = ["SERVER_ENV", "ServiceClient", "ServiceError", "default_server_url"]
+__all__ = [
+    "SERVER_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "default_server_url",
+]
+
+#: HTTP statuses that mean "the daemon is alive but cannot take this request
+#: right now" — worth a backoff-and-retry, unlike a 400 or a 404
+TRANSIENT_HTTP_STATUSES = (429, 503, 504)
 
 #: environment variable naming a default daemon URL; the CLI's ``--server``
 #: flag falls back to it, so e.g. CI can point every invocation at one daemon
@@ -44,15 +61,54 @@ class ServiceError(RuntimeError):
         self.result = result
 
 
-class ServiceClient:
-    """One daemon endpoint (``http://host:port``) as a Python object."""
+class ServiceUnavailable(ServiceError):
+    """A *transient* daemon failure: retry later, nothing is wrong with the
+    request itself.
 
-    def __init__(self, base_url: str, timeout: float = 600.0):
+    Raised for connection refused/reset (the daemon is down or restarting)
+    and for 429/503/504 responses (saturated, fault-injected, or timed out).
+    ``retry_after`` is the daemon's ``Retry-After`` hint in seconds when the
+    response carried one, else ``None`` — the client's retry policy (and any
+    external caller) can use it to pace the next attempt.
+    """
+
+    def __init__(self, result: ErrorResult, retry_after: Optional[float] = None):
+        super().__init__(result)
+        self.retry_after = retry_after
+
+
+def _retry_after_seconds(error: urllib.error.HTTPError) -> Optional[float]:
+    """The ``Retry-After`` header as seconds, if present and delta-formatted."""
+    value = (error.headers.get("Retry-After") or "").strip()
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None  # HTTP-date form: not worth a date parser here
+    return seconds if seconds >= 0 else None
+
+
+class ServiceClient:
+    """One daemon endpoint (``http://host:port``) as a Python object.
+
+    ``retry`` bounds how transient failures (:class:`ServiceUnavailable`
+    only — never 4xx/5xx with a meaning) are retried before surfacing;
+    pass ``RetryPolicy(attempts=1)`` to disable retries entirely.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 600.0,
+                 retry: Optional[RetryPolicy] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        if retry is None:
+            retry = replace(DEFAULT_CLIENT_RETRY, retryable=(ServiceUnavailable,))
+        self.retry = retry
 
     # ------------------------------------------------------------- plumbing
     def _request(self, path: str, body: Optional[Dict] = None):
+        """Issue one HTTP exchange, retrying transient failures per policy."""
+        return self.retry.call(self._request_once, path, body)
+
+    def _request_once(self, path: str, body: Optional[Dict] = None):
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
@@ -64,10 +120,15 @@ class ServiceClient:
         try:
             return urllib.request.urlopen(request, timeout=self.timeout)
         except urllib.error.HTTPError as error:
-            raise ServiceError(self._error_result(error)) from None
+            result = self._error_result(error)
+            if error.code in TRANSIENT_HTTP_STATUSES:
+                raise ServiceUnavailable(
+                    result, retry_after=_retry_after_seconds(error)
+                ) from None
+            raise ServiceError(result) from None
         except (urllib.error.URLError, OSError) as error:
             reason = getattr(error, "reason", None) or error
-            raise ServiceError(ErrorResult(
+            raise ServiceUnavailable(ErrorResult(
                 "unreachable", f"cannot reach {url}: {reason}", 0
             )) from None
 

@@ -228,6 +228,13 @@ class CampaignResult(Result):
     #: fuzz regression gate (0/0 when the campaign ran without a corpus)
     corpus_replayed: int = 0
     corpus_failures: int = 0
+    #: robustness roll-up (see ``docs/robustness.md``); mirrors
+    #: ``CampaignSummary``: injected faults, job re-queues + store retries,
+    #: quarantined store entries, store-tier self-degradation
+    faults_injected: int = 0
+    retries: int = 0
+    quarantined_entries: int = 0
+    store_disabled: bool = False
 
     KIND: ClassVar[str] = "campaign"
 

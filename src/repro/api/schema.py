@@ -42,8 +42,12 @@ __all__ = [
 #: old documents *loudly* (``validate_document`` / ``from_json`` reject them).
 #: v2: campaign documents gained the ``corpus_replayed``/``corpus_failures``
 #: regression-gate fields, and the ``fuzz`` / ``problem/fuzz`` /
-#: ``fuzz-entry`` kinds were added (see ``docs/api.md`` for the migration).
-API_VERSION = 2
+#: ``fuzz-entry`` kinds were added.
+#: v3: campaign documents gained the robustness counters
+#: (``faults_injected``/``retries``/``quarantined_entries``/``store_disabled``)
+#: and campaign-job records the ``retried``/``faults`` fields
+#: (see ``docs/api.md`` for the migrations).
+API_VERSION = 3
 
 #: kinds with a dedicated dataclass in :mod:`repro.api.results`
 RESULT_KINDS: Tuple[str, ...] = (
@@ -117,6 +121,7 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
         "wall_seconds", "report_path", "reference_violated", "phase_seconds",
         "store_hits", "store_misses", "store_publishes",
         "corpus_replayed", "corpus_failures",
+        "faults_injected", "retries", "quarantined_entries", "store_disabled",
     ),
     "fuzz": (
         "cases", "prefiltered", "divergences", "corpus_entries", "findings",
@@ -132,6 +137,7 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
         "precondition_fingerprint", "postcondition_fingerprint", "verdict",
         "witness", "witness_kind", "error", "statistics",
         "comparison_seconds", "elapsed_seconds", "cached", "deduplicated",
+        "retried", "faults",
     ),
     #: ``error``: short machine slug ("invalid-request", "os-error", ...);
     #: ``message``: human-readable detail; ``code``: CLI exit status or HTTP

@@ -33,6 +33,7 @@ from ..circuits import inject_random_gate
 from ..core.engine import GateRuntime
 from ..core.equivalence import IncrementalBugHunter, check_circuit_equivalence
 from ..core.verification import verify_triple
+from ..faults import FaultPlan
 from ..simulator import StateVectorSimulator
 from ..states import QuantumState
 from ..ta import all_basis_states_ta
@@ -85,6 +86,10 @@ class SessionConfig:
     report_dir: str = "campaign_reports"
     #: apply the lightweight TA reduction after every gate
     reduce_after_each_gate: bool = True
+    #: deterministic fault-injection plan for chaos testing (see
+    #: ``docs/robustness.md``); ``None`` = the ambient ``AUTOQ_REPRO_FAULTS``
+    #: env plan, if any.  Threaded into campaigns (parent + pool workers).
+    fault_plan: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -300,6 +305,7 @@ class Session:
             cache_dir=self.config.cache_dir,
             store_dir=self.config.store_dir,
             corpus_dir=problem.corpus_dir,
+            fault_plan=self.config.fault_plan,
         )
         summary = Campaign(config).run(runtime=self._runtime, on_record=on_record)
         return CampaignResult.from_summary(summary)
@@ -335,6 +341,7 @@ class Session:
             cache_dir=self.config.cache_dir,
             campaign_id=campaign_id,
             store_dir=self.config.store_dir,
+            fault_plan=self.config.fault_plan,
         )
 
     def resume_matrix_scheduler(self, campaign_id: str) -> MatrixScheduler:
@@ -346,4 +353,5 @@ class Session:
             manifest_dir=self.config.manifest_dir,
             cache_dir=self.config.cache_dir,
             store_dir=self.config.store_dir,
+            fault_plan=self.config.fault_plan,
         )

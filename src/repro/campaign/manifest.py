@@ -272,9 +272,16 @@ class CampaignManifest:
         cell["status"] = CELL_RUNNING
         cell["summary"] = None
         cell["owner"] = self._lease()
+        # attempt counter: 1 on the first claim, +1 each time a stale-leased
+        # (crashed/interrupted) cell is re-queued — crash loops stay visible
+        cell["attempts"] = int(cell.get("attempts") or 0) + 1
         if report_path is not None:
             cell["report_path"] = report_path
         self.save()
+
+    def attempts(self, cell_id: str) -> int:
+        """How many times this cell has been claimed (re-queues included)."""
+        return int(self.cells[cell_id].get("attempts") or 0)
 
     def touch_running(self, cell_id: str) -> None:
         """Refresh this process's heartbeat on a cell it is executing.

@@ -48,6 +48,8 @@ REPORT_FIELDS = (
     "elapsed_seconds",
     "cached",
     "deduplicated",  # verdict reused from an identical in-run mutant
+    "retried",  # times this job was re-queued after a dead worker / injected fault
+    "faults",  # worker-side robustness counters: injected/quarantined/store_retries/store_disabled
 )
 
 
@@ -111,10 +113,24 @@ def summarise_records(records: Iterable[Dict], wall_seconds: Optional[float] = N
     analysis = 0.0
     phase_totals: Dict[str, float] = {}
     store_totals = {"store_hits": 0, "store_misses": 0, "store_publishes": 0}
+    faults_injected = 0
+    retries = 0
+    quarantined = 0
+    store_disabled = False
     for record in records:
+        # robustness counters count even on cached/deduplicated records: a
+        # re-queued job whose verdict was then served from the cache still
+        # cost a retry, and hiding it would make chaos runs look clean
+        retries += int(record.get("retried") or 0)
+        faults = record.get("faults") or {}
+        faults_injected += int(faults.get("injected") or 0)
+        retries += int(faults.get("store_retries") or 0)
+        quarantined += int(faults.get("quarantined") or 0)
+        store_disabled = store_disabled or bool(faults.get("store_disabled"))
         if record.get("cached") or record.get("deduplicated"):
             continue
         statistics = record.get("statistics") or {}
+        store_disabled = store_disabled or bool(statistics.get("store_disabled"))
         analysis += float(statistics.get("analysis_seconds") or 0.0)
         for phase, seconds in (statistics.get("phase_seconds") or {}).items():
             phase_totals[phase] = phase_totals.get(phase, 0.0) + float(seconds)
@@ -133,6 +149,13 @@ def summarise_records(records: Iterable[Dict], wall_seconds: Optional[float] = N
         "phase_seconds": phase_totals,
         # cross-process automaton-store traffic of the freshly verified jobs
         **store_totals,
+        # robustness roll-up (see docs/robustness.md): injected faults seen
+        # by workers, job re-queues + store I/O retries, quarantined store
+        # entries, and whether any worker's store tier degraded itself
+        "faults_injected": faults_injected,
+        "retries": retries,
+        "quarantined_entries": quarantined,
+        "store_disabled": store_disabled,
     }
     if wall_seconds is not None:
         summary["wall_seconds"] = wall_seconds

@@ -3,10 +3,18 @@
 The parent process materialises the job list (see :mod:`repro.campaign.plan`),
 answers what it can from the persistent :class:`~repro.campaign.cache.ResultCache`,
 and ships the remaining jobs to a :mod:`multiprocessing` pool.  Results are
-streamed into the JSONL report in deterministic job order (the pool's ``imap``
-preserves input order while still working ahead), and every fresh verdict is
-written back to the cache so the next campaign over the same circuits is
-nearly free.
+streamed into the JSONL report in deterministic job order, and every fresh
+verdict is written back to the cache so the next campaign over the same
+circuits is nearly free.
+
+Dispatch is crash-tolerant (see ``docs/robustness.md``): each miss is an
+individual ``apply_async`` submission consumed in input order under a short
+poll timeout; when the pool's worker pid-set changes — a worker was
+SIGKILL'd, OOM-killed, or crashed by the ``worker.cell`` fault site — the
+in-flight head-of-line job is re-submitted (bounded by
+``CampaignConfig.max_job_retries``) and its ``retried`` count lands in the
+JSONL record.  A job that exhausts its retries becomes a synthetic
+``error`` record instead of aborting the sweep.
 """
 
 from __future__ import annotations
@@ -14,13 +22,27 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
+
+try:  # the concurrent.futures pool raises this; ours may relay it
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover - very old pythons
+    class BrokenProcessPool(RuntimeError):
+        pass
 
 from ..benchgen.families import build_family
 from ..circuits.qasm import parse_qasm
 from ..core.engine import AnalysisMode, GateRuntime, configure_gate_store, default_gate_runtime
 from ..core.permutation import PermutationUnsupported
 from ..core.verification import verify_triple
+from ..faults import (
+    FaultPlan,
+    InjectedFault,
+    active_injector,
+    inject,
+    install_fault_plan,
+    install_injector,
+)
 from ..ta import serialization
 from .cache import ResultCache, default_cache_dir, resolve_store_dir
 from .plan import CampaignJob, MutationPlan
@@ -36,7 +58,7 @@ __all__ = [
 ]
 
 
-def initialise_worker(store_dir) -> None:
+def initialise_worker(store_dir, fault_plan: Optional[FaultPlan] = None) -> None:
     """Pool-worker initializer: attach the shared cross-process automaton store.
 
     Passed as ``initializer`` when campaign pools are created, so every worker
@@ -45,18 +67,47 @@ def initialise_worker(store_dir) -> None:
     store attaches to the worker's process-default :class:`GateRuntime`
     (each pool worker is its own process, so nothing can leak into the
     parent's sessions).
+
+    ``fault_plan`` (chaos testing, see ``docs/robustness.md``) arms the
+    worker's process-global fault injector before any job runs, so injected
+    store/worker faults follow the same deterministic schedule in every
+    worker.
     """
+    if fault_plan is not None:
+        install_fault_plan(fault_plan)
     configure_gate_store(store_dir)
 
 
+def _fault_snapshot(store) -> Dict[str, int]:
+    """Current robustness counters of this process (injector + store)."""
+    injector = active_injector()
+    counters = store.counters if store is not None else {}
+    return {
+        "injected": injector.total_injected() if injector is not None else 0,
+        "quarantined": int(counters.get("quarantined") or 0),
+        "store_retries": int(counters.get("retries") or 0),
+    }
+
+
 def execute_job(job: CampaignJob, runtime: Optional[GateRuntime] = None) -> Dict:
-    """Run one verification job; always returns a report record (never raises).
+    """Run one verification job; always returns a report record — the only
+    exceptions that escape are *injected* ``worker.cell`` faults (and process
+    death), which the dispatcher treats as a crashed worker and re-queues.
 
     Top-level (not a method) so worker pools can pickle it under every
     multiprocessing start method; pool workers call it without ``runtime``
     (using their process-default runtime), the in-process path passes the
     campaign's runtime explicitly.
     """
+    # the worker.cell fault site: 'raise' propagates to the dispatcher (a
+    # retryable crash), 'crash-process' is os._exit — a dead pool worker
+    inject("worker.cell")
+    if runtime is None:
+        runtime = default_gate_runtime()
+    # hold the store object: the engine detaches it from the runtime when it
+    # degrades mid-job, and the counter deltas must survive that
+    store = runtime.store
+    faults_before = _fault_snapshot(store)
     start = time.perf_counter()
     record: Dict = {
         "job_id": job.job_id,
@@ -94,10 +145,21 @@ def execute_job(job: CampaignJob, runtime: Optional[GateRuntime] = None) -> Dict
         # express — the mutant is unverifiable under this mode, not a crash
         record["verdict"] = "unsupported"
         record["error"] = f"{type(exc).__name__}: {exc}"
+    except InjectedFault:
+        # injected infrastructure faults must reach the dispatcher's
+        # crash/retry machinery, not be recorded as a mutant error
+        raise
     except Exception as exc:  # noqa: BLE001 - a broken mutant must not kill the campaign
         record["verdict"] = "error"
         record["error"] = f"{type(exc).__name__}: {exc}"
     record["elapsed_seconds"] = time.perf_counter() - start
+    faults_after = _fault_snapshot(store)
+    deltas = {key: faults_after[key] - faults_before[key] for key in faults_after}
+    store_disabled = bool(store is not None and store.disabled)
+    if any(deltas.values()) or store_disabled:
+        record["faults"] = {**deltas, "store_disabled": store_disabled}
+    else:
+        record["faults"] = None
     return record
 
 
@@ -123,12 +185,20 @@ class CampaignConfig:
     #: fuzz regression corpus replayed as a gate before the sweep
     #: (``repro.fuzz.corpus``); any replay failure taints the campaign
     corpus_dir: Optional[str] = None
+    #: deterministic fault-injection plan armed in the parent and every pool
+    #: worker for this run (chaos testing; see ``docs/robustness.md``)
+    fault_plan: Optional[FaultPlan] = None
+    #: times one job is re-queued after a dead worker / injected crash before
+    #: it is recorded as a synthetic ``error``
+    max_job_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.mode not in AnalysisMode.ALL:
             raise ValueError(f"unknown analysis mode {self.mode!r}; expected one of {AnalysisMode.ALL}")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.max_job_retries < 0:
+            raise ValueError("max_job_retries must be >= 0")
 
 
 @dataclass
@@ -162,6 +232,14 @@ class CampaignSummary:
     #: fuzz regression gate (0/0 when the campaign ran without a corpus)
     corpus_replayed: int = 0
     corpus_failures: int = 0
+    #: robustness roll-up (all 0/False on a fault-free run, see
+    #: ``docs/robustness.md``): faults injected by the active plan, job
+    #: re-queues + store I/O retries, store entries quarantined, and whether
+    #: any worker's store tier disabled itself
+    faults_injected: int = 0
+    retries: int = 0
+    quarantined_entries: int = 0
+    store_disabled: bool = False
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -240,6 +318,16 @@ class Campaign:
             runtime = default_gate_runtime()
         previous_store = runtime.store
         runtime.configure_store(store_dir)
+        # arm the configured fault plan for the scope of this run (the
+        # in-process path and fork-started pools see it immediately; every
+        # pool initializer re-installs it per worker); whatever injector was
+        # active before — usually none — is restored on exit
+        previous_injector = None
+        injector_swapped = False
+        if config.fault_plan is not None:
+            previous_injector = install_injector(None)
+            install_fault_plan(config.fault_plan)
+            injector_swapped = True
 
         job_keys = {
             job.job_id: ResultCache.key(
@@ -288,19 +376,21 @@ class Campaign:
                             on_record(stamped)
 
                 if pool is not None and len(misses) > 1:
-                    drain(pool.imap(execute_job, misses, chunksize=1))
+                    drain(self._pool_results(pool, misses))
                 elif config.workers == 1 or len(misses) <= 1:
-                    drain(execute_job(job, runtime) for job in misses)
+                    drain(self._inprocess_results(misses, runtime))
                 else:
                     context = self._pool_context()
                     with context.Pool(
                         processes=min(config.workers, len(misses)),
                         initializer=initialise_worker,
-                        initargs=(store_dir,),
+                        initargs=(store_dir, config.fault_plan),
                     ) as own_pool:
-                        drain(own_pool.imap(execute_job, misses, chunksize=1))
+                        drain(self._pool_results(own_pool, misses))
         finally:
             runtime.store = previous_store
+            if injector_swapped:
+                install_injector(previous_injector)
         wall = time.perf_counter() - start
         summary = summarise_records(records)
         # only an actual "violated" verdict taints the sweep: an errored
@@ -330,7 +420,133 @@ class Campaign:
             store_publishes=summary["store_publishes"],
             corpus_replayed=corpus_replayed,
             corpus_failures=corpus_failures,
+            faults_injected=summary["faults_injected"],
+            retries=summary["retries"],
+            quarantined_entries=summary["quarantined_entries"],
+            store_disabled=summary["store_disabled"],
         )
+
+    #: dead-worker poll interval of the pool dispatcher (seconds); short
+    #: enough that a killed worker delays its cell by well under a second
+    POLL_SECONDS = 0.25
+
+    def _inprocess_results(self, misses: List[CampaignJob],
+                           runtime: Optional[GateRuntime]) -> Iterator[Dict]:
+        """Serial dispatch with the same bounded-retry contract as the pool.
+
+        An injected ``worker.cell`` raise is retried up to
+        ``max_job_retries`` times before degrading to a synthetic error
+        record.  (A ``crash-process`` fault here kills the campaign itself —
+        that kind only makes sense for pool workers.)
+        """
+        max_retries = self.config.max_job_retries
+        for job in misses:
+            retried = 0
+            while True:
+                try:
+                    record = execute_job(job, runtime)
+                    break
+                except InjectedFault as fault:
+                    retried += 1
+                    if retried > max_retries:
+                        record = self._crash_record(job, fault)
+                        break
+            record["retried"] = retried
+            yield record
+
+    def _pool_results(self, pool, misses: List[CampaignJob]) -> Iterator[Dict]:
+        """Crash-tolerant pool dispatch: per-job ``apply_async``, consumed in
+        input order under a poll timeout.
+
+        ``imap`` would hang forever on a dead worker: the pool replaces the
+        process but the tasks it had taken are silently lost.  Instead, each
+        pending head-of-line job is waited on with a short timeout; when the
+        wait times out *and* the pool's worker pid-set changed since the job
+        was (re)submitted, the job is re-submitted (its earlier submission
+        may be lost) — bounded by ``max_job_retries``, after which a
+        synthetic error record is emitted and the sweep carries on.
+
+        The comparison baseline is *per job*, captured just before its
+        submission: two workers dying inside one poll window still differ
+        from every affected job's own snapshot, where a single shared
+        "last seen" set would swallow the second death and hang.
+        """
+        max_retries = self.config.max_job_retries
+        submitted_pids = [self._worker_pids(pool)] * len(misses)
+        pending = [pool.apply_async(execute_job, (job,)) for job in misses]
+        retried = [0] * len(misses)
+
+        def resubmit(index: int, job: CampaignJob) -> None:
+            retried[index] += 1
+            submitted_pids[index] = self._worker_pids(pool)
+            pending[index] = pool.apply_async(execute_job, (job,))
+
+        for index, job in enumerate(misses):
+            while True:
+                try:
+                    record = pending[index].get(timeout=self.POLL_SECONDS)
+                    break
+                except multiprocessing.TimeoutError:
+                    pids = self._worker_pids(pool)
+                    if pids is None:
+                        continue  # can't introspect; keep waiting
+                    if submitted_pids[index] is None:
+                        submitted_pids[index] = pids  # baseline recovered
+                        continue
+                    if pids == submitted_pids[index]:
+                        continue  # just slow; keep waiting
+                    # a worker died since this job went in — it may be lost
+                    if retried[index] >= max_retries:
+                        record = self._crash_record(
+                            job, RuntimeError("pool worker died"))
+                        break
+                    resubmit(index, job)
+                except (InjectedFault, BrokenProcessPool, OSError) as fault:
+                    # raised inside the worker (injected crash) or by a
+                    # broken pool: retryable infrastructure failure
+                    if retried[index] >= max_retries:
+                        record = self._crash_record(job, fault)
+                        break
+                    resubmit(index, job)
+            record["retried"] = retried[index]
+            yield record
+
+    @staticmethod
+    def _worker_pids(pool):
+        """The pool's current worker pid-set; ``None`` when not introspectable."""
+        processes = getattr(pool, "_pool", None)  # noqa: SLF001 - no public API
+        if processes is None:
+            return None
+        try:
+            return {process.pid for process in processes}
+        except Exception:  # noqa: BLE001 - racing pool maintenance
+            return None
+
+    @staticmethod
+    def _crash_record(job: CampaignJob, error: BaseException) -> Dict:
+        """Synthetic ``error`` record for a job whose retries are exhausted."""
+        return {
+            "job_id": job.job_id,
+            "benchmark": job.benchmark,
+            "mode": job.mode,
+            "mutation_kind": job.mutation_kind,
+            "mutation": job.mutation,
+            "seed": job.seed,
+            "num_qubits": job.num_qubits,
+            "num_gates": job.num_gates,
+            "circuit_fingerprint": job.circuit_fingerprint,
+            "precondition_fingerprint": job.precondition_fingerprint,
+            "postcondition_fingerprint": job.postcondition_fingerprint,
+            "verdict": "error",
+            "witness": None,
+            "witness_kind": None,
+            "error": f"worker-crash: {type(error).__name__}: {error}",
+            "statistics": None,
+            "comparison_seconds": None,
+            "elapsed_seconds": 0.0,
+            "cached": False,
+            "faults": None,
+        }
 
     @staticmethod
     def _pool_context():
@@ -352,6 +568,10 @@ class Campaign:
         record["mutation_kind"] = job.mutation_kind
         record["mutation"] = job.mutation
         record["seed"] = job.seed
+        # robustness counters belong to the run that paid them: a replayed
+        # verdict must not re-count the original run's retries or faults
+        record["retried"] = None
+        record["faults"] = None
         return record
 
     @staticmethod

@@ -48,6 +48,7 @@ from ..benchgen.families import (
     validate_family_size,
 )
 from ..core.engine import AnalysisMode
+from ..faults import FaultPlan
 from .cache import atomic_write_json, resolve_store_dir
 from .manifest import CampaignManifest, ManifestError, default_manifest_dir
 from .plan import MUTATION_KINDS
@@ -378,6 +379,7 @@ class MatrixScheduler:
         cache_dir: Optional[str] = None,
         campaign_id: Optional[str] = None,
         store_dir: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -387,6 +389,7 @@ class MatrixScheduler:
         self.manifest_dir = manifest_dir or default_manifest_dir()
         self.cache_dir = cache_dir
         self.store_dir = store_dir
+        self.fault_plan = fault_plan
         self.campaign_id = campaign_id or spec.default_campaign_id()
 
     @classmethod
@@ -398,13 +401,15 @@ class MatrixScheduler:
         manifest_dir: Optional[str] = None,
         cache_dir: Optional[str] = None,
         store_dir: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> "MatrixScheduler":
         """Rebuild a scheduler from a manifest alone (``campaign --resume <id>``)."""
         manifest = CampaignManifest.load(manifest_dir or default_manifest_dir(), campaign_id)
         spec = MatrixSpec.from_mapping(manifest.spec)
         return cls(spec, workers=workers, report_dir=report_dir,
                    manifest_dir=manifest_dir, cache_dir=cache_dir,
-                   campaign_id=campaign_id, store_dir=store_dir)
+                   campaign_id=campaign_id, store_dir=store_dir,
+                   fault_plan=fault_plan)
 
     # -- internals ---------------------------------------------------------
 
@@ -424,6 +429,7 @@ class MatrixScheduler:
             report_path=self._cell_report_path(cell),
             cache_dir=self.cache_dir,
             store_dir=self.store_dir,
+            fault_plan=self.fault_plan,
         )
 
     def _open_manifest(self, resume: bool) -> CampaignManifest:
@@ -489,12 +495,16 @@ class MatrixScheduler:
                 pool = context.Pool(
                     processes=self.workers,
                     initializer=initialise_worker,
-                    initargs=(resolve_store_dir(self.cache_dir, self.store_dir),),
+                    initargs=(resolve_store_dir(self.cache_dir, self.store_dir),
+                              self.fault_plan),
                 )
             for position, cell in enumerate(todo, 1):
                 say(f"[{position}/{len(todo)}] {cell.cell_id} "
                     f"({cell.mutants} mutant(s), est. cost {estimate_cell_cost(cell):.0f})")
                 manifest.mark_running(cell.cell_id, report_path=self._cell_report_path(cell))
+                if manifest.attempts(cell.cell_id) > 1:
+                    say(f"  (attempt {manifest.attempts(cell.cell_id)} — previous "
+                        "claim of this cell died or was interrupted)")
                 # refresh the lease heartbeat as records complete, so a long
                 # cell never looks abandoned to a concurrent --resume
                 beat = [time.monotonic()]
@@ -530,6 +540,10 @@ class MatrixScheduler:
                 "store_hits": summary.get("store_hits", 0),
                 "store_misses": summary.get("store_misses", 0),
                 "store_publishes": summary.get("store_publishes", 0),
+                "faults_injected": summary.get("faults_injected", 0),
+                "retries": summary.get("retries", 0),
+                "quarantined_entries": summary.get("quarantined_entries", 0),
+                "store_disabled": summary.get("store_disabled", False),
                 "wall_seconds": summary.get("wall_seconds", 0.0),
                 "reference_violated": summary.get("reference_violated", False),
                 "report_path": summary.get("report_path"),
@@ -538,8 +552,10 @@ class MatrixScheduler:
         totals = {
             key: sum(row[key] for row in rows)
             for key in ("jobs", "holds", "violated", "unsupported", "errors", "cache_hits",
-                        "store_hits", "store_misses", "store_publishes")
+                        "store_hits", "store_misses", "store_publishes",
+                        "faults_injected", "retries", "quarantined_entries")
         }
+        totals["store_disabled"] = any(row["store_disabled"] for row in rows)
         totals["wall_seconds"] = sum(row["wall_seconds"] for row in rows)
         wall = time.perf_counter() - start
 

@@ -295,6 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "as a gate before the sweep (default: "
                                "$AUTOQ_REPRO_FUZZ_CORPUS when set); any replay failure "
                                "fails the campaign")
+    campaign.add_argument("--faults", default=None, metavar="PLAN",
+                          help="deterministic fault-injection plan for chaos testing: "
+                               "inline JSON (starts with '{') or a JSON plan file "
+                               "(default: $AUTOQ_REPRO_FAULTS when set; see "
+                               "docs/robustness.md)")
 
     fuzz = subparsers.add_parser(
         "fuzz",
@@ -468,6 +473,19 @@ def _answer(args, problem):
         return session.run(problem)
 
 
+def _parse_fault_plan(value):
+    """A ``--faults`` value as a :class:`~repro.faults.FaultPlan`:
+    inline JSON when the value starts with ``{``, else a plan file path."""
+    if not value:
+        return None
+    from .faults import FaultPlan
+
+    value = value.strip()
+    if value.startswith("{"):
+        return FaultPlan.from_json(value)
+    return FaultPlan.from_file(value)
+
+
 def _session(args, **overrides) -> Session:
     """Build the session from the runtime-configuration flags a command has."""
     config = SessionConfig(
@@ -477,6 +495,7 @@ def _session(args, **overrides) -> Session:
         profile=getattr(args, "profile", False),
         manifest_dir=getattr(args, "manifest_dir", None),
         report_dir=getattr(args, "report_dir", "campaign_reports"),
+        fault_plan=_parse_fault_plan(getattr(args, "faults", None)),
     )
     from dataclasses import replace
 
@@ -717,6 +736,9 @@ def _command_cache(args) -> int:
         print(f"entries:      {stats['entries']} ({stats['total_bytes']} bytes"
               + (f", {stats['temp_files']} orphaned temp file(s)"
                  if stats["temp_files"] else "") + ")")
+        if stats.get("quarantined_entries"):
+            print(f"quarantine:   {stats['quarantined_entries']} corrupt entry(ies) "
+                  "set aside (see <store>/quarantine/)")
         print(f"result cache: {cache_dir} ({result_entries} entry(ies))")
         return 0
     try:
@@ -834,6 +856,14 @@ def _command_campaign_matrix(args) -> int:
         print(f"store:     {result.totals['store_hits']} hit(s), "
               f"{result.totals['store_misses']} miss(es), "
               f"{result.totals['store_publishes']} publish(es)")
+    if (result.totals.get("faults_injected") or result.totals.get("retries")
+            or result.totals.get("quarantined_entries")
+            or result.totals.get("store_disabled")):
+        degraded = (", store DISABLED after repeated faults"
+                    if result.totals.get("store_disabled") else "")
+        print(f"faults:    {result.totals.get('faults_injected', 0)} injected, "
+              f"{result.totals.get('retries', 0)} retry(ies), "
+              f"{result.totals.get('quarantined_entries', 0)} quarantined{degraded}")
     if session.config.profile:
         phase_totals: dict = {}
         for row in result.rows:
@@ -979,6 +1009,11 @@ def _command_campaign(args) -> int:
     if result.store_hits or result.store_misses or result.store_publishes:
         print(f"store:     {result.store_hits} hit(s), {result.store_misses} miss(es), "
               f"{result.store_publishes} publish(es)")
+    if (result.faults_injected or result.retries or result.quarantined_entries
+            or result.store_disabled):
+        degraded = ", store DISABLED after repeated faults" if result.store_disabled else ""
+        print(f"faults:    {result.faults_injected} injected, {result.retries} "
+              f"retry(ies), {result.quarantined_entries} quarantined{degraded}")
     print(f"time:      {result.wall_seconds:.2f}s wall, "
           f"{result.analysis_seconds:.2f}s cumulative analysis")
     if args.profile:

@@ -228,6 +228,10 @@ class EngineStatistics:
     store_hits: int = 0
     store_misses: int = 0
     store_publishes: int = 0
+    #: True when the store tier degraded itself during (or before) this
+    #: analysis — too many consecutive I/O faults — and the engine detached
+    #: it and kept computing without the tier (see ``docs/robustness.md``)
+    store_disabled: bool = False
     #: derived per-gate aggregates restored by :meth:`from_dict`; a restored
     #: instance has no raw ``per_gate_seconds`` samples, only these
     #: JSON-visible numbers, and :meth:`to_dict` re-emits them unchanged
@@ -306,6 +310,7 @@ class EngineStatistics:
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
             "store_publishes": self.store_publishes,
+            "store_disabled": self.store_disabled,
         }
         if not self.per_gate_seconds and self._restored_timings:
             payload.update(self._restored_timings)
@@ -332,6 +337,7 @@ class EngineStatistics:
             store_hits=int(data.get("store_hits") or 0),
             store_misses=int(data.get("store_misses") or 0),
             store_publishes=int(data.get("store_publishes") or 0),
+            store_disabled=bool(data.get("store_disabled") or False),
         )
         statistics._restored_timings = {
             key: float(data[key]) for key in cls.DERIVED_TIMING_KEYS if key in data
@@ -396,6 +402,10 @@ class CircuitEngine:
         runtime.memo_misses += 1
 
         store = runtime.store
+        if store is not None and store.disabled:
+            # graceful degradation: the store crossed its consecutive-fault
+            # threshold — detach it for the session and keep computing
+            store = self._detach_disabled_store(statistics)
         store_key = None
         if store is not None:
             start = time.perf_counter()
@@ -406,6 +416,9 @@ class CircuitEngine:
             entry = store.get(store_key)
             if statistics is not None:
                 statistics.record_phase("store", time.perf_counter() - start)
+            if store.disabled:
+                store = self._detach_disabled_store(statistics)
+                store_key = None
             if entry is not None:
                 result = entry.automaton
                 if entry.meta.get("reduced"):
@@ -437,7 +450,16 @@ class CircuitEngine:
                 statistics.record_phase("store", time.perf_counter() - start)
                 if published:
                     statistics.store_publishes += 1
+            if store.disabled:
+                self._detach_disabled_store(statistics)
         return result, used_permutation
+
+    def _detach_disabled_store(self, statistics: Optional[EngineStatistics]):
+        """Drop a degraded store from the runtime; flag it in the statistics."""
+        self.runtime.store = None
+        if statistics is not None:
+            statistics.store_disabled = True
+        return None
 
     def _apply_gate_raw(
         self,

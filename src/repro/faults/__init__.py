@@ -1,0 +1,38 @@
+"""Deterministic fault injection and the shared retry policy.
+
+See ``docs/robustness.md`` for the fault-site catalogue, plan format,
+retry/backoff defaults, and the quarantine/degradation rules this package
+proves out.
+"""
+
+from .plan import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_injector,
+    corrupt_text,
+    inject,
+    install_fault_plan,
+    install_injector,
+    plan_from_env,
+)
+from .retry import DEFAULT_CLIENT_RETRY, DEFAULT_STORE_RETRY, RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "DEFAULT_CLIENT_RETRY",
+    "DEFAULT_STORE_RETRY",
+    "active_injector",
+    "corrupt_text",
+    "inject",
+    "install_fault_plan",
+    "install_injector",
+    "plan_from_env",
+]

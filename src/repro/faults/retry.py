@@ -1,0 +1,83 @@
+"""Shared bounded-retry policy (see ``docs/robustness.md``).
+
+One :class:`RetryPolicy` shape serves every layer: `AutomatonStore` disk
+I/O, `ServiceClient` HTTP calls, and campaign cell execution.  Retries are
+bounded, backoff is exponential with deterministic seeded jitter (chaos
+tests must replay identically), and only the exception classes a caller
+explicitly allowlists are retried — everything else propagates on the
+first attempt.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Tuple, Type
+
+__all__ = ["RetryPolicy", "DEFAULT_STORE_RETRY", "DEFAULT_CLIENT_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts + exponential backoff + per-exception-class allowlist."""
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    retryable: Tuple[Type[BaseException], ...] = (OSError,)
+    seed: int = 0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"retry attempts must be >= 1, got {self.attempts!r}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"retry multiplier must be >= 1, got {self.multiplier!r}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"retry jitter must be within [0, 1], got {self.jitter!r}")
+
+    def is_retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retryable)
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered."""
+        delay = min(self.max_delay, self.base_delay * (self.multiplier ** (attempt - 1)))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+    def call(self, fn: Callable, *args, on_retry: Callable = None, **kwargs):
+        """``fn(*args, **kwargs)`` with up to ``attempts`` tries.
+
+        ``on_retry(attempt, error)`` (when given) observes each failed
+        attempt that will be retried — callers use it to count retries.
+        """
+        rng = None  # built only on the first retry: call() wraps hot I/O
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn(*args, **kwargs)
+            except self.retryable as error:
+                if attempt >= self.attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                if rng is None:
+                    rng = random.Random(self.seed)
+                delay = self.delay_for(attempt, rng)
+                if delay:
+                    self.sleep(delay)
+
+
+#: store disk I/O: cheap local retries, tiny backoff
+DEFAULT_STORE_RETRY = RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.25)
+
+#: HTTP client: fewer, slower retries; the allowlist is set by the client
+#: (ServiceUnavailable only) so 4xx application errors never loop
+DEFAULT_CLIENT_RETRY = RetryPolicy(attempts=3, base_delay=0.2, max_delay=5.0)

@@ -27,6 +27,8 @@ from __future__ import annotations
 import threading
 from typing import Dict, Optional
 
+from ..faults import active_injector
+
 __all__ = ["ServiceMetrics"]
 
 
@@ -77,6 +79,12 @@ class ServiceMetrics:
         with self._lock:
             self.failures_total["saturated"] = self.failures_total.get("saturated", 0) + 1
             self.rejected_total += 1
+
+    def request_refused(self, slug: str) -> None:
+        """Count one request refused before admission for reason ``slug``
+        (e.g. an injected ``service.request`` fault); in-flight untouched."""
+        with self._lock:
+            self.failures_total[slug] = self.failures_total.get(slug, 0) + 1
 
     def request_failed(self, error: str) -> None:
         """Count one admitted request that failed, by error slug; timeouts
@@ -179,11 +187,26 @@ class ServiceMetrics:
                     "# TYPE repro_store_memory_entries gauge",
                     _sample("repro_store_memory_entries", store.get("memory_entries", 0)),
                 ]
-                for counter in ("hits", "misses", "publishes", "rejected"):
+                for counter in ("hits", "misses", "publishes", "rejected",
+                                "quarantined", "retries"):
                     name = f"repro_store_{counter}_total"
                     lines += [
                         f"# HELP {name} Automaton-store session counter '{counter}'.",
                         f"# TYPE {name} counter",
                         _sample(name, store.get(counter, 0)),
                     ]
+                lines += [
+                    "# HELP repro_store_disabled Whether the store tier degraded itself off (1) after consecutive faults.",
+                    "# TYPE repro_store_disabled gauge",
+                    _sample("repro_store_disabled", int(bool(store.get("disabled")))),
+                ]
+        injector = active_injector()
+        lines += [
+            "# HELP repro_faults_injected_total Deterministically injected faults by site (absent without an armed plan).",
+            "# TYPE repro_faults_injected_total counter",
+        ]
+        if injector is not None:
+            for site, count in sorted(injector.counters().items()):
+                lines.append(_sample("repro_faults_injected_total", count,
+                                     {"site": site}))
         return "\n".join(lines) + "\n"

@@ -55,6 +55,7 @@ from ..api.problems import CampaignProblem, Problem
 from ..api.results import ErrorResult
 from ..api.schema import API_VERSION, SchemaError
 from ..api.session import Session, SessionConfig
+from ..faults import InjectedFault, inject
 from .metrics import ServiceMetrics
 
 __all__ = [
@@ -68,6 +69,11 @@ __all__ = [
 #: request bodies above this are refused outright (a problem document is a
 #: few KB; anything larger is a mistake or abuse)
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: transient refusals (saturated, draining, fault-injected, timed out) carry
+#: this ``Retry-After`` hint so clients can pace their next attempt
+TRANSIENT_STATUSES = (429, 503, 504)
+RETRY_AFTER_HINT_SECONDS = 1
 
 
 @dataclass(frozen=True)
@@ -156,6 +162,11 @@ class VerificationService:
     def run_document(self, document) -> Tuple[int, Dict]:
         """Answer one problem document; returns ``(http_status, document)``."""
         try:
+            inject("service.request")
+        except InjectedFault as error:
+            self.metrics.request_refused("unavailable")
+            return 503, ErrorResult("unavailable", str(error), 503).to_dict()
+        try:
             problem = Problem.from_dict(document)
         except (SchemaError, ValueError, TypeError, KeyError) as error:
             return 400, ErrorResult("invalid-request", str(error), 400).to_dict()
@@ -200,6 +211,12 @@ class VerificationService:
         the whole run — a streaming consumer is getting progress, so only
         silence signals a stuck campaign.
         """
+        try:
+            inject("service.request")
+        except InjectedFault as error:
+            self.metrics.request_refused("unavailable")
+            yield "error", ErrorResult("unavailable", str(error), 503).to_dict()
+            return
         try:
             problem = Problem.from_dict(document)
         except (SchemaError, ValueError, TypeError, KeyError) as error:
@@ -289,6 +306,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if status in TRANSIENT_STATUSES:
+            self.send_header("Retry-After", str(RETRY_AFTER_HINT_SECONDS))
         self.end_headers()
         self.wfile.write(body)
 
@@ -447,10 +466,14 @@ def build_fastapi_app(service: VerificationService):
     @app.post("/v1/run")
     async def run(request: Request):
         status, payload = service.run_document(await request.json())
+        headers = {}
+        if status in TRANSIENT_STATUSES:
+            headers["Retry-After"] = str(RETRY_AFTER_HINT_SECONDS)
         return Response(
             content=json.dumps(payload, sort_keys=True),
             status_code=status,
             media_type="application/json",
+            headers=headers,
         )
 
     @app.post("/v1/campaign/stream")

@@ -28,7 +28,17 @@ Design points:
 * **Versioned layout.**  The store directory carries a ``STORE_VERSION.json``
   stamp; opening a store written by an incompatible schema wipes the stale
   entries instead of mis-reading them.  Individual corrupt / truncated /
-  wrong-schema entries are treated as misses and deleted lazily.
+  wrong-schema entries are treated as misses and **quarantined**: moved to
+  ``<store>/quarantine/`` next to a ``.reason`` file naming what was wrong,
+  so they are never re-read, never fatal, and still inspectable afterwards.
+* **Retry + degradation.**  Raw disk I/O runs under the shared
+  :class:`repro.faults.RetryPolicy` (bounded attempts, exponential backoff);
+  after ``fault_threshold`` *consecutive* I/O failures the store disables
+  itself for the session (``disabled`` flag, surfaced through
+  ``EngineStatistics.store_disabled``) and every ``get``/``put`` becomes a
+  cheap no-op — the engine keeps computing without the tier.  The
+  ``store.get`` / ``store.put`` fault-injection sites
+  (:mod:`repro.faults`) exercise exactly these paths.
 
 The store is *purely* an optimisation: every ``get`` may return ``None`` and
 every ``put`` may silently lose a race — callers must always be able to
@@ -40,17 +50,21 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+from ..faults import DEFAULT_STORE_RETRY, RetryPolicy, active_injector, inject
 from . import serialization
 from .automaton import TreeAutomaton
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
     "STORE_DIR_ENV",
+    "QUARANTINE_DIR",
+    "DEFAULT_FAULT_THRESHOLD",
     "default_store_dir",
     "open_store",
     "fingerprint",
@@ -68,6 +82,14 @@ STORE_SCHEMA_VERSION = 1
 STORE_DIR_ENV = "AUTOQ_REPRO_CACHE_DIR"
 
 _VERSION_FILE = "STORE_VERSION.json"
+
+#: shard-level directory corrupt entries are moved into (never re-read)
+QUARANTINE_DIR = "quarantine"
+
+#: consecutive I/O faults before a store disables itself for the session
+DEFAULT_FAULT_THRESHOLD = 5
+
+_LOGGER = logging.getLogger(__name__)
 
 
 def default_store_dir() -> str:
@@ -136,6 +158,15 @@ def fingerprint(automaton: TreeAutomaton) -> str:
     return compact._digest  # noqa: SLF001
 
 
+class _EntryMissing(Exception):
+    """Internal: the entry file does not exist — a plain, deterministic miss.
+
+    Deliberately *not* an ``OSError``: the read retry policy allowlists
+    ``OSError``, and retrying a missing file would turn every cold-cache
+    lookup into ``attempts`` reads plus backoff sleeps.
+    """
+
+
 class StoreEntry:
     """A decoded store entry: the automaton plus its JSON metadata."""
 
@@ -155,11 +186,18 @@ class AutomatonStore:
     ``put``.
     """
 
-    def __init__(self, directory: str, max_memory_entries: int = 256):
+    def __init__(self, directory: str, max_memory_entries: int = 256,
+                 retry: Optional[RetryPolicy] = None,
+                 fault_threshold: int = DEFAULT_FAULT_THRESHOLD):
         self.directory = directory
         self.max_memory_entries = max_memory_entries
         self._memory: "OrderedDict[str, StoreEntry]" = OrderedDict()
-        self.counters = {"hits": 0, "misses": 0, "publishes": 0, "rejected": 0}
+        self.counters = {"hits": 0, "misses": 0, "publishes": 0, "rejected": 0,
+                         "quarantined": 0, "retries": 0}
+        self.retry = retry if retry is not None else DEFAULT_STORE_RETRY
+        self.fault_threshold = fault_threshold
+        self.disabled = False
+        self._consecutive_faults = 0
         os.makedirs(directory, exist_ok=True)
         self._stamp_version()
 
@@ -209,12 +247,40 @@ class AutomatonStore:
         return os.path.join(self.directory, key[:2], f"{key}.json")
 
     # -------------------------------------------------------------- get / put
+    def _count_retry(self, _attempt: int, _error: BaseException) -> None:
+        self.counters["retries"] += 1
+
+    def _note_fault(self, error: BaseException) -> None:
+        """One I/O failure survived all retries; degrade after a streak."""
+        self._consecutive_faults += 1
+        if not self.disabled and self._consecutive_faults >= self.fault_threshold:
+            self.disabled = True
+            _LOGGER.warning(
+                "automaton store %s disabled for this session after %d "
+                "consecutive I/O faults (last: %s); continuing without the "
+                "store tier", self.directory, self._consecutive_faults, error,
+            )
+
+    def _read_payload(self, path: str):
+        """Raw read of one entry file; the ``store.get`` fault site."""
+        inject("store.get")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError as error:
+            # a plain miss is deterministic — re-raised as a non-OSError so
+            # the retry policy (allowlist: OSError) never loops on it
+            raise _EntryMissing(path) from error
+
     def get(self, key: str) -> Optional[StoreEntry]:
         """Fetch and decode an entry; ``None`` on any miss or damage.
 
-        Corrupt, truncated, or schema-incompatible entry files are deleted so
+        Transient read errors are retried under :attr:`retry`; corrupt,
+        truncated, or schema-incompatible entry files are quarantined so
         they are recomputed (and republished) instead of failing every run.
         """
+        if self.disabled:
+            return None
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
@@ -222,12 +288,23 @@ class AutomatonStore:
             return cached
         path = self._path(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
+            payload = self.retry.call(self._read_payload, path,
+                                      on_retry=self._count_retry)
+        except _EntryMissing:
+            # a plain miss: not a fault, but not evidence of health either
+            self.counters["misses"] += 1
+            return None
+        except OSError as error:
+            self._note_fault(error)
             if os.path.exists(path):
                 self.counters["rejected"] += 1
-                self._discard(path)
+                self._quarantine(path, f"unreadable entry: {error}")
+            self.counters["misses"] += 1
+            return None
+        except ValueError as error:
+            if os.path.exists(path):
+                self.counters["rejected"] += 1
+                self._quarantine(path, f"undecodable JSON: {error}")
             self.counters["misses"] += 1
             return None
         try:
@@ -237,11 +314,12 @@ class AutomatonStore:
             meta = payload.get("meta") or {}
             if not isinstance(meta, dict):
                 raise ValueError("entry meta must be a dict")
-        except (KeyError, ValueError):
+        except (KeyError, ValueError) as error:
             self.counters["rejected"] += 1
             self.counters["misses"] += 1
-            self._discard(path)
+            self._quarantine(path, f"invalid payload: {error}")
             return None
+        self._consecutive_faults = 0
         entry = StoreEntry(automaton, meta)
         self._remember(key, entry)
         self.counters["hits"] += 1
@@ -253,22 +331,39 @@ class AutomatonStore:
             pass
         return entry
 
+    def _write_text(self, path: str, text: str) -> None:
+        """Raw publish of one serialized entry; the ``store.put`` fault site."""
+        spec = inject("store.put")
+        if spec is not None and spec.kind == "corrupt-payload":
+            # a torn/corrupt write reaches the disk; a later read quarantines it
+            injector = active_injector()
+            if injector is not None:
+                text = injector.corrupt("store.put", text)
+        self._atomic_write_text(path, text)
+
     def put(self, key: str, automaton: TreeAutomaton, meta: Optional[Dict] = None) -> bool:
         """Publish an entry atomically; returns False when the write failed.
 
         A best-effort operation: a full disk or a permissions problem must
-        never break the computation whose result was being shared.
+        never break the computation whose result was being shared.  Transient
+        write errors are retried under :attr:`retry` before giving up.
         """
+        if self.disabled:
+            return False
         entry = StoreEntry(automaton, dict(meta or {}))
         payload = {
             "store_schema": STORE_SCHEMA_VERSION,
             "automaton": serialization.to_payload(automaton),
             "meta": entry.meta,
         }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         try:
-            self._atomic_write(self._path(key), payload)
-        except OSError:
+            self.retry.call(self._write_text, self._path(key), text,
+                            on_retry=self._count_retry)
+        except OSError as error:
+            self._note_fault(error)
             return False
+        self._consecutive_faults = 0
         self._remember(key, entry)
         self.counters["publishes"] += 1
         return True
@@ -287,14 +382,39 @@ class AutomatonStore:
         except OSError:
             pass
 
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a damaged entry to ``<store>/quarantine/`` with a reason file.
+
+        Quarantined entries are never walked, never re-read, and survive
+        ``gc`` — inspect or delete them by hand (or with ``cache clear``).
+        Falls back to plain deletion when even the move fails.
+        """
+        quarantine_dir = os.path.join(self.directory, QUARANTINE_DIR)
+        name = os.path.basename(path)
+        try:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(path, os.path.join(quarantine_dir, name))
+            with open(os.path.join(quarantine_dir, name + ".reason"), "w",
+                      encoding="utf-8") as handle:
+                handle.write(reason + "\n")
+        except OSError:
+            self._discard(path)
+        self.counters["quarantined"] += 1
+
+    @classmethod
+    def _atomic_write(cls, path: str, payload: Dict) -> None:
+        cls._atomic_write_text(
+            path, json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        )
+
     @staticmethod
-    def _atomic_write(path: str, payload: Dict) -> None:
+    def _atomic_write_text(path: str, text: str) -> None:
         directory = os.path.dirname(path) or "."
         os.makedirs(directory, exist_ok=True)
         fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+                handle.write(text)
             os.replace(temp_path, path)
         except BaseException:
             try:
@@ -312,6 +432,8 @@ class AutomatonStore:
         except OSError:
             return paths
         for shard in shards:
+            if shard == QUARANTINE_DIR:
+                continue  # quarantined entries are dead to the store
             shard_path = os.path.join(directory, shard)
             if not os.path.isdir(shard_path):
                 continue
@@ -352,6 +474,13 @@ class AutomatonStore:
             except OSError:
                 continue
             temp_files += 1
+        quarantined = 0
+        try:
+            for name in os.listdir(os.path.join(directory, QUARANTINE_DIR)):
+                if name.endswith(".json"):
+                    quarantined += 1
+        except OSError:
+            pass
         try:
             with open(os.path.join(directory, _VERSION_FILE), "r", encoding="utf-8") as handle:
                 stamp = json.load(handle)
@@ -364,6 +493,7 @@ class AutomatonStore:
             "disk_stamp": stamp,
             "entries": entries,
             "temp_files": temp_files,
+            "quarantined_entries": quarantined,
             "total_bytes": total_bytes,
         }
 
@@ -381,6 +511,7 @@ class AutomatonStore:
         return {
             "directory": self.directory,
             "memory_entries": len(self._memory),
+            "disabled": self.disabled,
             **self.counters,
         }
 
@@ -439,13 +570,19 @@ class AutomatonStore:
         }
 
     def clear(self) -> int:
-        """Delete every entry and orphaned temp file (the version stamp
-        survives); returns the number of entries removed."""
+        """Delete every entry, orphaned temp file, and quarantined file (the
+        version stamp survives); returns the number of entries removed."""
         self._discard_temps()
         removed = 0
         for path in self._entry_paths():
             self._discard(path)
             removed += 1
+        quarantine_dir = os.path.join(self.directory, QUARANTINE_DIR)
+        try:
+            for name in os.listdir(quarantine_dir):
+                self._discard(os.path.join(quarantine_dir, name))
+        except OSError:
+            pass
         self._memory.clear()
         return removed
 

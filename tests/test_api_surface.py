@@ -21,7 +21,7 @@ from repro.api import schema
 from repro.campaign.report import REPORT_FIELDS
 
 #: the one and only place the expected schema version is spelled out in tests
-EXPECTED_API_VERSION = 2
+EXPECTED_API_VERSION = 3
 
 EXPECTED_API_ALL = [
     "API_VERSION",

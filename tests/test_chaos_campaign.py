@@ -1,0 +1,167 @@
+"""End-to-end chaos tests: campaigns and the service under injected faults.
+
+The invariant everywhere is *verdict equality*: a run under a seeded
+kill/corrupt/raise plan must produce exactly the verdicts of the fault-free
+run — robustness machinery may add retries, quarantined files, and counters,
+but never change an answer.  ``scripts/chaos_smoke.py`` runs the same check
+as a subprocess-level CI gate.
+"""
+
+import os
+
+import pytest
+
+from repro.api import CircuitSource, SessionConfig, VerifyProblem
+from repro.campaign import CampaignConfig, read_report, run_campaign
+from repro.core.engine import clear_gate_cache, set_gate_store
+from repro.faults import FaultPlan, FaultSpec, install_fault_plan, install_injector
+from repro.service import ServiceConfig, VerificationService
+from repro.ta.store import QUARANTINE_DIR
+
+
+@pytest.fixture(autouse=True)
+def _clean_process():
+    """No armed plan, no configured store, no warm memo leaks across tests."""
+    install_injector(None)
+    yield
+    install_injector(None)
+    set_gate_store(None)
+    clear_gate_cache()
+
+
+def _config(tmp_path, name: str, **overrides) -> CampaignConfig:
+    """One isolated campaign run: its own report, cache, and store."""
+    base = tmp_path / name
+    settings = dict(
+        family="grover",
+        mutants=4,
+        mutation_kinds=("insert", "remove"),
+        workers=1,
+        report_path=str(base / "report.jsonl"),
+        cache_dir=str(base / "cache"),
+        store_dir=str(base / "store"),
+    )
+    settings.update(overrides)
+    return CampaignConfig(**settings)
+
+
+def _verdicts(config: CampaignConfig):
+    return [(record["job_id"], record["verdict"])
+            for record in read_report(config.report_path)]
+
+
+class TestStoreChaos:
+    def test_store_faults_do_not_change_verdicts(self, tmp_path):
+        clean = _config(tmp_path, "clean")
+        clean_summary = run_campaign(clean)
+
+        plan = FaultPlan(seed=1, sites=(
+            FaultSpec(site="store.put", kind="corrupt-payload", rate=0.3),
+            FaultSpec(site="store.get", kind="raise", every=5, limit=2),
+        ))
+        clear_gate_cache()  # a warm memo would never reach the store tier
+        chaotic = _config(tmp_path, "chaos", fault_plan=plan)
+        chaos_summary = run_campaign(chaotic)
+
+        assert _verdicts(chaotic) == _verdicts(clean)
+        assert chaos_summary.jobs == clean_summary.jobs == 5
+        assert chaos_summary.errors == clean_summary.errors == 0
+        # the plan actually did damage, and the run reported it
+        assert chaos_summary.faults_injected > 0
+        assert clean_summary.faults_injected == 0
+        assert clean_summary.retries == 0
+
+    def test_corrupted_puts_end_up_quarantined_on_reread(self, tmp_path):
+        plan = FaultPlan(seed=3, sites=(
+            FaultSpec(site="store.put", kind="corrupt-payload", rate=1.0,
+                      limit=4),
+        ))
+        first = _config(tmp_path, "first", fault_plan=plan)
+        run_campaign(first)
+        # second run over the same store (fresh memo) must trip over the
+        # corrupt entries, quarantine them, recompute, and agree anyway
+        clear_gate_cache()
+        second = _config(tmp_path, "second", store_dir=first.store_dir)
+        summary = run_campaign(second)
+        assert _verdicts(second) == _verdicts(first)
+        assert summary.quarantined_entries > 0
+        quarantine = os.path.join(first.store_dir, QUARANTINE_DIR)
+        assert any(name.endswith(".reason") for name in os.listdir(quarantine))
+
+
+class TestWorkerChaos:
+    def test_injected_cell_raise_is_retried_serially(self, tmp_path):
+        clean = _config(tmp_path, "clean")
+        run_campaign(clean)
+
+        plan = FaultPlan(seed=0, sites=(
+            FaultSpec(site="worker.cell", kind="raise", every=3, limit=1),
+        ))
+        chaotic = _config(tmp_path, "chaos", fault_plan=plan)
+        summary = run_campaign(chaotic)
+
+        assert _verdicts(chaotic) == _verdicts(clean)
+        records = read_report(chaotic.report_path)
+        assert sum(int(record.get("retried") or 0) for record in records) == 1
+        assert summary.retries >= 1
+        assert summary.errors == 0
+
+    def test_exhausted_retries_degrade_to_an_error_record(self, tmp_path):
+        # every invocation raises and retries are disabled: every cell becomes
+        # a synthetic worker-crash error, but the sweep still completes
+        plan = FaultPlan(seed=0, sites=(
+            FaultSpec(site="worker.cell", kind="raise", every=1),
+        ))
+        config = _config(tmp_path, "dead", fault_plan=plan, max_job_retries=0)
+        summary = run_campaign(config)
+        assert summary.jobs == 5
+        assert summary.errors == 5
+        records = read_report(config.report_path)
+        assert all(record["verdict"] == "error" for record in records)
+        assert all("worker-crash" in record["error"] for record in records)
+
+    def test_pool_survives_killed_workers_with_identical_verdicts(self, tmp_path):
+        clean = _config(tmp_path, "clean")
+        clean_summary = run_campaign(clean)
+
+        # each worker process SIGKILLs itself (os._exit) on its third cell;
+        # with 5 jobs over 2 workers the pigeonhole guarantees at least one
+        # kill, and corrupt writes gnaw at the shared store the whole time
+        plan = FaultPlan(seed=2, sites=(
+            FaultSpec(site="worker.cell", kind="crash-process", every=3,
+                      limit=1),
+            FaultSpec(site="store.put", kind="corrupt-payload", rate=0.1),
+        ))
+        chaotic = _config(tmp_path, "chaos", fault_plan=plan, workers=2,
+                          max_job_retries=3)
+        chaos_summary = run_campaign(chaotic)
+
+        assert _verdicts(chaotic) == _verdicts(clean)
+        assert chaos_summary.jobs == clean_summary.jobs
+        assert chaos_summary.errors == 0
+        records = read_report(chaotic.report_path)
+        assert sum(int(record.get("retried") or 0) for record in records) >= 1
+        assert chaos_summary.retries >= 1
+
+
+class TestServiceChaos:
+    def test_injected_request_fault_is_a_503_then_recovers(self):
+        config = ServiceConfig(port=0, workers=2,
+                               session=SessionConfig(cache_dir="", store_dir=""))
+        with VerificationService(config) as service:
+            document = VerifyProblem(
+                circuit=CircuitSource.from_family("bv", 4)).to_dict()
+            install_fault_plan(FaultPlan(seed=0, sites=(
+                FaultSpec(site="service.request", kind="raise", every=1,
+                          limit=1),
+            )))
+            status, payload = service.run_document(document)
+            assert status == 503
+            assert payload["error"] == "unavailable"
+            # the fault budget is spent: the retried request goes through
+            status, payload = service.run_document(document)
+            assert status == 200
+            assert payload["holds"] is True
+            # the injection is visible on the metrics page
+            text = service.metrics.render()
+            assert 'repro_faults_injected_total{site="service.request"} 1' in text

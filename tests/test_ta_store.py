@@ -198,6 +198,54 @@ class TestAutomatonStore:
             handle.write(content[: len(content) // 2])
         assert AutomatonStore(str(tmp_path)).get(key) is None
 
+    def test_torn_write_is_quarantined_then_recomputable(self, tmp_path):
+        # a put interrupted mid-replace leaves a partial final file *and* an
+        # orphaned temp file; the next read must quarantine, not trust either
+        store = AutomatonStore(str(tmp_path))
+        key = store.gate_key("fp", "h:0", "hybrid", True)
+        store.put(key, all_basis_states_ta(2))
+        path = store._path(key)
+        with open(path, "r+", encoding="utf-8") as handle:
+            content = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(content[: len(content) // 3])
+        orphan = os.path.join(os.path.dirname(path), "tmptorn.tmp")
+        with open(orphan, "w", encoding="utf-8") as handle:
+            handle.write(content[: len(content) // 2])
+
+        fresh = AutomatonStore(str(tmp_path))
+        assert fresh.get(key) is None
+        assert fresh.counters["rejected"] == 1
+        assert fresh.counters["quarantined"] == 1
+        quarantine = os.path.join(str(tmp_path), store_module.QUARANTINE_DIR)
+        name = os.path.basename(path)
+        assert name in os.listdir(quarantine)
+        with open(os.path.join(quarantine, name + ".reason"), encoding="utf-8") as handle:
+            assert handle.read().strip()
+
+        # recomputation republishes cleanly next to the quarantined copy
+        assert fresh.put(key, all_basis_states_ta(2))
+        assert fresh.get(key) is not None
+        assert len(fresh) == 1  # the quarantined file is not a live entry
+        stats = AutomatonStore.disk_stats(str(tmp_path))
+        assert stats["quarantined_entries"] == 1
+        assert stats["temp_files"] == 1
+
+    def test_quarantine_survives_gc_and_never_resurfaces(self, tmp_path):
+        store = AutomatonStore(str(tmp_path))
+        key = store.gate_key("fp", "h:0", "hybrid", True)
+        store.put(key, basis_state_ta(1, "0"))
+        with open(store._path(key), "w", encoding="utf-8") as handle:
+            handle.write("{ torn")
+        fresh = AutomatonStore(str(tmp_path))
+        assert fresh.get(key) is None
+        outcome = fresh.gc(max_bytes=0)  # evict everything evictable
+        assert outcome["remaining_bytes"] == 0
+        quarantine = os.path.join(str(tmp_path), store_module.QUARANTINE_DIR)
+        assert any(name.endswith(".json") for name in os.listdir(quarantine))
+        assert fresh.get(key) is None  # still just a miss, never fatal
+
     def test_entry_schema_mismatch_is_a_miss(self, tmp_path):
         store = AutomatonStore(str(tmp_path))
         key = store.gate_key("fp", "h:0", "hybrid", True)
