@@ -48,6 +48,7 @@ CHECKED_FILES = (
     "docs/architecture.md",
     "docs/caching.md",
     "docs/fuzzing.md",
+    "docs/kernel.md",
     "docs/robustness.md",
     "docs/service.md",
 )

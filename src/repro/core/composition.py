@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..algebraic import ONE, ZERO, AlgebraicNumber
 from ..circuits.gates import Gate
+from ..ta import kernel
 from ..ta.automaton import (
     InternalTransition,
     TreeAutomaton,
@@ -322,69 +323,12 @@ def binary_operation(
 
     A product construction over matching (tagged) symbols; leaf amplitudes are
     added (or subtracted).  Only pairs reachable from the root pairs are built.
+
+    Dispatches to the active kernel backend (:mod:`repro.ta.kernel`); the
+    reference worklist construction lives in
+    :func:`repro.ta.kernel.reference.binary_operation`.
     """
-    if left.num_qubits != right.num_qubits:
-        raise ValueError("operands must have the same number of qubits")
-    # the (state, symbol) -> child-pairs index is cached on the right operand,
-    # so repeated products over a shared automaton — the normal case thanks to
-    # the reduce cache — skip the re-indexing pass entirely
-    left_internal = left.internal
-    left_leaves = left.leaves
-    right_leaves = right.leaves
-    right_index = right.pair_index()
-
-    pair_ids: Dict[Tuple[int, int], int] = {}
-    internal: Dict[int, Tuple[InternalTransition, ...]] = {}
-    leaves: Dict[int, AlgebraicNumber] = {}
-
-    def pair_id(pair: Tuple[int, int]) -> int:
-        identifier = pair_ids.get(pair)
-        if identifier is None:
-            identifier = len(pair_ids)
-            pair_ids[pair] = identifier
-        return identifier
-
-    worklist: List[Tuple[int, int]] = [
-        (left_root, right_root)
-        for left_root in left.roots
-        for right_root in right.roots
-    ]
-    roots = frozenset(pair_id(pair) for pair in worklist)
-    dead_pairs = False
-
-    while worklist:
-        pair = worklist.pop()
-        left_state, right_state = pair
-        current = pair_ids[pair]
-        left_amp = left_leaves.get(left_state)
-        right_amp = right_leaves.get(right_state)
-        if left_amp is not None and right_amp is not None:
-            leaves[current] = left_amp - right_amp if subtract else left_amp + right_amp
-            continue
-        transitions: Dict[InternalTransition, None] = {}
-        if left_amp is None and right_amp is None:
-            for symbol, l_child, r_child in left_internal.get(left_state, ()):
-                for rl_child, rr_child in right_index.get((right_state, symbol), ()):
-                    left_pair = (l_child, rl_child)
-                    right_pair = (r_child, rr_child)
-                    if left_pair not in pair_ids:
-                        worklist.append(left_pair)
-                    left_id = pair_id(left_pair)
-                    if right_pair not in pair_ids:
-                        worklist.append(right_pair)
-                    transitions[
-                        intern_transition(symbol, left_id, pair_id(right_pair))
-                    ] = None
-        if transitions:
-            internal[current] = tuple(transitions)
-        else:
-            # leaf/internal mismatch or no matching symbol: the pair is a dead
-            # end and everything only it supports must be pruned afterwards
-            dead_pairs = True
-    result = TreeAutomaton._make(left.num_qubits, roots, internal, leaves)
-    # the memoised worklist only builds root-reachable pairs, so unless a dead
-    # pair appeared the product is already fully useful — no post-hoc pruning
-    return result.remove_useless() if dead_pairs else result
+    return kernel.active_backend().binary_operation(left, right, subtract)
 
 
 def _note_phase(phase_seconds: Optional[Dict[str, float]], name: str, start: float) -> float:

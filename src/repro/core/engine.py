@@ -27,6 +27,7 @@ from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate
 from ..ta import store as ta_store
 from ..ta.automaton import TreeAutomaton
+from ..ta.kernel import active_backend_name
 from .composition import apply_composition_gate
 from .permutation import PermutationUnsupported, apply_permutation_gate, supports_permutation
 
@@ -232,6 +233,10 @@ class EngineStatistics:
     #: analysis — too many consecutive I/O faults — and the engine detached
     #: it and kept computing without the tier (see ``docs/robustness.md``)
     store_disabled: bool = False
+    #: name of the TA kernel backend the analysis ran under ("reference" /
+    #: "numpy"; see ``docs/kernel.md``); "" on instances that predate the
+    #: pluggable kernel (restored from old JSON)
+    kernel_backend: str = ""
     #: derived per-gate aggregates restored by :meth:`from_dict`; a restored
     #: instance has no raw ``per_gate_seconds`` samples, only these
     #: JSON-visible numbers, and :meth:`to_dict` re-emits them unchanged
@@ -311,6 +316,7 @@ class EngineStatistics:
             "store_misses": self.store_misses,
             "store_publishes": self.store_publishes,
             "store_disabled": self.store_disabled,
+            "kernel_backend": self.kernel_backend,
         }
         if not self.per_gate_seconds and self._restored_timings:
             payload.update(self._restored_timings)
@@ -338,6 +344,7 @@ class EngineStatistics:
             store_misses=int(data.get("store_misses") or 0),
             store_publishes=int(data.get("store_publishes") or 0),
             store_disabled=bool(data.get("store_disabled") or False),
+            kernel_backend=str(data.get("kernel_backend") or ""),
         )
         statistics._restored_timings = {
             key: float(data[key]) for key in cls.DERIVED_TIMING_KEYS if key in data
@@ -497,7 +504,7 @@ class CircuitEngine:
                 f"pre-condition has {precondition.num_qubits} qubits but the circuit has "
                 f"{circuit.num_qubits}"
             )
-        statistics = EngineStatistics()
+        statistics = EngineStatistics(kernel_backend=active_backend_name())
         automaton = precondition
         for gate in circuit.decomposed():
             start = time.perf_counter()

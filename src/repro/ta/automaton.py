@@ -205,7 +205,7 @@ class TreeAutomaton:
 
     __slots__ = ("num_qubits", "roots", "internal", "leaves", "_max_state", "_states",
                  "_num_transitions", "_depths", "_compact", "_reduced", "_skey", "_by_qubit",
-                 "_pair_index")
+                 "_pair_index", "_arrays")
 
     def __init__(
         self,
@@ -231,6 +231,8 @@ class TreeAutomaton:
         self._skey: Optional[tuple] = None
         self._by_qubit: Optional[Dict[int, Tuple[Tuple[int, int, int], ...]]] = None
         self._pair_index: Optional[Dict[Tuple[int, Symbol], Tuple[Tuple[int, int], ...]]] = None
+        # struct-of-arrays view cached by the vectorized kernel backend
+        self._arrays: Optional[object] = None
 
     @classmethod
     def _make(
@@ -263,6 +265,7 @@ class TreeAutomaton:
         self._skey = None
         self._by_qubit = None
         self._pair_index = None
+        self._arrays = None
         return self
 
     # ----------------------------------------------------------------- basics
@@ -409,6 +412,19 @@ class TreeAutomaton:
         """Structural equality (same states, roots and transitions) — *not* language equality."""
         if not isinstance(other, TreeAutomaton):
             return NotImplemented
+        if self is other:
+            return True
+        # fast path: equal structure keys mean bit-identical content, and both
+        # sides usually have theirs cached (the reduce/gate caches key on it) —
+        # comparing them skips rebuilding two full frozenset tables.  Unequal
+        # keys are inconclusive (they are transition-order-sensitive; equality
+        # is not), so fall through to the order-insensitive comparison.
+        if (
+            self._skey is not None
+            and other._skey is not None
+            and self._skey == other._skey
+        ):
+            return True
         return (
             self.num_qubits == other.num_qubits
             and self.roots == other.roots
@@ -474,70 +490,14 @@ class TreeAutomaton:
     def remove_useless(self) -> "TreeAutomaton":
         """Drop states that are not both reachable (top-down) and productive (bottom-up).
 
-        Productivity is computed with a counting worklist (one pass over the
-        transitions plus one event per state that turns productive), not a
-        repeated fixpoint sweep, so the common no-op case costs O(transitions).
+        Dispatches to the active kernel backend (:mod:`repro.ta.kernel`); the
+        reference implementation lives in
+        :func:`repro.ta.kernel.reference.remove_useless`.  Every backend
+        returns ``self`` (identity) when no state is useless.
         """
-        internal = self.internal
-        # productive = can generate at least one subtree
-        productive: Set[int] = set(self.leaves)
-        # per-transition countdown of unproductive children; child -> cells to
-        # decrement when it turns productive
-        trigger: Dict[int, List[List[int]]] = {}
-        queue: List[int] = []
-        for parent, transitions in internal.items():
-            for _symbol, left, right in transitions:
-                if parent in productive:
-                    break
-                waiting = [child for child in {left, right} if child not in productive]
-                if any(child not in internal for child in waiting):
-                    continue  # a child with no rules at all can never produce
-                if not waiting:
-                    productive.add(parent)
-                    queue.append(parent)
-                    break
-                cell = [parent, len(waiting)]
-                for child in waiting:
-                    trigger.setdefault(child, []).append(cell)
-        while queue:
-            state = queue.pop()
-            for cell in trigger.get(state, ()):
-                cell[1] -= 1
-                if cell[1] == 0 and cell[0] not in productive:
-                    productive.add(cell[0])
-                    queue.append(cell[0])
-        # reachable = reachable from a root through productive transitions
-        reachable: Set[int] = set()
-        stack = [root for root in self.roots if root in productive]
-        while stack:
-            state = stack.pop()
-            if state in reachable:
-                continue
-            reachable.add(state)
-            for _symbol, left, right in internal.get(state, ()):
-                if left in productive and right in productive:
-                    if left not in reachable:
-                        stack.append(left)
-                    if right not in reachable:
-                        stack.append(right)
-        keep = reachable
-        if len(keep) == len(self.states):
-            # every state is useful, so no transition can be dropped either
-            return self
-        new_internal: Dict[int, Tuple[InternalTransition, ...]] = {}
-        for parent, transitions in internal.items():
-            if parent not in keep:
-                continue
-            kept = tuple(
-                entry for entry in transitions if entry[1] in keep and entry[2] in keep
-            )
-            if kept:
-                new_internal[parent] = transitions if len(kept) == len(transitions) else kept
-        leaves = {state: amplitude for state, amplitude in self.leaves.items() if state in keep}
-        roots = self.roots if keep >= self.roots else frozenset(
-            root for root in self.roots if root in keep
-        )
-        return TreeAutomaton._make(self.num_qubits, roots, new_internal, leaves)
+        from .kernel import active_backend
+
+        return active_backend().remove_useless(self)
 
     def reduce(self) -> "TreeAutomaton":
         """Merge states with identical outgoing behaviour until a fixpoint.
@@ -551,6 +511,10 @@ class TreeAutomaton:
         automaton's :meth:`structure_key`, so consecutive gate applications
         that present a previously seen automaton never re-hash its subtrees —
         they get the shared, already-reduced instance back.
+
+        The sweeps themselves run on the active kernel backend
+        (:mod:`repro.ta.kernel`); the cache probe and the layered/fixpoint
+        choice stay here so every backend shares them.
         """
         if self._reduced:
             return self
@@ -560,123 +524,23 @@ class TreeAutomaton:
             _REDUCE_CACHE_STATS["hits"] += 1
             return cached
         _REDUCE_CACHE_STATS["misses"] += 1
-        automaton = self.remove_useless()
+        from .kernel import active_backend
+
+        backend = active_backend()
+        automaton = backend.remove_useless(self)
         if automaton._reduced:
             _reduce_cache_put(key, automaton)
             return automaton
         if automaton._state_depths() is not None:
-            result = automaton._reduce_layered()
+            result = backend.reduce_layered(automaton)
         else:
-            result = automaton._reduce_fixpoint()
+            result = backend.reduce_fixpoint(automaton)
         result._reduced = True
         _reduce_cache_put(key, result)
         if result is not automaton:
             # idempotence: reducing the result later must also be a cache hit
             _reduce_cache_put(result.structure_key(), result)
         return result
-
-    def _reduce_layered(self) -> "TreeAutomaton":
-        """Single bottom-up pass over the depth layers (``self`` useless-free).
-
-        In a layered automaton every transition points one level down, so a
-        state's final signature only depends on strictly deeper states; one
-        sweep from the leaf layer to the roots reaches the congruence fixpoint
-        without re-hashing any subtree twice.
-        """
-        depths = self._state_depths()
-        internal = self.internal
-        leaves = self.leaves
-        by_depth: Dict[int, List[int]] = {}
-        for state, depth in depths.items():
-            by_depth.setdefault(depth, []).append(state)
-
-        representative: Dict[int, int] = {}
-        merged_any = False
-        for depth in sorted(by_depth, reverse=True):
-            table: Dict[object, int] = {}
-            for state in sorted(by_depth[depth]):
-                if state in leaves:
-                    signature: object = leaves[state]
-                else:
-                    signature = frozenset(
-                        intern_transition(symbol, representative[left], representative[right])
-                        for symbol, left, right in internal.get(state, ())
-                    )
-                previous = table.get(signature)
-                if previous is None:
-                    table[signature] = state
-                    representative[state] = state
-                else:
-                    representative[state] = previous
-                    merged_any = True
-        if not merged_any:
-            return self
-        new_internal: Dict[int, Tuple[InternalTransition, ...]] = {}
-        for parent, transitions in internal.items():
-            if representative[parent] != parent:
-                continue  # merged into an earlier state with the same signature
-            new_internal[parent] = tuple(dict.fromkeys(
-                intern_transition(symbol, representative[left], representative[right])
-                for symbol, left, right in transitions
-            ))
-        new_leaves = {
-            state: amplitude for state, amplitude in leaves.items()
-            if representative[state] == state
-        }
-        new_roots = frozenset(representative[root] for root in self.roots)
-        return TreeAutomaton._make(self.num_qubits, new_roots, new_internal, new_leaves)
-
-    def _reduce_fixpoint(self) -> "TreeAutomaton":
-        """Depth-agnostic fallback for non-layered automata (``self`` useless-free)."""
-        representative: Dict[int, int] = {state: state for state in self.states}
-
-        def resolve(state: int) -> int:
-            while representative[state] != state:
-                representative[state] = representative[representative[state]]
-                state = representative[state]
-            return state
-
-        changed = True
-        merged_any = False
-        internal = self.internal
-        leaves = self.leaves
-        ordered_states = sorted(self.states)
-        while changed:
-            changed = False
-            signature_to_state: Dict[object, int] = {}
-            for state in ordered_states:
-                state = resolve(state)
-                if state in leaves:
-                    signature = ("leaf", leaves[state])
-                else:
-                    signature = (
-                        "internal",
-                        frozenset(
-                            intern_transition(symbol, resolve(left), resolve(right))
-                            for symbol, left, right in internal.get(state, ())
-                        ),
-                    )
-                previous = signature_to_state.get(signature)
-                if previous is None:
-                    signature_to_state[signature] = state
-                elif previous != state:
-                    representative[state] = previous
-                    changed = True
-                    merged_any = True
-        if not merged_any:
-            # nothing merged: the useless-state-free automaton is already reduced,
-            # so reuse it (and its interned transition storage) as-is
-            return self
-        new_internal: Dict[int, Dict[InternalTransition, None]] = {}
-        for parent, transitions in internal.items():
-            rep_parent = resolve(parent)
-            bucket = new_internal.setdefault(rep_parent, {})
-            for symbol, left, right in transitions:
-                bucket[intern_transition(symbol, resolve(left), resolve(right))] = None
-        new_leaves = {resolve(state): amplitude for state, amplitude in leaves.items()}
-        new_roots = {resolve(root) for root in self.roots}
-        reduced = TreeAutomaton(self.num_qubits, new_roots, new_internal, new_leaves)
-        return reduced.remove_useless()
 
     # -------------------------------------------------------------- language
     def accepts(self, state: QuantumState) -> bool:

@@ -1,0 +1,167 @@
+"""Flat integer-array export of a :class:`~repro.ta.automaton.CompactForm`.
+
+The compact form already renumbers states to contiguous ids; this module goes
+one step further and flattens the per-state transition tuples into parallel
+integer columns — the "struct of arrays" layout the vectorized backend loads
+straight into numpy buffers.  The module itself is dependency-free (plain
+tuples of python ints) so the export and its round-trip guarantee are testable
+in environments without numpy.
+
+Round-trip contract: ``to_automaton()`` rebuilds a :class:`TreeAutomaton`
+whose compact form has the *same* ``key`` as the source form — states,
+per-state transition order, shared symbol table and leaf amplitudes all
+survive the trip unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...algebraic import AlgebraicNumber
+from ..automaton import CompactForm, Symbol, TreeAutomaton, make_symbol
+
+__all__ = ["CompactArrays", "compact_arrays"]
+
+
+class CompactArrays:
+    """Parallel-column view of a compact form.
+
+    * ``parent``/``symbol_id``/``left``/``right`` — one entry per internal
+      transition, rows sorted by compact parent id and, within a parent, in
+      the compact form's tuple order (so the row order is canonical).
+    * ``symbols`` — the distinct interned symbols, in first-appearance order;
+      ``symbol_id`` indexes into it.
+    * ``row_start`` — CSR offsets: the rows of compact state ``s`` are
+      ``row_start[s]:row_start[s + 1]`` (leaf and transition-free states get
+      empty slices), making per-state slicing O(1) without searching.
+    * ``leaf_state``/``leaf_amplitude_id`` — one entry per leaf transition in
+      ascending state order; ``amplitudes`` holds the distinct
+      :class:`AlgebraicNumber` values in first-appearance order.
+    """
+
+    __slots__ = (
+        "num_qubits",
+        "num_states",
+        "roots",
+        "symbols",
+        "parent",
+        "symbol_id",
+        "left",
+        "right",
+        "row_start",
+        "leaf_state",
+        "leaf_amplitude_id",
+        "amplitudes",
+    )
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_states: int,
+        roots: Tuple[int, ...],
+        symbols: Tuple[Symbol, ...],
+        parent: Tuple[int, ...],
+        symbol_id: Tuple[int, ...],
+        left: Tuple[int, ...],
+        right: Tuple[int, ...],
+        row_start: Tuple[int, ...],
+        leaf_state: Tuple[int, ...],
+        leaf_amplitude_id: Tuple[int, ...],
+        amplitudes: Tuple[AlgebraicNumber, ...],
+    ):
+        self.num_qubits = num_qubits
+        self.num_states = num_states
+        self.roots = roots
+        self.symbols = symbols
+        self.parent = parent
+        self.symbol_id = symbol_id
+        self.left = left
+        self.right = right
+        self.row_start = row_start
+        self.leaf_state = leaf_state
+        self.leaf_amplitude_id = leaf_amplitude_id
+        self.amplitudes = amplitudes
+
+    @property
+    def num_rows(self) -> int:
+        """Number of internal-transition rows."""
+        return len(self.parent)
+
+    @classmethod
+    def from_compact(cls, compact: CompactForm) -> "CompactArrays":
+        """Flatten ``compact`` into parallel columns (canonical row order)."""
+        symbol_ids: Dict[Symbol, int] = {}
+        symbols: List[Symbol] = []
+        parent: List[int] = []
+        symbol_id: List[int] = []
+        left: List[int] = []
+        right: List[int] = []
+        row_start: List[int] = [0] * (compact.num_states + 1)
+        for state, transitions in enumerate(compact.internal):
+            row_start[state] = len(parent)
+            for symbol, l_child, r_child in transitions:
+                identifier = symbol_ids.get(symbol)
+                if identifier is None:
+                    identifier = len(symbols)
+                    symbol_ids[symbol] = identifier
+                    symbols.append(symbol)
+                parent.append(state)
+                symbol_id.append(identifier)
+                left.append(l_child)
+                right.append(r_child)
+        row_start[compact.num_states] = len(parent)
+        amplitude_ids: Dict[AlgebraicNumber, int] = {}
+        amplitudes: List[AlgebraicNumber] = []
+        leaf_state: List[int] = []
+        leaf_amplitude_id: List[int] = []
+        for state in sorted(compact.leaves):
+            amplitude = compact.leaves[state]
+            identifier = amplitude_ids.get(amplitude)
+            if identifier is None:
+                identifier = len(amplitudes)
+                amplitude_ids[amplitude] = identifier
+                amplitudes.append(amplitude)
+            leaf_state.append(state)
+            leaf_amplitude_id.append(identifier)
+        return cls(
+            num_qubits=compact.num_qubits,
+            num_states=compact.num_states,
+            roots=compact.roots,
+            symbols=tuple(symbols),
+            parent=tuple(parent),
+            symbol_id=tuple(symbol_id),
+            left=tuple(left),
+            right=tuple(right),
+            row_start=tuple(row_start),
+            leaf_state=tuple(leaf_state),
+            leaf_amplitude_id=tuple(leaf_amplitude_id),
+            amplitudes=tuple(amplitudes),
+        )
+
+    def to_automaton(self) -> TreeAutomaton:
+        """Rebuild a :class:`TreeAutomaton` over the compact state ids.
+
+        The result's own compact form has the same ``key`` as the form these
+        arrays were exported from (states are already contiguous, so the
+        renumbering is the identity and row order is preserved).
+        """
+        internal: Dict[int, List[Tuple[Symbol, int, int]]] = {}
+        symbols = [make_symbol(qubit, tags) for qubit, tags in self.symbols]
+        for state in range(self.num_states):
+            start, stop = self.row_start[state], self.row_start[state + 1]
+            if start == stop:
+                continue
+            internal[state] = [
+                (symbols[self.symbol_id[row]], self.left[row], self.right[row])
+                for row in range(start, stop)
+            ]
+        leaves = {
+            state: self.amplitudes[identifier]
+            for state, identifier in zip(self.leaf_state, self.leaf_amplitude_id)
+        }
+        return TreeAutomaton(self.num_qubits, self.roots, internal, leaves)
+
+
+def compact_arrays(automaton: TreeAutomaton) -> CompactArrays:
+    """Export ``automaton`` (via its cached compact form) to parallel columns."""
+    return CompactArrays.from_compact(automaton.compact())

@@ -1,0 +1,714 @@
+"""numpy-vectorized kernel backend over compact-form integer arrays.
+
+The three hot-path operations are reformulated as array programs over a
+cached struct-of-arrays view of each automaton (:class:`_ArrayForm`, the
+in-memory twin of :mod:`~repro.ta.kernel.arrays`):
+
+* ``binary_operation`` — the Algorithm 9 product.  The per-pair dict probes of
+  ``pair_index()`` become sorted-key joins: left transitions are CSR-grouped
+  by parent, right transitions are sorted by a ``state * (S + 1) + symbol``
+  key, and each BFS round over the frontier of new pair codes expands its
+  matching rows with ``np.repeat``/``cumsum`` ragged indexing plus two
+  ``np.searchsorted`` probes.  Discovery is vectorized; the *id assignment*
+  is then replayed as a pure-integer LIFO walk over the precomputed row table
+  so the output is bit-identical to the reference worklist (same state ids in
+  the same order, same transition-tuple order, same ``structure_key()``).
+* ``remove_useless`` — productivity as a bottom-up boolean fixpoint (one
+  vectorized sweep per automaton level) and reachability as a breadth-first
+  boolean closure, replacing the counting worklist.
+* ``reduce_layered`` — per-depth signature tables built by lexicographic row
+  sorting: transition rows are sorted by ``(parent, symbol, left, right)``,
+  deduplicated, given dense row ids via a sorted unique join, and parents are
+  grouped by padding their row-id sequences into a matrix and running
+  ``np.unique(axis=0)`` — replacing per-state frozenset interning.
+
+The array form is cached on the automaton (``TreeAutomaton._arrays``) and the
+product attaches it to its output, so the per-gate pipeline
+``binary_operation -> remove_useless -> reduce`` flattens the transition dict
+at most once.
+
+Small inputs fall back to the reference backend (per-operation
+``DEFAULT_THRESHOLDS``): below a few hundred transitions the numpy call
+overhead dominates, and the outputs are identical either way.  Conformance
+tests construct ``VectorizedBackend(min_transitions=0)`` to force the vector
+paths on arbitrarily small inputs.
+
+Importing this module requires numpy; the ImportError is how
+:func:`repro.ta.kernel.get_backend` feature-detects availability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...algebraic import AlgebraicNumber
+from ..automaton import (
+    _MAX_INTERNED,
+    _TRANSITION_TABLE,
+    InternalTransition,
+    Symbol,
+    TreeAutomaton,
+    intern_transition,
+)
+from . import KernelBackend
+from . import reference as _reference
+
+__all__ = ["DEFAULT_THRESHOLDS", "VectorizedBackend"]
+
+#: per-operation size floors (total input transitions) below which the numpy
+#: call overhead dominates and the backend delegates to the reference code;
+#: the outputs are identical either way, only the speed differs.  The reduce
+#: sweep pays per-*layer* numpy overhead, so its floor is the highest.
+DEFAULT_THRESHOLDS = {
+    "binary_operation": 256,
+    "remove_useless": 256,
+    "reduce_layered": 1024,
+}
+
+#: above this many candidate pair codes (|left states| x |right states|) the
+#: product's seen-bitmap would be too large; fall back to sorted membership
+_MAX_BITMAP = 1 << 27
+
+#: widest padded signature matrix ``reduce_layered`` will build; layers where
+#: some parent keeps more distinct rows use a per-parent hash table instead
+_MAX_SIGNATURE_WIDTH = 64
+
+
+class _ArrayForm:
+    """Struct-of-arrays view of an automaton's internal transitions.
+
+    ``states`` lists all states in ascending order; the parallel ``parent`` /
+    ``sym`` / ``left`` / ``right`` columns hold one row per transition over
+    *positions* into ``states``, in canonical order: ascending parent
+    position, within a parent the transition-tuple order.  ``symbols`` /
+    ``symbol_ids`` are the form's own symbol table (ids are meaningful only
+    within this form).  ``identity`` marks forms whose states are already
+    ``0..n-1`` so position == state id and no index dict is needed.
+    """
+
+    __slots__ = (
+        "states",
+        "identity",
+        "parent",
+        "sym",
+        "left",
+        "right",
+        "symbols",
+        "symbol_ids",
+        "_index",
+        "_rowptr",
+        "_join",
+    )
+
+    def __init__(self, states, identity, parent, sym, left, right, symbols, symbol_ids):
+        self.states: List[int] = states
+        self.identity: bool = identity
+        self.parent: np.ndarray = parent
+        self.sym: np.ndarray = sym
+        self.left: np.ndarray = left
+        self.right: np.ndarray = right
+        self.symbols: List[Symbol] = symbols
+        self.symbol_ids: Dict[Symbol, int] = symbol_ids
+        self._index: Optional[Dict[int, int]] = None
+        self._rowptr: Optional[np.ndarray] = None
+        self._join: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def index_map(self) -> Optional[Dict[int, int]]:
+        """``state id -> position`` dict, or ``None`` for identity forms."""
+        if self.identity:
+            return None
+        if self._index is None:
+            self._index = {state: i for i, state in enumerate(self.states)}
+        return self._index
+
+    def position(self, state: int) -> int:
+        index = self.index_map()
+        return state if index is None else index[state]
+
+    def rowptr(self) -> np.ndarray:
+        """CSR offsets: rows of the state at position ``p`` are
+        ``rowptr[p]:rowptr[p + 1]`` (canonical order makes them contiguous)."""
+        if self._rowptr is None:
+            counts = np.bincount(self.parent, minlength=len(self.states))
+            self._rowptr = np.concatenate(([0], np.cumsum(counts)))
+        return self._rowptr
+
+    def join_table(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Rows sorted by the ``parent * (S + 1) + symbol`` join key.
+
+        Returns ``(key_sorted, left_sorted, right_sorted)``; the stable sort
+        preserves the per-(state, symbol) append order that ``pair_index()``
+        exposes, which the bit-identical product replay depends on.
+        """
+        if self._join is None:
+            key = self.parent * (len(self.symbols) + 1) + self.sym
+            order = np.argsort(key, kind="stable")
+            self._join = (key[order], self.left[order], self.right[order])
+        return self._join
+
+
+def _flatten_rows(
+    internal: Dict[int, Tuple[InternalTransition, ...]],
+    index: Optional[Dict[int, int]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[Symbol], Dict[Symbol, int]]:
+    """Flatten a transition dict into parallel columns (dict iteration order)."""
+    rows: List[InternalTransition] = []
+    extend = rows.extend
+    parent_runs: List[int] = []
+    for parent, transitions in internal.items():
+        extend(transitions)
+        parent_runs.append(parent if index is None else index[parent])
+    counts = [len(transitions) for transitions in internal.values()]
+    symbol_ids: Dict[Symbol, int] = {}
+    symbols: List[Symbol] = []
+    for symbol in {row[0] for row in rows}:
+        symbol_ids[symbol] = len(symbols)
+        symbols.append(symbol)
+    if parent_runs:
+        parents = np.repeat(
+            np.asarray(parent_runs, dtype=np.int64),
+            np.asarray(counts, dtype=np.int64),
+        )
+    else:
+        parents = np.empty(0, dtype=np.int64)
+    if index is None:
+        lefts = np.asarray([row[1] for row in rows], dtype=np.int64)
+        rights = np.asarray([row[2] for row in rows], dtype=np.int64)
+    else:
+        lefts = np.asarray([index[row[1]] for row in rows], dtype=np.int64)
+        rights = np.asarray([index[row[2]] for row in rows], dtype=np.int64)
+    syms = np.asarray([symbol_ids[row[0]] for row in rows], dtype=np.int64)
+    return parents, syms, lefts, rights, symbols, symbol_ids
+
+
+def _array_form(automaton: TreeAutomaton) -> _ArrayForm:
+    """The automaton's cached :class:`_ArrayForm` (built on first use)."""
+    form = automaton._arrays
+    if form is not None:
+        return form
+    states = sorted(automaton.states)
+    identity = bool(states) and states[-1] == len(states) - 1 or not states
+    index = None if identity else {state: i for i, state in enumerate(states)}
+    parent, sym, left, right, symbols, symbol_ids = _flatten_rows(
+        automaton.internal, index
+    )
+    order = np.argsort(parent, kind="stable")  # canonical row order
+    form = _ArrayForm(
+        states,
+        identity,
+        parent[order],
+        sym[order],
+        left[order],
+        right[order],
+        symbols,
+        symbol_ids,
+    )
+    automaton._arrays = form
+    return form
+
+
+def _vector_binary_operation(
+    left: TreeAutomaton, right: TreeAutomaton, subtract: bool
+) -> TreeAutomaton:
+    left_form = _array_form(left)
+    right_form = _array_form(right)
+    num_left = len(left_form.states)
+    num_right = len(right_form.states)
+    left_rowptr = left_form.rowptr()
+    left_sym = left_form.sym
+    left_lchild = left_form.left
+    left_rchild = left_form.right
+    right_key_sorted, right_lchild, right_rchild = right_form.join_table()
+    # translate left symbol ids into the right form's table; misses map to the
+    # out-of-range id S (never present in the right join keys)
+    miss = len(right_form.symbols)
+    translate = np.asarray(
+        [right_form.symbol_ids.get(symbol, miss) for symbol in left_form.symbols]
+        or [miss],
+        dtype=np.int64,
+    )
+    key_width = miss + 1
+
+    # ---- vectorized breadth-first discovery over pair codes l * num_right + r
+    root_codes: List[int] = [
+        left_form.position(left_root) * num_right + right_form.position(right_root)
+        for left_root in left.roots
+        for right_root in right.roots
+    ]
+    frontier = np.unique(np.asarray(root_codes, dtype=np.int64))
+    code_space = num_left * num_right
+    seen: Optional[np.ndarray] = None
+    if code_space <= _MAX_BITMAP:
+        # membership as one boolean gather instead of per-round sorted set
+        # algebra (np.setdiff1d/union1d re-sort the whole known set each round)
+        seen = np.zeros(code_space, dtype=bool)
+        seen[frontier] = True
+    known = frontier
+    round_pair: List[np.ndarray] = []
+    round_sym: List[np.ndarray] = []
+    round_lchild: List[np.ndarray] = []
+    round_rchild: List[np.ndarray] = []
+    while frontier.size:
+        left_ids = frontier // num_right
+        right_ids = frontier % num_right
+        # expand each frontier pair to its left state's transition rows
+        counts = left_rowptr[left_ids + 1] - left_rowptr[left_ids]
+        total = int(counts.sum())
+        if total == 0:
+            break
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        positions = np.arange(total) - np.repeat(offsets[:-1], counts)
+        trow = np.repeat(left_rowptr[left_ids], counts) + positions
+        tsym = left_sym[trow]
+        # join against the right rows sharing (right_state, symbol)
+        probe = np.repeat(right_ids, counts) * key_width + translate[tsym]
+        lo = np.searchsorted(right_key_sorted, probe, side="left")
+        hi = np.searchsorted(right_key_sorted, probe, side="right")
+        group_counts = hi - lo
+        total_rows = int(group_counts.sum())
+        if total_rows == 0:
+            break
+        group_offsets = np.concatenate(([0], np.cumsum(group_counts)))
+        group_positions = np.arange(total_rows) - np.repeat(
+            group_offsets[:-1], group_counts
+        )
+        urow = np.repeat(lo, group_counts) + group_positions
+        pair_codes = np.repeat(np.repeat(frontier, counts), group_counts)
+        row_sym = np.repeat(tsym, group_counts)
+        row_lchild = (
+            np.repeat(left_lchild[trow], group_counts) * num_right
+            + right_lchild[urow]
+        )
+        row_rchild = (
+            np.repeat(left_rchild[trow], group_counts) * num_right
+            + right_rchild[urow]
+        )
+        round_pair.append(pair_codes)
+        round_sym.append(row_sym)
+        round_lchild.append(row_lchild)
+        round_rchild.append(row_rchild)
+        children = np.concatenate((row_lchild, row_rchild))
+        if seen is not None:
+            fresh = np.unique(children[~seen[children]])
+            seen[fresh] = True
+        else:
+            candidates = np.unique(children)
+            position = np.searchsorted(known, candidates)
+            position[position == known.size] = 0
+            fresh = candidates[known[position] != candidates]
+            known = np.sort(np.concatenate((known, fresh)))
+        frontier = fresh
+    if seen is not None:
+        known = np.flatnonzero(seen)
+
+    # ---- canonical row table: rows grouped by pair code, within-pair order
+    # preserved (each pair's rows come from exactly one round, in the
+    # reference's left-transition-major, right-match-minor order)
+    num_pairs = known.size
+    if round_pair:
+        all_pair = np.concatenate(round_pair)
+        all_sym = np.concatenate(round_sym)
+        all_lchild = np.concatenate(round_lchild)
+        all_rchild = np.concatenate(round_rchild)
+        order = np.argsort(all_pair, kind="stable")
+        all_sym = all_sym[order]
+        # pairs and children as dense indices into the sorted ``known`` codes
+        dense_pair = np.searchsorted(known, all_pair[order])
+        dense_lchild = np.searchsorted(known, all_lchild[order])
+        dense_rchild = np.searchsorted(known, all_rchild[order])
+        rowptr = np.concatenate(
+            ([0], np.cumsum(np.bincount(dense_pair, minlength=num_pairs)))
+        ).tolist()
+        row_sym_list = all_sym.tolist()
+        row_lchild_list = dense_lchild.tolist()
+        row_rchild_list = dense_rchild.tolist()
+    else:
+        dense_pair = dense_lchild = dense_rchild = all_sym = np.empty(0, np.int64)
+        rowptr = [0] * (num_pairs + 1)
+        row_sym_list = []
+        row_lchild_list = []
+        row_rchild_list = []
+
+    # ---- pure-integer LIFO replay of the reference id assignment
+    known_codes: List[int] = known.tolist()
+    left_leaf: List[Optional[AlgebraicNumber]] = [None] * max(num_left, 1)
+    left_index = left_form.index_map()
+    if left_index is None:
+        for state, amplitude in left.leaves.items():
+            left_leaf[state] = amplitude
+    else:
+        for state, amplitude in left.leaves.items():
+            left_leaf[left_index[state]] = amplitude
+    right_leaf: List[Optional[AlgebraicNumber]] = [None] * max(num_right, 1)
+    right_index = right_form.index_map()
+    if right_index is None:
+        for state, amplitude in right.leaves.items():
+            right_leaf[state] = amplitude
+    else:
+        for state, amplitude in right.leaves.items():
+            right_leaf[right_index[state]] = amplitude
+    root_dense = (
+        np.searchsorted(known, np.asarray(root_codes, dtype=np.int64)).tolist()
+        if root_codes
+        else []
+    )
+    left_symbols = left_form.symbols
+    # one tuple per row: slicing this list per pair and unpacking is faster
+    # than three indexed list accesses inside the replay loop
+    row_table = list(
+        zip(
+            map(left_symbols.__getitem__, row_sym_list),
+            row_lchild_list,
+            row_rchild_list,
+        )
+    )
+    intern_table = _TRANSITION_TABLE
+    intern_get = intern_table.get
+    intern_setdefault = intern_table.setdefault
+
+    ids = [-1] * num_pairs
+    next_id = 0
+    worklist: List[int] = []
+    root_ids: List[int] = []
+    for dense in root_dense:
+        if ids[dense] < 0:
+            ids[dense] = next_id
+            next_id += 1
+            worklist.append(dense)
+        root_ids.append(ids[dense])
+    roots = frozenset(root_ids)
+    internal: Dict[int, Tuple[InternalTransition, ...]] = {}
+    leaves: Dict[int, AlgebraicNumber] = {}
+    dead_pairs = False
+    while worklist:
+        dense = worklist.pop()
+        current = ids[dense]
+        code = known_codes[dense]
+        left_amp = left_leaf[code // num_right]
+        right_amp = right_leaf[code % num_right]
+        if left_amp is not None and right_amp is not None:
+            leaves[current] = (
+                left_amp - right_amp if subtract else left_amp + right_amp
+            )
+            continue
+        transitions: Dict[InternalTransition, None] = {}
+        if left_amp is None and right_amp is None:
+            for symbol, lchild, rchild in row_table[rowptr[dense] : rowptr[dense + 1]]:
+                left_id = ids[lchild]
+                if left_id < 0:
+                    left_id = ids[lchild] = next_id
+                    next_id += 1
+                    worklist.append(lchild)
+                right_id = ids[rchild]
+                if right_id < 0:
+                    right_id = ids[rchild] = next_id
+                    next_id += 1
+                    worklist.append(rchild)
+                # inlined intern_transition (the per-row call overhead adds up)
+                entry = (symbol, left_id, right_id)
+                if len(intern_table) >= _MAX_INTERNED:
+                    transitions[intern_get(entry, entry)] = None
+                else:
+                    transitions[intern_setdefault(entry, entry)] = None
+        if transitions:
+            internal[current] = tuple(transitions)
+        else:
+            dead_pairs = True
+    result = TreeAutomaton._make(left.num_qubits, roots, internal, leaves)
+    if not dead_pairs and dense_pair.size:
+        # attach the product's array form (states are 0..P-1, so positions are
+        # the ids themselves): the downstream remove_useless/reduce of the
+        # same gate application then skips re-flattening the dict entirely
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        out_parent = ids_arr[dense_pair]
+        out_order = np.argsort(out_parent, kind="stable")
+        result._arrays = _ArrayForm(
+            list(range(num_pairs)),
+            True,
+            out_parent[out_order],
+            all_sym[out_order],
+            ids_arr[dense_lchild][out_order],
+            ids_arr[dense_rchild][out_order],
+            left_symbols,
+            left_form.symbol_ids,
+        )
+    return result.remove_useless() if dead_pairs else result
+
+
+def _vector_remove_useless(automaton: TreeAutomaton) -> TreeAutomaton:
+    form = _array_form(automaton)
+    states = form.states
+    num_states = len(states)
+    p_arr, l_arr, r_arr = form.parent, form.left, form.right
+    index = form.index_map()
+
+    # bottom-up productivity: one vectorized sweep per automaton level
+    productive = np.zeros(num_states, dtype=bool)
+    if automaton.leaves:
+        if index is None:
+            productive[list(automaton.leaves)] = True
+        else:
+            productive[[index[state] for state in automaton.leaves]] = True
+    while True:
+        enabled = productive[l_arr] & productive[r_arr] & ~productive[p_arr]
+        if not enabled.any():
+            break
+        productive[p_arr[enabled]] = True
+
+    # top-down reachability through productive transitions
+    usable = productive[l_arr] & productive[r_arr]
+    up, ul, ur = p_arr[usable], l_arr[usable], r_arr[usable]
+    root_positions = [
+        position
+        for position in (
+            (root if index is None else index[root]) for root in automaton.roots
+        )
+        if productive[position]
+    ]
+    reachable = np.zeros(num_states, dtype=bool)
+    frontier = np.unique(np.asarray(root_positions, dtype=np.int64))
+    while frontier.size:
+        reachable[frontier] = True
+        take = reachable[up]
+        children = np.concatenate((ul[take], ur[take]))
+        children = children[~reachable[children]]
+        frontier = np.unique(children)
+
+    if int(reachable.sum()) == num_states:
+        # every state is useful, so no transition can be dropped either
+        return automaton
+    keep = {states[i] for i in np.flatnonzero(reachable).tolist()}
+    # rebuild exactly as the reference does (same dict order, same sharing)
+    internal = automaton.internal
+    new_internal: Dict[int, Tuple[InternalTransition, ...]] = {}
+    for parent, transitions in internal.items():
+        if parent not in keep:
+            continue
+        kept = tuple(
+            entry for entry in transitions if entry[1] in keep and entry[2] in keep
+        )
+        if kept:
+            new_internal[parent] = transitions if len(kept) == len(transitions) else kept
+    leaves = {
+        state: amplitude
+        for state, amplitude in automaton.leaves.items()
+        if state in keep
+    }
+    roots = automaton.roots if keep >= automaton.roots else frozenset(
+        root for root in automaton.roots if root in keep
+    )
+    return TreeAutomaton._make(automaton.num_qubits, roots, new_internal, leaves)
+
+
+def _vector_reduce_layered(automaton: TreeAutomaton) -> TreeAutomaton:
+    depths = automaton._state_depths()
+    form = _array_form(automaton)
+    states = form.states
+    num_states = len(states)
+    if depths is None or len(depths) != num_states:
+        # not layered, or some state is unreachable (not useless-free): both
+        # violate this operation's contract — let the reference code decide
+        return _reference.reduce_layered(automaton)
+    internal = automaton.internal
+    leaves = automaton.leaves
+    index = form.index_map()
+    depth_arr = np.asarray(
+        [depths[state] for state in states], dtype=np.int64
+    )
+    p_arr, s_arr, l_arr, r_arr = form.parent, form.sym, form.left, form.right
+
+    # leaf amplitudes interned to dense ids (same equality as the reference's
+    # amplitude-keyed signature table)
+    amplitude_ids: Dict[AlgebraicNumber, int] = {}
+    is_leaf = np.zeros(num_states, dtype=bool)
+    leaf_amp = np.full(num_states, -1, dtype=np.int64)
+    for state, amplitude in leaves.items():
+        identifier = amplitude_ids.setdefault(amplitude, len(amplitude_ids))
+        position = state if index is None else index[state]
+        is_leaf[position] = True
+        leaf_amp[position] = identifier
+    # internal states without any transition rows all share the empty signature
+    has_rows = np.zeros(num_states, dtype=bool)
+    if p_arr.size:
+        has_rows[p_arr] = True
+    bare_mask = ~is_leaf & ~has_rows
+
+    # states and transitions sliced per depth via one stable sort each (the
+    # stable order keeps ascending position inside a layer, which is the
+    # reference's first-state-wins tie-break)
+    state_order = np.argsort(depth_arr, kind="stable")
+    state_depth_sorted = depth_arr[state_order]
+    t_depth = depth_arr[p_arr]
+    t_order = np.argsort(t_depth, kind="stable")
+    t_depth_sorted = t_depth[t_order]
+
+    # packed-key bit budget: row codes live below ``stride``; prepending the
+    # parent keeps everything sortable as one int64 when it fits
+    num_symbols = max(len(form.symbols), 1)
+    stride = num_symbols * num_states * num_states
+    if stride >= (1 << 62):
+        return _reference.reduce_layered(automaton)
+    packable = num_states * stride < (1 << 62)
+
+    rep = np.arange(num_states, dtype=np.int64)
+    merged_any = False
+    for depth in sorted(set(depth_arr.tolist()), reverse=True):
+        lo = int(np.searchsorted(state_depth_sorted, depth, side="left"))
+        hi = int(np.searchsorted(state_depth_sorted, depth, side="right"))
+        layer_ids = state_order[lo:hi]
+
+        # leaf states: group by amplitude id, smallest position wins
+        leaf_layer = layer_ids[is_leaf[layer_ids]]
+        if leaf_layer.size:
+            order = np.lexsort((leaf_layer, leaf_amp[leaf_layer]))
+            sorted_ids = leaf_layer[order]
+            sorted_amp = leaf_amp[leaf_layer][order]
+            head = np.concatenate(([True], sorted_amp[1:] != sorted_amp[:-1]))
+            group = np.cumsum(head) - 1
+            heads = sorted_ids[np.flatnonzero(head)]
+            targets = heads[group]
+            if (targets != sorted_ids).any():
+                merged_any = True
+            rep[sorted_ids] = targets
+
+        # bare states (no rows, no amplitude): all share the empty signature
+        bare_layer = layer_ids[bare_mask[layer_ids]]
+        if bare_layer.size > 1:
+            rep[bare_layer] = bare_layer[0]
+            merged_any = True
+
+        # internal states: signature = canonical sorted row-id sequence
+        tlo = int(np.searchsorted(t_depth_sorted, depth, side="left"))
+        thi = int(np.searchsorted(t_depth_sorted, depth, side="right"))
+        rows = t_order[tlo:thi]
+        if not rows.size:
+            continue
+        tparent = p_arr[rows]
+        tsym = s_arr[rows]
+        tleft = rep[l_arr[rows]]
+        tright = rep[r_arr[rows]]
+        # row id = the (symbol, left-rep, right-rep) triple packed into one
+        # integer: equal triples get equal ids, which is all the signature
+        # comparison needs (density is not required)
+        code = (tsym * num_states + tleft) * num_states + tright
+        if packable:
+            # one flat sort on (parent, code) packed into a single int64 is
+            # markedly faster than a four-key lexsort
+            order = np.argsort(tparent * stride + code)
+        else:
+            order = np.lexsort((tright, tleft, tsym, tparent))
+        tparent = tparent[order]
+        code = code[order]
+        same = (tparent[1:] == tparent[:-1]) & (code[1:] == code[:-1])
+        keep_rows = np.concatenate(([True], ~same))
+        tparent = tparent[keep_rows]
+        row_id = code[keep_rows]
+        parent_change = np.concatenate(([True], tparent[1:] != tparent[:-1]))
+        starts = np.flatnonzero(parent_change)
+        ends = np.concatenate((starts[1:], [tparent.size]))
+        parents_in_order = tparent[starts]  # ascending position
+        row_counts = ends - starts
+        width = int(row_counts.max())
+        if width <= _MAX_SIGNATURE_WIDTH:
+            # pad each parent's ascending row-id sequence into a matrix row,
+            # lexsort the rows, and group consecutive equal rows; the stable
+            # sort keeps parents ascending inside a group, so the group head
+            # reproduces the reference first-state-wins tie-break
+            matrix = np.full((parents_in_order.size, width), -1, dtype=np.int64)
+            for column in range(width):
+                mask = row_counts > column
+                matrix[mask, column] = row_id[starts[mask] + column]
+            sig_order = np.lexsort(
+                tuple(matrix[:, column] for column in range(width - 1, -1, -1))
+            )
+            m_sorted = matrix[sig_order]
+            parents_sorted = parents_in_order[sig_order]
+            if m_sorted.shape[0] > 1:
+                head = np.concatenate(
+                    ([True], (m_sorted[1:] != m_sorted[:-1]).any(axis=1))
+                )
+            else:
+                head = np.ones(1, dtype=bool)
+            group = np.cumsum(head) - 1
+            heads = parents_sorted[np.flatnonzero(head)]
+            targets = heads[group]
+            if (targets != parents_sorted).any():
+                merged_any = True
+            rep[parents_sorted] = targets
+        else:
+            table: Dict[bytes, int] = {}
+            for k in range(parents_in_order.size):
+                parent_id = int(parents_in_order[k])
+                signature = row_id[starts[k] : ends[k]].tobytes()
+                previous = table.get(signature)
+                if previous is None:
+                    table[signature] = parent_id
+                else:
+                    rep[parent_id] = previous
+                    merged_any = True
+
+    if not merged_any:
+        return automaton
+    rep_list = rep.tolist()
+    representative = {states[i]: states[rep_list[i]] for i in range(num_states)}
+    # rebuild exactly as the reference does
+    new_internal: Dict[int, Tuple[InternalTransition, ...]] = {}
+    for parent, transitions in internal.items():
+        if representative[parent] != parent:
+            continue
+        new_internal[parent] = tuple(dict.fromkeys(
+            intern_transition(symbol, representative[left], representative[right])
+            for symbol, left, right in transitions
+        ))
+    new_leaves = {
+        state: amplitude for state, amplitude in leaves.items()
+        if representative[state] == state
+    }
+    new_roots = frozenset(representative[root] for root in automaton.roots)
+    return TreeAutomaton._make(automaton.num_qubits, new_roots, new_internal, new_leaves)
+
+
+class VectorizedBackend(KernelBackend):
+    """The numpy kernel: vectorized discovery, bit-identical finalization.
+
+    ``min_transitions`` (when given) overrides every per-operation floor from
+    :data:`DEFAULT_THRESHOLDS` at once — the conformance suite passes ``0`` to
+    force the vector paths on arbitrarily small inputs.
+    """
+
+    name = "numpy"
+
+    def __init__(self, min_transitions: Optional[int] = None):
+        if min_transitions is None:
+            self.thresholds = dict(DEFAULT_THRESHOLDS)
+        else:
+            self.thresholds = {key: int(min_transitions) for key in DEFAULT_THRESHOLDS}
+
+    def binary_operation(
+        self, left: TreeAutomaton, right: TreeAutomaton, subtract: bool = False
+    ) -> TreeAutomaton:
+        if (
+            left.num_transitions + right.num_transitions
+            < self.thresholds["binary_operation"]
+        ):
+            return _reference.binary_operation(left, right, subtract)
+        if left.num_qubits != right.num_qubits:
+            raise ValueError("operands must have the same number of qubits")
+        return _vector_binary_operation(left, right, subtract)
+
+    def remove_useless(self, automaton: TreeAutomaton) -> TreeAutomaton:
+        if automaton.num_transitions < self.thresholds["remove_useless"]:
+            return _reference.remove_useless(automaton)
+        return _vector_remove_useless(automaton)
+
+    def reduce_layered(self, automaton: TreeAutomaton) -> TreeAutomaton:
+        if automaton.num_transitions < self.thresholds["reduce_layered"]:
+            return _reference.reduce_layered(automaton)
+        return _vector_reduce_layered(automaton)
+
+    def reduce_fixpoint(self, automaton: TreeAutomaton) -> TreeAutomaton:
+        # the non-layered fallback is rare and inherently iterative; the
+        # reference implementation is the sensible choice for every backend
+        return _reference.reduce_fixpoint(automaton)

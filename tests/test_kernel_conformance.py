@@ -1,0 +1,369 @@
+"""Kernel conformance suite: every backend must be bit-identical to reference.
+
+The contract (see ``repro/ta/kernel/__init__.py``): for each of the three
+hot-path operations, every backend must produce output *structurally equal* to
+the reference backend — the same state ids assigned in the same order, the
+same transition-tuple order, hence identical ``structure_key()`` — and must
+preserve the identity fast paths (returning the input object itself when
+nothing changes).  The suite drives both backends over randomized layered
+automata (hypothesis-chosen seeds through the fuzz generators and stacked
+basis states), plus the structural edge cases random generation rarely hits.
+
+The vectorized backend is constructed with ``min_transitions=0`` so its vector
+code paths run even on the tiny automata used here (the production default
+delegates small inputs to reference, which would make the suite vacuous).
+"""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import ONE, SQRT2_INV
+from repro.circuits import random_circuit
+from repro.core.engine import AnalysisMode, CircuitEngine, GateRuntime
+from repro.core.tagging import tag
+from repro.fuzz.generators import generate_cases
+from repro.ta import basis_product_ta, basis_state_ta
+from repro.ta import kernel as ta_kernel
+from repro.ta.automaton import TreeAutomaton, clear_reduce_cache
+from repro.ta.construction import from_quantum_states
+from repro.ta.kernel.reference import ReferenceBackend
+from repro.states import QuantumState
+
+numpy_available = "numpy" in ta_kernel.available_backends()
+requires_numpy = pytest.mark.skipif(
+    not numpy_available, reason="numpy backend not available"
+)
+
+REFERENCE = ReferenceBackend()
+
+
+def _forced_backends():
+    """(name, backend) pairs to check against reference, vector paths forced."""
+    pairs = []
+    if numpy_available:
+        from repro.ta.kernel.vectorized import VectorizedBackend
+
+        pairs.append(("numpy", VectorizedBackend(min_transitions=0)))
+    return pairs
+
+
+BACKENDS = _forced_backends()
+
+if not BACKENDS:  # reference alone satisfies conformance trivially
+    pytestmark = pytest.mark.skipif(
+        True, reason="no non-reference kernel backend available"
+    )
+
+
+# --------------------------------------------------------------------- inputs
+
+def _stacked(num_qubits: int, count: int, seed: int) -> TreeAutomaton:
+    """Union of ``count`` random basis states — a layered, useless-free TA."""
+    import random
+
+    rng = random.Random(seed)
+    result = basis_state_ta(num_qubits, rng.randrange(2 ** num_qubits))
+    for _ in range(count - 1):
+        result = result.union(basis_state_ta(num_qubits, rng.randrange(2 ** num_qubits)))
+    return result.relabelled()
+
+
+def _engine_derived(seed: int) -> TreeAutomaton:
+    """The automaton after a short random circuit — realistic shapes/amplitudes."""
+    import random
+
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 4)
+    circuit = random_circuit(num_qubits=num_qubits, num_gates=rng.randint(3, 10), seed=seed)
+    engine = CircuitEngine(mode=AnalysisMode.HYBRID, runtime=GateRuntime())
+    automaton = basis_state_ta(num_qubits, 0)
+    with ta_kernel.use_backend("reference"):
+        for gate in circuit.decomposed():
+            automaton = engine.apply_gate(automaton, gate)
+    return automaton
+
+
+def _assert_identical(expected: TreeAutomaton, actual: TreeAutomaton, context: str):
+    assert expected.structure_key() == actual.structure_key(), context
+
+
+# ------------------------------------------------------- conformance properties
+
+@pytest.mark.parametrize("name,backend", BACKENDS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_binary_operation_is_bit_identical(name, backend, seed):
+    import random
+
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 5)
+    left = _stacked(num_qubits, rng.randint(1, 6), seed)
+    right = _stacked(num_qubits, rng.randint(1, 6), seed + 1)
+    for subtract in (False, True):
+        expected = REFERENCE.binary_operation(left, right, subtract)
+        actual = backend.binary_operation(left, right, subtract)
+        _assert_identical(
+            expected, actual, f"{name} product diverged (seed={seed}, subtract={subtract})"
+        )
+
+
+@pytest.mark.parametrize("name,backend", BACKENDS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_pipeline_is_bit_identical_on_engine_automata(name, backend, seed):
+    """Product -> remove_useless -> reduce_layered over engine-derived operands."""
+    base = _engine_derived(seed)
+    other = _engine_derived(seed + 7919)
+    if base.num_qubits != other.num_qubits:
+        other = _stacked(base.num_qubits, 3, seed)
+    expected_product = REFERENCE.binary_operation(base, other)
+    actual_product = backend.binary_operation(base, other)
+    _assert_identical(expected_product, actual_product, f"{name} product (seed={seed})")
+    expected_useless = REFERENCE.remove_useless(expected_product)
+    actual_useless = backend.remove_useless(actual_product)
+    _assert_identical(expected_useless, actual_useless, f"{name} remove_useless (seed={seed})")
+    # the identity fast path is part of the contract: callers test ``is``
+    assert (expected_useless is expected_product) == (actual_useless is actual_product)
+    if expected_useless._state_depths() is not None:
+        expected_reduced = REFERENCE.reduce_layered(expected_useless)
+        actual_reduced = backend.reduce_layered(actual_useless)
+        _assert_identical(expected_reduced, actual_reduced, f"{name} reduce (seed={seed})")
+        assert (expected_reduced is expected_useless) == (actual_reduced is actual_useless)
+
+
+@pytest.mark.parametrize("name,backend", BACKENDS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_remove_useless_prunes_identically(name, backend, seed):
+    """Operands with dead states (restricted products) prune identically."""
+    import random
+
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 4)
+    allowed = [rng.choice([{0}, {1}, {0, 1}]) for _ in range(num_qubits)]
+    left = basis_product_ta(num_qubits, allowed)
+    right = _stacked(num_qubits, rng.randint(1, 4), seed)
+    product = REFERENCE.binary_operation(left, right, subtract=True)
+    expected = REFERENCE.remove_useless(product)
+    actual = backend.remove_useless(product)
+    _assert_identical(expected, actual, f"{name} remove_useless (seed={seed})")
+    assert (expected is product) == (actual is product)
+
+
+@pytest.mark.parametrize("name,backend", BACKENDS)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=15, deadline=None)
+def test_parity_on_fuzz_generator_circuits(name, backend, seed):
+    """The fuzz generator's mutated circuits, replayed gate by gate."""
+    stream = generate_cases(seed, max_qubits=3, max_gates=6)
+    case = next(stream)
+    gates = list(case.circuit.decomposed())
+    engines = {
+        "reference": CircuitEngine(mode=AnalysisMode.HYBRID, runtime=GateRuntime()),
+        name: CircuitEngine(mode=AnalysisMode.HYBRID, runtime=GateRuntime()),
+    }
+    states = {}
+    for backend_name, engine in engines.items():
+        clear_reduce_cache()
+        automaton = basis_state_ta(case.circuit.num_qubits, case.input_bits)
+        with ta_kernel.use_backend(backend_name):
+            keys = []
+            for gate in gates:
+                automaton = engine.apply_gate(automaton, gate)
+                keys.append(automaton.structure_key())
+        states[backend_name] = keys
+        clear_reduce_cache()
+    assert states["reference"] == states[name], f"{name} diverged (seed={seed})"
+
+
+@pytest.mark.parametrize("name,backend", BACKENDS)
+def test_tagged_operands_are_bit_identical(name, backend):
+    """Tagged symbols (the composition pipeline's mid-gate automata) conform."""
+    base = _stacked(3, 4, seed=21)
+    tagged = tag(base)
+    product = REFERENCE.binary_operation(tagged, tagged)
+    actual = backend.binary_operation(tagged, tagged)
+    _assert_identical(product, actual, "tagged product")
+    expected_useless = REFERENCE.remove_useless(product)
+    actual_useless = backend.remove_useless(actual)
+    _assert_identical(expected_useless, actual_useless, "tagged remove_useless")
+
+
+@pytest.mark.parametrize("name,backend", BACKENDS)
+def test_structural_edge_cases(name, backend):
+    # a root with no transitions is unproductive: everything is pruned
+    empty = TreeAutomaton(2, [0], {}, {})
+    _assert_identical(
+        REFERENCE.remove_useless(empty), backend.remove_useless(empty), "empty prune"
+    )
+
+    # both roots are leaves: the product is a single leaf pair
+    leaf = TreeAutomaton(1, [0], {}, {0: ONE})
+    expected = REFERENCE.binary_operation(leaf, leaf)
+    actual = backend.binary_operation(leaf, leaf)
+    _assert_identical(expected, actual, "leaf-only product")
+
+    # single-root single-path automaton
+    single = basis_state_ta(3, 5)
+    for subtract in (False, True):
+        expected = REFERENCE.binary_operation(single, single, subtract)
+        actual = backend.binary_operation(single, single, subtract)
+        _assert_identical(expected, actual, f"single-path product subtract={subtract}")
+
+    # a subtraction that cancels amplitudes to zero everywhere
+    state = QuantumState(2, {(0, 0): SQRT2_INV, (1, 1): SQRT2_INV})
+    automaton = from_quantum_states([state])
+    expected = REFERENCE.binary_operation(automaton, automaton, subtract=True)
+    actual = backend.binary_operation(automaton, automaton, subtract=True)
+    _assert_identical(expected, actual, "self-subtraction")
+
+
+@pytest.mark.parametrize("name,backend", BACKENDS)
+def test_reduce_layered_merges_identically(name, backend):
+    """Automata with mergeable siblings reduce to identical results."""
+    for seed in range(8):
+        base = _stacked(4, 5, seed=seed)
+        doubled = REFERENCE.binary_operation(base, base)
+        useless_free = REFERENCE.remove_useless(doubled)
+        assert useless_free._state_depths() is not None
+        expected = REFERENCE.reduce_layered(useless_free)
+        actual = backend.reduce_layered(useless_free)
+        _assert_identical(expected, actual, f"reduce (seed={seed})")
+        assert (expected is useless_free) == (actual is useless_free)
+
+
+@pytest.mark.parametrize("name,backend", BACKENDS)
+def test_reduce_fixpoint_delegates_to_reference(name, backend):
+    base = _stacked(3, 3, seed=5)
+    expected = REFERENCE.reduce_fixpoint(base)
+    actual = backend.reduce_fixpoint(base)
+    _assert_identical(expected, actual, "reduce_fixpoint")
+
+
+# ----------------------------------------------------------- selection logic
+
+class _BrokenBackend(ta_kernel.KernelBackend):
+    name = "broken"
+
+
+def test_get_backend_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        ta_kernel.get_backend("no-such-backend")
+
+
+def test_set_active_backend_returns_previous_and_restores():
+    previous = ta_kernel.set_active_backend("reference")
+    try:
+        assert ta_kernel.active_backend_name() == "reference"
+        restored = ta_kernel.set_active_backend(previous)
+        assert restored == "reference"
+    finally:
+        ta_kernel.set_active_backend(previous)
+
+
+def test_use_backend_restores_selection():
+    before = ta_kernel.active_backend_name()
+    with ta_kernel.use_backend("reference") as backend:
+        assert backend.name == "reference"
+        assert ta_kernel.active_backend_name() == "reference"
+    assert ta_kernel.active_backend_name() == before
+
+
+def test_env_request_degrades_with_warning_when_unavailable(monkeypatch):
+    """AUTOQ_REPRO_KERNEL naming an unavailable backend degrades, never breaks."""
+
+    def unavailable():
+        raise ImportError("simulated missing dependency")
+
+    monkeypatch.setitem(ta_kernel._FACTORIES, "numpy", unavailable)
+    monkeypatch.delitem(ta_kernel._INSTANCES, "numpy", raising=False)
+    monkeypatch.setenv(ta_kernel.ENV_VAR, "numpy")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        backend = ta_kernel._detect_default()
+    assert backend.name == "reference"
+    assert any("not available" in str(w.message) for w in caught)
+
+
+def test_env_request_unknown_name_degrades_with_warning(monkeypatch):
+    monkeypatch.setenv(ta_kernel.ENV_VAR, "fortran")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        backend = ta_kernel._detect_default()
+    assert backend.name in ta_kernel.available_backends()
+    assert any("names no kernel backend" in str(w.message) for w in caught)
+
+
+def test_auto_detection_without_numpy_selects_reference(monkeypatch):
+    def unavailable():
+        raise ImportError("simulated missing dependency")
+
+    monkeypatch.setitem(ta_kernel._FACTORIES, "numpy", unavailable)
+    monkeypatch.delitem(ta_kernel._INSTANCES, "numpy", raising=False)
+    monkeypatch.delenv(ta_kernel.ENV_VAR, raising=False)
+    assert ta_kernel._detect_default().name == "reference"
+    assert ta_kernel.available_backends() == ("reference",)
+
+
+def test_programmatic_selection_of_unavailable_backend_raises(monkeypatch):
+    def unavailable():
+        raise ImportError("simulated missing dependency")
+
+    monkeypatch.setitem(ta_kernel._FACTORIES, "numpy", unavailable)
+    monkeypatch.delitem(ta_kernel._INSTANCES, "numpy", raising=False)
+    previous = ta_kernel.active_backend_name()
+    with pytest.raises(ImportError):
+        ta_kernel.set_active_backend("numpy")
+    assert ta_kernel.active_backend_name() == previous
+
+
+@requires_numpy
+def test_session_config_activates_and_restores_backend():
+    from repro.api import Session, SessionConfig
+
+    before = ta_kernel.active_backend_name()
+    with Session(SessionConfig(kernel_backend="reference")):
+        assert ta_kernel.active_backend_name() == "reference"
+    assert ta_kernel.active_backend_name() == before
+
+
+def test_session_config_unknown_backend_raises():
+    from repro.api import Session, SessionConfig
+
+    with pytest.raises(ValueError):
+        Session(SessionConfig(kernel_backend="no-such-backend"))
+
+
+@requires_numpy
+def test_engine_statistics_record_the_active_backend():
+    pre = basis_state_ta(2, 0)
+    circuit = random_circuit(num_qubits=2, num_gates=3, seed=3)
+    for name in ("reference", "numpy"):
+        with ta_kernel.use_backend(name):
+            result = CircuitEngine(
+                mode=AnalysisMode.HYBRID, runtime=GateRuntime()
+            ).run(circuit, pre)
+        assert result.statistics.kernel_backend == name
+        payload = result.statistics.to_dict()
+        assert payload["kernel_backend"] == name
+        restored = type(result.statistics).from_dict(payload)
+        assert restored.kernel_backend == name
+
+
+@requires_numpy
+def test_default_thresholds_delegate_small_inputs():
+    """The production-default vectorized backend answers small inputs via the
+    reference code (same output object semantics, no numpy work)."""
+    from repro.ta.kernel.vectorized import DEFAULT_THRESHOLDS, VectorizedBackend
+
+    assert set(DEFAULT_THRESHOLDS) == {
+        "binary_operation", "remove_useless", "reduce_layered",
+    }
+    backend = VectorizedBackend()
+    small = basis_state_ta(2, 1)
+    expected = REFERENCE.binary_operation(small, small)
+    actual = backend.binary_operation(small, small)
+    _assert_identical(expected, actual, "thresholded small product")

@@ -292,3 +292,43 @@ class TestCompactFormAndCaches:
         )
         pruned = crippled.remove_useless()
         assert pruned.num_states < base.num_states
+
+
+class TestEqualityFastPath:
+    def test_eq_short_circuits_on_cached_structure_keys(self):
+        left = basis_state_ta(4, 9)
+        right = basis_state_ta(4, 9)
+        # warm both caches, then make the slow path unreachable: equal cached
+        # keys must answer True without touching the transition tables
+        assert left.structure_key() == right.structure_key()
+        sabotaged = dict(right.internal)
+        right.internal.clear()
+        try:
+            assert left == right
+        finally:
+            right.internal.update(sabotaged)
+
+    def test_eq_with_cold_caches_still_compares_structurally(self):
+        left = basis_state_ta(3, 5)
+        right = basis_state_ta(3, 5)
+        assert left._skey is None and right._skey is None
+        assert left == right
+
+    def test_unequal_keys_fall_through_to_order_insensitive_comparison(self):
+        # same transitions in a different dict order: structure keys differ
+        # but __eq__ must still report equality (it compares frozensets)
+        base = basis_state_ta(2, 1).union(basis_state_ta(2, 2)).relabelled()
+        reordered = TreeAutomaton(
+            base.num_qubits,
+            base.roots,
+            {s: tuple(reversed(ts)) for s, ts in base.internal.items()},
+            dict(base.leaves),
+        )
+        if base.structure_key() != reordered.structure_key():
+            assert base == reordered
+
+    def test_eq_rejects_different_structure(self):
+        left = basis_state_ta(3, 1)
+        right = basis_state_ta(3, 2)
+        left.structure_key(), right.structure_key()
+        assert left != right

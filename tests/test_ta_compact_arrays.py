@@ -1,0 +1,110 @@
+"""Round-trip tests for the struct-of-arrays compact export (kernel/arrays.py).
+
+The contract: ``CompactArrays.from_compact(ta.compact()).to_automaton()``
+rebuilds an automaton whose compact form has the *same key* as the source —
+the export is lossless up to the compact relabelling, for every structural
+shape the kernels operate on (empty, single-root, tagged-symbol, leaf-heavy).
+"""
+
+import random
+
+import pytest
+
+from repro.algebraic import ONE, SQRT2_INV
+from repro.core.tagging import tag
+from repro.states import QuantumState
+from repro.ta import basis_product_ta, basis_state_ta
+from repro.ta.automaton import TreeAutomaton
+from repro.ta.construction import from_quantum_states
+from repro.ta.kernel.arrays import CompactArrays, compact_arrays
+
+
+def _round_trip(automaton: TreeAutomaton) -> CompactArrays:
+    compact = automaton.compact()
+    arrays = CompactArrays.from_compact(compact)
+    rebuilt = arrays.to_automaton()
+    assert rebuilt.compact().key == compact.key
+    return arrays
+
+
+def test_round_trip_empty_automaton():
+    arrays = _round_trip(TreeAutomaton(2, [], {}, {}))
+    assert arrays.num_rows == 0
+    assert arrays.roots == ()
+    assert arrays.leaf_state == ()
+
+
+def test_round_trip_root_without_transitions():
+    # a (useless) root state with no transitions must survive the trip:
+    # num_states counts it even though no row references it
+    arrays = _round_trip(TreeAutomaton(2, [0], {}, {}))
+    assert arrays.num_states == 1
+    assert arrays.num_rows == 0
+
+
+def test_round_trip_single_root_basis_state():
+    arrays = _round_trip(basis_state_ta(3, 5))
+    assert len(arrays.roots) == 1
+    # CSR offsets cover every state and close with the total row count
+    assert len(arrays.row_start) == arrays.num_states + 1
+    assert arrays.row_start[-1] == arrays.num_rows
+
+
+def test_round_trip_leaf_only_automaton():
+    leaf = TreeAutomaton(1, [0], {}, {0: ONE})
+    arrays = _round_trip(leaf)
+    assert arrays.num_rows == 0
+    assert len(arrays.leaf_state) == 1
+    assert arrays.amplitudes == (ONE,)
+
+
+def test_round_trip_tagged_symbols():
+    base = basis_state_ta(2, 1).union(basis_state_ta(2, 2)).relabelled()
+    tagged = tag(base)
+    arrays = _round_trip(tagged)
+    # tagged symbols carry the tag component; the table must preserve them
+    assert any(tags for _qubit, tags in arrays.symbols)
+
+
+def test_round_trip_superposition_amplitudes():
+    state = QuantumState(2, {(0, 0): SQRT2_INV, (1, 1): SQRT2_INV})
+    arrays = _round_trip(from_quantum_states([state]))
+    assert SQRT2_INV in arrays.amplitudes
+
+
+def test_round_trip_randomized_unions():
+    for seed in range(12):
+        rng = random.Random(seed)
+        num_qubits = rng.randint(2, 5)
+        automaton = basis_state_ta(num_qubits, rng.randrange(2 ** num_qubits))
+        for _ in range(rng.randint(0, 5)):
+            automaton = automaton.union(
+                basis_state_ta(num_qubits, rng.randrange(2 ** num_qubits))
+            )
+        _round_trip(automaton.relabelled())
+
+
+def test_round_trip_basis_product():
+    _round_trip(basis_product_ta(4, [{0, 1}, {0}, {1}, {0, 1}]))
+
+
+def test_compact_arrays_helper_matches_explicit_path():
+    automaton = basis_state_ta(3, 2)
+    via_helper = compact_arrays(automaton)
+    via_compact = CompactArrays.from_compact(automaton.compact())
+    assert via_helper.parent == via_compact.parent
+    assert via_helper.symbol_id == via_compact.symbol_id
+    assert via_helper.left == via_compact.left
+    assert via_helper.right == via_compact.right
+    assert via_helper.roots == via_compact.roots
+
+
+def test_rows_are_in_canonical_order():
+    automaton = basis_state_ta(3, 0).union(basis_state_ta(3, 7)).relabelled()
+    arrays = compact_arrays(automaton)
+    assert list(arrays.parent) == sorted(arrays.parent)
+    # within each parent the compact tuple order is preserved, and CSR slices
+    # agree with the parent column
+    for state in range(arrays.num_states):
+        start, stop = arrays.row_start[state], arrays.row_start[state + 1]
+        assert all(p == state for p in arrays.parent[start:stop])
