@@ -27,6 +27,12 @@ Bench sets:
     the verification daemon: the same verify queries against a warm
     ``repro serve`` instance (HTTP round trips on a primed runtime) vs one
     cold ``python -m repro.cli`` subprocess per query;
+``fabric``
+    the distributed campaign fabric: one planned matrix sweep drained by
+    1 / 2 / 4 real ``campaign --join`` worker subprocesses, with a cold
+    per-joiner store and with a warm shared remote store behind a serve
+    daemon; the 2-joiner row must beat the 1-joiner row by at least
+    :data:`FABRIC_MIN_SCALING` or the run fails;
 ``default``
     all of the above; ``smoke`` is a fast subset for CI.
 
@@ -56,6 +62,10 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
 SCHEMA_VERSION = 1
 _PR_PATTERN = re.compile(r"BENCH_PR(\d+)\.json$")
+
+#: minimum throughput gain 2 fabric joiners must show over 1 — anything less
+#: means the lease queue's coordination overhead is eating the parallelism
+FABRIC_MIN_SCALING = 1.6
 
 #: workload name -> (repeat, setup, run); run(setup()) is the timed call
 Workload = Tuple[int, Callable[[], object], Callable[[object], object]]
@@ -226,6 +236,105 @@ def _service_workload(warm: bool, queries: int = 5) -> Workload:
     return (1, setup, run)
 
 
+def _fabric_workload(joiners: int, store: str = "cold") -> Workload:
+    """Drain one planned matrix sweep with N ``campaign --join`` subprocesses.
+
+    The timed region is the joiner fan-out: N real worker subprocesses attach
+    to the planned campaign's lease queue (``docs/distributed.md``) and drain
+    it concurrently; the run is over when the last joiner exits with every
+    cell completed.  Every verification job carries a deterministic injected
+    delay (the fault framework's ``delay`` kind), giving each cell a fixed
+    latency floor — the rows measure the *fabric's* ability to overlap cells
+    and the coordination overhead of claiming/completing them, not raw CPU
+    parallelism, so the scaling floor holds on single-core CI runners too.
+    ``store`` picks the store tier the joiners use — ``"cold"`` gives every
+    joiner its own empty local store (publish overhead included),
+    ``"remote-warm"`` boots a serve daemon whose HTTP store was populated by
+    an identical sweep, so joiners fetch shared verified prefixes instead of
+    recomputing them.
+    """
+    import shutil
+    import subprocess
+
+    family, sizes, mutants = "bv", "4-11", 2
+    job_delay = {"seed": 0, "sites": {"worker.cell": {
+        "kind": "delay", "rate": 1.0, "delay_seconds": 0.35}}}
+
+    def scheduler(scratch: str, campaign_id: str, store_dir=None):
+        from repro.campaign import MatrixScheduler, MatrixSpec
+
+        return MatrixScheduler(
+            MatrixSpec.from_mapping(
+                {"families": [family], "sizes": sizes, "mutants": mutants}
+            ),
+            workers=1,
+            report_dir=os.path.join(scratch, "reports", campaign_id),
+            manifest_dir=os.path.join(scratch, "manifests"),
+            cache_dir=os.path.join(scratch, "cache", campaign_id),
+            campaign_id=campaign_id,
+            store_dir=store_dir,
+        )
+
+    def setup():
+        scratch = tempfile.mkdtemp(prefix="bench_fabric_")
+        state = {"scratch": scratch, "server": None, "store_dir": None}
+        if store == "remote-warm":
+            from repro.api import SessionConfig
+            from repro.service import ServiceConfig, ServiceServer
+
+            server = ServiceServer(ServiceConfig(port=0, session=SessionConfig(
+                cache_dir="", store_dir=os.path.join(scratch, "shared_store"),
+            ))).start()
+            state["server"] = server
+            state["store_dir"] = server.url
+            # populate the shared remote store with one identical sweep; the
+            # timed joiners get fresh verdict caches, so every hit they score
+            # is a store fetch, not a cached verdict
+            scheduler(scratch, "warm", store_dir=server.url).run()
+        planner = scheduler(scratch, "fabric", store_dir=state["store_dir"])
+        planner.plan()
+        state["cells"] = len(planner.spec.cells())
+        from repro.dist import RESULT_DIR, queue_dir_for
+
+        state["result_dir"] = os.path.join(
+            queue_dir_for(planner.manifest_dir, "fabric"), RESULT_DIR)
+        return state
+
+    def run(state):
+        scratch = state["scratch"]
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        env.pop("AUTOQ_REPRO_SERVER", None)
+        try:
+            workers = []
+            for index in range(joiners):
+                argv = [sys.executable, "-m", "repro.cli", "campaign",
+                        "--join", "fabric", "--json", "--workers", "1",
+                        "--faults", json.dumps(job_delay),
+                        "--manifest-dir", os.path.join(scratch, "manifests"),
+                        "--cache-dir", os.path.join(scratch, "cache", f"j{index}"),
+                        "--report-dir", os.path.join(scratch, "reports", f"j{index}")]
+                if state["store_dir"] is not None:
+                    argv += ["--store-dir", state["store_dir"]]
+                workers.append(subprocess.Popen(
+                    argv, env=env, stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE, text=True))
+            for worker in workers:
+                _stdout, stderr = worker.communicate(timeout=600)
+                if worker.returncode != 0:
+                    raise AssertionError(
+                        f"fabric joiner exited {worker.returncode}: {stderr[:500]}")
+            done = len(os.listdir(state["result_dir"]))
+            if done != state["cells"]:
+                raise AssertionError(
+                    f"queue not drained: {done} of {state['cells']} cells done")
+        finally:
+            if state["server"] is not None:
+                state["server"].stop()
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    return (1, setup, run)
+
+
 def build_bench_set(name: str) -> Dict[str, Workload]:
     """Materialise a named bench set (imports repro lazily so ``--list`` is free)."""
     from bench_kernel import KERNEL_WORKLOADS
@@ -259,6 +368,14 @@ def build_bench_set(name: str) -> Dict[str, Workload]:
         "service/verify-bv10-x5/warm-daemon": _service_workload(warm=True),
         "service/verify-bv10-x5/cold-cli": _service_workload(warm=False),
     }
+    fabric = {
+        "fabric/bv4-11/m2/joiners-1": _fabric_workload(1),
+        "fabric/bv4-11/m2/joiners-2": _fabric_workload(2),
+        "fabric/bv4-11/m2/joiners-4": _fabric_workload(4),
+        "fabric/bv4-11/m2/joiners-2/store-remote-warm": _fabric_workload(
+            2, store="remote-warm"
+        ),
+    }
     smoke = {
         key: value
         for key, value in {**kernel, **grover}.items()
@@ -270,8 +387,9 @@ def build_bench_set(name: str) -> Dict[str, Workload]:
         "campaign": campaign,
         "store": store,
         "service": service,
+        "fabric": fabric,
         "smoke": smoke,
-        "default": {**kernel, **grover, **campaign, **store, **service},
+        "default": {**kernel, **grover, **campaign, **store, **service, **fabric},
     }
     if name not in sets:
         raise SystemExit(f"unknown bench set {name!r}; expected one of {sorted(sets)}")
@@ -353,7 +471,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--set", dest="bench_set", default="default",
                         help="bench set to run (kernel, grover, campaign, store, "
-                             "service, smoke, default)")
+                             "service, fabric, smoke, default)")
     parser.add_argument("--output", default="BENCH_PR4.json",
                         help="result file, written at the repository root")
     parser.add_argument("--baseline", default="auto",
@@ -387,6 +505,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
 
     exit_code = 0
+    solo = results.get("fabric/bv4-11/m2/joiners-1")
+    duo = results.get("fabric/bv4-11/m2/joiners-2")
+    if solo and duo:
+        scaling = round(float(solo["seconds"]) / float(duo["seconds"]), 3)
+        payload["fabric_scaling_n2"] = scaling
+        print(f"\nfabric scaling: {scaling:.2f}x "
+              f"(2 joiners vs 1, floor {FABRIC_MIN_SCALING:.1f}x)")
+        if scaling < FABRIC_MIN_SCALING:
+            print(f"REGRESSION: fabric 2-joiner scaling {scaling:.2f}x is below "
+                  f"the {FABRIC_MIN_SCALING:.1f}x floor", file=sys.stderr)
+            exit_code = 1
+
     if args.baseline == "none":
         baseline_path = None
     elif args.baseline == "auto":

@@ -47,6 +47,7 @@ CHECKED_FILES = (
     "docs/api.md",
     "docs/architecture.md",
     "docs/caching.md",
+    "docs/distributed.md",
     "docs/fuzzing.md",
     "docs/kernel.md",
     "docs/robustness.md",

@@ -20,6 +20,7 @@ class before giving up — see ``docs/robustness.md``.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import urllib.error
@@ -95,12 +96,24 @@ class ServiceClient:
     pass ``RetryPolicy(attempts=1)`` to disable retries entirely.
     """
 
+    #: distinguishes clients created in one process, for jitter derivation
+    _instances = itertools.count()
+
     def __init__(self, base_url: str, timeout: float = 600.0,
                  retry: Optional[RetryPolicy] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         if retry is None:
-            retry = replace(DEFAULT_CLIENT_RETRY, retryable=(ServiceUnavailable,))
+            # derive a per-client jitter seed: with the policy's default
+            # seed every client in the fleet would sleep the *identical*
+            # backoff sequence and re-stampede a saturated daemon in
+            # lockstep.  pid + instance counter keeps the jitter distinct
+            # across processes and across clients within one process, while
+            # an explicitly passed policy stays fully deterministic (the
+            # chaos tests rely on that).
+            retry = replace(DEFAULT_CLIENT_RETRY,
+                            retryable=(ServiceUnavailable,),
+                            seed=hash((os.getpid(), next(self._instances))))
         self.retry = retry
 
     # ------------------------------------------------------------- plumbing

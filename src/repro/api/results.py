@@ -235,6 +235,14 @@ class CampaignResult(Result):
     retries: int = 0
     quarantined_entries: int = 0
     store_disabled: bool = False
+    #: distributed-fabric counters (``docs/distributed.md``): remote
+    #: store-backend hits, and — for cells run under the fabric queue —
+    #: claim generations, steals, re-queues, and lease renewals
+    backend_hits: int = 0
+    cells_claimed: int = 0
+    cells_stolen: int = 0
+    cells_requeued: int = 0
+    lease_renewals: int = 0
 
     KIND: ClassVar[str] = "campaign"
 

@@ -47,7 +47,11 @@ __all__ = [
 #: (``faults_injected``/``retries``/``quarantined_entries``/``store_disabled``)
 #: and campaign-job records the ``retried``/``faults`` fields
 #: (see ``docs/api.md`` for the migrations).
-API_VERSION = 3
+#: v4: campaign documents gained the distributed-fabric counters
+#: (``backend_hits``/``cells_claimed``/``cells_stolen``/``cells_requeued``/
+#: ``lease_renewals``) and the ``campaign-join`` tool kind was added
+#: (see ``docs/api.md`` / ``docs/distributed.md``).
+API_VERSION = 4
 
 #: kinds with a dedicated dataclass in :mod:`repro.api.results`
 RESULT_KINDS: Tuple[str, ...] = (
@@ -68,6 +72,7 @@ TOOL_RESULT_KINDS: Tuple[str, ...] = (
     "export-ta",
     "baselines",
     "campaign-matrix",
+    "campaign-join",
     "campaign-ls",
     "cache-stats",
     "cache-gc",
@@ -122,6 +127,8 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
         "store_hits", "store_misses", "store_publishes",
         "corpus_replayed", "corpus_failures",
         "faults_injected", "retries", "quarantined_entries", "store_disabled",
+        "backend_hits", "cells_claimed", "cells_stolen", "cells_requeued",
+        "lease_renewals",
     ),
     "fuzz": (
         "cases", "prefiltered", "divergences", "corpus_entries", "findings",

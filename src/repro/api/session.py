@@ -373,3 +373,17 @@ class Session:
             store_dir=self.config.store_dir,
             fault_plan=self.config.fault_plan,
         )
+
+    def join_matrix_scheduler(self, campaign_id: str) -> MatrixScheduler:
+        """Rebuild a scheduler to attach to a running campaign as a fabric
+        worker (``campaign --join``); run it with
+        :meth:`~repro.campaign.MatrixScheduler.run_join`."""
+        return MatrixScheduler.join(
+            campaign_id,
+            workers=self.config.workers,
+            report_dir=self.config.report_dir,
+            manifest_dir=self.config.manifest_dir,
+            cache_dir=self.config.cache_dir,
+            store_dir=self.config.store_dir,
+            fault_plan=self.config.fault_plan,
+        )

@@ -31,6 +31,7 @@ from .plan import CampaignJob, MutationPlan
 from .report import CampaignReportWriter, format_cell_table, read_report, summarise_records
 from .runner import Campaign, CampaignConfig, CampaignSummary, run_campaign
 from .scheduler import (
+    JoinRunResult,
     MatrixCell,
     MatrixRunResult,
     MatrixScheduler,
@@ -64,6 +65,7 @@ __all__ = [
     "MatrixSpec",
     "MatrixScheduler",
     "MatrixRunResult",
+    "JoinRunResult",
     "estimate_cell_cost",
     "parse_sizes",
 ]

@@ -317,6 +317,43 @@ class CampaignManifest:
                 totals[key] += int(summary.get(key, 0) or 0)
         return totals
 
+    def lease_overview(self, now: Optional[float] = None) -> Dict:
+        """Owner/heartbeat/attempts roll-up of the manifest, for ``campaign ls``.
+
+        ``owner`` is the ``pid@host`` of the *freshest* running lease (or
+        ``None`` when nothing is running / no lease was recorded),
+        ``heartbeat_age`` its age in seconds, ``live`` whether that lease
+        still passes :func:`lease_is_stale`, and ``attempts`` the maximum
+        claim count of any cell — a number above 1 means some cell was
+        re-queued after a crash or interruption.
+        """
+        current = time.time() if now is None else now
+        owner = None
+        heartbeat = None
+        live = False
+        attempts = 0
+        for cell in self.cells.values():
+            attempts = max(attempts, int(cell.get("attempts") or 0))
+            if cell.get("status") != CELL_RUNNING:
+                continue
+            lease = cell.get("owner")
+            if not isinstance(lease, dict):
+                continue
+            try:
+                beat = float(lease["heartbeat"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if heartbeat is None or beat > heartbeat:
+                heartbeat = beat
+                owner = f"{lease.get('pid', '?')}@{lease.get('host', '?')}"
+                live = not lease_is_stale(lease, now=current)
+        return {
+            "owner": owner,
+            "heartbeat_age": None if heartbeat is None else max(0.0, current - heartbeat),
+            "live": live,
+            "attempts": attempts,
+        }
+
     def progress(self) -> Dict[str, int]:
         """Cell counts by manifest status (``done`` / ``running`` / ``pending``)."""
         counts = {CELL_DONE: 0, CELL_RUNNING: 0, CELL_PENDING: 0}

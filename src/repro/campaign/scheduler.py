@@ -18,6 +18,16 @@ into :class:`MatrixCell`\\ s, one bug-hunting campaign per combination.  The
   ``campaign --resume <id>`` skips completed cells and re-queues interrupted
   ones.
 
+Every sweep also runs under the distributed campaign fabric
+(:mod:`repro.dist`): the scheduler claims each cell through a lease-based
+:class:`~repro.dist.JobQueue` living next to the manifest, so any number of
+extra workers can attach to a running sweep with ``campaign --join <id>``
+(:meth:`MatrixScheduler.run_join`).  Joiners never write the manifest — they
+drain the queue and publish idempotent completion records, which the
+coordinator merges into the manifest and the ``summary.json`` roll-up.  With
+no joiners every claim trivially succeeds and the sweep behaves exactly as a
+solo run.  See ``docs/distributed.md`` for the protocol.
+
 Specs load from TOML or JSON files (``MatrixSpec.from_file``) or from plain
 mappings assembled by CLI flags (``MatrixSpec.from_mapping``).  A minimal TOML
 spec::
@@ -48,6 +58,7 @@ from ..benchgen.families import (
     validate_family_size,
 )
 from ..core.engine import AnalysisMode
+from ..dist.queue import JobQueue
 from ..faults import FaultPlan
 from .cache import atomic_write_json, resolve_store_dir
 from .manifest import CampaignManifest, ManifestError, default_manifest_dir
@@ -58,6 +69,7 @@ __all__ = [
     "MatrixCell",
     "MatrixSpec",
     "MatrixRunResult",
+    "JoinRunResult",
     "MatrixScheduler",
     "estimate_cell_cost",
     "parse_sizes",
@@ -78,6 +90,20 @@ _RANGE_PATTERN = re.compile(r"^\s*(\d+)\s*-\s*(\d+)\s*$")
 #: executing (piggybacked on campaign record completion, so it costs one
 #: manifest write at most this often) — well under the lease TTL
 HEARTBEAT_INTERVAL_SECONDS = 60.0
+
+#: how long the coordinator sleeps between polls while every remaining cell
+#: is held by a live joiner (it wakes to merge their completions, or to steal
+#: cells whose leases went stale)
+FABRIC_POLL_SECONDS = 0.5
+
+#: per-cell summary counters copied into matrix rows and summed into totals
+_ROW_COUNTER_KEYS = (
+    "jobs", "holds", "violated", "unsupported", "errors", "cache_hits",
+    "store_hits", "store_misses", "store_publishes",
+    "faults_injected", "retries", "quarantined_entries",
+    "backend_hits", "cells_claimed", "cells_stolen", "cells_requeued",
+    "lease_renewals",
+)
 
 
 def parse_sizes(value: Union[int, str, Sequence]) -> Tuple[int, ...]:
@@ -367,6 +393,40 @@ class MatrixRunResult:
         )
 
 
+@dataclass
+class JoinRunResult:
+    """What a fabric worker reports after ``campaign --join`` drains the queue.
+
+    ``rows`` covers only the cells *this* worker executed and published —
+    the campaign-wide picture lives with the coordinator.  ``counters`` is
+    the worker's :meth:`~repro.dist.JobQueue.counter_snapshot`: claims,
+    steals, re-queues, lease renewals, completions, duplicates, conflicts.
+    """
+
+    campaign_id: str
+    manifest_path: str
+    queue_dir: str
+    rows: List[Dict]  # one per cell this worker completed
+    totals: Dict
+    counters: Dict
+    wall_seconds: float
+
+    @property
+    def cells_executed(self) -> int:
+        return len(self.rows)
+
+    @property
+    def trustworthy(self) -> bool:
+        """Same contract as a sweep, plus: a completion *conflict* (two
+        workers publishing different verdicts for one cell) taints the run —
+        deterministic verification should make that impossible."""
+        return not (
+            self.totals.get("errors", 0)
+            or any(row.get("reference_violated") for row in self.rows)
+            or self.counters.get("conflicts", 0)
+        )
+
+
 class MatrixScheduler:
     """Drives a :class:`MatrixSpec` to completion, checkpointing every cell."""
 
@@ -411,6 +471,11 @@ class MatrixScheduler:
                    campaign_id=campaign_id, store_dir=store_dir,
                    fault_plan=fault_plan)
 
+    #: ``campaign --join <id>`` rebuilds a scheduler exactly like ``--resume``
+    #: — the difference is which entry point runs (:meth:`run_join` never
+    #: plans and never writes the manifest)
+    join = resume
+
     # -- internals ---------------------------------------------------------
 
     def _cell_report_path(self, cell: MatrixCell) -> str:
@@ -447,7 +512,105 @@ class MatrixScheduler:
             self.spec.fingerprint(), cell_ids,
         )
 
+    def _queue(self) -> JobQueue:
+        return JobQueue(self.manifest_dir, self.campaign_id)
+
+    def _make_pool(self, wanted: bool):
+        """The shared worker pool (or ``None`` for in-process execution)."""
+        if self.workers <= 1 or not wanted:
+            return None
+        context = Campaign._pool_context()
+        # all cells share one pool AND one automaton store: workers attach
+        # to it once here, then reuse prefixes across cells
+        return context.Pool(
+            processes=self.workers,
+            initializer=initialise_worker,
+            initargs=(resolve_store_dir(self.cache_dir, self.store_dir),
+                      self.fault_plan),
+        )
+
+    def _row_for(self, cell: MatrixCell, summary: Dict, reused: bool) -> Dict:
+        row = {
+            "cell": cell.cell_id,
+            "family": cell.family,
+            "size": cell.size,
+            "mode": cell.mode,
+            "reused": reused,
+        }
+        for key in _ROW_COUNTER_KEYS:
+            row[key] = summary.get(key, 0)
+        row["store_disabled"] = summary.get("store_disabled", False)
+        row["wall_seconds"] = summary.get("wall_seconds", 0.0)
+        row["reference_violated"] = summary.get("reference_violated", False)
+        row["report_path"] = summary.get("report_path")
+        row["phase_seconds"] = summary.get("phase_seconds", {})
+        return row
+
+    @staticmethod
+    def _totals_for(rows: List[Dict]) -> Dict:
+        totals = {key: sum(row.get(key, 0) for row in rows)
+                  for key in _ROW_COUNTER_KEYS}
+        totals["store_disabled"] = any(row.get("store_disabled") for row in rows)
+        totals["wall_seconds"] = sum(row.get("wall_seconds", 0.0) for row in rows)
+        return totals
+
+    def _execute_cell(self, cell: MatrixCell, queue: JobQueue, lease,
+                      manifest: Optional[CampaignManifest], pool, runtime,
+                      say: Callable[[str], None]) -> Dict:
+        """Run one claimed cell and publish its completion to the queue.
+
+        When ``manifest`` is given (coordinator), the cell is also tracked
+        through the manifest lease states; joiners pass ``None`` and leave
+        the manifest to the coordinator.  Returns the cell's accepted
+        summary dict — the winner's, if another worker published first.
+        """
+        if manifest is not None:
+            manifest.mark_running(cell.cell_id, report_path=self._cell_report_path(cell))
+            if manifest.attempts(cell.cell_id) > 1:
+                say(f"  (attempt {manifest.attempts(cell.cell_id)} — previous "
+                    "claim of this cell died or was interrupted)")
+        # refresh the lease heartbeats as records complete, so a long cell
+        # never looks abandoned to the other fabric workers
+        beat = [time.monotonic()]
+
+        def _heartbeat(_record, cell_id=cell.cell_id, lease=lease, beat=beat):
+            if time.monotonic() - beat[0] >= HEARTBEAT_INTERVAL_SECONDS:
+                if manifest is not None:
+                    manifest.touch_running(cell_id)
+                queue.renew(lease)
+                beat[0] = time.monotonic()
+
+        summary = Campaign(self._cell_config(cell)).run(
+            pool=pool, runtime=runtime, on_record=_heartbeat)
+        summary.apply_lease(lease)
+        summary_dict = summary.to_dict()
+        outcome = queue.complete(lease, summary_dict,
+                                 report_path=self._cell_report_path(cell))
+        if outcome != "accepted":
+            say(f"  completion discarded ({outcome}): another worker already "
+                f"published {cell.cell_id}")
+            winner = queue.result(cell.cell_id)
+            if winner is not None and isinstance(winner.get("summary"), dict):
+                summary_dict = winner["summary"]
+        if manifest is not None:
+            manifest.mark_done(cell.cell_id, summary_dict)
+        return summary_dict
+
     # -- execution ---------------------------------------------------------
+
+    def plan(self, resume: bool = False) -> str:
+        """Materialise the manifest and the fabric queue without running
+        anything; returns the manifest path.
+
+        This is how a coordinator opens a campaign for ``--join`` workers
+        before (or instead of) executing cells itself — the benchmark and
+        smoke harnesses use it to measure pure-joiner throughput.
+        """
+        manifest = self._open_manifest(resume)
+        queue = self._queue()
+        if not resume:
+            queue.reset()
+        return manifest.path
 
     def run(
         self,
@@ -464,12 +627,21 @@ class MatrixScheduler:
         ``runtime`` optionally names the :class:`~repro.core.engine.GateRuntime`
         used for in-process verification (see :meth:`Campaign.run`); pool
         workers always use their own per-process runtimes.
+
+        The run is also the campaign's fabric *coordinator*: every cell is
+        claimed through the lease queue before executing, completions
+        published by ``--join`` workers are merged into the manifest instead
+        of re-executed, and cells currently held by a live joiner are waited
+        on (or stolen, once their lease goes stale).
         """
         say = progress or (lambda message: None)
         start = time.perf_counter()
         cells = self.spec.cells()
         by_id = {cell.cell_id: cell for cell in cells}
         manifest = self._open_manifest(resume)
+        queue = self._queue()
+        if not resume:
+            queue.reset()
 
         reused = set(manifest.completed_cell_ids())
         interrupted = manifest.interrupted_cell_ids()
@@ -487,76 +659,56 @@ class MatrixScheduler:
 
         os.makedirs(os.path.join(self.report_dir, self.campaign_id), exist_ok=True)
         pool = None
+        merged = 0
         try:
-            if self.workers > 1 and todo:
-                context = Campaign._pool_context()
-                # all cells share one pool AND one automaton store: workers
-                # attach to it once here, then reuse prefixes across cells
-                pool = context.Pool(
-                    processes=self.workers,
-                    initializer=initialise_worker,
-                    initargs=(resolve_store_dir(self.cache_dir, self.store_dir),
-                              self.fault_plan),
-                )
-            for position, cell in enumerate(todo, 1):
-                say(f"[{position}/{len(todo)}] {cell.cell_id} "
-                    f"({cell.mutants} mutant(s), est. cost {estimate_cell_cost(cell):.0f})")
-                manifest.mark_running(cell.cell_id, report_path=self._cell_report_path(cell))
-                if manifest.attempts(cell.cell_id) > 1:
-                    say(f"  (attempt {manifest.attempts(cell.cell_id)} — previous "
-                        "claim of this cell died or was interrupted)")
-                # refresh the lease heartbeat as records complete, so a long
-                # cell never looks abandoned to a concurrent --resume
-                beat = [time.monotonic()]
-
-                def _heartbeat(_record, cell_id=cell.cell_id, beat=beat):
-                    if time.monotonic() - beat[0] >= HEARTBEAT_INTERVAL_SECONDS:
-                        manifest.touch_running(cell_id)
-                        beat[0] = time.monotonic()
-
-                summary = Campaign(self._cell_config(cell)).run(
-                    pool=pool, runtime=runtime, on_record=_heartbeat)
-                manifest.mark_done(cell.cell_id, summary.to_dict())
+            pool = self._make_pool(wanted=bool(todo))
+            position = 0
+            remaining = list(todo)
+            waiting_announced = False
+            while remaining:
+                progressed = False
+                held: List[MatrixCell] = []
+                for cell in remaining:
+                    record = queue.result(cell.cell_id)
+                    if record is not None:
+                        # a joiner finished this cell — adopt its verdicts
+                        summary = record.get("summary")
+                        manifest.mark_done(
+                            cell.cell_id,
+                            summary if isinstance(summary, dict) else {})
+                        worker = record.get("worker") or {}
+                        say(f"merged {cell.cell_id} completed by worker "
+                            f"{worker.get('pid', '?')}@{worker.get('host', '?')}")
+                        merged += 1
+                        progressed = True
+                        continue
+                    lease = queue.claim(cell.cell_id)
+                    if lease is None:
+                        held.append(cell)  # a live joiner owns it (for now)
+                        continue
+                    position += 1
+                    say(f"[{position}/{len(todo)}] {cell.cell_id} "
+                        f"({cell.mutants} mutant(s), est. cost {estimate_cell_cost(cell):.0f})")
+                    self._execute_cell(cell, queue, lease, manifest, pool,
+                                       runtime, say)
+                    progressed = True
+                remaining = held
+                if remaining and not progressed:
+                    if not waiting_announced:
+                        say(f"waiting on {len(remaining)} cell(s) held by "
+                            "joined worker(s): "
+                            + ", ".join(cell.cell_id for cell in remaining))
+                        waiting_announced = True
+                    time.sleep(FABRIC_POLL_SECONDS)
         finally:
             if pool is not None:
                 pool.terminate()
                 pool.join()
 
-        rows = []
-        for cell in cells:
-            summary = manifest.summary(cell.cell_id) or {}
-            rows.append({
-                "cell": cell.cell_id,
-                "family": cell.family,
-                "size": cell.size,
-                "mode": cell.mode,
-                "reused": cell.cell_id in reused,
-                "jobs": summary.get("jobs", 0),
-                "holds": summary.get("holds", 0),
-                "violated": summary.get("violated", 0),
-                "unsupported": summary.get("unsupported", 0),
-                "errors": summary.get("errors", 0),
-                "cache_hits": summary.get("cache_hits", 0),
-                "store_hits": summary.get("store_hits", 0),
-                "store_misses": summary.get("store_misses", 0),
-                "store_publishes": summary.get("store_publishes", 0),
-                "faults_injected": summary.get("faults_injected", 0),
-                "retries": summary.get("retries", 0),
-                "quarantined_entries": summary.get("quarantined_entries", 0),
-                "store_disabled": summary.get("store_disabled", False),
-                "wall_seconds": summary.get("wall_seconds", 0.0),
-                "reference_violated": summary.get("reference_violated", False),
-                "report_path": summary.get("report_path"),
-                "phase_seconds": summary.get("phase_seconds", {}),
-            })
-        totals = {
-            key: sum(row[key] for row in rows)
-            for key in ("jobs", "holds", "violated", "unsupported", "errors", "cache_hits",
-                        "store_hits", "store_misses", "store_publishes",
-                        "faults_injected", "retries", "quarantined_entries")
-        }
-        totals["store_disabled"] = any(row["store_disabled"] for row in rows)
-        totals["wall_seconds"] = sum(row["wall_seconds"] for row in rows)
+        rows = [self._row_for(cell, manifest.summary(cell.cell_id) or {},
+                              reused=cell.cell_id in reused)
+                for cell in cells]
+        totals = self._totals_for(rows)
         wall = time.perf_counter() - start
 
         summary_path = os.path.join(self.report_dir, self.campaign_id, "summary.json")
@@ -577,7 +729,74 @@ class MatrixScheduler:
             "cells": rows,
             "totals": totals,
             "reused_cells": result.reused_cells,
+            #: cells executed and published by --join workers this run
+            "merged_cells": merged,
             "skipped_combinations": [list(pair) for pair in result.skipped_combinations],
             "wall_seconds": wall,
         }, indent=2)
         return result
+
+    def run_join(
+        self,
+        progress: Optional[Callable[[str], None]] = None,
+        runtime=None,
+    ) -> JoinRunResult:
+        """Attach to an existing campaign as a fabric worker and drain it.
+
+        A joiner does **no planning** and never writes the manifest: it
+        claims claimable cells from the lease queue (cheapest-first, the
+        same priority order the coordinator uses), executes each through the
+        normal campaign machinery (own per-cell JSONL report), and publishes
+        idempotent completion records the coordinator merges.  It returns
+        once nothing is left to claim — every remaining cell is either
+        completed or held by another live worker.
+        """
+        say = progress or (lambda message: None)
+        start = time.perf_counter()
+        # read-only manifest load: the authoritative "what is this sweep"
+        # record, and a guard against joining a different spec under this id
+        manifest = CampaignManifest.load(self.manifest_dir, self.campaign_id)
+        manifest.check_fingerprint(self.spec.fingerprint())
+        queue = self._queue()
+
+        done = set(manifest.completed_cell_ids())
+        order = [cell for cell in sorted(self.spec.cells(), key=estimate_cell_cost)
+                 if cell.cell_id not in done]
+        os.makedirs(os.path.join(self.report_dir, self.campaign_id), exist_ok=True)
+
+        rows: List[Dict] = []
+        pool = None
+        try:
+            pool = self._make_pool(wanted=bool(order))
+            progressed = True
+            while progressed:
+                # re-scan after every pass: cells abandoned by a worker that
+                # died while we were busy become claimable (stale lease)
+                progressed = False
+                for cell in order:
+                    if queue.result(cell.cell_id) is not None:
+                        continue
+                    lease = queue.claim(cell.cell_id)
+                    if lease is None:
+                        continue
+                    say(f"join: {cell.cell_id} (claim generation {lease.token}"
+                        + (", stolen from a stale lease" if lease.stolen else "")
+                        + ")")
+                    summary = self._execute_cell(cell, queue, lease, None,
+                                                 pool, runtime, say)
+                    rows.append(self._row_for(cell, summary, reused=False))
+                    progressed = True
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+        return JoinRunResult(
+            campaign_id=self.campaign_id,
+            manifest_path=manifest.path,
+            queue_dir=queue.directory,
+            rows=rows,
+            totals=self._totals_for(rows),
+            counters=queue.counter_snapshot(),
+            wall_seconds=time.perf_counter() - start,
+        )

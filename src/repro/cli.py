@@ -20,6 +20,7 @@ Subcommands::
     autoq-repro campaign --families grover,bv --sizes 2-4 --modes hybrid,composition
                                                       # the same, from inline flags
     autoq-repro campaign --resume mx-b123be7f30a4     # continue an interrupted sweep
+    autoq-repro campaign --join mx-b123be7f30a4       # attach as an extra fabric worker
     autoq-repro campaign ls                           # list campaigns in the manifest dir
     autoq-repro fuzz --budget 60 --seed 0             # differential fuzzing of the engine
     autoq-repro fuzz --corpus corpus/                 # ... storing minimized divergences
@@ -69,8 +70,19 @@ reports land under ``--report-dir``, and progress checkpoints into a resumable
 manifest (``--manifest-dir``) keyed by the campaign id printed at the start.
 Interrupt a sweep with Ctrl-C and ``campaign --resume <id>`` finishes it
 without re-verifying completed cells.  ``campaign ls`` lists every manifest in
-the manifest directory with its per-verdict cell counts and whether
-``--resume`` would pick up remaining work.
+the manifest directory with its per-verdict cell counts, the owner and
+heartbeat age of the freshest running lease, the maximum per-cell attempt
+count, and whether ``--resume`` would pick up remaining work.
+
+A running matrix sweep is also a **distributed campaign** (see
+``docs/distributed.md``): the scheduler claims every cell through a
+lease-based job queue next to the manifest, so ``campaign --join <id>`` from
+any process sharing the manifest directory attaches as an extra worker —
+it drains claimable cells, writes its own per-cell JSONL reports, and
+publishes idempotent completion records the coordinating sweep merges into
+the manifest and ``summary.json``.  Kill a joiner at any point: its leases
+expire (``$AUTOQ_REPRO_LEASE_TTL``, immediately for a dead same-host pid)
+and the surviving workers steal and finish its cells.
 
 ``verify`` and ``campaign`` accept ``--profile``, which prints the per-phase
 engine breakdown (tag/terms/bin/untag for the composition pipeline, plus
@@ -275,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--modes", default=None,
                           help="matrix mode: comma-separated engine modes "
                                f"from {AnalysisMode.ALL}")
+    campaign.add_argument("--join", metavar="ID", default=None,
+                          help="attach to the campaign with this id as an extra fabric "
+                               "worker: claim cells from its lease queue, publish "
+                               "completions, never touch the manifest (the coordinating "
+                               "sweep merges them; see docs/distributed.md)")
     campaign.add_argument("--resume", metavar="ID", default=None,
                           help="resume the campaign with this id: completed cells are "
                                "skipped, interrupted ones re-queued")
@@ -888,6 +905,55 @@ def _command_campaign_matrix(args) -> int:
     return exit_code
 
 
+def _command_campaign_join(args) -> int:
+    """``campaign --join <id>``: drain an existing campaign's fabric queue."""
+    progress = (lambda message: None) if args.json else print
+    try:
+        with _session(args) as session:
+            scheduler = session.join_matrix_scheduler(args.join)
+            progress(f"join:      {scheduler.campaign_id} as worker "
+                     f"{os.getpid()} ({args.workers} worker(s))")
+            progress(f"manifest:  {scheduler.manifest_dir}")
+            result = scheduler.run_join(progress=progress, runtime=session.runtime)
+    except ManifestError as error:
+        return _fail(args, "manifest-error", str(error))
+    except ValueError as error:
+        return _fail(args, "invalid-request", str(error))
+    except OSError as error:
+        return _fail(args, "os-error",
+                     f"cannot write report, cache, or queue files: {error}")
+    exit_code = 0 if result.trustworthy else 1
+    if args.json:
+        return _emit(ToolResult(tool="campaign-join", data={
+            "campaign_id": result.campaign_id,
+            "manifest_path": result.manifest_path,
+            "queue_dir": result.queue_dir,
+            "cells": result.rows,
+            "totals": result.totals,
+            "counters": result.counters,
+            "cells_executed": result.cells_executed,
+            "wall_seconds": result.wall_seconds,
+            "trustworthy": result.trustworthy,
+        }))
+    if result.rows:
+        print(format_cell_table(result.rows, result.totals))
+    else:
+        print("no claimable cells: the campaign is complete or every "
+              "remaining cell is held by another live worker")
+    counters = result.counters
+    print(f"fabric:    {counters.get('cells_claimed', 0)} claim(s), "
+          f"{counters.get('cells_stolen', 0)} stolen, "
+          f"{counters.get('lease_renewals', 0)} renewal(s), "
+          f"{counters.get('duplicates', 0)} duplicate completion(s), "
+          f"{counters.get('conflicts', 0)} conflict(s)")
+    print(f"time:      {result.wall_seconds:.2f}s wall this run")
+    if counters.get("conflicts"):
+        print("warning:   conflicting completion fingerprints — deterministic "
+              "verification should make this impossible; inspect the queue "
+              f"records under {result.queue_dir}", file=sys.stderr)
+    return exit_code
+
+
 def _command_campaign_ls(args) -> int:
     """``campaign ls``: list every manifest with cell counts by verdict."""
     directory = args.manifest_dir or default_manifest_dir()
@@ -902,6 +968,7 @@ def _command_campaign_ls(args) -> int:
             continue
         progress = manifest.progress()
         totals = manifest.verdict_totals()
+        leases = manifest.lease_overview()
         listing.append({
             "campaign_id": campaign_id,
             "cells_done": progress["done"],
@@ -909,6 +976,12 @@ def _command_campaign_ls(args) -> int:
             "cells_running": progress["running"],
             "cells_pending": progress["pending"],
             "complete": manifest.is_complete(),
+            # fabric/lease columns: who holds the freshest running lease,
+            # how stale its heartbeat is, and the worst per-cell claim count
+            "owner": leases["owner"],
+            "heartbeat_age": leases["heartbeat_age"],
+            "owner_live": leases["live"],
+            "attempts": leases["attempts"],
             **totals,
         })
     if args.json:
@@ -928,7 +1001,8 @@ def _command_campaign_ls(args) -> int:
         print("(no campaign manifests)")
         return 0
     header = (f"{'campaign':<24} {'cells':>9} {'jobs':>7} {'holds':>7} "
-              f"{'violated':>8} {'unsup':>6} {'errors':>6}  status")
+              f"{'violated':>8} {'unsup':>6} {'errors':>6} {'owner':>16} "
+              f"{'hb-age':>7} {'att':>4}  status")
     print(header)
     print("-" * len(header))
     for campaign_id, error in unreadable:
@@ -939,14 +1013,19 @@ def _command_campaign_ls(args) -> int:
         else:
             pieces = []
             if row["cells_running"]:
-                pieces.append(f"{row['cells_running']} interrupted")
+                label = "running" if row.get("owner_live") else "interrupted"
+                pieces.append(f"{row['cells_running']} {label}")
             if row["cells_pending"]:
                 pieces.append(f"{row['cells_pending']} pending")
             status = f"resumable ({', '.join(pieces)})"
         done_total = f"{row['cells_done']}/{row['cells_total']}"
+        owner = row.get("owner") or "-"
+        age = row.get("heartbeat_age")
+        age_text = "-" if age is None else f"{age:.0f}s"
         print(f"{row['campaign_id']:<24} {done_total:>9} {row['jobs']:>7} "
               f"{row['holds']:>7} {row['violated']:>8} {row['unsupported']:>6} "
-              f"{row['errors']:>6}  {status}")
+              f"{row['errors']:>6} {owner:>16} {age_text:>7} "
+              f"{row.get('attempts', 0):>4}  {status}")
     return 0
 
 
@@ -955,6 +1034,7 @@ def _command_campaign(args) -> int:
         conflicting = [flag for flag, value in (
             ("--family", args.family), ("--families", args.families),
             ("--matrix", args.matrix), ("--resume", args.resume),
+            ("--join", args.join),
             ("--sizes", args.sizes), ("--modes", args.modes),
             ("--mutants", args.mutants), ("--mutations", args.mutations),
             ("--corpus", args.corpus),
@@ -963,6 +1043,20 @@ def _command_campaign(args) -> int:
             return _fail(args, "invalid-request",
                          f"campaign ls only lists manifests; drop {', '.join(conflicting)}")
         return _command_campaign_ls(args)
+    if args.join is not None:
+        conflicting = [flag for flag, value in (
+            ("--family", args.family), ("--families", args.families),
+            ("--matrix", args.matrix), ("--resume", args.resume),
+            ("--sizes", args.sizes), ("--modes", args.modes),
+            ("--mutants", args.mutants), ("--mutations", args.mutations),
+            ("--corpus", args.corpus), ("--campaign-id", args.campaign_id),
+            ("--server", args.server),
+        ) if value is not None]
+        if conflicting:
+            return _fail(args, "invalid-request",
+                         "--join attaches to an existing campaign (its spec comes from "
+                         f"the manifest); drop {', '.join(conflicting)}")
+        return _command_campaign_join(args)
     if args.matrix or args.families or args.resume or args.sizes or args.modes:
         if args.family is not None:
             return _fail(args, "invalid-request",

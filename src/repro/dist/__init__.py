@@ -1,0 +1,40 @@
+"""Distributed campaign fabric: many workers, one campaign.
+
+The paper's Table 2/3 sweeps are embarrassingly parallel, and the pieces
+built by earlier PRs — the resumable manifest with pid/host/heartbeat leases,
+the content-addressed automaton store — were designed as coordination
+substrate.  This package turns them into an actual multi-process fabric:
+
+* :mod:`repro.dist.queue` — a lease-based job queue layered on the campaign
+  manifest directory.  Atomic claims with fencing tokens, heartbeat renewal,
+  idempotent first-writer-wins completion, and TTL-based re-queue of cells
+  owned by dead workers.
+
+Workers attach with ``campaign --join <id>`` (see
+:meth:`repro.campaign.scheduler.MatrixScheduler.join`); the coordinator's
+``summary.json`` roll-up merges whatever the fabric produced.  The store side
+of the fabric — every joined host sharing one daemon's verified
+gate-application prefixes — lives in :mod:`repro.ta.store_backend`.
+"""
+
+from .queue import (
+    CLAIM_DIR,
+    LEASE_TTL_ENV,
+    QUEUE_SUFFIX,
+    RESULT_DIR,
+    JobQueue,
+    QueueLease,
+    queue_dir_for,
+    result_fingerprint,
+)
+
+__all__ = [
+    "CLAIM_DIR",
+    "LEASE_TTL_ENV",
+    "QUEUE_SUFFIX",
+    "RESULT_DIR",
+    "JobQueue",
+    "QueueLease",
+    "queue_dir_for",
+    "result_fingerprint",
+]

@@ -2,7 +2,8 @@
 
 A :class:`FaultPlan` names *sites* — fixed strings the production code calls
 :func:`inject` with (``store.get``, ``store.put``, ``worker.cell``,
-``service.request``) — and gives each one a :class:`FaultSpec`: what failure
+``service.request``, ``queue.claim``) — and gives each one a
+:class:`FaultSpec`: what failure
 to produce (``raise``, ``crash-process``, ``corrupt-payload``, ``delay``),
 how often, and for how long.  Everything is driven by a per-site
 ``random.Random`` seeded from ``(plan.seed, site)``, so a plan replays the

@@ -60,6 +60,13 @@ class ServiceMetrics:
         self.engine_analysis_seconds_total = 0.0
         self.campaign_jobs_total = 0
         self.sse_records_total = 0
+        #: ``/api/v1/store/{digest}`` traffic by outcome (get-hit / get-miss /
+        #: get-error / put / put-error) — the daemon-side view of remote
+        #: store-backend usage by joined campaign hosts
+        self.store_requests_total: Dict[str, int] = {}
+        #: distributed-fabric counters lifted from finished campaign results
+        #: (cells claimed/stolen/requeued, lease renewals, remote-store hits)
+        self.fabric_totals: Dict[str, int] = {}
 
     # ------------------------------------------------------------- updates
     def request_started(self) -> None:
@@ -96,6 +103,17 @@ class ServiceMetrics:
             if error == "timeout":
                 self.timeouts_total += 1
 
+    def store_request(self, outcome: str) -> None:
+        """Count one store-endpoint request by outcome slug."""
+        with self._lock:
+            self.store_requests_total[outcome] = (
+                self.store_requests_total.get(outcome, 0) + 1
+            )
+
+    #: CampaignResult fields folded into ``fabric_totals`` by observe_result
+    _FABRIC_FIELDS = ("cells_claimed", "cells_stolen", "cells_requeued",
+                      "lease_renewals", "backend_hits")
+
     def observe_result(self, result) -> None:
         """Fold a finished result's engine numbers into the running totals."""
         statistics = getattr(result, "statistics", None)
@@ -109,6 +127,10 @@ class ServiceMetrics:
                 self.engine_analysis_seconds_total += analysis
             if jobs is not None:
                 self.campaign_jobs_total += jobs
+            for name in self._FABRIC_FIELDS:
+                value = getattr(result, name, None)
+                if value:
+                    self.fabric_totals[name] = self.fabric_totals.get(name, 0) + int(value)
 
     def record_streamed(self, count: int = 1) -> None:
         with self._lock:
@@ -171,7 +193,20 @@ class ServiceMetrics:
                 "# TYPE repro_kernel_backend gauge",
                 _sample("repro_kernel_backend", 1,
                         {"backend": active_backend_name()}),
+                "# HELP repro_store_endpoint_requests_total Store-endpoint requests by outcome (fabric hosts sharing this daemon's store).",
+                "# TYPE repro_store_endpoint_requests_total counter",
             ]
+            for outcome in sorted(self.store_requests_total):
+                lines.append(_sample("repro_store_endpoint_requests_total",
+                                     self.store_requests_total[outcome],
+                                     {"outcome": outcome}))
+            lines += [
+                "# HELP repro_fabric_total Distributed-fabric counters from finished campaigns (cells claimed/stolen/requeued, lease renewals, remote-store backend hits).",
+                "# TYPE repro_fabric_total counter",
+            ]
+            for name in sorted(self.fabric_totals):
+                lines.append(_sample("repro_fabric_total",
+                                     self.fabric_totals[name], {"counter": name}))
         if runtime_snapshot is not None:
             memo = runtime_snapshot.get("memo") or {}
             lines += [
@@ -193,7 +228,7 @@ class ServiceMetrics:
                     _sample("repro_store_memory_entries", store.get("memory_entries", 0)),
                 ]
                 for counter in ("hits", "misses", "publishes", "rejected",
-                                "quarantined", "retries"):
+                                "quarantined", "retries", "backend_hits"):
                     name = f"repro_store_{counter}_total"
                     lines += [
                         f"# HELP {name} Automaton-store session counter '{counter}'.",

@@ -44,6 +44,14 @@ The store is *purely* an optimisation: every ``get`` may return ``None`` and
 every ``put`` may silently lose a race — callers must always be able to
 recompute.  Maintenance (``stats`` / ``gc`` / ``clear``) is exposed through
 the ``cache`` CLI subcommand.
+
+Raw entry transport is pluggable (:mod:`repro.ta.store_backend`): the
+default is the local sharded directory described above, while a location of
+``http(s)://host:port`` attaches the daemon's ``/api/v1/store/{digest}``
+endpoints instead, so hosts joined to one campaign share a single store.
+Remote reads that hit count as ``backend_hits`` next to the plain ``hits``
+counter; purely local concerns (quarantine, gc, version stamping) are no-ops
+for a remote backend — damage handling is the serving daemon's job.
 """
 
 from __future__ import annotations
@@ -52,13 +60,19 @@ import hashlib
 import json
 import logging
 import os
-import tempfile
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from ..faults import DEFAULT_STORE_RETRY, RetryPolicy, active_injector, inject
 from . import serialization
 from .automaton import TreeAutomaton
+from .store_backend import (
+    HTTPStoreBackend,
+    LocalDirectoryBackend,
+    StoreBackend,
+    backend_for,
+    is_remote_location,
+)
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
@@ -70,6 +84,10 @@ __all__ = [
     "fingerprint",
     "StoreEntry",
     "AutomatonStore",
+    "StoreBackend",
+    "LocalDirectoryBackend",
+    "HTTPStoreBackend",
+    "is_remote_location",
 ]
 
 #: version of the store layout *and* entry payloads; bumping it (or
@@ -106,7 +124,10 @@ def open_store(directory: Optional[str]) -> Optional["AutomatonStore"]:
     The store is purely an optimisation, so every consumer — session
     runtimes, campaign pool workers — wants the same degrade-to-nothing
     behaviour instead of a crash when the directory cannot be created or
-    stamped.  This helper is that one policy.
+    stamped.  This helper is that one policy.  ``directory`` may also be an
+    ``http(s)://`` daemon URL, which attaches the remote backend
+    (:mod:`repro.ta.store_backend`) — an unreachable daemon degrades at
+    ``get``/``put`` time, never here.
     """
     if directory is None:
         return None
@@ -188,18 +209,26 @@ class AutomatonStore:
 
     def __init__(self, directory: str, max_memory_entries: int = 256,
                  retry: Optional[RetryPolicy] = None,
-                 fault_threshold: int = DEFAULT_FAULT_THRESHOLD):
+                 fault_threshold: int = DEFAULT_FAULT_THRESHOLD,
+                 backend: Optional[StoreBackend] = None):
         self.directory = directory
+        self.backend = backend if backend is not None else backend_for(directory)
+        # the local backend (None for remote stores) gates every file-level
+        # concern: quarantine, gc, version stamping, recency touches
+        self._local: Optional[LocalDirectoryBackend] = (
+            self.backend if isinstance(self.backend, LocalDirectoryBackend) else None
+        )
         self.max_memory_entries = max_memory_entries
         self._memory: "OrderedDict[str, StoreEntry]" = OrderedDict()
         self.counters = {"hits": 0, "misses": 0, "publishes": 0, "rejected": 0,
-                         "quarantined": 0, "retries": 0}
+                         "quarantined": 0, "retries": 0, "backend_hits": 0}
         self.retry = retry if retry is not None else DEFAULT_STORE_RETRY
         self.fault_threshold = fault_threshold
         self.disabled = False
         self._consecutive_faults = 0
-        os.makedirs(directory, exist_ok=True)
-        self._stamp_version()
+        if self._local is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._stamp_version()
 
     # ------------------------------------------------------------- versioning
     def _version_path(self) -> str:
@@ -244,7 +273,9 @@ class AutomatonStore:
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.directory, key[:2], f"{key}.json")
+        if self._local is None:
+            raise ValueError(f"remote store {self.backend.describe()} has no entry paths")
+        return self._local.path_for(key)
 
     # -------------------------------------------------------------- get / put
     def _count_retry(self, _attempt: int, _error: BaseException) -> None:
@@ -261,16 +292,15 @@ class AutomatonStore:
                 "store tier", self.directory, self._consecutive_faults, error,
             )
 
-    def _read_payload(self, path: str):
-        """Raw read of one entry file; the ``store.get`` fault site."""
+    def _read_payload(self, key: str):
+        """Raw read of one entry; the ``store.get`` fault site."""
         inject("store.get")
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except FileNotFoundError as error:
-            # a plain miss is deterministic — re-raised as a non-OSError so
-            # the retry policy (allowlist: OSError) never loops on it
-            raise _EntryMissing(path) from error
+        text = self.backend.read_text(key)
+        if text is None:
+            # a plain miss is deterministic — raised as a non-OSError so the
+            # retry policy (allowlist: OSError) never loops on it
+            raise _EntryMissing(key)
+        return json.loads(text)
 
     def get(self, key: str) -> Optional[StoreEntry]:
         """Fetch and decode an entry; ``None`` on any miss or damage.
@@ -286,9 +316,8 @@ class AutomatonStore:
             self._memory.move_to_end(key)
             self.counters["hits"] += 1
             return cached
-        path = self._path(key)
         try:
-            payload = self.retry.call(self._read_payload, path,
+            payload = self.retry.call(self._read_payload, key,
                                       on_retry=self._count_retry)
         except _EntryMissing:
             # a plain miss: not a fault, but not evidence of health either
@@ -296,42 +325,57 @@ class AutomatonStore:
             return None
         except OSError as error:
             self._note_fault(error)
-            if os.path.exists(path):
-                self.counters["rejected"] += 1
-                self._quarantine(path, f"unreadable entry: {error}")
+            self._reject_entry(key, f"unreadable entry: {error}")
             self.counters["misses"] += 1
             return None
         except ValueError as error:
-            if os.path.exists(path):
-                self.counters["rejected"] += 1
-                self._quarantine(path, f"undecodable JSON: {error}")
+            self._reject_entry(key, f"undecodable JSON: {error}", always_count=True)
             self.counters["misses"] += 1
             return None
         try:
             if not isinstance(payload, dict) or payload.get("store_schema") != STORE_SCHEMA_VERSION:
-                raise ValueError(f"store schema mismatch in {path}")
+                raise ValueError(f"store schema mismatch for {key}")
             automaton = serialization.from_payload(payload["automaton"])
             meta = payload.get("meta") or {}
             if not isinstance(meta, dict):
                 raise ValueError("entry meta must be a dict")
         except (KeyError, ValueError) as error:
-            self.counters["rejected"] += 1
             self.counters["misses"] += 1
-            self._quarantine(path, f"invalid payload: {error}")
+            self._reject_entry(key, f"invalid payload: {error}", always_count=True)
             return None
         self._consecutive_faults = 0
         entry = StoreEntry(automaton, meta)
         self._remember(key, entry)
         self.counters["hits"] += 1
-        try:
-            # refresh recency so gc() (least-recently-touched eviction) keeps
-            # hot entries; puts are one-shot, so reads are the real heat signal
-            os.utime(path, None)
-        except OSError:
-            pass
+        if self.backend.remote:
+            self.counters["backend_hits"] += 1
+        elif self._local is not None:
+            try:
+                # refresh recency so gc() (least-recently-touched eviction)
+                # keeps hot entries; puts are one-shot, so reads are the real
+                # heat signal
+                os.utime(self._local.path_for(key), None)
+            except OSError:
+                pass
         return entry
 
-    def _write_text(self, path: str, text: str) -> None:
+    def _reject_entry(self, key: str, reason: str, always_count: bool = False) -> None:
+        """Count a damaged entry and quarantine its file when one exists.
+
+        Remote entries have no local file to move — the serving daemon owns
+        damage handling there — so only the counter moves (and only when the
+        damage is certain, not merely a transport error)."""
+        if self._local is not None:
+            path = self._local.path_for(key)
+            if os.path.exists(path):
+                self.counters["rejected"] += 1
+                self._quarantine(path, reason)
+            elif always_count:
+                self.counters["rejected"] += 1
+        elif always_count or self.backend.remote:
+            self.counters["rejected"] += 1
+
+    def _write_text(self, key: str, text: str) -> None:
         """Raw publish of one serialized entry; the ``store.put`` fault site."""
         spec = inject("store.put")
         if spec is not None and spec.kind == "corrupt-payload":
@@ -339,7 +383,7 @@ class AutomatonStore:
             injector = active_injector()
             if injector is not None:
                 text = injector.corrupt("store.put", text)
-        self._atomic_write_text(path, text)
+        self.backend.write_text(key, text)
 
     def put(self, key: str, automaton: TreeAutomaton, meta: Optional[Dict] = None) -> bool:
         """Publish an entry atomically; returns False when the write failed.
@@ -358,7 +402,7 @@ class AutomatonStore:
         }
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         try:
-            self.retry.call(self._write_text, self._path(key), text,
+            self.retry.call(self._write_text, key, text,
                             on_retry=self._count_retry)
         except OSError as error:
             self._note_fault(error)
@@ -409,19 +453,7 @@ class AutomatonStore:
 
     @staticmethod
     def _atomic_write_text(path: str, text: str) -> None:
-        directory = os.path.dirname(path) or "."
-        os.makedirs(directory, exist_ok=True)
-        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(temp_path, path)
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+        LocalDirectoryBackend.write_text_at(path, text)
 
     # ------------------------------------------------------------ maintenance
     @staticmethod

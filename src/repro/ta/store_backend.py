@@ -1,0 +1,209 @@
+"""Pluggable raw-I/O backends behind the content-addressed automaton store.
+
+:class:`~repro.ta.store.AutomatonStore` owns everything *semantic* about the
+store tier — content addressing, the in-process LRU, quarantine, retry and
+self-degradation.  What varies between deployments is only where the raw
+entry text lives, and that is this module's job: a :class:`StoreBackend` maps
+a store key to entry text and back, nothing more.
+
+Two backends ship:
+
+* :class:`LocalDirectoryBackend` — the original sharded-directory layout
+  (``<root>/<key[:2]>/<key>.json``, atomic temp-file + ``os.replace``
+  publishes), extracted verbatim from ``AutomatonStore`` so single-host
+  behaviour is unchanged.
+* :class:`HTTPStoreBackend` — speaks the serve daemon's
+  ``/api/v1/store/{digest}`` GET/PUT endpoints, so every host joined to a
+  campaign (``campaign --join``) shares one store of verified
+  gate-application prefixes instead of recomputing them per machine.
+
+Backends translate *their* failure vocabulary into the store's: a missing
+entry is ``None`` (never an exception — misses are the common case and must
+not trip retry loops), and every transport fault is an ``OSError`` so the
+store's existing :class:`~repro.faults.RetryPolicy` + degrade-to-disabled
+machinery applies unmodified.  :func:`backend_for` picks the backend from the
+location string (``http(s)://`` → HTTP, anything else → local directory),
+which is how ``--store-dir http://host:8642`` works end to end without any
+caller learning about backends.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import urllib.error
+import urllib.request
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+__all__ = [
+    "StoreBackend",
+    "LocalDirectoryBackend",
+    "HTTPStoreBackend",
+    "backend_for",
+    "is_remote_location",
+]
+
+#: path prefix of the daemon's store endpoints (shared with the service layer)
+STORE_ENDPOINT_PREFIX = "/api/v1/store/"
+
+#: transport timeout of one HTTP store round-trip; the store is an
+#: optimisation, so a slow coordinator must degrade (miss) quickly rather
+#: than stall the verification it was meant to speed up
+DEFAULT_HTTP_TIMEOUT = 10.0
+
+
+def is_remote_location(location: Optional[str]) -> bool:
+    """Whether a store location names a remote daemon instead of a directory."""
+    return bool(location) and (
+        location.startswith("http://") or location.startswith("https://")
+    )
+
+
+def backend_for(location: str) -> "StoreBackend":
+    """The backend matching a store location string."""
+    if is_remote_location(location):
+        return HTTPStoreBackend(location)
+    return LocalDirectoryBackend(location)
+
+
+class StoreBackend(ABC):
+    """Raw key → entry-text transport behind :class:`AutomatonStore`.
+
+    Contract: :meth:`read_text` returns ``None`` for a plain miss and raises
+    ``OSError`` for transport faults; :meth:`write_text` raises ``OSError``
+    when the publish failed.  Neither method parses or validates the entry —
+    schema checks stay in the store, where quarantine lives.
+    """
+
+    #: remote backends have no local files to quarantine, gc, or stamp, and
+    #: their successful reads count as fabric ``backend_hits``
+    remote = False
+
+    #: the location string the backend was built from (directory or URL)
+    location = ""
+
+    @abstractmethod
+    def read_text(self, key: str) -> Optional[str]:
+        """Entry text for ``key``; ``None`` when the entry does not exist."""
+
+    @abstractmethod
+    def write_text(self, key: str, text: str) -> None:
+        """Publish entry text under ``key`` (atomic w.r.t. readers)."""
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({self.location})"
+
+
+class LocalDirectoryBackend(StoreBackend):
+    """Sharded local directory: ``<root>/<key[:2]>/<key>.json``.
+
+    Writes go to a temp file in the target shard and are published with
+    ``os.replace``, so concurrent writers of one key race benignly (last
+    writer wins with identical content) and readers never see a torn file.
+    """
+
+    def __init__(self, directory: str):
+        self.location = directory
+        self.directory = directory
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    def read_text(self, key: str) -> Optional[str]:
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def write_text(self, key: str, text: str) -> None:
+        self.write_text_at(self.path_for(key), text)
+
+    @staticmethod
+    def write_text_at(path: str, text: str) -> None:
+        """Atomic text write to an explicit path (also used for the version
+        stamp, which lives outside the sharded key space)."""
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def entry_paths(self, suffix: str = ".json") -> List[str]:
+        """Every entry file under the sharded layout (quarantine excluded)."""
+        # local import: repro.ta.store owns the quarantine-directory name
+        from .store import QUARANTINE_DIR
+
+        paths: List[str] = []
+        try:
+            shards = sorted(os.listdir(self.directory))
+        except OSError:
+            return paths
+        for shard in shards:
+            if shard == QUARANTINE_DIR:
+                continue
+            shard_path = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_path):
+                continue
+            for name in sorted(os.listdir(shard_path)):
+                if name.endswith(suffix):
+                    paths.append(os.path.join(shard_path, name))
+        return paths
+
+
+class HTTPStoreBackend(StoreBackend):
+    """Store entries served by a verification daemon over HTTP.
+
+    ``GET /api/v1/store/{key}`` → 200 with the entry text, or 404 for a miss;
+    ``PUT`` publishes.  Every transport or server-side failure becomes an
+    ``OSError``, which the owning store retries and eventually degrades on —
+    a dead coordinator turns the shared tier off, never the verification.
+    """
+
+    remote = True
+
+    def __init__(self, base_url: str, timeout: float = DEFAULT_HTTP_TIMEOUT):
+        self.location = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _url(self, key: str) -> str:
+        return f"{self.location}{STORE_ENDPOINT_PREFIX}{key}"
+
+    def read_text(self, key: str) -> Optional[str]:
+        request = urllib.request.Request(self._url(key), method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            if error.code == 404:
+                error.close()
+                return None
+            raise OSError(f"store GET {key[:12]}… failed: HTTP {error.code}") from error
+        except urllib.error.URLError as error:
+            raise OSError(f"store GET {key[:12]}… unreachable: {error.reason}") from error
+
+    def write_text(self, key: str, text: str) -> None:
+        request = urllib.request.Request(
+            self._url(key),
+            data=text.encode("utf-8"),
+            method="PUT",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                response.read()
+        except urllib.error.HTTPError as error:
+            code = error.code
+            error.close()
+            raise OSError(f"store PUT {key[:12]}… failed: HTTP {code}") from error
+        except urllib.error.URLError as error:
+            raise OSError(f"store PUT {key[:12]}… unreachable: {error.reason}") from error

@@ -21,7 +21,7 @@ from repro.api import schema
 from repro.campaign.report import REPORT_FIELDS
 
 #: the one and only place the expected schema version is spelled out in tests
-EXPECTED_API_VERSION = 3
+EXPECTED_API_VERSION = 4
 
 EXPECTED_API_ALL = [
     "API_VERSION",
@@ -58,6 +58,7 @@ EXPECTED_DOCUMENT_KINDS = [
     "cache-stats",
     "campaign",
     "campaign-job",
+    "campaign-join",
     "campaign-ls",
     "campaign-matrix",
     "equivalence",

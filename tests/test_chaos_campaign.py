@@ -7,16 +7,32 @@ but never change an answer.  ``scripts/chaos_smoke.py`` runs the same check
 as a subprocess-level CI gate.
 """
 
+import json
 import os
+import signal
+import subprocess
+import sys
+import time
 
 import pytest
 
+import repro
 from repro.api import CircuitSource, SessionConfig, VerifyProblem
-from repro.campaign import CampaignConfig, read_report, run_campaign
+from repro.campaign import (
+    CampaignConfig,
+    MatrixScheduler,
+    MatrixSpec,
+    read_report,
+    run_campaign,
+)
 from repro.core.engine import clear_gate_cache, set_gate_store
+from repro.dist import CLAIM_DIR, JobQueue, queue_dir_for
 from repro.faults import FaultPlan, FaultSpec, install_fault_plan, install_injector
 from repro.service import ServiceConfig, VerificationService
 from repro.ta.store import QUARANTINE_DIR
+
+#: import root of the package under test, for subprocess workers
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
 
 @pytest.fixture(autouse=True)
@@ -142,6 +158,105 @@ class TestWorkerChaos:
         records = read_report(chaotic.report_path)
         assert sum(int(record.get("retried") or 0) for record in records) >= 1
         assert chaos_summary.retries >= 1
+
+
+def _fabric_scheduler(tmp_path, campaign_id="fabric", **overrides) -> MatrixScheduler:
+    spec = MatrixSpec.from_mapping({"families": ["bv"], "sizes": "2-5", "mutants": 2})
+    settings = dict(
+        workers=1,
+        report_dir=str(tmp_path / "reports" / campaign_id),
+        manifest_dir=str(tmp_path / "manifests"),
+        cache_dir=str(tmp_path / "cache" / campaign_id),
+        campaign_id=campaign_id,
+    )
+    settings.update(overrides)
+    return MatrixScheduler(spec, **settings)
+
+
+def _spawn_joiner(tmp_path, campaign_id, name, faults=None) -> subprocess.Popen:
+    """``campaign --join`` in a real separate process, JSON output captured."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [sys.executable, "-m", "repro.cli", "campaign",
+            "--join", campaign_id, "--json",
+            "--manifest-dir", str(tmp_path / "manifests"),
+            "--cache-dir", str(tmp_path / "cache" / name),
+            "--report-dir", str(tmp_path / "reports" / name)]
+    if faults is not None:
+        argv += ["--faults", json.dumps(faults.to_dict())]
+    return subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+
+
+def _verdict_rows(rows):
+    return sorted((row["cell"], row["jobs"], row["holds"], row["violated"],
+                   row["unsupported"], row["errors"]) for row in rows)
+
+
+class TestFabricChaos:
+    def test_two_joined_processes_never_run_a_cell_twice(self, tmp_path):
+        coordinator = _fabric_scheduler(tmp_path)
+        coordinator.plan()
+
+        workers = [_spawn_joiner(tmp_path, "fabric", f"joiner-{index}")
+                   for index in range(2)]
+        documents = []
+        for worker in workers:
+            stdout, stderr = worker.communicate(timeout=120)
+            assert worker.returncode == 0, stderr
+            documents.append(json.loads(stdout))
+
+        executed = [
+            {row["cell"] for row in document["data"]["cells"]}
+            for document in documents
+        ]
+        # between them the joiners drained the whole sweep, without overlap
+        assert executed[0].isdisjoint(executed[1])
+        all_cells = {cell.cell_id for cell in coordinator.spec.cells()}
+        assert executed[0] | executed[1] == all_cells
+        for document in documents:
+            counters = document["data"]["counters"]
+            assert counters["duplicates"] == 0
+            assert counters["conflicts"] == 0
+
+        # the coordinator merges the joiners' results without re-executing
+        result = coordinator.run(resume=True)
+        assert result.trustworthy
+        assert result.totals["errors"] == 0
+        assert result.totals["jobs"] == len(all_cells) * 3  # reference + 2 mutants
+
+    def test_sigkilled_joiner_is_stolen_and_verdicts_match_solo(self, tmp_path):
+        solo = _fabric_scheduler(tmp_path, campaign_id="solo").run()
+
+        coordinator = _fabric_scheduler(tmp_path)
+        coordinator.plan()
+        # slow every verification job down so the joiner is mid-cell for
+        # seconds — long enough to observe its claim and SIGKILL it
+        molasses = FaultPlan(seed=0, sites=(
+            FaultSpec(site="worker.cell", kind="delay", rate=1.0,
+                      delay_seconds=1.0),
+        ))
+        victim = _spawn_joiner(tmp_path, "fabric", "victim", faults=molasses)
+        claim_dir = os.path.join(
+            queue_dir_for(str(tmp_path / "manifests"), "fabric"), CLAIM_DIR)
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if os.path.isdir(claim_dir) and os.listdir(claim_dir):
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("joiner never claimed a cell")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        # the dead pid makes the victim's lease stale immediately; the
+        # coordinator steals the cell and finishes the sweep
+        result = coordinator.run(resume=True)
+        assert result.trustworthy
+        assert result.totals["cells_stolen"] >= 1
+        assert _verdict_rows(result.rows) == _verdict_rows(solo.rows)
+        # no cell was counted twice anywhere in the roll-up
+        assert result.totals["jobs"] == solo.totals["jobs"]
 
 
 class TestServiceChaos:

@@ -1,0 +1,406 @@
+"""Distributed campaign fabric units (``repro.dist`` + store backends).
+
+Covers the lease queue's coordination primitives in-process — atomic claims
+with fencing tokens, heartbeat renewal, stale-lease stealing, idempotent
+first-writer-wins completion — plus the pluggable store backends (local
+sharded directory vs. HTTP against a live daemon), the per-client retry
+jitter derivation, and the in-process plan → join → merge workflow.  The
+cross-*process* guarantees (two joined schedulers, SIGKILLed joiner) live in
+``tests/test_chaos_campaign.py``.
+"""
+
+import json
+import os
+import socket
+import time
+
+import pytest
+
+from repro.api.client import ServiceClient
+from repro.api import SessionConfig
+from repro.campaign import JoinRunResult, ManifestError, MatrixScheduler, MatrixSpec
+from repro.dist import JobQueue, queue_dir_for, result_fingerprint
+from repro.dist.queue import LEASE_TTL_ENV, QueueLease, default_lease_ttl
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    install_fault_plan,
+    install_injector,
+)
+from repro.service import ServiceConfig, ServiceServer
+from repro.ta.store import AutomatonStore
+from repro.ta.store_backend import (
+    HTTPStoreBackend,
+    LocalDirectoryBackend,
+    backend_for,
+    is_remote_location,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_armed_plan():
+    install_injector(None)
+    yield
+    install_injector(None)
+
+
+def _queue(tmp_path, **kwargs) -> JobQueue:
+    return JobQueue(str(tmp_path), "camp", **kwargs)
+
+
+def _summary(holds: int = 3, violated: int = 1) -> dict:
+    return {"jobs": holds + violated, "holds": holds, "violated": violated,
+            "unsupported": 0, "errors": 0, "reference_violated": False,
+            "wall_seconds": 0.5}
+
+
+def _foreign_live_lease() -> dict:
+    """A lease no local liveness probe can invalidate: other host, fresh."""
+    return {"pid": 4242, "host": "elsewhere.example", "heartbeat": time.time()}
+
+
+def _write_claim(queue: JobQueue, cell_id: str, token: int, lease) -> str:
+    path = os.path.join(queue.claim_dir, f"{cell_id}.t{token}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"campaign_id": queue.campaign_id, "cell_id": cell_id,
+                   "token": token, "lease": lease}, handle)
+    return path
+
+
+class TestClaims:
+    def test_first_claim_takes_token_one(self, tmp_path):
+        queue = _queue(tmp_path)
+        lease = queue.claim("cell-a")
+        assert lease is not None
+        assert lease.token == 1 and not lease.stolen
+        assert os.path.exists(lease.path)
+        assert queue.counters["cells_claimed"] == 1
+        assert queue.counters["cells_stolen"] == 0
+
+    def test_cell_held_by_a_live_foreign_worker_is_unavailable(self, tmp_path):
+        queue = _queue(tmp_path)
+        _write_claim(queue, "cell-a", 1, _foreign_live_lease())
+        assert queue.claim("cell-a") is None
+        assert queue.counters["cells_claimed"] == 0
+
+    def test_stale_lease_is_stolen_at_the_next_token(self, tmp_path):
+        queue = _queue(tmp_path)
+        dead = {"pid": 4242, "host": "elsewhere.example",
+                "heartbeat": time.time() - 10_000.0}
+        old_path = _write_claim(queue, "cell-a", 1, dead)
+        lease = queue.claim("cell-a")
+        assert lease is not None
+        assert lease.token == 2 and lease.stolen
+        assert queue.counters["cells_stolen"] == 1
+        assert queue.counters["cells_requeued"] == 1
+        # the superseded generation was cleaned up
+        assert not os.path.exists(old_path)
+
+    def test_same_process_reclaim_is_not_a_steal(self, tmp_path):
+        # lease_is_stale treats our own pid as stale (a same-process resume
+        # reclaims its own cells), but that is a re-queue, not a steal
+        queue = _queue(tmp_path)
+        first = queue.claim("cell-a")
+        second = queue.claim("cell-a")
+        assert second is not None
+        assert second.token == first.token + 1
+        assert not second.stolen
+        assert queue.counters["cells_requeued"] == 1
+        assert queue.counters["cells_stolen"] == 0
+
+    def test_losing_the_creation_race_returns_none(self, tmp_path, monkeypatch):
+        queue = _queue(tmp_path)
+        # freeze the pre-claim snapshot at "unclaimed", then let another
+        # worker win the O_EXCL race for token 1 before we create it
+        monkeypatch.setattr(queue, "current_claim", lambda cell_id: (0, None))
+        _write_claim(queue, "cell-a", 1, _foreign_live_lease())
+        assert queue.claim("cell-a") is None
+        assert queue.counters["cells_claimed"] == 0
+
+    def test_completed_cell_is_never_claimable(self, tmp_path):
+        queue = _queue(tmp_path)
+        lease = queue.claim("cell-a")
+        assert queue.complete(lease, _summary()) == "accepted"
+        assert queue.claim("cell-a") is None
+
+    def test_claim_site_faults_are_retried(self, tmp_path):
+        install_fault_plan(FaultPlan(seed=0, sites=(
+            FaultSpec(site="queue.claim", kind="raise", every=1, limit=1),
+        )))
+        retries = []
+        retry = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0,
+                            sleep=lambda seconds: retries.append(seconds))
+        queue = _queue(tmp_path, retry=retry)
+        lease = queue.claim("cell-a")
+        assert lease is not None and lease.token == 1
+
+    def test_claim_site_fault_exhaustion_yields_none(self, tmp_path):
+        install_fault_plan(FaultPlan(seed=0, sites=(
+            FaultSpec(site="queue.claim", kind="raise", every=1),
+        )))
+        queue = _queue(tmp_path,
+                       retry=RetryPolicy(attempts=2, base_delay=0.0,
+                                         max_delay=0.0, sleep=lambda _s: None))
+        assert queue.claim("cell-a") is None
+
+
+class TestRenewal:
+    def test_renew_refreshes_the_heartbeat_in_place(self, tmp_path):
+        queue = _queue(tmp_path)
+        lease = queue.claim("cell-a")
+        before = queue.current_claim("cell-a")[1]["heartbeat"]
+        time.sleep(0.01)
+        assert queue.renew(lease) is True
+        after = queue.current_claim("cell-a")[1]["heartbeat"]
+        assert after > before
+        assert lease.renewals == 1
+        assert queue.counters["lease_renewals"] == 1
+
+    def test_renew_detects_deposition_by_a_higher_token(self, tmp_path):
+        queue = _queue(tmp_path)
+        lease = queue.claim("cell-a")
+        _write_claim(queue, "cell-a", lease.token + 1, _foreign_live_lease())
+        assert queue.renew(lease) is False
+        assert lease.renewals == 0
+
+
+class TestCompletion:
+    def test_first_writer_wins_and_duplicates_are_discarded(self, tmp_path):
+        queue = _queue(tmp_path)
+        winner = queue.claim("cell-a")
+        loser = QueueLease(cell_id="cell-a", token=winner.token + 1,
+                           path=os.path.join(queue.claim_dir, "cell-a.t2.json"))
+        assert queue.complete(winner, _summary()) == "accepted"
+        assert queue.complete(loser, _summary()) == "duplicate"
+        record = queue.result("cell-a")
+        assert record["token"] == winner.token
+        assert queue.counters["completions"] == 1
+        assert queue.counters["duplicates"] == 1
+        assert queue.counters["conflicts"] == 0
+
+    def test_disagreeing_completion_counts_as_a_conflict(self, tmp_path):
+        queue = _queue(tmp_path)
+        winner = queue.claim("cell-a")
+        queue.complete(winner, _summary(holds=3, violated=1))
+        rogue = QueueLease(cell_id="cell-a", token=9,
+                           path=os.path.join(queue.claim_dir, "cell-a.t9.json"))
+        assert queue.complete(rogue, _summary(holds=2, violated=2)) == "conflict"
+        assert queue.counters["conflicts"] == 1
+        # first writer still owns the published record
+        assert result_fingerprint(queue.result("cell-a")["summary"]) == \
+            result_fingerprint(_summary(holds=3, violated=1))
+
+    def test_completion_drops_the_cells_claim_files(self, tmp_path):
+        queue = _queue(tmp_path)
+        lease = queue.claim("cell-a")
+        queue.complete(lease, _summary())
+        assert queue._claim_files("cell-a") == []
+
+    def test_fingerprint_ignores_timings_and_worker_counters(self):
+        one = _summary()
+        two = dict(_summary(), wall_seconds=99.0, store_hits=7,
+                   cells_claimed=3)
+        assert result_fingerprint(one) == result_fingerprint(two)
+        assert result_fingerprint(one) != result_fingerprint(
+            dict(one, violated=one["violated"] + 1))
+
+    def test_garbled_result_file_is_deleted_not_trusted(self, tmp_path):
+        queue = _queue(tmp_path)
+        path = queue._result_path("cell-a")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert queue.result("cell-a") is None
+        assert not os.path.exists(path)
+
+
+class TestQueueInventory:
+    def test_pending_cells_skips_done_and_live_held(self, tmp_path):
+        queue = _queue(tmp_path)
+        done = queue.claim("cell-done")
+        queue.complete(done, _summary())
+        _write_claim(queue, "cell-held", 1, _foreign_live_lease())
+        dead = {"pid": 4242, "host": "elsewhere.example",
+                "heartbeat": time.time() - 10_000.0}
+        _write_claim(queue, "cell-stale", 1, dead)
+        cells = ["cell-done", "cell-held", "cell-stale", "cell-new"]
+        assert queue.pending_cells(cells) == ["cell-stale", "cell-new"]
+
+    def test_reset_drops_claims_and_results(self, tmp_path):
+        queue = _queue(tmp_path)
+        lease = queue.claim("cell-a")
+        queue.complete(lease, _summary())
+        queue.claim("cell-b")
+        queue.reset()
+        assert queue.completed_cell_ids() == []
+        assert queue._claim_files("cell-b") == []
+
+    def test_queue_dir_lives_next_to_the_manifest(self, tmp_path):
+        assert queue_dir_for("/m", "abc") == os.path.join("/m", "abc.queue")
+        queue = _queue(tmp_path)
+        assert queue.directory == os.path.join(str(tmp_path), "camp.queue")
+
+    def test_lease_ttl_env_override(self, monkeypatch):
+        monkeypatch.delenv(LEASE_TTL_ENV, raising=False)
+        base = default_lease_ttl()
+        monkeypatch.setenv(LEASE_TTL_ENV, "2.5")
+        assert default_lease_ttl() == 2.5
+        monkeypatch.setenv(LEASE_TTL_ENV, "not-a-number")
+        assert default_lease_ttl() == base
+        monkeypatch.setenv(LEASE_TTL_ENV, "-1")
+        assert default_lease_ttl() == base
+
+
+class TestStoreBackends:
+    def test_backend_selection_by_location(self, tmp_path):
+        assert not is_remote_location(str(tmp_path))
+        assert is_remote_location("http://127.0.0.1:1")
+        assert is_remote_location("https://store.example")
+        assert isinstance(backend_for(str(tmp_path)), LocalDirectoryBackend)
+        assert isinstance(backend_for("http://127.0.0.1:1"), HTTPStoreBackend)
+
+    def test_local_backend_roundtrip_and_miss(self, tmp_path):
+        backend = LocalDirectoryBackend(str(tmp_path))
+        key = "ab" + "0" * 62
+        assert backend.read_text(key) is None
+        os.makedirs(os.path.dirname(backend.path_for(key)), exist_ok=True)
+        backend.write_text(key, '{"x": 1}')
+        assert backend.read_text(key) == '{"x": 1}'
+        # sharded layout: first two hex chars pick the shard directory
+        assert os.path.basename(os.path.dirname(backend.path_for(key))) == "ab"
+
+    def test_http_backend_roundtrip_against_a_live_daemon(self, tmp_path):
+        config = ServiceConfig(port=0, workers=1, session=SessionConfig(
+            cache_dir="", store_dir=str(tmp_path / "served-store")))
+        server = ServiceServer(config).start()
+        try:
+            backend = HTTPStoreBackend(server.url)
+            key = "c" * 64
+            assert backend.read_text(key) is None  # 404 is a miss, not a fault
+            backend.write_text(key, '{"entry": true}')
+            assert backend.read_text(key) == '{"entry": true}'
+            with pytest.raises(OSError):
+                backend.read_text("not-a-digest")  # 400 is a fault
+            with pytest.raises(OSError):
+                backend.write_text("d" * 64, '"not an object"')
+        finally:
+            server.stop()
+
+    def test_remote_automaton_store_counts_backend_hits(self, tmp_path):
+        config = ServiceConfig(port=0, workers=1, session=SessionConfig(
+            cache_dir="", store_dir=str(tmp_path / "served-store")))
+        server = ServiceServer(config).start()
+        try:
+            from repro.ta import basis_state_ta
+
+            remote = AutomatonStore(server.url)
+            assert remote.backend.remote
+            key = "e" * 64
+            assert remote.get(key) is None
+            automaton = basis_state_ta(2, "01")
+            remote.put(key, automaton)
+            # a different worker (fresh store instance, cold memory tier)
+            # must see the published entry through the shared daemon
+            other = AutomatonStore(server.url)
+            fetched = other.get(key)
+            assert fetched is not None
+            assert fetched.automaton.structure_key() == automaton.structure_key()
+            counters = other.counter_snapshot()
+            assert counters["backend_hits"] == 1
+            assert counters["hits"] == 1
+            assert remote.counter_snapshot()["misses"] == 1
+        finally:
+            server.stop()
+
+
+class TestClientJitter:
+    def test_default_clients_derive_distinct_backoff_seeds(self):
+        first = ServiceClient("http://127.0.0.1:1")
+        second = ServiceClient("http://127.0.0.1:1")
+        assert first.retry.seed != second.retry.seed
+        # the rest of the policy is still the patient client profile
+        assert first.retry.attempts == second.retry.attempts
+
+    def test_explicit_retry_policy_is_preserved_verbatim(self):
+        policy = RetryPolicy(attempts=1, seed=0)
+        client = ServiceClient("http://127.0.0.1:1", retry=policy)
+        assert client.retry is policy
+
+
+def _spec() -> MatrixSpec:
+    return MatrixSpec.from_mapping(
+        {"families": ["bv"], "sizes": "2-3", "mutants": 2})
+
+
+def _scheduler(tmp_path, **overrides) -> MatrixScheduler:
+    settings = dict(
+        workers=1,
+        report_dir=str(tmp_path / "reports"),
+        manifest_dir=str(tmp_path / "manifests"),
+        cache_dir=str(tmp_path / "cache"),
+        campaign_id="fabric-test",
+    )
+    settings.update(overrides)
+    return MatrixScheduler(_spec(), **settings)
+
+
+class TestJoinWorkflow:
+    def test_plan_join_then_coordinator_merge(self, tmp_path):
+        coordinator = _scheduler(tmp_path)
+        coordinator.plan()
+
+        joiner = MatrixScheduler.join(
+            "fabric-test", report_dir=str(tmp_path / "join-reports"),
+            manifest_dir=str(tmp_path / "manifests"),
+            cache_dir=str(tmp_path / "cache"))
+        outcome = joiner.run_join()
+        assert isinstance(outcome, JoinRunResult)
+        assert outcome.cells_executed == 2
+        assert outcome.counters["completions"] == 2
+        assert outcome.counters["conflicts"] == 0
+        assert outcome.trustworthy
+        # fabric counters are stamped into each published summary
+        assert all(row["cells_claimed"] == 1 for row in outcome.rows)
+        # the joiner wrote its own per-cell JSONL reports
+        for row in outcome.rows:
+            assert os.path.exists(row["report_path"])
+
+        result = coordinator.run(resume=True)
+        assert [row["cell"] for row in result.rows] == \
+            [row["cell"] for row in sorted(outcome.rows, key=lambda r: r["cell"])]
+        assert result.totals["jobs"] == outcome.totals["jobs"]
+        assert result.trustworthy
+        with open(result.summary_path, "r", encoding="utf-8") as handle:
+            summary = json.load(handle)
+        assert summary["merged_cells"] == 2
+
+    def test_second_joiner_finds_nothing_claimable(self, tmp_path):
+        coordinator = _scheduler(tmp_path)
+        coordinator.plan()
+        kwargs = dict(report_dir=str(tmp_path / "join-reports"),
+                      manifest_dir=str(tmp_path / "manifests"),
+                      cache_dir=str(tmp_path / "cache"))
+        first = MatrixScheduler.join("fabric-test", **kwargs).run_join()
+        second = MatrixScheduler.join("fabric-test", **kwargs).run_join()
+        assert first.cells_executed == 2
+        assert second.cells_executed == 0
+        assert second.counters["cells_claimed"] == 0
+
+    def test_join_requires_an_existing_manifest(self, tmp_path):
+        with pytest.raises(ManifestError):
+            MatrixScheduler.join("no-such-campaign",
+                                 manifest_dir=str(tmp_path / "manifests"))
+
+    def test_solo_run_matches_fabric_run_verdicts(self, tmp_path):
+        solo = _scheduler(tmp_path, campaign_id="solo",
+                          report_dir=str(tmp_path / "solo-reports")).run()
+        fabric = _scheduler(tmp_path)
+        fabric.plan()
+        MatrixScheduler.join(
+            "fabric-test", report_dir=str(tmp_path / "join-reports"),
+            manifest_dir=str(tmp_path / "manifests"),
+            cache_dir=str(tmp_path / "cache")).run_join()
+        merged = fabric.run(resume=True)
+        verdict = lambda rows: [(r["cell"], r["jobs"], r["holds"], r["violated"],
+                                 r["unsupported"], r["errors"]) for r in rows]
+        assert verdict(merged.rows) == verdict(solo.rows)
